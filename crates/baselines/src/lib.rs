@@ -1,0 +1,43 @@
+//! # ww-baselines — the schemes WebWave is argued against
+//!
+//! Section 1 of the paper motivates WebWave by the weaknesses of the
+//! alternatives: cache-directory services become scalability bottlenecks,
+//! probe protocols (ICP) add per-request round trips, DNS rotation cannot
+//! track where demand actually is, and classical load migration ignores
+//! the constraint that requests must *find* their server without lookups.
+//! This crate implements those alternatives so the claims become
+//! measurable (experiment A1 in `DESIGN.md`):
+//!
+//! * [`no_caching`] — home server only,
+//! * [`directory_cache`] — Harvest/ICP-style cooperative cache with a
+//!   global directory (perfect GLE, per-request control cost, off-route
+//!   data paths),
+//! * [`dns_round_robin`] — NCSA-style replica rotation,
+//! * [`gle_migration`] — unconstrained diffusion (violates NSS),
+//! * [`webwave`] / [`webfold_oracle`] — the paper's system, for the same
+//!   table.
+//!
+//! # Example
+//!
+//! ```
+//! use ww_topology::paper;
+//! use ww_baselines::compare_all;
+//!
+//! let s = paper::fig6();
+//! let rows = compare_all(&s.tree, &s.spontaneous);
+//! let webwave = rows.iter().find(|r| r.name == "webwave").unwrap();
+//! let nocache = rows.iter().find(|r| r.name == "no-cache").unwrap();
+//! assert!(webwave.max_load < nocache.max_load);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod metrics;
+pub mod schemes;
+
+pub use metrics::{mean_service_hops, mean_tree_distance};
+pub use schemes::{
+    compare_all, directory_cache, dns_round_robin, gle_migration, no_caching, webfold_oracle,
+    webwave, SchemeReport,
+};

@@ -1,0 +1,168 @@
+//! Shared metrics for comparing caching/load-balancing schemes.
+
+use ww_model::{NodeId, RateVector, Tree};
+
+/// Expected upward hops per served request under proportional service.
+///
+/// Requests travel from their origin up the tree until served. Modeling
+/// each node as serving a proportional slice of its arriving stream, the
+/// expected origin depth of the stream mixes linearly, so the mean hop
+/// count is exact for rate-level assignments:
+///
+/// * at node `i`, the arriving stream combines local demand (origin depth
+///   `depth(i)`) with each child's forwarded stream,
+/// * serving `L_i` of that stream contributes
+///   `L_i * (mean_origin_depth - depth(i))` hops.
+///
+/// # Panics
+///
+/// Panics if the vectors do not match `tree`, or if `load` is infeasible
+/// (serves more than arrives somewhere).
+pub fn mean_service_hops(tree: &Tree, spontaneous: &RateVector, load: &RateVector) -> f64 {
+    assert_eq!(spontaneous.len(), tree.len());
+    assert_eq!(load.len(), tree.len());
+    let total = spontaneous.total();
+    if total <= 0.0 {
+        return 0.0;
+    }
+    // Bottom-up: (forwarded rate, mean origin depth of forwarded stream).
+    let n = tree.len();
+    let mut fwd_rate = vec![0.0f64; n];
+    let mut fwd_depth = vec![0.0f64; n];
+    let mut hops = 0.0;
+    for u in tree.bottom_up() {
+        let i = u.index();
+        let d_i = tree.depth(u) as f64;
+        let mut arr_rate = spontaneous[u];
+        let mut arr_depth_sum = spontaneous[u] * d_i;
+        for &c in tree.children(u) {
+            arr_rate += fwd_rate[c.index()];
+            arr_depth_sum += fwd_rate[c.index()] * fwd_depth[c.index()];
+        }
+        if arr_rate <= 0.0 {
+            continue;
+        }
+        let mean_depth = arr_depth_sum / arr_rate;
+        let served = load[u];
+        assert!(
+            served <= arr_rate + 1e-6,
+            "infeasible load at {u}: serves {served} of {arr_rate}"
+        );
+        hops += served * (mean_depth - d_i);
+        let rest = (arr_rate - served).max(0.0);
+        fwd_rate[i] = rest;
+        fwd_depth[i] = mean_depth;
+    }
+    hops / total
+}
+
+/// Mean tree distance (in hops) from `origin` to every node, weighted by
+/// `weights` (e.g. a uniform server-selection distribution).
+///
+/// Used by off-route schemes (directory, DNS round-robin) whose chosen
+/// server need not lie on the origin's path to the root.
+///
+/// # Panics
+///
+/// Panics if `weights` does not match `tree` or sums to zero.
+pub fn mean_tree_distance(tree: &Tree, origin: NodeId, weights: &RateVector) -> f64 {
+    assert_eq!(weights.len(), tree.len());
+    let total: f64 = weights.as_slice().iter().sum();
+    assert!(total > 0.0, "weights must have positive mass");
+    // BFS distances from origin over the undirected tree.
+    let n = tree.len();
+    let mut dist = vec![usize::MAX; n];
+    let mut queue = std::collections::VecDeque::new();
+    dist[origin.index()] = 0;
+    queue.push_back(origin);
+    while let Some(u) = queue.pop_front() {
+        let du = dist[u.index()];
+        let mut nbrs: Vec<NodeId> = tree.children(u).to_vec();
+        if let Some(p) = tree.parent(u) {
+            nbrs.push(p);
+        }
+        for v in nbrs {
+            if dist[v.index()] == usize::MAX {
+                dist[v.index()] = du + 1;
+                queue.push_back(v);
+            }
+        }
+    }
+    weights
+        .iter()
+        .map(|(v, w)| w * dist[v.index()] as f64)
+        .sum::<f64>()
+        / total
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ww_model::Tree;
+
+    fn chain3() -> Tree {
+        Tree::from_parents(&[None, Some(0), Some(1)]).unwrap()
+    }
+
+    #[test]
+    fn no_cache_hops_equal_origin_depth() {
+        let tree = chain3();
+        let e = RateVector::from(vec![0.0, 0.0, 30.0]);
+        // Root serves everything: each request travels 2 hops.
+        let l = RateVector::from(vec![30.0, 0.0, 0.0]);
+        assert!((mean_service_hops(&tree, &e, &l) - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn serving_at_origin_is_zero_hops() {
+        let tree = chain3();
+        let e = RateVector::from(vec![0.0, 0.0, 30.0]);
+        let l = RateVector::from(vec![0.0, 0.0, 30.0]);
+        assert_eq!(mean_service_hops(&tree, &e, &l), 0.0);
+    }
+
+    #[test]
+    fn tlb_spread_mixes_hops() {
+        let tree = chain3();
+        let e = RateVector::from(vec![0.0, 0.0, 30.0]);
+        // 10 each: a third at 0 hops, a third at 1, a third at 2.
+        let l = RateVector::from(vec![10.0, 10.0, 10.0]);
+        assert!((mean_service_hops(&tree, &e, &l) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn branching_attribution_is_proportional() {
+        // 0 <- {1, 2}; leaves each generate 10; node 0 serves all 20.
+        let tree = Tree::from_parents(&[None, Some(0), Some(0)]).unwrap();
+        let e = RateVector::from(vec![0.0, 10.0, 10.0]);
+        let l = RateVector::from(vec![20.0, 0.0, 0.0]);
+        assert!((mean_service_hops(&tree, &e, &l) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn tree_distance_from_leaf() {
+        let tree = chain3();
+        let uniform = RateVector::uniform(3, 1.0);
+        // From node 2: distances 2, 1, 0 -> mean 1.
+        let d = mean_tree_distance(&tree, NodeId::new(2), &uniform);
+        assert!((d - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn tree_distance_weighted() {
+        let tree = chain3();
+        let mut w = RateVector::zeros(3);
+        w[NodeId::new(0)] = 1.0; // all weight at the root
+        let d = mean_tree_distance(&tree, NodeId::new(2), &w);
+        assert_eq!(d, 2.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "infeasible load")]
+    fn infeasible_load_rejected() {
+        let tree = chain3();
+        let e = RateVector::from(vec![0.0, 0.0, 10.0]);
+        let l = RateVector::from(vec![0.0, 0.0, 20.0]);
+        let _ = mean_service_hops(&tree, &e, &l);
+    }
+}

@@ -1,0 +1,59 @@
+//! Experiment A4: gossip-staleness sensitivity — the Bertsekas-Tsitsiklis
+//! bounded-delay regime. The paper assumes instantaneous gossip in its
+//! simulations; here we sweep the staleness and measure how convergence
+//! slows.
+//!
+//! Prints rounds-to-converge per staleness, then benchmarks stale rounds.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::time::Duration;
+use ww_core::wave::{RateWave, WaveConfig};
+use ww_topology::paper;
+
+fn print_sweep() {
+    let s = paper::fig6();
+    println!("A4 — gossip staleness sweep on the fig6 tree (rounds until distance <= 0.1)");
+    println!("staleness  rounds");
+    println!("-----------------");
+    for staleness in [0usize, 1, 2, 4, 8] {
+        let cfg = WaveConfig {
+            alpha: None,
+            staleness,
+        };
+        let mut wave = RateWave::new(&s.tree, &s.spontaneous, cfg);
+        let rounds = wave.run_until(0.1, 200_000);
+        println!("{staleness:<9}  {rounds}");
+    }
+    println!();
+}
+
+fn bench(c: &mut Criterion) {
+    print_sweep();
+
+    let s = paper::fig6();
+    let mut group = c.benchmark_group("async_gossip");
+    group
+        .measurement_time(Duration::from_secs(2))
+        .warm_up_time(Duration::from_millis(500))
+        .sample_size(20);
+    for staleness in [0usize, 4] {
+        group.bench_with_input(
+            BenchmarkId::new("converge_to_0.1", staleness),
+            &staleness,
+            |b, &st| {
+                b.iter(|| {
+                    let cfg = WaveConfig {
+                        alpha: None,
+                        staleness: st,
+                    };
+                    let mut wave = RateWave::new(&s.tree, &s.spontaneous, cfg);
+                    wave.run_until(0.1, 200_000)
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,44 @@
+//! Experiments A5 + A6 (the paper's announced follow-ups and the
+//! abstract's throughput claim): erratic-rate tracking and the
+//! capacity/goodput comparison.
+//!
+//! Prints both tables, then benchmarks the tracking loop.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::time::Duration;
+use ww_core::tracking::{track, TrackingConfig};
+use ww_core::wave::WaveConfig;
+use ww_topology::paper;
+use ww_workload::DiurnalDrift;
+
+fn bench(c: &mut Criterion) {
+    println!("{}", ww_experiments::erratic_study(1997).report);
+    println!("{}", ww_experiments::throughput_study().report);
+
+    let s = paper::fig6();
+    let mut group = c.benchmark_group("erratic_tracking");
+    group
+        .measurement_time(Duration::from_secs(3))
+        .warm_up_time(Duration::from_millis(500))
+        .sample_size(10);
+    group.bench_function("drift_50_epochs", |b| {
+        b.iter(|| {
+            let mut process = DiurnalDrift::new(s.spontaneous.clone(), 0.4, 30.0);
+            track(
+                &s.tree,
+                &mut process,
+                TrackingConfig {
+                    rounds_per_epoch: 60,
+                    epochs: 50,
+                    epoch_secs: 1.0,
+                    wave: WaveConfig::default(),
+                },
+            )
+            .mean_relative_error
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

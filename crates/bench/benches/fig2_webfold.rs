@@ -1,0 +1,33 @@
+//! Experiment F2 (paper Figure 2): TLB vs GLE on the two rate vectors.
+//!
+//! Prints the reproduced figure rows, then benchmarks the WebFold oracle
+//! on both scenarios.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::time::Duration;
+use ww_core::fold::webfold;
+use ww_topology::paper;
+
+fn print_figure() {
+    println!("{}", ww_experiments::fig2().report);
+}
+
+fn bench(c: &mut Criterion) {
+    print_figure();
+    let mut group = c.benchmark_group("fig2_webfold");
+    group
+        .measurement_time(Duration::from_secs(2))
+        .warm_up_time(Duration::from_millis(500));
+    let a = paper::fig2a();
+    let b = paper::fig2b();
+    group.bench_function("fig2a", |bench| {
+        bench.iter(|| webfold(&a.tree, &a.spontaneous))
+    });
+    group.bench_function("fig2b", |bench| {
+        bench.iter(|| webfold(&b.tree, &b.spontaneous))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,28 @@
+//! Experiment F4 (paper Figure 4): the complete WebFold folding sequence.
+//!
+//! Prints the fold-by-fold trace, then benchmarks trace generation.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::time::Duration;
+use ww_core::fold::webfold;
+use ww_topology::paper;
+
+fn bench(c: &mut Criterion) {
+    println!("{}", ww_experiments::fig4().report);
+    let s = paper::fig4();
+    let mut group = c.benchmark_group("fig4_fold_trace");
+    group
+        .measurement_time(Duration::from_secs(2))
+        .warm_up_time(Duration::from_millis(500));
+    group.bench_function("fold_with_trace", |bench| {
+        bench.iter(|| {
+            let folded = webfold(&s.tree, &s.spontaneous);
+            assert_eq!(folded.trace().len(), 5);
+            folded
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

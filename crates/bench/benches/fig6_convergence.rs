@@ -1,0 +1,37 @@
+//! Experiments F6a/F6b (paper Figure 6): the hand-crafted tree's folds and
+//! WebWave's exponential convergence to TLB on it.
+//!
+//! Prints the fold table and the distance series, then benchmarks the
+//! per-round cost and a full convergence run.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::time::Duration;
+use ww_core::wave::{RateWave, WaveConfig};
+use ww_topology::paper;
+
+fn bench(c: &mut Criterion) {
+    println!("{}", ww_experiments::fig6a().report);
+    println!("{}", ww_experiments::fig6b(400).report);
+
+    let s = paper::fig6();
+    let mut group = c.benchmark_group("fig6_convergence");
+    group
+        .measurement_time(Duration::from_secs(3))
+        .warm_up_time(Duration::from_millis(500));
+    group.bench_function("one_round", |bench| {
+        let mut wave = RateWave::new(&s.tree, &s.spontaneous, WaveConfig::default());
+        bench.iter(|| wave.step());
+    });
+    group.bench_function("run_to_1e-6", |bench| {
+        bench.iter(|| {
+            let mut wave = RateWave::new(&s.tree, &s.spontaneous, WaveConfig::default());
+            let rounds = wave.run_until(1e-6, 100_000);
+            assert!(rounds < 100_000);
+            rounds
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,39 @@
+//! Experiment F7 (paper Figure 7): the potential barrier and tunneling.
+//!
+//! Prints the stall-vs-tunneling table, then benchmarks document-level
+//! WebWave rounds with tunneling on and off.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::time::Duration;
+use ww_core::docsim::{DocSim, DocSimConfig};
+use ww_topology::paper;
+
+fn bench(c: &mut Criterion) {
+    println!("{}", ww_experiments::fig7(1500).report);
+
+    let b = paper::fig7();
+    let mut group = c.benchmark_group("fig7_barrier");
+    group
+        .measurement_time(Duration::from_secs(3))
+        .warm_up_time(Duration::from_millis(500))
+        .sample_size(20);
+    for (label, tunneling) in [("with_tunneling", true), ("without_tunneling", false)] {
+        group.bench_function(label, |bench| {
+            bench.iter(|| {
+                let mut sim = DocSim::from_barrier_scenario(
+                    &b,
+                    DocSimConfig {
+                        tunneling,
+                        ..DocSimConfig::default()
+                    },
+                );
+                sim.run(200);
+                sim.distance_to_tlb()
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

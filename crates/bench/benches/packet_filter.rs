@@ -1,0 +1,81 @@
+//! Experiment A3: the architectural feasibility claim — injected packet
+//! filters classify a passing request in O(1), comparable to the 1.51 us
+//! per packet the paper cites for DPF (Engler & Kaashoek).
+//!
+//! Prints our measured per-packet cost next to the DPF reference, then
+//! benchmarks filter match/insert at several table sizes.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::time::{Duration, Instant};
+use ww_model::DocId;
+use ww_net::{CountingBloomFilter, ExactFilter, PacketFilter, DPF_FILTER_COST_US};
+
+fn quick_cost_us<F: PacketFilter>(filter: &F, probes: u64) -> f64 {
+    let start = Instant::now();
+    let mut hits = 0u64;
+    for i in 0..probes {
+        if filter.matches(DocId::new(i % 200_000)) {
+            hits += 1;
+        }
+    }
+    let elapsed = start.elapsed().as_secs_f64();
+    std::hint::black_box(hits);
+    elapsed * 1e6 / probes as f64
+}
+
+fn print_reference_table() {
+    let mut exact = ExactFilter::new();
+    let mut bloom = CountingBloomFilter::for_capacity(100_000);
+    for i in 0..100_000u64 {
+        exact.insert(DocId::new(i));
+        bloom.insert(DocId::new(i));
+    }
+    println!("A3 — packet filter cost per request (100k-entry tables)");
+    println!("  DPF reference (paper): {DPF_FILTER_COST_US:.2} us/packet");
+    println!("  exact filter:          {:.4} us/packet", quick_cost_us(&exact, 1_000_000));
+    println!("  counting bloom:        {:.4} us/packet\n", quick_cost_us(&bloom, 1_000_000));
+}
+
+fn bench(c: &mut Criterion) {
+    print_reference_table();
+
+    let mut group = c.benchmark_group("packet_filter");
+    group
+        .measurement_time(Duration::from_secs(2))
+        .warm_up_time(Duration::from_millis(500));
+    for &size in &[1_000usize, 100_000] {
+        let mut exact = ExactFilter::new();
+        let mut bloom = CountingBloomFilter::for_capacity(size);
+        for i in 0..size as u64 {
+            exact.insert(DocId::new(i));
+            bloom.insert(DocId::new(i));
+        }
+        group.bench_with_input(BenchmarkId::new("exact_match", size), &size, |b, _| {
+            let mut i = 0u64;
+            b.iter(|| {
+                i = i.wrapping_add(1);
+                exact.matches(DocId::new(i % (2 * size as u64)))
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("bloom_match", size), &size, |b, _| {
+            let mut i = 0u64;
+            b.iter(|| {
+                i = i.wrapping_add(1);
+                bloom.matches(DocId::new(i % (2 * size as u64)))
+            })
+        });
+    }
+    group.bench_function("exact_insert_remove", |b| {
+        let mut f = ExactFilter::new();
+        let mut i = 0u64;
+        b.iter(|| {
+            i = i.wrapping_add(1);
+            f.insert(DocId::new(i));
+            f.remove(DocId::new(i));
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

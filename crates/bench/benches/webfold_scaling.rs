@@ -1,0 +1,70 @@
+//! Experiment A2 + scaling: WebFold cost on large random trees, and the
+//! fold-order ablation (the paper's max-load-first rule vs naive scan
+//! order).
+//!
+//! Prints the ablation verdict on random instances, then benchmarks
+//! WebFold at 1k/10k/100k nodes.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::time::Duration;
+use ww_core::fold::{webfold, webfold_with_order, FoldOrder};
+use ww_topology::random_tree_of_depth;
+
+fn ablation_report() {
+    println!("A2 — fold-order ablation (max-load-first vs scan order), 200 random instances");
+    let mut rng = StdRng::seed_from_u64(2);
+    let mut equal_feasible = 0;
+    let mut scan_infeasible = 0;
+    let mut scan_worse_feasible = 0;
+    for _ in 0..200 {
+        let tree = random_tree_of_depth(&mut rng, 40, 6);
+        let e = ww_workload::random_uniform(&mut rng, &tree, 0.0, 50.0);
+        let max_first = webfold(&tree, &e);
+        let scan = webfold_with_order(&tree, &e, FoldOrder::FirstFoldable);
+        let feasible = ww_model::LoadAssignment::new(&tree, &e, scan.load().clone())
+            .expect("shapes match")
+            .check_feasible(1e-9)
+            .is_ok();
+        if !feasible {
+            // The key finding: without the max-load-first rule the fold
+            // partition can violate NSS — Lemma 3 *depends* on the order.
+            scan_infeasible += 1;
+            continue;
+        }
+        match max_first.load().compare_balance(scan.load(), 1e-9) {
+            std::cmp::Ordering::Less => scan_worse_feasible += 1,
+            std::cmp::Ordering::Equal => equal_feasible += 1,
+            std::cmp::Ordering::Greater => {
+                panic!("a feasible scan-order assignment beat WebFold: Theorem 1 violated")
+            }
+        }
+    }
+    println!(
+        "  scan order NSS-infeasible: {scan_infeasible}/200; feasible-and-equal: {equal_feasible}/200; feasible-and-worse: {scan_worse_feasible}/200"
+    );
+    println!("  (the max-load-first rule is what guarantees Lemma 3 / NSS feasibility)\n");
+}
+
+fn bench(c: &mut Criterion) {
+    ablation_report();
+
+    let mut group = c.benchmark_group("webfold_scaling");
+    group
+        .measurement_time(Duration::from_secs(3))
+        .warm_up_time(Duration::from_millis(500))
+        .sample_size(10);
+    for &n in &[1_000usize, 10_000, 100_000] {
+        let mut rng = StdRng::seed_from_u64(n as u64);
+        let tree = random_tree_of_depth(&mut rng, n, 12);
+        let e = ww_workload::random_uniform(&mut rng, &tree, 0.0, 100.0);
+        group.bench_with_input(BenchmarkId::new("nodes", n), &n, |b, _| {
+            b.iter(|| webfold(&tree, &e))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,280 @@
+//! Per-document, per-child forwarded-rate accounting.
+//!
+//! "An implementation of WebWave needs to maintain a separate `A_j` for
+//! each document it caches" (paper, Section 5, footnote 3). A node must
+//! know, per child and per document, how much request rate flows through
+//! it, because NSS only lets it delegate to a child the load that child's
+//! subtree itself forwards — and only for documents that subtree actually
+//! requests.
+
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+use ww_model::{DocId, NodeId};
+use ww_stats::Ewma;
+
+/// A windowed rate estimator: counts events per fixed window and smooths
+/// successive window rates with an EWMA.
+#[derive(Debug, Clone)]
+pub struct RateMeter {
+    window_secs: f64,
+    window_start: f64,
+    count_in_window: u64,
+    smoothed: Ewma,
+}
+
+impl RateMeter {
+    /// Creates a meter with the given measurement window and EWMA factor.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `window_secs <= 0` or `alpha` is outside `(0, 1]`.
+    pub fn new(window_secs: f64, alpha: f64) -> Self {
+        assert!(window_secs > 0.0, "window must be positive");
+        RateMeter {
+            window_secs,
+            window_start: 0.0,
+            count_in_window: 0,
+            smoothed: Ewma::new(alpha),
+        }
+    }
+
+    /// Records one event at time `now` (seconds). Rolls the window forward
+    /// as needed, feeding completed windows into the smoother.
+    pub fn record(&mut self, now: f64) {
+        self.roll_to(now);
+        self.count_in_window += 1;
+    }
+
+    /// Advances the window to contain `now`, closing out any completed
+    /// windows (including empty ones, which correctly pull the rate down).
+    pub fn roll_to(&mut self, now: f64) {
+        while now >= self.window_start + self.window_secs {
+            let rate = self.count_in_window as f64 / self.window_secs;
+            self.smoothed.observe(rate);
+            self.count_in_window = 0;
+            self.window_start += self.window_secs;
+        }
+    }
+
+    /// The smoothed rate estimate (events/second); `None` until one full
+    /// window has elapsed.
+    pub fn rate(&self) -> Option<f64> {
+        self.smoothed.value()
+    }
+
+    /// The smoothed rate, defaulting to 0.0 before the first window closes.
+    pub fn rate_or_zero(&self) -> f64 {
+        self.smoothed.value().unwrap_or(0.0)
+    }
+}
+
+/// Per-child, per-document forwarded-rate table of one node.
+///
+/// # Example
+///
+/// ```
+/// use ww_model::{DocId, NodeId};
+/// use ww_cache::FlowTable;
+///
+/// let mut flows = FlowTable::new(1.0, 1.0);
+/// // Child n2 forwards 3 requests for d7 during the first second.
+/// for t in [0.1, 0.5, 0.9] {
+///     flows.record(NodeId::new(2), DocId::new(7), t);
+/// }
+/// flows.roll_to(1.0); // close the first window
+/// assert!((flows.child_doc_rate(NodeId::new(2), DocId::new(7)) - 3.0).abs() < 1e-9);
+/// assert!((flows.child_total(NodeId::new(2)) - 3.0).abs() < 1e-9);
+/// ```
+#[derive(Debug, Clone)]
+pub struct FlowTable {
+    window_secs: f64,
+    alpha: f64,
+    meters: HashMap<(NodeId, DocId), RateMeter>,
+}
+
+impl FlowTable {
+    /// Creates a table with the given measurement window and smoothing.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `window_secs <= 0` or `alpha` outside `(0, 1]`.
+    pub fn new(window_secs: f64, alpha: f64) -> Self {
+        assert!(window_secs > 0.0, "window must be positive");
+        assert!(alpha > 0.0 && alpha <= 1.0, "alpha in (0, 1]");
+        FlowTable {
+            window_secs,
+            alpha,
+            meters: HashMap::new(),
+        }
+    }
+
+    /// Records a request for `doc` forwarded by child `child` at `now`.
+    pub fn record(&mut self, child: NodeId, doc: DocId, now: f64) {
+        self.meters
+            .entry((child, doc))
+            .or_insert_with(|| RateMeter::new(self.window_secs, self.alpha))
+            .record(now);
+    }
+
+    /// Rolls every meter's window forward to `now`.
+    pub fn roll_to(&mut self, now: f64) {
+        for m in self.meters.values_mut() {
+            m.roll_to(now);
+        }
+    }
+
+    /// Estimated forwarded rate of `doc` from `child` (req/s).
+    pub fn child_doc_rate(&self, child: NodeId, doc: DocId) -> f64 {
+        self.meters
+            .get(&(child, doc))
+            .map_or(0.0, RateMeter::rate_or_zero)
+    }
+
+    /// Estimated aggregate forwarded rate `A_j` of `child` across docs.
+    pub fn child_total(&self, child: NodeId) -> f64 {
+        self.meters
+            .iter()
+            .filter(|((c, _), _)| *c == child)
+            .map(|(_, m)| m.rate_or_zero())
+            .sum()
+    }
+
+    /// Per-document rates forwarded by `child`, sorted descending by rate.
+    pub fn child_doc_rates(&self, child: NodeId) -> Vec<(DocId, f64)> {
+        let mut v: Vec<(DocId, f64)> = self
+            .meters
+            .iter()
+            .filter(|((c, _), _)| *c == child)
+            .map(|(&(_, d), m)| (d, m.rate_or_zero()))
+            .filter(|&(_, r)| r > 0.0)
+            .collect();
+        v.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("rates are finite").then(a.0.cmp(&b.0)));
+        v
+    }
+
+    /// All children with any recorded flow.
+    pub fn children(&self) -> Vec<NodeId> {
+        let mut v: Vec<NodeId> = self.meters.keys().map(|&(c, _)| c).collect();
+        v.sort_unstable();
+        v.dedup();
+        v
+    }
+}
+
+/// Serializable snapshot of a flow table (rates only).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FlowSnapshot {
+    /// `(child, doc, rate)` triples, sorted by child then doc.
+    pub flows: Vec<(NodeId, DocId, f64)>,
+}
+
+impl FlowSnapshot {
+    /// Captures the current rates from a table.
+    pub fn capture(table: &FlowTable) -> Self {
+        let mut flows: Vec<(NodeId, DocId, f64)> = table
+            .meters
+            .iter()
+            .map(|(&(c, d), m)| (c, d, m.rate_or_zero()))
+            .collect();
+        flows.sort_by_key(|&(c, d, _)| (c, d));
+        FlowSnapshot { flows }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn meter_measures_steady_rate() {
+        let mut m = RateMeter::new(1.0, 1.0);
+        for i in 0..50 {
+            let t = i as f64 * 0.1; // 10 events/second for 5 seconds
+            m.record(t);
+        }
+        m.roll_to(5.0);
+        assert!((m.rate().unwrap() - 10.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn meter_rate_none_before_first_window() {
+        let mut m = RateMeter::new(1.0, 0.5);
+        m.record(0.2);
+        assert!(m.rate().is_none());
+        assert_eq!(m.rate_or_zero(), 0.0);
+    }
+
+    #[test]
+    fn meter_decays_through_empty_windows() {
+        let mut m = RateMeter::new(1.0, 0.5);
+        for i in 0..10 {
+            m.record(i as f64 * 0.1);
+        }
+        m.roll_to(1.0);
+        let busy = m.rate().unwrap();
+        m.roll_to(6.0); // five empty windows
+        let idle = m.rate().unwrap();
+        assert!(idle < busy * 0.1, "rate should decay: {idle} vs {busy}");
+    }
+
+    #[test]
+    fn ewma_smooths_window_jitter() {
+        let mut m = RateMeter::new(1.0, 0.25);
+        // Alternating 20/0 events per window; smoothed rate converges
+        // toward the 10/s mean band rather than oscillating to extremes.
+        for w in 0..20 {
+            if w % 2 == 0 {
+                for i in 0..20 {
+                    m.record(w as f64 + i as f64 / 20.0);
+                }
+            }
+        }
+        m.roll_to(20.0);
+        let r = m.rate().unwrap();
+        assert!(r > 4.0 && r < 16.0, "smoothed rate {r}");
+    }
+
+    #[test]
+    fn flow_table_separates_children_and_docs() {
+        let mut f = FlowTable::new(1.0, 1.0);
+        let (c1, c2) = (NodeId::new(1), NodeId::new(2));
+        let (d1, d2) = (DocId::new(1), DocId::new(2));
+        for i in 0..10 {
+            f.record(c1, d1, i as f64 * 0.1);
+        }
+        for i in 0..5 {
+            f.record(c1, d2, i as f64 * 0.2);
+        }
+        for i in 0..2 {
+            f.record(c2, d1, i as f64 * 0.4);
+        }
+        f.roll_to(1.0);
+        assert!((f.child_doc_rate(c1, d1) - 10.0).abs() < 1e-9);
+        assert!((f.child_doc_rate(c1, d2) - 5.0).abs() < 1e-9);
+        assert!((f.child_total(c1) - 15.0).abs() < 1e-9);
+        assert!((f.child_total(c2) - 2.0).abs() < 1e-9);
+        let rates = f.child_doc_rates(c1);
+        assert_eq!(rates[0].0, d1); // hottest first
+        assert_eq!(f.children(), vec![c1, c2]);
+    }
+
+    #[test]
+    fn unknown_flows_are_zero() {
+        let f = FlowTable::new(1.0, 1.0);
+        assert_eq!(f.child_doc_rate(NodeId::new(9), DocId::new(9)), 0.0);
+        assert_eq!(f.child_total(NodeId::new(9)), 0.0);
+        assert!(f.children().is_empty());
+    }
+
+    #[test]
+    fn snapshot_is_sorted_and_complete() {
+        let mut f = FlowTable::new(1.0, 1.0);
+        f.record(NodeId::new(2), DocId::new(5), 0.1);
+        f.record(NodeId::new(1), DocId::new(9), 0.1);
+        f.roll_to(1.0);
+        let snap = FlowSnapshot::capture(&f);
+        assert_eq!(snap.flows.len(), 2);
+        assert_eq!(snap.flows[0].0, NodeId::new(1));
+        assert_eq!(snap.flows[1].0, NodeId::new(2));
+    }
+}

@@ -1,0 +1,198 @@
+//! Copy placement and shedding policies.
+//!
+//! WebWave "implicitly determines the number and placement of cache copies
+//! as well as the number of requests allocated to each copy" (Section 7).
+//! When the diffusion step decides to shift `x` req/s to a child, the node
+//! must pick *which documents* to push; when a child must give load back,
+//! it picks which copies to delete or throttle. The paper discusses this
+//! choice "only briefly", so the greedy policies here are our faithful
+//! completion: push the hottest documents the child itself forwards, shed
+//! the coldest copies first.
+
+use serde::{Deserialize, Serialize};
+use ww_model::DocId;
+
+/// A planned change in how much of a document's passing rate a node serves.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct RateSlice {
+    /// The document affected.
+    pub doc: DocId,
+    /// Request rate (req/s) being moved for this document.
+    pub rate: f64,
+    /// `true` when the document's entire listed rate is moved (full copy
+    /// push or full deletion), `false` for a partial serve-fraction change.
+    pub full: bool,
+}
+
+/// Greedy plan for delegating `target` req/s to a child, given the
+/// per-document rates `flows` the child currently forwards (hottest
+/// first or any order).
+///
+/// Documents are taken hottest-first; the last document may be split
+/// (partial serve fraction). The plan never exceeds `target` nor the
+/// available flow.
+///
+/// # Example
+///
+/// ```
+/// use ww_model::DocId;
+/// use ww_cache::plan_push;
+/// let flows = vec![(DocId::new(1), 10.0), (DocId::new(2), 6.0), (DocId::new(3), 2.0)];
+/// let plan = plan_push(&flows, 13.0);
+/// assert_eq!(plan.len(), 2);
+/// assert_eq!(plan[0].doc, DocId::new(1));
+/// assert!(plan[0].full);
+/// assert_eq!(plan[1].rate, 3.0); // half of doc 2's 6.0
+/// assert!(!plan[1].full);
+/// ```
+pub fn plan_push(flows: &[(DocId, f64)], target: f64) -> Vec<RateSlice> {
+    if target <= 0.0 {
+        return Vec::new();
+    }
+    let mut sorted: Vec<(DocId, f64)> = flows
+        .iter()
+        .copied()
+        .filter(|&(_, r)| r > 0.0)
+        .collect();
+    sorted.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("rates finite").then(a.0.cmp(&b.0)));
+    let mut plan = Vec::new();
+    let mut remaining = target;
+    for (doc, rate) in sorted {
+        if remaining <= 0.0 {
+            break;
+        }
+        if rate <= remaining {
+            plan.push(RateSlice {
+                doc,
+                rate,
+                full: true,
+            });
+            remaining -= rate;
+        } else {
+            plan.push(RateSlice {
+                doc,
+                rate: remaining,
+                full: false,
+            });
+            remaining = 0.0;
+        }
+    }
+    plan
+}
+
+/// Greedy plan for shedding `target` req/s of locally served load, given
+/// the per-document rates `served` this node currently serves.
+///
+/// Coldest copies go first (deleting a barely used copy frees the least
+/// useful capacity and keeps hot documents close to their clients); the
+/// final document may be throttled partially instead of deleted.
+pub fn plan_shed(served: &[(DocId, f64)], target: f64) -> Vec<RateSlice> {
+    if target <= 0.0 {
+        return Vec::new();
+    }
+    let mut sorted: Vec<(DocId, f64)> = served
+        .iter()
+        .copied()
+        .filter(|&(_, r)| r > 0.0)
+        .collect();
+    sorted.sort_by(|a, b| a.1.partial_cmp(&b.1).expect("rates finite").then(a.0.cmp(&b.0)));
+    let mut plan = Vec::new();
+    let mut remaining = target;
+    for (doc, rate) in sorted {
+        if remaining <= 0.0 {
+            break;
+        }
+        if rate <= remaining {
+            plan.push(RateSlice {
+                doc,
+                rate,
+                full: true,
+            });
+            remaining -= rate;
+        } else {
+            plan.push(RateSlice {
+                doc,
+                rate: remaining,
+                full: false,
+            });
+            remaining = 0.0;
+        }
+    }
+    plan
+}
+
+/// Total rate moved by a plan.
+pub fn plan_total(plan: &[RateSlice]) -> f64 {
+    plan.iter().map(|s| s.rate).sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn flows() -> Vec<(DocId, f64)> {
+        vec![
+            (DocId::new(1), 10.0),
+            (DocId::new(2), 6.0),
+            (DocId::new(3), 2.0),
+        ]
+    }
+
+    #[test]
+    fn push_takes_hottest_first() {
+        let plan = plan_push(&flows(), 10.0);
+        assert_eq!(plan.len(), 1);
+        assert_eq!(plan[0].doc, DocId::new(1));
+        assert!(plan[0].full);
+        assert_eq!(plan_total(&plan), 10.0);
+    }
+
+    #[test]
+    fn push_splits_last_doc() {
+        let plan = plan_push(&flows(), 12.0);
+        assert_eq!(plan.len(), 2);
+        assert!(!plan[1].full);
+        assert_eq!(plan[1].rate, 2.0);
+        assert_eq!(plan_total(&plan), 12.0);
+    }
+
+    #[test]
+    fn push_caps_at_available_flow() {
+        let plan = plan_push(&flows(), 100.0);
+        assert_eq!(plan_total(&plan), 18.0);
+        assert!(plan.iter().all(|s| s.full));
+    }
+
+    #[test]
+    fn push_ignores_zero_flows_and_zero_target() {
+        assert!(plan_push(&flows(), 0.0).is_empty());
+        assert!(plan_push(&[(DocId::new(1), 0.0)], 5.0).is_empty());
+        assert!(plan_push(&[], 5.0).is_empty());
+    }
+
+    #[test]
+    fn shed_takes_coldest_first() {
+        let plan = plan_shed(&flows(), 2.0);
+        assert_eq!(plan.len(), 1);
+        assert_eq!(plan[0].doc, DocId::new(3));
+        assert!(plan[0].full);
+    }
+
+    #[test]
+    fn shed_partial_on_larger_doc() {
+        let plan = plan_shed(&flows(), 5.0);
+        // Shed all of d3 (2.0), then 3.0 of d2 partially.
+        assert_eq!(plan.len(), 2);
+        assert_eq!(plan[0].doc, DocId::new(3));
+        assert_eq!(plan[1].doc, DocId::new(2));
+        assert!(!plan[1].full);
+        assert_eq!(plan_total(&plan), 5.0);
+    }
+
+    #[test]
+    fn deterministic_tie_break_on_doc_id() {
+        let tied = vec![(DocId::new(9), 4.0), (DocId::new(1), 4.0)];
+        let plan = plan_push(&tied, 4.0);
+        assert_eq!(plan[0].doc, DocId::new(1));
+    }
+}

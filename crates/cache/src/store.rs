@@ -1,0 +1,217 @@
+//! The per-server cache of immutable document copies.
+//!
+//! A WebWave node holds full copies of some documents and, for each copy,
+//! a *serve fraction*: the share of passing requests for that document it
+//! chooses to handle. The paper's protocol adjusts load both by creating
+//! and deleting copies and by "reduce the fraction of requests for
+//! these documents that it chooses to serve" (Section 1).
+
+use bytes::Bytes;
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+use ww_model::DocId;
+
+/// One cached copy: optional payload plus its serve fraction.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CachedCopy {
+    payload: Option<Bytes>,
+    serve_fraction: f64,
+}
+
+impl CachedCopy {
+    /// The payload, if the simulation tracks bytes.
+    pub fn payload(&self) -> Option<&Bytes> {
+        self.payload.as_ref()
+    }
+
+    /// Fraction of passing requests for this document the node serves,
+    /// in `[0, 1]`.
+    pub fn serve_fraction(&self) -> f64 {
+        self.serve_fraction
+    }
+}
+
+/// A snapshot of a store entry for serialization/reporting.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct StoreEntry {
+    /// The cached document.
+    pub doc: DocId,
+    /// Its current serve fraction.
+    pub serve_fraction: f64,
+    /// Payload size in bytes (0 when payloads are not simulated).
+    pub bytes: u64,
+}
+
+/// The cache store of one node.
+///
+/// # Example
+///
+/// ```
+/// use ww_model::DocId;
+/// use ww_cache::CacheStore;
+///
+/// let mut store = CacheStore::new();
+/// store.insert(DocId::new(4), None);
+/// assert!(store.contains(DocId::new(4)));
+/// assert_eq!(store.serve_fraction(DocId::new(4)), 1.0);
+/// store.set_serve_fraction(DocId::new(4), 0.25);
+/// assert_eq!(store.serve_fraction(DocId::new(4)), 0.25);
+/// store.remove(DocId::new(4));
+/// assert!(!store.contains(DocId::new(4)));
+/// ```
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct CacheStore {
+    copies: HashMap<DocId, CachedCopy>,
+}
+
+impl CacheStore {
+    /// Creates an empty store.
+    pub fn new() -> Self {
+        CacheStore::default()
+    }
+
+    /// Inserts a full copy of `doc` (serve fraction 1.0). Re-inserting an
+    /// existing copy resets its serve fraction to 1.0 and replaces the
+    /// payload.
+    pub fn insert(&mut self, doc: DocId, payload: Option<Bytes>) {
+        self.copies.insert(
+            doc,
+            CachedCopy {
+                payload,
+                serve_fraction: 1.0,
+            },
+        );
+    }
+
+    /// Deletes the copy of `doc`, returning `true` if one existed.
+    pub fn remove(&mut self, doc: DocId) -> bool {
+        self.copies.remove(&doc).is_some()
+    }
+
+    /// `true` when a copy of `doc` is held (regardless of serve fraction).
+    pub fn contains(&self, doc: DocId) -> bool {
+        self.copies.contains_key(&doc)
+    }
+
+    /// The serve fraction for `doc`; 0.0 when the document is not cached.
+    pub fn serve_fraction(&self, doc: DocId) -> f64 {
+        self.copies.get(&doc).map_or(0.0, |c| c.serve_fraction)
+    }
+
+    /// Sets the serve fraction for a held copy; clamped to `[0, 1]`.
+    /// No-op when `doc` is not cached.
+    pub fn set_serve_fraction(&mut self, doc: DocId, fraction: f64) {
+        if let Some(c) = self.copies.get_mut(&doc) {
+            c.serve_fraction = fraction.clamp(0.0, 1.0);
+        }
+    }
+
+    /// Number of cached documents.
+    pub fn len(&self) -> usize {
+        self.copies.len()
+    }
+
+    /// `true` when nothing is cached.
+    pub fn is_empty(&self) -> bool {
+        self.copies.is_empty()
+    }
+
+    /// Iterates over cached documents and their copies (arbitrary order).
+    pub fn iter(&self) -> impl Iterator<Item = (DocId, &CachedCopy)> {
+        self.copies.iter().map(|(&d, c)| (d, c))
+    }
+
+    /// Sorted list of cached document ids.
+    pub fn docs(&self) -> Vec<DocId> {
+        let mut v: Vec<DocId> = self.copies.keys().copied().collect();
+        v.sort_unstable();
+        v
+    }
+
+    /// Total bytes held (0 for payload-free simulation).
+    pub fn total_bytes(&self) -> u64 {
+        self.copies
+            .values()
+            .filter_map(|c| c.payload.as_ref().map(|p| p.len() as u64))
+            .sum()
+    }
+
+    /// Snapshot for reporting.
+    pub fn entries(&self) -> Vec<StoreEntry> {
+        let mut v: Vec<StoreEntry> = self
+            .copies
+            .iter()
+            .map(|(&doc, c)| StoreEntry {
+                doc,
+                serve_fraction: c.serve_fraction,
+                bytes: c.payload.as_ref().map_or(0, |p| p.len() as u64),
+            })
+            .collect();
+        v.sort_by_key(|e| e.doc);
+        v
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_contains_remove() {
+        let mut s = CacheStore::new();
+        assert!(s.is_empty());
+        s.insert(DocId::new(1), None);
+        assert!(s.contains(DocId::new(1)));
+        assert_eq!(s.len(), 1);
+        assert!(s.remove(DocId::new(1)));
+        assert!(!s.remove(DocId::new(1)));
+        assert!(s.is_empty());
+    }
+
+    #[test]
+    fn serve_fraction_defaults_and_clamps() {
+        let mut s = CacheStore::new();
+        s.insert(DocId::new(2), None);
+        assert_eq!(s.serve_fraction(DocId::new(2)), 1.0);
+        s.set_serve_fraction(DocId::new(2), 2.5);
+        assert_eq!(s.serve_fraction(DocId::new(2)), 1.0);
+        s.set_serve_fraction(DocId::new(2), -0.5);
+        assert_eq!(s.serve_fraction(DocId::new(2)), 0.0);
+        // Absent docs serve nothing.
+        assert_eq!(s.serve_fraction(DocId::new(9)), 0.0);
+        s.set_serve_fraction(DocId::new(9), 0.5); // no-op
+        assert!(!s.contains(DocId::new(9)));
+    }
+
+    #[test]
+    fn reinsert_resets_fraction() {
+        let mut s = CacheStore::new();
+        s.insert(DocId::new(3), None);
+        s.set_serve_fraction(DocId::new(3), 0.1);
+        s.insert(DocId::new(3), None);
+        assert_eq!(s.serve_fraction(DocId::new(3)), 1.0);
+    }
+
+    #[test]
+    fn payload_accounting() {
+        let mut s = CacheStore::new();
+        s.insert(DocId::new(1), Some(Bytes::from(vec![0u8; 100])));
+        s.insert(DocId::new(2), Some(Bytes::from(vec![0u8; 50])));
+        s.insert(DocId::new(3), None);
+        assert_eq!(s.total_bytes(), 150);
+        let entries = s.entries();
+        assert_eq!(entries.len(), 3);
+        assert_eq!(entries[0].doc, DocId::new(1));
+        assert_eq!(entries[0].bytes, 100);
+        assert_eq!(entries[2].bytes, 0);
+    }
+
+    #[test]
+    fn docs_sorted() {
+        let mut s = CacheStore::new();
+        for id in [5u64, 1, 3] {
+            s.insert(DocId::new(id), None);
+        }
+        assert_eq!(s.docs(), vec![DocId::new(1), DocId::new(3), DocId::new(5)]);
+    }
+}

@@ -1,0 +1,124 @@
+//! Property-based tests for the cache-server substrate.
+
+use proptest::prelude::*;
+use ww_cache::{plan_push, plan_shed, plan_total, CacheStore, FlowTable};
+use ww_model::{DocId, NodeId};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Push plans never move more than the target nor more than the
+    /// available flow, and per-doc slices never exceed their flow.
+    #[test]
+    fn push_plan_bounds(
+        flows in proptest::collection::vec((0u64..100, 0.0f64..50.0), 0..20),
+        target in 0.0f64..500.0
+    ) {
+        let flows: Vec<(DocId, f64)> = flows
+            .into_iter()
+            .map(|(d, r)| (DocId::new(d), r))
+            .collect();
+        // Deduplicate doc ids (keep the first occurrence).
+        let mut seen = std::collections::HashSet::new();
+        let flows: Vec<(DocId, f64)> = flows
+            .into_iter()
+            .filter(|(d, _)| seen.insert(*d))
+            .collect();
+        let plan = plan_push(&flows, target);
+        let total = plan_total(&plan);
+        let available: f64 = flows.iter().map(|&(_, r)| r).sum();
+        prop_assert!(total <= target + 1e-9);
+        prop_assert!(total <= available + 1e-9);
+        for slice in &plan {
+            let flow = flows.iter().find(|&&(d, _)| d == slice.doc).unwrap().1;
+            prop_assert!(slice.rate <= flow + 1e-9);
+            prop_assert!(slice.rate > 0.0);
+            if slice.full {
+                prop_assert!((slice.rate - flow).abs() < 1e-9);
+            }
+        }
+        // The plan moves min(target, available) — it never undershoots.
+        prop_assert!((total - target.min(available)).abs() < 1e-6);
+    }
+
+    /// Shed plans obey the same bounds and prefer colder documents.
+    #[test]
+    fn shed_plan_bounds_and_order(
+        served in proptest::collection::vec((0u64..100, 0.001f64..50.0), 1..20),
+        target in 0.0f64..500.0
+    ) {
+        let mut seen = std::collections::HashSet::new();
+        let served: Vec<(DocId, f64)> = served
+            .into_iter()
+            .map(|(d, r)| (DocId::new(d), r))
+            .filter(|(d, _)| seen.insert(*d))
+            .collect();
+        let plan = plan_shed(&served, target);
+        let available: f64 = served.iter().map(|&(_, r)| r).sum();
+        prop_assert!(plan_total(&plan) <= target.min(available) + 1e-6);
+        // Full slices appear in nondecreasing rate order (coldest first).
+        let fulls: Vec<f64> = plan.iter().filter(|s| s.full).map(|s| s.rate).collect();
+        for w in fulls.windows(2) {
+            prop_assert!(w[0] <= w[1] + 1e-9);
+        }
+    }
+
+    /// Store operations maintain serve-fraction invariants.
+    #[test]
+    fn store_fraction_invariants(
+        ops in proptest::collection::vec((0u64..20, -1.0f64..2.0), 0..60)
+    ) {
+        let mut store = CacheStore::new();
+        for (d, frac) in ops {
+            let doc = DocId::new(d);
+            if !store.contains(doc) {
+                store.insert(doc, None);
+            }
+            store.set_serve_fraction(doc, frac);
+            let f = store.serve_fraction(doc);
+            prop_assert!((0.0..=1.0).contains(&f), "fraction {f} out of range");
+        }
+        // Every held doc reports a valid fraction; absent docs report 0.
+        prop_assert_eq!(store.serve_fraction(DocId::new(999)), 0.0);
+    }
+
+    /// Flow tables: child totals equal the sum of per-doc rates.
+    #[test]
+    fn flow_table_totals_consistent(
+        events in proptest::collection::vec((0usize..4, 0u64..8, 0.0f64..0.99), 1..200)
+    ) {
+        let mut table = FlowTable::new(1.0, 1.0);
+        for &(child, doc, t) in &events {
+            table.record(NodeId::new(child), DocId::new(doc), t);
+        }
+        table.roll_to(1.0);
+        for child in table.children() {
+            let total = table.child_total(child);
+            let sum: f64 = table
+                .child_doc_rates(child)
+                .iter()
+                .map(|&(_, r)| r)
+                .sum();
+            prop_assert!((total - sum).abs() < 1e-9);
+        }
+    }
+
+    /// Rates measured over one window equal the event count (window = 1s).
+    #[test]
+    fn flow_rates_equal_counts(
+        counts in proptest::collection::vec(0usize..30, 1..5)
+    ) {
+        let mut table = FlowTable::new(1.0, 1.0);
+        for (doc, &count) in counts.iter().enumerate() {
+            for k in 0..count {
+                let t = k as f64 / (count.max(1) as f64 + 1.0);
+                table.record(NodeId::new(0), DocId::new(doc as u64), t);
+            }
+        }
+        table.roll_to(1.0);
+        for (doc, &count) in counts.iter().enumerate() {
+            let rate = table.child_doc_rate(NodeId::new(0), DocId::new(doc as u64));
+            prop_assert!((rate - count as f64).abs() < 1e-9);
+        }
+    }
+}

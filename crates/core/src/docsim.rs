@@ -1,0 +1,620 @@
+//! Document-level WebWave: cache copies, potential barriers, tunneling.
+//!
+//! The rate-level engine ([`crate::wave`]) treats load as a fungible
+//! fluid. Real WebWave load is *per document*: a node can only pick up
+//! load for a document it holds a copy of, and a parent can only delegate
+//! load for documents it serves. That granularity creates the *potential
+//! barrier* of Section 5.2 — a loaded node `j` whose underloaded child `k`
+//! requests only documents `j` does not cache, so diffusion stalls — and
+//! its cure, **tunneling**: after remaining underloaded for more than two
+//! periods with no action from the parent, `k` requests hot documents
+//! directly from across the barrier and caches them.
+//!
+//! This engine reproduces Figure 7 exactly: without tunneling the system
+//! stalls off-TLB; with tunneling every node converges to 90 req/s.
+
+use crate::fold::webfold;
+use std::collections::{HashMap, HashSet};
+use ww_cache::{plan_push, plan_shed};
+use ww_model::{DocId, NodeId, RateVector, Tree};
+use ww_stats::ConvergenceTrace;
+use ww_workload::DocMix;
+
+/// Configuration of a document-level WebWave run.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DocSimConfig {
+    /// Diffusion parameter; `None` selects `1 / (max_degree + 1)`.
+    pub alpha: Option<f64>,
+    /// Enable tunneling across potential barriers (Section 5.2).
+    pub tunneling: bool,
+    /// How many consecutive underloaded-with-no-action periods a node
+    /// tolerates before tunneling. The paper uses "more than two periods".
+    pub barrier_patience: usize,
+}
+
+impl Default for DocSimConfig {
+    fn default() -> Self {
+        DocSimConfig {
+            alpha: None,
+            tunneling: true,
+            barrier_patience: 2,
+        }
+    }
+}
+
+/// Counters describing protocol activity.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct DocSimStats {
+    /// Cache copies pushed from a parent to a child.
+    pub copy_pushes: u64,
+    /// Cache copies deleted after their load was fully shed upward.
+    pub copy_deletions: u64,
+    /// Documents fetched via tunneling.
+    pub tunnel_fetches: u64,
+    /// Rounds in which some node suspected a barrier.
+    pub barrier_suspicions: u64,
+}
+
+/// A document-level WebWave simulation.
+///
+/// # Example
+///
+/// ```
+/// use ww_topology::paper;
+/// use ww_core::docsim::{DocSim, DocSimConfig};
+///
+/// let b = paper::fig7();
+/// let mut sim = DocSim::from_barrier_scenario(&b, DocSimConfig::default());
+/// sim.run(600);
+/// // With tunneling, every node converges to the TLB rate of 90 req/s.
+/// assert!(sim.distance_to_tlb() < 1.0);
+/// ```
+#[derive(Debug, Clone)]
+pub struct DocSim {
+    tree: Tree,
+    docs: Vec<DocId>,
+    /// Spontaneous demand per (node, doc).
+    demand: Vec<HashMap<DocId, f64>>,
+    /// Which documents each node holds a copy of (root holds all).
+    copies: Vec<HashSet<DocId>>,
+    /// Desired serve rate per (node, doc); root has no allocations (it
+    /// absorbs everything that reaches it).
+    alloc: Vec<HashMap<DocId, f64>>,
+    /// Served rates per (node, doc) from the latest flow computation.
+    served: Vec<HashMap<DocId, f64>>,
+    /// Forwarded rate per (node, doc) from the latest flow computation.
+    forwarded: Vec<HashMap<DocId, f64>>,
+    /// Aggregate served rate per node.
+    load: RateVector,
+    alpha: f64,
+    config: DocSimConfig,
+    /// Consecutive underloaded-no-action periods per node.
+    underload_streak: Vec<usize>,
+    oracle: RateVector,
+    trace: ConvergenceTrace,
+    stats: DocSimStats,
+    round: usize,
+}
+
+impl DocSim {
+    /// Builds a simulation from a tree and per-node document demand.
+    ///
+    /// The root (home server) initially holds every document; no other
+    /// copies exist, so the home server starts serving the entire demand.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `mix` does not cover `tree`, or `alpha` is outside
+    /// `(0, 1)`.
+    pub fn new(tree: &Tree, mix: &DocMix, config: DocSimConfig) -> Self {
+        assert_eq!(mix.len(), tree.len(), "doc mix must cover the tree");
+        let n = tree.len();
+        let docs = mix.documents();
+        let mut demand: Vec<HashMap<DocId, f64>> = vec![HashMap::new(); n];
+        for u in tree.nodes() {
+            for &(d, r) in mix.demands_of(u) {
+                if r > 0.0 {
+                    demand[u.index()].insert(d, r);
+                }
+            }
+        }
+        let mut copies: Vec<HashSet<DocId>> = vec![HashSet::new(); n];
+        copies[tree.root().index()] = docs.iter().copied().collect();
+
+        let max_deg = tree
+            .nodes()
+            .map(|u| tree.children(u).len() + usize::from(tree.parent(u).is_some()))
+            .max()
+            .unwrap_or(0)
+            .max(1);
+        let alpha = config.alpha.unwrap_or(1.0 / (max_deg as f64 + 1.0));
+        assert!(alpha > 0.0 && alpha < 1.0, "alpha must lie in (0, 1)");
+
+        let spontaneous = mix.spontaneous();
+        let oracle = webfold(tree, &spontaneous).into_load();
+
+        let mut sim = DocSim {
+            tree: tree.clone(),
+            docs,
+            demand,
+            copies,
+            alloc: vec![HashMap::new(); n],
+            served: vec![HashMap::new(); n],
+            forwarded: vec![HashMap::new(); n],
+            load: RateVector::zeros(n),
+            alpha,
+            config,
+            underload_streak: vec![0; n],
+            oracle,
+            trace: ConvergenceTrace::new(),
+            stats: DocSimStats::default(),
+            round: 0,
+        };
+        sim.recompute_flows();
+        sim.trace.push(sim.distance_to_tlb());
+        sim
+    }
+
+    /// Builds the Figure 7 barrier scenario directly.
+    pub fn from_barrier_scenario(
+        scenario: &ww_topology::paper::BarrierScenario,
+        config: DocSimConfig,
+    ) -> Self {
+        let mut mix = DocMix::new(scenario.tree.len());
+        for d in &scenario.demands {
+            mix.set(d.origin, d.doc, d.rate);
+        }
+        DocSim::new(&scenario.tree, &mix, config)
+    }
+
+    /// Recomputes per-document flows bottom-up from current allocations:
+    /// `served_i(d) = min(alloc_i(d), through_i(d))` for non-root nodes
+    /// holding a copy, and the root serves everything that reaches it.
+    fn recompute_flows(&mut self) {
+        let n = self.tree.len();
+        for i in 0..n {
+            self.served[i].clear();
+            self.forwarded[i].clear();
+        }
+        let mut load = vec![0.0; n];
+        for &doc in &self.docs.clone() {
+            for u in self.tree.bottom_up() {
+                let i = u.index();
+                let mut through = self.demand[i].get(&doc).copied().unwrap_or(0.0);
+                for &c in self.tree.children(u) {
+                    through += self.forwarded[c.index()].get(&doc).copied().unwrap_or(0.0);
+                }
+                if through <= 0.0 {
+                    continue;
+                }
+                let served = if self.tree.parent(u).is_none() {
+                    through
+                } else if self.copies[i].contains(&doc) {
+                    self.alloc[i].get(&doc).copied().unwrap_or(0.0).min(through)
+                } else {
+                    0.0
+                };
+                if served > 0.0 {
+                    self.served[i].insert(doc, served);
+                    load[i] += served;
+                }
+                let fwd = through - served;
+                if fwd > 0.0 {
+                    self.forwarded[i].insert(doc, fwd);
+                }
+            }
+        }
+        self.load = RateVector::from(load);
+    }
+
+    /// Executes one protocol round: diffusion decisions against current
+    /// loads, copy pushes, shedding, barrier detection and (optionally)
+    /// tunneling, then a flow recomputation.
+    pub fn step(&mut self) {
+        self.round += 1;
+        let n = self.tree.len();
+
+        // Decisions are made against the loads at the start of the round
+        // (synchronous gossip), applied to allocations, then flows are
+        // recomputed once.
+        let load = self.load.clone();
+
+        for c_idx in 0..n {
+            let c = NodeId::new(c_idx);
+            let Some(p) = self.tree.parent(c) else { continue };
+            let (lp, lc) = (load[p], load[c]);
+            if lp > lc {
+                // The child is underloaded: it should take over
+                // `alpha * (L_p - L_c)` of the load passing through it.
+                let want = self.alpha * (lp - lc);
+                let taken = self.child_take(c, want);
+                let remaining = want - taken;
+                let pushed = if remaining > 1e-12 {
+                    self.parent_push(p, c, remaining)
+                } else {
+                    0.0
+                };
+                if taken + pushed <= 1e-9 && self.forwarded_total(c) > 1e-9 {
+                    // Underloaded, forwarding real demand, and no load
+                    // moved: the parent may be a potential barrier.
+                    self.underload_streak[c_idx] += 1;
+                    self.stats.barrier_suspicions += 1;
+                    if self.config.tunneling
+                        && self.underload_streak[c_idx] > self.config.barrier_patience
+                    {
+                        self.tunnel(c, want);
+                        self.underload_streak[c_idx] = 0;
+                    }
+                } else {
+                    self.underload_streak[c_idx] = 0;
+                }
+            } else if lc > lp {
+                // The child is overloaded relative to its parent: shed
+                // load upward by reducing its own serve allocations.
+                let shed = self.alpha * (lc - lp);
+                self.child_shed(c, shed);
+                self.underload_streak[c_idx] = 0;
+            } else {
+                self.underload_streak[c_idx] = 0;
+            }
+        }
+
+        self.recompute_flows();
+        self.trace.push(self.distance_to_tlb());
+    }
+
+    /// The child unilaterally raises allocations on documents it already
+    /// holds, bounded by what still flows past it. Returns the rate taken.
+    fn child_take(&mut self, c: NodeId, want: f64) -> f64 {
+        let i = c.index();
+        if want <= 0.0 {
+            return 0.0;
+        }
+        // Candidate docs: held copies with nonzero passing (forwarded) rate.
+        let mut candidates: Vec<(DocId, f64)> = self.forwarded[i]
+            .iter()
+            .filter(|(d, _)| self.copies[i].contains(d))
+            .map(|(&d, &r)| (d, r))
+            .collect();
+        candidates.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("finite").then(a.0.cmp(&b.0)));
+        let mut taken = 0.0;
+        for (d, avail) in candidates {
+            if taken >= want {
+                break;
+            }
+            let grab = avail.min(want - taken);
+            *self.alloc[i].entry(d).or_insert(0.0) += grab;
+            taken += grab;
+        }
+        taken
+    }
+
+    /// The parent delegates up to `target` req/s to child `c` by pushing
+    /// copies of documents it *serves* and the child *forwards*. Returns
+    /// the rate actually delegated.
+    fn parent_push(&mut self, p: NodeId, c: NodeId, target: f64) -> f64 {
+        let (pi, ci) = (p.index(), c.index());
+        // Pushable: docs the parent serves that the child forwards.
+        let caps: Vec<(DocId, f64)> = self.served[pi]
+            .iter()
+            .filter_map(|(&d, &sp)| {
+                let fc = self.forwarded[ci].get(&d).copied().unwrap_or(0.0);
+                let cap = sp.min(fc);
+                (cap > 0.0).then_some((d, cap))
+            })
+            .collect();
+        let plan = plan_push(&caps, target);
+        let mut pushed = 0.0;
+        let parent_is_root = self.tree.parent(p).is_none();
+        for slice in plan {
+            if self.copies[ci].insert(slice.doc) {
+                self.stats.copy_pushes += 1;
+            }
+            *self.alloc[ci].entry(slice.doc).or_insert(0.0) += slice.rate;
+            if !parent_is_root {
+                // The root's service is implicit (it absorbs the stream);
+                // other parents explicitly give up allocation.
+                let a = self.alloc[pi].entry(slice.doc).or_insert(0.0);
+                *a = (*a - slice.rate).max(0.0);
+            }
+            pushed += slice.rate;
+        }
+        pushed
+    }
+
+    /// The child reduces its serve allocations by `target` req/s, coldest
+    /// documents first; the load climbs back toward the root. A copy whose
+    /// allocation is shed entirely is *deleted* ("an imbalance in the
+    /// opposite direction causes a child to delete some of its cached
+    /// documents", Section 1) — unless this node is the document's origin
+    /// of demand, where keeping the copy costs nothing and re-fetching
+    /// would be immediate.
+    fn child_shed(&mut self, c: NodeId, target: f64) {
+        let i = c.index();
+        let served: Vec<(DocId, f64)> = self.served[i].iter().map(|(&d, &r)| (d, r)).collect();
+        for slice in plan_shed(&served, target) {
+            let a = self.alloc[i].entry(slice.doc).or_insert(0.0);
+            *a = (*a - slice.rate).max(0.0);
+            if slice.full && *a <= 1e-12 {
+                self.alloc[i].remove(&slice.doc);
+                self.copies[i].remove(&slice.doc);
+                self.stats.copy_deletions += 1;
+            }
+        }
+    }
+
+    /// Tunneling (Section 5.2): the stuck node requests the hottest
+    /// document it forwards but does not hold, caches it, and starts
+    /// serving it.
+    fn tunnel(&mut self, c: NodeId, want: f64) {
+        let i = c.index();
+        let mut candidates: Vec<(DocId, f64)> = self.forwarded[i]
+            .iter()
+            .filter(|(d, _)| !self.copies[i].contains(d))
+            .map(|(&d, &r)| (d, r))
+            .collect();
+        candidates.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("finite").then(a.0.cmp(&b.0)));
+        if let Some(&(doc, avail)) = candidates.first() {
+            self.copies[i].insert(doc);
+            *self.alloc[i].entry(doc).or_insert(0.0) += avail.min(want);
+            self.stats.tunnel_fetches += 1;
+        }
+    }
+
+    fn forwarded_total(&self, c: NodeId) -> f64 {
+        self.forwarded[c.index()].values().sum()
+    }
+
+    /// Runs `rounds` protocol rounds.
+    pub fn run(&mut self, rounds: usize) {
+        for _ in 0..rounds {
+            self.step();
+        }
+    }
+
+    /// Current aggregate served-rate vector.
+    pub fn load(&self) -> &RateVector {
+        &self.load
+    }
+
+    /// The TLB oracle for the aggregate demand.
+    pub fn oracle(&self) -> &RateVector {
+        &self.oracle
+    }
+
+    /// Euclidean distance from current loads to the TLB oracle.
+    pub fn distance_to_tlb(&self) -> f64 {
+        self.load.euclidean_distance(&self.oracle)
+    }
+
+    /// Per-round distance trace.
+    pub fn trace(&self) -> &ConvergenceTrace {
+        &self.trace
+    }
+
+    /// Protocol activity counters.
+    pub fn stats(&self) -> DocSimStats {
+        self.stats
+    }
+
+    /// Documents node `u` currently holds copies of, sorted.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `u` is out of range.
+    pub fn copies_at(&self, u: NodeId) -> Vec<DocId> {
+        let mut v: Vec<DocId> = self.copies[u.index()].iter().copied().collect();
+        v.sort_unstable();
+        v
+    }
+
+    /// Served rate of document `d` at node `u` in the latest round.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `u` is out of range.
+    pub fn served_rate(&self, u: NodeId, d: DocId) -> f64 {
+        self.served[u.index()].get(&d).copied().unwrap_or(0.0)
+    }
+
+    /// Rounds executed so far.
+    pub fn round(&self) -> usize {
+        self.round
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ww_topology::paper;
+
+    fn fig7_sim(tunneling: bool) -> DocSim {
+        let b = paper::fig7();
+        DocSim::from_barrier_scenario(
+            &b,
+            DocSimConfig {
+                alpha: None,
+                tunneling,
+                barrier_patience: 2,
+            },
+        )
+    }
+
+    #[test]
+    fn cold_start_serves_everything_at_root() {
+        let sim = fig7_sim(true);
+        assert_eq!(sim.load().as_slice(), &[360.0, 0.0, 0.0, 0.0]);
+    }
+
+    #[test]
+    fn without_tunneling_the_barrier_stalls_the_system() {
+        let mut sim = fig7_sim(false);
+        sim.run(800);
+        // Node 2 never obtains d3 and serves nothing.
+        assert_eq!(sim.load()[NodeId::new(2)], 0.0);
+        assert!(sim.copies_at(NodeId::new(2)).is_empty());
+        // The others equalize near 120 (360 split three ways).
+        for node in [0usize, 1, 3] {
+            let l = sim.load()[NodeId::new(node)];
+            assert!((l - 120.0).abs() < 1.0, "node {node} at {l}");
+        }
+        // Well away from TLB.
+        assert!(sim.distance_to_tlb() > 100.0);
+        assert!(sim.stats().barrier_suspicions > 0);
+        assert_eq!(sim.stats().tunnel_fetches, 0);
+    }
+
+    #[test]
+    fn with_tunneling_fig7_converges_to_uniform_90() {
+        let mut sim = fig7_sim(true);
+        sim.run(1500);
+        for u in 0..4 {
+            let l = sim.load()[NodeId::new(u)];
+            assert!((l - 90.0).abs() < 1.0, "node {u} at {l}");
+        }
+        assert!(sim.stats().tunnel_fetches >= 1);
+        // Node 2 obtained d3 via tunneling.
+        assert!(sim.copies_at(NodeId::new(2)).contains(&DocId::new(3)));
+    }
+
+    #[test]
+    fn tunneling_happens_after_patience_periods() {
+        let mut sim = fig7_sim(true);
+        // Before patience runs out there are no fetches.
+        sim.run(2);
+        assert_eq!(sim.stats().tunnel_fetches, 0);
+        sim.run(30);
+        assert!(sim.stats().tunnel_fetches >= 1);
+    }
+
+    #[test]
+    fn copy_pushes_populate_caches_down_the_demand_path() {
+        let mut sim = fig7_sim(true);
+        sim.run(300);
+        // Node 3 (origin of d1/d2 demand) must hold at least one of them.
+        let held = sim.copies_at(NodeId::new(3));
+        assert!(
+            held.contains(&DocId::new(1)) || held.contains(&DocId::new(2)),
+            "node 3 holds {held:?}"
+        );
+        assert!(sim.stats().copy_pushes > 0);
+    }
+
+    #[test]
+    fn total_served_equals_demand_every_round() {
+        let mut sim = fig7_sim(true);
+        for _ in 0..100 {
+            sim.step();
+            assert!(
+                (sim.load().total() - 360.0).abs() < 1e-6,
+                "round {}: total {}",
+                sim.round(),
+                sim.load().total()
+            );
+        }
+    }
+
+    #[test]
+    fn served_rates_respect_document_flows() {
+        // A node can never serve a document its subtree does not request.
+        let mut sim = fig7_sim(true);
+        sim.run(500);
+        // Node 2 requests only d3: it must not serve d1 or d2.
+        assert_eq!(sim.served_rate(NodeId::new(2), DocId::new(1)), 0.0);
+        assert_eq!(sim.served_rate(NodeId::new(2), DocId::new(2)), 0.0);
+        // Node 3 requests d1/d2 but never d3.
+        assert_eq!(sim.served_rate(NodeId::new(3), DocId::new(3)), 0.0);
+    }
+
+    #[test]
+    fn gle_feasible_mix_converges_without_tunneling() {
+        // A barrier-free workload: one document requested at every leaf of
+        // a small tree. No tunneling needed to reach TLB.
+        let tree = Tree::from_parents(&[None, Some(0), Some(0)]).unwrap();
+        let mut mix = DocMix::new(3);
+        mix.set(NodeId::new(1), DocId::new(1), 30.0);
+        mix.set(NodeId::new(2), DocId::new(1), 30.0);
+        let mut sim = DocSim::new(
+            &tree,
+            &mix,
+            DocSimConfig {
+                alpha: None,
+                tunneling: false,
+                barrier_patience: 2,
+            },
+        );
+        sim.run(1200);
+        assert!(
+            sim.distance_to_tlb() < 0.5,
+            "distance {}",
+            sim.distance_to_tlb()
+        );
+        assert_eq!(sim.stats().tunnel_fetches, 0);
+    }
+
+    #[test]
+    fn trace_starts_at_cold_distance() {
+        let sim = fig7_sim(true);
+        // Cold start: root serves 360, TLB is uniform 90.
+        // distance = sqrt(270^2 + 3 * 90^2).
+        let expected = (270.0f64 * 270.0 + 3.0 * 90.0 * 90.0).sqrt();
+        assert!((sim.trace().initial().unwrap() - expected).abs() < 1e-9);
+    }
+}
+
+#[cfg(test)]
+mod deletion_tests {
+    use super::*;
+    use ww_model::Tree;
+    use ww_workload::DocMix;
+
+    /// With an aggressive alpha (> 0.5) the serving rate overshoots the
+    /// balance point, the child sheds back, and fully shed copies are
+    /// deleted (Section 1's "delete some of its cached documents").
+    #[test]
+    fn fully_shed_copies_are_deleted() {
+        let tree = Tree::from_parents(&[None, Some(0), Some(1)]).unwrap();
+        let mut mix = DocMix::new(3);
+        mix.set(NodeId::new(1), DocId::new(2), 90.0);
+        mix.set(NodeId::new(2), DocId::new(1), 30.0);
+        let mut sim = DocSim::new(
+            &tree,
+            &mix,
+            DocSimConfig {
+                alpha: Some(0.8),
+                tunneling: true,
+                barrier_patience: 2,
+            },
+        );
+        sim.run(2000);
+        // Convergence still reached...
+        assert!(
+            sim.distance_to_tlb() < 2.0,
+            "distance {}",
+            sim.distance_to_tlb()
+        );
+        // ...and the overshoot dynamics exercised at least one deletion.
+        assert!(
+            sim.stats().copy_deletions >= 1,
+            "expected deletions, stats: {:?}",
+            sim.stats()
+        );
+    }
+
+    /// Deletions never remove a copy that still carries allocation.
+    #[test]
+    fn deletion_only_after_full_shed() {
+        let b = ww_topology::paper::fig7();
+        let mut sim = DocSim::from_barrier_scenario(&b, DocSimConfig::default());
+        sim.run(1500);
+        // Every held copy with positive allocation must still be present:
+        // spot-check that serving nodes hold what they serve.
+        for u in sim.load().iter().map(|(u, _)| u) {
+            for d in [DocId::new(1), DocId::new(2), DocId::new(3)] {
+                if sim.served_rate(u, d) > 0.0 && u != b.tree.root() {
+                    assert!(sim.copies_at(u).contains(&d), "{u} serves {d} without copy");
+                }
+            }
+        }
+    }
+}

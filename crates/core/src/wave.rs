@@ -1,0 +1,446 @@
+//! WebWave — the fully distributed diffusion protocol (paper, Figure 5),
+//! at the rate level.
+//!
+//! This engine is the paper's own evaluation vehicle (Section 5.1): load is
+//! a divisible rate, rounds are synchronous, and gossip is instantaneous by
+//! default ("communication delay is negligible ... `L_ik = L_k`"); an
+//! optional staleness parameter relaxes that assumption for the
+//! asynchronous-gossip ablation. Every round each node `i`:
+//!
+//! * shifts load **to a child `j`** bounded by what that child forwards:
+//!   `min{ A_j, alpha * (L_i - L_ij) }` — the no-sibling-sharing bound,
+//! * shifts load **to its parent** freely (requests already flow up),
+//! * and gossips its new load to its tree neighbors.
+//!
+//! The root serves everything that still reaches it (Constraint 1). The
+//! per-round Euclidean distance to the WebFold (TLB) oracle is recorded,
+//! reproducing Figure 6(b) and the `gamma` regression.
+
+use crate::fold::webfold;
+use std::collections::VecDeque;
+use ww_model::{NodeId, RateVector, Tree};
+use ww_stats::ConvergenceTrace;
+
+/// Configuration of a rate-level WebWave run.
+#[derive(Debug, Clone, Copy, PartialEq)]
+#[derive(Default)]
+pub struct WaveConfig {
+    /// Diffusion parameter; `None` selects the safe default
+    /// `1 / (max_tree_degree + 1)` (paper Figure 5, step 1:
+    /// "other values of `alpha_i` are possible").
+    pub alpha: Option<f64>,
+    /// Gossip staleness in rounds: each node sees neighbor loads as of
+    /// `staleness` rounds ago. `0` is the paper's instantaneous-exchange
+    /// assumption.
+    pub staleness: usize,
+}
+
+
+/// A rate-level WebWave simulation.
+///
+/// # Example
+///
+/// ```
+/// use ww_topology::paper;
+/// use ww_core::wave::{RateWave, WaveConfig};
+///
+/// let s = paper::fig6();
+/// let mut wave = RateWave::new(&s.tree, &s.spontaneous, WaveConfig::default());
+/// wave.run(500);
+/// // Converged to the TLB assignment computed by WebFold.
+/// assert!(wave.distance_to_tlb() < 1e-6);
+/// ```
+#[derive(Debug, Clone)]
+pub struct RateWave {
+    tree: Tree,
+    spontaneous: RateVector,
+    load: RateVector,
+    forwarded: RateVector,
+    alpha: f64,
+    staleness: usize,
+    /// Load vectors of past rounds, oldest first; used for stale gossip.
+    history: VecDeque<RateVector>,
+    oracle: RateVector,
+    trace: ConvergenceTrace,
+    round: usize,
+}
+
+impl RateWave {
+    /// Starts a run from the *cold* state: no cache copies exist, so the
+    /// home server serves the entire demand.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `spontaneous` does not validate against `tree`, or if a
+    /// provided `alpha` is outside `(0, 1)`.
+    pub fn new(tree: &Tree, spontaneous: &RateVector, config: WaveConfig) -> Self {
+        let mut initial = RateVector::zeros(tree.len());
+        initial[tree.root()] = spontaneous.total();
+        Self::with_initial(tree, spontaneous, initial, config)
+    }
+
+    /// Starts a run from an explicit initial served-rate vector, which
+    /// must be feasible (NSS + root constraint).
+    ///
+    /// # Panics
+    ///
+    /// Panics if vectors do not validate against `tree`, if the initial
+    /// assignment is infeasible, or if `alpha` is outside `(0, 1)`.
+    pub fn with_initial(
+        tree: &Tree,
+        spontaneous: &RateVector,
+        initial: RateVector,
+        config: WaveConfig,
+    ) -> Self {
+        spontaneous
+            .validate_for(tree)
+            .expect("spontaneous rates must match the tree");
+        let assignment =
+            ww_model::LoadAssignment::new(tree, spontaneous, initial.clone())
+                .expect("initial load must match the tree");
+        assert!(
+            assignment.check_feasible(1e-6).is_ok(),
+            "initial load assignment must be feasible"
+        );
+        let max_deg = tree
+            .nodes()
+            .map(|u| tree.children(u).len() + usize::from(tree.parent(u).is_some()))
+            .max()
+            .unwrap_or(0)
+            .max(1); // a single-node tree has no edges; any alpha works
+        let alpha = config.alpha.unwrap_or(1.0 / (max_deg as f64 + 1.0));
+        assert!(alpha > 0.0 && alpha < 1.0, "alpha must lie in (0, 1)");
+        let oracle = webfold(tree, spontaneous).into_load();
+        let forwarded = assignment.forwarded().clone();
+        let mut trace = ConvergenceTrace::new();
+        trace.push(initial.euclidean_distance(&oracle));
+        RateWave {
+            tree: tree.clone(),
+            spontaneous: spontaneous.clone(),
+            load: initial,
+            forwarded,
+            alpha,
+            staleness: config.staleness,
+            history: VecDeque::new(),
+            oracle,
+            trace,
+            round: 0,
+        }
+    }
+
+    /// The estimate a node has of loads this round: the load vector from
+    /// `staleness` rounds ago (or the oldest available early on).
+    fn estimates(&self) -> &RateVector {
+        if self.staleness == 0 || self.history.is_empty() {
+            &self.load
+        } else {
+            // history holds up to `staleness` past vectors, oldest first.
+            &self.history[0]
+        }
+    }
+
+    /// Executes one synchronous WebWave round (Figure 5, steps 2.1-2.4).
+    pub fn step(&mut self) {
+        self.round += 1;
+        let n = self.tree.len();
+        let est = self.estimates().clone();
+        let mut next = self.load.clone();
+
+        // Per-edge net transfers, computed once per (parent, child) pair.
+        for c_idx in 0..n {
+            let c = NodeId::new(c_idx);
+            let Some(p) = self.tree.parent(c) else { continue };
+            // Parent pushes down, bounded by the child's forwarded rate
+            // (NSS: a child can only absorb load its own subtree emits).
+            let down = if self.load[p] > est[c] {
+                (self.alpha * (self.load[p] - est[c])).min(self.forwarded[c])
+            } else {
+                0.0
+            };
+            // Child pushes up freely (requests already travel upward),
+            // bounded by its own current load.
+            let up = if self.load[c] > est[p] {
+                (self.alpha * (self.load[c] - est[p])).min(self.load[c])
+            } else {
+                0.0
+            };
+            let net = down - up;
+            next[p] -= net;
+            next[c] += net;
+        }
+
+        // Repair pass: re-impose flow feasibility bottom-up. A node may
+        // not serve more than flows through it; surplus climbs toward the
+        // root, which absorbs everything that remains (Constraint 1).
+        let mut forwarded = RateVector::zeros(n);
+        for u in self.tree.bottom_up() {
+            let mut through = self.spontaneous[u];
+            for &ch in self.tree.children(u) {
+                through += forwarded[ch];
+            }
+            if self.tree.parent(u).is_none() {
+                next[u] = through;
+                forwarded[u] = 0.0;
+            } else {
+                // Clamp to [0, through]: a node cannot serve a negative
+                // rate nor more than flows through it. Whatever it cannot
+                // serve stays in the stream and is absorbed upstream
+                // (ultimately by the root), so totals are conserved.
+                next[u] = next[u].clamp(0.0, through);
+                forwarded[u] = through - next[u];
+            }
+        }
+
+        // Gossip (step 2.4): append the *previous* load to the history so
+        // estimates lag by `staleness` rounds.
+        if self.staleness > 0 {
+            self.history.push_back(self.load.clone());
+            while self.history.len() > self.staleness {
+                self.history.pop_front();
+            }
+        }
+
+        self.load = next;
+        self.forwarded = forwarded;
+        self.trace.push(self.load.euclidean_distance(&self.oracle));
+    }
+
+    /// Runs `rounds` rounds.
+    pub fn run(&mut self, rounds: usize) {
+        for _ in 0..rounds {
+            self.step();
+        }
+    }
+
+    /// Runs until the distance to TLB drops to `threshold` or the round
+    /// cap is reached; returns the rounds taken by this call.
+    pub fn run_until(&mut self, threshold: f64, max_rounds: usize) -> usize {
+        let mut taken = 0;
+        while self.distance_to_tlb() > threshold && taken < max_rounds {
+            self.step();
+            taken += 1;
+        }
+        taken
+    }
+
+    /// Current served-rate vector `L`.
+    pub fn load(&self) -> &RateVector {
+        &self.load
+    }
+
+    /// Current forwarded-rate vector `A`.
+    pub fn forwarded(&self) -> &RateVector {
+        &self.forwarded
+    }
+
+    /// The TLB oracle (WebFold output) this run converges toward.
+    pub fn oracle(&self) -> &RateVector {
+        &self.oracle
+    }
+
+    /// Euclidean distance from the current loads to the TLB oracle — the
+    /// paper's convergence metric.
+    pub fn distance_to_tlb(&self) -> f64 {
+        self.load.euclidean_distance(&self.oracle)
+    }
+
+    /// The per-round distance trace (index = round).
+    pub fn trace(&self) -> &ConvergenceTrace {
+        &self.trace
+    }
+
+    /// Rounds executed so far.
+    pub fn round(&self) -> usize {
+        self.round
+    }
+
+    /// The effective diffusion parameter in use.
+    pub fn alpha(&self) -> f64 {
+        self.alpha
+    }
+
+    /// Changes the spontaneous demand mid-run — the "erratic request
+    /// rates" regime of the paper's future work (Section 5.1/7).
+    ///
+    /// The TLB oracle is recomputed for the new demand, and the current
+    /// load vector is re-projected onto the new feasible region (clamped
+    /// to the new through rates; the root absorbs the residual), exactly
+    /// as the running protocol would experience a demand shift.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `spontaneous` does not validate against the tree.
+    pub fn set_spontaneous(&mut self, spontaneous: &RateVector) {
+        spontaneous
+            .validate_for(&self.tree)
+            .expect("spontaneous rates must match the tree");
+        self.spontaneous = spontaneous.clone();
+        self.oracle = webfold(&self.tree, spontaneous).into_load();
+        // Re-impose feasibility under the new flows.
+        let n = self.tree.len();
+        let mut forwarded = RateVector::zeros(n);
+        let mut next = self.load.clone();
+        for u in self.tree.bottom_up() {
+            let mut through = self.spontaneous[u];
+            for &ch in self.tree.children(u) {
+                through += forwarded[ch];
+            }
+            if self.tree.parent(u).is_none() {
+                next[u] = through;
+                forwarded[u] = 0.0;
+            } else {
+                next[u] = next[u].clamp(0.0, through);
+                forwarded[u] = through - next[u];
+            }
+        }
+        self.load = next;
+        self.forwarded = forwarded;
+        // Old gossip describes the old regime; drop it.
+        self.history.clear();
+        self.trace.push(self.load.euclidean_distance(&self.oracle));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ww_model::LoadAssignment;
+    use ww_topology::paper;
+
+    fn converge(scenario: &ww_topology::paper::Scenario, rounds: usize) -> RateWave {
+        let mut w = RateWave::new(&scenario.tree, &scenario.spontaneous, WaveConfig::default());
+        w.run(rounds);
+        w
+    }
+
+    #[test]
+    fn fig2a_converges_to_gle() {
+        let s = paper::fig2a();
+        let w = converge(&s, 2000);
+        assert!(w.distance_to_tlb() < 1e-6, "distance {}", w.distance_to_tlb());
+        for &l in w.load().as_slice() {
+            assert!((l - 20.0).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn fig2b_converges_to_non_gle_tlb() {
+        let s = paper::fig2b();
+        let w = converge(&s, 3000);
+        assert!(w.distance_to_tlb() < 1e-6, "distance {}", w.distance_to_tlb());
+        for (got, want) in w.load().as_slice().iter().zip(paper::fig2b_tlb().as_slice()) {
+            assert!((got - want).abs() < 1e-5, "{got} vs {want}");
+        }
+    }
+
+    #[test]
+    fn fig4_and_fig6_converge() {
+        for s in [paper::fig4(), paper::fig6()] {
+            let w = converge(&s, 5000);
+            assert!(
+                w.distance_to_tlb() < 1e-6,
+                "{}: distance {}",
+                s.name,
+                w.distance_to_tlb()
+            );
+        }
+    }
+
+    #[test]
+    fn every_round_is_feasible() {
+        let s = paper::fig6();
+        let mut w = RateWave::new(&s.tree, &s.spontaneous, WaveConfig::default());
+        for _ in 0..200 {
+            w.step();
+            let a = LoadAssignment::new(&s.tree, &s.spontaneous, w.load().clone()).unwrap();
+            assert!(a.check_feasible(1e-6).is_ok(), "round {} infeasible", w.round());
+        }
+    }
+
+    #[test]
+    fn total_served_equals_demand_every_round() {
+        let s = paper::fig4();
+        let mut w = RateWave::new(&s.tree, &s.spontaneous, WaveConfig::default());
+        for _ in 0..100 {
+            w.step();
+            assert!((w.load().total() - s.total_demand()).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn distance_trace_decays_roughly_geometrically() {
+        let s = paper::fig6();
+        let w = converge(&s, 400);
+        let fit = w.trace().fit_gamma(1e-9).unwrap();
+        assert!(fit.gamma > 0.0 && fit.gamma < 1.0, "gamma {}", fit.gamma);
+    }
+
+    #[test]
+    fn stale_gossip_still_converges() {
+        let s = paper::fig6();
+        let cfg = WaveConfig {
+            alpha: None,
+            staleness: 3,
+        };
+        let mut w = RateWave::new(&s.tree, &s.spontaneous, cfg);
+        w.run(8000);
+        assert!(w.distance_to_tlb() < 1e-4, "distance {}", w.distance_to_tlb());
+    }
+
+    #[test]
+    fn staleness_slows_convergence() {
+        let s = paper::fig6();
+        let rounds_to = |staleness: usize| {
+            let cfg = WaveConfig { alpha: None, staleness };
+            let mut w = RateWave::new(&s.tree, &s.spontaneous, cfg);
+            w.run_until(0.5, 20_000)
+        };
+        assert!(rounds_to(5) > rounds_to(0));
+    }
+
+    #[test]
+    fn custom_alpha_and_accessors() {
+        let s = paper::fig2a();
+        let cfg = WaveConfig {
+            alpha: Some(0.1),
+            staleness: 0,
+        };
+        let w = RateWave::new(&s.tree, &s.spontaneous, cfg);
+        assert_eq!(w.alpha(), 0.1);
+        assert_eq!(w.round(), 0);
+        assert_eq!(w.trace().len(), 1); // initial distance recorded
+    }
+
+    #[test]
+    fn warm_start_from_feasible_assignment() {
+        let s = paper::fig2b();
+        let w = RateWave::with_initial(
+            &s.tree,
+            &s.spontaneous,
+            paper::fig2b_tlb(),
+            WaveConfig::default(),
+        );
+        // Starting at TLB: already converged, and stays there.
+        let mut w = w;
+        w.run(50);
+        assert!(w.distance_to_tlb() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "must be feasible")]
+    fn infeasible_warm_start_rejected() {
+        let s = paper::fig2b();
+        let gle = RateVector::uniform(5, 20.0); // violates NSS for fig2b
+        let _ = RateWave::with_initial(&s.tree, &s.spontaneous, gle, WaveConfig::default());
+    }
+
+    #[test]
+    fn root_only_tree_is_trivially_converged() {
+        let tree = Tree::from_parents(&[None]).unwrap();
+        let e = RateVector::from(vec![5.0]);
+        let mut w = RateWave::new(&tree, &e, WaveConfig::default());
+        w.run(10);
+        assert_eq!(w.load().as_slice(), &[5.0]);
+        assert!(w.distance_to_tlb() < 1e-12);
+    }
+}

@@ -1,0 +1,330 @@
+//! Asynchronous diffusion with bounded delays (Bertsekas & Tsitsiklis).
+//!
+//! Section 2: "Asynchronous diffusion also converges, as shown in
+//! Bertsekas and Tsitsiklis, when communication delay is bounded." Here
+//! load estimates gossip with a bounded random delay, load transfers travel
+//! for a bounded random time, and nodes act on stale information. The run
+//! still converges to the uniform distribution, just slower — the regime
+//! real WebWave deployments live in.
+
+use rand::Rng;
+use std::collections::VecDeque;
+use ww_model::{NodeId, RateVector};
+use ww_topology::Graph;
+
+/// Configuration of the asynchronous run.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AsyncConfig {
+    /// Diffusion parameter applied to estimated surpluses.
+    pub alpha: f64,
+    /// Maximum gossip staleness, in rounds (0 = instantaneous estimates).
+    pub max_gossip_delay: usize,
+    /// Maximum load-transfer latency, in rounds (0 = instantaneous).
+    pub max_transfer_delay: usize,
+    /// Probability that a node is active (performs its update) in a round.
+    pub activation_probability: f64,
+}
+
+impl Default for AsyncConfig {
+    fn default() -> Self {
+        AsyncConfig {
+            alpha: 0.2,
+            max_gossip_delay: 2,
+            max_transfer_delay: 2,
+            activation_probability: 1.0,
+        }
+    }
+}
+
+/// An asynchronous diffusion run over an undirected graph.
+///
+/// Every round, each active node compares its load against its (possibly
+/// stale) estimates of its neighbors and ships `alpha * surplus` toward any
+/// neighbor it believes is less loaded. Transfers and gossip messages
+/// arrive after bounded random delays. Total mass (on nodes + in flight)
+/// is conserved exactly.
+#[derive(Debug, Clone)]
+pub struct AsyncDiffusion {
+    graph: Graph,
+    config: AsyncConfig,
+    load: Vec<f64>,
+    /// `estimates[i]` holds (neighbor, estimated load) pairs.
+    estimates: Vec<Vec<(NodeId, f64)>>,
+    /// In-flight load transfers: (arrival_round, destination, amount).
+    transfers: VecDeque<(usize, NodeId, f64)>,
+    /// In-flight gossip: (arrival_round, owner, about, value).
+    gossip: VecDeque<(usize, NodeId, NodeId, f64)>,
+    round: usize,
+    distances: Vec<f64>,
+}
+
+impl AsyncDiffusion {
+    /// Starts a run from `initial` loads.
+    ///
+    /// Estimates are seeded with the true initial loads (first gossip is
+    /// assumed to have happened at time zero).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `initial` does not match the graph, `alpha` is not in
+    /// `(0, 1)`, or the activation probability is not in `(0, 1]`.
+    pub fn new(graph: Graph, config: AsyncConfig, initial: RateVector) -> Self {
+        assert_eq!(initial.len(), graph.len(), "initial load length mismatch");
+        assert!(config.alpha > 0.0 && config.alpha < 1.0, "alpha in (0,1)");
+        assert!(
+            config.activation_probability > 0.0 && config.activation_probability <= 1.0,
+            "activation probability in (0, 1]"
+        );
+        let estimates = graph
+            .nodes()
+            .map(|u| {
+                graph
+                    .neighbors(u)
+                    .iter()
+                    .map(|&v| (v, initial[v]))
+                    .collect()
+            })
+            .collect();
+        let d0 = initial.distance_to_uniform();
+        AsyncDiffusion {
+            graph,
+            config,
+            load: initial.into_inner(),
+            estimates,
+            transfers: VecDeque::new(),
+            gossip: VecDeque::new(),
+            round: 0,
+            distances: vec![d0],
+        }
+    }
+
+    /// Executes one asynchronous round.
+    pub fn step<R: Rng + ?Sized>(&mut self, rng: &mut R) {
+        self.round += 1;
+        let round = self.round;
+
+        // Deliver due transfers.
+        while let Some(&(t, dst, amount)) = self.transfers.front() {
+            if t > round {
+                break;
+            }
+            self.load[dst.index()] += amount;
+            self.transfers.pop_front();
+        }
+        // Deliver due gossip.
+        while let Some(&(t, owner, about, value)) = self.gossip.front() {
+            if t > round {
+                break;
+            }
+            if let Some(e) = self.estimates[owner.index()]
+                .iter_mut()
+                .find(|(n, _)| *n == about)
+            {
+                e.1 = value;
+            }
+            self.gossip.pop_front();
+        }
+
+        // Active nodes push load toward believed-poorer neighbors.
+        let n = self.graph.len();
+        for i in 0..n {
+            if self.config.activation_probability < 1.0
+                && rng.gen::<f64>() >= self.config.activation_probability
+            {
+                continue;
+            }
+            let mut outgoing = 0.0;
+            let mut sends: Vec<(NodeId, f64)> = Vec::new();
+            for &(j, est) in &self.estimates[i] {
+                let surplus = self.load[i] - est;
+                if surplus > 0.0 {
+                    let amount = self.config.alpha * surplus;
+                    sends.push((j, amount));
+                    outgoing += amount;
+                }
+            }
+            // Never send more than we hold (stale estimates could oversubscribe).
+            let scale = if outgoing > self.load[i] && outgoing > 0.0 {
+                self.load[i] / outgoing
+            } else {
+                1.0
+            };
+            for (j, amount) in sends {
+                let amount = amount * scale;
+                if amount <= 0.0 {
+                    continue;
+                }
+                self.load[i] -= amount;
+                let delay = if self.config.max_transfer_delay == 0 {
+                    0
+                } else {
+                    rng.gen_range(0..=self.config.max_transfer_delay)
+                };
+                self.transfers.push_back((round + delay, j, amount));
+            }
+        }
+        self.transfers.make_contiguous().sort_by_key(|&(t, _, _)| t);
+
+        // Gossip current loads to neighbors with bounded delay.
+        for i in 0..n {
+            let li = self.load[i];
+            for &j in self.graph.neighbors(NodeId::new(i)) {
+                let delay = if self.config.max_gossip_delay == 0 {
+                    0
+                } else {
+                    rng.gen_range(0..=self.config.max_gossip_delay)
+                };
+                self.gossip.push_back((round + delay, j, NodeId::new(i), li));
+            }
+        }
+        self.gossip.make_contiguous().sort_by_key(|&(t, _, _, _)| t);
+
+        self.distances.push(self.current_load().distance_to_uniform());
+    }
+
+    /// Runs `rounds` rounds; returns the distance trace (index = round).
+    pub fn run<R: Rng + ?Sized>(&mut self, rng: &mut R, rounds: usize) -> &[f64] {
+        for _ in 0..rounds {
+            self.step(rng);
+        }
+        &self.distances
+    }
+
+    /// Current on-node load vector (excludes in-flight transfers).
+    pub fn current_load(&self) -> RateVector {
+        RateVector::from(self.load.clone())
+    }
+
+    /// Total mass, on nodes plus in flight. Conserved exactly.
+    pub fn total_mass(&self) -> f64 {
+        self.load.iter().sum::<f64>()
+            + self.transfers.iter().map(|&(_, _, a)| a).sum::<f64>()
+    }
+
+    /// Distance-to-uniform series (index = round).
+    pub fn distances(&self) -> &[f64] {
+        &self.distances
+    }
+
+    /// The round counter.
+    pub fn round(&self) -> usize {
+        self.round
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use ww_topology::{hypercube, ring};
+
+    fn point_mass(n: usize) -> RateVector {
+        let mut x = RateVector::zeros(n);
+        x[NodeId::new(0)] = n as f64;
+        x
+    }
+
+    #[test]
+    fn converges_with_delays() {
+        let g = ring(8);
+        let cfg = AsyncConfig {
+            alpha: 0.3,
+            max_gossip_delay: 3,
+            max_transfer_delay: 3,
+            activation_probability: 1.0,
+        };
+        let mut run = AsyncDiffusion::new(g, cfg, point_mass(8));
+        let mut rng = StdRng::seed_from_u64(1);
+        run.run(&mut rng, 3000);
+        assert!(
+            run.current_load().distance_to_uniform() < 1e-3,
+            "distance {}",
+            run.current_load().distance_to_uniform()
+        );
+    }
+
+    #[test]
+    fn mass_conserved_with_in_flight_transfers() {
+        let g = hypercube(3);
+        let cfg = AsyncConfig::default();
+        let mut run = AsyncDiffusion::new(g, cfg, point_mass(8));
+        let mut rng = StdRng::seed_from_u64(2);
+        for _ in 0..200 {
+            run.step(&mut rng);
+            assert!((run.total_mass() - 8.0).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn never_sends_more_than_held() {
+        let g = ring(6);
+        let cfg = AsyncConfig {
+            alpha: 0.45,
+            ..AsyncConfig::default()
+        };
+        let mut run = AsyncDiffusion::new(g, cfg, point_mass(6));
+        let mut rng = StdRng::seed_from_u64(3);
+        for _ in 0..500 {
+            run.step(&mut rng);
+            assert!(run.load.iter().all(|&l| l >= -1e-12), "negative load");
+        }
+    }
+
+    #[test]
+    fn partial_activation_still_converges() {
+        let g = ring(6);
+        let cfg = AsyncConfig {
+            alpha: 0.3,
+            max_gossip_delay: 2,
+            max_transfer_delay: 2,
+            activation_probability: 0.5,
+        };
+        let mut run = AsyncDiffusion::new(g, cfg, point_mass(6));
+        let mut rng = StdRng::seed_from_u64(4);
+        run.run(&mut rng, 5000);
+        assert!(run.current_load().distance_to_uniform() < 1e-2);
+    }
+
+    #[test]
+    fn instantaneous_limit_matches_synchronous_flavor() {
+        // With zero delays and full activation, decay should be clean and
+        // fast, comparable to the synchronous engine's.
+        let g = hypercube(3);
+        let cfg = AsyncConfig {
+            alpha: 0.25,
+            max_gossip_delay: 0,
+            max_transfer_delay: 0,
+            activation_probability: 1.0,
+        };
+        let mut run = AsyncDiffusion::new(g, cfg, point_mass(8));
+        let mut rng = StdRng::seed_from_u64(5);
+        run.run(&mut rng, 200);
+        assert!(run.current_load().distance_to_uniform() < 1e-6);
+    }
+
+    #[test]
+    fn delay_slows_convergence() {
+        let reach = |gossip: usize, transfer: usize| -> usize {
+            let g = ring(8);
+            let cfg = AsyncConfig {
+                alpha: 0.3,
+                max_gossip_delay: gossip,
+                max_transfer_delay: transfer,
+                activation_probability: 1.0,
+            };
+            let mut run = AsyncDiffusion::new(g, cfg, point_mass(8));
+            let mut rng = StdRng::seed_from_u64(6);
+            for round in 0..20_000 {
+                if run.current_load().distance_to_uniform() < 1e-3 {
+                    return round;
+                }
+                run.step(&mut rng);
+            }
+            20_000
+        };
+        let fast = reach(0, 0);
+        let slow = reach(6, 6);
+        assert!(slow > fast, "delayed run ({slow}) not slower than instantaneous ({fast})");
+    }
+}

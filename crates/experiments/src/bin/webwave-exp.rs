@@ -1,0 +1,50 @@
+//! Command-line experiment runner: regenerates the paper's figures/tables.
+//!
+//! Usage: `webwave-exp [fig2|fig4|fig6a|fig6b|gamma|fig7|gle|baselines|erratic|throughput|forest|all]...`
+
+use ww_experiments as exp;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let wanted: Vec<&str> = if args.is_empty() {
+        vec!["all"]
+    } else {
+        args.iter().map(String::as_str).collect()
+    };
+    let all = wanted.contains(&"all");
+    let want = |name: &str| all || wanted.contains(&name);
+
+    if want("fig2") {
+        println!("{}", exp::fig2().report);
+    }
+    if want("fig4") {
+        println!("{}", exp::fig4().report);
+    }
+    if want("fig6a") {
+        println!("{}", exp::fig6a().report);
+    }
+    if want("fig6b") {
+        println!("{}", exp::fig6b(400).report);
+    }
+    if want("gamma") {
+        println!("{}", exp::gamma_study(&[3, 4, 5, 6, 7, 8, 9], 256, 600, 1997).report);
+    }
+    if want("fig7") {
+        println!("{}", exp::fig7(1500).report);
+    }
+    if want("gle") {
+        println!("{}", exp::gle_study().report);
+    }
+    if want("baselines") {
+        println!("{}", exp::baseline_study(1997).report);
+    }
+    if want("erratic") {
+        println!("{}", exp::erratic_study(1997).report);
+    }
+    if want("throughput") {
+        println!("{}", exp::throughput_study().report);
+    }
+    if want("forest") {
+        println!("{}", exp::forest_study().report);
+    }
+}

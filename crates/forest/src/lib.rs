@@ -1,0 +1,46 @@
+//! # ww-forest — WebWave on the forest of overlapping routing trees
+//!
+//! The paper's future work (Section 7): "it will be important ... to
+//! evaluate how WebWave functions in the context of the forest of
+//! overlapping routing trees that is the Internet." This crate builds
+//! that evaluation:
+//!
+//! * [`Forest`] — one BFS routing tree per home server over a shared
+//!   network graph; every physical server participates in every tree,
+//! * [`ForestWave`] — per-tree WebWave with a choice of gossip policy:
+//!   [`Coupling::Uncoupled`] (each tree balances its own load, the naive
+//!   composition) vs [`Coupling::Coupled`] (servers gossip their *total*
+//!   load across trees, and each tree's diffusion pressure uses it).
+//!
+//! The crate's experiments show coupling strictly reduces the global
+//! maximum load whenever trees overlap asymmetrically — see
+//! `ForestWave`'s tests and the `forest_coupling` bench.
+//!
+//! # Example
+//!
+//! ```
+//! use ww_model::{NodeId, RateVector};
+//! use ww_topology::Graph;
+//! use ww_forest::{Forest, ForestWave, ForestWaveConfig};
+//!
+//! let mut g = Graph::new(3);
+//! g.add_edge(0, 1);
+//! g.add_edge(1, 2);
+//! let forest = Forest::from_graph(&g, &[NodeId::new(0), NodeId::new(2)]).unwrap();
+//! let demands = vec![
+//!     RateVector::from(vec![0.0, 0.0, 30.0]),
+//!     RateVector::from(vec![30.0, 0.0, 0.0]),
+//! ];
+//! let mut wave = ForestWave::new(&forest, &demands, ForestWaveConfig::default());
+//! wave.run(3000);
+//! assert!(wave.total_load().max() <= 21.0);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod forest;
+pub mod wave;
+
+pub use forest::Forest;
+pub use wave::{Coupling, ForestWave, ForestWaveConfig};

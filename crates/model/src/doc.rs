@@ -1,0 +1,200 @@
+//! Immutable published documents and per-home-server catalogs.
+//!
+//! WebWave caches *hot published documents*: immutable, read-only files
+//! (paper keywords: "read-only files"). Immutability is what makes
+//! directory-free caching sound — any copy found en route is as good as the
+//! authoritative one at the home server.
+
+use crate::{DocId, ModelError, NodeId, Result};
+use serde::{Deserialize, Serialize};
+
+/// Metadata for one immutable published document.
+///
+/// # Example
+///
+/// ```
+/// use ww_model::{Document, DocId, NodeId};
+/// let doc = Document::new(DocId::new(1), NodeId::new(0), 16 * 1024);
+/// assert_eq!(doc.size_bytes(), 16 * 1024);
+/// assert_eq!(doc.home(), NodeId::new(0));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Document {
+    id: DocId,
+    home: NodeId,
+    size_bytes: u64,
+}
+
+impl Document {
+    /// Creates a document homed at `home` with the given payload size.
+    pub fn new(id: DocId, home: NodeId, size_bytes: u64) -> Self {
+        Document { id, home, size_bytes }
+    }
+
+    /// The document's identifier.
+    pub fn id(&self) -> DocId {
+        self.id
+    }
+
+    /// The home server holding the authoritative permanent copy.
+    pub fn home(&self) -> NodeId {
+        self.home
+    }
+
+    /// Payload size in bytes (used for transfer-cost accounting).
+    pub fn size_bytes(&self) -> u64 {
+        self.size_bytes
+    }
+}
+
+/// The set of documents published by one home server.
+///
+/// The paper models the Internet as a forest of trees, "each rooted at a
+/// different home server which is responsible for providing an
+/// authoritative permanent copy of some set of documents" (Section 3).
+/// `Catalog` is that set for a single tree.
+///
+/// # Example
+///
+/// ```
+/// use ww_model::{Catalog, Document, DocId, NodeId};
+/// let home = NodeId::new(0);
+/// let mut catalog = Catalog::new(home);
+/// catalog.publish(Document::new(DocId::new(7), home, 1024));
+/// assert_eq!(catalog.len(), 1);
+/// assert!(catalog.get(DocId::new(7)).is_some());
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Catalog {
+    home: NodeId,
+    docs: Vec<Document>,
+}
+
+impl Catalog {
+    /// Creates an empty catalog for the given home server.
+    pub fn new(home: NodeId) -> Self {
+        Catalog { home, docs: Vec::new() }
+    }
+
+    /// The home server all documents in this catalog belong to.
+    pub fn home(&self) -> NodeId {
+        self.home
+    }
+
+    /// Publishes a document. The document's home is rewritten to the
+    /// catalog's home server, preserving the invariant that a catalog only
+    /// contains documents it is authoritative for.
+    pub fn publish(&mut self, doc: Document) -> DocId {
+        let id = doc.id();
+        self.docs.push(Document { home: self.home, ..doc });
+        id
+    }
+
+    /// Publishes `count` uniformly sized documents with ids `0..count`.
+    ///
+    /// A convenient bulk constructor for simulations.
+    pub fn publish_uniform(&mut self, count: usize, size_bytes: u64) {
+        for i in 0..count {
+            self.publish(Document::new(DocId::new(i as u64), self.home, size_bytes));
+        }
+    }
+
+    /// Number of published documents.
+    pub fn len(&self) -> usize {
+        self.docs.len()
+    }
+
+    /// `true` when no documents have been published.
+    pub fn is_empty(&self) -> bool {
+        self.docs.is_empty()
+    }
+
+    /// Looks up a document by id.
+    pub fn get(&self, id: DocId) -> Option<&Document> {
+        self.docs.iter().find(|d| d.id() == id)
+    }
+
+    /// Looks up a document by id, erroring when absent.
+    ///
+    /// # Errors
+    ///
+    /// [`ModelError::UnknownDocument`] when the id is not in the catalog.
+    pub fn require(&self, id: DocId) -> Result<&Document> {
+        self.get(id).ok_or(ModelError::UnknownDocument { doc: id.value() })
+    }
+
+    /// Iterates over published documents in publication order.
+    pub fn iter(&self) -> impl Iterator<Item = &Document> {
+        self.docs.iter()
+    }
+
+    /// All document ids in publication order.
+    pub fn ids(&self) -> impl Iterator<Item = DocId> + '_ {
+        self.docs.iter().map(|d| d.id())
+    }
+
+    /// Total bytes across all published documents.
+    pub fn total_bytes(&self) -> u64 {
+        self.docs.iter().map(|d| d.size_bytes()).sum()
+    }
+}
+
+impl Extend<Document> for Catalog {
+    fn extend<I: IntoIterator<Item = Document>>(&mut self, iter: I) {
+        for d in iter {
+            self.publish(d);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn publish_and_lookup() {
+        let mut c = Catalog::new(NodeId::new(0));
+        c.publish(Document::new(DocId::new(3), NodeId::new(0), 100));
+        assert_eq!(c.len(), 1);
+        assert_eq!(c.get(DocId::new(3)).unwrap().size_bytes(), 100);
+        assert!(c.get(DocId::new(4)).is_none());
+    }
+
+    #[test]
+    fn publish_rewrites_home() {
+        let mut c = Catalog::new(NodeId::new(0));
+        // Document claims home 5; catalog normalizes it to its own home.
+        c.publish(Document::new(DocId::new(1), NodeId::new(5), 10));
+        assert_eq!(c.get(DocId::new(1)).unwrap().home(), NodeId::new(0));
+    }
+
+    #[test]
+    fn require_reports_unknown_documents() {
+        let c = Catalog::new(NodeId::new(0));
+        let err = c.require(DocId::new(9)).unwrap_err();
+        assert_eq!(err, ModelError::UnknownDocument { doc: 9 });
+    }
+
+    #[test]
+    fn publish_uniform_bulk() {
+        let mut c = Catalog::new(NodeId::new(2));
+        c.publish_uniform(5, 2048);
+        assert_eq!(c.len(), 5);
+        assert_eq!(c.total_bytes(), 5 * 2048);
+        assert!(c.ids().all(|d| d.value() < 5));
+    }
+
+    #[test]
+    fn extend_publishes_all() {
+        let mut c = Catalog::new(NodeId::new(0));
+        c.extend((0..3).map(|i| Document::new(DocId::new(i), NodeId::new(0), 1)));
+        assert_eq!(c.len(), 3);
+    }
+
+    #[test]
+    fn empty_catalog() {
+        let c = Catalog::new(NodeId::new(0));
+        assert!(c.is_empty());
+        assert_eq!(c.total_bytes(), 0);
+    }
+}

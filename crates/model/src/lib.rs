@@ -1,0 +1,52 @@
+//! # ww-model — domain model for the WebWave caching system
+//!
+//! This crate defines the vocabulary shared by every other crate in the
+//! WebWave reproduction (Heddaya & Mirdad, ICDCS '97):
+//!
+//! * [`NodeId`] / [`DocId`] — typed identifiers for cache servers and
+//!   published documents,
+//! * [`Tree`] — the routing tree `T` rooted at a document's *home server*
+//!   (paper, Section 3), along which all requests flow upward,
+//! * [`RateVector`] — per-node request rates (spontaneous rates `E_i` or
+//!   served rates `L_i`),
+//! * [`LoadAssignment`] — a served-rate vector together with the forwarded
+//!   rates `A_i` it induces, plus checkers for the paper's Constraints 1
+//!   (root forwards nothing) and 2 (*no sibling sharing*, `A_i >= 0`),
+//! * [`Document`] / [`Catalog`] — immutable published documents and the
+//!   per-home-server catalog.
+//!
+//! # Example
+//!
+//! ```
+//! use ww_model::{Tree, RateVector, LoadAssignment};
+//!
+//! // A three-node chain: 0 <- 1 <- 2 (0 is the home server).
+//! let tree = Tree::from_parents(&[None, Some(0), Some(1)]).unwrap();
+//! let spontaneous = RateVector::from(vec![0.0, 0.0, 30.0]);
+//! // Every node serves 10 req/s: legal because node 2's subtree generates
+//! // all 30 req/s and the load only moves *up* the tree.
+//! let assignment = LoadAssignment::new(&tree, &spontaneous,
+//!                                      RateVector::from(vec![10.0, 10.0, 10.0])).unwrap();
+//! assert!(assignment.satisfies_nss(1e-9));
+//! assert!(assignment.satisfies_root_constraint(1e-9));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod assignment;
+pub mod doc;
+pub mod error;
+pub mod ids;
+pub mod load;
+pub mod tree;
+
+pub use assignment::LoadAssignment;
+pub use doc::{Catalog, Document};
+pub use error::ModelError;
+pub use ids::{DocId, NodeId};
+pub use load::RateVector;
+pub use tree::{Tree, TreeBuilder};
+
+/// Result alias used across `ww-model`.
+pub type Result<T> = std::result::Result<T, ModelError>;

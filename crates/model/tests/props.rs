@@ -1,0 +1,144 @@
+//! Property-based tests for the domain model.
+
+use proptest::prelude::*;
+use ww_model::{assignment, LoadAssignment, NodeId, RateVector, Tree};
+
+fn arb_tree() -> impl Strategy<Value = Tree> {
+    (1usize..=30).prop_flat_map(|n| {
+        let parents: Vec<BoxedStrategy<Option<usize>>> = (0..n)
+            .map(|i| {
+                if i == 0 {
+                    Just(None).boxed()
+                } else {
+                    (0..i).prop_map(Some).boxed()
+                }
+            })
+            .collect();
+        parents
+    })
+    .prop_map(|p| Tree::from_parents(&p).expect("valid tree"))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Flow conservation: served total plus root residual always equals
+    /// the offered demand, for *any* load vector.
+    #[test]
+    fn flow_conservation_identity(
+        (tree, e, l) in arb_tree().prop_flat_map(|t| {
+            let n = t.len();
+            (
+                Just(t),
+                proptest::collection::vec(0.0f64..50.0, n).prop_map(RateVector::from),
+                proptest::collection::vec(0.0f64..50.0, n).prop_map(RateVector::from),
+            )
+        })
+    ) {
+        let fwd = assignment::compute_forwarded(&tree, &e, &l);
+        // Telescoping: E_total - L_total = A_root (the residual).
+        let root_residual = fwd[tree.root()];
+        prop_assert!((e.total() - l.total() - root_residual).abs() < 1e-6);
+    }
+
+    /// Through rate decomposes as served + forwarded at every node.
+    #[test]
+    fn through_decomposition(
+        (tree, e, l) in arb_tree().prop_flat_map(|t| {
+            let n = t.len();
+            (
+                Just(t),
+                proptest::collection::vec(0.0f64..50.0, n).prop_map(RateVector::from),
+                proptest::collection::vec(0.0f64..50.0, n).prop_map(RateVector::from),
+            )
+        })
+    ) {
+        let through = assignment::compute_through(&tree, &e, &l);
+        let a = LoadAssignment::new(&tree, &e, l.clone()).unwrap();
+        for u in tree.nodes() {
+            prop_assert!((through[u] - (a.served()[u] + a.forwarded()[u])).abs() < 1e-9);
+        }
+    }
+
+    /// Euclidean distance is a metric: symmetric, zero iff equal (on the
+    /// same vector), triangle inequality.
+    #[test]
+    fn euclidean_distance_is_a_metric(
+        (a, b, c) in (1usize..=20).prop_flat_map(|n| {
+            let v = || proptest::collection::vec(0.0f64..100.0, n).prop_map(RateVector::from);
+            (v(), v(), v())
+        })
+    ) {
+        let dab = a.euclidean_distance(&b);
+        let dba = b.euclidean_distance(&a);
+        prop_assert!((dab - dba).abs() < 1e-9);
+        prop_assert!(a.euclidean_distance(&a) < 1e-12);
+        let dac = a.euclidean_distance(&c);
+        let dcb = c.euclidean_distance(&b);
+        prop_assert!(dab <= dac + dcb + 1e-9);
+    }
+
+    /// compare_balance is antisymmetric and consistent with max().
+    #[test]
+    fn compare_balance_consistency(
+        (a, b) in (2usize..=20).prop_flat_map(|n| {
+            let v = || proptest::collection::vec(0.0f64..100.0, n).prop_map(RateVector::from);
+            (v(), v())
+        })
+    ) {
+        use std::cmp::Ordering;
+        let ab = a.compare_balance(&b, 1e-9);
+        let ba = b.compare_balance(&a, 1e-9);
+        prop_assert_eq!(ab, ba.reverse());
+        if a.max() < b.max() - 1e-9 {
+            prop_assert_eq!(ab, Ordering::Less);
+        }
+    }
+
+    /// sorted_descending is a permutation, sorted.
+    #[test]
+    fn sorted_descending_is_permutation(
+        v in proptest::collection::vec(0.0f64..100.0, 1..30).prop_map(RateVector::from)
+    ) {
+        let s = v.sorted_descending();
+        prop_assert_eq!(s.len(), v.len());
+        for w in s.windows(2) {
+            prop_assert!(w[0] >= w[1]);
+        }
+        let sum: f64 = s.iter().sum();
+        prop_assert!((sum - v.total()).abs() < 1e-6);
+    }
+
+    /// subtree_nodes agrees with subtree_size and contains exactly the
+    /// descendants.
+    #[test]
+    fn subtree_nodes_consistency(tree in arb_tree()) {
+        for u in tree.nodes() {
+            let sub = tree.subtree_nodes(u);
+            prop_assert_eq!(sub.len(), tree.subtree_size(u));
+            for &v in &sub {
+                prop_assert!(tree.is_ancestor(u, v));
+            }
+        }
+    }
+
+    /// bottom_up() is the exact reverse of bfs_order().
+    #[test]
+    fn bottom_up_reverses_bfs(tree in arb_tree()) {
+        let bfs: Vec<NodeId> = tree.bfs_order().to_vec();
+        let mut bu: Vec<NodeId> = tree.bottom_up().collect();
+        bu.reverse();
+        prop_assert_eq!(bfs, bu);
+    }
+
+    /// Scaling a rate vector scales its total and max linearly.
+    #[test]
+    fn scale_linearity(
+        v in proptest::collection::vec(0.0f64..100.0, 1..30).prop_map(RateVector::from),
+        k in 0.0f64..10.0
+    ) {
+        let s = v.scale(k);
+        prop_assert!((s.total() - k * v.total()).abs() < 1e-6);
+        prop_assert!((s.max() - k * v.max()).abs() < 1e-6);
+    }
+}

@@ -1,0 +1,248 @@
+//! The router co-located with each cache server.
+//!
+//! A [`Router`] forwards request packets up the routing tree and consults
+//! its injected [`PacketFilter`] to decide whether the local cache should
+//! intercept a passing request. It accounts for every packet it touches —
+//! counters the scalability experiments read back — and charges the
+//! DPF-style per-packet filtering cost.
+
+use crate::filter::{PacketFilter, DPF_FILTER_COST_US};
+use crate::packet::DocRequest;
+use ww_model::{DocId, NodeId, Tree};
+
+/// Per-router traffic counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RouterStats {
+    /// Request packets that transited or terminated here.
+    pub packets_seen: u64,
+    /// Packets the filter diverted to the local cache.
+    pub intercepted: u64,
+    /// Packets forwarded toward the parent.
+    pub forwarded: u64,
+    /// Filter evaluations performed.
+    pub filter_evaluations: u64,
+}
+
+impl RouterStats {
+    /// Total filtering overhead in microseconds, at the DPF-measured cost
+    /// of 1.51 us per evaluated packet.
+    pub fn filter_overhead_us(&self) -> f64 {
+        self.filter_evaluations as f64 * DPF_FILTER_COST_US
+    }
+}
+
+/// What a router decides to do with an arriving request packet.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RouteDecision {
+    /// Divert the packet to the local cache server (filter matched).
+    Deliver,
+    /// Forward the packet to the parent router.
+    Forward {
+        /// The parent node to forward to.
+        next_hop: NodeId,
+    },
+    /// This router is the home server (root): it always serves.
+    Terminate,
+}
+
+/// A router with an injected packet filter.
+///
+/// # Example
+///
+/// ```
+/// use ww_model::{DocId, NodeId, Tree};
+/// use ww_net::{DocRequest, ExactFilter, PacketFilter, RequestId, RouteDecision, Router};
+///
+/// let tree = Tree::from_parents(&[None, Some(0)]).unwrap();
+/// let mut router = Router::new(NodeId::new(1), ExactFilter::new());
+/// let req = DocRequest::new(RequestId::new(0), DocId::new(9), NodeId::new(1));
+///
+/// // No filter entry: forward toward the root.
+/// assert_eq!(router.route(&tree, &req), RouteDecision::Forward { next_hop: NodeId::new(0) });
+///
+/// // After the cache installs a filter for d9, the packet is intercepted.
+/// router.filter_mut().insert(DocId::new(9));
+/// assert_eq!(router.route(&tree, &req), RouteDecision::Deliver);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Router<F> {
+    node: NodeId,
+    filter: F,
+    stats: RouterStats,
+}
+
+impl<F: PacketFilter> Router<F> {
+    /// Creates a router at `node` with the given (initially empty) filter.
+    pub fn new(node: NodeId, filter: F) -> Self {
+        Router {
+            node,
+            filter,
+            stats: RouterStats::default(),
+        }
+    }
+
+    /// The node this router serves.
+    pub fn node(&self) -> NodeId {
+        self.node
+    }
+
+    /// Read access to the injected filter.
+    pub fn filter(&self) -> &F {
+        &self.filter
+    }
+
+    /// Mutable access to the injected filter — how the cache server
+    /// installs and withdraws interception entries.
+    pub fn filter_mut(&mut self) -> &mut F {
+        &mut self.filter
+    }
+
+    /// Traffic counters.
+    pub fn stats(&self) -> RouterStats {
+        self.stats
+    }
+
+    /// Decides what to do with `request` arriving at this router on `tree`.
+    ///
+    /// The home server (root of `tree`) terminates every request. Other
+    /// routers evaluate the filter: a match delivers to the local cache;
+    /// otherwise the packet is forwarded to the parent.
+    ///
+    /// # Panics
+    ///
+    /// Panics if this router's node is not part of `tree`.
+    pub fn route(&mut self, tree: &Tree, request: &DocRequest) -> RouteDecision {
+        self.stats.packets_seen += 1;
+        match tree.parent(self.node) {
+            None => RouteDecision::Terminate,
+            Some(parent) => {
+                self.stats.filter_evaluations += 1;
+                if self.filter.matches(request.doc) {
+                    self.stats.intercepted += 1;
+                    RouteDecision::Deliver
+                } else {
+                    self.stats.forwarded += 1;
+                    RouteDecision::Forward { next_hop: parent }
+                }
+            }
+        }
+    }
+
+    /// Convenience: does the filter currently intercept `doc`?
+    pub fn intercepts(&self, doc: DocId) -> bool {
+        self.filter.matches(doc)
+    }
+}
+
+/// Walks a request up the tree through a slice of routers (indexed by
+/// node), returning the serving node and the hop count.
+///
+/// This is the "requests stumble on cache copies en route" path in its
+/// purest form, used by tests and the quickstart example; the event-driven
+/// simulator in `ww-core` performs the same walk with latencies.
+///
+/// # Panics
+///
+/// Panics if `routers` is not indexed exactly by node id.
+pub fn walk_to_service<F: PacketFilter>(
+    tree: &Tree,
+    routers: &mut [Router<F>],
+    mut request: DocRequest,
+) -> (NodeId, DocRequest) {
+    assert_eq!(routers.len(), tree.len(), "one router per node required");
+    let mut at = request.origin;
+    loop {
+        match routers[at.index()].route(tree, &request) {
+            RouteDecision::Terminate | RouteDecision::Deliver => return (at, request),
+            RouteDecision::Forward { next_hop } => {
+                request = request.hop();
+                at = next_hop;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::filter::ExactFilter;
+    use crate::packet::RequestId;
+
+    fn chain(n: usize) -> Tree {
+        let parents: Vec<Option<usize>> =
+            (0..n).map(|i| if i == 0 { None } else { Some(i - 1) }).collect();
+        Tree::from_parents(&parents).unwrap()
+    }
+
+    fn routers(n: usize) -> Vec<Router<ExactFilter>> {
+        (0..n)
+            .map(|i| Router::new(NodeId::new(i), ExactFilter::new()))
+            .collect()
+    }
+
+    #[test]
+    fn root_terminates_everything() {
+        let tree = chain(2);
+        let mut r = Router::new(NodeId::new(0), ExactFilter::new());
+        let req = DocRequest::new(RequestId::new(0), DocId::new(1), NodeId::new(1));
+        assert_eq!(r.route(&tree, &req), RouteDecision::Terminate);
+        // Root does not pay the filter cost: requests terminate regardless.
+        assert_eq!(r.stats().filter_evaluations, 0);
+    }
+
+    #[test]
+    fn unfiltered_request_reaches_root() {
+        let tree = chain(4);
+        let mut rs = routers(4);
+        let req = DocRequest::new(RequestId::new(1), DocId::new(5), NodeId::new(3));
+        let (served_by, final_req) = walk_to_service(&tree, &mut rs, req);
+        assert_eq!(served_by, NodeId::new(0));
+        assert_eq!(final_req.hops, 3);
+    }
+
+    #[test]
+    fn filter_intercepts_en_route() {
+        let tree = chain(4);
+        let mut rs = routers(4);
+        rs[1].filter_mut().insert(DocId::new(5));
+        let req = DocRequest::new(RequestId::new(2), DocId::new(5), NodeId::new(3));
+        let (served_by, final_req) = walk_to_service(&tree, &mut rs, req);
+        assert_eq!(served_by, NodeId::new(1));
+        assert_eq!(final_req.hops, 2);
+    }
+
+    #[test]
+    fn interception_at_origin_is_zero_hops() {
+        let tree = chain(3);
+        let mut rs = routers(3);
+        rs[2].filter_mut().insert(DocId::new(7));
+        let req = DocRequest::new(RequestId::new(3), DocId::new(7), NodeId::new(2));
+        let (served_by, final_req) = walk_to_service(&tree, &mut rs, req);
+        assert_eq!(served_by, NodeId::new(2));
+        assert_eq!(final_req.hops, 0);
+    }
+
+    #[test]
+    fn stats_account_for_traffic() {
+        let tree = chain(3);
+        let mut rs = routers(3);
+        let req = DocRequest::new(RequestId::new(4), DocId::new(9), NodeId::new(2));
+        let _ = walk_to_service(&tree, &mut rs, req);
+        assert_eq!(rs[2].stats().packets_seen, 1);
+        assert_eq!(rs[2].stats().forwarded, 1);
+        assert_eq!(rs[1].stats().forwarded, 1);
+        assert_eq!(rs[0].stats().packets_seen, 1);
+        assert!(rs[2].stats().filter_overhead_us() > 0.0);
+    }
+
+    #[test]
+    fn withdrawn_filter_stops_intercepting() {
+        let tree = chain(2);
+        let mut rs = routers(2);
+        rs[1].filter_mut().insert(DocId::new(1));
+        rs[1].filter_mut().remove(DocId::new(1));
+        let req = DocRequest::new(RequestId::new(5), DocId::new(1), NodeId::new(1));
+        let (served_by, _) = walk_to_service(&tree, &mut rs, req);
+        assert_eq!(served_by, NodeId::new(0));
+    }
+}

@@ -1,0 +1,134 @@
+//! Property-based tests for the network substrate.
+
+use proptest::prelude::*;
+use ww_model::{DocId, NodeId, Tree};
+use ww_net::{
+    walk_to_service, CountingBloomFilter, DocRequest, ExactFilter, PacketFilter, RequestId,
+    Router, TrafficLedger,
+};
+
+fn arb_tree() -> impl Strategy<Value = Tree> {
+    (1usize..=25).prop_flat_map(|n| {
+        let parents: Vec<BoxedStrategy<Option<usize>>> = (0..n)
+            .map(|i| {
+                if i == 0 {
+                    Just(None).boxed()
+                } else {
+                    (0..i).prop_map(Some).boxed()
+                }
+            })
+            .collect();
+        parents
+    })
+    .prop_map(|p| Tree::from_parents(&p).expect("valid tree"))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    /// Bloom filters never report false negatives, regardless of the
+    /// insert set, and removals of inserted items restore misses.
+    #[test]
+    fn bloom_no_false_negatives(
+        docs in proptest::collection::hash_set(0u64..10_000, 1..200)
+    ) {
+        let mut f = CountingBloomFilter::for_capacity(docs.len());
+        for &d in &docs {
+            f.insert(DocId::new(d));
+        }
+        for &d in &docs {
+            prop_assert!(f.matches(DocId::new(d)), "false negative for d{d}");
+        }
+        for &d in &docs {
+            f.remove(DocId::new(d));
+        }
+        prop_assert_eq!(f.len(), 0);
+    }
+
+    /// Exact and Bloom filters agree on inserted membership.
+    #[test]
+    fn filters_agree_on_members(
+        docs in proptest::collection::hash_set(0u64..5_000, 1..100)
+    ) {
+        let mut exact = ExactFilter::new();
+        let mut bloom = CountingBloomFilter::for_capacity(docs.len());
+        for &d in &docs {
+            exact.insert(DocId::new(d));
+            bloom.insert(DocId::new(d));
+        }
+        for &d in &docs {
+            prop_assert_eq!(exact.matches(DocId::new(d)), bloom.matches(DocId::new(d)));
+        }
+    }
+
+    /// A request walk always terminates at a node on the origin's path to
+    /// the root, with hops equal to the tree distance walked.
+    #[test]
+    fn walk_terminates_on_route(
+        (tree, origin_idx, cache_idx, doc) in arb_tree().prop_flat_map(|t| {
+            let n = t.len();
+            (Just(t), 0..n, 0..n, 0u64..50)
+        })
+    ) {
+        let origin = NodeId::new(origin_idx);
+        let mut routers: Vec<Router<ExactFilter>> = (0..tree.len())
+            .map(|i| Router::new(NodeId::new(i), ExactFilter::new()))
+            .collect();
+        routers[cache_idx].filter_mut().insert(DocId::new(doc));
+        let req = DocRequest::new(RequestId::new(1), DocId::new(doc), origin);
+        let (served_by, finished) = walk_to_service(&tree, &mut routers, req);
+        // Serving node lies on the origin's route.
+        prop_assert!(tree.path_to_root(origin).any(|u| u == served_by));
+        // Hop count equals depth difference.
+        prop_assert_eq!(
+            finished.hops as usize,
+            tree.depth(origin) - tree.depth(served_by)
+        );
+        // If the cache is on the route (and not the root), it intercepts
+        // at or before that point.
+        let cache = NodeId::new(cache_idx);
+        if tree.path_to_root(origin).any(|u| u == cache) {
+            prop_assert!(tree.depth(served_by) >= tree.depth(cache));
+        }
+    }
+
+    /// Ledger merge is associative in effect: counts add up.
+    #[test]
+    fn ledger_merge_adds(
+        events in proptest::collection::vec((0usize..6, 0u64..10_000, 0u32..20), 0..50)
+    ) {
+        let classes = ww_net::ALL_TRAFFIC_CLASSES;
+        let mut all = TrafficLedger::new();
+        let mut split_a = TrafficLedger::new();
+        let mut split_b = TrafficLedger::new();
+        for (i, &(c, bytes, hops)) in events.iter().enumerate() {
+            all.record(classes[c], bytes, hops);
+            if i % 2 == 0 {
+                split_a.record(classes[c], bytes, hops);
+            } else {
+                split_b.record(classes[c], bytes, hops);
+            }
+        }
+        split_a.merge(&split_b);
+        prop_assert_eq!(split_a.total_messages(), all.total_messages());
+        prop_assert_eq!(split_a.total_bytes(), all.total_bytes());
+        prop_assert_eq!(split_a.link_transmissions(), all.link_transmissions());
+        for c in classes {
+            prop_assert_eq!(split_a.count(c), all.count(c));
+        }
+    }
+
+    /// Responses mirror their requests exactly.
+    #[test]
+    fn response_mirrors_request(id in any::<u64>(), doc in any::<u64>(), hops in 0u32..100) {
+        let mut req = DocRequest::new(RequestId::new(id), DocId::new(doc), NodeId::new(0));
+        for _ in 0..hops {
+            req = req.hop();
+        }
+        let resp = ww_net::DocResponse::serve(&req, NodeId::new(1));
+        prop_assert_eq!(resp.id, RequestId::new(id));
+        prop_assert_eq!(resp.doc, DocId::new(doc));
+        prop_assert_eq!(resp.up_hops, hops);
+        prop_assert_eq!(resp.round_trip_hops, hops * 2);
+    }
+}

@@ -1,0 +1,39 @@
+//! # ww-sim — deterministic discrete-event simulation kernel
+//!
+//! The packet-level WebWave protocol (crate `ww-core`, module
+//! `distributed`) runs on this kernel: a total-order event queue
+//! ([`EventQueue`]), a validated simulation clock ([`SimTime`]) and
+//! forkable deterministic randomness ([`SimRng`]). Simulations are pure
+//! functions of their inputs and master seed — equal seeds replay equal
+//! histories, which the failure-injection tests rely on.
+//!
+//! # Example
+//!
+//! ```
+//! use ww_sim::{EventQueue, SimTime};
+//!
+//! #[derive(Debug)]
+//! enum Ev { Ping(u32) }
+//!
+//! let mut q = EventQueue::new();
+//! q.schedule(SimTime::from_millis(10.0), Ev::Ping(0));
+//! let mut count = 0;
+//! q.run_until(SimTime::from_secs(1.0), |q, t, Ev::Ping(i)| {
+//!     count += 1;
+//!     if i < 4 {
+//!         q.schedule(t + SimTime::from_millis(10.0), Ev::Ping(i + 1));
+//!     }
+//! });
+//! assert_eq!(count, 5);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod engine;
+pub mod rng;
+pub mod time;
+
+pub use engine::EventQueue;
+pub use rng::{exp_delay, SimRng};
+pub use time::SimTime;

@@ -1,0 +1,216 @@
+//! Descriptive statistics over `f64` samples.
+
+/// Summary statistics of a sample.
+///
+/// # Example
+///
+/// ```
+/// use ww_stats::Summary;
+/// let s = Summary::of(&[1.0, 2.0, 3.0, 4.0]);
+/// assert_eq!(s.mean, 2.5);
+/// assert_eq!(s.min, 1.0);
+/// assert_eq!(s.max, 4.0);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Summary {
+    /// Number of samples.
+    pub n: usize,
+    /// Arithmetic mean (0 for an empty sample).
+    pub mean: f64,
+    /// Unbiased sample variance (0 when `n < 2`).
+    pub variance: f64,
+    /// Sample standard deviation.
+    pub stddev: f64,
+    /// Minimum value (`NaN` for an empty sample).
+    pub min: f64,
+    /// Maximum value (`NaN` for an empty sample).
+    pub max: f64,
+}
+
+impl Summary {
+    /// Computes summary statistics of `xs`.
+    pub fn of(xs: &[f64]) -> Summary {
+        let n = xs.len();
+        if n == 0 {
+            return Summary {
+                n: 0,
+                mean: 0.0,
+                variance: 0.0,
+                stddev: 0.0,
+                min: f64::NAN,
+                max: f64::NAN,
+            };
+        }
+        let mean = xs.iter().sum::<f64>() / n as f64;
+        let variance = if n < 2 {
+            0.0
+        } else {
+            xs.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / (n as f64 - 1.0)
+        };
+        Summary {
+            n,
+            mean,
+            variance,
+            stddev: variance.sqrt(),
+            min: xs.iter().copied().fold(f64::INFINITY, f64::min),
+            max: xs.iter().copied().fold(f64::NEG_INFINITY, f64::max),
+        }
+    }
+}
+
+/// Returns the `q`-quantile (0 <= q <= 1) of `xs` using linear
+/// interpolation between order statistics (type-7, the R/NumPy default).
+///
+/// Returns `None` for an empty sample.
+///
+/// # Panics
+///
+/// Panics if `q` is outside `[0, 1]` or any sample is NaN.
+///
+/// # Example
+///
+/// ```
+/// use ww_stats::quantile;
+/// let xs = [1.0, 2.0, 3.0, 4.0];
+/// assert_eq!(quantile(&xs, 0.5), Some(2.5));
+/// assert_eq!(quantile(&xs, 1.0), Some(4.0));
+/// ```
+pub fn quantile(xs: &[f64], q: f64) -> Option<f64> {
+    assert!((0.0..=1.0).contains(&q), "quantile must be in [0, 1]");
+    if xs.is_empty() {
+        return None;
+    }
+    let mut sorted = xs.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("samples must not be NaN"));
+    let pos = q * (sorted.len() - 1) as f64;
+    let lo = pos.floor() as usize;
+    let hi = pos.ceil() as usize;
+    let frac = pos - lo as f64;
+    Some(sorted[lo] * (1.0 - frac) + sorted[hi] * frac)
+}
+
+/// An exponentially weighted moving average with smoothing factor
+/// `alpha in (0, 1]` — the estimator WebWave servers use to track their
+/// neighbors' request rates between gossip rounds.
+///
+/// # Example
+///
+/// ```
+/// use ww_stats::Ewma;
+/// let mut e = Ewma::new(0.5);
+/// assert_eq!(e.value(), None);
+/// e.observe(10.0);
+/// e.observe(20.0);
+/// assert_eq!(e.value(), Some(15.0));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Ewma {
+    alpha: f64,
+    value: Option<f64>,
+}
+
+impl Ewma {
+    /// Creates an EWMA with the given smoothing factor.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `alpha` is not in `(0, 1]`.
+    pub fn new(alpha: f64) -> Self {
+        assert!(
+            alpha > 0.0 && alpha <= 1.0,
+            "EWMA smoothing factor must be in (0, 1]"
+        );
+        Ewma { alpha, value: None }
+    }
+
+    /// Feeds one observation; the first observation initializes the average.
+    pub fn observe(&mut self, x: f64) {
+        self.value = Some(match self.value {
+            None => x,
+            Some(v) => v + self.alpha * (x - v),
+        });
+    }
+
+    /// Current smoothed value, `None` before any observation.
+    pub fn value(&self) -> Option<f64> {
+        self.value
+    }
+
+    /// Resets the average to the uninitialized state.
+    pub fn reset(&mut self) {
+        self.value = None;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn summary_of_known_sample() {
+        let s = Summary::of(&[2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0]);
+        assert!((s.mean - 5.0).abs() < 1e-12);
+        // Sample variance with n-1 denominator: 32/7.
+        assert!((s.variance - 32.0 / 7.0).abs() < 1e-12);
+        assert_eq!(s.min, 2.0);
+        assert_eq!(s.max, 9.0);
+        assert_eq!(s.n, 8);
+    }
+
+    #[test]
+    fn summary_empty_and_singleton() {
+        let e = Summary::of(&[]);
+        assert_eq!(e.n, 0);
+        assert!(e.min.is_nan());
+        let s = Summary::of(&[3.0]);
+        assert_eq!(s.mean, 3.0);
+        assert_eq!(s.variance, 0.0);
+    }
+
+    #[test]
+    fn quantile_interpolates() {
+        let xs = [10.0, 20.0, 30.0];
+        assert_eq!(quantile(&xs, 0.0), Some(10.0));
+        assert_eq!(quantile(&xs, 0.25), Some(15.0));
+        assert_eq!(quantile(&xs, 0.5), Some(20.0));
+        assert_eq!(quantile(&xs, 1.0), Some(30.0));
+        assert_eq!(quantile(&[], 0.5), None);
+    }
+
+    #[test]
+    fn quantile_unsorted_input() {
+        let xs = [30.0, 10.0, 20.0];
+        assert_eq!(quantile(&xs, 0.5), Some(20.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "quantile must be in")]
+    fn quantile_rejects_out_of_range() {
+        let _ = quantile(&[1.0], 1.5);
+    }
+
+    #[test]
+    fn ewma_tracks_geometric_mixture() {
+        let mut e = Ewma::new(0.25);
+        e.observe(0.0);
+        e.observe(8.0);
+        // 0 + 0.25 * (8 - 0) = 2
+        assert_eq!(e.value(), Some(2.0));
+        e.reset();
+        assert_eq!(e.value(), None);
+    }
+
+    #[test]
+    fn ewma_alpha_one_follows_last_sample() {
+        let mut e = Ewma::new(1.0);
+        e.observe(5.0);
+        e.observe(11.0);
+        assert_eq!(e.value(), Some(11.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "smoothing factor")]
+    fn ewma_rejects_zero_alpha() {
+        let _ = Ewma::new(0.0);
+    }
+}

@@ -1,0 +1,107 @@
+//! Property-based tests for the statistics substrate.
+
+use proptest::prelude::*;
+use ww_stats::{fit_exponential, linear_fit, quantile, ConvergenceTrace, Ewma, Summary};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// The exponential fit recovers exact geometric series for any
+    /// amplitude and rate.
+    #[test]
+    fn expfit_recovers_exact_series(
+        a in 0.1f64..1000.0,
+        gamma in 0.05f64..0.99,
+        n in 8usize..60
+    ) {
+        let ys: Vec<f64> = (0..n).map(|t| a * gamma.powi(t as i32)).collect();
+        let fit = fit_exponential(&ys, 0.0).unwrap();
+        prop_assert!((fit.gamma - gamma).abs() < 1e-6, "gamma {} vs {}", fit.gamma, gamma);
+        prop_assert!((fit.a - a).abs() / a < 1e-6);
+    }
+
+    /// The fit is scale-equivariant: scaling y scales `a`, not `gamma`.
+    #[test]
+    fn expfit_scale_equivariance(
+        gamma in 0.2f64..0.95,
+        scale in 0.5f64..100.0
+    ) {
+        let ys: Vec<f64> = (0..30).map(|t| 5.0 * gamma.powi(t)).collect();
+        let scaled: Vec<f64> = ys.iter().map(|y| y * scale).collect();
+        let f1 = fit_exponential(&ys, 0.0).unwrap();
+        let f2 = fit_exponential(&scaled, 0.0).unwrap();
+        prop_assert!((f1.gamma - f2.gamma).abs() < 1e-9);
+        prop_assert!((f2.a / f1.a - scale).abs() / scale < 1e-9);
+    }
+
+    /// Linear fit residuals are orthogonal to x (normal equations hold).
+    #[test]
+    fn linreg_normal_equations(
+        pts in proptest::collection::vec((-100.0f64..100.0, -100.0f64..100.0), 3..50)
+    ) {
+        let xs: Vec<f64> = pts.iter().map(|p| p.0).collect();
+        let ys: Vec<f64> = pts.iter().map(|p| p.1).collect();
+        if let Some(fit) = linear_fit(&xs, &ys) {
+            let resid: Vec<f64> = xs.iter().zip(&ys)
+                .map(|(x, y)| y - (fit.intercept + fit.slope * x))
+                .collect();
+            let sum_r: f64 = resid.iter().sum();
+            let sum_rx: f64 = resid.iter().zip(&xs).map(|(r, x)| r * x).sum();
+            prop_assert!(sum_r.abs() < 1e-6 * (1.0 + ys.iter().map(|y| y.abs()).sum::<f64>()));
+            prop_assert!(sum_rx.abs() < 1e-5 * (1.0 + xs.len() as f64 * 1e4));
+        }
+    }
+
+    /// Summary invariants: min <= mean <= max; stddev^2 == variance.
+    #[test]
+    fn summary_invariants(xs in proptest::collection::vec(-1000.0f64..1000.0, 1..100)) {
+        let s = Summary::of(&xs);
+        prop_assert!(s.min <= s.mean + 1e-9);
+        prop_assert!(s.mean <= s.max + 1e-9);
+        prop_assert!((s.stddev * s.stddev - s.variance).abs() < 1e-6);
+        prop_assert_eq!(s.n, xs.len());
+    }
+
+    /// Quantiles are monotone in q and bounded by min/max.
+    #[test]
+    fn quantile_monotone(xs in proptest::collection::vec(-100.0f64..100.0, 1..60)) {
+        let qs = [0.0, 0.25, 0.5, 0.75, 1.0];
+        let vals: Vec<f64> = qs.iter().map(|&q| quantile(&xs, q).unwrap()).collect();
+        for w in vals.windows(2) {
+            prop_assert!(w[0] <= w[1] + 1e-9);
+        }
+        let s = Summary::of(&xs);
+        prop_assert!((vals[0] - s.min).abs() < 1e-9);
+        prop_assert!((vals[4] - s.max).abs() < 1e-9);
+    }
+
+    /// EWMA stays within the range of its observations.
+    #[test]
+    fn ewma_bounded_by_observations(
+        alpha in 0.01f64..1.0,
+        xs in proptest::collection::vec(-50.0f64..50.0, 1..60)
+    ) {
+        let mut e = Ewma::new(alpha);
+        let (mut lo, mut hi) = (f64::INFINITY, f64::NEG_INFINITY);
+        for &x in &xs {
+            e.observe(x);
+            lo = lo.min(x);
+            hi = hi.max(x);
+            let v = e.value().unwrap();
+            prop_assert!(v >= lo - 1e-9 && v <= hi + 1e-9, "EWMA {v} outside [{lo}, {hi}]");
+        }
+    }
+
+    /// ConvergenceTrace round-trips through CSV line count and preserves
+    /// iterations_to semantics.
+    #[test]
+    fn trace_consistency(ds in proptest::collection::vec(0.0f64..100.0, 1..50)) {
+        let trace = ConvergenceTrace::from_distances(ds.clone());
+        prop_assert_eq!(trace.len(), ds.len());
+        prop_assert_eq!(trace.to_csv().lines().count(), ds.len() + 1);
+        // iterations_to(min) always finds the argmin or earlier.
+        let min = ds.iter().copied().fold(f64::INFINITY, f64::min);
+        let hit = trace.iterations_to(min).unwrap();
+        prop_assert!(ds[hit] <= min + 1e-12);
+    }
+}

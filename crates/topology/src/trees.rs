@@ -1,0 +1,250 @@
+//! Deterministic tree generators.
+//!
+//! These shapes exercise distinct load-balancing behaviours: paths maximize
+//! depth (slow diffusion), stars maximize fan-out (root bottleneck), k-ary
+//! trees model symmetric hierarchies, caterpillars and brooms mix both.
+
+use ww_model::Tree;
+
+/// A path (chain) of `n` nodes: `0 <- 1 <- ... <- n-1`.
+///
+/// The deepest possible routing tree; diffusion needs `O(n)` hops to move
+/// load end to end.
+///
+/// # Panics
+///
+/// Panics if `n == 0`.
+///
+/// # Example
+///
+/// ```
+/// use ww_topology::path;
+/// let t = path(4);
+/// assert_eq!(t.height(), 3);
+/// assert_eq!(t.leaf_count(), 1);
+/// ```
+pub fn path(n: usize) -> Tree {
+    assert!(n > 0, "path requires at least one node");
+    let parents: Vec<Option<usize>> = (0..n).map(|i| if i == 0 { None } else { Some(i - 1) }).collect();
+    Tree::from_parents(&parents).expect("path parents are valid")
+}
+
+/// A star: root `0` with `n - 1` leaf children.
+///
+/// The shallowest non-trivial tree: every client is one hop from the home
+/// server, so NSS never binds between siblings and TLB equals GLE whenever
+/// the leaf demands allow it.
+///
+/// # Panics
+///
+/// Panics if `n == 0`.
+pub fn star(n: usize) -> Tree {
+    assert!(n > 0, "star requires at least one node");
+    let parents: Vec<Option<usize>> = (0..n).map(|i| if i == 0 { None } else { Some(0) }).collect();
+    Tree::from_parents(&parents).expect("star parents are valid")
+}
+
+/// A complete `k`-ary tree of the given `depth` (depth 0 = single node).
+///
+/// Node 0 is the root; children are laid out in BFS order, so node `i`'s
+/// parent is `(i - 1) / k`.
+///
+/// # Panics
+///
+/// Panics if `k == 0`.
+///
+/// # Example
+///
+/// ```
+/// use ww_topology::k_ary;
+/// let t = k_ary(2, 3); // complete binary tree of depth 3
+/// assert_eq!(t.len(), 15);
+/// assert_eq!(t.height(), 3);
+/// ```
+pub fn k_ary(k: usize, depth: usize) -> Tree {
+    assert!(k > 0, "k-ary tree requires k >= 1");
+    // Total nodes = 1 + k + k^2 + ... + k^depth.
+    let mut n: usize = 1;
+    let mut level = 1usize;
+    for _ in 0..depth {
+        level = level.saturating_mul(k);
+        n = n.saturating_add(level);
+    }
+    let parents: Vec<Option<usize>> = (0..n)
+        .map(|i| if i == 0 { None } else { Some((i - 1) / k) })
+        .collect();
+    Tree::from_parents(&parents).expect("k-ary parents are valid")
+}
+
+/// A binary tree of the given depth; alias for [`k_ary`]`(2, depth)`.
+pub fn binary(depth: usize) -> Tree {
+    k_ary(2, depth)
+}
+
+/// A caterpillar: a spine path of `spine` nodes, each spine node carrying
+/// `legs` leaf children.
+///
+/// Total nodes: `spine * (1 + legs)`.
+///
+/// # Panics
+///
+/// Panics if `spine == 0`.
+///
+/// # Example
+///
+/// ```
+/// use ww_topology::caterpillar;
+/// let t = caterpillar(3, 2);
+/// assert_eq!(t.len(), 9);
+/// assert_eq!(t.leaf_count(), 6); // every leg is a leaf; spine nodes are not
+/// ```
+pub fn caterpillar(spine: usize, legs: usize) -> Tree {
+    assert!(spine > 0, "caterpillar requires a non-empty spine");
+    let n = spine * (1 + legs);
+    let mut parents: Vec<Option<usize>> = vec![None; n];
+    // Spine nodes occupy 0..spine.
+    for (s, slot) in parents.iter_mut().enumerate().take(spine).skip(1) {
+        *slot = Some(s - 1);
+    }
+    // Legs: node spine + s*legs + l hangs off spine node s.
+    for s in 0..spine {
+        for l in 0..legs {
+            parents[spine + s * legs + l] = Some(s);
+        }
+    }
+    Tree::from_parents(&parents).expect("caterpillar parents are valid")
+}
+
+/// A broom: a handle path of `handle` nodes ending in a star of
+/// `bristles` leaves.
+///
+/// Models a long backbone route fanning out into a local access network —
+/// the classic shape on which the root is far from all demand.
+///
+/// # Panics
+///
+/// Panics if `handle == 0`.
+pub fn broom(handle: usize, bristles: usize) -> Tree {
+    assert!(handle > 0, "broom requires a non-empty handle");
+    let n = handle + bristles;
+    let mut parents: Vec<Option<usize>> = vec![None; n];
+    for (h, slot) in parents.iter_mut().enumerate().take(handle).skip(1) {
+        *slot = Some(h - 1);
+    }
+    for b in 0..bristles {
+        parents[handle + b] = Some(handle - 1);
+    }
+    Tree::from_parents(&parents).expect("broom parents are valid")
+}
+
+/// A two-level hierarchy: the root has `regions` children, each of which
+/// has `leaves_per_region` leaf children.
+///
+/// Mirrors a national cache hierarchy (root = origin, regions = regional
+/// caches, leaves = institutional caches), the setting of Harvest-style
+/// systems the paper positions itself against.
+pub fn two_level(regions: usize, leaves_per_region: usize) -> Tree {
+    let n = 1 + regions * (1 + leaves_per_region);
+    let mut parents: Vec<Option<usize>> = vec![None; n];
+    for r in 0..regions {
+        parents[1 + r] = Some(0);
+        for l in 0..leaves_per_region {
+            parents[1 + regions + r * leaves_per_region + l] = Some(1 + r);
+        }
+    }
+    Tree::from_parents(&parents).expect("two-level parents are valid")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ww_model::NodeId;
+
+    #[test]
+    fn path_shape() {
+        let t = path(5);
+        assert_eq!(t.len(), 5);
+        assert_eq!(t.height(), 4);
+        assert_eq!(t.leaf_count(), 1);
+        assert_eq!(t.children(NodeId::new(2)), &[NodeId::new(3)]);
+    }
+
+    #[test]
+    fn path_single_node() {
+        let t = path(1);
+        assert_eq!(t.len(), 1);
+        assert_eq!(t.height(), 0);
+    }
+
+    #[test]
+    fn star_shape() {
+        let t = star(6);
+        assert_eq!(t.len(), 6);
+        assert_eq!(t.height(), 1);
+        assert_eq!(t.leaf_count(), 5);
+        assert_eq!(t.children(t.root()).len(), 5);
+    }
+
+    #[test]
+    fn k_ary_sizes() {
+        assert_eq!(k_ary(2, 0).len(), 1);
+        assert_eq!(k_ary(2, 1).len(), 3);
+        assert_eq!(k_ary(2, 3).len(), 15);
+        assert_eq!(k_ary(3, 2).len(), 13);
+    }
+
+    #[test]
+    fn k_ary_depth_matches() {
+        for d in 0..5 {
+            assert_eq!(k_ary(2, d).height(), d);
+        }
+    }
+
+    #[test]
+    fn k_ary_parent_formula() {
+        let t = k_ary(3, 2);
+        assert_eq!(t.parent(NodeId::new(5)), Some(NodeId::new(1)));
+        assert_eq!(t.parent(NodeId::new(4)), Some(NodeId::new(1)));
+        assert_eq!(t.parent(NodeId::new(12)), Some(NodeId::new(3)));
+    }
+
+    #[test]
+    fn unary_tree_is_path() {
+        let t = k_ary(1, 4);
+        assert_eq!(t.len(), 5);
+        assert_eq!(t.height(), 4);
+    }
+
+    #[test]
+    fn caterpillar_shape() {
+        let t = caterpillar(4, 3);
+        assert_eq!(t.len(), 16);
+        assert_eq!(t.height(), 4); // spine end's legs are at depth 4
+        // Spine node 2 has spine child 3 plus 3 legs.
+        assert_eq!(t.children(NodeId::new(2)).len(), 4);
+    }
+
+    #[test]
+    fn caterpillar_without_legs_is_path() {
+        let t = caterpillar(5, 0);
+        assert_eq!(t.to_parents(), path(5).to_parents());
+    }
+
+    #[test]
+    fn broom_shape() {
+        let t = broom(3, 4);
+        assert_eq!(t.len(), 7);
+        assert_eq!(t.height(), 3);
+        assert_eq!(t.children(NodeId::new(2)).len(), 4);
+        assert_eq!(t.leaf_count(), 4);
+    }
+
+    #[test]
+    fn two_level_shape() {
+        let t = two_level(3, 2);
+        assert_eq!(t.len(), 10);
+        assert_eq!(t.height(), 2);
+        assert_eq!(t.children(t.root()).len(), 3);
+        assert_eq!(t.leaf_count(), 6);
+    }
+}

@@ -1,0 +1,211 @@
+//! Request arrival processes.
+//!
+//! The packet-level WebWave simulator needs actual request *streams*, not
+//! just rates. [`ArrivalProcess`] generates inter-arrival gaps; Poisson
+//! (memoryless), deterministic (fluid-like) and on/off bursty (flash-crowd)
+//! variants are provided.
+
+use rand::Rng;
+
+/// A source of inter-arrival times for a single request stream.
+pub trait ArrivalProcess {
+    /// Returns the time gap until the next request, in seconds.
+    ///
+    /// Implementations must return positive, finite gaps.
+    fn next_gap<R: Rng + ?Sized>(&mut self, rng: &mut R) -> f64;
+
+    /// Long-run average request rate of the process, in requests/second.
+    fn mean_rate(&self) -> f64;
+}
+
+/// Poisson arrivals at `rate` requests/second (exponential gaps).
+///
+/// # Example
+///
+/// ```
+/// use rand::SeedableRng;
+/// use ww_workload::{ArrivalProcess, Poisson};
+/// let mut p = Poisson::new(100.0).unwrap();
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+/// let gap = p.next_gap(&mut rng);
+/// assert!(gap > 0.0);
+/// assert_eq!(p.mean_rate(), 100.0);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Poisson {
+    rate: f64,
+}
+
+impl Poisson {
+    /// Creates a Poisson process; returns `None` unless `rate > 0` and
+    /// finite.
+    pub fn new(rate: f64) -> Option<Self> {
+        (rate.is_finite() && rate > 0.0).then_some(Poisson { rate })
+    }
+}
+
+impl ArrivalProcess for Poisson {
+    fn next_gap<R: Rng + ?Sized>(&mut self, rng: &mut R) -> f64 {
+        // Inverse-CDF sampling of Exp(rate); guard u = 0.
+        let u: f64 = rng.gen::<f64>().max(f64::MIN_POSITIVE);
+        -u.ln() / self.rate
+    }
+
+    fn mean_rate(&self) -> f64 {
+        self.rate
+    }
+}
+
+/// Deterministic arrivals: one request every `1 / rate` seconds.
+///
+/// Useful to make packet-level runs exactly reproduce fluid (rate-level)
+/// predictions.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Deterministic {
+    rate: f64,
+}
+
+impl Deterministic {
+    /// Creates a deterministic process; returns `None` unless `rate > 0`
+    /// and finite.
+    pub fn new(rate: f64) -> Option<Self> {
+        (rate.is_finite() && rate > 0.0).then_some(Deterministic { rate })
+    }
+}
+
+impl ArrivalProcess for Deterministic {
+    fn next_gap<R: Rng + ?Sized>(&mut self, _rng: &mut R) -> f64 {
+        1.0 / self.rate
+    }
+
+    fn mean_rate(&self) -> f64 {
+        self.rate
+    }
+}
+
+/// A two-state Markov-modulated Poisson process: bursts at `on_rate` for
+/// exponentially distributed on-periods, then goes silent for off-periods.
+///
+/// Models flash crowds around hot published documents — the dynamics the
+/// paper defers to "ongoing simulation study" of erratic request rates.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct OnOff {
+    on_rate: f64,
+    mean_on: f64,
+    mean_off: f64,
+    in_burst: bool,
+    burst_remaining: f64,
+}
+
+impl OnOff {
+    /// Creates an on/off process bursting at `on_rate` req/s with the given
+    /// mean on/off durations (seconds). Returns `None` on non-positive or
+    /// non-finite parameters.
+    pub fn new(on_rate: f64, mean_on: f64, mean_off: f64) -> Option<Self> {
+        let valid = |x: f64| x.is_finite() && x > 0.0;
+        if !valid(on_rate) || !valid(mean_on) || !valid(mean_off) {
+            return None;
+        }
+        Some(OnOff {
+            on_rate,
+            mean_on,
+            mean_off,
+            in_burst: false,
+            burst_remaining: 0.0,
+        })
+    }
+
+    fn exp<R: Rng + ?Sized>(rng: &mut R, mean: f64) -> f64 {
+        let u: f64 = rng.gen::<f64>().max(f64::MIN_POSITIVE);
+        -u.ln() * mean
+    }
+}
+
+impl ArrivalProcess for OnOff {
+    fn next_gap<R: Rng + ?Sized>(&mut self, rng: &mut R) -> f64 {
+        let mut silent = 0.0;
+        loop {
+            if !self.in_burst {
+                silent += Self::exp(rng, self.mean_off);
+                self.in_burst = true;
+                self.burst_remaining = Self::exp(rng, self.mean_on);
+            }
+            let gap = Self::exp(rng, 1.0 / self.on_rate);
+            if gap <= self.burst_remaining {
+                self.burst_remaining -= gap;
+                return silent + gap;
+            }
+            // Burst ended before the next arrival; accumulate the unused
+            // burst tail as silence and draw a fresh off-period.
+            silent += self.burst_remaining;
+            self.in_burst = false;
+        }
+    }
+
+    fn mean_rate(&self) -> f64 {
+        self.on_rate * self.mean_on / (self.mean_on + self.mean_off)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn mean_gap<P: ArrivalProcess>(p: &mut P, n: usize, seed: u64) -> f64 {
+        let mut rng = StdRng::seed_from_u64(seed);
+        (0..n).map(|_| p.next_gap(&mut rng)).sum::<f64>() / n as f64
+    }
+
+    #[test]
+    fn poisson_mean_gap_matches_rate() {
+        let mut p = Poisson::new(50.0).unwrap();
+        let m = mean_gap(&mut p, 100_000, 1);
+        assert!((m - 0.02).abs() < 0.001, "mean gap {m}");
+    }
+
+    #[test]
+    fn poisson_gaps_positive() {
+        let mut p = Poisson::new(1e6).unwrap();
+        let mut rng = StdRng::seed_from_u64(2);
+        for _ in 0..1000 {
+            assert!(p.next_gap(&mut rng) > 0.0);
+        }
+    }
+
+    #[test]
+    fn deterministic_is_exact() {
+        let mut d = Deterministic::new(4.0).unwrap();
+        let mut rng = StdRng::seed_from_u64(3);
+        assert_eq!(d.next_gap(&mut rng), 0.25);
+        assert_eq!(d.mean_rate(), 4.0);
+    }
+
+    #[test]
+    fn onoff_long_run_rate() {
+        let mut b = OnOff::new(100.0, 1.0, 3.0).unwrap();
+        assert_eq!(b.mean_rate(), 25.0);
+        let m = mean_gap(&mut b, 200_000, 4);
+        assert!((1.0 / m - 25.0).abs() < 1.0, "observed rate {}", 1.0 / m);
+    }
+
+    #[test]
+    fn onoff_produces_bursts_and_silences() {
+        let mut b = OnOff::new(1000.0, 0.1, 1.0).unwrap();
+        let mut rng = StdRng::seed_from_u64(5);
+        let gaps: Vec<f64> = (0..10_000).map(|_| b.next_gap(&mut rng)).collect();
+        let small = gaps.iter().filter(|&&g| g < 0.01).count();
+        let large = gaps.iter().filter(|&&g| g > 0.3).count();
+        assert!(small > 8000, "expected mostly in-burst gaps, got {small}");
+        assert!(large > 50, "expected some inter-burst silences, got {large}");
+    }
+
+    #[test]
+    fn constructors_reject_bad_parameters() {
+        assert!(Poisson::new(0.0).is_none());
+        assert!(Poisson::new(f64::INFINITY).is_none());
+        assert!(Deterministic::new(-1.0).is_none());
+        assert!(OnOff::new(10.0, 0.0, 1.0).is_none());
+    }
+}

@@ -1,0 +1,287 @@
+//! Per-node, per-document demand mixes.
+//!
+//! WebWave's packet-level protocol must track a separate forwarded rate
+//! `A_j` *per document* (paper, Section 5 footnote: "An implementation of
+//! WebWave needs to maintain a separate A_j for each document it caches").
+//! A [`DocMix`] describes how each node's spontaneous rate splits across
+//! the published documents.
+
+use crate::Zipf;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+use ww_model::{DocId, NodeId, RateVector, Tree};
+
+/// Demand for documents at every node: `rate_of(node, doc)` in req/s.
+///
+/// # Example
+///
+/// ```
+/// use ww_model::{DocId, NodeId, RateVector, Tree};
+/// use ww_workload::DocMix;
+///
+/// let tree = Tree::from_parents(&[None, Some(0)]).unwrap();
+/// let mut mix = DocMix::new(2);
+/// mix.set(NodeId::new(1), DocId::new(7), 12.0);
+/// assert_eq!(mix.rate_of(NodeId::new(1), DocId::new(7)), 12.0);
+/// assert_eq!(mix.node_total(NodeId::new(1)), 12.0);
+/// assert_eq!(mix.spontaneous().as_slice(), &[0.0, 12.0]);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DocMix {
+    /// Per node: sorted list of (doc, rate) pairs.
+    demands: Vec<Vec<(DocId, f64)>>,
+}
+
+impl DocMix {
+    /// Creates an empty mix over `n` nodes.
+    pub fn new(n: usize) -> Self {
+        DocMix {
+            demands: vec![Vec::new(); n],
+        }
+    }
+
+    /// Number of nodes covered.
+    pub fn len(&self) -> usize {
+        self.demands.len()
+    }
+
+    /// `true` when the mix covers no nodes.
+    pub fn is_empty(&self) -> bool {
+        self.demands.is_empty()
+    }
+
+    /// Sets (overwrites) the demand of `node` for `doc`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node` is out of range or `rate` is negative/non-finite.
+    pub fn set(&mut self, node: NodeId, doc: DocId, rate: f64) {
+        assert!(rate.is_finite() && rate >= 0.0, "rate must be finite and >= 0");
+        let list = &mut self.demands[node.index()];
+        match list.binary_search_by_key(&doc, |&(d, _)| d) {
+            Ok(i) => list[i].1 = rate,
+            Err(i) => list.insert(i, (doc, rate)),
+        }
+    }
+
+    /// Demand of `node` for `doc` (0 when absent).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node` is out of range.
+    pub fn rate_of(&self, node: NodeId, doc: DocId) -> f64 {
+        let list = &self.demands[node.index()];
+        match list.binary_search_by_key(&doc, |&(d, _)| d) {
+            Ok(i) => list[i].1,
+            Err(_) => 0.0,
+        }
+    }
+
+    /// All `(doc, rate)` demands of one node.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node` is out of range.
+    pub fn demands_of(&self, node: NodeId) -> &[(DocId, f64)] {
+        &self.demands[node.index()]
+    }
+
+    /// Total demand generated at `node` across all documents.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node` is out of range.
+    pub fn node_total(&self, node: NodeId) -> f64 {
+        self.demands[node.index()].iter().map(|&(_, r)| r).sum()
+    }
+
+    /// Aggregates the mix into the spontaneous rate vector `E`.
+    pub fn spontaneous(&self) -> RateVector {
+        (0..self.len())
+            .map(|i| self.node_total(NodeId::new(i)))
+            .collect()
+    }
+
+    /// The set of distinct documents appearing anywhere in the mix, sorted.
+    pub fn documents(&self) -> Vec<DocId> {
+        let mut docs: Vec<DocId> = self
+            .demands
+            .iter()
+            .flat_map(|l| l.iter().map(|&(d, _)| d))
+            .collect();
+        docs.sort_unstable();
+        docs.dedup();
+        docs
+    }
+
+    /// Total demand for one document across all nodes.
+    pub fn doc_total(&self, doc: DocId) -> f64 {
+        (0..self.len())
+            .map(|i| self.rate_of(NodeId::new(i), doc))
+            .sum()
+    }
+}
+
+/// Builds a mix in which every node splits its spontaneous rate across
+/// `docs` documents by a shared Zipf(s) popularity law.
+///
+/// This is the "globally hot documents" regime: everyone agrees which
+/// documents are hot.
+///
+/// # Panics
+///
+/// Panics if `docs == 0`, `s < 0`, or `spontaneous` is shorter than the
+/// tree.
+pub fn shared_zipf_mix(tree: &Tree, spontaneous: &RateVector, docs: usize, s: f64) -> DocMix {
+    assert_eq!(spontaneous.len(), tree.len(), "rates must match tree");
+    let zipf = Zipf::new(docs, s).expect("valid zipf parameters");
+    let mut mix = DocMix::new(tree.len());
+    for (node, rate) in spontaneous.iter() {
+        if rate <= 0.0 {
+            continue;
+        }
+        for (rank, share) in zipf.rate_split(rate).into_iter().enumerate() {
+            if share > 0.0 {
+                mix.set(node, DocId::new(rank as u64), share);
+            }
+        }
+    }
+    mix
+}
+
+/// Builds a mix where each node is interested in its *own* random subset of
+/// `docs_per_node` documents drawn from `universe` document ids, splitting
+/// its rate by Zipf(s) over that subset.
+///
+/// This "regional interest" regime creates the per-document diversity that
+/// produces potential barriers (Section 5.2): a parent may carry none of
+/// the documents an underloaded child requests.
+///
+/// # Panics
+///
+/// Panics if `docs_per_node == 0` or `universe == 0`.
+pub fn regional_zipf_mix<R: Rng + ?Sized>(
+    rng: &mut R,
+    tree: &Tree,
+    spontaneous: &RateVector,
+    universe: usize,
+    docs_per_node: usize,
+    s: f64,
+) -> DocMix {
+    assert_eq!(spontaneous.len(), tree.len(), "rates must match tree");
+    assert!(universe > 0 && docs_per_node > 0, "need documents");
+    let k = docs_per_node.min(universe);
+    let zipf = Zipf::new(k, s).expect("valid zipf parameters");
+    let mut mix = DocMix::new(tree.len());
+    for (node, rate) in spontaneous.iter() {
+        if rate <= 0.0 {
+            continue;
+        }
+        // Sample k distinct docs by partial Fisher-Yates over the universe.
+        let mut ids: Vec<usize> = (0..universe).collect();
+        for i in 0..k {
+            let j = rng.gen_range(i..universe);
+            ids.swap(i, j);
+        }
+        for (rank, share) in zipf.rate_split(rate).into_iter().enumerate() {
+            if share > 0.0 {
+                mix.set(node, DocId::new(ids[rank] as u64), share);
+            }
+        }
+    }
+    mix
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn tree() -> Tree {
+        Tree::from_parents(&[None, Some(0), Some(0), Some(1)]).unwrap()
+    }
+
+    #[test]
+    fn set_and_get() {
+        let mut m = DocMix::new(2);
+        m.set(NodeId::new(0), DocId::new(5), 3.0);
+        m.set(NodeId::new(0), DocId::new(2), 1.0);
+        assert_eq!(m.rate_of(NodeId::new(0), DocId::new(5)), 3.0);
+        assert_eq!(m.rate_of(NodeId::new(0), DocId::new(9)), 0.0);
+        // Overwrite.
+        m.set(NodeId::new(0), DocId::new(5), 4.0);
+        assert_eq!(m.rate_of(NodeId::new(0), DocId::new(5)), 4.0);
+        assert_eq!(m.node_total(NodeId::new(0)), 5.0);
+    }
+
+    #[test]
+    fn demands_kept_sorted() {
+        let mut m = DocMix::new(1);
+        m.set(NodeId::new(0), DocId::new(9), 1.0);
+        m.set(NodeId::new(0), DocId::new(1), 1.0);
+        m.set(NodeId::new(0), DocId::new(4), 1.0);
+        let docs: Vec<u64> = m
+            .demands_of(NodeId::new(0))
+            .iter()
+            .map(|&(d, _)| d.value())
+            .collect();
+        assert_eq!(docs, vec![1, 4, 9]);
+    }
+
+    #[test]
+    fn spontaneous_aggregation() {
+        let mut m = DocMix::new(3);
+        m.set(NodeId::new(1), DocId::new(0), 2.0);
+        m.set(NodeId::new(1), DocId::new(1), 3.0);
+        m.set(NodeId::new(2), DocId::new(0), 4.0);
+        assert_eq!(m.spontaneous().as_slice(), &[0.0, 5.0, 4.0]);
+        assert_eq!(m.doc_total(DocId::new(0)), 6.0);
+        assert_eq!(m.documents(), vec![DocId::new(0), DocId::new(1)]);
+    }
+
+    #[test]
+    fn shared_zipf_preserves_node_totals() {
+        let t = tree();
+        let e = RateVector::from(vec![0.0, 10.0, 20.0, 30.0]);
+        let m = shared_zipf_mix(&t, &e, 16, 1.0);
+        for (node, rate) in e.iter() {
+            assert!(
+                (m.node_total(node) - rate).abs() < 1e-9,
+                "node {node} total mismatch"
+            );
+        }
+        // Doc 0 is globally hottest.
+        assert!(m.doc_total(DocId::new(0)) > m.doc_total(DocId::new(15)));
+    }
+
+    #[test]
+    fn regional_mix_uses_distinct_docs_per_node() {
+        let t = tree();
+        let e = RateVector::from(vec![0.0, 10.0, 10.0, 10.0]);
+        let mut rng = StdRng::seed_from_u64(11);
+        let m = regional_zipf_mix(&mut rng, &t, &e, 100, 4, 1.0);
+        for (node, rate) in e.iter() {
+            assert!((m.node_total(node) - rate).abs() < 1e-9);
+            if rate > 0.0 {
+                assert_eq!(m.demands_of(node).len(), 4);
+            }
+        }
+    }
+
+    #[test]
+    fn regional_mix_clamps_subset_to_universe() {
+        let t = tree();
+        let e = RateVector::from(vec![0.0, 0.0, 0.0, 9.0]);
+        let mut rng = StdRng::seed_from_u64(12);
+        let m = regional_zipf_mix(&mut rng, &t, &e, 2, 10, 1.0);
+        assert_eq!(m.demands_of(NodeId::new(3)).len(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "rate must be finite")]
+    fn negative_rate_rejected() {
+        let mut m = DocMix::new(1);
+        m.set(NodeId::new(0), DocId::new(0), -1.0);
+    }
+}

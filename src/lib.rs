@@ -1,0 +1,68 @@
+//! # webwave — globally load balanced, fully distributed caching of hot published documents
+//!
+//! A production-quality Rust reproduction of *WebWave* (Heddaya & Mirdad,
+//! Boston University TR BU-CS-96-024 / ICDCS 1997): a caching system for
+//! immutable published documents that
+//!
+//! 1. **maximizes global throughput** by driving the per-server load
+//!    distribution to the provably optimal *Tree Load Balance* (TLB),
+//! 2. **finds cache copies without any directory or discovery protocol** —
+//!    requests simply stumble on copies placed along their routing path,
+//! 3. **is completely distributed**: every decision uses only a node's own
+//!    measurements and its tree neighbors' gossip.
+//!
+//! This crate re-exports the whole workspace under one roof:
+//!
+//! * [`model`] — routing trees, rate vectors, flow constraints,
+//! * [`topology`] / [`workload`] — tree generators and synthetic demand,
+//! * [`diffusion`] — the classic GLE diffusion substrate (Cybenko et al.),
+//! * [`fold`] — WebFold, the off-line TLB oracle,
+//! * [`wave`], [`docsim`], [`packetsim`] — the WebWave protocol at rate,
+//!   document and packet granularity (barriers + tunneling included),
+//! * [`runtime`] — WebWave as real cooperating threads,
+//! * [`baselines`] — directory caches, DNS round-robin, no-cache,
+//! * [`stats`] — the `a * gamma^t` convergence regression,
+//! * [`sim`] / [`net`] / [`cache`] — event kernel, routers + packet
+//!   filters, cache stores,
+//! * [`experiments`] — one runner per paper figure/table.
+//!
+//! # Quickstart
+//!
+//! ```
+//! use webwave::topology::paper;
+//! use webwave::fold::webfold;
+//! use webwave::wave::{RateWave, WaveConfig};
+//!
+//! // The optimal off-line assignment...
+//! let s = paper::fig2b();
+//! let tlb = webfold(&s.tree, &s.spontaneous);
+//! assert_eq!(tlb.load().as_slice(), &[30.0, 30.0, 5.0, 30.0, 5.0]);
+//!
+//! // ...and the distributed protocol converging to it.
+//! let mut wave = RateWave::new(&s.tree, &s.spontaneous, WaveConfig::default());
+//! wave.run(2000);
+//! assert!(wave.distance_to_tlb() < 1e-6);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use ww_baselines as baselines;
+pub use ww_cache as cache;
+pub use ww_core::docsim;
+pub use ww_core::fold;
+pub use ww_core::packetsim;
+pub use ww_core::throughput;
+pub use ww_core::tlb;
+pub use ww_core::tracking;
+pub use ww_core::wave;
+pub use ww_diffusion as diffusion;
+pub use ww_experiments as experiments;
+pub use ww_forest as forest;
+pub use ww_model as model;
+pub use ww_net as net;
+pub use ww_runtime as runtime;
+pub use ww_sim as sim;
+pub use ww_stats as stats;
+pub use ww_topology as topology;
+pub use ww_workload as workload;

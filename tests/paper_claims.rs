@@ -1,0 +1,151 @@
+//! The paper's headline claims, one test per claim, runnable end to end
+//! through the public `webwave` API.
+
+use webwave::experiments;
+use webwave::fold::webfold;
+use webwave::model::{NodeId, RateVector};
+use webwave::tlb;
+use webwave::topology::paper;
+
+/// Claim (Section 3 / Figure 2): whether TLB achieves GLE depends only on
+/// the spontaneous rates; both cases exist on the same tree.
+#[test]
+fn claim_tlb_vs_gle_duality() {
+    let r = experiments::fig2();
+    assert!(r.a_is_gle, "fig2a must admit GLE");
+    assert!(!r.b_is_gle, "fig2b must not admit GLE");
+    // The infeasibility is exactly an NSS violation of uniform load.
+    let s = paper::fig2b();
+    let uniform = RateVector::uniform(5, s.total_demand() / 5.0);
+    assert!(!tlb::check_feasibility(&s.tree, &s.spontaneous, &uniform, 1e-9).nss);
+}
+
+/// Claim (Theorem 1): WebFold's assignment is tree load balanced — no
+/// feasible assignment has a lexicographically smaller sorted load vector.
+#[test]
+fn claim_webfold_is_optimal() {
+    use rand::SeedableRng;
+    let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+    for s in paper::all_scenarios() {
+        let oracle = webfold(&s.tree, &s.spontaneous).into_load();
+        assert!(tlb::is_tlb(&s.tree, &s.spontaneous, &oracle, 1e-9));
+        for _ in 0..300 {
+            let rival = tlb::random_feasible_assignment(&mut rng, &s.tree, &s.spontaneous);
+            assert_ne!(
+                oracle.compare_balance(&rival, 1e-9),
+                std::cmp::Ordering::Greater,
+                "{}: a feasible rival beat WebFold",
+                s.name
+            );
+        }
+    }
+}
+
+/// Claim (Lemmas 1-3): monotone loads, zero inter-fold flow, NSS.
+#[test]
+fn claim_webfold_lemmas() {
+    for s in paper::all_scenarios() {
+        let folded = webfold(&s.tree, &s.spontaneous);
+        assert!(tlb::check_monotone_non_increasing(&s.tree, folded.load(), 1e-9));
+        assert!(tlb::check_zero_interfold_flow(&s.tree, &s.spontaneous, &folded, 1e-9));
+        assert!(
+            tlb::check_feasibility(&s.tree, &s.spontaneous, folded.load(), 1e-9).is_feasible()
+        );
+    }
+}
+
+/// Claim (Section 5.1 / Figure 6b): WebWave converges to TLB
+/// exponentially fast; the distance is bounded by `a * gamma^t` with
+/// `0 < gamma < 1`.
+#[test]
+fn claim_exponential_convergence() {
+    let r = experiments::fig6b(400);
+    let fit = r.fit.expect("fit succeeds");
+    assert!(fit.gamma > 0.0 && fit.gamma < 1.0, "gamma {}", fit.gamma);
+    // Exponential in practice: five decades of decay within the run.
+    let d = &r.distances;
+    assert!(d[d.len() - 1] < d[0] * 1e-5, "final {} of {}", d[d.len() - 1], d[0]);
+}
+
+/// Claim (Section 5.1): the regression machinery reproduces a
+/// `gamma (stderr)` pair for a depth-9 random tree, with gamma rising
+/// with depth (deeper trees mix more slowly).
+#[test]
+fn claim_gamma_regression_shape() {
+    let study = experiments::gamma_study(&[3, 6, 9], 128, 500, 2026);
+    assert_eq!(study.rows.len(), 3);
+    for row in &study.rows {
+        assert!(row.gamma > 0.0 && row.gamma < 1.0);
+        assert!(row.stderr > 0.0 && row.stderr < 0.05);
+    }
+    assert!(
+        study.rows[2].gamma > study.rows[0].gamma,
+        "depth 9 ({}) should mix slower than depth 3 ({})",
+        study.rows[2].gamma,
+        study.rows[0].gamma
+    );
+}
+
+/// Claim (Section 5.2 / Figure 7): the potential barrier stalls plain
+/// diffusion off-TLB; tunneling recovers the uniform-90 optimum.
+#[test]
+fn claim_barrier_and_tunneling() {
+    let r = experiments::fig7(1500);
+    // Stalled: node 2 starves, the other three settle at ~120.
+    assert_eq!(r.stalled[NodeId::new(2)], 0.0);
+    for i in [0usize, 1, 3] {
+        assert!((r.stalled[NodeId::new(i)] - 120.0).abs() < 1.0);
+    }
+    // Tunneled: everyone at 90.
+    for i in 0..4 {
+        assert!((r.tunneled[NodeId::new(i)] - 90.0).abs() < 1.0);
+    }
+    assert!(r.tunnel_fetches >= 1);
+}
+
+/// Claim (Section 5.2): the barrier predicate identifies the blocking
+/// node in the stalled state.
+#[test]
+fn claim_barrier_predicate() {
+    let r = experiments::fig7(1500);
+    let b = paper::fig7();
+    let barriers = tlb::potential_barrier_nodes(&b.tree, &r.stalled, 1e-6);
+    assert_eq!(barriers, vec![NodeId::new(1)]);
+}
+
+/// Claim (Section 2): on connected graphs the diffusion substrate
+/// converges to uniform at the spectrum-predicted rate (Cybenko; Xu-Lau
+/// optimal parameters).
+#[test]
+fn claim_gle_diffusion_background() {
+    let s = experiments::gle_study();
+    for row in &s.rows {
+        assert!(
+            (row.predicted_gamma - row.measured_gamma).abs() < 0.02,
+            "{}: predicted {} measured {}",
+            row.topology,
+            row.predicted_gamma,
+            row.measured_gamma
+        );
+        assert!(row.iterations < 100_000);
+    }
+}
+
+/// Claim (Sections 1, 6): WebWave needs no directory and keeps data on
+/// the request route, unlike the alternatives, while matching the
+/// optimal max-load.
+#[test]
+fn claim_baseline_positioning() {
+    let study = experiments::baseline_study(3);
+    let fig6_rows = &study.rows[..6];
+    let get = |n: &str| fig6_rows.iter().find(|r| r.name.starts_with(n)).unwrap();
+    let webwave = get("webwave");
+    let oracle = get("webfold-oracle");
+    assert!(!webwave.violates_nss);
+    assert!((webwave.max_load - oracle.max_load).abs() < 0.02 * oracle.max_load);
+    assert!(webwave.max_load < get("no-cache").max_load);
+    // The directory achieves GLE but pays per-request control messages.
+    let dir = get("directory");
+    assert_eq!(dir.distance_to_gle, 0.0);
+    assert!(dir.control_msgs_per_request > webwave.control_msgs_per_request);
+}

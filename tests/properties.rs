@@ -1,0 +1,184 @@
+//! Property-based tests (proptest) over the core data structures and the
+//! paper's invariants, exercised through the public `webwave` API.
+
+use proptest::prelude::*;
+use webwave::fold::webfold;
+use webwave::model::{LoadAssignment, NodeId, RateVector, Tree};
+use webwave::tlb;
+use webwave::wave::{RateWave, WaveConfig};
+
+/// Strategy: a random parent-pointer tree of 1..=40 nodes where
+/// `parent(i) < i` — always a valid rooted tree.
+fn arb_tree() -> impl Strategy<Value = Tree> {
+    (1usize..=40)
+        .prop_flat_map(|n| {
+            let parents: Vec<BoxedStrategy<Option<usize>>> = (0..n)
+                .map(|i| {
+                    if i == 0 {
+                        Just(None).boxed()
+                    } else {
+                        (0..i).prop_map(Some).boxed()
+                    }
+                })
+                .collect();
+            parents
+        })
+        .prop_map(|parents| Tree::from_parents(&parents).expect("parent(i) < i is a tree"))
+}
+
+/// Strategy: non-negative rates for a given tree size.
+fn arb_rates(n: usize) -> impl Strategy<Value = RateVector> {
+    proptest::collection::vec(0.0f64..100.0, n).prop_map(RateVector::from)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Tree structural invariants hold for arbitrary trees.
+    #[test]
+    fn tree_invariants(tree in arb_tree()) {
+        // Depths increase by exactly one along parent edges.
+        for u in tree.nodes() {
+            if let Some(p) = tree.parent(u) {
+                prop_assert_eq!(tree.depth(u), tree.depth(p) + 1);
+            }
+        }
+        // Subtree sizes: root covers everything; each node's subtree is
+        // 1 + children's subtrees.
+        prop_assert_eq!(tree.subtree_size(tree.root()), tree.len());
+        for u in tree.nodes() {
+            let from_children: usize =
+                tree.children(u).iter().map(|&c| tree.subtree_size(c)).sum();
+            prop_assert_eq!(tree.subtree_size(u), 1 + from_children);
+        }
+        // Every path to root ends at the root, with length = depth + 1.
+        for u in tree.nodes() {
+            let path: Vec<NodeId> = tree.path_to_root(u).collect();
+            prop_assert_eq!(path.len(), tree.depth(u) + 1);
+            prop_assert_eq!(*path.last().unwrap(), tree.root());
+        }
+        // Round trip through parent array.
+        let rebuilt = Tree::from_parents(&tree.to_parents()).unwrap();
+        prop_assert_eq!(rebuilt, tree);
+    }
+
+    /// WebFold output satisfies every lemma and conservation law on
+    /// arbitrary trees and demands.
+    #[test]
+    fn webfold_invariants((tree, rates) in arb_tree().prop_flat_map(|t| {
+        let n = t.len();
+        (Just(t), arb_rates(n))
+    })) {
+        let folded = webfold(&tree, &rates);
+        // Conservation.
+        prop_assert!((folded.load().total() - rates.total()).abs() < 1e-6);
+        // Lemma 1: monotone non-increasing root -> leaf.
+        prop_assert!(tlb::check_monotone_non_increasing(&tree, folded.load(), 1e-9));
+        // Lemma 2: zero flow at fold roots.
+        prop_assert!(tlb::check_zero_interfold_flow(&tree, &rates, &folded, 1e-6));
+        // Lemma 3 + Constraint 1: full feasibility.
+        let a = LoadAssignment::new(&tree, &rates, folded.load().clone()).unwrap();
+        prop_assert!(a.check_feasible(1e-6).is_ok());
+        // Folds partition the node set into contiguous regions.
+        let mut seen = vec![false; tree.len()];
+        for (root, members) in folded.folds() {
+            for m in &members {
+                prop_assert!(!seen[m.index()]);
+                seen[m.index()] = true;
+                if *m != root {
+                    let p = tree.parent(*m).unwrap();
+                    prop_assert!(folded.same_fold(*m, p));
+                }
+            }
+        }
+        prop_assert!(seen.iter().all(|&x| x));
+    }
+
+    /// Theorem 1, randomized: no feasible assignment sorts strictly below
+    /// WebFold's.
+    #[test]
+    fn webfold_beats_random_feasible((tree, rates, seed) in arb_tree().prop_flat_map(|t| {
+        let n = t.len();
+        (Just(t), arb_rates(n), any::<u64>())
+    })) {
+        use rand::SeedableRng;
+        let oracle = webfold(&tree, &rates).into_load();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        for _ in 0..10 {
+            let rival = tlb::random_feasible_assignment(&mut rng, &tree, &rates);
+            prop_assert_ne!(
+                oracle.compare_balance(&rival, 1e-7),
+                std::cmp::Ordering::Greater
+            );
+        }
+    }
+
+    /// Random feasible assignments really are feasible (the competitor
+    /// generator itself is sound).
+    #[test]
+    fn random_assignments_feasible((tree, rates, seed) in arb_tree().prop_flat_map(|t| {
+        let n = t.len();
+        (Just(t), arb_rates(n), any::<u64>())
+    })) {
+        use rand::SeedableRng;
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let cand = tlb::random_feasible_assignment(&mut rng, &tree, &rates);
+        let f = tlb::check_feasibility(&tree, &rates, &cand, 1e-6);
+        prop_assert!(f.is_feasible());
+    }
+
+    /// WebWave preserves feasibility and total demand on every round, for
+    /// arbitrary trees and demands.
+    #[test]
+    fn wave_rounds_stay_feasible((tree, rates) in arb_tree().prop_flat_map(|t| {
+        let n = t.len();
+        (Just(t), arb_rates(n))
+    })) {
+        let mut wave = RateWave::new(&tree, &rates, WaveConfig::default());
+        for _ in 0..30 {
+            wave.step();
+            let a = LoadAssignment::new(&tree, &rates, wave.load().clone()).unwrap();
+            prop_assert!(a.check_feasible(1e-6).is_ok());
+            prop_assert!((wave.load().total() - rates.total()).abs() < 1e-6);
+        }
+    }
+
+    /// WebWave's distance to TLB never grows (monotone contraction under
+    /// instantaneous gossip) and small instances converge outright.
+    #[test]
+    fn wave_converges_on_small_trees((tree, rates) in arb_tree().prop_flat_map(|t| {
+        let n = t.len();
+        (Just(t), arb_rates(n))
+    })) {
+        let total = rates.total();
+        let mut wave = RateWave::new(&tree, &rates, WaveConfig::default());
+        wave.run(6000);
+        prop_assert!(
+            wave.distance_to_tlb() <= (0.01 * total).max(1e-6),
+            "distance {} of total {}",
+            wave.distance_to_tlb(),
+            total
+        );
+    }
+
+    /// GLE feasibility agrees with WebFold collapsing to one fold.
+    #[test]
+    fn gle_feasibility_matches_fold_count((tree, rates) in arb_tree().prop_flat_map(|t| {
+        let n = t.len();
+        (Just(t), arb_rates(n))
+    })) {
+        let single_fold = webfold(&tree, &rates).is_gle();
+        let feasible = tlb::gle_feasible(&tree, &rates, 1e-9);
+        // A single fold always implies GLE-feasible. (The converse can
+        // fail on ties: equal-load folds are GLE in value while remaining
+        // distinct folds.)
+        if single_fold {
+            prop_assert!(feasible);
+        }
+        if feasible {
+            let folded = webfold(&tree, &rates);
+            let spread = folded.load().max() - folded.load().min();
+            prop_assert!(spread < 1e-6, "GLE-feasible but folds spread {spread}");
+        }
+    }
+}
