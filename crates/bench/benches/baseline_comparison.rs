@@ -23,9 +23,7 @@ fn bench(c: &mut Criterion) {
         .measurement_time(Duration::from_secs(2))
         .warm_up_time(Duration::from_millis(500))
         .sample_size(20);
-    group.bench_function("no_cache", |b| {
-        b.iter(|| bl::no_caching(&tree, &demand))
-    });
+    group.bench_function("no_cache", |b| b.iter(|| bl::no_caching(&tree, &demand)));
     group.bench_function("directory", |b| {
         b.iter(|| bl::directory_cache(&tree, &demand, 2.0))
     });

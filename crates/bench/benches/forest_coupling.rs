@@ -32,7 +32,10 @@ fn bench(c: &mut Criterion) {
         .measurement_time(Duration::from_secs(2))
         .warm_up_time(Duration::from_millis(500))
         .sample_size(20);
-    for (label, coupling) in [("coupled", Coupling::Coupled), ("uncoupled", Coupling::Uncoupled)] {
+    for (label, coupling) in [
+        ("coupled", Coupling::Coupled),
+        ("uncoupled", Coupling::Uncoupled),
+    ] {
         group.bench_with_input(
             BenchmarkId::new("2000_rounds", label),
             &coupling,

@@ -32,8 +32,14 @@ fn print_reference_table() {
     }
     println!("A3 — packet filter cost per request (100k-entry tables)");
     println!("  DPF reference (paper): {DPF_FILTER_COST_US:.2} us/packet");
-    println!("  exact filter:          {:.4} us/packet", quick_cost_us(&exact, 1_000_000));
-    println!("  counting bloom:        {:.4} us/packet\n", quick_cost_us(&bloom, 1_000_000));
+    println!(
+        "  exact filter:          {:.4} us/packet",
+        quick_cost_us(&exact, 1_000_000)
+    );
+    println!(
+        "  counting bloom:        {:.4} us/packet\n",
+        quick_cost_us(&bloom, 1_000_000)
+    );
 }
 
 fn bench(c: &mut Criterion) {

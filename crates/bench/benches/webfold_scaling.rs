@@ -66,5 +66,73 @@ fn bench(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench);
+/// Dense-state `RateWave` vs the naive clone-per-round reference — the
+/// perf-trajectory comparison recorded by `webwave-bench` in
+/// `BENCH_webfold_scaling.json`.
+fn bench_rate_wave_engines(c: &mut Criterion) {
+    use ww_core::reference::NaiveRateWave;
+    use ww_core::wave::{RateWave, WaveConfig};
+
+    let mut group = c.benchmark_group("rate_wave_dense_vs_naive");
+    group
+        .measurement_time(Duration::from_secs(2))
+        .warm_up_time(Duration::from_millis(300))
+        .sample_size(10);
+    for &n in &[1_000usize, 10_000] {
+        let (tree, e) = ww_bench::scaling_scenario(n, 12, n as u64);
+        let rounds = if n <= 1_000 { 200 } else { 50 };
+        group.bench_with_input(BenchmarkId::new("dense", n), &n, |b, _| {
+            b.iter(|| {
+                let mut w = RateWave::new(&tree, &e, WaveConfig::default());
+                w.run(rounds);
+                w.distance_to_tlb()
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("naive", n), &n, |b, _| {
+            b.iter(|| {
+                let mut w = NaiveRateWave::new(&tree, &e, WaveConfig::default());
+                w.run(rounds);
+                w.distance_to_tlb()
+            })
+        });
+    }
+    group.finish();
+}
+
+/// Dense-slab `DocSim` vs the naive hash-table reference.
+fn bench_docsim_engines(c: &mut Criterion) {
+    use ww_core::docsim::{DocSim, DocSimConfig};
+    use ww_core::reference::NaiveDocSim;
+
+    let mut group = c.benchmark_group("docsim_dense_vs_naive");
+    group
+        .measurement_time(Duration::from_secs(2))
+        .warm_up_time(Duration::from_millis(300))
+        .sample_size(10);
+    let n = 1_000usize;
+    let (tree, e) = ww_bench::scaling_scenario(n, 12, n as u64 ^ 0xD0C);
+    let mix = ww_bench::scaling_mix(&tree, &e, 64);
+    group.bench_function(BenchmarkId::new("dense", n), |b| {
+        b.iter(|| {
+            let mut s = DocSim::new(&tree, &mix, DocSimConfig::default());
+            s.run(10);
+            s.distance_to_tlb()
+        })
+    });
+    group.bench_function(BenchmarkId::new("naive", n), |b| {
+        b.iter(|| {
+            let mut s = NaiveDocSim::new(&tree, &mix, DocSimConfig::default());
+            s.run(10);
+            s.distance_to_tlb()
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench,
+    bench_rate_wave_engines,
+    bench_docsim_engines
+);
 criterion_main!(benches);

@@ -1,0 +1,212 @@
+//! `webwave-bench` — the recorded perf trajectory of the dense-state
+//! engines.
+//!
+//! Measures `RateWave::run` and `DocSim::run` against the naive
+//! hash-table / clone-per-round reference engines
+//! (`ww_core::reference`) on 1k+ node trees, verifies that dense and
+//! naive produce **bit-identical convergence traces**, times `webfold`
+//! itself across scales, and writes everything to
+//! `BENCH_webfold_scaling.json` (or the path given as the first CLI
+//! argument).
+//!
+//! Run with: `cargo run --release -p ww-bench --bin webwave-bench`
+
+use std::fmt::Write as _;
+use ww_bench::{scaling_mix, scaling_scenario, time_min};
+use ww_core::docsim::{DocSim, DocSimConfig};
+use ww_core::fold::webfold;
+use ww_core::reference::{NaiveDocSim, NaiveRateWave};
+use ww_core::wave::{RateWave, WaveConfig};
+
+const SAMPLES: usize = 5;
+
+struct Comparison {
+    engine: &'static str,
+    nodes: usize,
+    docs: usize,
+    rounds: usize,
+    staleness: usize,
+    dense_ns_per_round: f64,
+    naive_ns_per_round: f64,
+    speedup: f64,
+    traces_identical: bool,
+}
+
+fn traces_equal(a: &ww_stats::ConvergenceTrace, b: &ww_stats::ConvergenceTrace) -> bool {
+    a.len() == b.len()
+        && a.distances()
+            .iter()
+            .zip(b.distances())
+            .all(|(x, y)| x.to_bits() == y.to_bits())
+}
+
+fn bench_rate_wave(nodes: usize, rounds: usize, staleness: usize) -> Comparison {
+    let (tree, rates) = scaling_scenario(nodes, 12, nodes as u64);
+    let config = WaveConfig {
+        alpha: None,
+        staleness,
+    };
+
+    // Trace equivalence on a short prefix (cheap, exact).
+    let mut dense_probe = RateWave::new(&tree, &rates, config);
+    let mut naive_probe = NaiveRateWave::new(&tree, &rates, config);
+    dense_probe.run(rounds.min(50));
+    naive_probe.run(rounds.min(50));
+    let traces_identical = traces_equal(dense_probe.trace(), naive_probe.trace());
+
+    let dense = time_min(
+        SAMPLES,
+        || RateWave::new(&tree, &rates, config),
+        |w| w.run(rounds),
+    );
+    let naive = time_min(
+        SAMPLES,
+        || NaiveRateWave::new(&tree, &rates, config),
+        |w| w.run(rounds),
+    );
+    Comparison {
+        engine: "RateWave::run",
+        nodes,
+        docs: 0,
+        rounds,
+        staleness,
+        dense_ns_per_round: dense.as_nanos() as f64 / rounds as f64,
+        naive_ns_per_round: naive.as_nanos() as f64 / rounds as f64,
+        speedup: naive.as_secs_f64() / dense.as_secs_f64(),
+        traces_identical,
+    }
+}
+
+fn bench_docsim(nodes: usize, docs: usize, rounds: usize) -> Comparison {
+    let (tree, rates) = scaling_scenario(nodes, 12, nodes as u64 ^ 0xD0C);
+    let mix = scaling_mix(&tree, &rates, docs);
+    let config = DocSimConfig::default();
+
+    let mut dense_probe = DocSim::new(&tree, &mix, config);
+    let mut naive_probe = NaiveDocSim::new(&tree, &mix, config);
+    dense_probe.run(rounds.min(10));
+    naive_probe.run(rounds.min(10));
+    let traces_identical = traces_equal(dense_probe.trace(), naive_probe.trace())
+        && dense_probe.stats() == naive_probe.stats();
+
+    let dense = time_min(
+        SAMPLES,
+        || DocSim::new(&tree, &mix, config),
+        |s| s.run(rounds),
+    );
+    let naive = time_min(
+        SAMPLES.min(3),
+        || NaiveDocSim::new(&tree, &mix, config),
+        |s| s.run(rounds),
+    );
+    Comparison {
+        engine: "DocSim::run",
+        nodes,
+        docs,
+        rounds,
+        staleness: 0,
+        dense_ns_per_round: dense.as_nanos() as f64 / rounds as f64,
+        naive_ns_per_round: naive.as_nanos() as f64 / rounds as f64,
+        speedup: naive.as_secs_f64() / dense.as_secs_f64(),
+        traces_identical,
+    }
+}
+
+fn bench_webfold(nodes: usize) -> (usize, f64) {
+    let (tree, rates) = scaling_scenario(nodes, 12, nodes as u64);
+    let d = time_min(
+        SAMPLES,
+        || (),
+        |()| {
+            std::hint::black_box(webfold(&tree, &rates));
+        },
+    );
+    (nodes, d.as_nanos() as f64)
+}
+
+fn main() {
+    let out_path = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "BENCH_webfold_scaling.json".to_string());
+
+    eprintln!("webwave-bench: dense vs naive engines ({SAMPLES} samples, min)");
+    let comparisons = vec![
+        bench_rate_wave(1_000, 300, 0),
+        bench_rate_wave(10_000, 100, 0),
+        bench_rate_wave(100_000, 30, 0),
+        bench_rate_wave(10_000, 100, 3),
+        bench_docsim(1_000, 64, 30),
+        bench_docsim(4_000, 64, 15),
+    ];
+    for c in &comparisons {
+        eprintln!(
+            "  {} nodes={} docs={} rounds={} staleness={}: dense {:.0} ns/round, naive {:.0} ns/round, speedup {:.2}x, traces_identical={}",
+            c.engine,
+            c.nodes,
+            c.docs,
+            c.rounds,
+            c.staleness,
+            c.dense_ns_per_round,
+            c.naive_ns_per_round,
+            c.speedup,
+            c.traces_identical
+        );
+    }
+
+    eprintln!("webwave-bench: webfold scaling");
+    let folds: Vec<(usize, f64)> = [1_000, 10_000, 100_000]
+        .into_iter()
+        .map(bench_webfold)
+        .collect();
+    for &(n, ns) in &folds {
+        eprintln!("  webfold nodes={n}: {:.3} ms", ns / 1e6);
+    }
+
+    // Hand-built JSON (the vendored serde stub does not serialize).
+    let mut json = String::new();
+    json.push_str("{\n  \"bench\": \"webfold_scaling\",\n");
+    json.push_str("  \"generated_by\": \"webwave-bench\",\n");
+    json.push_str("  \"samples\": ");
+    let _ = write!(json, "{SAMPLES}");
+    json.push_str(",\n  \"engine_comparisons\": [\n");
+    for (i, c) in comparisons.iter().enumerate() {
+        let _ = writeln!(
+            json,
+            "    {{\"engine\": \"{}\", \"nodes\": {}, \"docs\": {}, \"rounds\": {}, \"staleness\": {}, \"dense_ns_per_round\": {:.0}, \"naive_ns_per_round\": {:.0}, \"speedup\": {:.3}, \"traces_identical\": {}}}{}",
+            c.engine,
+            c.nodes,
+            c.docs,
+            c.rounds,
+            c.staleness,
+            c.dense_ns_per_round,
+            c.naive_ns_per_round,
+            c.speedup,
+            c.traces_identical,
+            if i + 1 < comparisons.len() { "," } else { "" }
+        );
+    }
+    json.push_str("  ],\n  \"webfold_ns\": [\n");
+    for (i, &(n, ns)) in folds.iter().enumerate() {
+        let _ = writeln!(
+            json,
+            "    {{\"nodes\": {n}, \"ns\": {:.0}}}{}",
+            ns,
+            if i + 1 < folds.len() { "," } else { "" }
+        );
+    }
+    json.push_str("  ]\n}\n");
+
+    std::fs::write(&out_path, &json).expect("write bench output");
+    eprintln!("webwave-bench: wrote {out_path}");
+
+    let worst = comparisons
+        .iter()
+        .map(|c| c.speedup)
+        .fold(f64::INFINITY, f64::min);
+    let all_identical = comparisons.iter().all(|c| c.traces_identical);
+    eprintln!("webwave-bench: worst speedup {worst:.2}x, traces identical: {all_identical}");
+    if !all_identical {
+        eprintln!("webwave-bench: WARNING — dense/naive traces diverge");
+        std::process::exit(1);
+    }
+}

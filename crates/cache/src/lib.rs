@@ -41,6 +41,8 @@ pub mod meter;
 pub mod policy;
 pub mod store;
 
-pub use meter::{FlowSnapshot, FlowTable, RateMeter};
-pub use policy::{plan_push, plan_shed, plan_total, RateSlice};
+pub use meter::{DenseFlowTable, FlowSnapshot, FlowTable, RateMeter};
+pub use policy::{
+    plan_push, plan_push_dense, plan_shed, plan_shed_dense, plan_total, DenseRateSlice, RateSlice,
+};
 pub use store::{CacheStore, CachedCopy, StoreEntry};

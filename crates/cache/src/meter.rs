@@ -148,7 +148,11 @@ impl FlowTable {
             .map(|(&(_, d), m)| (d, m.rate_or_zero()))
             .filter(|&(_, r)| r > 0.0)
             .collect();
-        v.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("rates are finite").then(a.0.cmp(&b.0)));
+        v.sort_by(|a, b| {
+            b.1.partial_cmp(&a.1)
+                .expect("rates are finite")
+                .then(a.0.cmp(&b.0))
+        });
         v
     }
 
@@ -158,6 +162,138 @@ impl FlowTable {
         v.sort_unstable();
         v.dedup();
         v
+    }
+}
+
+/// A dense, preallocated flow table: one [`RateMeter`] per `(row, dense
+/// document index)` cell of a fixed grid.
+///
+/// [`FlowTable`] keys every meter by `(NodeId, DocId)` in a `HashMap`, so
+/// each record costs a hash + probe and every aggregate (`child_total`,
+/// `child_doc_rates`) scans and re-allocates. On the packet-level hot path
+/// a node touches its meters once per packet; `DenseFlowTable` instead
+/// addresses them by `row * docs + index` — rows are the node's local
+/// child slots (or just row 0 for per-node tables), indices come from the
+/// simulation's [`ww_model::DocTable`].
+///
+/// Totals are accumulated in ascending index order, which under a
+/// `DocTable` is ascending [`DocId`] order — a fixed, deterministic float
+/// accumulation order.
+///
+/// # Example
+///
+/// ```
+/// use ww_cache::DenseFlowTable;
+///
+/// let mut flows = DenseFlowTable::new(1.0, 1.0, 1, 4);
+/// for t in [0.1, 0.5, 0.9] {
+///     flows.record(0, 2, t);
+/// }
+/// flows.roll_to(1.0);
+/// assert!((flows.rate(0, 2) - 3.0).abs() < 1e-9);
+/// assert!((flows.row_total(0) - 3.0).abs() < 1e-9);
+/// ```
+#[derive(Debug, Clone)]
+pub struct DenseFlowTable {
+    docs: usize,
+    meters: Vec<RateMeter>,
+}
+
+impl DenseFlowTable {
+    /// Creates a `rows x docs` grid of meters with the given measurement
+    /// window and EWMA factor.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `window_secs <= 0` or `alpha` outside `(0, 1]`.
+    pub fn new(window_secs: f64, alpha: f64, rows: usize, docs: usize) -> Self {
+        assert!(window_secs > 0.0, "window must be positive");
+        assert!(alpha > 0.0 && alpha <= 1.0, "alpha in (0, 1]");
+        DenseFlowTable {
+            docs,
+            meters: vec![RateMeter::new(window_secs, alpha); rows * docs],
+        }
+    }
+
+    #[inline]
+    fn cell(&self, row: usize, index: u32) -> usize {
+        // A real assert, not debug_assert: in release an out-of-range doc
+        // index would otherwise alias into the next row's cells instead
+        // of panicking as documented.
+        assert!((index as usize) < self.docs, "doc index out of range");
+        row * self.docs + index as usize
+    }
+
+    /// Records one event for `(row, index)` at time `now`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the cell is outside the grid.
+    #[inline]
+    pub fn record(&mut self, row: usize, index: u32, now: f64) {
+        let cell = self.cell(row, index);
+        self.meters[cell].record(now);
+    }
+
+    /// Rolls every meter's window forward to `now`.
+    pub fn roll_to(&mut self, now: f64) {
+        for m in &mut self.meters {
+            m.roll_to(now);
+        }
+    }
+
+    /// Smoothed rate of `(row, index)`, 0.0 before the first full window.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the cell is outside the grid.
+    #[inline]
+    pub fn rate(&self, row: usize, index: u32) -> f64 {
+        self.meters[self.cell(row, index)].rate_or_zero()
+    }
+
+    /// Aggregate rate across all documents of `row`, accumulated in
+    /// ascending index order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `row` is outside the grid.
+    pub fn row_total(&self, row: usize) -> f64 {
+        self.meters[row * self.docs..(row + 1) * self.docs]
+            .iter()
+            .map(RateMeter::rate_or_zero)
+            .sum()
+    }
+
+    /// Appends `(index, rate)` pairs with positive rate for `row` to
+    /// `out` (cleared first), sorted descending by rate with ascending
+    /// index tie-break — the same order [`FlowTable::child_doc_rates`]
+    /// produces, without allocating.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `row` is outside the grid.
+    pub fn row_doc_rates(&self, row: usize, out: &mut Vec<(u32, f64)>) {
+        out.clear();
+        for (k, m) in self.meters[row * self.docs..(row + 1) * self.docs]
+            .iter()
+            .enumerate()
+        {
+            let r = m.rate_or_zero();
+            if r > 0.0 {
+                out.push((k as u32, r));
+            }
+        }
+        out.sort_by(|a, b| {
+            b.1.partial_cmp(&a.1)
+                .expect("rates are finite")
+                .then(a.0.cmp(&b.0))
+        });
+    }
+
+    /// Number of document columns in the grid.
+    pub fn doc_count(&self) -> usize {
+        self.docs
     }
 }
 
@@ -264,6 +400,47 @@ mod tests {
         assert_eq!(f.child_doc_rate(NodeId::new(9), DocId::new(9)), 0.0);
         assert_eq!(f.child_total(NodeId::new(9)), 0.0);
         assert!(f.children().is_empty());
+    }
+
+    #[test]
+    fn dense_table_matches_sparse_table() {
+        // Same event stream through both tables; same rates out.
+        let mut sparse = FlowTable::new(1.0, 0.5);
+        let mut dense = DenseFlowTable::new(1.0, 0.5, 3, 4);
+        let events = [
+            (1usize, 0u32, 0.1),
+            (1, 0, 0.3),
+            (1, 2, 0.4),
+            (2, 3, 0.7),
+            (1, 0, 1.2),
+            (2, 3, 1.4),
+        ];
+        for &(child, doc, t) in &events {
+            sparse.record(NodeId::new(child), DocId::new(u64::from(doc)), t);
+            dense.record(child, doc, t);
+        }
+        sparse.roll_to(2.0);
+        dense.roll_to(2.0);
+        for child in 0..3usize {
+            for doc in 0..4u32 {
+                assert_eq!(
+                    sparse.child_doc_rate(NodeId::new(child), DocId::new(u64::from(doc))),
+                    dense.rate(child, doc),
+                    "cell ({child}, {doc})"
+                );
+            }
+            assert!(
+                (sparse.child_total(NodeId::new(child)) - dense.row_total(child)).abs() < 1e-12
+            );
+            let expect: Vec<(u32, f64)> = sparse
+                .child_doc_rates(NodeId::new(child))
+                .into_iter()
+                .map(|(d, r)| (d.value() as u32, r))
+                .collect();
+            let mut got = Vec::new();
+            dense.row_doc_rates(child, &mut got);
+            assert_eq!(expect, got, "row {child}");
+        }
     }
 
     #[test]

@@ -49,12 +49,12 @@ pub fn plan_push(flows: &[(DocId, f64)], target: f64) -> Vec<RateSlice> {
     if target <= 0.0 {
         return Vec::new();
     }
-    let mut sorted: Vec<(DocId, f64)> = flows
-        .iter()
-        .copied()
-        .filter(|&(_, r)| r > 0.0)
-        .collect();
-    sorted.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("rates finite").then(a.0.cmp(&b.0)));
+    let mut sorted: Vec<(DocId, f64)> = flows.iter().copied().filter(|&(_, r)| r > 0.0).collect();
+    sorted.sort_by(|a, b| {
+        b.1.partial_cmp(&a.1)
+            .expect("rates finite")
+            .then(a.0.cmp(&b.0))
+    });
     let mut plan = Vec::new();
     let mut remaining = target;
     for (doc, rate) in sorted {
@@ -90,12 +90,12 @@ pub fn plan_shed(served: &[(DocId, f64)], target: f64) -> Vec<RateSlice> {
     if target <= 0.0 {
         return Vec::new();
     }
-    let mut sorted: Vec<(DocId, f64)> = served
-        .iter()
-        .copied()
-        .filter(|&(_, r)| r > 0.0)
-        .collect();
-    sorted.sort_by(|a, b| a.1.partial_cmp(&b.1).expect("rates finite").then(a.0.cmp(&b.0)));
+    let mut sorted: Vec<(DocId, f64)> = served.iter().copied().filter(|&(_, r)| r > 0.0).collect();
+    sorted.sort_by(|a, b| {
+        a.1.partial_cmp(&b.1)
+            .expect("rates finite")
+            .then(a.0.cmp(&b.0))
+    });
     let mut plan = Vec::new();
     let mut remaining = target;
     for (doc, rate) in sorted {
@@ -124,6 +124,99 @@ pub fn plan_shed(served: &[(DocId, f64)], target: f64) -> Vec<RateSlice> {
 /// Total rate moved by a plan.
 pub fn plan_total(plan: &[RateSlice]) -> f64 {
     plan.iter().map(|s| s.rate).sum()
+}
+
+/// A [`RateSlice`] over a dense document index (see
+/// [`ww_model::DocTable`]) instead of a sparse [`DocId`].
+///
+/// The dense engines keep per-document state in flat slabs addressed by
+/// `u32` indices; planning directly over indices avoids the id↔index
+/// translation on the hot path. Because a `DocTable` assigns indices in
+/// ascending id order, the tie-breaking below (`index` ascending) is
+/// *exactly* the id-ascending tie-break of [`plan_push`] / [`plan_shed`],
+/// so dense plans match sparse plans slice for slice.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DenseRateSlice {
+    /// Dense index of the document affected.
+    pub index: u32,
+    /// Request rate (req/s) being moved for this document.
+    pub rate: f64,
+    /// `true` when the document's entire listed rate is moved.
+    pub full: bool,
+}
+
+fn plan_dense(
+    flows: &[(u32, f64)],
+    target: f64,
+    hottest_first: bool,
+    scratch: &mut Vec<(u32, f64)>,
+    out: &mut Vec<DenseRateSlice>,
+) {
+    out.clear();
+    if target <= 0.0 {
+        return;
+    }
+    scratch.clear();
+    scratch.extend(flows.iter().copied().filter(|&(_, r)| r > 0.0));
+    if hottest_first {
+        scratch.sort_by(|a, b| {
+            b.1.partial_cmp(&a.1)
+                .expect("rates finite")
+                .then(a.0.cmp(&b.0))
+        });
+    } else {
+        scratch.sort_by(|a, b| {
+            a.1.partial_cmp(&b.1)
+                .expect("rates finite")
+                .then(a.0.cmp(&b.0))
+        });
+    }
+    let mut remaining = target;
+    for &(index, rate) in scratch.iter() {
+        if remaining <= 0.0 {
+            break;
+        }
+        if rate <= remaining {
+            out.push(DenseRateSlice {
+                index,
+                rate,
+                full: true,
+            });
+            remaining -= rate;
+        } else {
+            out.push(DenseRateSlice {
+                index,
+                rate: remaining,
+                full: false,
+            });
+            remaining = 0.0;
+        }
+    }
+}
+
+/// Allocation-free variant of [`plan_push`] over dense document indices:
+/// hottest documents first, identical tie-breaking, results appended to
+/// `out` (cleared first). `scratch` is caller-provided so repeated calls
+/// reuse the same buffers.
+pub fn plan_push_dense(
+    flows: &[(u32, f64)],
+    target: f64,
+    scratch: &mut Vec<(u32, f64)>,
+    out: &mut Vec<DenseRateSlice>,
+) {
+    plan_dense(flows, target, true, scratch, out);
+}
+
+/// Allocation-free variant of [`plan_shed`] over dense document indices:
+/// coldest documents first, identical tie-breaking, results appended to
+/// `out` (cleared first).
+pub fn plan_shed_dense(
+    flows: &[(u32, f64)],
+    target: f64,
+    scratch: &mut Vec<(u32, f64)>,
+    out: &mut Vec<DenseRateSlice>,
+) {
+    plan_dense(flows, target, false, scratch, out);
 }
 
 #[cfg(test)]
@@ -194,5 +287,42 @@ mod tests {
         let tied = vec![(DocId::new(9), 4.0), (DocId::new(1), 4.0)];
         let plan = plan_push(&tied, 4.0);
         assert_eq!(plan[0].doc, DocId::new(1));
+    }
+
+    /// Dense planning mirrors sparse planning slice-for-slice when indices
+    /// are assigned in ascending doc-id order (the `DocTable` invariant).
+    #[test]
+    fn dense_plans_match_sparse_plans() {
+        let sparse = vec![
+            (DocId::new(10), 4.0),
+            (DocId::new(20), 4.0),
+            (DocId::new(30), 7.0),
+            (DocId::new(40), 0.0),
+        ];
+        let dense: Vec<(u32, f64)> = sparse
+            .iter()
+            .enumerate()
+            .map(|(i, &(_, r))| (i as u32, r))
+            .collect();
+        let mut scratch = Vec::new();
+        let mut out = Vec::new();
+        for target in [0.0, 3.0, 4.0, 9.5, 100.0] {
+            let push = plan_push(&sparse, target);
+            plan_push_dense(&dense, target, &mut scratch, &mut out);
+            assert_eq!(push.len(), out.len(), "push target {target}");
+            for (s, d) in push.iter().zip(&out) {
+                assert_eq!(sparse[d.index as usize].0, s.doc);
+                assert_eq!(s.rate, d.rate);
+                assert_eq!(s.full, d.full);
+            }
+            let shed = plan_shed(&sparse, target);
+            plan_shed_dense(&dense, target, &mut scratch, &mut out);
+            assert_eq!(shed.len(), out.len(), "shed target {target}");
+            for (s, d) in shed.iter().zip(&out) {
+                assert_eq!(sparse[d.index as usize].0, s.doc);
+                assert_eq!(s.rate, d.rate);
+                assert_eq!(s.full, d.full);
+            }
+        }
     }
 }

@@ -12,11 +12,23 @@
 //!
 //! This engine reproduces Figure 7 exactly: without tunneling the system
 //! stalls off-TLB; with tunneling every node converges to 90 req/s.
+//!
+//! # Performance
+//!
+//! All per-(node, document) state — demand, serve allocations, served and
+//! forwarded flows — lives in flat `Vec<f64>` slabs addressed as
+//! `node * doc_count + doc_index`, with dense indices assigned by a
+//! [`DocTable`]; per-node copy sets are [`DocSet`] bitsets. Rounds reuse
+//! preallocated scratch buffers, so the steady state allocates nothing but
+//! the (amortized) trace. Decisions are computed in ascending dense-index
+//! order, which equals ascending [`DocId`] order, so results are
+//! deterministic and bit-identical to the hash-table reference engine
+//! ([`crate::reference::NaiveDocSim`]) — the golden-trace tests assert
+//! exactly that.
 
 use crate::fold::webfold;
-use std::collections::{HashMap, HashSet};
-use ww_cache::{plan_push, plan_shed};
-use ww_model::{DocId, NodeId, RateVector, Tree};
+use ww_cache::{plan_push_dense, plan_shed_dense, DenseRateSlice};
+use ww_model::{DocId, DocSet, DocTable, NodeId, RateVector, Tree};
 use ww_stats::ConvergenceTrace;
 use ww_workload::DocMix;
 
@@ -55,7 +67,7 @@ pub struct DocSimStats {
     pub barrier_suspicions: u64,
 }
 
-/// A document-level WebWave simulation.
+/// A document-level WebWave simulation over dense per-document slabs.
 ///
 /// # Example
 ///
@@ -72,20 +84,25 @@ pub struct DocSimStats {
 #[derive(Debug, Clone)]
 pub struct DocSim {
     tree: Tree,
-    docs: Vec<DocId>,
-    /// Spontaneous demand per (node, doc).
-    demand: Vec<HashMap<DocId, f64>>,
+    /// Dense index <-> id bijection over the fixed document universe.
+    table: DocTable,
+    /// Document universe size (slab row width).
+    m: usize,
+    /// Spontaneous demand per (node, doc): `demand[i * m + k]`.
+    demand: Vec<f64>,
     /// Which documents each node holds a copy of (root holds all).
-    copies: Vec<HashSet<DocId>>,
+    copies: Vec<DocSet>,
     /// Desired serve rate per (node, doc); root has no allocations (it
     /// absorbs everything that reaches it).
-    alloc: Vec<HashMap<DocId, f64>>,
+    alloc: Vec<f64>,
     /// Served rates per (node, doc) from the latest flow computation.
-    served: Vec<HashMap<DocId, f64>>,
+    served: Vec<f64>,
     /// Forwarded rate per (node, doc) from the latest flow computation.
-    forwarded: Vec<HashMap<DocId, f64>>,
+    forwarded: Vec<f64>,
     /// Aggregate served rate per node.
     load: RateVector,
+    /// Snapshot of `load` at the start of the round (double buffer).
+    load_snapshot: RateVector,
     alpha: f64,
     config: DocSimConfig,
     /// Consecutive underloaded-no-action periods per node.
@@ -94,6 +111,12 @@ pub struct DocSim {
     trace: ConvergenceTrace,
     stats: DocSimStats,
     round: usize,
+    /// Reusable scratch: candidate (index, rate) lists.
+    cand_buf: Vec<(u32, f64)>,
+    /// Reusable scratch: plan sorting buffer.
+    sort_buf: Vec<(u32, f64)>,
+    /// Reusable scratch: planned slices.
+    plan_buf: Vec<DenseRateSlice>,
 }
 
 impl DocSim {
@@ -109,17 +132,19 @@ impl DocSim {
     pub fn new(tree: &Tree, mix: &DocMix, config: DocSimConfig) -> Self {
         assert_eq!(mix.len(), tree.len(), "doc mix must cover the tree");
         let n = tree.len();
-        let docs = mix.documents();
-        let mut demand: Vec<HashMap<DocId, f64>> = vec![HashMap::new(); n];
+        let table = DocTable::from_ids(mix.documents());
+        let m = table.len();
+        let mut demand = vec![0.0; n * m];
         for u in tree.nodes() {
             for &(d, r) in mix.demands_of(u) {
                 if r > 0.0 {
-                    demand[u.index()].insert(d, r);
+                    let k = table.index_of(d).expect("demand doc in universe") as usize;
+                    demand[u.index() * m + k] = r;
                 }
             }
         }
-        let mut copies: Vec<HashSet<DocId>> = vec![HashSet::new(); n];
-        copies[tree.root().index()] = docs.iter().copied().collect();
+        let mut copies: Vec<DocSet> = (0..n).map(|_| table.empty_set()).collect();
+        copies[tree.root().index()] = table.full_set();
 
         let max_deg = tree
             .nodes()
@@ -135,13 +160,15 @@ impl DocSim {
 
         let mut sim = DocSim {
             tree: tree.clone(),
-            docs,
+            table,
+            m,
             demand,
             copies,
-            alloc: vec![HashMap::new(); n],
-            served: vec![HashMap::new(); n],
-            forwarded: vec![HashMap::new(); n],
+            alloc: vec![0.0; n * m],
+            served: vec![0.0; n * m],
+            forwarded: vec![0.0; n * m],
             load: RateVector::zeros(n),
+            load_snapshot: RateVector::zeros(n),
             alpha,
             config,
             underload_streak: vec![0; n],
@@ -149,6 +176,9 @@ impl DocSim {
             trace: ConvergenceTrace::new(),
             stats: DocSimStats::default(),
             round: 0,
+            cand_buf: Vec::with_capacity(m),
+            sort_buf: Vec::with_capacity(m),
+            plan_buf: Vec::with_capacity(m),
         };
         sim.recompute_flows();
         sim.trace.push(sim.distance_to_tlb());
@@ -167,44 +197,50 @@ impl DocSim {
         DocSim::new(&scenario.tree, &mix, config)
     }
 
+    #[inline]
+    fn cell(&self, node: usize, k: u32) -> usize {
+        node * self.m + k as usize
+    }
+
     /// Recomputes per-document flows bottom-up from current allocations:
     /// `served_i(d) = min(alloc_i(d), through_i(d))` for non-root nodes
     /// holding a copy, and the root serves everything that reaches it.
+    ///
+    /// Documents iterate in ascending dense-index (= ascending id) order,
+    /// so per-node load accumulates in a fixed deterministic order.
     fn recompute_flows(&mut self) {
-        let n = self.tree.len();
-        for i in 0..n {
-            self.served[i].clear();
-            self.forwarded[i].clear();
-        }
-        let mut load = vec![0.0; n];
-        for &doc in &self.docs.clone() {
+        let m = self.m;
+        self.served.fill(0.0);
+        self.forwarded.fill(0.0);
+        self.load.fill(0.0);
+        for k in 0..m as u32 {
             for u in self.tree.bottom_up() {
                 let i = u.index();
-                let mut through = self.demand[i].get(&doc).copied().unwrap_or(0.0);
+                let cell = i * m + k as usize;
+                let mut through = self.demand[cell];
                 for &c in self.tree.children(u) {
-                    through += self.forwarded[c.index()].get(&doc).copied().unwrap_or(0.0);
+                    through += self.forwarded[c.index() * m + k as usize];
                 }
                 if through <= 0.0 {
                     continue;
                 }
                 let served = if self.tree.parent(u).is_none() {
                     through
-                } else if self.copies[i].contains(&doc) {
-                    self.alloc[i].get(&doc).copied().unwrap_or(0.0).min(through)
+                } else if self.copies[i].contains(k) {
+                    self.alloc[cell].min(through)
                 } else {
                     0.0
                 };
                 if served > 0.0 {
-                    self.served[i].insert(doc, served);
-                    load[i] += served;
+                    self.served[cell] = served;
+                    self.load[u] += served;
                 }
                 let fwd = through - served;
                 if fwd > 0.0 {
-                    self.forwarded[i].insert(doc, fwd);
+                    self.forwarded[cell] = fwd;
                 }
             }
         }
-        self.load = RateVector::from(load);
     }
 
     /// Executes one protocol round: diffusion decisions against current
@@ -216,13 +252,15 @@ impl DocSim {
 
         // Decisions are made against the loads at the start of the round
         // (synchronous gossip), applied to allocations, then flows are
-        // recomputed once.
-        let load = self.load.clone();
+        // recomputed once. The snapshot buffer is reused every round.
+        self.load_snapshot.copy_from(&self.load);
 
         for c_idx in 0..n {
             let c = NodeId::new(c_idx);
-            let Some(p) = self.tree.parent(c) else { continue };
-            let (lp, lc) = (load[p], load[c]);
+            let Some(p) = self.tree.parent(c) else {
+                continue;
+            };
+            let (lp, lc) = (self.load_snapshot[p], self.load_snapshot[c]);
             if lp > lc {
                 // The child is underloaded: it should take over
                 // `alpha * (L_p - L_c)` of the load passing through it.
@@ -270,20 +308,26 @@ impl DocSim {
         if want <= 0.0 {
             return 0.0;
         }
-        // Candidate docs: held copies with nonzero passing (forwarded) rate.
-        let mut candidates: Vec<(DocId, f64)> = self.forwarded[i]
-            .iter()
-            .filter(|(d, _)| self.copies[i].contains(d))
-            .map(|(&d, &r)| (d, r))
-            .collect();
-        candidates.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("finite").then(a.0.cmp(&b.0)));
+        // Candidate docs: held copies with nonzero passing (forwarded)
+        // rate, hottest first with ascending-index (= ascending-id)
+        // tie-break.
+        let m = self.m;
+        let cand = &mut self.cand_buf;
+        cand.clear();
+        for k in self.copies[i].iter() {
+            let f = self.forwarded[i * m + k as usize];
+            if f > 0.0 {
+                cand.push((k, f));
+            }
+        }
+        cand.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("finite").then(a.0.cmp(&b.0)));
         let mut taken = 0.0;
-        for (d, avail) in candidates {
+        for &(k, avail) in cand.iter() {
             if taken >= want {
                 break;
             }
             let grab = avail.min(want - taken);
-            *self.alloc[i].entry(d).or_insert(0.0) += grab;
+            self.alloc[i * m + k as usize] += grab;
             taken += grab;
         }
         taken
@@ -294,27 +338,34 @@ impl DocSim {
     /// the rate actually delegated.
     fn parent_push(&mut self, p: NodeId, c: NodeId, target: f64) -> f64 {
         let (pi, ci) = (p.index(), c.index());
+        let m = self.m;
         // Pushable: docs the parent serves that the child forwards.
-        let caps: Vec<(DocId, f64)> = self.served[pi]
-            .iter()
-            .filter_map(|(&d, &sp)| {
-                let fc = self.forwarded[ci].get(&d).copied().unwrap_or(0.0);
-                let cap = sp.min(fc);
-                (cap > 0.0).then_some((d, cap))
-            })
-            .collect();
-        let plan = plan_push(&caps, target);
+        let caps = &mut self.cand_buf;
+        caps.clear();
+        for k in 0..m {
+            let sp = self.served[pi * m + k];
+            if sp <= 0.0 {
+                continue;
+            }
+            let fc = self.forwarded[ci * m + k];
+            let cap = sp.min(fc);
+            if cap > 0.0 {
+                caps.push((k as u32, cap));
+            }
+        }
+        plan_push_dense(caps, target, &mut self.sort_buf, &mut self.plan_buf);
         let mut pushed = 0.0;
         let parent_is_root = self.tree.parent(p).is_none();
-        for slice in plan {
-            if self.copies[ci].insert(slice.doc) {
+        for slice in &self.plan_buf {
+            let k = slice.index;
+            if self.copies[ci].insert(k) {
                 self.stats.copy_pushes += 1;
             }
-            *self.alloc[ci].entry(slice.doc).or_insert(0.0) += slice.rate;
+            self.alloc[ci * m + k as usize] += slice.rate;
             if !parent_is_root {
                 // The root's service is implicit (it absorbs the stream);
                 // other parents explicitly give up allocation.
-                let a = self.alloc[pi].entry(slice.doc).or_insert(0.0);
+                let a = &mut self.alloc[pi * m + k as usize];
                 *a = (*a - slice.rate).max(0.0);
             }
             pushed += slice.rate;
@@ -331,13 +382,23 @@ impl DocSim {
     /// would be immediate.
     fn child_shed(&mut self, c: NodeId, target: f64) {
         let i = c.index();
-        let served: Vec<(DocId, f64)> = self.served[i].iter().map(|(&d, &r)| (d, r)).collect();
-        for slice in plan_shed(&served, target) {
-            let a = self.alloc[i].entry(slice.doc).or_insert(0.0);
+        let m = self.m;
+        let served = &mut self.cand_buf;
+        served.clear();
+        for k in 0..m {
+            let s = self.served[i * m + k];
+            if s > 0.0 {
+                served.push((k as u32, s));
+            }
+        }
+        plan_shed_dense(served, target, &mut self.sort_buf, &mut self.plan_buf);
+        for slice in &self.plan_buf {
+            let k = slice.index;
+            let a = &mut self.alloc[i * m + k as usize];
             *a = (*a - slice.rate).max(0.0);
             if slice.full && *a <= 1e-12 {
-                self.alloc[i].remove(&slice.doc);
-                self.copies[i].remove(&slice.doc);
+                *a = 0.0;
+                self.copies[i].remove(k);
                 self.stats.copy_deletions += 1;
             }
         }
@@ -348,21 +409,31 @@ impl DocSim {
     /// serving it.
     fn tunnel(&mut self, c: NodeId, want: f64) {
         let i = c.index();
-        let mut candidates: Vec<(DocId, f64)> = self.forwarded[i]
-            .iter()
-            .filter(|(d, _)| !self.copies[i].contains(d))
-            .map(|(&d, &r)| (d, r))
-            .collect();
-        candidates.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("finite").then(a.0.cmp(&b.0)));
-        if let Some(&(doc, avail)) = candidates.first() {
-            self.copies[i].insert(doc);
-            *self.alloc[i].entry(doc).or_insert(0.0) += avail.min(want);
+        let m = self.m;
+        // Hottest forwarded-but-not-held document; ties break toward the
+        // smaller index (= smaller id).
+        let mut best: Option<(u32, f64)> = None;
+        for k in 0..m as u32 {
+            let f = self.forwarded[i * m + k as usize];
+            if f <= 0.0 || self.copies[i].contains(k) {
+                continue;
+            }
+            if best.is_none_or(|(_, br)| f > br) {
+                best = Some((k, f));
+            }
+        }
+        if let Some((k, avail)) = best {
+            self.copies[i].insert(k);
+            self.alloc[i * m + k as usize] += avail.min(want);
             self.stats.tunnel_fetches += 1;
         }
     }
 
+    /// Sum of forwarded rates at `c`, accumulated in ascending index
+    /// order.
     fn forwarded_total(&self, c: NodeId) -> f64 {
-        self.forwarded[c.index()].values().sum()
+        let i = c.index();
+        self.forwarded[i * self.m..(i + 1) * self.m].iter().sum()
     }
 
     /// Runs `rounds` protocol rounds.
@@ -397,15 +468,22 @@ impl DocSim {
         self.stats
     }
 
+    /// The dense document table of this simulation's universe.
+    pub fn doc_table(&self) -> &DocTable {
+        &self.table
+    }
+
     /// Documents node `u` currently holds copies of, sorted.
     ///
     /// # Panics
     ///
     /// Panics if `u` is out of range.
     pub fn copies_at(&self, u: NodeId) -> Vec<DocId> {
-        let mut v: Vec<DocId> = self.copies[u.index()].iter().copied().collect();
-        v.sort_unstable();
-        v
+        // Bitset iteration is ascending-index, i.e. already sorted by id.
+        self.copies[u.index()]
+            .iter()
+            .map(|k| self.table.doc(k))
+            .collect()
     }
 
     /// Served rate of document `d` at node `u` in the latest round.
@@ -414,7 +492,10 @@ impl DocSim {
     ///
     /// Panics if `u` is out of range.
     pub fn served_rate(&self, u: NodeId, d: DocId) -> f64 {
-        self.served[u.index()].get(&d).copied().unwrap_or(0.0)
+        match self.table.index_of(d) {
+            Some(k) => self.served[self.cell(u.index(), k)],
+            None => 0.0,
+        }
     }
 
     /// Rounds executed so far.
@@ -559,6 +640,16 @@ mod tests {
         // distance = sqrt(270^2 + 3 * 90^2).
         let expected = (270.0f64 * 270.0 + 3.0 * 90.0 * 90.0).sqrt();
         assert!((sim.trace().initial().unwrap() - expected).abs() < 1e-9);
+    }
+
+    #[test]
+    fn doc_table_covers_the_universe() {
+        let sim = fig7_sim(true);
+        let t = sim.doc_table();
+        assert_eq!(t.len(), 3);
+        for d in [1u64, 2, 3] {
+            assert!(t.index_of(DocId::new(d)).is_some());
+        }
     }
 }
 

@@ -104,11 +104,8 @@ impl FoldedTree {
     /// The members of every fold, keyed by fold root, sorted by root id;
     /// members sorted by node id.
     pub fn folds(&self) -> Vec<(NodeId, Vec<NodeId>)> {
-        let mut out: Vec<(NodeId, Vec<NodeId>)> = self
-            .fold_roots
-            .iter()
-            .map(|&r| (r, Vec::new()))
-            .collect();
+        let mut out: Vec<(NodeId, Vec<NodeId>)> =
+            self.fold_roots.iter().map(|&r| (r, Vec::new())).collect();
         for (i, &r) in self.fold_root_of.iter().enumerate() {
             let slot = out
                 .binary_search_by_key(&r, |&(root, _)| root)
@@ -502,8 +499,7 @@ mod tests {
     fn lemma2_zero_flow_at_fold_roots() {
         for s in paper::all_scenarios() {
             let f = webfold(&s.tree, &s.spontaneous);
-            let a =
-                LoadAssignment::new(&s.tree, &s.spontaneous, f.load().clone()).unwrap();
+            let a = LoadAssignment::new(&s.tree, &s.spontaneous, f.load().clone()).unwrap();
             for (root, _) in f.folds() {
                 assert!(
                     a.forwarded()[root].abs() < 1e-9,
@@ -519,8 +515,7 @@ mod tests {
     fn lemma3_nss_and_constraint1_hold() {
         for s in paper::all_scenarios() {
             let f = webfold(&s.tree, &s.spontaneous);
-            let a =
-                LoadAssignment::new(&s.tree, &s.spontaneous, f.load().clone()).unwrap();
+            let a = LoadAssignment::new(&s.tree, &s.spontaneous, f.load().clone()).unwrap();
             assert!(a.check_feasible(1e-9).is_ok(), "{} infeasible", s.name);
         }
     }

@@ -1,27 +1,39 @@
 //! Packet-level, event-driven WebWave.
 //!
 //! The other engines exchange *rates*; this one exchanges *packets*. Each
-//! node runs a router with an injected packet filter (`ww-net`), a cache
-//! store with token-bucket serve allocations (`ww-cache`), per-child
-//! per-document flow meters, and two timers — the **gossip period** and
-//! the **diffusion period** the paper says a realistic WebWave server
-//! would have (Section 5). Client requests are Poisson streams; gossip
-//! messages travel with link delay and can be lost (failure injection);
-//! copies are pushed as messages; tunneling fetches pay the round-trip to
-//! the nearest upstream holder.
+//! node runs a router with a packet-filter membership set, a cache of
+//! copies with token-bucket serve allocations, per-child per-document flow
+//! meters, and two timers — the **gossip period** and the **diffusion
+//! period** the paper says a realistic WebWave server would have
+//! (Section 5). Client requests are Poisson streams; gossip messages
+//! travel with link delay and can be lost (failure injection); copies are
+//! pushed as messages; tunneling fetches pay the round-trip to the
+//! nearest upstream holder.
 //!
 //! The engine reports measured serve rates, their distance to the WebFold
 //! oracle, hop-count distributions and a full traffic ledger — the numbers
 //! behind the system-level experiments.
+//!
+//! # Performance
+//!
+//! Two hot-path structures are dense:
+//!
+//! * All per-document state is addressed through the simulation's
+//!   [`DocTable`]: token buckets live in flat per-node slabs, copy/filter
+//!   membership in [`DocSet`] bitsets, and the three flow meters are
+//!   [`DenseFlowTable`] grids — no hashing on the per-packet path.
+//! * The two strictly periodic timer streams live in
+//!   [`TimerRing`]s outside the event heap. Ring fires carry sequence
+//!   numbers from the queue's global counter, so the merged `(time, seq)`
+//!   order — and therefore every trace — is identical to the previous
+//!   all-heap implementation, while heap operations only pay for the
+//!   irregular packet events.
 
 use crate::fold::webfold;
-use std::collections::HashMap;
-use ww_cache::{plan_push, plan_shed, CacheStore, FlowTable};
-use ww_model::{DocId, NodeId, RateVector, Tree};
-use ww_net::{
-    DocRequest, DocResponse, ExactFilter, PacketFilter, RequestId, TrafficClass, TrafficLedger,
-};
-use ww_sim::{exp_delay, EventQueue, SimRng, SimTime};
+use ww_cache::{plan_push_dense, plan_shed_dense, DenseFlowTable, DenseRateSlice};
+use ww_model::{DocId, DocSet, DocTable, NodeId, RateVector, Tree};
+use ww_net::{DocRequest, DocResponse, RequestId, TrafficClass, TrafficLedger};
+use ww_sim::{exp_delay, EventQueue, SimRng, SimTime, TimerRing};
 use ww_stats::ConvergenceTrace;
 use ww_workload::DocMix;
 
@@ -75,43 +87,62 @@ impl Default for PacketSimConfig {
     }
 }
 
-/// Events of the packet-level simulation.
+/// Irregular events of the packet-level simulation. The two periodic
+/// timer streams are not events at all — they live in [`TimerRing`]s.
 #[derive(Debug, Clone)]
 enum Event {
-    /// A client at `node` issues a request for `doc`.
-    Arrival { node: NodeId, doc: DocId },
+    /// A client at `node` issues a request for the document at dense
+    /// index `index`; `rate` is the stream's constant arrival rate
+    /// (carried in the event so rescheduling needs no demand lookup).
+    Arrival {
+        node: NodeId,
+        doc: DocId,
+        index: u32,
+        rate: f64,
+    },
     /// A request packet arrives at `node`'s router, possibly from a child.
     Packet {
         node: NodeId,
         from: Option<NodeId>,
         request: DocRequest,
+        index: u32,
     },
-    /// Periodic gossip fire at `node`.
-    GossipTimer { node: NodeId },
     /// A gossip message from `from` reporting its measured load.
     GossipDeliver { to: NodeId, from: NodeId, load: f64 },
-    /// Periodic diffusion fire at `node`.
-    DiffusionTimer { node: NodeId },
-    /// A pushed (or tunneled) copy of `doc` arrives at `node` with a serve
-    /// allocation in req/s.
-    CopyInstall { node: NodeId, doc: DocId, rate: f64 },
+    /// A pushed (or tunneled) copy of the document at `index` arrives at
+    /// `node` with a serve allocation in req/s.
+    CopyInstall { node: NodeId, index: u32, rate: f64 },
 }
 
-/// Per-node protocol state.
+/// Which event source holds the globally earliest `(time, seq)`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Source {
+    Heap,
+    Gossip,
+    Diffusion,
+}
+
+/// Per-node protocol state, all per-document tables dense.
 #[derive(Debug)]
 struct NodeState {
-    store: CacheStore,
-    filter: ExactFilter,
-    /// Per-child, per-doc forwarded-rate meters.
-    flows: FlowTable,
+    /// Documents this node holds a copy of.
+    copies: DocSet,
+    /// Documents this node's router filter intercepts.
+    filter: DocSet,
+    /// Per-child-slot, per-doc forwarded-rate meters.
+    flows: DenseFlowTable,
     /// Per-doc rate of all requests seen at this node (own + children).
-    seen: FlowTable,
+    seen: DenseFlowTable,
     /// Per-doc rate this node actually served.
-    served: FlowTable,
-    /// Serve allocations in req/s per held document (token buckets).
-    alloc: HashMap<DocId, TokenBucket>,
-    /// Latest gossiped load estimates of neighbors.
-    estimates: HashMap<NodeId, f64>,
+    served: DenseFlowTable,
+    /// Serve allocations in req/s per held document (token buckets),
+    /// one slab cell per dense index; `alloc_set` marks live buckets.
+    alloc: Vec<TokenBucket>,
+    alloc_set: DocSet,
+    /// Latest gossiped load estimate of the parent.
+    parent_est: Option<f64>,
+    /// Latest gossiped load estimates of children, by child slot.
+    child_est: Vec<Option<f64>>,
     /// Total requests served (lifetime).
     served_total: u64,
     underload_streak: usize,
@@ -192,11 +223,17 @@ pub struct PacketSimReport {
 #[derive(Debug)]
 pub struct PacketSim {
     tree: Tree,
+    table: DocTable,
+    /// Slot of each node within its parent's child list (root: unused 0).
+    child_slot: Vec<usize>,
     config: PacketSimConfig,
     queue: EventQueue<Event>,
+    gossip_ring: TimerRing,
+    diffusion_ring: TimerRing,
     rng: SimRng,
     nodes: Vec<NodeState>,
-    demand: Vec<Vec<(DocId, f64)>>,
+    /// Per node: `(doc, dense index, rate)` arrival streams.
+    demand: Vec<Vec<(DocId, u32, f64)>>,
     oracle: RateVector,
     ledger: TrafficLedger,
     trace: ConvergenceTrace,
@@ -206,6 +243,12 @@ pub struct PacketSim {
     tunnel_fetches: u64,
     hops_sum: u64,
     served_requests: u64,
+    /// Reusable scratch: candidate (index, rate) lists.
+    cand_buf: Vec<(u32, f64)>,
+    /// Reusable scratch: plan sorting buffer.
+    sort_buf: Vec<(u32, f64)>,
+    /// Reusable scratch: planned slices.
+    plan_buf: Vec<DenseRateSlice>,
 }
 
 impl PacketSim {
@@ -235,33 +278,57 @@ impl PacketSim {
 
         let spontaneous = mix.spontaneous();
         let oracle = webfold(tree, &spontaneous).into_load();
+        let table = DocTable::from_ids(mix.documents());
+        let m = table.len();
 
-        let mut nodes: Vec<NodeState> = (0..n)
-            .map(|_| NodeState {
-                store: CacheStore::new(),
-                filter: ExactFilter::new(),
-                flows: FlowTable::new(config.measure_window, 0.5),
-                seen: FlowTable::new(config.measure_window, 0.5),
-                served: FlowTable::new(config.measure_window, 0.5),
-                alloc: HashMap::new(),
-                estimates: HashMap::new(),
+        let mut child_slot = vec![0usize; n];
+        for u in tree.nodes() {
+            for (slot, &c) in tree.children(u).iter().enumerate() {
+                child_slot[c.index()] = slot;
+            }
+        }
+
+        let mut nodes: Vec<NodeState> = tree
+            .nodes()
+            .map(|u| NodeState {
+                copies: table.empty_set(),
+                filter: table.empty_set(),
+                flows: DenseFlowTable::new(
+                    config.measure_window,
+                    0.5,
+                    tree.children(u).len().max(1),
+                    m.max(1),
+                ),
+                seen: DenseFlowTable::new(config.measure_window, 0.5, 1, m.max(1)),
+                served: DenseFlowTable::new(config.measure_window, 0.5, 1, m.max(1)),
+                alloc: vec![TokenBucket::new(0.0, 0.0); m],
+                alloc_set: table.empty_set(),
+                parent_est: None,
+                child_est: vec![None; tree.children(u).len()],
                 served_total: 0,
                 underload_streak: 0,
             })
             .collect();
         // The home server holds every document.
-        for d in mix.documents() {
-            nodes[tree.root().index()].store.insert(d, None);
-        }
+        nodes[tree.root().index()].copies = table.full_set();
 
-        let demand: Vec<Vec<(DocId, f64)>> = (0..n)
-            .map(|i| mix.demands_of(NodeId::new(i)).to_vec())
+        let demand: Vec<Vec<(DocId, u32, f64)>> = (0..n)
+            .map(|i| {
+                mix.demands_of(NodeId::new(i))
+                    .iter()
+                    .map(|&(d, r)| (d, table.index_of(d).expect("demand doc in universe"), r))
+                    .collect()
+            })
             .collect();
 
         let mut sim = PacketSim {
             tree: tree.clone(),
+            table,
+            child_slot,
             config,
             queue: EventQueue::new(),
+            gossip_ring: TimerRing::new(SimTime::from_secs(config.gossip_period), n),
+            diffusion_ring: TimerRing::new(SimTime::from_secs(config.diffusion_period), n),
             rng: SimRng::seed(config.seed),
             nodes,
             demand,
@@ -274,68 +341,130 @@ impl PacketSim {
             tunnel_fetches: 0,
             hops_sum: 0,
             served_requests: 0,
+            cand_buf: Vec::with_capacity(m),
+            sort_buf: Vec::with_capacity(m),
+            plan_buf: Vec::with_capacity(m),
         };
         sim.prime();
         sim
     }
 
-    /// Schedules the first arrivals and timers.
+    /// Schedules the first arrivals and arms the timer rings.
+    ///
+    /// Sequence numbers are allocated in the same order the all-heap
+    /// implementation scheduled its events, so the merged event order is
+    /// unchanged.
     fn prime(&mut self) {
         let n = self.tree.len();
         for i in 0..n {
             let node = NodeId::new(i);
-            for &(doc, rate) in &self.demand[i].clone() {
+            for j in 0..self.demand[i].len() {
+                let (doc, index, rate) = self.demand[i][j];
                 if rate > 0.0 {
                     let mut rng = self.rng.fork(((i as u64) << 32) | doc.value());
                     let gap = exp_delay(&mut rng, 1.0 / rate);
-                    self.queue
-                        .schedule(SimTime::from_secs(gap), Event::Arrival { node, doc });
+                    self.queue.schedule(
+                        SimTime::from_secs(gap),
+                        Event::Arrival {
+                            node,
+                            doc,
+                            index,
+                            rate,
+                        },
+                    );
                 }
             }
             // Stagger timers to avoid artificial synchrony.
             let phase = (i as f64 + 1.0) / (n as f64 + 1.0);
-            self.queue.schedule(
+            let gossip_seq = self.queue.alloc_seq();
+            self.gossip_ring.insert(
+                i,
                 SimTime::from_secs(self.config.gossip_period * phase),
-                Event::GossipTimer { node },
+                gossip_seq,
             );
-            self.queue.schedule(
+            let diffusion_seq = self.queue.alloc_seq();
+            self.diffusion_ring.insert(
+                i,
                 SimTime::from_secs(self.config.diffusion_period * (0.5 + 0.5 * phase)),
-                Event::DiffusionTimer { node },
+                diffusion_seq,
             );
         }
+    }
+
+    /// The earliest pending `(time, seq, source)` across the heap and the
+    /// two timer rings — the same total order one combined heap would
+    /// produce.
+    fn next_source(&self) -> Option<(SimTime, u64, Source)> {
+        let heap = self.queue.peek_entry().map(|(t, s)| (t, s, Source::Heap));
+        let gossip = self
+            .gossip_ring
+            .peek()
+            .map(|(t, s, _)| (t, s, Source::Gossip));
+        let diffusion = self
+            .diffusion_ring
+            .peek()
+            .map(|(t, s, _)| (t, s, Source::Diffusion));
+        [heap, gossip, diffusion]
+            .into_iter()
+            .flatten()
+            .min_by_key(|&(t, s, _)| (t, s))
     }
 
     /// Runs the simulation for `duration` simulated seconds and reports.
     pub fn run(&mut self, duration: f64) -> PacketSimReport {
         let deadline = SimTime::from_secs(duration);
-        while let Some(at) = self.queue.peek_time() {
+        while let Some((at, _, source)) = self.next_source() {
             if at > deadline {
                 break;
             }
-            let (t, event) = self.queue.pop().expect("peeked event exists");
-            self.handle(t, event);
+            match source {
+                Source::Heap => {
+                    let (t, event) = self.queue.pop().expect("peeked event exists");
+                    self.handle(t, event);
+                }
+                Source::Gossip => {
+                    let (t, member) = self.gossip_ring.pop().expect("peeked fire exists");
+                    self.queue.advance_to(t);
+                    self.on_gossip_timer(t, NodeId::new(member));
+                }
+                Source::Diffusion => {
+                    let (t, member) = self.diffusion_ring.pop().expect("peeked fire exists");
+                    self.queue.advance_to(t);
+                    self.on_diffusion(t, NodeId::new(member));
+                }
+            }
         }
         self.report()
     }
 
     fn handle(&mut self, t: SimTime, event: Event) {
         match event {
-            Event::Arrival { node, doc } => self.on_arrival(t, node, doc),
+            Event::Arrival {
+                node,
+                doc,
+                index,
+                rate,
+            } => self.on_arrival(t, node, doc, index, rate),
             Event::Packet {
                 node,
                 from,
                 request,
-            } => self.on_packet(t, node, from, request),
-            Event::GossipTimer { node } => self.on_gossip_timer(t, node),
+                index,
+            } => self.on_packet(t, node, from, request, index),
             Event::GossipDeliver { to, from, load } => {
-                self.nodes[to.index()].estimates.insert(from, load);
+                let i = to.index();
+                if self.tree.parent(to) == Some(from) {
+                    self.nodes[i].parent_est = Some(load);
+                } else {
+                    let slot = self.child_slot[from.index()];
+                    self.nodes[i].child_est[slot] = Some(load);
+                }
             }
-            Event::DiffusionTimer { node } => self.on_diffusion(t, node),
-            Event::CopyInstall { node, doc, rate } => self.on_copy_install(t, node, doc, rate),
+            Event::CopyInstall { node, index, rate } => self.on_copy_install(t, node, index, rate),
         }
     }
 
-    fn on_arrival(&mut self, t: SimTime, node: NodeId, doc: DocId) {
+    fn on_arrival(&mut self, t: SimTime, node: NodeId, doc: DocId, index: u32, rate: f64) {
         // Issue the request packet at this node.
         let id = RequestId::new(self.next_request_id);
         self.next_request_id += 1;
@@ -348,40 +477,53 @@ impl PacketSim {
                 node,
                 from: None,
                 request,
+                index,
             },
         );
-        // Schedule the next arrival of this stream.
-        let rate = self.demand[node.index()]
-            .iter()
-            .find(|&&(d, _)| d == doc)
-            .map(|&(_, r)| r)
-            .expect("arrival stream exists");
+        // Schedule the next arrival of this stream; the constant stream
+        // rate rides in the event, so no demand-list lookup is needed.
         let mut rng = self
             .rng
             .fork(((node.index() as u64) << 32) | doc.value() | (self.next_request_id << 1));
         let gap = exp_delay(&mut rng, 1.0 / rate);
-        self.queue
-            .schedule(t + SimTime::from_secs(gap), Event::Arrival { node, doc });
+        self.queue.schedule(
+            t + SimTime::from_secs(gap),
+            Event::Arrival {
+                node,
+                doc,
+                index,
+                rate,
+            },
+        );
     }
 
-    fn on_packet(&mut self, t: SimTime, node: NodeId, from: Option<NodeId>, request: DocRequest) {
+    fn on_packet(
+        &mut self,
+        t: SimTime,
+        node: NodeId,
+        from: Option<NodeId>,
+        request: DocRequest,
+        index: u32,
+    ) {
         let now = t.as_secs();
         let i = node.index();
         if let Some(child) = from {
-            self.nodes[i].flows.record(child, request.doc, now);
+            let slot = self.child_slot[child.index()];
+            self.nodes[i].flows.record(slot, index, now);
         }
-        self.nodes[i].seen.record(node, request.doc, now);
+        self.nodes[i].seen.record(0, index, now);
 
         let is_root = self.tree.parent(node).is_none();
         let should_serve = if is_root {
             true
-        } else if self.nodes[i].filter.matches(request.doc) {
+        } else if self.nodes[i].filter.contains(index) {
             // Intercepted: serve if the token bucket grants it; otherwise
             // put the packet back on its path (a filter false-positive in
             // rate terms).
-            match self.nodes[i].alloc.get_mut(&request.doc) {
-                Some(bucket) => bucket.try_take(now),
-                None => false,
+            if self.nodes[i].alloc_set.contains(index) {
+                self.nodes[i].alloc[index as usize].try_take(now)
+            } else {
+                false
             }
         } else {
             false
@@ -389,7 +531,7 @@ impl PacketSim {
 
         if should_serve {
             let response = DocResponse::serve(&request, node);
-            self.nodes[i].served.record(node, request.doc, now);
+            self.nodes[i].served.record(0, index, now);
             self.nodes[i].served_total += 1;
             self.hops_sum += u64::from(response.up_hops);
             self.served_requests += 1;
@@ -405,6 +547,7 @@ impl PacketSim {
                     node: parent,
                     from: Some(node),
                     request: request.hop(),
+                    index,
                 },
             );
         }
@@ -413,7 +556,7 @@ impl PacketSim {
     fn measured_load(&mut self, node: NodeId, now: f64) -> f64 {
         let i = node.index();
         self.nodes[i].served.roll_to(now);
-        self.nodes[i].served.child_total(node)
+        self.nodes[i].served.row_total(0)
     }
 
     /// Is `hi - lo` a statistically meaningful imbalance, or measurement
@@ -427,87 +570,101 @@ impl PacketSim {
     fn on_gossip_timer(&mut self, t: SimTime, node: NodeId) {
         let now = t.as_secs();
         let load = self.measured_load(node, now);
-        let neighbors: Vec<NodeId> = self
-            .tree
-            .parent(node)
-            .into_iter()
-            .chain(self.tree.children(node).iter().copied())
-            .collect();
-        for nbr in neighbors {
-            self.ledger.record(TrafficClass::Gossip, 32, 1);
-            let mut rng = self.rng.fork(0xB0B0 ^ (self.queue.processed() << 8));
-            let lost = self.config.gossip_loss > 0.0
-                && rand::Rng::gen::<f64>(&mut rng) < self.config.gossip_loss;
-            if !lost {
-                self.queue.schedule(
-                    t + SimTime::from_secs(self.config.link_delay),
-                    Event::GossipDeliver {
-                        to: nbr,
-                        from: node,
-                        load,
-                    },
-                );
-            }
+        // Parent first, then children — the original neighbor order.
+        if let Some(p) = self.tree.parent(node) {
+            self.gossip_to(t, node, p, load);
         }
-        self.queue.schedule(
-            t + SimTime::from_secs(self.config.gossip_period),
-            Event::GossipTimer { node },
-        );
+        for slot in 0..self.tree.children(node).len() {
+            let c = self.tree.children(node)[slot];
+            self.gossip_to(t, node, c, load);
+        }
+        let seq = self.queue.alloc_seq();
+        self.gossip_ring.rearm(node.index(), seq);
+    }
+
+    /// Emits one gossip message from `node` to `nbr`, subject to the
+    /// failure-injection loss probability.
+    fn gossip_to(&mut self, t: SimTime, node: NodeId, nbr: NodeId, load: f64) {
+        self.ledger.record(TrafficClass::Gossip, 32, 1);
+        let mut rng = self.rng.fork(0xB0B0 ^ (self.queue.processed() << 8));
+        let lost = self.config.gossip_loss > 0.0
+            && rand::Rng::gen::<f64>(&mut rng) < self.config.gossip_loss;
+        if !lost {
+            self.queue.schedule(
+                t + SimTime::from_secs(self.config.link_delay),
+                Event::GossipDeliver {
+                    to: nbr,
+                    from: node,
+                    load,
+                },
+            );
+        }
     }
 
     fn on_diffusion(&mut self, t: SimTime, node: NodeId) {
         let now = t.as_secs();
         let i = node.index();
+        let m = self.table.len();
         self.nodes[i].flows.roll_to(now);
         self.nodes[i].seen.roll_to(now);
         let my_load = self.measured_load(node, now);
 
         // Push load down to any child that gossiped a lower load.
-        let children: Vec<NodeId> = self.tree.children(node).to_vec();
-        for c in children {
-            let Some(&child_load) = self.nodes[i].estimates.get(&c) else {
+        let is_root = self.tree.parent(node).is_none();
+        for slot in 0..self.tree.children(node).len() {
+            let c = self.tree.children(node)[slot];
+            let Some(child_load) = self.nodes[i].child_est[slot] else {
                 continue;
             };
             if !self.significant_imbalance(my_load, child_load) {
                 continue;
             }
-            let a_c = self.nodes[i].flows.child_total(c);
+            let a_c = self.nodes[i].flows.row_total(slot);
             let target = (self.alpha * (my_load - child_load)).min(a_c);
             if target <= 0.0 {
                 continue;
             }
             // Docs this node serves that the child forwards.
-            let is_root = self.tree.parent(node).is_none();
-            let caps: Vec<(DocId, f64)> = if is_root {
+            if is_root {
                 // The root serves everything that reaches it; it can push
                 // any doc the child forwards.
-                self.nodes[i].flows.child_doc_rates(c)
+                self.nodes[i].flows.row_doc_rates(slot, &mut self.cand_buf);
             } else {
-                self.nodes[i]
-                    .served
-                    .child_doc_rates(node)
-                    .into_iter()
-                    .filter_map(|(d, s)| {
-                        let f = self.nodes[i].flows.child_doc_rate(c, d);
-                        let cap = s.min(f);
-                        (cap > 0.0).then_some((d, cap))
-                    })
-                    .collect()
-            };
-            for slice in plan_push(&caps, target) {
+                self.cand_buf.clear();
+                for k in 0..m as u32 {
+                    let s = self.nodes[i].served.rate(0, k);
+                    if s <= 0.0 {
+                        continue;
+                    }
+                    let f = self.nodes[i].flows.rate(slot, k);
+                    let cap = s.min(f);
+                    if cap > 0.0 {
+                        self.cand_buf.push((k, cap));
+                    }
+                }
+            }
+            plan_push_dense(
+                &self.cand_buf,
+                target,
+                &mut self.sort_buf,
+                &mut self.plan_buf,
+            );
+            for pi in 0..self.plan_buf.len() {
+                let slice = self.plan_buf[pi];
                 self.copy_pushes += 1;
                 self.ledger.record(TrafficClass::CopyPush, 16 * 1024, 1);
                 self.queue.schedule(
                     t + SimTime::from_secs(self.config.link_delay),
                     Event::CopyInstall {
                         node: c,
-                        doc: slice.doc,
+                        index: slice.index,
                         rate: slice.rate,
                     },
                 );
                 if !is_root {
                     // Give up the corresponding share of our own allocation.
-                    if let Some(b) = self.nodes[i].alloc.get_mut(&slice.doc) {
+                    if self.nodes[i].alloc_set.contains(slice.index) {
+                        let b = &mut self.nodes[i].alloc[slice.index as usize];
                         b.rate = (b.rate - slice.rate).max(0.0);
                     }
                 }
@@ -516,29 +673,32 @@ impl PacketSim {
 
         // Compare against the parent: take over passing load, shed, or
         // eventually tunnel.
-        if let Some(p) = self.tree.parent(node) {
-            if let Some(&pl) = self.nodes[i].estimates.get(&p) {
+        if self.tree.parent(node).is_some() {
+            if let Some(pl) = self.nodes[i].parent_est {
                 if self.significant_imbalance(pl, my_load) {
                     let want = self.alpha * (pl - my_load);
                     // Take over flow for documents we already hold.
-                    let passing: Vec<(DocId, f64)> = self.nodes[i]
-                        .seen
-                        .child_doc_rates(node)
-                        .into_iter()
-                        .filter(|&(d, _)| self.nodes[i].store.contains(d))
-                        .map(|(d, seen_rate)| {
-                            let served = self.nodes[i].served.child_doc_rate(node, d);
-                            (d, (seen_rate - served).max(0.0))
-                        })
-                        .filter(|&(_, headroom)| headroom > 0.0)
-                        .collect();
+                    self.cand_buf.clear();
+                    for k in 0..m as u32 {
+                        let seen_rate = self.nodes[i].seen.rate(0, k);
+                        if seen_rate <= 0.0 || !self.nodes[i].copies.contains(k) {
+                            continue;
+                        }
+                        let served = self.nodes[i].served.rate(0, k);
+                        let headroom = (seen_rate - served).max(0.0);
+                        if headroom > 0.0 {
+                            self.cand_buf.push((k, headroom));
+                        }
+                    }
+                    plan_push_dense(&self.cand_buf, want, &mut self.sort_buf, &mut self.plan_buf);
                     let mut taken = 0.0;
-                    for slice in plan_push(&passing, want) {
-                        let bucket = self.nodes[i]
-                            .alloc
-                            .entry(slice.doc)
-                            .or_insert_with(|| TokenBucket::new(0.0, now));
-                        bucket.rate += slice.rate;
+                    for pi in 0..self.plan_buf.len() {
+                        let slice = self.plan_buf[pi];
+                        let k = slice.index;
+                        if self.nodes[i].alloc_set.insert(k) {
+                            self.nodes[i].alloc[k as usize] = TokenBucket::new(0.0, now);
+                        }
+                        self.nodes[i].alloc[k as usize].rate += slice.rate;
                         taken += slice.rate;
                     }
                     if taken <= 1e-9 {
@@ -555,10 +715,17 @@ impl PacketSim {
                 } else if self.significant_imbalance(my_load, pl) {
                     // Shed upward: reduce allocations, coldest docs first.
                     let shed_target = self.alpha * (my_load - pl);
-                    let served: Vec<(DocId, f64)> =
-                        self.nodes[i].served.child_doc_rates(node);
-                    for slice in plan_shed(&served, shed_target) {
-                        if let Some(b) = self.nodes[i].alloc.get_mut(&slice.doc) {
+                    self.nodes[i].served.row_doc_rates(0, &mut self.cand_buf);
+                    plan_shed_dense(
+                        &self.cand_buf,
+                        shed_target,
+                        &mut self.sort_buf,
+                        &mut self.plan_buf,
+                    );
+                    for pi in 0..self.plan_buf.len() {
+                        let slice = self.plan_buf[pi];
+                        if self.nodes[i].alloc_set.contains(slice.index) {
+                            let b = &mut self.nodes[i].alloc[slice.index as usize];
                             b.rate = (b.rate - slice.rate).max(0.0);
                         }
                     }
@@ -567,35 +734,38 @@ impl PacketSim {
             }
         }
 
-        // Observer: record the global distance to the TLB oracle.
-        let rates: Vec<f64> = (0..self.tree.len())
-            .map(|j| {
-                let nj = NodeId::new(j);
-                self.nodes[j].served.roll_to(now);
-                self.nodes[j].served.child_total(nj)
-            })
-            .collect();
-        self.trace
-            .push(RateVector::from(rates).euclidean_distance(&self.oracle));
+        // Observer: record the global distance to the TLB oracle without
+        // allocating a rates vector.
+        let mut sum_sq = 0.0;
+        for j in 0..self.tree.len() {
+            self.nodes[j].served.roll_to(now);
+            let d = self.nodes[j].served.row_total(0) - self.oracle[NodeId::new(j)];
+            sum_sq += d * d;
+        }
+        self.trace.push(sum_sq.sqrt());
 
-        self.queue.schedule(
-            t + SimTime::from_secs(self.config.diffusion_period),
-            Event::DiffusionTimer { node },
-        );
+        let seq = self.queue.alloc_seq();
+        self.diffusion_ring.rearm(node.index(), seq);
     }
 
     /// Tunneling: fetch the hottest forwarded-but-not-held document from
     /// the nearest upstream holder, paying the round trip.
     fn tunnel(&mut self, t: SimTime, node: NodeId, want: f64) {
         let i = node.index();
-        let mut candidates: Vec<(DocId, f64)> = self.nodes[i]
-            .seen
-            .child_doc_rates(node)
-            .into_iter()
-            .filter(|&(d, _)| !self.nodes[i].store.contains(d))
-            .collect();
-        candidates.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("finite").then(a.0.cmp(&b.0)));
-        let Some(&(doc, rate)) = candidates.first() else {
+        let m = self.table.len();
+        // Hottest seen-but-not-held document; ties break toward the
+        // smaller index (= smaller id), matching the sparse sort order.
+        let mut best: Option<(u32, f64)> = None;
+        for k in 0..m as u32 {
+            let r = self.nodes[i].seen.rate(0, k);
+            if r <= 0.0 || self.nodes[i].copies.contains(k) {
+                continue;
+            }
+            if best.is_none_or(|(_, br)| r > br) {
+                best = Some((k, r));
+            }
+        }
+        let Some((index, rate)) = best else {
             return;
         };
         // Find the nearest ancestor holding the document.
@@ -603,7 +773,7 @@ impl PacketSim {
         let mut cur = node;
         while let Some(p) = self.tree.parent(cur) {
             hops += 1;
-            if self.nodes[p.index()].store.contains(doc) {
+            if self.nodes[p.index()].copies.contains(index) {
                 break;
             }
             cur = p;
@@ -615,24 +785,22 @@ impl PacketSim {
             t + SimTime::from_secs(self.config.link_delay * f64::from(hops * 2)),
             Event::CopyInstall {
                 node,
-                doc,
+                index,
                 rate: rate.min(want).max(1.0),
             },
         );
     }
 
-    fn on_copy_install(&mut self, t: SimTime, node: NodeId, doc: DocId, rate: f64) {
+    fn on_copy_install(&mut self, t: SimTime, node: NodeId, index: u32, rate: f64) {
         let i = node.index();
         let now = t.as_secs();
-        if !self.nodes[i].store.contains(doc) {
-            self.nodes[i].store.insert(doc, None);
-            self.nodes[i].filter.insert(doc);
+        if self.nodes[i].copies.insert(index) {
+            self.nodes[i].filter.insert(index);
         }
-        let bucket = self.nodes[i]
-            .alloc
-            .entry(doc)
-            .or_insert_with(|| TokenBucket::new(0.0, now));
-        bucket.rate += rate;
+        if self.nodes[i].alloc_set.insert(index) {
+            self.nodes[i].alloc[index as usize] = TokenBucket::new(0.0, now);
+        }
+        self.nodes[i].alloc[index as usize].rate += rate;
     }
 
     /// Produces the final report (also usable mid-run).
@@ -640,9 +808,8 @@ impl PacketSim {
         let now = self.queue.now().as_secs();
         let rates: Vec<f64> = (0..self.tree.len())
             .map(|j| {
-                let nj = NodeId::new(j);
                 self.nodes[j].served.roll_to(now.max(1e-9));
-                self.nodes[j].served.child_total(nj)
+                self.nodes[j].served.row_total(0)
             })
             .collect();
         let served_rates = RateVector::from(rates);
@@ -667,6 +834,11 @@ impl PacketSim {
     /// The TLB oracle for the offered demand.
     pub fn oracle(&self) -> &RateVector {
         &self.oracle
+    }
+
+    /// The dense document table of this simulation's universe.
+    pub fn doc_table(&self) -> &DocTable {
+        &self.table
     }
 
     /// Lifetime served-request count of one node.
@@ -822,5 +994,17 @@ mod tests {
             report.final_distance,
             initial
         );
+    }
+
+    #[test]
+    fn trace_is_reproducible_across_runs() {
+        // The timer rings must merge with the heap in a deterministic
+        // order: two identically seeded runs produce identical traces.
+        let (tree, mix) = fig7_mix();
+        let trace = |_| {
+            let mut sim = PacketSim::new(&tree, &mix, PacketSimConfig::default());
+            sim.run(15.0).trace.distances().to_vec()
+        };
+        assert_eq!(trace(0), trace(1));
     }
 }

@@ -87,7 +87,11 @@ pub fn saturation_capacity(load: &RateVector) -> f64 {
 /// # Panics
 ///
 /// Panics if `points == 0` or `max_capacity` is invalid.
-pub fn capacity_sweep(load: &RateVector, max_capacity: f64, points: usize) -> Vec<ThroughputReport> {
+pub fn capacity_sweep(
+    load: &RateVector,
+    max_capacity: f64,
+    points: usize,
+) -> Vec<ThroughputReport> {
     assert!(points > 0, "need at least one sweep point");
     (0..points)
         .map(|i| {

@@ -47,8 +47,8 @@ pub fn check_feasibility(
     load: &RateVector,
     tol: f64,
 ) -> Feasibility {
-    let a = LoadAssignment::new(tree, spontaneous, load.clone())
-        .expect("vectors must match the tree");
+    let a =
+        LoadAssignment::new(tree, spontaneous, load.clone()).expect("vectors must match the tree");
     Feasibility {
         nss: a.satisfies_nss(tol),
         root: a.satisfies_root_constraint(tol),
@@ -58,11 +58,8 @@ pub fn check_feasibility(
 /// Lemma 1: after WebFold, loads are monotonically non-increasing from
 /// root toward the leaves (`L_i >= L_j` for every child `j` of `i`).
 pub fn check_monotone_non_increasing(tree: &Tree, load: &RateVector, tol: f64) -> bool {
-    tree.nodes().all(|u| {
-        tree.children(u)
-            .iter()
-            .all(|&c| load[u] >= load[c] - tol)
-    })
+    tree.nodes()
+        .all(|u| tree.children(u).iter().all(|&c| load[u] >= load[c] - tol))
 }
 
 /// Lemma 2: no load is exchanged between folds — the forwarded rate at
@@ -288,7 +285,12 @@ mod tests {
         for s in paper::all_scenarios() {
             let folded = webfold(&s.tree, &s.spontaneous);
             assert!(check_monotone_non_increasing(&s.tree, folded.load(), 1e-9));
-            assert!(check_zero_interfold_flow(&s.tree, &s.spontaneous, &folded, 1e-9));
+            assert!(check_zero_interfold_flow(
+                &s.tree,
+                &s.spontaneous,
+                &folded,
+                1e-9
+            ));
         }
     }
 

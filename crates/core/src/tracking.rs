@@ -80,8 +80,7 @@ pub fn track<P: RateProcess>(
         let total = rates.total().max(1e-12);
         relative_errors.push(err / total);
     }
-    let mean_relative_error =
-        relative_errors.iter().sum::<f64>() / relative_errors.len() as f64;
+    let mean_relative_error = relative_errors.iter().sum::<f64>() / relative_errors.len() as f64;
     let max_relative_error = relative_errors
         .iter()
         .copied()

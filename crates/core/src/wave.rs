@@ -15,6 +15,26 @@
 //! The root serves everything that still reaches it (Constraint 1). The
 //! per-round Euclidean distance to the WebFold (TLB) oracle is recorded,
 //! reproducing Figure 6(b) and the `gamma` regression.
+//!
+//! # Performance
+//!
+//! Diffusion rounds are **zero-allocation** and run over a **BFS-permuted
+//! dense layout**:
+//!
+//! * The load/forwarded vectors are double-buffered (swapped, never
+//!   cloned) and the staleness window recycles a fixed ring of buffers.
+//! * Internally nodes live at their BFS positions, so the per-edge
+//!   transfer pass walks a contiguous child range with monotone parent
+//!   positions, and the bottom-up repair pass is a strict reverse scan
+//!   whose per-node children are a contiguous slice — streaming access
+//!   instead of pointer chasing.
+//!
+//! The arithmetic — including every floating-point accumulation order —
+//! is identical to the naive clone-per-round formulation
+//! ([`crate::reference::NaiveRateWave`]): siblings are always combined in
+//! ascending-id order, and the public id-ordered vectors are rebuilt each
+//! round before the distance is taken. The golden-trace tests hold the
+//! two engines bit-for-bit equal.
 
 use crate::fold::webfold;
 use std::collections::VecDeque;
@@ -22,8 +42,7 @@ use ww_model::{NodeId, RateVector, Tree};
 use ww_stats::ConvergenceTrace;
 
 /// Configuration of a rate-level WebWave run.
-#[derive(Debug, Clone, Copy, PartialEq)]
-#[derive(Default)]
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
 pub struct WaveConfig {
     /// Diffusion parameter; `None` selects the safe default
     /// `1 / (max_tree_degree + 1)` (paper Figure 5, step 1:
@@ -34,7 +53,6 @@ pub struct WaveConfig {
     /// assumption.
     pub staleness: usize,
 }
-
 
 /// A rate-level WebWave simulation.
 ///
@@ -54,12 +72,51 @@ pub struct WaveConfig {
 pub struct RateWave {
     tree: Tree,
     spontaneous: RateVector,
+    /// Served rates in **id order** — the public view, rebuilt from the
+    /// permuted state at the end of every round.
     load: RateVector,
+    /// Forwarded rates in **id order** — the public view.
     forwarded: RateVector,
     alpha: f64,
     staleness: usize,
-    /// Load vectors of past rounds, oldest first; used for stale gossip.
-    history: VecDeque<RateVector>,
+
+    // ---- BFS-permuted dense state (hot path) -------------------------
+    /// Node id at each BFS position (`tree.bfs_order()`).
+    order: Vec<u32>,
+    /// BFS position of each node id (inverse of `order`).
+    pos_of: Vec<u32>,
+    /// Parent position of each position; position 0 is the root.
+    parent_pos: Vec<u32>,
+    /// Children of position `u` occupy positions
+    /// `child_start[u]..child_start[u + 1]` — contiguous by the BFS
+    /// property, in ascending-id order.
+    child_start: Vec<u32>,
+    /// `true` when every parent id is smaller than all of its children's
+    /// ids. Then the position-order scan applies each cell's operations
+    /// in exactly the naive engine's ascending-edge-id order, so the fast
+    /// streaming path is bit-identical.
+    id_order_sorted: bool,
+    /// Fallback for irregular numberings (e.g. Prüfer trees): all
+    /// `(child_pos, parent_pos)` edges sorted by ascending child *id*,
+    /// which replays the naive accumulation order exactly. Empty when
+    /// `id_order_sorted`.
+    edges_by_id: Vec<(u32, u32)>,
+    /// Spontaneous rates at BFS positions.
+    spont_pos: Vec<f64>,
+    /// Served rates at BFS positions (current round).
+    load_pos: Vec<f64>,
+    /// Forwarded rates at BFS positions (current round).
+    fwd_pos: Vec<f64>,
+    /// Double buffer for the next load vector (swapped with `load_pos`).
+    next_buf: Vec<f64>,
+    /// Double buffer for the next forwarded vector (swapped with
+    /// `fwd_pos`).
+    fwd_buf: Vec<f64>,
+    /// Past load vectors (BFS positions), oldest first; holds at most
+    /// `staleness` buffers, recycled once the window fills so steady-state
+    /// rounds never allocate.
+    history: VecDeque<Vec<f64>>,
+
     oracle: RateVector,
     trace: ConvergenceTrace,
     round: usize,
@@ -95,9 +152,8 @@ impl RateWave {
         spontaneous
             .validate_for(tree)
             .expect("spontaneous rates must match the tree");
-        let assignment =
-            ww_model::LoadAssignment::new(tree, spontaneous, initial.clone())
-                .expect("initial load must match the tree");
+        let assignment = ww_model::LoadAssignment::new(tree, spontaneous, initial.clone())
+            .expect("initial load must match the tree");
         assert!(
             assignment.check_feasible(1e-6).is_ok(),
             "initial load assignment must be feasible"
@@ -114,6 +170,56 @@ impl RateWave {
         let forwarded = assignment.forwarded().clone();
         let mut trace = ConvergenceTrace::new();
         trace.push(initial.euclidean_distance(&oracle));
+
+        let n = tree.len();
+        // BFS permutation: position -> id, and per-position structure.
+        let order: Vec<u32> = tree.bfs_order().iter().map(|u| u.index() as u32).collect();
+        let mut pos_of = vec![0u32; n];
+        for (pos, &id) in order.iter().enumerate() {
+            pos_of[id as usize] = pos as u32;
+        }
+        let parent_pos: Vec<u32> = order
+            .iter()
+            .map(|&id| {
+                tree.parent(NodeId::new(id as usize))
+                    .map_or(u32::MAX, |p| pos_of[p.index()])
+            })
+            .collect();
+        // Children of position u are the contiguous run of positions whose
+        // parent is u; runs appear in position order by the BFS property
+        // (node u's children are enqueued, in ascending-id order, when u
+        // is dequeued). The first child of position u therefore sits right
+        // after all children of positions < u.
+        let mut child_start = vec![0u32; n + 1];
+        let mut next_child = 1u32; // position 0 is the root, nobody's child
+        for u in 0..n {
+            child_start[u] = next_child.min(n as u32);
+            next_child += tree.children(NodeId::new(order[u] as usize)).len() as u32;
+        }
+        child_start[n] = n as u32;
+        debug_assert!((0..n).all(|u| {
+            let (lo, hi) = (child_start[u] as usize, child_start[u + 1] as usize);
+            (lo..hi).all(|v| parent_pos[v] as usize == u)
+        }));
+        // Fast path applies when no child id precedes its parent's id;
+        // otherwise fall back to an edge list in ascending child-id order
+        // (the naive engine's scan order).
+        let id_order_sorted = (1..n).all(|c| order[parent_pos[c] as usize] < order[c]);
+        let edges_by_id: Vec<(u32, u32)> = if id_order_sorted {
+            Vec::new()
+        } else {
+            let mut edges: Vec<(u32, u32)> = (1..n).map(|c| (c as u32, parent_pos[c])).collect();
+            edges.sort_by_key(|&(c, _)| order[c as usize]);
+            edges
+        };
+
+        let permute = |v: &RateVector| -> Vec<f64> {
+            order.iter().map(|&id| v.as_slice()[id as usize]).collect()
+        };
+        let spont_pos = permute(spontaneous);
+        let load_pos = permute(&initial);
+        let fwd_pos = permute(&forwarded);
+
         RateWave {
             tree: tree.clone(),
             spontaneous: spontaneous.clone(),
@@ -121,64 +227,149 @@ impl RateWave {
             forwarded,
             alpha,
             staleness: config.staleness,
-            history: VecDeque::new(),
+            order,
+            pos_of,
+            parent_pos,
+            child_start,
+            id_order_sorted,
+            edges_by_id,
+            spont_pos,
+            load_pos,
+            fwd_pos,
+            next_buf: vec![0.0; n],
+            fwd_buf: vec![0.0; n],
+            history: VecDeque::with_capacity(config.staleness),
             oracle,
             trace,
             round: 0,
         }
     }
 
-    /// The estimate a node has of loads this round: the load vector from
-    /// `staleness` rounds ago (or the oldest available early on).
-    fn estimates(&self) -> &RateVector {
-        if self.staleness == 0 || self.history.is_empty() {
-            &self.load
-        } else {
-            // history holds up to `staleness` past vectors, oldest first.
-            &self.history[0]
+    /// Rebuilds the public id-ordered `load`/`forwarded` vectors from the
+    /// permuted state.
+    fn unpermute(&mut self) {
+        let load = self.load.as_mut_slice();
+        let fwd = self.forwarded.as_mut_slice();
+        for (pos, &id) in self.order.iter().enumerate() {
+            load[id as usize] = self.load_pos[pos];
+            fwd[id as usize] = self.fwd_pos[pos];
         }
     }
 
+    /// Rebuilds the public vectors and returns the Euclidean distance to
+    /// the oracle in one fused pass, accumulating in ascending-id order —
+    /// the same order `RateVector::euclidean_distance` uses.
+    fn unpermute_and_distance(&mut self) -> f64 {
+        let load = self.load.as_mut_slice();
+        let fwd = self.forwarded.as_mut_slice();
+        let oracle = self.oracle.as_slice();
+        let pos_of = &self.pos_of;
+        let mut sum_sq = 0.0;
+        for id in 0..load.len() {
+            let pos = pos_of[id] as usize;
+            let l = self.load_pos[pos];
+            load[id] = l;
+            fwd[id] = self.fwd_pos[pos];
+            let d = l - oracle[id];
+            sum_sq += d * d;
+        }
+        sum_sq.sqrt()
+    }
+
     /// Executes one synchronous WebWave round (Figure 5, steps 2.1-2.4).
+    ///
+    /// The round is allocation-free: all buffers are reused, and once the
+    /// staleness window fills, history buffers are recycled instead of
+    /// cloned.
     pub fn step(&mut self) {
         self.round += 1;
         let n = self.tree.len();
-        let est = self.estimates().clone();
-        let mut next = self.load.clone();
+        let alpha = self.alpha;
+        let stale = self.staleness > 0 && !self.history.is_empty();
+        let load: &[f64] = &self.load_pos;
+        let fwd_prev: &[f64] = &self.fwd_pos;
+        let parent_pos: &[u32] = &self.parent_pos;
+        let next: &mut [f64] = &mut self.next_buf;
+        next.copy_from_slice(load);
 
         // Per-edge net transfers, computed once per (parent, child) pair.
-        for c_idx in 0..n {
-            let c = NodeId::new(c_idx);
-            let Some(p) = self.tree.parent(c) else { continue };
-            // Parent pushes down, bounded by the child's forwarded rate
-            // (NSS: a child can only absorb load its own subtree emits).
-            let down = if self.load[p] > est[c] {
-                (self.alpha * (self.load[p] - est[c])).min(self.forwarded[c])
+        //
+        // Float addition is not associative, so each cell's accumulation
+        // must replay the naive engine's ascending-edge-id scan order.
+        // When every parent id precedes its children's ids
+        // (`id_order_sorted` — all regular generators and the paper
+        // trees), the position scan already does: a cell's own `+=`
+        // lands before its children's `-=`s, and siblings are adjacent
+        // in ascending-id order. Then parents are monotone nondecreasing
+        // (BFS), so the scan streams. Irregular numberings (e.g. Prüfer
+        // trees) take the `edges_by_id` fallback, which walks the same
+        // arithmetic in explicit ascending child-id order.
+        //
+        // `(alpha * (lp - ec)).min(bound).max(0.0)` equals the guarded
+        // `if lp > ec { (alpha * (lp - ec)).min(bound) } else { 0.0 }`
+        // bit for bit: when `lp <= ec` the product is `<= 0.0` and the
+        // final `.max(0.0)` restores exactly `0.0` (`x - x == +0.0` in
+        // IEEE 754, and the branchless form is `minsd`/`maxsd`, not a
+        // mispredictable branch).
+        let est: &[f64] = if stale { &self.history[0] } else { load };
+        if self.id_order_sorted {
+            if stale {
+                // Stale gossip: decisions use the lagged estimate vector.
+                for c in 1..n {
+                    let p = parent_pos[c] as usize;
+                    let (lp, lc) = (load[p], load[c]);
+                    let (ep, ec) = (est[p], est[c]);
+                    // Parent pushes down, bounded by the child's forwarded
+                    // rate (NSS: a child can only absorb load its own
+                    // subtree emits); child pushes up freely, bounded by
+                    // its own load.
+                    let down = (alpha * (lp - ec)).min(fwd_prev[c]).max(0.0);
+                    let up = (alpha * (lc - ep)).min(lc).max(0.0);
+                    let net = down - up;
+                    next[p] -= net;
+                    next[c] += net;
+                }
             } else {
-                0.0
-            };
-            // Child pushes up freely (requests already travel upward),
-            // bounded by its own current load.
-            let up = if self.load[c] > est[p] {
-                (self.alpha * (self.load[c] - est[p])).min(self.load[c])
-            } else {
-                0.0
-            };
-            let net = down - up;
-            next[p] -= net;
-            next[c] += net;
+                // Instantaneous gossip: estimates are the loads
+                // themselves, so skip the second pair of loads entirely.
+                for c in 1..n {
+                    let p = parent_pos[c] as usize;
+                    let (lp, lc) = (load[p], load[c]);
+                    let down = (alpha * (lp - lc)).min(fwd_prev[c]).max(0.0);
+                    let up = (alpha * (lc - lp)).min(lc).max(0.0);
+                    let net = down - up;
+                    next[p] -= net;
+                    next[c] += net;
+                }
+            }
+        } else {
+            for &(c, p) in &self.edges_by_id {
+                let (c, p) = (c as usize, p as usize);
+                let (lp, lc) = (load[p], load[c]);
+                let (ep, ec) = (est[p], est[c]);
+                let down = (alpha * (lp - ec)).min(fwd_prev[c]).max(0.0);
+                let up = (alpha * (lc - ep)).min(lc).max(0.0);
+                let net = down - up;
+                next[p] -= net;
+                next[c] += net;
+            }
         }
 
         // Repair pass: re-impose flow feasibility bottom-up. A node may
         // not serve more than flows through it; surplus climbs toward the
         // root, which absorbs everything that remains (Constraint 1).
-        let mut forwarded = RateVector::zeros(n);
-        for u in self.tree.bottom_up() {
-            let mut through = self.spontaneous[u];
-            for &ch in self.tree.children(u) {
-                through += forwarded[ch];
+        // Reverse position order *is* the bottom-up traversal, and each
+        // node's children are a contiguous ascending-id slice.
+        let forwarded: &mut [f64] = &mut self.fwd_buf;
+        let spont: &[f64] = &self.spont_pos;
+        let child_start: &[u32] = &self.child_start;
+        for u in (0..n).rev() {
+            let mut through = spont[u];
+            let (lo, hi) = (child_start[u] as usize, child_start[u + 1] as usize);
+            for f in &forwarded[lo..hi] {
+                through += *f;
             }
-            if self.tree.parent(u).is_none() {
+            if u == 0 {
                 next[u] = through;
                 forwarded[u] = 0.0;
             } else {
@@ -192,17 +383,22 @@ impl RateWave {
         }
 
         // Gossip (step 2.4): append the *previous* load to the history so
-        // estimates lag by `staleness` rounds.
+        // estimates lag by `staleness` rounds. Once the window is full the
+        // oldest buffer is recycled as the newest — no allocation.
         if self.staleness > 0 {
-            self.history.push_back(self.load.clone());
-            while self.history.len() > self.staleness {
-                self.history.pop_front();
+            if self.history.len() >= self.staleness {
+                let mut recycled = self.history.pop_front().expect("non-empty history");
+                recycled.copy_from_slice(&self.load_pos);
+                self.history.push_back(recycled);
+            } else {
+                self.history.push_back(self.load_pos.clone());
             }
         }
 
-        self.load = next;
-        self.forwarded = forwarded;
-        self.trace.push(self.load.euclidean_distance(&self.oracle));
+        std::mem::swap(&mut self.load_pos, &mut self.next_buf);
+        std::mem::swap(&mut self.fwd_pos, &mut self.fwd_buf);
+        let distance = self.unpermute_and_distance();
+        self.trace.push(distance);
     }
 
     /// Runs `rounds` rounds.
@@ -275,26 +471,30 @@ impl RateWave {
             .validate_for(&self.tree)
             .expect("spontaneous rates must match the tree");
         self.spontaneous = spontaneous.clone();
+        for (pos, &id) in self.order.iter().enumerate() {
+            self.spont_pos[pos] = spontaneous.as_slice()[id as usize];
+        }
         self.oracle = webfold(&self.tree, spontaneous).into_load();
         // Re-impose feasibility under the new flows.
         let n = self.tree.len();
-        let mut forwarded = RateVector::zeros(n);
-        let mut next = self.load.clone();
-        for u in self.tree.bottom_up() {
-            let mut through = self.spontaneous[u];
-            for &ch in self.tree.children(u) {
-                through += forwarded[ch];
+        for u in (0..n).rev() {
+            let mut through = self.spont_pos[u];
+            let (lo, hi) = (
+                self.child_start[u] as usize,
+                self.child_start[u + 1] as usize,
+            );
+            for v in lo..hi {
+                through += self.fwd_pos[v];
             }
-            if self.tree.parent(u).is_none() {
-                next[u] = through;
-                forwarded[u] = 0.0;
+            if u == 0 {
+                self.load_pos[u] = through;
+                self.fwd_pos[u] = 0.0;
             } else {
-                next[u] = next[u].clamp(0.0, through);
-                forwarded[u] = through - next[u];
+                self.load_pos[u] = self.load_pos[u].clamp(0.0, through);
+                self.fwd_pos[u] = through - self.load_pos[u];
             }
         }
-        self.load = next;
-        self.forwarded = forwarded;
+        self.unpermute();
         // Old gossip describes the old regime; drop it.
         self.history.clear();
         self.trace.push(self.load.euclidean_distance(&self.oracle));
@@ -317,7 +517,11 @@ mod tests {
     fn fig2a_converges_to_gle() {
         let s = paper::fig2a();
         let w = converge(&s, 2000);
-        assert!(w.distance_to_tlb() < 1e-6, "distance {}", w.distance_to_tlb());
+        assert!(
+            w.distance_to_tlb() < 1e-6,
+            "distance {}",
+            w.distance_to_tlb()
+        );
         for &l in w.load().as_slice() {
             assert!((l - 20.0).abs() < 1e-6);
         }
@@ -327,8 +531,17 @@ mod tests {
     fn fig2b_converges_to_non_gle_tlb() {
         let s = paper::fig2b();
         let w = converge(&s, 3000);
-        assert!(w.distance_to_tlb() < 1e-6, "distance {}", w.distance_to_tlb());
-        for (got, want) in w.load().as_slice().iter().zip(paper::fig2b_tlb().as_slice()) {
+        assert!(
+            w.distance_to_tlb() < 1e-6,
+            "distance {}",
+            w.distance_to_tlb()
+        );
+        for (got, want) in w
+            .load()
+            .as_slice()
+            .iter()
+            .zip(paper::fig2b_tlb().as_slice())
+        {
             assert!((got - want).abs() < 1e-5, "{got} vs {want}");
         }
     }
@@ -353,7 +566,11 @@ mod tests {
         for _ in 0..200 {
             w.step();
             let a = LoadAssignment::new(&s.tree, &s.spontaneous, w.load().clone()).unwrap();
-            assert!(a.check_feasible(1e-6).is_ok(), "round {} infeasible", w.round());
+            assert!(
+                a.check_feasible(1e-6).is_ok(),
+                "round {} infeasible",
+                w.round()
+            );
         }
     }
 
@@ -384,14 +601,21 @@ mod tests {
         };
         let mut w = RateWave::new(&s.tree, &s.spontaneous, cfg);
         w.run(8000);
-        assert!(w.distance_to_tlb() < 1e-4, "distance {}", w.distance_to_tlb());
+        assert!(
+            w.distance_to_tlb() < 1e-4,
+            "distance {}",
+            w.distance_to_tlb()
+        );
     }
 
     #[test]
     fn staleness_slows_convergence() {
         let s = paper::fig6();
         let rounds_to = |staleness: usize| {
-            let cfg = WaveConfig { alpha: None, staleness };
+            let cfg = WaveConfig {
+                alpha: None,
+                staleness,
+            };
             let mut w = RateWave::new(&s.tree, &s.spontaneous, cfg);
             w.run_until(0.5, 20_000)
         };
@@ -442,5 +666,22 @@ mod tests {
         w.run(10);
         assert_eq!(w.load().as_slice(), &[5.0]);
         assert!(w.distance_to_tlb() < 1e-12);
+    }
+
+    /// The BFS-permuted layout must agree with the tree structure: every
+    /// position's children slice covers exactly its children.
+    #[test]
+    fn permuted_layout_preserves_forwarded_semantics() {
+        let s = paper::fig6();
+        let mut w = RateWave::new(&s.tree, &s.spontaneous, WaveConfig::default());
+        w.run(50);
+        // forwarded() must satisfy flow conservation against load().
+        let a = LoadAssignment::new(&s.tree, &s.spontaneous, w.load().clone()).unwrap();
+        for u in s.tree.nodes() {
+            assert!(
+                (a.forwarded()[u] - w.forwarded()[u]).abs() < 1e-9,
+                "forwarded mismatch at {u}"
+            );
+        }
     }
 }

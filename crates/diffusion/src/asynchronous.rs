@@ -174,12 +174,14 @@ impl AsyncDiffusion {
                 } else {
                     rng.gen_range(0..=self.config.max_gossip_delay)
                 };
-                self.gossip.push_back((round + delay, j, NodeId::new(i), li));
+                self.gossip
+                    .push_back((round + delay, j, NodeId::new(i), li));
             }
         }
         self.gossip.make_contiguous().sort_by_key(|&(t, _, _, _)| t);
 
-        self.distances.push(self.current_load().distance_to_uniform());
+        self.distances
+            .push(self.current_load().distance_to_uniform());
     }
 
     /// Runs `rounds` rounds; returns the distance trace (index = round).
@@ -197,8 +199,7 @@ impl AsyncDiffusion {
 
     /// Total mass, on nodes plus in flight. Conserved exactly.
     pub fn total_mass(&self) -> f64 {
-        self.load.iter().sum::<f64>()
-            + self.transfers.iter().map(|&(_, _, a)| a).sum::<f64>()
+        self.load.iter().sum::<f64>() + self.transfers.iter().map(|&(_, _, a)| a).sum::<f64>()
     }
 
     /// Distance-to-uniform series (index = round).
@@ -325,6 +326,9 @@ mod tests {
         };
         let fast = reach(0, 0);
         let slow = reach(6, 6);
-        assert!(slow > fast, "delayed run ({slow}) not slower than instantaneous ({fast})");
+        assert!(
+            slow > fast,
+            "delayed run ({slow}) not slower than instantaneous ({fast})"
+        );
     }
 }

@@ -41,7 +41,9 @@ pub mod asynchronous;
 pub mod matrix;
 pub mod sync;
 
-pub use alpha::{from_spectrum_extremes, hypercube_alpha, k_ary_n_cube_alpha, ring_alpha, OptimalAlpha};
+pub use alpha::{
+    from_spectrum_extremes, hypercube_alpha, k_ary_n_cube_alpha, ring_alpha, OptimalAlpha,
+};
 pub use asynchronous::{AsyncConfig, AsyncDiffusion};
 pub use matrix::DiffusionMatrix;
 pub use sync::SyncDiffusion;

@@ -50,8 +50,7 @@ impl DiffusionMatrix {
         let mut weighted = Vec::with_capacity(graph.len());
         let mut self_weight = Vec::with_capacity(graph.len());
         for u in graph.nodes() {
-            let nbrs: Vec<(NodeId, f64)> =
-                graph.neighbors(u).iter().map(|&v| (v, alpha)).collect();
+            let nbrs: Vec<(NodeId, f64)> = graph.neighbors(u).iter().map(|&v| (v, alpha)).collect();
             let sw = 1.0 - alpha * nbrs.len() as f64;
             if sw < -1e-12 {
                 return None;
@@ -269,7 +268,12 @@ mod tests {
         }
         let d1 = x.distance_to_uniform();
         let d2 = d.step(&x).distance_to_uniform();
-        assert!(d2 <= gamma * d1 + 1e-9, "d2 {} vs gamma*d1 {}", d2, gamma * d1);
+        assert!(
+            d2 <= gamma * d1 + 1e-9,
+            "d2 {} vs gamma*d1 {}",
+            d2,
+            gamma * d1
+        );
     }
 
     #[test]

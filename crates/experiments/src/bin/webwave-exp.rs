@@ -27,7 +27,10 @@ fn main() {
         println!("{}", exp::fig6b(400).report);
     }
     if want("gamma") {
-        println!("{}", exp::gamma_study(&[3, 4, 5, 6, 7, 8, 9], 256, 600, 1997).report);
+        println!(
+            "{}",
+            exp::gamma_study(&[3, 4, 5, 6, 7, 8, 9], 256, 600, 1997).report
+        );
     }
     if want("fig7") {
         println!("{}", exp::fig7(1500).report);

@@ -131,7 +131,11 @@ pub fn throughput_study() -> ThroughputStudy {
     for r in &schemes {
         let sat = saturation_capacity(&r.load);
         let good = throughput_at_capacity(&r.load, tlb_cap).goodput_fraction;
-        t.row(vec![r.name.clone(), f3(sat), format!("{:.1}%", 100.0 * good)]);
+        t.row(vec![
+            r.name.clone(),
+            f3(sat),
+            format!("{:.1}%", 100.0 * good),
+        ]);
         rows.push(ThroughputRow {
             scheme: r.name.clone(),
             saturation_capacity: sat,

@@ -10,7 +10,9 @@ use rand::SeedableRng;
 use ww_core::docsim::{DocSim, DocSimConfig};
 use ww_core::fold::webfold;
 use ww_core::wave::{RateWave, WaveConfig};
-use ww_diffusion::{hypercube_alpha, k_ary_n_cube_alpha, ring_alpha, DiffusionMatrix, SyncDiffusion};
+use ww_diffusion::{
+    hypercube_alpha, k_ary_n_cube_alpha, ring_alpha, DiffusionMatrix, SyncDiffusion,
+};
 use ww_model::{NodeId, RateVector};
 use ww_stats::{fit_exponential, ExponentialFit};
 use ww_topology::{self as topology, paper, random_tree_of_depth, Graph};
@@ -44,7 +46,11 @@ pub fn fig2() -> Fig2Result {
             format!("{}", s.spontaneous),
             format!("{}", f.load()),
             f.fold_count().to_string(),
-            if f.is_gle() { "yes".into() } else { "no".into() },
+            if f.is_gle() {
+                "yes".into()
+            } else {
+                "no".into()
+            },
         ]);
     }
     Fig2Result {
@@ -218,7 +224,13 @@ pub struct GammaStudy {
 pub fn gamma_study(depths: &[usize], nodes: usize, rounds: usize, seed: u64) -> GammaStudy {
     const TRIALS: usize = 5;
     let mut rows = Vec::new();
-    let mut t = Table::new(vec!["depth", "nodes", "gamma (mean)", "stderr", "gamma min..max"]);
+    let mut t = Table::new(vec![
+        "depth",
+        "nodes",
+        "gamma (mean)",
+        "stderr",
+        "gamma min..max",
+    ]);
     for &depth in depths {
         let mut gammas = Vec::new();
         let mut stderrs = Vec::new();
@@ -371,7 +383,12 @@ pub fn gle_study() -> GleStudy {
         k_ary_n_cube_alpha(4, 2).alpha,
     ];
     let mut rows = Vec::new();
-    let mut t = Table::new(vec!["topology", "predicted gamma", "measured gamma", "iters to 1e-6x"]);
+    let mut t = Table::new(vec![
+        "topology",
+        "predicted gamma",
+        "measured gamma",
+        "iters to 1e-6x",
+    ]);
     for ((name, graph, predicted), alpha) in cases.into_iter().zip(alphas) {
         let n = graph.len();
         let matrix = DiffusionMatrix::uniform_alpha(&graph, alpha).expect("valid alpha");
@@ -435,7 +452,11 @@ pub fn baseline_study(seed: u64) -> BaselineStudy {
     let big = random_tree_of_depth(&mut rng, 64, 6);
     let big_e = ww_workload::zipf_nodes(&mut rng, &big, 6400.0, 1.0);
     let workloads = vec![
-        ("fig6".to_string(), paper::fig6().tree, paper::fig6().spontaneous),
+        (
+            "fig6".to_string(),
+            paper::fig6().tree,
+            paper::fig6().spontaneous,
+        ),
         ("random-64/zipf".to_string(), big, big_e),
     ];
     for (name, tree, e) in workloads {
@@ -455,10 +476,17 @@ pub fn baseline_study(seed: u64) -> BaselineStudy {
                 f3(r.distance_to_gle),
                 f3(r.control_msgs_per_request),
                 f3(r.data_hops_per_request),
-                if r.violates_nss { "yes".into() } else { "no".into() },
+                if r.violates_nss {
+                    "yes".into()
+                } else {
+                    "no".into()
+                },
             ]);
         }
-        out.push_str(&format!("A1 — baseline comparison on {name}\n{}\n", t.render()));
+        out.push_str(&format!(
+            "A1 — baseline comparison on {name}\n{}\n",
+            t.render()
+        ));
         all_rows.extend(rows);
     }
     BaselineStudy {

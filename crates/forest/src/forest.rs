@@ -64,7 +64,11 @@ impl Forest {
             }
         }
         let roots = trees.iter().map(Tree::root).collect();
-        Ok(Forest { trees, roots, nodes })
+        Ok(Forest {
+            trees,
+            roots,
+            nodes,
+        })
     }
 
     /// Number of trees (home servers).
@@ -106,7 +110,11 @@ impl Forest {
     ///
     /// Panics if the number or shape of `per_tree` does not match.
     pub fn total_load(&self, per_tree: &[RateVector]) -> RateVector {
-        assert_eq!(per_tree.len(), self.tree_count(), "one load vector per tree");
+        assert_eq!(
+            per_tree.len(),
+            self.tree_count(),
+            "one load vector per tree"
+        );
         let mut total = RateVector::zeros(self.nodes);
         for l in per_tree {
             assert_eq!(l.len(), self.nodes, "load vector shape mismatch");

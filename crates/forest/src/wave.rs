@@ -314,12 +314,9 @@ mod tests {
         for _ in 0..200 {
             wave.step();
             for (k, demand) in demands.iter().enumerate() {
-                let a = ww_model::LoadAssignment::new(
-                    forest.tree(k),
-                    demand,
-                    wave.loads()[k].clone(),
-                )
-                .unwrap();
+                let a =
+                    ww_model::LoadAssignment::new(forest.tree(k), demand, wave.loads()[k].clone())
+                        .unwrap();
                 assert!(a.check_feasible(1e-6).is_ok(), "tree {k} infeasible");
             }
         }
@@ -331,8 +328,11 @@ mod tests {
         let g = path_graph(4);
         let forest = Forest::from_graph(&g, &[NodeId::new(0)]).unwrap();
         let demand = RateVector::from(vec![0.0, 0.0, 0.0, 40.0]);
-        let mut fw =
-            ForestWave::new(&forest, std::slice::from_ref(&demand), ForestWaveConfig::default());
+        let mut fw = ForestWave::new(
+            &forest,
+            std::slice::from_ref(&demand),
+            ForestWaveConfig::default(),
+        );
         fw.run(4000);
         let mut ww = ww_core::wave::RateWave::new(
             forest.tree(0),

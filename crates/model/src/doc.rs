@@ -28,7 +28,11 @@ pub struct Document {
 impl Document {
     /// Creates a document homed at `home` with the given payload size.
     pub fn new(id: DocId, home: NodeId, size_bytes: u64) -> Self {
-        Document { id, home, size_bytes }
+        Document {
+            id,
+            home,
+            size_bytes,
+        }
     }
 
     /// The document's identifier.
@@ -73,7 +77,10 @@ pub struct Catalog {
 impl Catalog {
     /// Creates an empty catalog for the given home server.
     pub fn new(home: NodeId) -> Self {
-        Catalog { home, docs: Vec::new() }
+        Catalog {
+            home,
+            docs: Vec::new(),
+        }
     }
 
     /// The home server all documents in this catalog belong to.
@@ -86,7 +93,10 @@ impl Catalog {
     /// contains documents it is authoritative for.
     pub fn publish(&mut self, doc: Document) -> DocId {
         let id = doc.id();
-        self.docs.push(Document { home: self.home, ..doc });
+        self.docs.push(Document {
+            home: self.home,
+            ..doc
+        });
         id
     }
 
@@ -120,7 +130,8 @@ impl Catalog {
     ///
     /// [`ModelError::UnknownDocument`] when the id is not in the catalog.
     pub fn require(&self, id: DocId) -> Result<&Document> {
-        self.get(id).ok_or(ModelError::UnknownDocument { doc: id.value() })
+        self.get(id)
+            .ok_or(ModelError::UnknownDocument { doc: id.value() })
     }
 
     /// Iterates over published documents in publication order.

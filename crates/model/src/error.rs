@@ -86,12 +86,19 @@ impl fmt::Display for ModelError {
                 write!(f, "node {node} cannot reach the root")
             }
             ModelError::LengthMismatch { expected, actual } => {
-                write!(f, "vector length {actual} does not match tree size {expected}")
+                write!(
+                    f,
+                    "vector length {actual} does not match tree size {expected}"
+                )
             }
             ModelError::InvalidRate { node, value } => {
                 write!(f, "rate at {node} is invalid: {value}")
             }
-            ModelError::OverService { node, served, through } => write!(
+            ModelError::OverService {
+                node,
+                served,
+                through,
+            } => write!(
                 f,
                 "node {node} serves {served} but only {through} flows through it"
             ),
@@ -110,7 +117,10 @@ mod tests {
 
     #[test]
     fn errors_render_lowercase_human_messages() {
-        let e = ModelError::LengthMismatch { expected: 3, actual: 5 };
+        let e = ModelError::LengthMismatch {
+            expected: 3,
+            actual: 5,
+        };
         assert_eq!(e.to_string(), "vector length 5 does not match tree size 3");
         let e = ModelError::EmptyTree;
         assert!(e.to_string().starts_with("tree"));

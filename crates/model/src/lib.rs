@@ -13,7 +13,12 @@
 //!   rates `A_i` it induces, plus checkers for the paper's Constraints 1
 //!   (root forwards nothing) and 2 (*no sibling sharing*, `A_i >= 0`),
 //! * [`Document`] / [`Catalog`] — immutable published documents and the
-//!   per-home-server catalog.
+//!   per-home-server catalog,
+//! * [`DocTable`] / [`DocSet`] — the dense document-index layer: an
+//!   immutable bijection from the fixed document universe to contiguous
+//!   `u32` indices, plus fixed-universe bitsets, which the simulation
+//!   engines use to keep per-document state in flat slabs instead of hash
+//!   maps (see [`doctable`] for the invariants).
 //!
 //! # Example
 //!
@@ -36,6 +41,7 @@
 
 pub mod assignment;
 pub mod doc;
+pub mod doctable;
 pub mod error;
 pub mod ids;
 pub mod load;
@@ -43,6 +49,7 @@ pub mod tree;
 
 pub use assignment::LoadAssignment;
 pub use doc::{Catalog, Document};
+pub use doctable::{DocSet, DocTable};
 pub use error::ModelError;
 pub use ids::{DocId, NodeId};
 pub use load::RateVector;

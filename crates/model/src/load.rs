@@ -56,6 +56,26 @@ impl RateVector {
         &self.0
     }
 
+    /// Mutably borrows the underlying slice.
+    pub fn as_mut_slice(&mut self) -> &mut [f64] {
+        &mut self.0
+    }
+
+    /// Overwrites this vector with the contents of `other` without
+    /// reallocating — the engines' double-buffering primitive.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the lengths differ.
+    pub fn copy_from(&mut self, other: &RateVector) {
+        self.0.copy_from_slice(&other.0);
+    }
+
+    /// Sets every entry to `value` (reusing the allocation).
+    pub fn fill(&mut self, value: f64) {
+        self.0.fill(value);
+    }
+
     /// Consumes the vector and returns the underlying `Vec<f64>`.
     pub fn into_inner(self) -> Vec<f64> {
         self.0
@@ -177,10 +197,7 @@ impl RateVector {
 
     /// Iterates over `(NodeId, rate)` pairs.
     pub fn iter(&self) -> impl Iterator<Item = (NodeId, f64)> + '_ {
-        self.0
-            .iter()
-            .enumerate()
-            .map(|(i, &x)| (NodeId::new(i), x))
+        self.0.iter().enumerate().map(|(i, &x)| (NodeId::new(i), x))
     }
 
     /// Element-wise sum with `other`.
@@ -190,13 +207,7 @@ impl RateVector {
     /// Panics if the lengths differ.
     pub fn add(&self, other: &RateVector) -> RateVector {
         assert_eq!(self.len(), other.len());
-        RateVector(
-            self.0
-                .iter()
-                .zip(&other.0)
-                .map(|(a, b)| a + b)
-                .collect(),
-        )
+        RateVector(self.0.iter().zip(&other.0).map(|(a, b)| a + b).collect())
     }
 
     /// Scales every entry by `factor`.

@@ -320,10 +320,7 @@ impl Tree {
 
     /// Returns the parent-pointer array representation of the tree.
     pub fn to_parents(&self) -> Vec<Option<usize>> {
-        self.parent
-            .iter()
-            .map(|p| p.map(NodeId::index))
-            .collect()
+        self.parent.iter().map(|p| p.map(NodeId::index)).collect()
     }
 }
 
@@ -422,7 +419,10 @@ mod tests {
         assert_eq!(t.len(), 4);
         assert_eq!(t.root(), NodeId::new(0));
         assert_eq!(t.parent(NodeId::new(3)), Some(NodeId::new(1)));
-        assert_eq!(t.children(NodeId::new(0)), &[NodeId::new(1), NodeId::new(2)]);
+        assert_eq!(
+            t.children(NodeId::new(0)),
+            &[NodeId::new(1), NodeId::new(2)]
+        );
         assert!(t.is_leaf(NodeId::new(2)));
         assert!(!t.is_leaf(NodeId::new(1)));
     }
@@ -455,7 +455,10 @@ mod tests {
     #[test]
     fn out_of_range_parent_rejected() {
         let err = Tree::from_parents(&[None, Some(7)]).unwrap_err();
-        assert!(matches!(err, ModelError::ParentOutOfRange { parent: 7, .. }));
+        assert!(matches!(
+            err,
+            ModelError::ParentOutOfRange { parent: 7, .. }
+        ));
     }
 
     #[test]
@@ -498,10 +501,7 @@ mod tests {
     fn path_to_root_is_the_request_route() {
         let t = four_node_tree();
         let route: Vec<_> = t.path_to_root(NodeId::new(3)).collect();
-        assert_eq!(
-            route,
-            vec![NodeId::new(3), NodeId::new(1), NodeId::new(0)]
-        );
+        assert_eq!(route, vec![NodeId::new(3), NodeId::new(1), NodeId::new(0)]);
     }
 
     #[test]

@@ -1,22 +1,23 @@
 //! Property-based tests for the domain model.
 
 use proptest::prelude::*;
-use ww_model::{assignment, LoadAssignment, NodeId, RateVector, Tree};
+use ww_model::{assignment, DocId, DocTable, LoadAssignment, NodeId, RateVector, Tree};
 
 fn arb_tree() -> impl Strategy<Value = Tree> {
-    (1usize..=30).prop_flat_map(|n| {
-        let parents: Vec<BoxedStrategy<Option<usize>>> = (0..n)
-            .map(|i| {
-                if i == 0 {
-                    Just(None).boxed()
-                } else {
-                    (0..i).prop_map(Some).boxed()
-                }
-            })
-            .collect();
-        parents
-    })
-    .prop_map(|p| Tree::from_parents(&p).expect("valid tree"))
+    (1usize..=30)
+        .prop_flat_map(|n| {
+            let parents: Vec<BoxedStrategy<Option<usize>>> = (0..n)
+                .map(|i| {
+                    if i == 0 {
+                        Just(None).boxed()
+                    } else {
+                        (0..i).prop_map(Some).boxed()
+                    }
+                })
+                .collect();
+            parents
+        })
+        .prop_map(|p| Tree::from_parents(&p).expect("valid tree"))
 }
 
 proptest! {
@@ -140,5 +141,58 @@ proptest! {
         let s = v.scale(k);
         prop_assert!((s.total() - k * v.total()).abs() < 1e-6);
         prop_assert!((s.max() - k * v.max()).abs() < 1e-6);
+    }
+
+    /// A DocTable round-trips every DocId in its universe: `index_of` and
+    /// `doc` are exact inverses, indices are dense `0..len` in ascending
+    /// id order, and ids outside the universe have no index.
+    #[test]
+    fn doc_table_round_trips_every_doc_id(
+        ids in proptest::collection::hash_set(0u64..10_000, 0..200)
+    ) {
+        let table = DocTable::from_ids(ids.iter().map(|&v| DocId::new(v)));
+        prop_assert_eq!(table.len(), ids.len());
+        for &v in &ids {
+            let d = DocId::new(v);
+            let idx = table.index_of(d).expect("universe member has an index");
+            prop_assert!((idx as usize) < table.len());
+            prop_assert_eq!(table.doc(idx), d);
+        }
+        let mut prev: Option<DocId> = None;
+        for idx in 0..table.len() as u32 {
+            let d = table.doc(idx);
+            prop_assert_eq!(table.index_of(d), Some(idx));
+            if let Some(p) = prev {
+                prop_assert!(p < d, "indices must follow ascending id order");
+            }
+            prev = Some(d);
+        }
+        // Ids outside the universe have no index.
+        for probe in 0..100u64 {
+            let outside = 10_000 + probe * 13;
+            prop_assert_eq!(table.index_of(DocId::new(outside)), None);
+        }
+    }
+
+    /// DocSet membership mirrors a model HashSet under a random
+    /// insert/remove trace.
+    #[test]
+    fn doc_set_mirrors_hash_set(
+        ops in proptest::collection::vec((0u32..256, any::<bool>()), 0..400)
+    ) {
+        use std::collections::HashSet;
+        let mut dense = ww_model::DocSet::new(256);
+        let mut model: HashSet<u32> = HashSet::new();
+        for &(idx, insert) in &ops {
+            if insert {
+                prop_assert_eq!(dense.insert(idx), model.insert(idx));
+            } else {
+                prop_assert_eq!(dense.remove(idx), model.remove(&idx));
+            }
+        }
+        prop_assert_eq!(dense.count(), model.len());
+        let mut sorted: Vec<u32> = model.into_iter().collect();
+        sorted.sort_unstable();
+        prop_assert_eq!(dense.iter().collect::<Vec<_>>(), sorted);
     }
 }

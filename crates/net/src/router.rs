@@ -169,8 +169,9 @@ mod tests {
     use crate::packet::RequestId;
 
     fn chain(n: usize) -> Tree {
-        let parents: Vec<Option<usize>> =
-            (0..n).map(|i| if i == 0 { None } else { Some(i - 1) }).collect();
+        let parents: Vec<Option<usize>> = (0..n)
+            .map(|i| if i == 0 { None } else { Some(i - 1) })
+            .collect();
         Tree::from_parents(&parents).unwrap()
     }
 

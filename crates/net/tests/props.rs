@@ -3,24 +3,25 @@
 use proptest::prelude::*;
 use ww_model::{DocId, NodeId, Tree};
 use ww_net::{
-    walk_to_service, CountingBloomFilter, DocRequest, ExactFilter, PacketFilter, RequestId,
-    Router, TrafficLedger,
+    walk_to_service, CountingBloomFilter, DocRequest, ExactFilter, PacketFilter, RequestId, Router,
+    TrafficLedger,
 };
 
 fn arb_tree() -> impl Strategy<Value = Tree> {
-    (1usize..=25).prop_flat_map(|n| {
-        let parents: Vec<BoxedStrategy<Option<usize>>> = (0..n)
-            .map(|i| {
-                if i == 0 {
-                    Just(None).boxed()
-                } else {
-                    (0..i).prop_map(Some).boxed()
-                }
-            })
-            .collect();
-        parents
-    })
-    .prop_map(|p| Tree::from_parents(&p).expect("valid tree"))
+    (1usize..=25)
+        .prop_flat_map(|n| {
+            let parents: Vec<BoxedStrategy<Option<usize>>> = (0..n)
+                .map(|i| {
+                    if i == 0 {
+                        Just(None).boxed()
+                    } else {
+                        (0..i).prop_map(Some).boxed()
+                    }
+                })
+                .collect();
+            parents
+        })
+        .prop_map(|p| Tree::from_parents(&p).expect("valid tree"))
 }
 
 proptest! {

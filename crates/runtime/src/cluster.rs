@@ -178,9 +178,7 @@ pub fn run_cluster(tree: &Tree, spontaneous: &RateVector, config: ClusterConfig)
                                 load: l,
                                 forwarded: a,
                             } => {
-                                if let Some(nb) =
-                                    neighbors.iter_mut().find(|nb| nb.id == from)
-                                {
+                                if let Some(nb) = neighbors.iter_mut().find(|nb| nb.id == from) {
                                     nb.load = l;
                                     nb.forwarded = a;
                                 }
@@ -192,8 +190,8 @@ pub fn run_cluster(tree: &Tree, spontaneous: &RateVector, config: ClusterConfig)
                     }
 
                     // Recompute local flow bounds from children's reports.
-                    let through =
-                        e_i + neighbors
+                    let through = e_i
+                        + neighbors
                             .iter()
                             .filter(|nb| !nb.is_parent)
                             .map(|nb| nb.forwarded)
@@ -221,11 +219,14 @@ pub fn run_cluster(tree: &Tree, spontaneous: &RateVector, config: ClusterConfig)
                             // child's forwarded rate.
                             (alpha * (load - nb.load)).min(nb.forwarded)
                         };
-                        if delta > 1e-12 && nb.tx.try_send(Message::Transfer {
-                            from: node,
-                            amount: delta,
-                        })
-                        .is_ok()
+                        if delta > 1e-12
+                            && nb
+                                .tx
+                                .try_send(Message::Transfer {
+                                    from: node,
+                                    amount: delta,
+                                })
+                                .is_ok()
                         {
                             load -= delta;
                             sent += 1;
@@ -254,7 +255,11 @@ pub fn run_cluster(tree: &Tree, spontaneous: &RateVector, config: ClusterConfig)
         }
     });
 
-    let loads = RateVector::from(Arc::try_unwrap(results).expect("threads joined").into_inner());
+    let loads = RateVector::from(
+        Arc::try_unwrap(results)
+            .expect("threads joined")
+            .into_inner(),
+    );
     let distance = loads.euclidean_distance(&oracle);
     let messages = *message_count.lock();
     ClusterReport {

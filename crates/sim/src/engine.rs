@@ -87,13 +87,45 @@ impl<E> EventQueue<E> {
             "cannot schedule at {at} before current time {}",
             self.now
         );
-        let entry = Entry {
-            at,
-            seq: self.seq,
-            event,
-        };
+        let seq = self.alloc_seq();
+        self.heap.push(Reverse(Entry { at, seq, event }));
+    }
+
+    /// Allocates the next tie-breaking sequence number from the queue's
+    /// global counter.
+    ///
+    /// External recurring schedules (see [`crate::TimerRing`]) draw their
+    /// sequence numbers here, so their fires merge with heap events in
+    /// exactly the `(time, seq)` order one combined heap would produce.
+    pub fn alloc_seq(&mut self) -> u64 {
+        let seq = self.seq;
         self.seq += 1;
-        self.heap.push(Reverse(entry));
+        seq
+    }
+
+    /// The `(time, seq)` pair of the next heap event, for merging against
+    /// external schedules.
+    pub fn peek_entry(&self) -> Option<(SimTime, u64)> {
+        self.heap.peek().map(|Reverse(e)| (e.at, e.seq))
+    }
+
+    /// Advances the clock to `t` and counts one processed event, on
+    /// behalf of an event consumed from an external schedule (a
+    /// [`crate::TimerRing`]). Keeps [`EventQueue::now`] and
+    /// [`EventQueue::processed`] identical to what an all-heap simulation
+    /// would report.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `t` is earlier than the current time.
+    pub fn advance_to(&mut self, t: SimTime) {
+        assert!(
+            t >= self.now,
+            "cannot advance to {t} before current time {}",
+            self.now
+        );
+        self.now = t;
+        self.processed += 1;
     }
 
     /// Schedules `event` to fire `delay` after the current time.

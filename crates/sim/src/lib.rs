@@ -33,7 +33,9 @@
 pub mod engine;
 pub mod rng;
 pub mod time;
+pub mod wheel;
 
 pub use engine::EventQueue;
 pub use rng::{exp_delay, SimRng};
 pub use time::SimTime;
+pub use wheel::TimerRing;

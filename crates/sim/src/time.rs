@@ -134,9 +134,11 @@ mod tests {
 
     #[test]
     fn total_order() {
-        let mut v = [SimTime::from_secs(3.0),
+        let mut v = [
+            SimTime::from_secs(3.0),
             SimTime::from_secs(1.0),
-            SimTime::from_secs(2.0)];
+            SimTime::from_secs(2.0),
+        ];
         v.sort();
         assert_eq!(v[0].as_secs(), 1.0);
         assert_eq!(v[2].as_secs(), 3.0);

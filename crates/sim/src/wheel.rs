@@ -1,0 +1,223 @@
+//! Wheel-style scheduling for strictly periodic event streams.
+//!
+//! A discrete-event simulation of WebWave carries two kinds of events:
+//! *irregular* ones (Poisson arrivals, packet hops, message deliveries)
+//! and *strictly periodic* ones (each node's gossip timer and diffusion
+//! timer). Keeping the periodic streams in the binary heap makes every
+//! heap operation pay `O(log total)` for events whose firing order is
+//! actually **fixed and cyclic**: all members of a stream share one
+//! period, so once sorted by phase they fire forever in the same rotation.
+//!
+//! [`TimerRing`] exploits that: it stores one `next_fire` per member and a
+//! rotation deque. `peek`/`pop`/`rearm` are all `O(1)` (insert is
+//! `O(members)` once at setup), and the main heap stays smaller — so the
+//! *irregular* events get cheaper too.
+//!
+//! To merge ring events with heap events deterministically, every fire
+//! carries a sequence number allocated from the owning
+//! [`EventQueue`](crate::EventQueue) (see
+//! [`EventQueue::alloc_seq`](crate::EventQueue::alloc_seq)); comparing
+//! `(time, seq)` across sources reproduces exactly the total order a
+//! single all-in-one heap would have produced — which is what keeps
+//! simulation traces identical to the pre-ring implementation.
+
+use crate::SimTime;
+use std::collections::VecDeque;
+
+/// A ring of recurring timers sharing one period.
+///
+/// # Example
+///
+/// ```
+/// use ww_sim::{SimTime, TimerRing};
+///
+/// let mut ring = TimerRing::new(SimTime::from_secs(1.0), 2);
+/// ring.insert(0, SimTime::from_secs(0.25), 0);
+/// ring.insert(1, SimTime::from_secs(0.75), 1);
+/// let (t, _seq, member) = ring.peek().unwrap();
+/// assert_eq!((t.as_secs(), member), (0.25, 0));
+/// let (t, member) = ring.pop().unwrap();
+/// ring.rearm(member, 2); // next fire at t + period = 1.25
+/// assert_eq!(ring.peek().unwrap().0.as_secs(), 0.75);
+/// let _ = t;
+/// ```
+#[derive(Debug, Clone)]
+pub struct TimerRing {
+    period: SimTime,
+    /// Next fire time per member.
+    next: Vec<SimTime>,
+    /// Sequence number of the pending fire per member (merge tie-break).
+    seq: Vec<u64>,
+    /// Members in firing order. Because all members share `period`, a
+    /// rearmed member always belongs at the back, keeping this sorted by
+    /// `(next, seq)` without any per-event sorting.
+    order: VecDeque<usize>,
+}
+
+impl TimerRing {
+    /// Creates a ring with the given `period` for up to `members` members
+    /// (ids `0..members`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `period` is zero.
+    pub fn new(period: SimTime, members: usize) -> Self {
+        assert!(period > SimTime::ZERO, "period must be positive");
+        TimerRing {
+            period,
+            next: vec![SimTime::ZERO; members],
+            seq: vec![0; members],
+            order: VecDeque::with_capacity(members),
+        }
+    }
+
+    /// The shared period of all members.
+    pub fn period(&self) -> SimTime {
+        self.period
+    }
+
+    /// Arms `member` for its first fire at `first_fire` with merge
+    /// sequence `seq`. Members may be inserted in any order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `member` is out of range or already armed.
+    pub fn insert(&mut self, member: usize, first_fire: SimTime, seq: u64) {
+        assert!(member < self.next.len(), "member out of range");
+        assert!(
+            !self.order.contains(&member),
+            "member {member} is already armed"
+        );
+        self.next[member] = first_fire;
+        self.seq[member] = seq;
+        // Keep `order` sorted by (next, seq). Scanning from the back makes
+        // the common setup pattern — members inserted in ascending phase
+        // order — O(1) per insert instead of a full front scan.
+        let pos = self
+            .order
+            .iter()
+            .rposition(|&m| (self.next[m], self.seq[m]) < (first_fire, seq))
+            .map_or(0, |p| p + 1);
+        self.order.insert(pos, member);
+    }
+
+    /// The next fire as `(time, seq, member)`, if any member is armed.
+    pub fn peek(&self) -> Option<(SimTime, u64, usize)> {
+        self.order.front().map(|&m| (self.next[m], self.seq[m], m))
+    }
+
+    /// Takes the front fire, leaving its member *disarmed*; the caller
+    /// must [`rearm`](TimerRing::rearm) it (typically at the point in the
+    /// event handler where the old code rescheduled the timer, so merge
+    /// sequence numbers match the historical all-heap order).
+    pub fn pop(&mut self) -> Option<(SimTime, usize)> {
+        let m = self.order.pop_front()?;
+        Some((self.next[m], m))
+    }
+
+    /// Re-arms `member` one period after its previous fire, with merge
+    /// sequence `seq`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `member` is out of range or still armed.
+    pub fn rearm(&mut self, member: usize, seq: u64) {
+        assert!(member < self.next.len(), "member out of range");
+        debug_assert!(
+            !self.order.contains(&member),
+            "member {member} is already armed"
+        );
+        self.next[member] = self.next[member] + self.period;
+        self.seq[member] = seq;
+        self.order.push_back(member);
+        debug_assert!(
+            self.order.len() < 2
+                || (0..self.order.len() - 1).all(|i| {
+                    let (a, b) = (self.order[i], self.order[i + 1]);
+                    (self.next[a], self.seq[a]) <= (self.next[b], self.seq[b])
+                }),
+            "ring rotation out of order"
+        );
+    }
+
+    /// Number of armed members.
+    pub fn len(&self) -> usize {
+        self.order.len()
+    }
+
+    /// `true` when no member is armed.
+    pub fn is_empty(&self) -> bool {
+        self.order.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fires_in_phase_order_and_rotates() {
+        let mut ring = TimerRing::new(SimTime::from_secs(1.0), 3);
+        // Insert out of phase order; ring sorts at setup.
+        ring.insert(2, SimTime::from_secs(0.9), 2);
+        ring.insert(0, SimTime::from_secs(0.1), 0);
+        ring.insert(1, SimTime::from_secs(0.5), 1);
+        let mut fired = Vec::new();
+        for seq in 3..12 {
+            let (t, m) = ring.pop().unwrap();
+            fired.push((t.as_secs(), m));
+            ring.rearm(m, seq);
+        }
+        assert_eq!(
+            fired,
+            vec![
+                (0.1, 0),
+                (0.5, 1),
+                (0.9, 2),
+                (1.1, 0),
+                (1.5, 1),
+                (1.9, 2),
+                (2.1, 0),
+                (2.5, 1),
+                (2.9, 2),
+            ]
+        );
+    }
+
+    #[test]
+    fn equal_phases_keep_insertion_seq_order() {
+        let mut ring = TimerRing::new(SimTime::from_secs(1.0), 2);
+        let t0 = SimTime::from_secs(0.5);
+        ring.insert(1, t0, 7);
+        ring.insert(0, t0, 9);
+        // Lower seq fires first on ties.
+        assert_eq!(ring.pop().unwrap().1, 1);
+        ring.rearm(1, 10);
+        assert_eq!(ring.pop().unwrap().1, 0);
+        ring.rearm(0, 11);
+        // Rotation preserved.
+        assert_eq!(ring.pop().unwrap().1, 1);
+    }
+
+    #[test]
+    fn peek_matches_pop() {
+        let mut ring = TimerRing::new(SimTime::from_millis(250.0), 1);
+        ring.insert(0, SimTime::from_millis(100.0), 4);
+        let (pt, pseq, pm) = ring.peek().unwrap();
+        let (t, m) = ring.pop().unwrap();
+        assert_eq!((pt, pm), (t, m));
+        assert_eq!(pseq, 4);
+        assert!(ring.is_empty());
+        ring.rearm(0, 5);
+        assert_eq!(ring.len(), 1);
+        assert_eq!(ring.peek().unwrap().0, SimTime::from_millis(350.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "already armed")]
+    fn double_insert_panics() {
+        let mut ring = TimerRing::new(SimTime::from_secs(1.0), 1);
+        ring.insert(0, SimTime::ZERO, 0);
+        ring.insert(0, SimTime::ZERO, 1);
+    }
+}

@@ -116,7 +116,11 @@ pub fn fit_exponential(ys: &[f64], floor: f64) -> Result<ExponentialFit, FitErro
             let g_t = gamma.powf(t);
             let r = y - a * g_t;
             let da = g_t; // d model / d a
-            let dg = if t == 0.0 { 0.0 } else { a * t * gamma.powf(t - 1.0) };
+            let dg = if t == 0.0 {
+                0.0
+            } else {
+                a * t * gamma.powf(t - 1.0)
+            };
             jtj00 += da * da;
             jtj01 += da * dg;
             jtj11 += dg * dg;
@@ -163,7 +167,11 @@ pub fn fit_exponential(ys: &[f64], floor: f64) -> Result<ExponentialFit, FitErro
     for &(t, _) in &pts {
         let g_t = gamma.powf(t);
         let da = g_t;
-        let dg = if t == 0.0 { 0.0 } else { a * t * gamma.powf(t - 1.0) };
+        let dg = if t == 0.0 {
+            0.0
+        } else {
+            a * t * gamma.powf(t - 1.0)
+        };
         jtj00 += da * da;
         jtj01 += da * dg;
         jtj11 += dg * dg;
@@ -238,7 +246,10 @@ mod tests {
 
     #[test]
     fn too_few_points_rejected() {
-        assert_eq!(fit_exponential(&[1.0, 0.5], 0.0), Err(FitError::TooFewPoints));
+        assert_eq!(
+            fit_exponential(&[1.0, 0.5], 0.0),
+            Err(FitError::TooFewPoints)
+        );
         assert_eq!(fit_exponential(&[], 0.0), Err(FitError::TooFewPoints));
         // Zeros are not usable points.
         assert_eq!(

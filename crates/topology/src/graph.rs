@@ -59,7 +59,10 @@ impl Graph {
     ///
     /// Panics if `u` or `v` is out of range.
     pub fn add_edge(&mut self, u: usize, v: usize) {
-        assert!(u < self.len() && v < self.len(), "edge endpoint out of range");
+        assert!(
+            u < self.len() && v < self.len(),
+            "edge endpoint out of range"
+        );
         if u == v {
             return;
         }
@@ -182,9 +185,7 @@ pub fn hypercube(dim: usize) -> Graph {
 pub fn k_ary_n_cube(k: usize, n: usize) -> Graph {
     assert!(k >= 2, "need at least 2 nodes per dimension");
     assert!(n >= 1, "need at least one dimension");
-    let size = k
-        .checked_pow(n as u32)
-        .expect("k^n must fit in usize");
+    let size = k.checked_pow(n as u32).expect("k^n must fit in usize");
     let mut g = Graph::new(size);
     // Node index = sum of digit_i * k^i (base-k representation).
     for u in 0..size {

@@ -34,5 +34,7 @@ pub mod random;
 pub mod trees;
 
 pub use graph::{complete, de_bruijn, hypercube, k_ary_n_cube, ring, Graph};
-pub use random::{random_attachment, random_pruefer, random_recursive_bounded, random_tree_of_depth};
+pub use random::{
+    random_attachment, random_pruefer, random_recursive_bounded, random_tree_of_depth,
+};
 pub use trees::{binary, broom, caterpillar, k_ary, path, star, two_level};

@@ -215,8 +215,7 @@ pub struct BarrierScenario {
 /// stalls with node 2 idle (the condition `L_3 >= L_1 >= L_0 > L_2` of
 /// Section 5.2, in paper numbering `L_k' >= L_j >= L_i > L_k`).
 pub fn fig7() -> BarrierScenario {
-    let tree =
-        Tree::from_parents(&[None, Some(0), Some(1), Some(1)]).expect("fig7 tree is valid");
+    let tree = Tree::from_parents(&[None, Some(0), Some(1), Some(1)]).expect("fig7 tree is valid");
     let demands = vec![
         DocDemand {
             doc: DocId::new(1),

@@ -78,9 +78,7 @@ pub fn random_tree_of_depth<R: Rng + ?Sized>(rng: &mut R, n: usize, max_depth: u
         .map(|i| if i == 0 { None } else { Some(i - 1) })
         .collect();
     let mut depth: Vec<usize> = (0..spine_len).collect();
-    let mut eligible: Vec<usize> = (0..spine_len)
-        .filter(|&i| depth[i] < max_depth)
-        .collect();
+    let mut eligible: Vec<usize> = (0..spine_len).filter(|&i| depth[i] < max_depth).collect();
     for i in spine_len..n {
         let p = if eligible.is_empty() {
             0
@@ -250,10 +248,8 @@ mod tests {
         // Sequence [3, 3, 3, 4] on 6 nodes is the classic textbook example:
         // edges (0,3),(1,3),(2,3),(3,4),(4,5).
         let edges = pruefer_to_edges(&[3, 3, 3, 4], 6);
-        let mut normalized: Vec<(usize, usize)> = edges
-            .iter()
-            .map(|&(a, b)| (a.min(b), a.max(b)))
-            .collect();
+        let mut normalized: Vec<(usize, usize)> =
+            edges.iter().map(|&(a, b)| (a.min(b), a.max(b))).collect();
         normalized.sort_unstable();
         assert_eq!(normalized, vec![(0, 3), (1, 3), (2, 3), (3, 4), (4, 5)]);
     }

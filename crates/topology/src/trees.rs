@@ -25,7 +25,9 @@ use ww_model::Tree;
 /// ```
 pub fn path(n: usize) -> Tree {
     assert!(n > 0, "path requires at least one node");
-    let parents: Vec<Option<usize>> = (0..n).map(|i| if i == 0 { None } else { Some(i - 1) }).collect();
+    let parents: Vec<Option<usize>> = (0..n)
+        .map(|i| if i == 0 { None } else { Some(i - 1) })
+        .collect();
     Tree::from_parents(&parents).expect("path parents are valid")
 }
 
@@ -40,7 +42,9 @@ pub fn path(n: usize) -> Tree {
 /// Panics if `n == 0`.
 pub fn star(n: usize) -> Tree {
     assert!(n > 0, "star requires at least one node");
-    let parents: Vec<Option<usize>> = (0..n).map(|i| if i == 0 { None } else { Some(0) }).collect();
+    let parents: Vec<Option<usize>> = (0..n)
+        .map(|i| if i == 0 { None } else { Some(0) })
+        .collect();
     Tree::from_parents(&parents).expect("star parents are valid")
 }
 
@@ -220,7 +224,7 @@ mod tests {
         let t = caterpillar(4, 3);
         assert_eq!(t.len(), 16);
         assert_eq!(t.height(), 4); // spine end's legs are at depth 4
-        // Spine node 2 has spine child 3 plus 3 legs.
+                                   // Spine node 2 has spine child 3 plus 3 legs.
         assert_eq!(t.children(NodeId::new(2)).len(), 4);
     }
 

@@ -198,7 +198,10 @@ mod tests {
         let small = gaps.iter().filter(|&&g| g < 0.01).count();
         let large = gaps.iter().filter(|&&g| g > 0.3).count();
         assert!(small > 8000, "expected mostly in-burst gaps, got {small}");
-        assert!(large > 50, "expected some inter-burst silences, got {large}");
+        assert!(
+            large > 50,
+            "expected some inter-burst silences, got {large}"
+        );
     }
 
     #[test]

@@ -56,7 +56,10 @@ impl DocMix {
     ///
     /// Panics if `node` is out of range or `rate` is negative/non-finite.
     pub fn set(&mut self, node: NodeId, doc: DocId, rate: f64) {
-        assert!(rate.is_finite() && rate >= 0.0, "rate must be finite and >= 0");
+        assert!(
+            rate.is_finite() && rate >= 0.0,
+            "rate must be finite and >= 0"
+        );
         let list = &mut self.demands[node.index()];
         match list.binary_search_by_key(&doc, |&(d, _)| d) {
             Ok(i) => list[i].1 = rate,

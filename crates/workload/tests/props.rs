@@ -10,19 +10,20 @@ use ww_workload::{
 };
 
 fn arb_tree() -> impl Strategy<Value = Tree> {
-    (1usize..=25).prop_flat_map(|n| {
-        let parents: Vec<BoxedStrategy<Option<usize>>> = (0..n)
-            .map(|i| {
-                if i == 0 {
-                    Just(None).boxed()
-                } else {
-                    (0..i).prop_map(Some).boxed()
-                }
-            })
-            .collect();
-        parents
-    })
-    .prop_map(|p| Tree::from_parents(&p).expect("valid tree"))
+    (1usize..=25)
+        .prop_flat_map(|n| {
+            let parents: Vec<BoxedStrategy<Option<usize>>> = (0..n)
+                .map(|i| {
+                    if i == 0 {
+                        Just(None).boxed()
+                    } else {
+                        (0..i).prop_map(Some).boxed()
+                    }
+                })
+                .collect();
+            parents
+        })
+        .prop_map(|p| Tree::from_parents(&p).expect("valid tree"))
 }
 
 proptest! {

@@ -29,8 +29,11 @@ fn main() {
     println!("folds: {}", folded.fold_count());
     for (root, members) in folded.folds() {
         let ids: Vec<usize> = members.iter().map(|m| m.index()).collect();
-        println!("  fold rooted at n{}: members {ids:?}, {:.2} req/s per node",
-                 root.index(), folded.load()[root]);
+        println!(
+            "  fold rooted at n{}: members {ids:?}, {:.2} req/s per node",
+            root.index(),
+            folded.load()[root]
+        );
     }
 
     // 2. The distributed protocol: nodes gossip loads to tree neighbors
@@ -41,7 +44,11 @@ fn main() {
         while wave.round() < checkpoint {
             wave.step();
         }
-        println!("  round {:>4}: distance {:.6}", wave.round(), wave.distance_to_tlb());
+        println!(
+            "  round {:>4}: distance {:.6}",
+            wave.round(),
+            wave.distance_to_tlb()
+        );
     }
     println!("\nfinal loads: {}", wave.load());
     println!("oracle:      {}", wave.oracle());

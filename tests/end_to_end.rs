@@ -131,8 +131,12 @@ fn demand_conservation_across_engines() {
 fn oracle_is_a_shared_fixed_point() {
     let s = paper::fig4();
     let oracle = webfold(&s.tree, &s.spontaneous).into_load();
-    let mut wave =
-        RateWave::with_initial(&s.tree, &s.spontaneous, oracle.clone(), WaveConfig::default());
+    let mut wave = RateWave::with_initial(
+        &s.tree,
+        &s.spontaneous,
+        oracle.clone(),
+        WaveConfig::default(),
+    );
     wave.run(200);
     assert!(wave.distance_to_tlb() < 1e-9);
     assert_eq!(wave.load().as_slice().len(), oracle.as_slice().len());

@@ -46,11 +46,18 @@ fn claim_webfold_is_optimal() {
 fn claim_webfold_lemmas() {
     for s in paper::all_scenarios() {
         let folded = webfold(&s.tree, &s.spontaneous);
-        assert!(tlb::check_monotone_non_increasing(&s.tree, folded.load(), 1e-9));
-        assert!(tlb::check_zero_interfold_flow(&s.tree, &s.spontaneous, &folded, 1e-9));
-        assert!(
-            tlb::check_feasibility(&s.tree, &s.spontaneous, folded.load(), 1e-9).is_feasible()
-        );
+        assert!(tlb::check_monotone_non_increasing(
+            &s.tree,
+            folded.load(),
+            1e-9
+        ));
+        assert!(tlb::check_zero_interfold_flow(
+            &s.tree,
+            &s.spontaneous,
+            &folded,
+            1e-9
+        ));
+        assert!(tlb::check_feasibility(&s.tree, &s.spontaneous, folded.load(), 1e-9).is_feasible());
     }
 }
 
@@ -64,7 +71,12 @@ fn claim_exponential_convergence() {
     assert!(fit.gamma > 0.0 && fit.gamma < 1.0, "gamma {}", fit.gamma);
     // Exponential in practice: five decades of decay within the run.
     let d = &r.distances;
-    assert!(d[d.len() - 1] < d[0] * 1e-5, "final {} of {}", d[d.len() - 1], d[0]);
+    assert!(
+        d[d.len() - 1] < d[0] * 1e-5,
+        "final {} of {}",
+        d[d.len() - 1],
+        d[0]
+    );
 }
 
 /// Claim (Section 5.1): the regression machinery reproduces a

@@ -1,0 +1,248 @@
+//! Offline mini `criterion`.
+//!
+//! The build environment cannot reach a crate registry, so this vendored
+//! crate implements the subset of the criterion API the workspace's benches
+//! use: [`Criterion`], [`BenchmarkGroup`] (with `measurement_time`,
+//! `warm_up_time`, `sample_size`, `bench_function`, `bench_with_input`,
+//! `finish`), [`BenchmarkId`], [`Bencher::iter`], [`black_box`], and the
+//! [`criterion_group!`] / [`criterion_main!`] macros.
+//!
+//! Measurement model: each benchmark warms up briefly, then runs enough
+//! iterations to fill the measurement window, collecting `sample_size`
+//! samples; the mean, min and max per-iteration times are printed. There is
+//! no statistical analysis, plotting, or baseline storage — for a recorded
+//! perf trajectory use the `webwave-bench` runner, which emits JSON.
+
+#![forbid(unsafe_code)]
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Entry point handed to each benchmark function.
+#[derive(Debug, Default)]
+pub struct Criterion {
+    _private: (),
+}
+
+impl Criterion {
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let name = name.into();
+        eprintln!("benchmark group: {name}");
+        BenchmarkGroup {
+            _criterion: self,
+            name,
+            measurement_time: Duration::from_millis(500),
+            warm_up_time: Duration::from_millis(100),
+            sample_size: 10,
+        }
+    }
+
+    /// Benchmarks `f` outside any group.
+    pub fn bench_function(&mut self, name: impl Into<String>, mut f: impl FnMut(&mut Bencher)) {
+        let mut group = self.benchmark_group("ungrouped");
+        group.bench_function(name.into(), |b| f(b));
+        group.finish();
+    }
+}
+
+/// A group of related benchmarks sharing measurement settings.
+pub struct BenchmarkGroup<'a> {
+    _criterion: &'a mut Criterion,
+    name: String,
+    measurement_time: Duration,
+    warm_up_time: Duration,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the target measurement window per benchmark.
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.measurement_time = d;
+        self
+    }
+
+    /// Sets the warm-up window per benchmark.
+    pub fn warm_up_time(&mut self, d: Duration) -> &mut Self {
+        self.warm_up_time = d;
+        self
+    }
+
+    /// Sets the number of timing samples collected.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Benchmarks `f` under `id`.
+    pub fn bench_function<I: Into<BenchmarkId>>(
+        &mut self,
+        id: I,
+        mut f: impl FnMut(&mut Bencher),
+    ) -> &mut Self {
+        let id = id.into();
+        let report = run_bench(
+            self.warm_up_time,
+            self.measurement_time,
+            self.sample_size,
+            |b| f(b),
+        );
+        report.print(&self.name, &id.0);
+        self
+    }
+
+    /// Benchmarks `f` under `id`, passing `input` through.
+    pub fn bench_with_input<I, F>(&mut self, id: BenchmarkId, input: &I, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let report = run_bench(
+            self.warm_up_time,
+            self.measurement_time,
+            self.sample_size,
+            |b| f(b, input),
+        );
+        report.print(&self.name, &id.0);
+        self
+    }
+
+    /// Ends the group.
+    pub fn finish(self) {}
+}
+
+/// Identifier of one benchmark within a group.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId(String);
+
+impl BenchmarkId {
+    /// `function_name/parameter` form.
+    pub fn new(function_name: impl Into<String>, parameter: impl Display) -> Self {
+        BenchmarkId(format!("{}/{}", function_name.into(), parameter))
+    }
+
+    /// Parameter-only form.
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId(parameter.to_string())
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> Self {
+        BenchmarkId(s)
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId(s.to_string())
+    }
+}
+
+/// Drives timed iterations of a benchmark body.
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Times `iters` invocations of `f`.
+    pub fn iter<R>(&mut self, mut f: impl FnMut() -> R) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            black_box(f());
+        }
+        self.elapsed = start.elapsed();
+    }
+}
+
+struct Report {
+    mean: Duration,
+    min: Duration,
+    max: Duration,
+}
+
+impl Report {
+    fn print(&self, group: &str, id: &str) {
+        eprintln!(
+            "{group}/{id}: mean {:?} (min {:?}, max {:?})",
+            self.mean, self.min, self.max
+        );
+    }
+}
+
+fn run_bench(
+    warm_up: Duration,
+    measurement: Duration,
+    samples: usize,
+    mut f: impl FnMut(&mut Bencher),
+) -> Report {
+    // Warm-up + calibration: run single iterations until the warm-up window
+    // elapses, estimating the per-iteration cost.
+    let warm_start = Instant::now();
+    let mut calib_iters: u64 = 0;
+    let mut calib_time = Duration::ZERO;
+    while warm_start.elapsed() < warm_up || calib_iters == 0 {
+        let mut b = Bencher {
+            iters: 1,
+            elapsed: Duration::ZERO,
+        };
+        f(&mut b);
+        calib_time += b.elapsed;
+        calib_iters += 1;
+        if calib_iters >= 1000 {
+            break;
+        }
+    }
+    let per_iter =
+        (calib_time / u32::try_from(calib_iters).unwrap_or(u32::MAX)).max(Duration::from_nanos(1));
+
+    // Choose iterations per sample so all samples fit the measurement window.
+    let budget_per_sample = measurement / u32::try_from(samples).unwrap_or(u32::MAX);
+    let iters_per_sample =
+        (budget_per_sample.as_nanos() / per_iter.as_nanos().max(1)).clamp(1, 1_000_000) as u64;
+
+    let mut min = Duration::MAX;
+    let mut max = Duration::ZERO;
+    let mut total = Duration::ZERO;
+    let mut total_iters: u64 = 0;
+    for _ in 0..samples {
+        let mut b = Bencher {
+            iters: iters_per_sample,
+            elapsed: Duration::ZERO,
+        };
+        f(&mut b);
+        let per = b.elapsed / u32::try_from(iters_per_sample).unwrap_or(u32::MAX);
+        min = min.min(per);
+        max = max.max(per);
+        total += b.elapsed;
+        total_iters += iters_per_sample;
+    }
+    Report {
+        mean: total / u32::try_from(total_iters).unwrap_or(u32::MAX),
+        min,
+        max,
+    }
+}
+
+/// Declares a group of benchmark functions.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Declares the benchmark binary's `main`, running the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}

@@ -1,0 +1,33 @@
+//! Offline stand-in for `parking_lot`: a `Mutex` with the poison-free API
+//! (`lock()` returns the guard directly), backed by `std::sync::Mutex`.
+
+#![forbid(unsafe_code)]
+
+/// A mutual-exclusion lock whose `lock` never returns a poison error.
+#[derive(Debug, Default)]
+pub struct Mutex<T>(std::sync::Mutex<T>);
+
+/// Guard returned by [`Mutex::lock`].
+pub type MutexGuard<'a, T> = std::sync::MutexGuard<'a, T>;
+
+impl<T> Mutex<T> {
+    /// Creates a mutex guarding `value`.
+    pub fn new(value: T) -> Self {
+        Mutex(std::sync::Mutex::new(value))
+    }
+
+    /// Acquires the lock, recovering from poisoning (a panicked holder)
+    /// like `parking_lot` does by simply continuing.
+    pub fn lock(&self) -> MutexGuard<'_, T> {
+        self.0
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+    }
+
+    /// Consumes the mutex, returning the guarded value.
+    pub fn into_inner(self) -> T {
+        self.0
+            .into_inner()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+    }
+}

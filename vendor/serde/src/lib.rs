@@ -1,0 +1,20 @@
+//! Offline stand-in for `serde`.
+//!
+//! The build environment cannot reach a crate registry, so this vendored
+//! crate supplies just enough surface for the workspace to compile: the
+//! `Serialize`/`Deserialize` trait names and the matching no-op derive
+//! macros. No code in the workspace performs serde-based serialization —
+//! machine-readable outputs (e.g. `BENCH_webfold_scaling.json`) are written
+//! as hand-built JSON instead.
+
+/// Marker trait standing in for `serde::Serialize`.
+pub trait Serialize {}
+
+/// Marker trait standing in for `serde::Deserialize`.
+pub trait Deserialize<'de> {}
+
+/// Blanket implementations so trait bounds (if any appear) are satisfiable.
+impl<T: ?Sized> Serialize for T {}
+impl<'de, T: ?Sized> Deserialize<'de> for T {}
+
+pub use serde_derive::{Deserialize, Serialize};

@@ -1,0 +1,23 @@
+//! No-op replacements for serde's `Serialize`/`Deserialize` derives.
+//!
+//! The build environment has no registry access, so the workspace vendors a
+//! minimal stand-in: the derives accept the usual `#[serde(...)]` helper
+//! attributes and expand to nothing. Nothing in this workspace serializes at
+//! the serde level (reports are written as hand-built JSON), so the traits
+//! never need real implementations.
+
+use proc_macro::TokenStream;
+
+/// Accepts `#[derive(Serialize)]` (and `#[serde(...)]` attributes) and
+/// expands to nothing.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// Accepts `#[derive(Deserialize)]` (and `#[serde(...)]` attributes) and
+/// expands to nothing.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
