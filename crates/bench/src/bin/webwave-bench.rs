@@ -5,9 +5,10 @@
 //! hash-table / clone-per-round reference engines
 //! (`ww_core::reference`) on 1k+ node trees, verifies that dense and
 //! naive produce **bit-identical convergence traces**, times `webfold`
-//! itself across scales, and writes everything to
-//! `BENCH_webfold_scaling.json` (or the path given as the first CLI
-//! argument).
+//! itself across scales, measures the unified `Runner` dispatch
+//! overhead against calling the engines directly (budget: ≤ 1%), and
+//! writes everything to `BENCH_webfold_scaling.json` (or the path given
+//! as the first CLI argument).
 //!
 //! Run with: `cargo run --release -p ww-bench --bin webwave-bench`
 
@@ -17,6 +18,10 @@ use ww_core::docsim::{DocSim, DocSimConfig};
 use ww_core::fold::webfold;
 use ww_core::reference::{NaiveDocSim, NaiveRateWave};
 use ww_core::wave::{RateWave, WaveConfig};
+use ww_scenario::{
+    drive, DocMixSpec, EngineSpec, NullObserver, RatesSpec, Runner, ScenarioSpec, Termination,
+    TopologySpec, WorkloadSpec,
+};
 
 const SAMPLES: usize = 5;
 
@@ -112,6 +117,175 @@ fn bench_docsim(nodes: usize, docs: usize, rounds: usize) -> Comparison {
     }
 }
 
+const OVERHEAD_SAMPLES: usize = 9;
+
+/// Interleaved min-of-N timing for A/B comparisons: alternating the two
+/// measurements within each iteration cancels slow drift (thermal,
+/// scheduler) that plain back-to-back `time_min` calls absorb into one
+/// side — essential when the effect under test is ~1%.
+fn time_interleaved_min(
+    samples: usize,
+    mut measure_a: impl FnMut() -> std::time::Duration,
+    mut measure_b: impl FnMut() -> std::time::Duration,
+) -> (std::time::Duration, std::time::Duration) {
+    let mut best_a = std::time::Duration::MAX;
+    let mut best_b = std::time::Duration::MAX;
+    for _ in 0..samples.max(1) {
+        best_a = best_a.min(measure_a());
+        best_b = best_b.min(measure_b());
+    }
+    (best_a, best_b)
+}
+
+/// Runner-dispatch overhead: the same engine, driven directly vs.
+/// resolved from a spec and stepped through `Box<dyn Engine>` by the
+/// unified drive loop. `overhead_pct` is the drive-phase cost the
+/// abstraction adds; the budget is 1%.
+struct RunnerOverhead {
+    engine: &'static str,
+    nodes: usize,
+    rounds: usize,
+    direct_ns_per_round: f64,
+    runner_ns_per_round: f64,
+    overhead_pct: f64,
+    traces_identical: bool,
+}
+
+/// The spec equivalent of [`scaling_scenario`]: same seed, same
+/// generator stream (tree, then rates), so direct and spec-driven runs
+/// are bit-identical.
+fn scaling_spec(nodes: usize, seed: u64, rounds: usize) -> ScenarioSpec {
+    ScenarioSpec {
+        name: "bench-runner-overhead".to_string(),
+        topology: TopologySpec::RandomDepth { nodes, depth: 12 },
+        workload: WorkloadSpec {
+            rates: RatesSpec::RandomUniform { lo: 0.0, hi: 100.0 },
+            doc_mix: None,
+        },
+        engine: EngineSpec::RateWave {
+            alpha: None,
+            staleness: 0,
+        },
+        termination: Termination::Rounds { max: rounds },
+        seed,
+        sweep: None,
+    }
+}
+
+fn bench_runner_overhead_rate(nodes: usize, rounds: usize) -> RunnerOverhead {
+    let seed = nodes as u64;
+    let (tree, rates) = scaling_scenario(nodes, 12, seed);
+    let config = WaveConfig {
+        alpha: None,
+        staleness: 0,
+    };
+    let spec = scaling_spec(nodes, seed, rounds);
+    let runner = Runner::new();
+
+    // Equivalence probe: the spec-driven engine must replay the direct
+    // engine bit for bit.
+    let mut via_probe = runner.resolve(&spec).expect("spec resolves");
+    drive(
+        via_probe.as_mut(),
+        &Termination::Rounds {
+            max: rounds.min(50),
+        },
+        &mut NullObserver,
+    );
+    let mut direct_probe = RateWave::new(&tree, &rates, config);
+    direct_probe.run(rounds.min(50));
+    let traces_identical = via_probe.trace().is_some_and(|t| {
+        t.len() == direct_probe.trace().len()
+            && t.iter()
+                .zip(direct_probe.trace().distances())
+                .all(|(a, b)| a.to_bits() == b.to_bits())
+    });
+
+    let termination = Termination::Rounds { max: rounds };
+    let (direct, via_runner) = time_interleaved_min(
+        OVERHEAD_SAMPLES,
+        || {
+            let mut w = RateWave::new(&tree, &rates, config);
+            let start = std::time::Instant::now();
+            w.run(rounds);
+            start.elapsed()
+        },
+        || {
+            let mut engine = runner.resolve(&spec).expect("spec resolves");
+            let start = std::time::Instant::now();
+            drive(engine.as_mut(), &termination, &mut NullObserver);
+            start.elapsed()
+        },
+    );
+    RunnerOverhead {
+        engine: "rate_wave",
+        nodes,
+        rounds,
+        direct_ns_per_round: direct.as_nanos() as f64 / rounds as f64,
+        runner_ns_per_round: via_runner.as_nanos() as f64 / rounds as f64,
+        overhead_pct: 100.0 * (via_runner.as_secs_f64() / direct.as_secs_f64() - 1.0),
+        traces_identical,
+    }
+}
+
+fn bench_runner_overhead_doc(nodes: usize, docs: usize, rounds: usize) -> RunnerOverhead {
+    let seed = nodes as u64 ^ 0xD0C;
+    let (tree, rates) = scaling_scenario(nodes, 12, seed);
+    let mix = scaling_mix(&tree, &rates, docs);
+    let config = DocSimConfig::default();
+    let mut spec = scaling_spec(nodes, seed, rounds);
+    spec.workload.doc_mix = Some(DocMixSpec::SharedZipf { docs, theta: 1.0 });
+    spec.engine = EngineSpec::DocSim {
+        alpha: None,
+        tunneling: true,
+        barrier_patience: 2,
+    };
+    let runner = Runner::new();
+
+    let mut via_probe = runner.resolve(&spec).expect("spec resolves");
+    drive(
+        via_probe.as_mut(),
+        &Termination::Rounds {
+            max: rounds.min(10),
+        },
+        &mut NullObserver,
+    );
+    let mut direct_probe = DocSim::new(&tree, &mix, config);
+    direct_probe.run(rounds.min(10));
+    let traces_identical = via_probe.trace().is_some_and(|t| {
+        t.len() == direct_probe.trace().len()
+            && t.iter()
+                .zip(direct_probe.trace().distances())
+                .all(|(a, b)| a.to_bits() == b.to_bits())
+    });
+
+    let termination = Termination::Rounds { max: rounds };
+    let (direct, via_runner) = time_interleaved_min(
+        OVERHEAD_SAMPLES,
+        || {
+            let mut s = DocSim::new(&tree, &mix, config);
+            let start = std::time::Instant::now();
+            s.run(rounds);
+            start.elapsed()
+        },
+        || {
+            let mut engine = runner.resolve(&spec).expect("spec resolves");
+            let start = std::time::Instant::now();
+            drive(engine.as_mut(), &termination, &mut NullObserver);
+            start.elapsed()
+        },
+    );
+    RunnerOverhead {
+        engine: "doc_sim",
+        nodes,
+        rounds,
+        direct_ns_per_round: direct.as_nanos() as f64 / rounds as f64,
+        runner_ns_per_round: via_runner.as_nanos() as f64 / rounds as f64,
+        overhead_pct: 100.0 * (via_runner.as_secs_f64() / direct.as_secs_f64() - 1.0),
+        traces_identical,
+    }
+}
+
 fn bench_webfold(nodes: usize) -> (usize, f64) {
     let (tree, rates) = scaling_scenario(nodes, 12, nodes as u64);
     let d = time_min(
@@ -162,6 +336,30 @@ fn main() {
         eprintln!("  webfold nodes={n}: {:.3} ms", ns / 1e6);
     }
 
+    eprintln!("webwave-bench: Runner dispatch overhead vs direct engines (budget 1%)");
+    let overheads = vec![
+        bench_runner_overhead_rate(10_000, 100),
+        bench_runner_overhead_doc(1_000, 64, 30),
+    ];
+    for o in &overheads {
+        eprintln!(
+            "  {} nodes={} rounds={}: direct {:.0} ns/round, via Runner {:.0} ns/round, overhead {:+.3}%, traces_identical={}",
+            o.engine,
+            o.nodes,
+            o.rounds,
+            o.direct_ns_per_round,
+            o.runner_ns_per_round,
+            o.overhead_pct,
+            o.traces_identical
+        );
+        if o.overhead_pct > 1.0 {
+            eprintln!(
+                "webwave-bench: WARNING — {} Runner overhead {:.3}% exceeds the 1% budget",
+                o.engine, o.overhead_pct
+            );
+        }
+    }
+
     // Hand-built JSON (the vendored serde stub does not serialize).
     let mut json = String::new();
     json.push_str("{\n  \"bench\": \"webfold_scaling\",\n");
@@ -194,6 +392,21 @@ fn main() {
             if i + 1 < folds.len() { "," } else { "" }
         );
     }
+    json.push_str("  ],\n  \"runner_overhead\": [\n");
+    for (i, o) in overheads.iter().enumerate() {
+        let _ = writeln!(
+            json,
+            "    {{\"engine\": \"{}\", \"nodes\": {}, \"rounds\": {}, \"direct_ns_per_round\": {:.0}, \"runner_ns_per_round\": {:.0}, \"overhead_pct\": {:.3}, \"traces_identical\": {}}}{}",
+            o.engine,
+            o.nodes,
+            o.rounds,
+            o.direct_ns_per_round,
+            o.runner_ns_per_round,
+            o.overhead_pct,
+            o.traces_identical,
+            if i + 1 < overheads.len() { "," } else { "" }
+        );
+    }
     json.push_str("  ]\n}\n");
 
     std::fs::write(&out_path, &json).expect("write bench output");
@@ -203,7 +416,8 @@ fn main() {
         .iter()
         .map(|c| c.speedup)
         .fold(f64::INFINITY, f64::min);
-    let all_identical = comparisons.iter().all(|c| c.traces_identical);
+    let all_identical = comparisons.iter().all(|c| c.traces_identical)
+        && overheads.iter().all(|o| o.traces_identical);
     eprintln!("webwave-bench: worst speedup {worst:.2}x, traces identical: {all_identical}");
     if !all_identical {
         eprintln!("webwave-bench: WARNING — dense/naive traces diverge");

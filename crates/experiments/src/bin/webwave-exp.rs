@@ -1,11 +1,115 @@
-//! Command-line experiment runner: regenerates the paper's figures/tables.
+//! Command-line experiment runner.
 //!
-//! Usage: `webwave-exp [fig2|fig4|fig6a|fig6b|gamma|fig7|gle|baselines|erratic|throughput|forest|all]...`
+//! Two modes:
+//!
+//! * **Spec mode** — `webwave-exp run <spec.json>... [--smoke]` resolves
+//!   each declarative scenario file through the unified
+//!   `ww-scenario` Runner and prints its report. `--smoke` shrinks
+//!   every spec to CI size first (same resolution and engine paths,
+//!   seconds-scale budgets). `webwave-exp list <dir>` lists the specs
+//!   in a directory (default `scenarios/`).
+//! * **Figure mode** — `webwave-exp [fig2|fig4|fig6a|fig6b|gamma|fig7|
+//!   gle|baselines|erratic|throughput|forest|all]...` regenerates the
+//!   paper's figures/tables (all engine-driven figures run through the
+//!   same Runner).
 
+use std::process::ExitCode;
 use ww_experiments as exp;
+use ww_scenario::{Runner, ScenarioSpec};
 
-fn main() {
+fn run_specs(paths: &[String], smoke: bool) -> ExitCode {
+    if paths.is_empty() {
+        eprintln!("usage: webwave-exp run <spec.json>... [--smoke]");
+        return ExitCode::FAILURE;
+    }
+    let runner = Runner::new().smoke(smoke);
+    let mut failed = false;
+    for path in paths {
+        let text = match std::fs::read_to_string(path) {
+            Ok(text) => text,
+            Err(e) => {
+                eprintln!("webwave-exp: {path}: {e}");
+                failed = true;
+                continue;
+            }
+        };
+        let spec = match ScenarioSpec::from_json(&text) {
+            Ok(spec) => spec,
+            Err(e) => {
+                eprintln!("webwave-exp: {path}: {e}");
+                failed = true;
+                continue;
+            }
+        };
+        match runner.run(&spec) {
+            Ok(report) => print!("{}", report.report),
+            Err(e) => {
+                eprintln!("webwave-exp: {path}: {e}");
+                failed = true;
+            }
+        }
+    }
+    if failed {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}
+
+fn list_specs(dir: &str) -> ExitCode {
+    let mut entries: Vec<_> = match std::fs::read_dir(dir) {
+        Ok(rd) => rd
+            .filter_map(|e| e.ok())
+            .map(|e| e.path())
+            .filter(|p| p.extension().is_some_and(|x| x == "json"))
+            .collect(),
+        Err(e) => {
+            eprintln!("webwave-exp: {dir}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    entries.sort();
+    for path in entries {
+        match std::fs::read_to_string(&path)
+            .map_err(|e| e.to_string())
+            .and_then(|text| ScenarioSpec::from_json(&text).map_err(|e| e.to_string()))
+        {
+            Ok(spec) => {
+                let sweep = match &spec.sweep {
+                    Some(s) => format!(", sweep {} x{}", s.param.as_str(), s.values.len()),
+                    None => String::new(),
+                };
+                println!(
+                    "{}: {} (engine {}{})",
+                    path.display(),
+                    spec.name,
+                    spec.engine.kind(),
+                    sweep
+                );
+            }
+            Err(e) => println!("{}: INVALID — {e}", path.display()),
+        }
+    }
+    ExitCode::SUCCESS
+}
+
+fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
+
+    match args.first().map(String::as_str) {
+        Some("run") => {
+            let rest = &args[1..];
+            let smoke = rest.iter().any(|a| a == "--smoke");
+            let paths: Vec<String> = rest.iter().filter(|a| *a != "--smoke").cloned().collect();
+            return run_specs(&paths, smoke);
+        }
+        Some("list") => {
+            let dir = args.get(1).map(String::as_str).unwrap_or("scenarios");
+            return list_specs(dir);
+        }
+        _ => {}
+    }
+
     let wanted: Vec<&str> = if args.is_empty() {
         vec!["all"]
     } else {
@@ -50,4 +154,5 @@ fn main() {
     if want("forest") {
         println!("{}", exp::forest_study().report);
     }
+    ExitCode::SUCCESS
 }

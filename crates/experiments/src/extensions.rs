@@ -7,9 +7,12 @@ use crate::table::{f3, Table};
 use ww_core::throughput::{saturation_capacity, throughput_at_capacity};
 use ww_core::tracking::{track, TrackingConfig};
 use ww_core::wave::WaveConfig;
-use ww_forest::{Coupling, Forest, ForestWave, ForestWaveConfig};
 use ww_model::{NodeId, RateVector};
-use ww_topology::{paper, Graph};
+use ww_scenario::{
+    BaselineScheme, EngineSpec, PaperFigure, RatesSpec, Runner, ScenarioSpec, Termination,
+    TopologySpec, WorkloadSpec, DEFAULT_SEED,
+};
+use ww_topology::paper;
 use ww_workload::{DiurnalDrift, RandomWalkRates, StepChange};
 
 /// One row of the erratic-rates study.
@@ -115,8 +118,29 @@ pub struct ThroughputStudy {
 /// the goodput each achieves when capacity is provisioned exactly for
 /// TLB.
 pub fn throughput_study() -> ThroughputStudy {
-    let s = paper::fig6();
-    let schemes = ww_baselines::compare_all(&s.tree, &s.spontaneous);
+    let spec = ScenarioSpec {
+        name: "throughput-fig6".to_string(),
+        topology: TopologySpec::Paper {
+            figure: PaperFigure::Fig6,
+        },
+        workload: WorkloadSpec {
+            rates: RatesSpec::Paper,
+            doc_mix: None,
+        },
+        engine: EngineSpec::Baselines {
+            schemes: BaselineScheme::all(),
+            replicas: 0,
+            lookup_msgs: 2.0,
+            gle_iterations: 2000,
+            webwave_rounds: 4000,
+            gossip_per_second: 2.0,
+        },
+        termination: Termination::Rounds { max: 1 },
+        seed: DEFAULT_SEED,
+        sweep: None,
+    };
+    let report = Runner::new().run(&spec).expect("throughput spec resolves");
+    let schemes = report.rows[0].outcome.schemes.clone();
     let tlb_cap = schemes
         .iter()
         .find(|r| r.name == "webfold-oracle")
@@ -168,29 +192,33 @@ pub struct ForestStudy {
 /// path, both demands entering at the same interior node; coupled gossip
 /// (servers report total load) vs the naive per-tree composition.
 pub fn forest_study() -> ForestStudy {
-    let mut g = Graph::new(6);
-    for i in 0..5 {
-        g.add_edge(i, i + 1);
-    }
-    let forest = Forest::from_graph(&g, &[NodeId::new(0), NodeId::new(5)]).expect("valid forest");
-    let demands = vec![
-        RateVector::from(vec![0.0, 60.0, 0.0, 0.0, 0.0, 0.0]),
-        RateVector::from(vec![0.0, 60.0, 0.0, 0.0, 0.0, 0.0]),
-    ];
-    let run = |coupling: Coupling| {
-        let mut wave = ForestWave::new(
-            &forest,
-            &demands,
-            ForestWaveConfig {
-                alpha: None,
-                coupling,
+    // Declaratively: a 6-node path topology taken as an undirected
+    // graph, re-rooted at both ends, with the same 60 req/s demand (at
+    // n1) offered to each tree.
+    let run = |coupled: bool| {
+        let spec = ScenarioSpec {
+            name: "forest-overlap".to_string(),
+            topology: TopologySpec::Path { nodes: 6 },
+            workload: WorkloadSpec {
+                rates: RatesSpec::Explicit {
+                    rates: vec![0.0, 60.0, 0.0, 0.0, 0.0, 0.0],
+                },
+                doc_mix: None,
             },
-        );
-        wave.run(8000);
-        wave.total_load()
+            engine: EngineSpec::ForestWave {
+                alpha: None,
+                coupled,
+                roots: vec![0, 5],
+            },
+            termination: Termination::Rounds { max: 8000 },
+            seed: DEFAULT_SEED,
+            sweep: None,
+        };
+        let report = Runner::new().run(&spec).expect("forest spec resolves");
+        report.rows[0].outcome.load.clone().expect("total load")
     };
-    let uncoupled = run(Coupling::Uncoupled);
-    let coupled = run(Coupling::Coupled);
+    let uncoupled = run(false);
+    let coupled = run(true);
     let mut t = Table::new(vec!["node", "uncoupled total", "coupled total"]);
     for i in 0..6 {
         t.row(vec![

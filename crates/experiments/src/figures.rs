@@ -5,17 +5,41 @@
 //! all read from the same code path.
 
 use crate::table::{f3, f6, Table};
-use rand::rngs::StdRng;
-use rand::SeedableRng;
-use ww_core::docsim::{DocSim, DocSimConfig};
 use ww_core::fold::webfold;
-use ww_core::wave::{RateWave, WaveConfig};
 use ww_diffusion::{
     hypercube_alpha, k_ary_n_cube_alpha, ring_alpha, DiffusionMatrix, SyncDiffusion,
 };
 use ww_model::{NodeId, RateVector};
+use ww_scenario::{
+    EngineSpec, PaperFigure, RatesSpec, Runner, ScenarioSpec, Sweep, SweepParam, Termination,
+    TopologySpec, WorkloadSpec, DEFAULT_SEED,
+};
 use ww_stats::{fit_exponential, ExponentialFit};
-use ww_topology::{self as topology, paper, random_tree_of_depth, Graph};
+use ww_topology::{self as topology, paper, Graph};
+
+/// A spec skeleton every engine-driven figure shares: named scenario,
+/// rate workload, no sweep, default seed. Figure runners fill in the
+/// topology, engine, and termination — and then *every* run goes through
+/// the unified [`Runner`], never a hand-rolled loop.
+fn figure_spec(
+    name: &str,
+    topology: TopologySpec,
+    engine: EngineSpec,
+    termination: Termination,
+) -> ScenarioSpec {
+    ScenarioSpec {
+        name: name.to_string(),
+        topology,
+        workload: WorkloadSpec {
+            rates: RatesSpec::Paper,
+            doc_mix: None,
+        },
+        engine,
+        termination,
+        seed: DEFAULT_SEED,
+        sweep: None,
+    }
+}
 
 /// Result of the Figure 2 experiment: TLB vs GLE on the two rate vectors.
 #[derive(Debug, Clone)]
@@ -156,12 +180,25 @@ pub struct ConvergenceResult {
 /// Reproduces Figure 6(b): WebWave's Euclidean distance to TLB per
 /// iteration on the Figure 6(a) tree, with the exponential fit.
 pub fn fig6b(rounds: usize) -> ConvergenceResult {
-    let s = paper::fig6();
-    let mut wave = RateWave::new(&s.tree, &s.spontaneous, WaveConfig::default());
-    wave.run(rounds);
-    let distances = wave.trace().distances().to_vec();
+    let spec = figure_spec(
+        "fig6b",
+        TopologySpec::Paper {
+            figure: PaperFigure::Fig6,
+        },
+        EngineSpec::RateWave {
+            alpha: None,
+            staleness: 0,
+        },
+        Termination::Rounds { max: rounds },
+    );
+    let report = Runner::new().run(&spec).expect("fig6b spec resolves");
+    let distances = report.rows[0]
+        .outcome
+        .trace
+        .clone()
+        .expect("trace recorded");
     let initial = distances[0];
-    let fit = wave.trace().fit_gamma(initial * 1e-12).ok();
+    let fit = fit_exponential(&distances, initial * 1e-12).ok();
     let to_1pct = distances.iter().position(|&d| d <= initial * 0.01);
     let mut t = Table::new(vec!["iteration", "distance to TLB"]);
     for (i, d) in distances.iter().enumerate() {
@@ -235,15 +272,28 @@ pub fn gamma_study(depths: &[usize], nodes: usize, rounds: usize, seed: u64) -> 
         let mut gammas = Vec::new();
         let mut stderrs = Vec::new();
         for trial in 0..TRIALS {
-            let mut rng =
-                StdRng::seed_from_u64(seed ^ ((depth as u64) << 8) ^ ((trial as u64) << 20));
-            let tree = random_tree_of_depth(&mut rng, nodes, depth);
-            let e = ww_workload::random_uniform(&mut rng, &tree, 0.0, 10.0);
-            let mut wave = RateWave::new(&tree, &e, WaveConfig::default());
-            wave.run(rounds);
-            let initial = wave.trace().initial().unwrap_or(1.0);
-            let fit = fit_exponential(wave.trace().distances(), initial * 1e-10)
-                .expect("convergence trace fits");
+            // The derived seed drives tree and rates from one generator
+            // inside the resolver, reproducing the original construction
+            // stream exactly.
+            let mut spec = figure_spec(
+                "gamma-trial",
+                TopologySpec::RandomDepth { nodes, depth },
+                EngineSpec::RateWave {
+                    alpha: None,
+                    staleness: 0,
+                },
+                Termination::Rounds { max: rounds },
+            );
+            spec.workload.rates = RatesSpec::RandomUniform { lo: 0.0, hi: 10.0 };
+            spec.seed = seed ^ ((depth as u64) << 8) ^ ((trial as u64) << 20);
+            let report = Runner::new().run(&spec).expect("gamma spec resolves");
+            let distances = report.rows[0]
+                .outcome
+                .trace
+                .clone()
+                .expect("trace recorded");
+            let initial = distances.first().copied().unwrap_or(1.0);
+            let fit = fit_exponential(&distances, initial * 1e-10).expect("convergence trace fits");
             gammas.push(fit.gamma);
             stderrs.push(fit.gamma_stderr);
         }
@@ -297,44 +347,59 @@ pub struct Fig7Result {
 /// tunneling and is cured by it (every node ends at 90 req/s).
 pub fn fig7(rounds: usize) -> Fig7Result {
     let b = paper::fig7();
-    let run = |tunneling: bool| {
-        let mut sim = DocSim::from_barrier_scenario(
-            &b,
-            DocSimConfig {
-                alpha: None,
-                tunneling,
-                barrier_patience: 2,
-            },
-        );
-        sim.run(rounds);
-        sim
+    let mut spec = figure_spec(
+        "fig7",
+        TopologySpec::Paper {
+            figure: PaperFigure::Fig7,
+        },
+        EngineSpec::DocSim {
+            alpha: None,
+            tunneling: true,
+            barrier_patience: 2,
+        },
+        Termination::Rounds { max: rounds },
+    );
+    spec.workload.doc_mix = Some(ww_scenario::DocMixSpec::Paper);
+    spec.sweep = Some(Sweep {
+        param: SweepParam::Tunneling,
+        values: vec![0.0, 1.0],
+    });
+    let report = Runner::new().run(&spec).expect("fig7 spec resolves");
+    let [stalled_row, tunneled_row] = &report.rows[..] else {
+        panic!("tunneling sweep yields two rows");
     };
-    let stalled_sim = run(false);
-    let tunneled_sim = run(true);
+    let stalled = stalled_row.outcome.load.clone().expect("loads");
+    let tunneled = tunneled_row.outcome.load.clone().expect("loads");
+    let stalled_distance = stalled_row.outcome.final_distance().expect("distance");
+    let tunneled_distance = tunneled_row.outcome.final_distance().expect("distance");
+    let tunnel_fetches = tunneled_row
+        .outcome
+        .metric("tunnel_fetches")
+        .expect("tunnel_fetches metric") as u64;
     let mut t = Table::new(vec!["node", "TLB", "no tunneling", "with tunneling"]);
     for i in 0..4 {
         let u = NodeId::new(i);
         t.row(vec![
             format!("n{i}"),
             f3(b.tlb[u]),
-            f3(stalled_sim.load()[u]),
-            f3(tunneled_sim.load()[u]),
+            f3(stalled[u]),
+            f3(tunneled[u]),
         ]);
     }
     Fig7Result {
-        stalled: stalled_sim.load().clone(),
-        tunneled: tunneled_sim.load().clone(),
-        stalled_distance: stalled_sim.distance_to_tlb(),
-        tunneled_distance: tunneled_sim.distance_to_tlb(),
-        tunnel_fetches: tunneled_sim.stats().tunnel_fetches,
         report: format!(
             "Figure 7 — potential barrier and tunneling ({} rounds)\n{}\nno-tunneling distance to TLB: {:.3}; with tunneling: {:.3}; tunnel fetches: {}\n",
             rounds,
             t.render(),
-            stalled_sim.distance_to_tlb(),
-            tunneled_sim.distance_to_tlb(),
-            tunneled_sim.stats().tunnel_fetches,
+            stalled_distance,
+            tunneled_distance,
+            tunnel_fetches,
         ),
+        stalled,
+        tunneled,
+        stalled_distance,
+        tunneled_distance,
+        tunnel_fetches,
     }
 }
 
@@ -448,19 +513,43 @@ pub struct BaselineStudy {
 pub fn baseline_study(seed: u64) -> BaselineStudy {
     let mut all_rows = Vec::new();
     let mut out = String::new();
-    let mut rng = StdRng::seed_from_u64(seed);
-    let big = random_tree_of_depth(&mut rng, 64, 6);
-    let big_e = ww_workload::zipf_nodes(&mut rng, &big, 6400.0, 1.0);
+    let baselines_engine = EngineSpec::Baselines {
+        schemes: ww_scenario::BaselineScheme::all(),
+        replicas: 0,
+        lookup_msgs: 2.0,
+        gle_iterations: 2000,
+        webwave_rounds: 4000,
+        gossip_per_second: 2.0,
+    };
+    let fig6_spec = figure_spec(
+        "baselines-fig6",
+        TopologySpec::Paper {
+            figure: PaperFigure::Fig6,
+        },
+        baselines_engine.clone(),
+        Termination::Rounds { max: 1 },
+    );
+    let mut big_spec = figure_spec(
+        "baselines-random-64",
+        TopologySpec::RandomDepth {
+            nodes: 64,
+            depth: 6,
+        },
+        baselines_engine,
+        Termination::Rounds { max: 1 },
+    );
+    big_spec.workload.rates = RatesSpec::ZipfNodes {
+        total: 6400.0,
+        theta: 1.0,
+    };
+    big_spec.seed = seed;
     let workloads = vec![
-        (
-            "fig6".to_string(),
-            paper::fig6().tree,
-            paper::fig6().spontaneous,
-        ),
-        ("random-64/zipf".to_string(), big, big_e),
+        ("fig6".to_string(), fig6_spec),
+        ("random-64/zipf".to_string(), big_spec),
     ];
-    for (name, tree, e) in workloads {
-        let rows = ww_baselines::compare_all(&tree, &e);
+    for (name, spec) in workloads {
+        let report = Runner::new().run(&spec).expect("baseline spec resolves");
+        let rows = report.rows[0].outcome.schemes.clone();
         let mut t = Table::new(vec![
             "scheme",
             "max load",

@@ -1,0 +1,427 @@
+//! [`Engine`] implementations for every simulator, the threaded runtime,
+//! and the baseline schemes.
+//!
+//! The round-stepped engines (`RateWave`, `DocSim`, `ForestWave`)
+//! implement the trait directly. The packet simulator advances one
+//! diffusion period of simulated time per engine round
+//! ([`PacketEngine`]); the threaded cluster ([`ClusterEngine`]) and the
+//! baseline schemes ([`BaselineEngine`]) are one-shot engines that do
+//! all their work in a single step and then report [`StepOutcome::Done`].
+
+use crate::engine::{Engine, MetricSink, StepOutcome};
+use crate::spec::BaselineScheme;
+use ww_baselines::SchemeReport;
+use ww_core::docsim::DocSim;
+use ww_core::packetsim::{PacketSim, PacketSimConfig, PacketSimReport};
+use ww_core::wave::RateWave;
+use ww_forest::ForestWave;
+use ww_model::{RateVector, Tree};
+use ww_runtime::{run_cluster, ClusterConfig, ClusterReport};
+
+impl Engine for RateWave {
+    fn kind(&self) -> &'static str {
+        "rate_wave"
+    }
+
+    fn step(&mut self) -> StepOutcome {
+        RateWave::step(self);
+        StepOutcome::Running
+    }
+
+    fn round(&self) -> usize {
+        RateWave::round(self)
+    }
+
+    fn convergence(&self) -> Option<f64> {
+        Some(self.distance_to_tlb())
+    }
+
+    fn load(&self) -> Option<RateVector> {
+        Some(RateWave::load(self).clone())
+    }
+
+    fn oracle(&self) -> Option<RateVector> {
+        Some(RateWave::oracle(self).clone())
+    }
+
+    fn trace(&self) -> Option<Vec<f64>> {
+        Some(RateWave::trace(self).distances().to_vec())
+    }
+
+    fn metrics(&self, sink: &mut dyn MetricSink) {
+        sink.metric("alpha", self.alpha());
+        sink.metric("distance_to_tlb", self.distance_to_tlb());
+        let load = RateWave::load(self);
+        sink.metric("max_load", load.max());
+        sink.metric("total_load", load.total());
+    }
+}
+
+impl Engine for DocSim {
+    fn kind(&self) -> &'static str {
+        "doc_sim"
+    }
+
+    fn step(&mut self) -> StepOutcome {
+        DocSim::step(self);
+        StepOutcome::Running
+    }
+
+    fn round(&self) -> usize {
+        DocSim::round(self)
+    }
+
+    fn convergence(&self) -> Option<f64> {
+        Some(self.distance_to_tlb())
+    }
+
+    fn load(&self) -> Option<RateVector> {
+        Some(DocSim::load(self).clone())
+    }
+
+    fn oracle(&self) -> Option<RateVector> {
+        Some(DocSim::oracle(self).clone())
+    }
+
+    fn trace(&self) -> Option<Vec<f64>> {
+        Some(DocSim::trace(self).distances().to_vec())
+    }
+
+    fn metrics(&self, sink: &mut dyn MetricSink) {
+        let stats = self.stats();
+        sink.metric("distance_to_tlb", self.distance_to_tlb());
+        sink.metric("max_load", DocSim::load(self).max());
+        sink.metric("copy_pushes", stats.copy_pushes as f64);
+        sink.metric("copy_deletions", stats.copy_deletions as f64);
+        sink.metric("tunnel_fetches", stats.tunnel_fetches as f64);
+        sink.metric("barrier_suspicions", stats.barrier_suspicions as f64);
+    }
+}
+
+impl Engine for ForestWave {
+    fn kind(&self) -> &'static str {
+        "forest_wave"
+    }
+
+    fn step(&mut self) -> StepOutcome {
+        ForestWave::step(self);
+        StepOutcome::Running
+    }
+
+    fn round(&self) -> usize {
+        ForestWave::round(self)
+    }
+
+    /// No TLB oracle exists over a forest; convergence is measured as
+    /// the last step's change in maximum total load (load stability).
+    fn convergence(&self) -> Option<f64> {
+        let trace = self.max_load_trace();
+        match trace {
+            [.., prev, last] => Some((last - prev).abs()),
+            _ => None,
+        }
+    }
+
+    fn load(&self) -> Option<RateVector> {
+        Some(self.total_load())
+    }
+
+    fn oracle(&self) -> Option<RateVector> {
+        None
+    }
+
+    fn trace(&self) -> Option<Vec<f64>> {
+        Some(self.max_load_trace().to_vec())
+    }
+
+    fn metrics(&self, sink: &mut dyn MetricSink) {
+        let total = self.total_load();
+        sink.metric("max_total_load", total.max());
+        sink.metric("total_load", total.total());
+        sink.metric("trees", self.loads().len() as f64);
+    }
+}
+
+/// The packet-level simulator behind the unified API: one engine round
+/// advances the event-driven simulation by one diffusion period of
+/// simulated time.
+#[derive(Debug)]
+pub struct PacketEngine {
+    sim: PacketSim,
+    diffusion_period: f64,
+    epochs: usize,
+    last: Option<PacketSimReport>,
+}
+
+impl PacketEngine {
+    /// Wraps a configured simulator; `config.diffusion_period` becomes
+    /// the engine-round length.
+    pub fn new(tree: &Tree, mix: &ww_workload::DocMix, config: PacketSimConfig) -> Self {
+        PacketEngine {
+            sim: PacketSim::new(tree, mix, config),
+            diffusion_period: config.diffusion_period,
+            epochs: 0,
+            last: None,
+        }
+    }
+
+    /// The most recent full packet-level report, if any step has run.
+    pub fn last_report(&self) -> Option<&PacketSimReport> {
+        self.last.as_ref()
+    }
+}
+
+impl Engine for PacketEngine {
+    fn kind(&self) -> &'static str {
+        "packet_sim"
+    }
+
+    fn step(&mut self) -> StepOutcome {
+        self.epochs += 1;
+        let deadline = self.diffusion_period * self.epochs as f64;
+        self.last = Some(self.sim.run(deadline));
+        StepOutcome::Running
+    }
+
+    fn round(&self) -> usize {
+        self.epochs
+    }
+
+    fn convergence(&self) -> Option<f64> {
+        self.last.as_ref().map(|r| r.final_distance)
+    }
+
+    fn load(&self) -> Option<RateVector> {
+        self.last.as_ref().map(|r| r.served_rates.clone())
+    }
+
+    fn oracle(&self) -> Option<RateVector> {
+        Some(self.sim.oracle().clone())
+    }
+
+    fn trace(&self) -> Option<Vec<f64>> {
+        self.last.as_ref().map(|r| r.trace.distances().to_vec())
+    }
+
+    fn metrics(&self, sink: &mut dyn MetricSink) {
+        if let Some(r) = &self.last {
+            sink.metric("final_distance", r.final_distance);
+            sink.metric("served_requests", r.served_requests as f64);
+            sink.metric("mean_hops", r.mean_hops);
+            sink.metric("copy_pushes", r.copy_pushes as f64);
+            sink.metric("tunnel_fetches", r.tunnel_fetches as f64);
+            sink.metric(
+                "control_msgs_per_request",
+                r.ledger.control_overhead_per_request(),
+            );
+        }
+    }
+}
+
+/// The threaded runtime behind the unified API: the whole cluster run
+/// (spawn, gossip, join) happens in one engine step.
+#[derive(Debug)]
+pub struct ClusterEngine {
+    tree: Tree,
+    rates: RateVector,
+    config: ClusterConfig,
+    report: Option<ClusterReport>,
+}
+
+impl ClusterEngine {
+    /// Prepares (but does not yet spawn) a cluster run.
+    pub fn new(tree: Tree, rates: RateVector, config: ClusterConfig) -> Self {
+        ClusterEngine {
+            tree,
+            rates,
+            config,
+            report: None,
+        }
+    }
+}
+
+impl Engine for ClusterEngine {
+    fn kind(&self) -> &'static str {
+        "cluster"
+    }
+
+    fn step(&mut self) -> StepOutcome {
+        if self.report.is_none() {
+            self.report = Some(run_cluster(&self.tree, &self.rates, self.config));
+        }
+        StepOutcome::Done
+    }
+
+    fn round(&self) -> usize {
+        usize::from(self.report.is_some())
+    }
+
+    fn convergence(&self) -> Option<f64> {
+        self.report.as_ref().map(|r| r.distance)
+    }
+
+    fn load(&self) -> Option<RateVector> {
+        self.report.as_ref().map(|r| r.loads.clone())
+    }
+
+    fn oracle(&self) -> Option<RateVector> {
+        self.report.as_ref().map(|r| r.oracle.clone())
+    }
+
+    fn trace(&self) -> Option<Vec<f64>> {
+        None
+    }
+
+    fn metrics(&self, sink: &mut dyn MetricSink) {
+        if let Some(r) = &self.report {
+            sink.metric("distance_to_tlb", r.distance);
+            sink.metric("max_load", r.loads.max());
+            sink.metric("messages", r.messages as f64);
+        }
+    }
+}
+
+/// Parameters of a baseline run, mirroring the knobs of
+/// [`crate::spec::EngineSpec::Baselines`].
+#[derive(Debug, Clone, Copy)]
+pub struct BaselineParams {
+    /// DNS replica count; `0` selects `(n / 4).clamp(1, 16)`.
+    pub replicas: usize,
+    /// Directory lookup messages per request.
+    pub lookup_msgs: f64,
+    /// GLE-migration iterations.
+    pub gle_iterations: usize,
+    /// WebWave rounds before reporting.
+    pub webwave_rounds: usize,
+    /// Gossip messages per second amortized into the WebWave row.
+    pub gossip_per_second: f64,
+}
+
+impl Default for BaselineParams {
+    fn default() -> Self {
+        BaselineParams {
+            replicas: 0,
+            lookup_msgs: 2.0,
+            gle_iterations: 2000,
+            webwave_rounds: 4000,
+            gossip_per_second: 2.0,
+        }
+    }
+}
+
+/// The baseline schemes behind the unified API: one engine step computes
+/// every selected scheme's static assignment.
+#[derive(Debug)]
+pub struct BaselineEngine {
+    tree: Tree,
+    rates: RateVector,
+    schemes: Vec<BaselineScheme>,
+    params: BaselineParams,
+    reports: Vec<SchemeReport>,
+    stepped: bool,
+}
+
+impl BaselineEngine {
+    /// Prepares a baseline comparison over `schemes`.
+    pub fn new(
+        tree: Tree,
+        rates: RateVector,
+        schemes: Vec<BaselineScheme>,
+        params: BaselineParams,
+    ) -> Self {
+        BaselineEngine {
+            tree,
+            rates,
+            schemes,
+            params,
+            reports: Vec::new(),
+            stepped: false,
+        }
+    }
+
+    fn run_scheme(&self, scheme: BaselineScheme) -> SchemeReport {
+        let (tree, e, p) = (&self.tree, &self.rates, &self.params);
+        match scheme {
+            BaselineScheme::NoCache => ww_baselines::no_caching(tree, e),
+            BaselineScheme::Directory => ww_baselines::directory_cache(tree, e, p.lookup_msgs),
+            BaselineScheme::DnsRoundRobin => {
+                let replicas = if p.replicas == 0 {
+                    (tree.len() / 4).clamp(1, 16)
+                } else {
+                    p.replicas
+                };
+                ww_baselines::dns_round_robin(tree, e, replicas)
+            }
+            BaselineScheme::GleMigration => ww_baselines::gle_migration(tree, e, p.gle_iterations),
+            BaselineScheme::WebWave => {
+                ww_baselines::webwave(tree, e, p.webwave_rounds, p.gossip_per_second)
+            }
+            BaselineScheme::WebFoldOracle => ww_baselines::webfold_oracle(tree, e),
+        }
+    }
+}
+
+impl Engine for BaselineEngine {
+    fn kind(&self) -> &'static str {
+        "baselines"
+    }
+
+    fn step(&mut self) -> StepOutcome {
+        if !self.stepped {
+            self.reports = self.schemes.iter().map(|&s| self.run_scheme(s)).collect();
+            self.stepped = true;
+        }
+        StepOutcome::Done
+    }
+
+    fn round(&self) -> usize {
+        usize::from(self.stepped)
+    }
+
+    fn convergence(&self) -> Option<f64> {
+        None
+    }
+
+    /// The WebWave row's load when present (the scheme the table is
+    /// about); otherwise none.
+    fn load(&self) -> Option<RateVector> {
+        self.reports
+            .iter()
+            .find(|r| r.name == "webwave")
+            .map(|r| r.load.clone())
+    }
+
+    fn oracle(&self) -> Option<RateVector> {
+        self.reports
+            .iter()
+            .find(|r| r.name == "webfold-oracle")
+            .map(|r| r.load.clone())
+    }
+
+    fn trace(&self) -> Option<Vec<f64>> {
+        None
+    }
+
+    fn metrics(&self, sink: &mut dyn MetricSink) {
+        for r in &self.reports {
+            sink.metric(&format!("{}/max_load", r.name), r.max_load);
+            sink.metric(&format!("{}/distance_to_gle", r.name), r.distance_to_gle);
+            sink.metric(
+                &format!("{}/control_msgs_per_request", r.name),
+                r.control_msgs_per_request,
+            );
+            sink.metric(
+                &format!("{}/data_hops_per_request", r.name),
+                r.data_hops_per_request,
+            );
+            sink.metric(
+                &format!("{}/violates_nss", r.name),
+                f64::from(u8::from(r.violates_nss)),
+            );
+        }
+    }
+
+    fn scheme_reports(&self) -> Vec<SchemeReport> {
+        self.reports.clone()
+    }
+}

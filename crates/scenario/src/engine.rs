@@ -1,0 +1,166 @@
+//! The unified engine abstraction: every simulator, the threaded
+//! runtime, and the baseline schemes drive through one trait.
+//!
+//! An [`Engine`] advances in discrete rounds ([`Engine::step`]) and
+//! streams its summary numbers into a [`MetricSink`] instead of
+//! returning a bespoke report struct; [`Engine::report`] assembles the
+//! uniform [`EngineReport`] every consumer (the runner, `webwave-exp`,
+//! the examples, the golden tests) reads. An [`Observer`] watches a run
+//! round by round — the streaming replacement for the per-engine trace
+//! plumbing the constructors used to expose.
+
+use ww_baselines::SchemeReport;
+use ww_model::RateVector;
+
+/// What a single [`Engine::step`] call did.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StepOutcome {
+    /// The engine can keep stepping.
+    Running,
+    /// The engine finished its work; further steps are no-ops.
+    Done,
+}
+
+/// A consumer of named scalar metrics.
+///
+/// Engines push every summary number they know into the sink; sinks
+/// decide what to keep. `Vec<(String, f64)>` collects everything.
+pub trait MetricSink {
+    /// Receives one named metric.
+    fn metric(&mut self, name: &str, value: f64);
+}
+
+impl MetricSink for Vec<(String, f64)> {
+    fn metric(&mut self, name: &str, value: f64) {
+        self.push((name.to_string(), value));
+    }
+}
+
+/// A streaming observer of a driven run.
+///
+/// The runner calls [`Observer::on_round`] after every engine step with
+/// the engine's current convergence metric, and [`Observer::on_done`]
+/// once with the final report. All methods default to no-ops.
+pub trait Observer {
+    /// Whether this observer wants the convergence metric on every
+    /// round. Computing it can cost an extra O(n) pass per round, so
+    /// the runner skips it (passing `None`) when nothing listens and
+    /// the termination rule does not need it.
+    fn wants_convergence(&self) -> bool {
+        true
+    }
+
+    /// Called after each step.
+    fn on_round(&mut self, round: usize, convergence: Option<f64>) {
+        let _ = (round, convergence);
+    }
+
+    /// Called once when the run terminates.
+    fn on_done(&mut self, report: &EngineReport) {
+        let _ = report;
+    }
+}
+
+/// The do-nothing observer.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NullObserver;
+
+impl Observer for NullObserver {
+    fn wants_convergence(&self) -> bool {
+        false
+    }
+}
+
+/// The uniform outcome of one engine run.
+#[derive(Debug, Clone)]
+pub struct EngineReport {
+    /// Engine kind (`"rate_wave"`, `"doc_sim"`, ...).
+    pub engine: String,
+    /// Rounds executed.
+    pub rounds: usize,
+    /// Final per-node served rates, when the engine has them.
+    pub load: Option<RateVector>,
+    /// The TLB oracle, when the engine computes one.
+    pub oracle: Option<RateVector>,
+    /// Per-round convergence trace, when recorded.
+    pub trace: Option<Vec<f64>>,
+    /// Every named metric the engine reported, in emission order.
+    pub metrics: Vec<(String, f64)>,
+    /// Per-scheme reports (baselines engine only; empty otherwise).
+    pub schemes: Vec<SchemeReport>,
+}
+
+impl EngineReport {
+    /// Looks up a metric by name.
+    pub fn metric(&self, name: &str) -> Option<f64> {
+        self.metrics
+            .iter()
+            .find_map(|(n, v)| (n == name).then_some(*v))
+    }
+
+    /// The first recorded convergence value (usually the cold-start
+    /// distance to the oracle).
+    pub fn initial_distance(&self) -> Option<f64> {
+        self.trace.as_ref().and_then(|t| t.first().copied())
+    }
+
+    /// The last recorded convergence value.
+    pub fn final_distance(&self) -> Option<f64> {
+        self.trace.as_ref().and_then(|t| t.last().copied())
+    }
+}
+
+/// One engine behind the unified API.
+///
+/// Implemented by [`ww_core::wave::RateWave`],
+/// [`ww_core::docsim::DocSim`], the packet/cluster/baseline adapters in
+/// [`crate::adapters`], and [`ww_forest::ForestWave`].
+pub trait Engine {
+    /// The engine kind, matching the spec spelling.
+    fn kind(&self) -> &'static str;
+
+    /// Advances one round (protocol round, diffusion epoch, or — for
+    /// one-shot engines like the cluster and the baselines — the whole
+    /// run).
+    fn step(&mut self) -> StepOutcome;
+
+    /// Rounds executed so far.
+    fn round(&self) -> usize;
+
+    /// The engine's convergence metric: Euclidean distance to the TLB
+    /// oracle where one exists, otherwise a load-stability measure
+    /// (`None` until the engine has anything to report).
+    fn convergence(&self) -> Option<f64>;
+
+    /// Current per-node served rates, when meaningful.
+    fn load(&self) -> Option<RateVector>;
+
+    /// The TLB oracle, when the engine computes one.
+    fn oracle(&self) -> Option<RateVector>;
+
+    /// The per-round convergence trace recorded so far.
+    fn trace(&self) -> Option<Vec<f64>>;
+
+    /// Streams every summary metric into `sink`.
+    fn metrics(&self, sink: &mut dyn MetricSink);
+
+    /// Per-scheme baseline reports (baselines engine only).
+    fn scheme_reports(&self) -> Vec<SchemeReport> {
+        Vec::new()
+    }
+
+    /// Assembles the uniform report from the accessors above.
+    fn report(&self) -> EngineReport {
+        let mut metrics = Vec::new();
+        self.metrics(&mut metrics);
+        EngineReport {
+            engine: self.kind().to_string(),
+            rounds: self.round(),
+            load: self.load(),
+            oracle: self.oracle(),
+            trace: self.trace(),
+            metrics,
+            schemes: self.scheme_reports(),
+        }
+    }
+}

@@ -1,0 +1,48 @@
+//! Spec-level errors with JSON-path context.
+
+use std::fmt;
+
+/// A scenario-spec failure: parsing, validation, or resolution.
+///
+/// `path` names the offending field in dotted JSON-path form
+/// (`"engine.alpha"`, `"sweep.values[2]"`), so a bad spec file points
+/// straight at the line to fix.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SpecError {
+    /// Dotted JSON path of the offending field (empty for document-level
+    /// errors).
+    pub path: String,
+    /// What went wrong there.
+    pub message: String,
+}
+
+impl SpecError {
+    /// Creates an error at `path`.
+    pub fn at(path: impl Into<String>, message: impl Into<String>) -> Self {
+        SpecError {
+            path: path.into(),
+            message: message.into(),
+        }
+    }
+}
+
+impl fmt::Display for SpecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.path.is_empty() {
+            write!(f, "{}", self.message)
+        } else {
+            write!(f, "{}: {}", self.path, self.message)
+        }
+    }
+}
+
+impl std::error::Error for SpecError {}
+
+impl From<serde_json::Error> for SpecError {
+    fn from(err: serde_json::Error) -> Self {
+        SpecError {
+            path: String::new(),
+            message: format!("invalid JSON: {err}"),
+        }
+    }
+}

@@ -1,0 +1,880 @@
+//! JSON (de)serialization of [`ScenarioSpec`].
+//!
+//! The mapping is hand-written against the vendored `serde_json::Value`
+//! (the vendored `serde` derives are no-ops — see `vendor/serde/`): a
+//! strict reader that rejects unknown fields and reports errors with a
+//! dotted JSON path (`engine.alpha: expected a number`), and a writer
+//! that always emits every field so `parse(render(spec)) == spec`
+//! exactly.
+
+use crate::error::SpecError;
+use crate::spec::{
+    BaselineScheme, DocMixSpec, EngineSpec, PaperFigure, RatesSpec, ScenarioSpec, Sweep,
+    SweepParam, Termination, TopologySpec, WorkloadSpec, DEFAULT_SEED,
+};
+use serde_json::{Map, Value};
+
+impl ScenarioSpec {
+    /// Parses a spec from JSON text.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`SpecError`] whose `path` names the offending field for
+    /// any syntax error, missing/unknown field, or out-of-range value.
+    pub fn from_json(text: &str) -> Result<ScenarioSpec, SpecError> {
+        let value = serde_json::from_str(text)?;
+        Self::from_value(&value)
+    }
+
+    /// Parses a spec from an already-parsed JSON value.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`SpecError`] with a dotted field path, as
+    /// [`ScenarioSpec::from_json`].
+    pub fn from_value(value: &Value) -> Result<ScenarioSpec, SpecError> {
+        let map = as_object(value, "")?;
+        reject_unknown(
+            map,
+            &[
+                "name",
+                "topology",
+                "workload",
+                "engine",
+                "termination",
+                "seed",
+                "sweep",
+            ],
+            "",
+        )?;
+        let name = req_str(map, "name", "")?.to_string();
+        let topology = parse_topology(req(map, "topology", "")?)?;
+        let workload = parse_workload(req(map, "workload", "")?)?;
+        let engine = parse_engine(req(map, "engine", "")?)?;
+        let termination = parse_termination(req(map, "termination", "")?)?;
+        let seed = match map.get("seed") {
+            Some(v) => {
+                let seed = parse_u64(v, "seed")?;
+                // JSON numbers are f64: only integers up to 2^53 survive a
+                // round trip exactly, and a seed that silently changes is
+                // worse than an error.
+                if seed > (1u64 << 53) {
+                    return Err(SpecError::at(
+                        "seed",
+                        format!("seed {seed} exceeds 2^53 and cannot round-trip through JSON"),
+                    ));
+                }
+                seed
+            }
+            None => DEFAULT_SEED,
+        };
+        let sweep = match map.get("sweep") {
+            Some(Value::Null) | None => None,
+            Some(v) => Some(parse_sweep(v)?),
+        };
+        Ok(ScenarioSpec {
+            name,
+            topology,
+            workload,
+            engine,
+            termination,
+            seed,
+            sweep,
+        })
+    }
+
+    /// Renders the spec as pretty-printed JSON. Every field is emitted
+    /// explicitly (including defaults), so rendering then parsing yields
+    /// an identical spec.
+    pub fn to_json(&self) -> String {
+        serde_json::to_string_pretty(&self.to_value())
+    }
+
+    /// Renders the spec as a JSON value tree.
+    pub fn to_value(&self) -> Value {
+        let mut map = Map::new();
+        map.insert("name", Value::from(self.name.as_str()));
+        map.insert("topology", topology_value(&self.topology));
+        map.insert("workload", workload_value(&self.workload));
+        map.insert("engine", engine_value(&self.engine));
+        map.insert("termination", termination_value(&self.termination));
+        map.insert("seed", Value::Number(self.seed as f64));
+        if let Some(sweep) = &self.sweep {
+            map.insert("sweep", sweep_value(sweep));
+        }
+        Value::Object(map)
+    }
+}
+
+// ---------------------------------------------------------------------
+// Reader helpers
+// ---------------------------------------------------------------------
+
+fn join(path: &str, key: &str) -> String {
+    if path.is_empty() {
+        key.to_string()
+    } else {
+        format!("{path}.{key}")
+    }
+}
+
+fn as_object<'a>(value: &'a Value, path: &str) -> Result<&'a Map, SpecError> {
+    value.as_object().ok_or_else(|| {
+        SpecError::at(
+            path,
+            format!("expected an object, got {}", value.type_name()),
+        )
+    })
+}
+
+fn reject_unknown(map: &Map, allowed: &[&str], path: &str) -> Result<(), SpecError> {
+    for key in map.keys() {
+        if !allowed.contains(&key) {
+            return Err(SpecError::at(
+                join(path, key),
+                format!("unknown field (expected one of: {})", allowed.join(", ")),
+            ));
+        }
+    }
+    Ok(())
+}
+
+fn req<'a>(map: &'a Map, key: &str, path: &str) -> Result<&'a Value, SpecError> {
+    map.get(key)
+        .ok_or_else(|| SpecError::at(join(path, key), "missing required field"))
+}
+
+fn req_str<'a>(map: &'a Map, key: &str, path: &str) -> Result<&'a str, SpecError> {
+    let v = req(map, key, path)?;
+    v.as_str().ok_or_else(|| {
+        SpecError::at(
+            join(path, key),
+            format!("expected a string, got {}", v.type_name()),
+        )
+    })
+}
+
+fn parse_f64(value: &Value, path: &str) -> Result<f64, SpecError> {
+    value.as_f64().ok_or_else(|| {
+        SpecError::at(
+            path,
+            format!("expected a number, got {}", value.type_name()),
+        )
+    })
+}
+
+fn parse_u64(value: &Value, path: &str) -> Result<u64, SpecError> {
+    let x = parse_f64(value, path)?;
+    if x < 0.0 || x.fract() != 0.0 || x > u64::MAX as f64 {
+        return Err(SpecError::at(
+            path,
+            format!("expected a non-negative integer, got {x}"),
+        ));
+    }
+    Ok(x as u64)
+}
+
+fn parse_usize(value: &Value, path: &str) -> Result<usize, SpecError> {
+    Ok(parse_u64(value, path)? as usize)
+}
+
+fn parse_bool(value: &Value, path: &str) -> Result<bool, SpecError> {
+    value.as_bool().ok_or_else(|| {
+        SpecError::at(
+            path,
+            format!("expected a boolean, got {}", value.type_name()),
+        )
+    })
+}
+
+fn req_f64(map: &Map, key: &str, path: &str) -> Result<f64, SpecError> {
+    parse_f64(req(map, key, path)?, &join(path, key))
+}
+
+fn req_usize(map: &Map, key: &str, path: &str) -> Result<usize, SpecError> {
+    parse_usize(req(map, key, path)?, &join(path, key))
+}
+
+fn opt_f64(map: &Map, key: &str, path: &str, default: f64) -> Result<f64, SpecError> {
+    match map.get(key) {
+        Some(v) => parse_f64(v, &join(path, key)),
+        None => Ok(default),
+    }
+}
+
+fn opt_usize(map: &Map, key: &str, path: &str, default: usize) -> Result<usize, SpecError> {
+    match map.get(key) {
+        Some(v) => parse_usize(v, &join(path, key)),
+        None => Ok(default),
+    }
+}
+
+fn opt_bool(map: &Map, key: &str, path: &str, default: bool) -> Result<bool, SpecError> {
+    match map.get(key) {
+        Some(v) => parse_bool(v, &join(path, key)),
+        None => Ok(default),
+    }
+}
+
+/// `"alpha": null` or absent means the engine default; a number is an
+/// explicit override, validated to `(0, 1)`.
+fn opt_alpha(map: &Map, path: &str) -> Result<Option<f64>, SpecError> {
+    match map.get("alpha") {
+        None | Some(Value::Null) => Ok(None),
+        Some(v) => {
+            let x = parse_f64(v, &join(path, "alpha"))?;
+            if x <= 0.0 || x >= 1.0 {
+                return Err(SpecError::at(
+                    join(path, "alpha"),
+                    format!("alpha must lie in (0, 1), got {x}"),
+                ));
+            }
+            Ok(Some(x))
+        }
+    }
+}
+
+fn kind<'a>(map: &'a Map, path: &str) -> Result<&'a str, SpecError> {
+    req_str(map, "kind", path)
+}
+
+// ---------------------------------------------------------------------
+// Section readers
+// ---------------------------------------------------------------------
+
+fn parse_topology(value: &Value) -> Result<TopologySpec, SpecError> {
+    let path = "topology";
+    let map = as_object(value, path)?;
+    match kind(map, path)? {
+        "paper" => {
+            reject_unknown(map, &["kind", "figure"], path)?;
+            let figure = match req_str(map, "figure", path)? {
+                "fig2a" => PaperFigure::Fig2a,
+                "fig2b" => PaperFigure::Fig2b,
+                "fig4" => PaperFigure::Fig4,
+                "fig6" => PaperFigure::Fig6,
+                "fig7" => PaperFigure::Fig7,
+                other => {
+                    return Err(SpecError::at(
+                        "topology.figure",
+                        format!("unknown figure \"{other}\" (expected fig2a, fig2b, fig4, fig6, or fig7)"),
+                    ))
+                }
+            };
+            Ok(TopologySpec::Paper { figure })
+        }
+        "path" => {
+            reject_unknown(map, &["kind", "nodes"], path)?;
+            Ok(TopologySpec::Path {
+                nodes: req_usize(map, "nodes", path)?,
+            })
+        }
+        "star" => {
+            reject_unknown(map, &["kind", "nodes"], path)?;
+            Ok(TopologySpec::Star {
+                nodes: req_usize(map, "nodes", path)?,
+            })
+        }
+        "k_ary" => {
+            reject_unknown(map, &["kind", "arity", "depth"], path)?;
+            Ok(TopologySpec::KAry {
+                arity: req_usize(map, "arity", path)?,
+                depth: req_usize(map, "depth", path)?,
+            })
+        }
+        "two_level" => {
+            reject_unknown(map, &["kind", "regions", "leaves"], path)?;
+            Ok(TopologySpec::TwoLevel {
+                regions: req_usize(map, "regions", path)?,
+                leaves: req_usize(map, "leaves", path)?,
+            })
+        }
+        "caterpillar" => {
+            reject_unknown(map, &["kind", "spine", "legs"], path)?;
+            Ok(TopologySpec::Caterpillar {
+                spine: req_usize(map, "spine", path)?,
+                legs: req_usize(map, "legs", path)?,
+            })
+        }
+        "broom" => {
+            reject_unknown(map, &["kind", "handle", "bristles"], path)?;
+            Ok(TopologySpec::Broom {
+                handle: req_usize(map, "handle", path)?,
+                bristles: req_usize(map, "bristles", path)?,
+            })
+        }
+        "random_depth" => {
+            reject_unknown(map, &["kind", "nodes", "depth"], path)?;
+            Ok(TopologySpec::RandomDepth {
+                nodes: req_usize(map, "nodes", path)?,
+                depth: req_usize(map, "depth", path)?,
+            })
+        }
+        "explicit" => {
+            reject_unknown(map, &["kind", "parents"], path)?;
+            let field = join(path, "parents");
+            let items = req(map, "parents", path)?
+                .as_array()
+                .ok_or_else(|| SpecError::at(&field, "expected an array of parent ids (null for the root)"))?;
+            let mut parents = Vec::with_capacity(items.len());
+            for (i, item) in items.iter().enumerate() {
+                parents.push(match item {
+                    Value::Null => None,
+                    v => Some(parse_usize(v, &format!("{field}[{i}]"))?),
+                });
+            }
+            Ok(TopologySpec::Explicit { parents })
+        }
+        other => Err(SpecError::at(
+            "topology.kind",
+            format!(
+                "unknown topology \"{other}\" (expected paper, path, star, k_ary, two_level, caterpillar, broom, random_depth, or explicit)"
+            ),
+        )),
+    }
+}
+
+fn parse_workload(value: &Value) -> Result<WorkloadSpec, SpecError> {
+    let path = "workload";
+    let map = as_object(value, path)?;
+    reject_unknown(map, &["rates", "doc_mix"], path)?;
+    let rates = parse_rates(req(map, "rates", path)?)?;
+    let doc_mix = match map.get("doc_mix") {
+        None | Some(Value::Null) => None,
+        Some(v) => Some(parse_doc_mix(v)?),
+    };
+    Ok(WorkloadSpec { rates, doc_mix })
+}
+
+fn parse_rates(value: &Value) -> Result<RatesSpec, SpecError> {
+    let path = "workload.rates";
+    let map = as_object(value, path)?;
+    match kind(map, path)? {
+        "paper" => {
+            reject_unknown(map, &["kind"], path)?;
+            Ok(RatesSpec::Paper)
+        }
+        "uniform" => {
+            reject_unknown(map, &["kind", "rate"], path)?;
+            Ok(RatesSpec::Uniform {
+                rate: req_f64(map, "rate", path)?,
+            })
+        }
+        "leaf_only" => {
+            reject_unknown(map, &["kind", "rate"], path)?;
+            Ok(RatesSpec::LeafOnly {
+                rate: req_f64(map, "rate", path)?,
+            })
+        }
+        "random_uniform" => {
+            reject_unknown(map, &["kind", "lo", "hi"], path)?;
+            Ok(RatesSpec::RandomUniform {
+                lo: req_f64(map, "lo", path)?,
+                hi: req_f64(map, "hi", path)?,
+            })
+        }
+        "zipf_nodes" => {
+            reject_unknown(map, &["kind", "total", "theta"], path)?;
+            Ok(RatesSpec::ZipfNodes {
+                total: req_f64(map, "total", path)?,
+                theta: req_f64(map, "theta", path)?,
+            })
+        }
+        "explicit" => {
+            reject_unknown(map, &["kind", "rates"], path)?;
+            let field = join(path, "rates");
+            let items = req(map, "rates", path)?
+                .as_array()
+                .ok_or_else(|| SpecError::at(&field, "expected an array of numbers"))?;
+            let mut rates = Vec::with_capacity(items.len());
+            for (i, item) in items.iter().enumerate() {
+                rates.push(parse_f64(item, &format!("{field}[{i}]"))?);
+            }
+            Ok(RatesSpec::Explicit { rates })
+        }
+        other => Err(SpecError::at(
+            "workload.rates.kind",
+            format!(
+                "unknown rates \"{other}\" (expected paper, uniform, leaf_only, random_uniform, zipf_nodes, or explicit)"
+            ),
+        )),
+    }
+}
+
+fn parse_doc_mix(value: &Value) -> Result<DocMixSpec, SpecError> {
+    let path = "workload.doc_mix";
+    let map = as_object(value, path)?;
+    match kind(map, path)? {
+        "paper" => {
+            reject_unknown(map, &["kind"], path)?;
+            Ok(DocMixSpec::Paper)
+        }
+        "shared_zipf" => {
+            reject_unknown(map, &["kind", "docs", "theta"], path)?;
+            Ok(DocMixSpec::SharedZipf {
+                docs: req_usize(map, "docs", path)?,
+                theta: req_f64(map, "theta", path)?,
+            })
+        }
+        other => Err(SpecError::at(
+            "workload.doc_mix.kind",
+            format!("unknown doc mix \"{other}\" (expected paper or shared_zipf)"),
+        )),
+    }
+}
+
+fn parse_engine(value: &Value) -> Result<EngineSpec, SpecError> {
+    let path = "engine";
+    let map = as_object(value, path)?;
+    match kind(map, path)? {
+        "rate_wave" => {
+            reject_unknown(map, &["kind", "alpha", "staleness"], path)?;
+            Ok(EngineSpec::RateWave {
+                alpha: opt_alpha(map, path)?,
+                staleness: opt_usize(map, "staleness", path, 0)?,
+            })
+        }
+        "doc_sim" => {
+            reject_unknown(map, &["kind", "alpha", "tunneling", "barrier_patience"], path)?;
+            Ok(EngineSpec::DocSim {
+                alpha: opt_alpha(map, path)?,
+                tunneling: opt_bool(map, "tunneling", path, true)?,
+                barrier_patience: opt_usize(map, "barrier_patience", path, 2)?,
+            })
+        }
+        "packet_sim" => {
+            reject_unknown(
+                map,
+                &[
+                    "kind",
+                    "alpha",
+                    "tunneling",
+                    "barrier_patience",
+                    "link_delay",
+                    "gossip_period",
+                    "diffusion_period",
+                    "measure_window",
+                    "gossip_loss",
+                    "hysteresis",
+                    "noise_sigmas",
+                ],
+                path,
+            )?;
+            Ok(EngineSpec::PacketSim {
+                alpha: opt_alpha(map, path)?,
+                tunneling: opt_bool(map, "tunneling", path, true)?,
+                barrier_patience: opt_usize(map, "barrier_patience", path, 2)?,
+                link_delay: opt_f64(map, "link_delay", path, 0.005)?,
+                gossip_period: opt_f64(map, "gossip_period", path, 0.5)?,
+                diffusion_period: opt_f64(map, "diffusion_period", path, 1.0)?,
+                measure_window: opt_f64(map, "measure_window", path, 1.0)?,
+                gossip_loss: opt_f64(map, "gossip_loss", path, 0.0)?,
+                hysteresis: opt_f64(map, "hysteresis", path, 0.05)?,
+                noise_sigmas: opt_f64(map, "noise_sigmas", path, 3.0)?,
+            })
+        }
+        "forest_wave" => {
+            reject_unknown(map, &["kind", "alpha", "coupled", "roots"], path)?;
+            let field = join(path, "roots");
+            let items = req(map, "roots", path)?
+                .as_array()
+                .ok_or_else(|| SpecError::at(&field, "expected an array of node ids"))?;
+            let mut roots = Vec::with_capacity(items.len());
+            for (i, item) in items.iter().enumerate() {
+                roots.push(parse_usize(item, &format!("{field}[{i}]"))?);
+            }
+            Ok(EngineSpec::ForestWave {
+                alpha: opt_alpha(map, path)?,
+                coupled: opt_bool(map, "coupled", path, true)?,
+                roots,
+            })
+        }
+        "cluster" => {
+            reject_unknown(map, &["kind", "alpha", "rounds", "channel_capacity"], path)?;
+            Ok(EngineSpec::Cluster {
+                alpha: opt_alpha(map, path)?,
+                rounds: opt_usize(map, "rounds", path, 4000)?,
+                channel_capacity: opt_usize(map, "channel_capacity", path, 1024)?,
+            })
+        }
+        "baselines" => {
+            reject_unknown(
+                map,
+                &[
+                    "kind",
+                    "schemes",
+                    "replicas",
+                    "lookup_msgs",
+                    "gle_iterations",
+                    "webwave_rounds",
+                    "gossip_per_second",
+                ],
+                path,
+            )?;
+            let field = join(path, "schemes");
+            let schemes = match map.get("schemes") {
+                None => BaselineScheme::all(),
+                Some(v) => {
+                    let items = v
+                        .as_array()
+                        .ok_or_else(|| SpecError::at(&field, "expected an array of scheme names"))?;
+                    let mut out = Vec::new();
+                    for (i, item) in items.iter().enumerate() {
+                        let item_path = format!("{field}[{i}]");
+                        let name = item
+                            .as_str()
+                            .ok_or_else(|| SpecError::at(&item_path, "expected a scheme name"))?;
+                        match name {
+                            "all" => out.extend(BaselineScheme::all()),
+                            "no-cache" => out.push(BaselineScheme::NoCache),
+                            "directory" => out.push(BaselineScheme::Directory),
+                            "dns-rr" => out.push(BaselineScheme::DnsRoundRobin),
+                            "gle-migration" => out.push(BaselineScheme::GleMigration),
+                            "webwave" => out.push(BaselineScheme::WebWave),
+                            "webfold-oracle" => out.push(BaselineScheme::WebFoldOracle),
+                            other => {
+                                return Err(SpecError::at(
+                                    &item_path,
+                                    format!(
+                                        "unknown scheme \"{other}\" (expected all, no-cache, directory, dns-rr, gle-migration, webwave, or webfold-oracle)"
+                                    ),
+                                ))
+                            }
+                        }
+                    }
+                    out
+                }
+            };
+            Ok(EngineSpec::Baselines {
+                schemes,
+                replicas: opt_usize(map, "replicas", path, 0)?,
+                lookup_msgs: opt_f64(map, "lookup_msgs", path, 2.0)?,
+                gle_iterations: opt_usize(map, "gle_iterations", path, 2000)?,
+                webwave_rounds: opt_usize(map, "webwave_rounds", path, 4000)?,
+                gossip_per_second: opt_f64(map, "gossip_per_second", path, 2.0)?,
+            })
+        }
+        other => Err(SpecError::at(
+            "engine.kind",
+            format!(
+                "unknown engine \"{other}\" (expected rate_wave, doc_sim, packet_sim, forest_wave, cluster, or baselines)"
+            ),
+        )),
+    }
+}
+
+fn parse_termination(value: &Value) -> Result<Termination, SpecError> {
+    let path = "termination";
+    let map = as_object(value, path)?;
+    match kind(map, path)? {
+        "rounds" => {
+            reject_unknown(map, &["kind", "max"], path)?;
+            Ok(Termination::Rounds {
+                max: req_usize(map, "max", path)?,
+            })
+        }
+        "converged" => {
+            reject_unknown(map, &["kind", "threshold", "max_rounds"], path)?;
+            Ok(Termination::Converged {
+                threshold: req_f64(map, "threshold", path)?,
+                max_rounds: opt_usize(map, "max_rounds", path, 100_000)?,
+            })
+        }
+        "wall_clock" => {
+            reject_unknown(map, &["kind", "seconds", "max_rounds"], path)?;
+            Ok(Termination::WallClock {
+                seconds: req_f64(map, "seconds", path)?,
+                max_rounds: opt_usize(map, "max_rounds", path, usize::MAX)?,
+            })
+        }
+        other => Err(SpecError::at(
+            "termination.kind",
+            format!("unknown termination \"{other}\" (expected rounds, converged, or wall_clock)"),
+        )),
+    }
+}
+
+fn parse_sweep(value: &Value) -> Result<Sweep, SpecError> {
+    let path = "sweep";
+    let map = as_object(value, path)?;
+    reject_unknown(map, &["param", "values"], path)?;
+    let param = match req_str(map, "param", path)? {
+        "staleness" => SweepParam::Staleness,
+        "alpha" => SweepParam::Alpha,
+        "tunneling" => SweepParam::Tunneling,
+        "gossip_loss" => SweepParam::GossipLoss,
+        "doc_theta" => SweepParam::DocTheta,
+        "seed" => SweepParam::Seed,
+        other => {
+            return Err(SpecError::at(
+                "sweep.param",
+                format!(
+                    "unknown sweep parameter \"{other}\" (expected staleness, alpha, tunneling, gossip_loss, doc_theta, or seed)"
+                ),
+            ))
+        }
+    };
+    let field = join(path, "values");
+    let items = req(map, "values", path)?
+        .as_array()
+        .ok_or_else(|| SpecError::at(&field, "expected an array of numbers"))?;
+    if items.is_empty() {
+        return Err(SpecError::at(&field, "sweep needs at least one value"));
+    }
+    let mut values = Vec::with_capacity(items.len());
+    for (i, item) in items.iter().enumerate() {
+        values.push(parse_f64(item, &format!("{field}[{i}]"))?);
+    }
+    Ok(Sweep { param, values })
+}
+
+// ---------------------------------------------------------------------
+// Writers
+// ---------------------------------------------------------------------
+
+fn obj(pairs: Vec<(&str, Value)>) -> Value {
+    let mut map = Map::new();
+    for (k, v) in pairs {
+        map.insert(k, v);
+    }
+    Value::Object(map)
+}
+
+fn num(x: f64) -> Value {
+    Value::Number(x)
+}
+
+fn unum(x: usize) -> Value {
+    Value::Number(x as f64)
+}
+
+fn topology_value(t: &TopologySpec) -> Value {
+    match t {
+        TopologySpec::Paper { figure } => obj(vec![
+            ("kind", Value::from("paper")),
+            ("figure", Value::from(figure.as_str())),
+        ]),
+        TopologySpec::Path { nodes } => {
+            obj(vec![("kind", Value::from("path")), ("nodes", unum(*nodes))])
+        }
+        TopologySpec::Star { nodes } => {
+            obj(vec![("kind", Value::from("star")), ("nodes", unum(*nodes))])
+        }
+        TopologySpec::KAry { arity, depth } => obj(vec![
+            ("kind", Value::from("k_ary")),
+            ("arity", unum(*arity)),
+            ("depth", unum(*depth)),
+        ]),
+        TopologySpec::TwoLevel { regions, leaves } => obj(vec![
+            ("kind", Value::from("two_level")),
+            ("regions", unum(*regions)),
+            ("leaves", unum(*leaves)),
+        ]),
+        TopologySpec::Caterpillar { spine, legs } => obj(vec![
+            ("kind", Value::from("caterpillar")),
+            ("spine", unum(*spine)),
+            ("legs", unum(*legs)),
+        ]),
+        TopologySpec::Broom { handle, bristles } => obj(vec![
+            ("kind", Value::from("broom")),
+            ("handle", unum(*handle)),
+            ("bristles", unum(*bristles)),
+        ]),
+        TopologySpec::RandomDepth { nodes, depth } => obj(vec![
+            ("kind", Value::from("random_depth")),
+            ("nodes", unum(*nodes)),
+            ("depth", unum(*depth)),
+        ]),
+        TopologySpec::Explicit { parents } => obj(vec![
+            ("kind", Value::from("explicit")),
+            (
+                "parents",
+                Value::Array(
+                    parents
+                        .iter()
+                        .map(|p| match p {
+                            None => Value::Null,
+                            Some(id) => unum(*id),
+                        })
+                        .collect(),
+                ),
+            ),
+        ]),
+    }
+}
+
+fn workload_value(w: &WorkloadSpec) -> Value {
+    let mut pairs = vec![("rates", rates_value(&w.rates))];
+    if let Some(mix) = &w.doc_mix {
+        pairs.push(("doc_mix", doc_mix_value(mix)));
+    }
+    obj(pairs)
+}
+
+fn rates_value(r: &RatesSpec) -> Value {
+    match r {
+        RatesSpec::Paper => obj(vec![("kind", Value::from("paper"))]),
+        RatesSpec::Uniform { rate } => {
+            obj(vec![("kind", Value::from("uniform")), ("rate", num(*rate))])
+        }
+        RatesSpec::LeafOnly { rate } => obj(vec![
+            ("kind", Value::from("leaf_only")),
+            ("rate", num(*rate)),
+        ]),
+        RatesSpec::RandomUniform { lo, hi } => obj(vec![
+            ("kind", Value::from("random_uniform")),
+            ("lo", num(*lo)),
+            ("hi", num(*hi)),
+        ]),
+        RatesSpec::ZipfNodes { total, theta } => obj(vec![
+            ("kind", Value::from("zipf_nodes")),
+            ("total", num(*total)),
+            ("theta", num(*theta)),
+        ]),
+        RatesSpec::Explicit { rates } => obj(vec![
+            ("kind", Value::from("explicit")),
+            (
+                "rates",
+                Value::Array(rates.iter().map(|&x| num(x)).collect()),
+            ),
+        ]),
+    }
+}
+
+fn doc_mix_value(m: &DocMixSpec) -> Value {
+    match m {
+        DocMixSpec::Paper => obj(vec![("kind", Value::from("paper"))]),
+        DocMixSpec::SharedZipf { docs, theta } => obj(vec![
+            ("kind", Value::from("shared_zipf")),
+            ("docs", unum(*docs)),
+            ("theta", num(*theta)),
+        ]),
+    }
+}
+
+fn alpha_value(alpha: &Option<f64>) -> Value {
+    match alpha {
+        Some(x) => num(*x),
+        None => Value::Null,
+    }
+}
+
+fn engine_value(e: &EngineSpec) -> Value {
+    match e {
+        EngineSpec::RateWave { alpha, staleness } => obj(vec![
+            ("kind", Value::from("rate_wave")),
+            ("alpha", alpha_value(alpha)),
+            ("staleness", unum(*staleness)),
+        ]),
+        EngineSpec::DocSim {
+            alpha,
+            tunneling,
+            barrier_patience,
+        } => obj(vec![
+            ("kind", Value::from("doc_sim")),
+            ("alpha", alpha_value(alpha)),
+            ("tunneling", Value::Bool(*tunneling)),
+            ("barrier_patience", unum(*barrier_patience)),
+        ]),
+        EngineSpec::PacketSim {
+            alpha,
+            tunneling,
+            barrier_patience,
+            link_delay,
+            gossip_period,
+            diffusion_period,
+            measure_window,
+            gossip_loss,
+            hysteresis,
+            noise_sigmas,
+        } => obj(vec![
+            ("kind", Value::from("packet_sim")),
+            ("alpha", alpha_value(alpha)),
+            ("tunneling", Value::Bool(*tunneling)),
+            ("barrier_patience", unum(*barrier_patience)),
+            ("link_delay", num(*link_delay)),
+            ("gossip_period", num(*gossip_period)),
+            ("diffusion_period", num(*diffusion_period)),
+            ("measure_window", num(*measure_window)),
+            ("gossip_loss", num(*gossip_loss)),
+            ("hysteresis", num(*hysteresis)),
+            ("noise_sigmas", num(*noise_sigmas)),
+        ]),
+        EngineSpec::ForestWave {
+            alpha,
+            coupled,
+            roots,
+        } => obj(vec![
+            ("kind", Value::from("forest_wave")),
+            ("alpha", alpha_value(alpha)),
+            ("coupled", Value::Bool(*coupled)),
+            (
+                "roots",
+                Value::Array(roots.iter().map(|&r| unum(r)).collect()),
+            ),
+        ]),
+        EngineSpec::Cluster {
+            alpha,
+            rounds,
+            channel_capacity,
+        } => obj(vec![
+            ("kind", Value::from("cluster")),
+            ("alpha", alpha_value(alpha)),
+            ("rounds", unum(*rounds)),
+            ("channel_capacity", unum(*channel_capacity)),
+        ]),
+        EngineSpec::Baselines {
+            schemes,
+            replicas,
+            lookup_msgs,
+            gle_iterations,
+            webwave_rounds,
+            gossip_per_second,
+        } => obj(vec![
+            ("kind", Value::from("baselines")),
+            (
+                "schemes",
+                Value::Array(schemes.iter().map(|s| Value::from(s.as_str())).collect()),
+            ),
+            ("replicas", unum(*replicas)),
+            ("lookup_msgs", num(*lookup_msgs)),
+            ("gle_iterations", unum(*gle_iterations)),
+            ("webwave_rounds", unum(*webwave_rounds)),
+            ("gossip_per_second", num(*gossip_per_second)),
+        ]),
+    }
+}
+
+fn termination_value(t: &Termination) -> Value {
+    match t {
+        Termination::Rounds { max } => {
+            obj(vec![("kind", Value::from("rounds")), ("max", unum(*max))])
+        }
+        Termination::Converged {
+            threshold,
+            max_rounds,
+        } => obj(vec![
+            ("kind", Value::from("converged")),
+            ("threshold", num(*threshold)),
+            ("max_rounds", unum(*max_rounds)),
+        ]),
+        Termination::WallClock {
+            seconds,
+            max_rounds,
+        } => obj(vec![
+            ("kind", Value::from("wall_clock")),
+            ("seconds", num(*seconds)),
+            ("max_rounds", unum(*max_rounds)),
+        ]),
+    }
+}
+
+fn sweep_value(s: &Sweep) -> Value {
+    obj(vec![
+        ("param", Value::from(s.param.as_str())),
+        (
+            "values",
+            Value::Array(s.values.iter().map(|&x| num(x)).collect()),
+        ),
+    ])
+}

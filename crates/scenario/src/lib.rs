@@ -1,0 +1,58 @@
+//! # ww-scenario — one declarative spec and one `Engine` trait for every
+//! WebWave simulator, runtime, and baseline
+//!
+//! The workspace has five ways to run the WebWave protocol — rate-level
+//! ([`ww_core::wave::RateWave`]), document-level
+//! ([`ww_core::docsim::DocSim`]), packet-level
+//! ([`ww_core::packetsim::PacketSim`]), multi-tree
+//! ([`ww_forest::ForestWave`]), and as real threads
+//! ([`ww_runtime::run_cluster`]) — plus the baseline schemes of
+//! `ww-baselines`. This crate puts them all behind one surface:
+//!
+//! * [`ScenarioSpec`] — a declarative description (topology generator,
+//!   workload, engine choice, protocol knobs, seed, termination rule,
+//!   optional parameter sweep) that round-trips through JSON, so new
+//!   workloads are data (`scenarios/*.json`), not new `main` functions;
+//! * [`Engine`] — the common stepping/metrics/reporting trait, with a
+//!   streaming [`Observer`]/[`MetricSink`] API replacing the per-engine
+//!   report plumbing;
+//! * [`Runner`] — resolves a spec into a boxed engine and drives it to
+//!   termination (round budget, convergence threshold, or wall-clock),
+//!   emitting a uniform [`ScenarioReport`].
+//!
+//! # Example
+//!
+//! ```
+//! use ww_scenario::{Runner, ScenarioSpec};
+//!
+//! let spec = ScenarioSpec::from_json(r#"{
+//!     "name": "fig2b",
+//!     "topology": {"kind": "paper", "figure": "fig2b"},
+//!     "workload": {"rates": {"kind": "paper"}},
+//!     "engine": {"kind": "rate_wave"},
+//!     "termination": {"kind": "converged", "threshold": 1e-6, "max_rounds": 5000}
+//! }"#).unwrap();
+//! let report = Runner::new().run(&spec).unwrap();
+//! assert!(report.rows[0].converged);
+//! let load = report.rows[0].outcome.load.as_ref().unwrap();
+//! assert_eq!(load.len(), 5);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod adapters;
+pub mod engine;
+pub mod error;
+pub mod json;
+pub mod runner;
+pub mod spec;
+
+pub use adapters::{BaselineEngine, BaselineParams, ClusterEngine, PacketEngine};
+pub use engine::{Engine, EngineReport, MetricSink, NullObserver, Observer, StepOutcome};
+pub use error::SpecError;
+pub use runner::{drive, DriveResult, RunRow, Runner, ScenarioReport};
+pub use spec::{
+    BaselineScheme, DocMixSpec, EngineSpec, PaperFigure, RatesSpec, ScenarioSpec, Sweep,
+    SweepParam, Termination, TopologySpec, WorkloadSpec, DEFAULT_SEED,
+};

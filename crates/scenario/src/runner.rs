@@ -1,0 +1,595 @@
+//! Resolving a [`ScenarioSpec`] into a boxed [`Engine`] and driving it
+//! to termination.
+//!
+//! The [`Runner`] owns the only termination loop in the workspace:
+//! round budgets, convergence thresholds (distance-to-TLB, or load
+//! stability for engines without an oracle), and wall-clock budgets all
+//! live here, for every engine — the per-example `while round < n`
+//! loops this replaces are gone.
+
+use crate::adapters::{BaselineEngine, BaselineParams, ClusterEngine, PacketEngine};
+use crate::engine::{Engine, EngineReport, NullObserver, Observer, StepOutcome};
+use crate::error::SpecError;
+use crate::spec::{
+    DocMixSpec, EngineSpec, PaperFigure, RatesSpec, ScenarioSpec, Termination, TopologySpec,
+};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::fmt::Write as _;
+use std::time::Instant;
+use ww_core::docsim::{DocSim, DocSimConfig};
+use ww_core::packetsim::PacketSimConfig;
+use ww_core::wave::{RateWave, WaveConfig};
+use ww_forest::{Coupling, Forest, ForestWave, ForestWaveConfig};
+use ww_model::{NodeId, RateVector, Tree};
+use ww_runtime::ClusterConfig;
+use ww_topology::{paper, Graph};
+use ww_workload::DocMix;
+
+/// Outcome of driving one engine to termination.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DriveResult {
+    /// Rounds executed by the drive loop.
+    pub rounds: usize,
+    /// Whether the termination rule was *satisfied* (for `converged`,
+    /// the threshold was reached before the round cap; budget rules are
+    /// always satisfied).
+    pub converged: bool,
+}
+
+/// One run of a (possibly swept) scenario.
+#[derive(Debug, Clone)]
+pub struct RunRow {
+    /// Sweep label (`"staleness=3"`), empty for unswept runs.
+    pub label: String,
+    /// Whether the termination rule was satisfied.
+    pub converged: bool,
+    /// The engine's uniform report.
+    pub outcome: EngineReport,
+}
+
+/// The uniform result of [`Runner::run`]: one row per (sweep) run plus
+/// a rendered text report.
+#[derive(Debug, Clone)]
+pub struct ScenarioReport {
+    /// Scenario name from the spec.
+    pub name: String,
+    /// Engine kind from the spec.
+    pub engine: String,
+    /// One row per run (one for unswept specs).
+    pub rows: Vec<RunRow>,
+    /// Rendered text report.
+    pub report: String,
+}
+
+/// Resolves specs into engines and drives them.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Runner {
+    smoke: bool,
+}
+
+impl Runner {
+    /// A runner with default options.
+    pub fn new() -> Self {
+        Runner::default()
+    }
+
+    /// Enables smoke mode: every spec is shrunk with
+    /// [`ScenarioSpec::smoke`] before resolution (CI-sized runs).
+    pub fn smoke(mut self, on: bool) -> Self {
+        self.smoke = on;
+        self
+    }
+
+    /// Resolves a spec into a boxed engine (no sweep expansion: the
+    /// spec's own engine/workload values are used as-is).
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`SpecError`] naming the offending field when the spec
+    /// is internally inconsistent (e.g. a document engine without a doc
+    /// mix, explicit rates of the wrong length, forest roots out of
+    /// range).
+    pub fn resolve(&self, spec: &ScenarioSpec) -> Result<Box<dyn Engine>, SpecError> {
+        let spec = if self.smoke {
+            spec.smoke()
+        } else {
+            spec.clone()
+        };
+        resolve_engine(&spec)
+    }
+
+    /// Runs a spec (expanding its sweep) with no observer.
+    ///
+    /// # Errors
+    ///
+    /// As [`Runner::resolve`].
+    pub fn run(&self, spec: &ScenarioSpec) -> Result<ScenarioReport, SpecError> {
+        self.run_with(spec, &mut NullObserver)
+    }
+
+    /// Runs a spec (expanding its sweep), streaming every round to
+    /// `observer`.
+    ///
+    /// # Errors
+    ///
+    /// As [`Runner::resolve`].
+    pub fn run_with(
+        &self,
+        spec: &ScenarioSpec,
+        observer: &mut dyn Observer,
+    ) -> Result<ScenarioReport, SpecError> {
+        let spec = if self.smoke {
+            spec.smoke()
+        } else {
+            spec.clone()
+        };
+        let runs: Vec<(String, ScenarioSpec)> = match &spec.sweep {
+            None => vec![(String::new(), spec.clone())],
+            Some(sweep) => {
+                let mut runs = Vec::with_capacity(sweep.values.len());
+                for &value in &sweep.values {
+                    runs.push((sweep.label(value), sweep.apply(&spec, value)?));
+                }
+                runs
+            }
+        };
+        let mut rows = Vec::with_capacity(runs.len());
+        for (label, run_spec) in runs {
+            let mut engine = resolve_engine(&run_spec)?;
+            let result = drive(engine.as_mut(), &run_spec.termination, observer);
+            let outcome = engine.report();
+            observer.on_done(&outcome);
+            rows.push(RunRow {
+                label,
+                converged: result.converged,
+                outcome,
+            });
+        }
+        let report = render(&spec, &rows);
+        Ok(ScenarioReport {
+            name: spec.name.clone(),
+            engine: spec.engine.kind().to_string(),
+            rows,
+            report,
+        })
+    }
+}
+
+/// Drives `engine` until `termination` is satisfied, reporting every
+/// round to `observer`. This is the *only* termination loop — engines
+/// never self-terminate (one-shot engines signal [`StepOutcome::Done`]).
+pub fn drive(
+    engine: &mut dyn Engine,
+    termination: &Termination,
+    observer: &mut dyn Observer,
+) -> DriveResult {
+    let mut rounds = 0;
+    let mut converged = true;
+    let wants = observer.wants_convergence();
+    match *termination {
+        Termination::Rounds { max } => {
+            while rounds < max {
+                let outcome = engine.step();
+                rounds += 1;
+                observer.on_round(
+                    engine.round(),
+                    if wants { engine.convergence() } else { None },
+                );
+                if outcome == StepOutcome::Done {
+                    break;
+                }
+            }
+        }
+        Termination::Converged {
+            threshold,
+            max_rounds,
+        } => {
+            // The metric can be an O(n) pass, so each round computes it
+            // exactly once and reuses it for the loop check, the
+            // observer, and the final verdict.
+            let mut metric = engine.convergence();
+            loop {
+                if metric.is_some_and(|c| c <= threshold) {
+                    break;
+                }
+                if rounds >= max_rounds {
+                    converged = false;
+                    break;
+                }
+                let outcome = engine.step();
+                rounds += 1;
+                metric = engine.convergence();
+                observer.on_round(engine.round(), metric);
+                if outcome == StepOutcome::Done {
+                    converged = metric.is_some_and(|c| c <= threshold);
+                    break;
+                }
+            }
+        }
+        Termination::WallClock {
+            seconds,
+            max_rounds,
+        } => {
+            let start = Instant::now();
+            while rounds < max_rounds && start.elapsed().as_secs_f64() < seconds {
+                let outcome = engine.step();
+                rounds += 1;
+                observer.on_round(
+                    engine.round(),
+                    if wants { engine.convergence() } else { None },
+                );
+                if outcome == StepOutcome::Done {
+                    break;
+                }
+            }
+        }
+    }
+    DriveResult { rounds, converged }
+}
+
+/// The tree plus (for paper scenarios) its canonical demand.
+struct ResolvedTopology {
+    tree: Tree,
+    paper_rates: Option<RateVector>,
+    paper_mix: Option<DocMix>,
+}
+
+fn resolve_topology(spec: &ScenarioSpec, rng: &mut StdRng) -> Result<ResolvedTopology, SpecError> {
+    let plain = |tree: Tree| ResolvedTopology {
+        tree,
+        paper_rates: None,
+        paper_mix: None,
+    };
+    let positive = |value: usize, field: &str| {
+        if value == 0 {
+            Err(SpecError::at(field, "must be at least 1"))
+        } else {
+            Ok(value)
+        }
+    };
+    Ok(match &spec.topology {
+        TopologySpec::Paper { figure } => match figure {
+            PaperFigure::Fig7 => {
+                let b = paper::fig7();
+                let mut mix = DocMix::new(b.tree.len());
+                for d in &b.demands {
+                    mix.set(d.origin, d.doc, d.rate);
+                }
+                ResolvedTopology {
+                    tree: b.tree,
+                    paper_rates: Some(mix.spontaneous()),
+                    paper_mix: Some(mix),
+                }
+            }
+            other => {
+                let s = match other {
+                    PaperFigure::Fig2a => paper::fig2a(),
+                    PaperFigure::Fig2b => paper::fig2b(),
+                    PaperFigure::Fig4 => paper::fig4(),
+                    PaperFigure::Fig6 => paper::fig6(),
+                    PaperFigure::Fig7 => unreachable!("handled above"),
+                };
+                ResolvedTopology {
+                    tree: s.tree,
+                    paper_rates: Some(s.spontaneous),
+                    paper_mix: None,
+                }
+            }
+        },
+        TopologySpec::Path { nodes } => {
+            plain(ww_topology::path(positive(*nodes, "topology.nodes")?))
+        }
+        TopologySpec::Star { nodes } => {
+            plain(ww_topology::star(positive(*nodes, "topology.nodes")?))
+        }
+        TopologySpec::KAry { arity, depth } => plain(ww_topology::k_ary(
+            positive(*arity, "topology.arity")?,
+            *depth,
+        )),
+        TopologySpec::TwoLevel { regions, leaves } => plain(ww_topology::two_level(
+            positive(*regions, "topology.regions")?,
+            positive(*leaves, "topology.leaves")?,
+        )),
+        TopologySpec::Caterpillar { spine, legs } => plain(ww_topology::caterpillar(
+            positive(*spine, "topology.spine")?,
+            *legs,
+        )),
+        TopologySpec::Broom { handle, bristles } => plain(ww_topology::broom(
+            positive(*handle, "topology.handle")?,
+            *bristles,
+        )),
+        TopologySpec::RandomDepth { nodes, depth } => {
+            if *nodes < depth + 1 {
+                return Err(SpecError::at(
+                    "topology.nodes",
+                    format!("a depth-{depth} tree needs at least {} nodes", depth + 1),
+                ));
+            }
+            plain(ww_topology::random_tree_of_depth(rng, *nodes, *depth))
+        }
+        TopologySpec::Explicit { parents } => plain(
+            Tree::from_parents(parents)
+                .map_err(|e| SpecError::at("topology.parents", format!("invalid tree: {e}")))?,
+        ),
+    })
+}
+
+fn resolve_rates(
+    spec: &ScenarioSpec,
+    topo: &ResolvedTopology,
+    rng: &mut StdRng,
+) -> Result<RateVector, SpecError> {
+    let tree = &topo.tree;
+    Ok(match &spec.workload.rates {
+        RatesSpec::Paper => topo.paper_rates.clone().ok_or_else(|| {
+            SpecError::at("workload.rates", "\"paper\" rates require a paper topology")
+        })?,
+        RatesSpec::Uniform { rate } => ww_workload::uniform(tree, *rate),
+        RatesSpec::LeafOnly { rate } => ww_workload::leaf_only(tree, *rate),
+        RatesSpec::RandomUniform { lo, hi } => {
+            if hi < lo {
+                return Err(SpecError::at(
+                    "workload.rates.hi",
+                    format!("upper bound {hi} is below lower bound {lo}"),
+                ));
+            }
+            ww_workload::random_uniform(rng, tree, *lo, *hi)
+        }
+        RatesSpec::ZipfNodes { total, theta } => ww_workload::zipf_nodes(rng, tree, *total, *theta),
+        RatesSpec::Explicit { rates } => {
+            if rates.len() != tree.len() {
+                return Err(SpecError::at(
+                    "workload.rates.rates",
+                    format!(
+                        "expected {} rates (one per node), got {}",
+                        tree.len(),
+                        rates.len()
+                    ),
+                ));
+            }
+            RateVector::from(rates.clone())
+        }
+    })
+}
+
+fn resolve_mix(
+    spec: &ScenarioSpec,
+    topo: &ResolvedTopology,
+    rates: &RateVector,
+) -> Result<Option<DocMix>, SpecError> {
+    Ok(match &spec.workload.doc_mix {
+        None => None,
+        Some(DocMixSpec::Paper) => Some(topo.paper_mix.clone().ok_or_else(|| {
+            SpecError::at(
+                "workload.doc_mix",
+                "\"paper\" doc mix requires the fig7 paper topology",
+            )
+        })?),
+        Some(DocMixSpec::SharedZipf { docs, theta }) => {
+            if *docs == 0 {
+                return Err(SpecError::at("workload.doc_mix.docs", "must be at least 1"));
+            }
+            Some(ww_workload::shared_zipf_mix(
+                &topo.tree, rates, *docs, *theta,
+            ))
+        }
+    })
+}
+
+fn require_mix(mix: Option<DocMix>, engine: &str) -> Result<DocMix, SpecError> {
+    mix.ok_or_else(|| {
+        SpecError::at(
+            "workload.doc_mix",
+            format!("the {engine} engine needs a document mix (shared_zipf, or paper on fig7)"),
+        )
+    })
+}
+
+/// Spec → engine, with the spec's seed driving topology, workload, and
+/// engine randomness (in that order, from one generator — so a seed
+/// pins the whole run).
+fn resolve_engine(spec: &ScenarioSpec) -> Result<Box<dyn Engine>, SpecError> {
+    let mut rng = StdRng::seed_from_u64(spec.seed);
+    let topo = resolve_topology(spec, &mut rng)?;
+    let rates = resolve_rates(spec, &topo, &mut rng)?;
+    let mix = resolve_mix(spec, &topo, &rates)?;
+
+    Ok(match &spec.engine {
+        EngineSpec::RateWave { alpha, staleness } => Box::new(RateWave::new(
+            &topo.tree,
+            &rates,
+            WaveConfig {
+                alpha: *alpha,
+                staleness: *staleness,
+            },
+        )),
+        EngineSpec::DocSim {
+            alpha,
+            tunneling,
+            barrier_patience,
+        } => {
+            let mix = require_mix(mix, "doc_sim")?;
+            Box::new(DocSim::new(
+                &topo.tree,
+                &mix,
+                DocSimConfig {
+                    alpha: *alpha,
+                    tunneling: *tunneling,
+                    barrier_patience: *barrier_patience,
+                },
+            ))
+        }
+        EngineSpec::PacketSim {
+            alpha,
+            tunneling,
+            barrier_patience,
+            link_delay,
+            gossip_period,
+            diffusion_period,
+            measure_window,
+            gossip_loss,
+            hysteresis,
+            noise_sigmas,
+        } => {
+            let mix = require_mix(mix, "packet_sim")?;
+            if *diffusion_period <= 0.0 {
+                return Err(SpecError::at("engine.diffusion_period", "must be positive"));
+            }
+            Box::new(PacketEngine::new(
+                &topo.tree,
+                &mix,
+                PacketSimConfig {
+                    seed: spec.seed,
+                    link_delay: *link_delay,
+                    gossip_period: *gossip_period,
+                    diffusion_period: *diffusion_period,
+                    measure_window: *measure_window,
+                    alpha: *alpha,
+                    tunneling: *tunneling,
+                    barrier_patience: *barrier_patience,
+                    gossip_loss: *gossip_loss,
+                    hysteresis: *hysteresis,
+                    noise_sigmas: *noise_sigmas,
+                },
+            ))
+        }
+        EngineSpec::ForestWave {
+            alpha,
+            coupled,
+            roots,
+        } => {
+            if roots.is_empty() {
+                return Err(SpecError::at("engine.roots", "needs at least one root"));
+            }
+            for (i, &r) in roots.iter().enumerate() {
+                if r >= topo.tree.len() {
+                    return Err(SpecError::at(
+                        format!("engine.roots[{i}]"),
+                        format!("node {r} is outside the {}-node topology", topo.tree.len()),
+                    ));
+                }
+            }
+            let graph = Graph::from(&topo.tree);
+            let root_ids: Vec<NodeId> = roots.iter().map(|&r| NodeId::new(r)).collect();
+            let forest = Forest::from_graph(&graph, &root_ids)
+                .map_err(|e| SpecError::at("engine.roots", format!("invalid forest: {e}")))?;
+            let demands = vec![rates.clone(); roots.len()];
+            Box::new(ForestWave::new(
+                &forest,
+                &demands,
+                ForestWaveConfig {
+                    alpha: *alpha,
+                    coupling: if *coupled {
+                        Coupling::Coupled
+                    } else {
+                        Coupling::Uncoupled
+                    },
+                },
+            ))
+        }
+        EngineSpec::Cluster {
+            alpha,
+            rounds,
+            channel_capacity,
+        } => Box::new(ClusterEngine::new(
+            topo.tree.clone(),
+            rates,
+            ClusterConfig {
+                alpha: *alpha,
+                rounds: *rounds,
+                channel_capacity: *channel_capacity,
+            },
+        )),
+        EngineSpec::Baselines {
+            schemes,
+            replicas,
+            lookup_msgs,
+            gle_iterations,
+            webwave_rounds,
+            gossip_per_second,
+        } => {
+            if schemes.is_empty() {
+                return Err(SpecError::at("engine.schemes", "needs at least one scheme"));
+            }
+            Box::new(BaselineEngine::new(
+                topo.tree.clone(),
+                rates,
+                schemes.clone(),
+                BaselineParams {
+                    replicas: *replicas,
+                    lookup_msgs: *lookup_msgs,
+                    gle_iterations: *gle_iterations,
+                    webwave_rounds: *webwave_rounds,
+                    gossip_per_second: *gossip_per_second,
+                },
+            ))
+        }
+    })
+}
+
+fn render(spec: &ScenarioSpec, rows: &[RunRow]) -> String {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "scenario {} — engine {} (seed {})",
+        spec.name,
+        spec.engine.kind(),
+        spec.seed
+    );
+    for row in rows {
+        let label = if row.label.is_empty() {
+            "run".to_string()
+        } else {
+            format!("run [{}]", row.label)
+        };
+        let mut line = format!("  {label}: rounds {}", row.outcome.rounds);
+        if let (Some(initial), Some(last)) =
+            (row.outcome.initial_distance(), row.outcome.final_distance())
+        {
+            let _ = write!(line, ", convergence {initial:.3} -> {last:.3e}");
+        }
+        if let Some(load) = &row.outcome.load {
+            let _ = write!(line, ", max load {:.3}", load.max());
+        }
+        let _ = write!(
+            line,
+            ", {}",
+            if row.converged {
+                "converged"
+            } else {
+                "not converged"
+            }
+        );
+        out.push_str(&line);
+        out.push('\n');
+        if !row.outcome.schemes.is_empty() {
+            let _ = writeln!(
+                out,
+                "    {:<16} {:>10} {:>12} {:>14} {:>14} {:>10}",
+                "scheme", "max load", "dist to GLE", "ctrl msgs/req", "data hops/req", "needs dir"
+            );
+            for s in &row.outcome.schemes {
+                let _ = writeln!(
+                    out,
+                    "    {:<16} {:>10.3} {:>12.3} {:>14.3} {:>14.3} {:>10}",
+                    s.name,
+                    s.max_load,
+                    s.distance_to_gle,
+                    s.control_msgs_per_request,
+                    s.data_hops_per_request,
+                    if s.violates_nss { "yes" } else { "no" }
+                );
+            }
+        } else if !row.outcome.metrics.is_empty() {
+            let rendered: Vec<String> = row
+                .outcome
+                .metrics
+                .iter()
+                .map(|(name, value)| format!("{name}={value:.4}"))
+                .collect();
+            let _ = writeln!(out, "    metrics: {}", rendered.join("  "));
+        }
+    }
+    out
+}

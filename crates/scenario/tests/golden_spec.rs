@@ -1,0 +1,108 @@
+//! Golden equivalence: spec-driven runs must be **bit-identical** to the
+//! direct-constructor runs they replace.
+//!
+//! The shipped `scenarios/fig2b.json` and `scenarios/staleness_sweep.json`
+//! files are loaded from disk and driven through the `Runner`; their
+//! convergence traces are compared bit-for-bit against `RateWave` built
+//! and stepped by hand with the same configuration. Likewise the
+//! `barrier_tunneling` spec against `DocSim`.
+
+use std::path::PathBuf;
+use ww_core::docsim::{DocSim, DocSimConfig};
+use ww_core::wave::{RateWave, WaveConfig};
+use ww_scenario::{Runner, ScenarioSpec};
+use ww_topology::paper;
+
+fn load_spec(name: &str) -> ScenarioSpec {
+    let path = PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("../../scenarios")
+        .join(name);
+    let text =
+        std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("read {}: {e}", path.display()));
+    ScenarioSpec::from_json(&text).unwrap_or_else(|e| panic!("parse {name}: {e}"))
+}
+
+fn bits(trace: &[f64]) -> Vec<u64> {
+    trace.iter().map(|d| d.to_bits()).collect()
+}
+
+#[test]
+fn fig2b_spec_trace_is_bit_identical_to_direct_run() {
+    let spec = load_spec("fig2b.json");
+    let report = Runner::new().run(&spec).expect("fig2b spec runs");
+    assert_eq!(report.rows.len(), 1);
+    let spec_trace = report.rows[0].outcome.trace.clone().expect("trace");
+
+    let s = paper::fig2b();
+    let mut direct = RateWave::new(&s.tree, &s.spontaneous, WaveConfig::default());
+    direct.run_until(1e-6, 5000);
+
+    assert_eq!(
+        bits(&spec_trace),
+        bits(direct.trace().distances()),
+        "spec-driven fig2b trace must equal the direct-constructor trace bit for bit"
+    );
+    assert!(report.rows[0].converged);
+    assert_eq!(
+        report.rows[0].outcome.load.as_ref().unwrap().as_slice(),
+        direct.load().as_slice()
+    );
+}
+
+#[test]
+fn staleness_sweep_traces_are_bit_identical_to_direct_runs() {
+    let spec = load_spec("staleness_sweep.json");
+    let report = Runner::new().run(&spec).expect("staleness sweep runs");
+    let staleness_values = [0usize, 1, 2, 4, 8];
+    assert_eq!(report.rows.len(), staleness_values.len());
+
+    let s = paper::fig6();
+    for (row, &staleness) in report.rows.iter().zip(&staleness_values) {
+        let mut direct = RateWave::new(
+            &s.tree,
+            &s.spontaneous,
+            WaveConfig {
+                alpha: None,
+                staleness,
+            },
+        );
+        direct.run_until(0.5, 20_000);
+        let spec_trace = row.outcome.trace.clone().expect("trace");
+        assert_eq!(
+            bits(&spec_trace),
+            bits(direct.trace().distances()),
+            "staleness={staleness}: spec-driven trace diverges from direct run"
+        );
+        assert_eq!(row.label, format!("staleness={staleness}"));
+    }
+}
+
+#[test]
+fn barrier_spec_matches_direct_docsim_runs() {
+    let spec = load_spec("barrier_tunneling.json");
+    let report = Runner::new().run(&spec).expect("barrier spec runs");
+    assert_eq!(report.rows.len(), 2, "tunneling off/on");
+
+    let b = paper::fig7();
+    for (row, tunneling) in report.rows.iter().zip([false, true]) {
+        let mut direct = DocSim::from_barrier_scenario(
+            &b,
+            DocSimConfig {
+                alpha: None,
+                tunneling,
+                barrier_patience: 2,
+            },
+        );
+        direct.run(1500);
+        let spec_trace = row.outcome.trace.clone().expect("trace");
+        assert_eq!(
+            bits(&spec_trace),
+            bits(direct.trace().distances()),
+            "tunneling={tunneling}: spec-driven trace diverges from direct run"
+        );
+        assert_eq!(
+            row.outcome.metric("tunnel_fetches").unwrap(),
+            direct.stats().tunnel_fetches as f64
+        );
+    }
+}

@@ -1,0 +1,488 @@
+//! Property tests: `ScenarioSpec` round-trips through JSON exactly, and
+//! malformed documents are rejected with a useful field path.
+
+use proptest::prelude::*;
+use ww_scenario::{
+    BaselineScheme, DocMixSpec, EngineSpec, PaperFigure, RatesSpec, ScenarioSpec, Sweep,
+    SweepParam, Termination, TopologySpec, WorkloadSpec,
+};
+
+fn arb_topology() -> BoxedStrategy<TopologySpec> {
+    (0usize..9)
+        .prop_flat_map(|choice| match choice {
+            8 => proptest::collection::vec(0usize..12, 1..8)
+                .prop_map(|raw| TopologySpec::Explicit {
+                    parents: raw
+                        .into_iter()
+                        .map(|x| if x == 0 { None } else { Some(x - 1) })
+                        .collect(),
+                })
+                .boxed(),
+            0 => (0usize..5)
+                .prop_map(|f| TopologySpec::Paper {
+                    figure: [
+                        PaperFigure::Fig2a,
+                        PaperFigure::Fig2b,
+                        PaperFigure::Fig4,
+                        PaperFigure::Fig6,
+                        PaperFigure::Fig7,
+                    ][f],
+                })
+                .boxed(),
+            1 => (1usize..200)
+                .prop_map(|nodes| TopologySpec::Path { nodes })
+                .boxed(),
+            2 => (1usize..200)
+                .prop_map(|nodes| TopologySpec::Star { nodes })
+                .boxed(),
+            3 => ((1usize..4), (0usize..5))
+                .prop_map(|(arity, depth)| TopologySpec::KAry { arity, depth })
+                .boxed(),
+            4 => ((1usize..8), (1usize..8))
+                .prop_map(|(regions, leaves)| TopologySpec::TwoLevel { regions, leaves })
+                .boxed(),
+            5 => ((1usize..16), (0usize..4))
+                .prop_map(|(spine, legs)| TopologySpec::Caterpillar { spine, legs })
+                .boxed(),
+            6 => ((1usize..16), (0usize..16))
+                .prop_map(|(handle, bristles)| TopologySpec::Broom { handle, bristles })
+                .boxed(),
+            _ => ((2usize..300), (1usize..9))
+                .prop_map(|(nodes, depth)| TopologySpec::RandomDepth {
+                    nodes: nodes.max(depth + 1),
+                    depth,
+                })
+                .boxed(),
+        })
+        .boxed()
+}
+
+fn arb_rates() -> BoxedStrategy<RatesSpec> {
+    (0usize..6)
+        .prop_flat_map(|choice| match choice {
+            0 => Just(RatesSpec::Paper).boxed(),
+            1 => (0.0f64..500.0)
+                .prop_map(|rate| RatesSpec::Uniform { rate })
+                .boxed(),
+            2 => (0.0f64..500.0)
+                .prop_map(|rate| RatesSpec::LeafOnly { rate })
+                .boxed(),
+            3 => ((0.0f64..10.0), (10.0f64..500.0))
+                .prop_map(|(lo, hi)| RatesSpec::RandomUniform { lo, hi })
+                .boxed(),
+            4 => ((1.0f64..10000.0), (0.1f64..2.0))
+                .prop_map(|(total, theta)| RatesSpec::ZipfNodes { total, theta })
+                .boxed(),
+            _ => proptest::collection::vec(0.0f64..100.0, 0..6)
+                .prop_map(|rates| RatesSpec::Explicit { rates })
+                .boxed(),
+        })
+        .boxed()
+}
+
+fn arb_doc_mix() -> BoxedStrategy<Option<DocMixSpec>> {
+    (0usize..3)
+        .prop_flat_map(|choice| match choice {
+            0 => Just(None).boxed(),
+            1 => Just(Some(DocMixSpec::Paper)).boxed(),
+            _ => ((1usize..64), (0.1f64..2.0))
+                .prop_map(|(docs, theta)| Some(DocMixSpec::SharedZipf { docs, theta }))
+                .boxed(),
+        })
+        .boxed()
+}
+
+fn arb_alpha() -> BoxedStrategy<Option<f64>> {
+    (0usize..2)
+        .prop_flat_map(|choice| match choice {
+            0 => Just(None).boxed(),
+            _ => (0.01f64..0.99).prop_map(Some).boxed(),
+        })
+        .boxed()
+}
+
+fn arb_engine() -> BoxedStrategy<EngineSpec> {
+    (0usize..6)
+        .prop_flat_map(|choice| match choice {
+            0 => (arb_alpha(), 0usize..10)
+                .prop_map(|(alpha, staleness)| EngineSpec::RateWave { alpha, staleness })
+                .boxed(),
+            1 => (arb_alpha(), 0usize..2, 0usize..6)
+                .prop_map(|(alpha, t, barrier_patience)| EngineSpec::DocSim {
+                    alpha,
+                    tunneling: t == 1,
+                    barrier_patience,
+                })
+                .boxed(),
+            2 => (
+                arb_alpha(),
+                0usize..2,
+                (0.001f64..0.1, 0.1f64..2.0, 0.1f64..2.0),
+                (0.0f64..0.5, 0.0f64..0.2, 0.0f64..5.0),
+            )
+                .prop_map(
+                    |(
+                        alpha,
+                        t,
+                        (link_delay, gossip_period, diffusion_period),
+                        (gossip_loss, hysteresis, noise_sigmas),
+                    )| {
+                        EngineSpec::PacketSim {
+                            alpha,
+                            tunneling: t == 1,
+                            barrier_patience: 2,
+                            link_delay,
+                            gossip_period,
+                            diffusion_period,
+                            measure_window: 1.0,
+                            gossip_loss,
+                            hysteresis,
+                            noise_sigmas,
+                        }
+                    },
+                )
+                .boxed(),
+            3 => (
+                arb_alpha(),
+                0usize..2,
+                proptest::collection::vec(0usize..50, 1..4),
+            )
+                .prop_map(|(alpha, c, roots)| EngineSpec::ForestWave {
+                    alpha,
+                    coupled: c == 1,
+                    roots,
+                })
+                .boxed(),
+            4 => (arb_alpha(), 1usize..5000, 8usize..2048)
+                .prop_map(|(alpha, rounds, channel_capacity)| EngineSpec::Cluster {
+                    alpha,
+                    rounds,
+                    channel_capacity,
+                })
+                .boxed(),
+            _ => (
+                0usize..64,
+                (0.0f64..5.0),
+                (1usize..3000, 1usize..5000),
+                (0.1f64..10.0),
+            )
+                .prop_map(
+                    |(mask, lookup_msgs, (gle_iterations, webwave_rounds), gossip_per_second)| {
+                        let all = BaselineScheme::all();
+                        let mut schemes: Vec<BaselineScheme> = all
+                            .iter()
+                            .enumerate()
+                            .filter(|(i, _)| mask & (1 << i) != 0)
+                            .map(|(_, &s)| s)
+                            .collect();
+                        if schemes.is_empty() {
+                            schemes = all;
+                        }
+                        EngineSpec::Baselines {
+                            schemes,
+                            replicas: mask % 8,
+                            lookup_msgs,
+                            gle_iterations,
+                            webwave_rounds,
+                            gossip_per_second,
+                        }
+                    },
+                )
+                .boxed(),
+        })
+        .boxed()
+}
+
+fn arb_termination() -> BoxedStrategy<Termination> {
+    (0usize..3)
+        .prop_flat_map(|choice| match choice {
+            0 => (1usize..50000)
+                .prop_map(|max| Termination::Rounds { max })
+                .boxed(),
+            1 => ((0.0f64..10.0), 1usize..50000)
+                .prop_map(|(threshold, max_rounds)| Termination::Converged {
+                    threshold,
+                    max_rounds,
+                })
+                .boxed(),
+            _ => ((0.01f64..10.0), 1usize..50000)
+                .prop_map(|(seconds, max_rounds)| Termination::WallClock {
+                    seconds,
+                    max_rounds,
+                })
+                .boxed(),
+        })
+        .boxed()
+}
+
+fn arb_sweep() -> BoxedStrategy<Option<Sweep>> {
+    (0usize..7)
+        .prop_flat_map(|choice| {
+            if choice == 0 {
+                Just(None).boxed()
+            } else {
+                let param = [
+                    SweepParam::Staleness,
+                    SweepParam::Alpha,
+                    SweepParam::Tunneling,
+                    SweepParam::GossipLoss,
+                    SweepParam::DocTheta,
+                    SweepParam::Seed,
+                ][choice - 1];
+                proptest::collection::vec(0.0f64..10.0, 1..5)
+                    .prop_map(move |values| Some(Sweep { param, values }))
+                    .boxed()
+            }
+        })
+        .boxed()
+}
+
+fn arb_spec() -> BoxedStrategy<ScenarioSpec> {
+    (
+        arb_topology(),
+        (arb_rates(), arb_doc_mix()),
+        arb_engine(),
+        arb_termination(),
+        // JSON numbers are f64; the parser rejects seeds above 2^53.
+        0u64..(1u64 << 53),
+        arb_sweep(),
+    )
+        .prop_map(
+            |(topology, (rates, doc_mix), engine, termination, seed, sweep)| ScenarioSpec {
+                name: "prop-spec".to_string(),
+                topology,
+                workload: WorkloadSpec { rates, doc_mix },
+                engine,
+                termination,
+                seed,
+                sweep,
+            },
+        )
+        .boxed()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Serialize → parse must reproduce the spec exactly (field-for-field,
+    /// bit-for-bit on floats).
+    #[test]
+    fn json_round_trip_is_identity(spec in arb_spec()) {
+        let json = spec.to_json();
+        let parsed = ScenarioSpec::from_json(&json)
+            .unwrap_or_else(|e| panic!("own output must parse: {e}\n{json}"));
+        prop_assert_eq!(parsed, spec);
+    }
+
+    /// Rendering is deterministic: same spec, same bytes.
+    #[test]
+    fn rendering_is_deterministic(spec in arb_spec()) {
+        prop_assert_eq!(spec.to_json(), spec.to_json());
+    }
+}
+
+const VALID: &str = r#"{
+  "name": "x",
+  "topology": {"kind": "paper", "figure": "fig6"},
+  "workload": {"rates": {"kind": "paper"}},
+  "engine": {"kind": "rate_wave"},
+  "termination": {"kind": "rounds", "max": 10}
+}"#;
+
+fn expect_error(mutation: impl Fn(&str) -> String, path_fragment: &str, msg_fragment: &str) {
+    let doc = mutation(VALID);
+    let err = ScenarioSpec::from_json(&doc).expect_err("mutated doc must be rejected");
+    let rendered = err.to_string();
+    assert!(
+        rendered.contains(path_fragment),
+        "error {rendered:?} should name path {path_fragment:?}"
+    );
+    assert!(
+        rendered.contains(msg_fragment),
+        "error {rendered:?} should mention {msg_fragment:?}"
+    );
+}
+
+#[test]
+fn valid_document_parses() {
+    let spec = ScenarioSpec::from_json(VALID).unwrap();
+    assert_eq!(spec.name, "x");
+    assert_eq!(spec.seed, ww_scenario::DEFAULT_SEED);
+    assert!(spec.sweep.is_none());
+}
+
+#[test]
+fn unknown_top_level_field_is_rejected_with_path() {
+    expect_error(
+        |doc| doc.replacen("\"name\"", "\"extra\": 1, \"name\"", 1),
+        "extra",
+        "unknown field",
+    );
+}
+
+#[test]
+fn unknown_topology_field_is_rejected_with_path() {
+    expect_error(
+        |doc| doc.replacen("\"figure\"", "\"figre\"", 1),
+        "topology.figre",
+        "unknown field",
+    );
+}
+
+#[test]
+fn unknown_engine_kind_is_rejected_with_path() {
+    expect_error(
+        |doc| doc.replacen("rate_wave", "warp_drive", 1),
+        "engine.kind",
+        "unknown engine",
+    );
+}
+
+#[test]
+fn missing_required_field_is_rejected_with_path() {
+    expect_error(
+        |doc| doc.replacen(", \"max\": 10", "", 1),
+        "termination.max",
+        "missing required field",
+    );
+}
+
+#[test]
+fn wrong_type_is_rejected_with_path() {
+    expect_error(
+        |doc| doc.replacen("\"max\": 10", "\"max\": \"ten\"", 1),
+        "termination.max",
+        "expected a number",
+    );
+}
+
+#[test]
+fn out_of_range_alpha_is_rejected_with_path() {
+    expect_error(
+        |doc| {
+            doc.replacen(
+                "\"kind\": \"rate_wave\"",
+                "\"kind\": \"rate_wave\", \"alpha\": 1.5",
+                1,
+            )
+        },
+        "engine.alpha",
+        "alpha must lie in (0, 1)",
+    );
+}
+
+#[test]
+fn bad_sweep_param_is_rejected_with_path() {
+    expect_error(
+        |doc| {
+            doc.replacen(
+                "\"termination\"",
+                "\"sweep\": {\"param\": \"warp\", \"values\": [1]}, \"termination\"",
+                1,
+            )
+        },
+        "sweep.param",
+        "unknown sweep parameter",
+    );
+}
+
+#[test]
+fn syntax_errors_carry_positions() {
+    let err = ScenarioSpec::from_json("{\"name\": }").expect_err("syntax error");
+    assert!(err.to_string().contains("line 1"), "{err}");
+}
+
+#[test]
+fn explicit_rates_length_checked_at_resolution() {
+    let spec = ScenarioSpec::from_json(
+        r#"{
+          "name": "bad-rates",
+          "topology": {"kind": "paper", "figure": "fig6"},
+          "workload": {"rates": {"kind": "explicit", "rates": [1, 2, 3]}},
+          "engine": {"kind": "rate_wave"},
+          "termination": {"kind": "rounds", "max": 1}
+        }"#,
+    )
+    .unwrap();
+    let err = ww_scenario::Runner::new()
+        .run(&spec)
+        .expect_err("wrong length");
+    assert!(err.to_string().contains("workload.rates.rates"), "{err}");
+    assert!(err.to_string().contains("one per node"), "{err}");
+}
+
+#[test]
+fn doc_engine_without_mix_is_rejected_at_resolution() {
+    let spec = ScenarioSpec::from_json(
+        r#"{
+          "name": "no-mix",
+          "topology": {"kind": "paper", "figure": "fig6"},
+          "workload": {"rates": {"kind": "paper"}},
+          "engine": {"kind": "doc_sim"},
+          "termination": {"kind": "rounds", "max": 1}
+        }"#,
+    )
+    .unwrap();
+    let err = ww_scenario::Runner::new()
+        .run(&spec)
+        .expect_err("missing mix");
+    assert!(err.to_string().contains("workload.doc_mix"), "{err}");
+}
+
+#[test]
+fn out_of_range_sweep_values_are_rejected_not_panicked() {
+    let spec = ScenarioSpec::from_json(
+        r#"{
+          "name": "bad-alpha-sweep",
+          "topology": {"kind": "paper", "figure": "fig6"},
+          "workload": {"rates": {"kind": "paper"}},
+          "engine": {"kind": "rate_wave"},
+          "termination": {"kind": "rounds", "max": 1},
+          "sweep": {"param": "alpha", "values": [0.5, 1.5]}
+        }"#,
+    )
+    .unwrap();
+    let err = ww_scenario::Runner::new()
+        .run(&spec)
+        .expect_err("alpha 1.5 must be a SpecError, not an engine panic");
+    assert!(err.to_string().contains("sweep.values"), "{err}");
+    assert!(
+        err.to_string().contains("alpha must lie in (0, 1)"),
+        "{err}"
+    );
+
+    let spec = ScenarioSpec::from_json(
+        r#"{
+          "name": "bad-staleness-sweep",
+          "topology": {"kind": "paper", "figure": "fig6"},
+          "workload": {"rates": {"kind": "paper"}},
+          "engine": {"kind": "rate_wave"},
+          "termination": {"kind": "rounds", "max": 1},
+          "sweep": {"param": "staleness", "values": [-1]}
+        }"#,
+    )
+    .unwrap();
+    let err = ww_scenario::Runner::new()
+        .run(&spec)
+        .expect_err("negative staleness must be rejected");
+    assert!(err.to_string().contains("sweep.values"), "{err}");
+}
+
+#[test]
+fn incompatible_sweep_is_rejected_at_resolution() {
+    let spec = ScenarioSpec::from_json(
+        r#"{
+          "name": "bad-sweep",
+          "topology": {"kind": "paper", "figure": "fig6"},
+          "workload": {"rates": {"kind": "paper"}},
+          "engine": {"kind": "cluster"},
+          "termination": {"kind": "rounds", "max": 1},
+          "sweep": {"param": "staleness", "values": [0, 1]}
+        }"#,
+    )
+    .unwrap();
+    let err = ww_scenario::Runner::new()
+        .run(&spec)
+        .expect_err("bad sweep");
+    assert!(err.to_string().contains("sweep.param"), "{err}");
+}

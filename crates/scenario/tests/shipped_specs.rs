@@ -1,0 +1,67 @@
+//! Every shipped spec under `scenarios/` must parse, round-trip, and
+//! smoke-run — checked-in specs can never rot.
+
+use std::path::PathBuf;
+use ww_scenario::{Runner, ScenarioSpec};
+
+fn scenarios_dir() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../scenarios")
+}
+
+fn shipped_specs() -> Vec<(String, String)> {
+    let mut specs: Vec<(String, String)> = std::fs::read_dir(scenarios_dir())
+        .expect("scenarios/ exists")
+        .map(|entry| entry.expect("readable entry").path())
+        .filter(|p| p.extension().is_some_and(|e| e == "json"))
+        .map(|p| {
+            let name = p.file_name().unwrap().to_string_lossy().into_owned();
+            let text = std::fs::read_to_string(&p).expect("readable spec");
+            (name, text)
+        })
+        .collect();
+    specs.sort();
+    specs
+}
+
+#[test]
+fn the_eight_advertised_specs_are_present() {
+    let names: Vec<String> = shipped_specs().into_iter().map(|(n, _)| n).collect();
+    for expected in [
+        "fig2b.json",
+        "flash_crowd.json",
+        "planetary_cdn.json",
+        "barrier_tunneling.json",
+        "baseline_shootout.json",
+        "scaling_100k.json",
+        "staleness_sweep.json",
+        "zipf_docmix_sweep.json",
+    ] {
+        assert!(names.iter().any(|n| n == expected), "missing {expected}");
+    }
+}
+
+#[test]
+fn every_shipped_spec_parses_and_round_trips() {
+    for (name, text) in shipped_specs() {
+        let spec = ScenarioSpec::from_json(&text).unwrap_or_else(|e| panic!("{name}: {e}"));
+        let reparsed = ScenarioSpec::from_json(&spec.to_json())
+            .unwrap_or_else(|e| panic!("{name} re-parse: {e}"));
+        assert_eq!(reparsed, spec, "{name} does not round-trip");
+    }
+}
+
+#[test]
+fn every_shipped_spec_smoke_runs() {
+    let runner = Runner::new().smoke(true);
+    for (name, text) in shipped_specs() {
+        let spec = ScenarioSpec::from_json(&text).unwrap_or_else(|e| panic!("{name}: {e}"));
+        let report = runner
+            .run(&spec)
+            .unwrap_or_else(|e| panic!("{name} smoke run: {e}"));
+        assert!(!report.rows.is_empty(), "{name}: no runs");
+        assert!(!report.report.is_empty(), "{name}: empty report");
+        for row in &report.rows {
+            assert!(row.outcome.rounds > 0, "{name}: engine never stepped");
+        }
+    }
+}

@@ -8,66 +8,66 @@
 //! the home server. WebWave's tunneling lets the starved node fetch d3
 //! directly from across the barrier.
 //!
+//! The whole experiment is one declarative spec (the shipped
+//! `scenarios/barrier_tunneling.json`): the Figure 7 topology and
+//! document demands, the document-level engine, and a sweep over
+//! `tunneling` ∈ {off, on}.
+//!
 //! Run with: `cargo run --example barrier_tunneling`
 
-use webwave::docsim::{DocSim, DocSimConfig};
-use webwave::model::NodeId;
-use webwave::topology::paper;
+use webwave::scenario::{Observer, Runner, ScenarioSpec};
 
-fn print_loads(label: &str, sim: &DocSim) {
-    let l = sim.load();
-    println!(
-        "{label:<28} n0={:>6.1}  n1={:>6.1}  n2={:>6.1}  n3={:>6.1}   (distance to TLB {:.1})",
-        l[NodeId::new(0)],
-        l[NodeId::new(1)],
-        l[NodeId::new(2)],
-        l[NodeId::new(3)],
-        sim.distance_to_tlb()
-    );
+/// Prints the distance to TLB at a few checkpoints of each run.
+struct Checkpoints;
+
+impl Observer for Checkpoints {
+    fn on_round(&mut self, round: usize, convergence: Option<f64>) {
+        if matches!(round, 10 | 50 | 200 | 800 | 1500) {
+            if let Some(d) = convergence {
+                println!("    round {round:>4}: distance to TLB {d:>7.1}");
+            }
+        }
+    }
 }
 
 fn main() {
-    let scenario = paper::fig7();
+    let path = concat!(
+        env!("CARGO_MANIFEST_DIR"),
+        "/scenarios/barrier_tunneling.json"
+    );
+    let spec = ScenarioSpec::from_json(&std::fs::read_to_string(path).expect("spec file"))
+        .expect("valid spec");
     println!("Figure 7 scenario: d1,d2 @ 135 req/s each from n3; d3 @ 90 req/s from n2");
     println!("TLB target: every node serves 90 req/s\n");
 
-    // Without tunneling: the system stalls with n2 starved.
-    let mut stalled = DocSim::from_barrier_scenario(
-        &scenario,
-        DocSimConfig {
-            tunneling: false,
-            ..DocSimConfig::default()
-        },
-    );
-    for rounds in [0usize, 10, 50, 200, 800] {
-        while stalled.round() < rounds {
-            stalled.step();
-        }
-        print_loads(&format!("no tunneling, round {rounds}"), &stalled);
-    }
-    println!(
-        "  -> n1 is a potential barrier: it caches {:?} but n2 requests only d3.",
-        stalled.copies_at(NodeId::new(1))
-    );
-    println!(
-        "  -> barrier suspicions raised: {}\n",
-        stalled.stats().barrier_suspicions
-    );
+    println!("sweeping tunneling off -> on:");
+    let report = Runner::new()
+        .run_with(&spec, &mut Checkpoints)
+        .expect("spec resolves");
 
-    // With tunneling: n2 fetches d3 across the barrier and the system
-    // reaches the uniform-90 TLB.
-    let mut tunneled = DocSim::from_barrier_scenario(&scenario, DocSimConfig::default());
-    for rounds in [0usize, 10, 50, 200, 800, 1500] {
-        while tunneled.round() < rounds {
-            tunneled.step();
-        }
-        print_loads(&format!("with tunneling, round {rounds}"), &tunneled);
+    for row in &report.rows {
+        let load = row.outcome.load.as_ref().expect("loads");
+        let distance = row.outcome.final_distance().expect("distance");
+        println!(
+            "\n  [{}] loads: n0={:>6.1}  n1={:>6.1}  n2={:>6.1}  n3={:>6.1}   (distance {:.1})",
+            row.label,
+            load.as_slice()[0],
+            load.as_slice()[1],
+            load.as_slice()[2],
+            load.as_slice()[3],
+            distance,
+        );
+        println!(
+            "      barrier suspicions {:>4}, tunnel fetches {:>2}, copy pushes {:>3}",
+            row.outcome.metric("barrier_suspicions").unwrap_or(0.0),
+            row.outcome.metric("tunnel_fetches").unwrap_or(0.0),
+            row.outcome.metric("copy_pushes").unwrap_or(0.0),
+        );
     }
-    println!(
-        "  -> tunnel fetches: {}; n2 now caches {:?}",
-        tunneled.stats().tunnel_fetches,
-        tunneled.copies_at(NodeId::new(2))
-    );
-    assert!(tunneled.distance_to_tlb() < 2.0);
+
+    let stalled = &report.rows[0];
+    let tunneled = &report.rows[1];
+    assert!(stalled.outcome.final_distance().unwrap() > 100.0);
+    assert!(tunneled.outcome.final_distance().unwrap() < 2.0);
     println!("\nTunneling dissolved the barrier; every node serves ~90 req/s.");
 }

@@ -5,6 +5,10 @@
 //! for a random tree of depth 9; this example regenerates the whole
 //! depth sweep and prints the fitted rates.
 //!
+//! Every trial is a `ScenarioSpec` (random-depth topology, uniform
+//! random rates, rate-level engine) driven through the unified
+//! `Runner` inside `experiments::gamma_study`.
+//!
 //! Run with: `cargo run --release --example gamma_study`
 
 use webwave::experiments::gamma_study;

@@ -2,51 +2,42 @@
 //! threads, real channels, no shared state — each cache server cooperates
 //! with its tree neighbors only.
 //!
+//! The deployment is the shipped `scenarios/planetary_cdn.json` spec:
+//! a two-level CDN topology, Zipf-skewed demand, and the threaded
+//! `cluster` engine — all driven through the unified `Runner`.
+//!
 //! Run with: `cargo run --release --example planetary_cdn`
 
-use rand::rngs::StdRng;
-use rand::SeedableRng;
-use webwave::fold::webfold;
-use webwave::runtime::{run_cluster, ClusterConfig};
-use webwave::topology::two_level;
-use webwave::workload::zipf_nodes;
+use webwave::scenario::{Runner, ScenarioSpec};
 
 fn main() {
-    // A two-level CDN: one origin, 6 regional hubs, 8 edge sites each.
-    let tree = two_level(6, 8);
-    let mut rng = StdRng::seed_from_u64(11);
-    let demand = zipf_nodes(&mut rng, &tree, 5400.0, 0.9);
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/scenarios/planetary_cdn.json");
+    let spec = ScenarioSpec::from_json(&std::fs::read_to_string(path).expect("spec file"))
+        .expect("valid spec");
     println!(
-        "CDN: {} servers ({} regions x 8 edges), {:.0} req/s total demand",
-        tree.len(),
-        6,
-        demand.total()
-    );
-
-    // What is achievable? The WebFold oracle.
-    let oracle = webfold(&tree, &demand);
-    println!(
-        "WebFold optimum: max load {:.1} req/s across {} folds (GLE share would be {:.1})",
-        oracle.load().max(),
-        oracle.fold_count(),
-        demand.total() / tree.len() as f64
+        "CDN spec \"{}\": two-level tree (6 regions x 8 edges), Zipf demand",
+        spec.name
     );
 
     // Deploy: one OS thread per server, crossbeam channels as links.
-    println!("\nspawning {} cache-server threads...", tree.len());
-    let report = run_cluster(&tree, &demand, ClusterConfig::default());
+    println!("spawning one cache-server thread per node...");
+    let report = Runner::new().run(&spec).expect("cluster run");
+    let row = &report.rows[0];
+    let loads = row.outcome.load.as_ref().expect("loads");
+    let oracle = row.outcome.oracle.as_ref().expect("oracle");
+    let total = loads.total();
+    let distance = row.outcome.metric("distance_to_tlb").expect("distance");
     println!(
         "cluster settled: distance to TLB oracle {:.2} ({:.2}% of demand), {} messages exchanged",
-        report.distance,
-        100.0 * report.distance / demand.total(),
-        report.messages
+        distance,
+        100.0 * distance / total,
+        row.outcome.metric("messages").unwrap_or(0.0),
     );
     println!(
-        "max server load: {:.1} req/s (oracle {:.1}); origin now carries {:.1} req/s",
-        report.loads.max(),
-        report.oracle.max(),
-        report.loads[tree.root()]
+        "max server load: {:.1} req/s (oracle {:.1})",
+        loads.max(),
+        oracle.max()
     );
-    assert!(report.distance < 0.05 * demand.total());
+    assert!(distance < 0.05 * total);
     println!("\nThe threads reached the off-line optimum with gossip alone.");
 }

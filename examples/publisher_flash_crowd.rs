@@ -3,36 +3,44 @@
 //! the schemes of the paper's related-work section cope, then watch the
 //! packet-level WebWave system absorb the crowd.
 //!
+//! Both halves are declarative: the baseline shoot-out is a `baselines`
+//! spec built in place, and the packet-level run is the shipped
+//! `scenarios/flash_crowd.json` — the same file
+//! `webwave-exp run scenarios/flash_crowd.json` executes.
+//!
 //! Run with: `cargo run --release --example publisher_flash_crowd`
 
-use rand::rngs::StdRng;
-use rand::SeedableRng;
-use webwave::baselines;
-use webwave::model::NodeId;
-use webwave::packetsim::{PacketSim, PacketSimConfig};
-use webwave::topology::random_tree_of_depth;
-use webwave::workload::{shared_zipf_mix, zipf_nodes};
+use webwave::scenario::{EngineSpec, Runner, ScenarioSpec, Termination};
 
 fn main() {
-    let mut rng = StdRng::seed_from_u64(2026);
-    // An ISP-scale routing tree: 96 cache servers, depth 7.
-    let tree = random_tree_of_depth(&mut rng, 96, 7);
-    // The flash crowd: 9600 req/s total, Zipf-skewed across access nodes.
-    let demand = zipf_nodes(&mut rng, &tree, 9600.0, 1.0);
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/scenarios/flash_crowd.json");
+    let spec = ScenarioSpec::from_json(&std::fs::read_to_string(path).expect("spec file"))
+        .expect("valid spec");
     println!(
-        "flash crowd: {:.0} req/s over {} nodes (max node demand {:.0} req/s)",
-        demand.total(),
-        tree.len(),
-        demand.max()
+        "flash crowd \"{}\": 9600 req/s Zipf-skewed over a 96-node depth-7 routing tree",
+        spec.name
     );
 
-    // How would each scheme handle it? (rate-level comparison)
+    // How would each scheme handle it? Same topology, same workload, same
+    // seed — only the engine differs. That is the point of the spec API.
+    let mut shootout = spec.clone();
+    shootout.name = "flash-crowd-baselines".to_string();
+    shootout.engine = EngineSpec::Baselines {
+        schemes: webwave::scenario::BaselineScheme::all(),
+        replicas: 0,
+        lookup_msgs: 2.0,
+        gle_iterations: 2000,
+        webwave_rounds: 4000,
+        gossip_per_second: 2.0,
+    };
+    shootout.termination = Termination::Rounds { max: 1 };
     println!("\nscheme comparison (rate level):");
+    let baseline_report = Runner::new().run(&shootout).expect("shoot-out runs");
     println!(
         "{:<16} {:>10} {:>14} {:>15} {:>10}",
         "scheme", "max load", "ctrl msgs/req", "data hops/req", "directory?"
     );
-    for r in baselines::compare_all(&tree, &demand) {
+    for r in &baseline_report.rows[0].outcome.schemes {
         println!(
             "{:<16} {:>10.1} {:>14.3} {:>15.2} {:>10}",
             r.name,
@@ -43,38 +51,34 @@ fn main() {
         );
     }
 
-    // Now the real thing: the packet-level WebWave system, 20 documents
-    // shared-Zipf popular, Poisson arrivals.
-    let mix = shared_zipf_mix(&tree, &demand, 20, 1.0);
-    let mut sim = PacketSim::new(
-        &tree,
-        &mix,
-        PacketSimConfig {
-            seed: 7,
-            ..PacketSimConfig::default()
-        },
-    );
+    // Now the real thing: the packet-level WebWave system, Poisson
+    // arrivals over 20 shared-Zipf documents, 30 diffusion epochs.
     println!("\npacket-level WebWave absorbing the crowd...");
-    let report = sim.run(30.0);
+    let report = Runner::new().run(&spec).expect("packet run");
+    let row = &report.rows[0];
     println!(
         "  served {} requests; mean upward hops {:.2}",
-        report.served_requests, report.mean_hops
+        row.outcome.metric("served_requests").unwrap_or(0.0),
+        row.outcome.metric("mean_hops").unwrap_or(0.0),
     );
     println!(
         "  distance to TLB: initial {:.0} -> final {:.0}",
-        report.trace.initial().unwrap_or(0.0),
-        report.final_distance
+        row.outcome.initial_distance().unwrap_or(0.0),
+        row.outcome.metric("final_distance").unwrap_or(0.0),
     );
     println!(
         "  copies pushed: {}; tunnel fetches: {}",
-        report.copy_pushes, report.tunnel_fetches
+        row.outcome.metric("copy_pushes").unwrap_or(0.0),
+        row.outcome.metric("tunnel_fetches").unwrap_or(0.0),
     );
     println!(
         "  control overhead: {:.4} control msgs per served request",
-        report.ledger.control_overhead_per_request()
+        row.outcome
+            .metric("control_msgs_per_request")
+            .unwrap_or(0.0),
     );
-    let root_share = report.served_rates[NodeId::new(tree.root().index())]
-        / report.served_rates.total().max(1e-9);
+    let loads = row.outcome.load.as_ref().expect("served rates");
+    let root_share = loads.as_slice()[0] / loads.total().max(1e-9);
     println!(
         "  home server now serves only {:.1}% of the demand",
         100.0 * root_share

@@ -1,11 +1,30 @@
-//! Quickstart: compute the optimal TLB assignment with WebFold, then watch
-//! the distributed WebWave protocol converge to it.
+//! Quickstart: describe a whole run as data, let the unified `Runner`
+//! drive it, and watch the distributed WebWave protocol converge to the
+//! WebFold (TLB) optimum.
+//!
+//! The same JSON works from the command line:
+//! `webwave-exp run scenarios/fig2b.json`.
 //!
 //! Run with: `cargo run --example quickstart`
 
 use webwave::fold::webfold;
 use webwave::model::{RateVector, Tree};
-use webwave::wave::{RateWave, WaveConfig};
+use webwave::scenario::{Observer, Runner, ScenarioSpec};
+
+/// Streams the convergence trace at a few checkpoints — the `Observer`
+/// API replaces the hand-rolled `while round < n` stepping loops the
+/// examples used to carry.
+struct Checkpoints;
+
+impl Observer for Checkpoints {
+    fn on_round(&mut self, round: usize, convergence: Option<f64>) {
+        if matches!(round, 1 | 2 | 5 | 10 | 20 | 50 | 100 | 200 | 500) {
+            if let Some(d) = convergence {
+                println!("  round {round:>4}: distance {d:.6}");
+            }
+        }
+    }
+}
 
 fn main() {
     // A small routing tree: home server 0, two regional caches, three
@@ -36,22 +55,33 @@ fn main() {
         );
     }
 
-    // 2. The distributed protocol: nodes gossip loads to tree neighbors
-    //    and shift future request rate under the no-sibling-sharing bound.
-    let mut wave = RateWave::new(&tree, &demand, WaveConfig::default());
+    // 2. The distributed protocol, declaratively: the same tree and
+    //    demand as a scenario spec. The Runner owns the termination rule
+    //    (run until distance to TLB <= 1e-6) — no stepping loop here.
+    let spec = ScenarioSpec::from_json(
+        r#"{
+          "name": "quickstart",
+          "topology": {"kind": "explicit", "parents": [null, 0, 0, 1, 1, 2]},
+          "workload": {"rates": {"kind": "explicit", "rates": [0, 0, 0, 120, 60, 30]}},
+          "engine": {"kind": "rate_wave"},
+          "termination": {"kind": "converged", "threshold": 1e-6, "max_rounds": 5000}
+        }"#,
+    )
+    .expect("valid spec");
+
     println!("\nWebWave converging (distance to TLB per round):");
-    for checkpoint in [0usize, 1, 2, 5, 10, 20, 50, 100, 200, 500] {
-        while wave.round() < checkpoint {
-            wave.step();
-        }
-        println!(
-            "  round {:>4}: distance {:.6}",
-            wave.round(),
-            wave.distance_to_tlb()
-        );
-    }
-    println!("\nfinal loads: {}", wave.load());
-    println!("oracle:      {}", wave.oracle());
-    assert!(wave.distance_to_tlb() < 1e-3, "should have converged");
+    let report = Runner::new()
+        .run_with(&spec, &mut Checkpoints)
+        .expect("spec resolves");
+    let row = &report.rows[0];
+    println!("\n{}", report.report.trim_end());
+    println!("final loads: {}", row.outcome.load.as_ref().unwrap());
+    println!("oracle:      {}", row.outcome.oracle.as_ref().unwrap());
+    assert!(row.converged, "should have converged");
+    assert_eq!(
+        row.outcome.oracle.as_ref().unwrap().as_slice(),
+        folded.load().as_slice(),
+        "the runner's oracle is the same WebFold output"
+    );
     println!("\nWebWave reached the WebFold optimum using only local information.");
 }

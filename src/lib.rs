@@ -21,12 +21,40 @@
 //!   document and packet granularity (barriers + tunneling included),
 //! * [`runtime`] — WebWave as real cooperating threads,
 //! * [`baselines`] — directory caches, DNS round-robin, no-cache,
+//! * [`scenario`] — the unified API: one declarative [`scenario::ScenarioSpec`]
+//!   plus an [`scenario::Engine`]/[`scenario::Runner`] pair driving every
+//!   simulator, the runtime, and the baselines (`scenarios/*.json`),
 //! * [`stats`] — the `a * gamma^t` convergence regression,
 //! * [`sim`] / [`net`] / [`cache`] — event kernel, routers + packet
 //!   filters, cache stores,
 //! * [`experiments`] — one runner per paper figure/table.
 //!
 //! # Quickstart
+//!
+//! The high-level path: describe the whole run — topology, workload,
+//! engine, termination — as data, and let the [`scenario::Runner`] drive
+//! it. The same JSON works from the command line:
+//! `webwave-exp run scenarios/fig2b.json`.
+//!
+//! ```
+//! use webwave::scenario::{Runner, ScenarioSpec};
+//!
+//! let spec = ScenarioSpec::from_json(r#"{
+//!     "name": "fig2b",
+//!     "topology": {"kind": "paper", "figure": "fig2b"},
+//!     "workload": {"rates": {"kind": "paper"}},
+//!     "engine": {"kind": "rate_wave"},
+//!     "termination": {"kind": "converged", "threshold": 1e-6, "max_rounds": 5000}
+//! }"#).unwrap();
+//! let report = Runner::new().run(&spec).unwrap();
+//! let row = &report.rows[0];
+//! assert!(row.converged);
+//! // The distributed protocol reached the WebFold (TLB) optimum.
+//! assert_eq!(row.outcome.oracle.as_ref().unwrap().as_slice(),
+//!            &[30.0, 30.0, 5.0, 30.0, 5.0]);
+//! ```
+//!
+//! The low-level path drives the same engines directly:
 //!
 //! ```
 //! use webwave::topology::paper;
@@ -62,6 +90,7 @@ pub use ww_forest as forest;
 pub use ww_model as model;
 pub use ww_net as net;
 pub use ww_runtime as runtime;
+pub use ww_scenario as scenario;
 pub use ww_sim as sim;
 pub use ww_stats as stats;
 pub use ww_topology as topology;
