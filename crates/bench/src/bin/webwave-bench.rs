@@ -169,6 +169,7 @@ fn scaling_spec(nodes: usize, seed: u64, rounds: usize) -> ScenarioSpec {
         termination: Termination::Rounds { max: rounds },
         seed,
         sweep: None,
+        events: None,
     }
 }
 

@@ -66,6 +66,14 @@ impl RateMeter {
     pub fn rate_or_zero(&self) -> f64 {
         self.smoothed.value().unwrap_or(0.0)
     }
+
+    /// Forgets every sample (the window stays anchored where it is).
+    /// Used when the measured quantity is invalidated wholesale — e.g. a
+    /// document re-publish voids every serve-rate estimate for it.
+    pub fn reset(&mut self) {
+        self.count_in_window = 0;
+        self.smoothed.reset();
+    }
 }
 
 /// Per-child, per-document forwarded-rate table of one node.
@@ -294,6 +302,21 @@ impl DenseFlowTable {
     /// Number of document columns in the grid.
     pub fn doc_count(&self) -> usize {
         self.docs
+    }
+
+    /// Resets the meters of one document column across every row —
+    /// cache-invalidation support: a re-published document voids all
+    /// measured rates for its old version.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` is outside the grid.
+    pub fn clear_doc(&mut self, index: u32) {
+        assert!((index as usize) < self.docs, "doc index out of range");
+        let rows = self.meters.len() / self.docs.max(1);
+        for row in 0..rows {
+            self.meters[row * self.docs + index as usize].reset();
+        }
     }
 }
 

@@ -28,7 +28,8 @@
 
 use crate::fold::webfold;
 use ww_cache::{plan_push_dense, plan_shed_dense, DenseRateSlice};
-use ww_model::{DocId, DocSet, DocTable, NodeId, RateVector, Tree};
+use ww_diffusion::safe_alpha;
+use ww_model::{DocId, DocSet, DocTable, LeafRemoval, ModelError, NodeId, RateVector, Tree};
 use ww_stats::ConvergenceTrace;
 use ww_workload::DocMix;
 
@@ -107,6 +108,10 @@ pub struct DocSim {
     config: DocSimConfig,
     /// Consecutive underloaded-no-action periods per node.
     underload_streak: Vec<usize>,
+    /// Per node: `true` when the control link to its parent is failed —
+    /// no diffusion decisions, copy pushes, or tunneling cross the edge
+    /// (requests still flow; see the dynamics docs).
+    failed_up: Vec<bool>,
     oracle: RateVector,
     trace: ConvergenceTrace,
     stats: DocSimStats,
@@ -146,13 +151,7 @@ impl DocSim {
         let mut copies: Vec<DocSet> = (0..n).map(|_| table.empty_set()).collect();
         copies[tree.root().index()] = table.full_set();
 
-        let max_deg = tree
-            .nodes()
-            .map(|u| tree.children(u).len() + usize::from(tree.parent(u).is_some()))
-            .max()
-            .unwrap_or(0)
-            .max(1);
-        let alpha = config.alpha.unwrap_or(1.0 / (max_deg as f64 + 1.0));
+        let alpha = config.alpha.unwrap_or_else(|| safe_alpha(tree));
         assert!(alpha > 0.0 && alpha < 1.0, "alpha must lie in (0, 1)");
 
         let spontaneous = mix.spontaneous();
@@ -172,6 +171,7 @@ impl DocSim {
             alpha,
             config,
             underload_streak: vec![0; n],
+            failed_up: vec![false; n],
             oracle,
             trace: ConvergenceTrace::new(),
             stats: DocSimStats::default(),
@@ -260,6 +260,12 @@ impl DocSim {
             let Some(p) = self.tree.parent(c) else {
                 continue;
             };
+            if self.failed_up[c_idx] {
+                // The control link is down: no diffusion decision, copy
+                // push, shed, or tunnel crosses this edge (requests still
+                // flow through it and are served upstream).
+                continue;
+            }
             let (lp, lc) = (self.load_snapshot[p], self.load_snapshot[c]);
             if lp > lc {
                 // The child is underloaded: it should take over
@@ -502,6 +508,307 @@ impl DocSim {
     pub fn round(&self) -> usize {
         self.round
     }
+
+    /// The routing tree this run currently operates on.
+    pub fn tree(&self) -> &Tree {
+        &self.tree
+    }
+
+    /// Whether the control link from `node` to its parent is failed.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node` is out of range.
+    pub fn link_failed(&self, node: NodeId) -> bool {
+        self.failed_up[node.index()]
+    }
+
+    /// Fails the control link between `node` and its parent: diffusion
+    /// decisions, copy pushes, shedding, and tunneling stop crossing the
+    /// edge until [`DocSim::heal_link`]; requests still flow up the tree.
+    /// Returns `false` when the link was already failed.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node` is out of range or is the root.
+    pub fn fail_link(&mut self, node: NodeId) -> bool {
+        assert!(
+            self.tree.parent(node).is_some(),
+            "the root has no uplink to fail"
+        );
+        !std::mem::replace(&mut self.failed_up[node.index()], true)
+    }
+
+    /// Restores the control link between `node` and its parent. Returns
+    /// `false` when the link was not failed.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node` is out of range or is the root.
+    pub fn heal_link(&mut self, node: NodeId) -> bool {
+        assert!(
+            self.tree.parent(node).is_some(),
+            "the root has no uplink to heal"
+        );
+        std::mem::replace(&mut self.failed_up[node.index()], false)
+    }
+
+    /// Publishes a document: `origin`'s clients start requesting `doc` at
+    /// `rate` req/s (added on top of any existing demand for it). A
+    /// first-time id grows the dense universe — every slab gains a column
+    /// at the document's sorted position, higher indices shifting by one —
+    /// and the home server (root) receives the only copy, so the new
+    /// demand lands there and diffuses outward over subsequent rounds.
+    /// The TLB oracle is recomputed and the post-publish distance is
+    /// appended to the trace.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ModelError::NodeOutOfRange`] for an unknown origin or
+    /// [`ModelError::InvalidRate`] for a negative/non-finite rate.
+    pub fn publish_doc(&mut self, doc: DocId, origin: NodeId, rate: f64) -> Result<(), ModelError> {
+        let n = self.tree.len();
+        if origin.index() >= n {
+            return Err(ModelError::NodeOutOfRange {
+                node: origin,
+                len: n,
+            });
+        }
+        if !rate.is_finite() || rate < 0.0 {
+            return Err(ModelError::InvalidRate {
+                node: origin,
+                value: rate,
+            });
+        }
+        let k = self.grow_universe(doc);
+        self.demand[origin.index() * self.m + k as usize] += rate;
+        self.copies[self.tree.root().index()].insert(k);
+        self.after_demand_change();
+        Ok(())
+    }
+
+    /// Re-publishes (updates) a document: every cached copy outside the
+    /// home server is *invalidated* — copies and their serve allocations
+    /// vanish, the whole demand for `doc` snaps back to the root, and
+    /// WebWave re-diffuses the new version over the following rounds.
+    /// The demand and the oracle are unchanged (readers still want the
+    /// document); only the placement resets.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ModelError::UnknownDocument`] when `doc` is not in the
+    /// universe.
+    pub fn invalidate_doc(&mut self, doc: DocId) -> Result<(), ModelError> {
+        let Some(k) = self.table.index_of(doc) else {
+            return Err(ModelError::UnknownDocument { doc: doc.value() });
+        };
+        let root = self.tree.root().index();
+        for i in 0..self.tree.len() {
+            if i == root {
+                continue;
+            }
+            self.copies[i].remove(k);
+            self.alloc[i * self.m + k as usize] = 0.0;
+        }
+        self.recompute_flows();
+        self.trace.push(self.distance_to_tlb());
+        Ok(())
+    }
+
+    /// Replaces the whole demand mix mid-run (hot-set rotation, Zipf
+    /// re-skew). Copies and allocations survive — allocations for
+    /// documents that lost their demand simply stop serving (flows are
+    /// `min(alloc, through)`), and the protocol rebalances toward the
+    /// recomputed oracle. First-time document ids grow the universe as in
+    /// [`DocSim::publish_doc`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ModelError::LengthMismatch`] when `mix` does not cover
+    /// the current tree.
+    pub fn set_mix(&mut self, mix: &DocMix) -> Result<(), ModelError> {
+        let n = self.tree.len();
+        if mix.len() != n {
+            return Err(ModelError::LengthMismatch {
+                expected: n,
+                actual: mix.len(),
+            });
+        }
+        for d in mix.documents() {
+            self.grow_universe(d);
+        }
+        self.demand.fill(0.0);
+        for u in self.tree.nodes() {
+            for &(d, r) in mix.demands_of(u) {
+                if r > 0.0 {
+                    let k = self.table.index_of(d).expect("universe grown above");
+                    self.demand[u.index() * self.m + k as usize] = r;
+                }
+            }
+        }
+        self.after_demand_change();
+        Ok(())
+    }
+
+    /// A cache server joins as a new leaf under `parent`, bringing `rate`
+    /// req/s of demand split across the universe **proportionally to the
+    /// current global per-document demand** (the newcomer's clients follow
+    /// the same popularity law everyone else does). The node starts with
+    /// no copies; its demand flows upward until diffusion reaches it.
+    ///
+    /// # Errors
+    ///
+    /// [`ModelError::NodeOutOfRange`] for an unknown parent,
+    /// [`ModelError::InvalidRate`] for a bad rate or when `rate > 0` but
+    /// the universe carries no demand to model the split on.
+    pub fn add_leaf(&mut self, parent: NodeId, rate: f64) -> Result<NodeId, ModelError> {
+        if !rate.is_finite() || rate < 0.0 {
+            return Err(ModelError::InvalidRate {
+                node: parent,
+                value: rate,
+            });
+        }
+        let m = self.m;
+        // Global per-document totals, for the newcomer's demand split.
+        let mut totals = vec![0.0; m];
+        for i in 0..self.tree.len() {
+            for (k, t) in totals.iter_mut().enumerate() {
+                *t += self.demand[i * m + k];
+            }
+        }
+        let grand: f64 = totals.iter().sum();
+        if rate > 0.0 && grand <= 0.0 {
+            return Err(ModelError::InvalidRate {
+                node: parent,
+                value: rate,
+            });
+        }
+        let id = self.tree.add_leaf(parent)?;
+        let mut row = vec![0.0; m];
+        if rate > 0.0 {
+            for (cell, t) in row.iter_mut().zip(&totals) {
+                *cell = rate * t / grand;
+            }
+        }
+        self.demand.extend_from_slice(&row);
+        self.copies.push(self.table.empty_set());
+        self.alloc.resize(self.alloc.len() + m, 0.0);
+        self.served.resize(self.served.len() + m, 0.0);
+        self.forwarded.resize(self.forwarded.len() + m, 0.0);
+        self.underload_streak.push(0);
+        self.failed_up.push(false);
+        self.after_churn();
+        Ok(id)
+    }
+
+    /// A leaf cache server departs: its clients re-route to the next
+    /// cache up the tree, so its per-document demand re-homes to its
+    /// parent; its copies and allocations vanish with it, and the load it
+    /// served snaps back toward the home server until diffusion recovers.
+    /// Ids compact by swap-remove, exactly as [`Tree::remove_leaf`].
+    ///
+    /// # Errors
+    ///
+    /// As [`Tree::remove_leaf`]: unknown id, root, or interior node.
+    pub fn remove_leaf(&mut self, node: NodeId) -> Result<LeafRemoval, ModelError> {
+        let removal = self.tree.remove_leaf(node)?;
+        let m = self.m;
+        let i = node.index();
+        // Re-home the departed demand row to the (pre-compaction) parent:
+        // the slab rows are still in the old layout at this point.
+        let old_parent = removal.parent_before().index();
+        for k in 0..m {
+            self.demand[old_parent * m + k] += self.demand[i * m + k];
+        }
+        slab_swap_remove(&mut self.demand, m, i);
+        slab_swap_remove(&mut self.alloc, m, i);
+        slab_swap_remove(&mut self.served, m, i);
+        slab_swap_remove(&mut self.forwarded, m, i);
+        self.copies.swap_remove(i);
+        self.underload_streak.swap_remove(i);
+        self.failed_up.swap_remove(i);
+        self.after_churn();
+        Ok(removal)
+    }
+
+    /// Grows the dense universe by `doc` if absent; returns its index.
+    /// Insertion keeps ascending-id order, so columns at or above the
+    /// insertion point shift right by one across every slab and bitset.
+    fn grow_universe(&mut self, doc: DocId) -> u32 {
+        if let Some(k) = self.table.index_of(doc) {
+            return k;
+        }
+        let table = DocTable::from_ids(self.table.docs().iter().copied().chain([doc]));
+        let k = table.index_of(doc).expect("just inserted");
+        let (m_old, m_new) = (self.m, table.len());
+        let n = self.tree.len();
+        let grow = |slab: &mut Vec<f64>| {
+            let mut new = vec![0.0; n * m_new];
+            for i in 0..n {
+                for j in 0..m_old {
+                    let jj = j + usize::from(j >= k as usize);
+                    new[i * m_new + jj] = slab[i * m_old + j];
+                }
+            }
+            *slab = new;
+        };
+        grow(&mut self.demand);
+        grow(&mut self.alloc);
+        grow(&mut self.served);
+        grow(&mut self.forwarded);
+        for set in &mut self.copies {
+            let mut grown = table.empty_set();
+            for idx in set.iter() {
+                grown.insert(idx + u32::from(idx >= k));
+            }
+            *set = grown;
+        }
+        self.table = table;
+        self.m = m_new;
+        k
+    }
+
+    /// Oracle + flow refresh after demand changed on a fixed tree.
+    fn after_demand_change(&mut self) {
+        let spontaneous = self.spontaneous();
+        self.oracle = webfold(&self.tree, &spontaneous).into_load();
+        self.recompute_flows();
+        self.trace.push(self.distance_to_tlb());
+    }
+
+    /// Full refresh after the tree itself changed: load vectors resize,
+    /// alpha re-derives (unless overridden), oracle and flows recompute.
+    fn after_churn(&mut self) {
+        let n = self.tree.len();
+        self.load = RateVector::zeros(n);
+        self.load_snapshot = RateVector::zeros(n);
+        self.alpha = self.config.alpha.unwrap_or_else(|| safe_alpha(&self.tree));
+        self.after_demand_change();
+    }
+
+    /// The current spontaneous (per-node total) demand vector.
+    pub fn spontaneous(&self) -> RateVector {
+        let m = self.m;
+        (0..self.tree.len())
+            .map(|i| self.demand[i * m..(i + 1) * m].iter().sum::<f64>())
+            .collect()
+    }
+}
+
+/// Removes row `row` from a flat `rows x m` slab by swap-remove: the last
+/// row moves into its place — the same compaction [`Tree::remove_leaf`]
+/// applies to node ids.
+fn slab_swap_remove(slab: &mut Vec<f64>, m: usize, row: usize) {
+    if m == 0 {
+        return;
+    }
+    let rows = slab.len() / m;
+    let last = rows - 1;
+    if row != last {
+        let (head, tail) = slab.split_at_mut(last * m);
+        head[row * m..(row + 1) * m].copy_from_slice(&tail[..m]);
+    }
+    slab.truncate(last * m);
 }
 
 #[cfg(test)]
@@ -650,6 +957,154 @@ mod tests {
         for d in [1u64, 2, 3] {
             assert!(t.index_of(DocId::new(d)).is_some());
         }
+    }
+}
+
+#[cfg(test)]
+mod dynamics_tests {
+    use super::*;
+    use ww_topology::paper;
+
+    fn fig7_sim() -> DocSim {
+        DocSim::from_barrier_scenario(&paper::fig7(), DocSimConfig::default())
+    }
+
+    #[test]
+    fn publish_grows_the_universe_and_lands_at_the_root() {
+        let mut sim = fig7_sim();
+        sim.run(400);
+        let before = sim.doc_table().len();
+        sim.publish_doc(DocId::new(99), NodeId::new(3), 120.0)
+            .unwrap();
+        assert_eq!(sim.doc_table().len(), before + 1);
+        // The new demand is served at the home server first...
+        let root = sim.tree().root();
+        assert!(sim.served_rate(root, DocId::new(99)) > 0.0);
+        assert!((sim.load().total() - 480.0).abs() < 1e-6);
+        // ...and diffuses out afterward.
+        sim.run(1500);
+        assert!(
+            sim.distance_to_tlb() < 2.0,
+            "distance {}",
+            sim.distance_to_tlb()
+        );
+    }
+
+    #[test]
+    fn publish_existing_doc_adds_demand() {
+        let mut sim = fig7_sim();
+        sim.publish_doc(DocId::new(1), NodeId::new(3), 40.0)
+            .unwrap();
+        assert_eq!(sim.doc_table().len(), 3);
+        assert!((sim.load().total() - 400.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn invalidation_snaps_copies_back_to_the_root() {
+        let mut sim = fig7_sim();
+        sim.run(1200);
+        assert!(sim.distance_to_tlb() < 2.0);
+        // Re-publish d1: every non-root copy vanishes and its load
+        // reappears at the home server.
+        sim.invalidate_doc(DocId::new(1)).unwrap();
+        let root = sim.tree().root();
+        for u in sim.tree().nodes() {
+            if u != root {
+                assert!(!sim.copies_at(u).contains(&DocId::new(1)), "{u} kept d1");
+            }
+        }
+        assert!(sim.distance_to_tlb() > 10.0);
+        assert!((sim.load().total() - 360.0).abs() < 1e-6);
+        // Re-diffusion recovers.
+        sim.run(1500);
+        assert!(
+            sim.distance_to_tlb() < 2.0,
+            "distance {}",
+            sim.distance_to_tlb()
+        );
+    }
+
+    #[test]
+    fn unknown_doc_invalidation_is_a_typed_error() {
+        let mut sim = fig7_sim();
+        assert!(matches!(
+            sim.invalidate_doc(DocId::new(777)),
+            Err(ModelError::UnknownDocument { doc: 777 })
+        ));
+    }
+
+    #[test]
+    fn join_follows_global_popularity_and_reconverges() {
+        let mut sim = fig7_sim();
+        sim.run(600);
+        let id = sim.add_leaf(NodeId::new(1), 60.0).unwrap();
+        assert_eq!(id.index(), 4);
+        assert!((sim.load().total() - 420.0).abs() < 1e-6);
+        // The newcomer's demand follows the current popularity law, so
+        // each original document gains a proportional share.
+        assert!((sim.spontaneous()[id] - 60.0).abs() < 1e-9);
+        sim.run(2500);
+        assert!(
+            sim.distance_to_tlb() < 3.0,
+            "distance {}",
+            sim.distance_to_tlb()
+        );
+    }
+
+    #[test]
+    fn leave_rehomes_per_doc_demand() {
+        let mut sim = fig7_sim();
+        sim.run(600);
+        // Node 3 (leaf) departs; its d1/d2 demand re-homes to node 1.
+        sim.remove_leaf(NodeId::new(3)).unwrap();
+        assert_eq!(sim.tree().len(), 3);
+        assert!((sim.load().total() - 360.0).abs() < 1e-6);
+        assert!((sim.spontaneous()[NodeId::new(1)] - 270.0).abs() < 1e-9);
+        sim.run(2500);
+        assert!(
+            sim.distance_to_tlb() < 2.0,
+            "distance {}",
+            sim.distance_to_tlb()
+        );
+    }
+
+    #[test]
+    fn failed_link_stalls_tunneling_until_healed() {
+        let mut sim = fig7_sim();
+        sim.fail_link(NodeId::new(2));
+        sim.run(600);
+        // Node 2 sits behind the barrier *and* a dead control link: it
+        // can neither receive pushes nor tunnel, so it never acquires a
+        // copy and serves nothing (other nodes may still tunnel).
+        assert_eq!(sim.load()[NodeId::new(2)], 0.0);
+        assert!(sim.copies_at(NodeId::new(2)).is_empty());
+        sim.heal_link(NodeId::new(2));
+        sim.run(1500);
+        assert!(sim.copies_at(NodeId::new(2)).contains(&DocId::new(3)));
+        assert!(
+            sim.distance_to_tlb() < 2.0,
+            "distance {}",
+            sim.distance_to_tlb()
+        );
+    }
+
+    #[test]
+    fn set_mix_rotates_the_hot_set() {
+        let mut sim = fig7_sim();
+        sim.run(1200);
+        // Rotate all demand onto a fresh document set at the same nodes.
+        let mut mix = DocMix::new(4);
+        mix.set(NodeId::new(3), DocId::new(10), 240.0);
+        mix.set(NodeId::new(2), DocId::new(11), 120.0);
+        sim.set_mix(&mix).unwrap();
+        assert!((sim.load().total() - 360.0).abs() < 1e-6);
+        assert_eq!(sim.doc_table().len(), 5);
+        sim.run(2500);
+        assert!(
+            sim.distance_to_tlb() < 3.0,
+            "distance {}",
+            sim.distance_to_tlb()
+        );
     }
 }
 

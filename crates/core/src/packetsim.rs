@@ -31,7 +31,8 @@
 
 use crate::fold::webfold;
 use ww_cache::{plan_push_dense, plan_shed_dense, DenseFlowTable, DenseRateSlice};
-use ww_model::{DocId, DocSet, DocTable, NodeId, RateVector, Tree};
+use ww_diffusion::safe_alpha;
+use ww_model::{DocId, DocSet, DocTable, ModelError, NodeId, RateVector, Tree};
 use ww_net::{DocRequest, DocResponse, RequestId, TrafficClass, TrafficLedger};
 use ww_sim::{exp_delay, EventQueue, SimRng, SimTime, TimerRing};
 use ww_stats::ConvergenceTrace;
@@ -232,6 +233,10 @@ pub struct PacketSim {
     diffusion_ring: TimerRing,
     rng: SimRng,
     nodes: Vec<NodeState>,
+    /// Per node: `true` when the control link to its parent is failed.
+    /// Gossip, copy pushes, and diffusion decisions stop crossing the
+    /// edge; request packets (the data plane) keep flowing.
+    failed_up: Vec<bool>,
     /// Per node: `(doc, dense index, rate)` arrival streams.
     demand: Vec<Vec<(DocId, u32, f64)>>,
     oracle: RateVector,
@@ -267,13 +272,7 @@ impl PacketSim {
             "gossip loss is a probability"
         );
         let n = tree.len();
-        let max_deg = tree
-            .nodes()
-            .map(|u| tree.children(u).len() + usize::from(tree.parent(u).is_some()))
-            .max()
-            .unwrap_or(0)
-            .max(1);
-        let alpha = config.alpha.unwrap_or(1.0 / (max_deg as f64 + 1.0));
+        let alpha = config.alpha.unwrap_or_else(|| safe_alpha(tree));
         assert!(alpha > 0.0 && alpha < 1.0, "alpha must lie in (0, 1)");
 
         let spontaneous = mix.spontaneous();
@@ -331,6 +330,7 @@ impl PacketSim {
             diffusion_ring: TimerRing::new(SimTime::from_secs(config.diffusion_period), n),
             rng: SimRng::seed(config.seed),
             nodes,
+            failed_up: vec![false; n],
             demand,
             oracle,
             ledger: TrafficLedger::new(),
@@ -582,9 +582,22 @@ impl PacketSim {
         self.gossip_ring.rearm(node.index(), seq);
     }
 
+    /// `true` when the control link between two tree neighbors is down.
+    fn link_severed(&self, a: NodeId, b: NodeId) -> bool {
+        if self.tree.parent(a) == Some(b) {
+            self.failed_up[a.index()]
+        } else {
+            self.failed_up[b.index()]
+        }
+    }
+
     /// Emits one gossip message from `node` to `nbr`, subject to the
-    /// failure-injection loss probability.
+    /// failure-injection loss probability. A severed control link emits
+    /// nothing — the sender knows the link is down.
     fn gossip_to(&mut self, t: SimTime, node: NodeId, nbr: NodeId, load: f64) {
+        if self.link_severed(node, nbr) {
+            return;
+        }
         self.ledger.record(TrafficClass::Gossip, 32, 1);
         let mut rng = self.rng.fork(0xB0B0 ^ (self.queue.processed() << 8));
         let lost = self.config.gossip_loss > 0.0
@@ -613,6 +626,10 @@ impl PacketSim {
         let is_root = self.tree.parent(node).is_none();
         for slot in 0..self.tree.children(node).len() {
             let c = self.tree.children(node)[slot];
+            if self.failed_up[c.index()] {
+                // Control link down: no copies move to this child.
+                continue;
+            }
             let Some(child_load) = self.nodes[i].child_est[slot] else {
                 continue;
             };
@@ -672,8 +689,9 @@ impl PacketSim {
         }
 
         // Compare against the parent: take over passing load, shed, or
-        // eventually tunnel.
-        if self.tree.parent(node).is_some() {
+        // eventually tunnel. A failed uplink suspends all of it (tunneling
+        // included — the fetch path runs through the dead control link).
+        if self.tree.parent(node).is_some() && !self.failed_up[i] {
             if let Some(pl) = self.nodes[i].parent_est {
                 if self.significant_imbalance(pl, my_load) {
                     let want = self.alpha * (pl - my_load);
@@ -848,6 +866,86 @@ impl PacketSim {
     /// Panics if `node` is out of range.
     pub fn served_total(&self, node: NodeId) -> u64 {
         self.nodes[node.index()].served_total
+    }
+
+    /// The routing tree this simulation runs on.
+    pub fn tree(&self) -> &Tree {
+        &self.tree
+    }
+
+    /// Whether the control link from `node` to its parent is failed.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node` is out of range.
+    pub fn link_failed(&self, node: NodeId) -> bool {
+        self.failed_up[node.index()]
+    }
+
+    /// Fails the control link between `node` and its parent: gossip stops
+    /// crossing it (estimates on both sides go stale), no copies are
+    /// pushed or tunneled across, and the node's diffusion step ignores
+    /// its parent until [`PacketSim::heal_link`]. Request packets — the
+    /// data plane — keep flowing. Returns `false` when already failed.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node` is out of range or is the root.
+    pub fn fail_link(&mut self, node: NodeId) -> bool {
+        assert!(
+            self.tree.parent(node).is_some(),
+            "the root has no uplink to fail"
+        );
+        !std::mem::replace(&mut self.failed_up[node.index()], true)
+    }
+
+    /// Restores the control link between `node` and its parent. Returns
+    /// `false` when the link was not failed.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node` is out of range or is the root.
+    pub fn heal_link(&mut self, node: NodeId) -> bool {
+        assert!(
+            self.tree.parent(node).is_some(),
+            "the root has no uplink to heal"
+        );
+        std::mem::replace(&mut self.failed_up[node.index()], false)
+    }
+
+    /// Re-publish (update) a document: every cached copy outside the home
+    /// server is invalidated — copies, filters, and serve allocations for
+    /// `doc` vanish, and the stale serve-rate estimates for it are reset.
+    /// One invalidation message per revoked copy is charged to the ledger
+    /// (control traffic from the root, paying the node's depth in hops).
+    /// Demand is unchanged; requests fall back to the home server until
+    /// diffusion re-spreads the new version.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ModelError::UnknownDocument`] when `doc` is outside the
+    /// simulated universe.
+    pub fn invalidate(&mut self, doc: DocId) -> Result<(), ModelError> {
+        let Some(k) = self.table.index_of(doc) else {
+            return Err(ModelError::UnknownDocument { doc: doc.value() });
+        };
+        let root = self.tree.root();
+        for j in 0..self.tree.len() {
+            let node = NodeId::new(j);
+            if node == root {
+                continue;
+            }
+            let state = &mut self.nodes[j];
+            if state.copies.remove(k) {
+                state.filter.remove(k);
+                state.alloc_set.remove(k);
+                state.alloc[k as usize].rate = 0.0;
+                state.served.clear_doc(k);
+                self.ledger
+                    .record(TrafficClass::Gossip, 64, self.tree.depth(node) as u32);
+            }
+        }
+        Ok(())
     }
 }
 

@@ -38,7 +38,8 @@
 
 use crate::fold::webfold;
 use std::collections::VecDeque;
-use ww_model::{NodeId, RateVector, Tree};
+use ww_diffusion::safe_alpha;
+use ww_model::{LeafRemoval, ModelError, NodeId, RateVector, Tree};
 use ww_stats::ConvergenceTrace;
 
 /// Configuration of a rate-level WebWave run.
@@ -78,6 +79,9 @@ pub struct RateWave {
     /// Forwarded rates in **id order** — the public view.
     forwarded: RateVector,
     alpha: f64,
+    /// The explicit alpha from the config, if any; rebuilds after churn
+    /// events re-derive the safe default only when this is `None`.
+    alpha_override: Option<f64>,
     staleness: usize,
 
     // ---- BFS-permuted dense state (hot path) -------------------------
@@ -116,61 +120,33 @@ pub struct RateWave {
     /// `staleness` buffers, recycled once the window fills so steady-state
     /// rounds never allocate.
     history: VecDeque<Vec<f64>>,
+    /// Per node **id**: `true` when the control link to its parent is
+    /// failed (no diffusion/gossip crosses it; requests still flow).
+    failed_up: Vec<bool>,
+    /// `failed_up` permuted to BFS positions (the hot-path view).
+    failed_up_pos: Vec<bool>,
+    /// Fast guard: when `false`, rounds take the original unmasked loops,
+    /// so static runs stay bit-identical to the reference engine.
+    any_failed: bool,
 
     oracle: RateVector,
     trace: ConvergenceTrace,
     round: usize,
 }
 
-impl RateWave {
-    /// Starts a run from the *cold* state: no cache copies exist, so the
-    /// home server serves the entire demand.
-    ///
-    /// # Panics
-    ///
-    /// Panics if `spontaneous` does not validate against `tree`, or if a
-    /// provided `alpha` is outside `(0, 1)`.
-    pub fn new(tree: &Tree, spontaneous: &RateVector, config: WaveConfig) -> Self {
-        let mut initial = RateVector::zeros(tree.len());
-        initial[tree.root()] = spontaneous.total();
-        Self::with_initial(tree, spontaneous, initial, config)
-    }
+/// The BFS-permuted dense layout of one tree, shared by construction and
+/// the post-churn rebuilds.
+struct Layout {
+    order: Vec<u32>,
+    pos_of: Vec<u32>,
+    parent_pos: Vec<u32>,
+    child_start: Vec<u32>,
+    id_order_sorted: bool,
+    edges_by_id: Vec<(u32, u32)>,
+}
 
-    /// Starts a run from an explicit initial served-rate vector, which
-    /// must be feasible (NSS + root constraint).
-    ///
-    /// # Panics
-    ///
-    /// Panics if vectors do not validate against `tree`, if the initial
-    /// assignment is infeasible, or if `alpha` is outside `(0, 1)`.
-    pub fn with_initial(
-        tree: &Tree,
-        spontaneous: &RateVector,
-        initial: RateVector,
-        config: WaveConfig,
-    ) -> Self {
-        spontaneous
-            .validate_for(tree)
-            .expect("spontaneous rates must match the tree");
-        let assignment = ww_model::LoadAssignment::new(tree, spontaneous, initial.clone())
-            .expect("initial load must match the tree");
-        assert!(
-            assignment.check_feasible(1e-6).is_ok(),
-            "initial load assignment must be feasible"
-        );
-        let max_deg = tree
-            .nodes()
-            .map(|u| tree.children(u).len() + usize::from(tree.parent(u).is_some()))
-            .max()
-            .unwrap_or(0)
-            .max(1); // a single-node tree has no edges; any alpha works
-        let alpha = config.alpha.unwrap_or(1.0 / (max_deg as f64 + 1.0));
-        assert!(alpha > 0.0 && alpha < 1.0, "alpha must lie in (0, 1)");
-        let oracle = webfold(tree, spontaneous).into_load();
-        let forwarded = assignment.forwarded().clone();
-        let mut trace = ConvergenceTrace::new();
-        trace.push(initial.euclidean_distance(&oracle));
-
+impl Layout {
+    fn of(tree: &Tree) -> Layout {
         let n = tree.len();
         // BFS permutation: position -> id, and per-position structure.
         let order: Vec<u32> = tree.bfs_order().iter().map(|u| u.index() as u32).collect();
@@ -212,9 +188,68 @@ impl RateWave {
             edges.sort_by_key(|&(c, _)| order[c as usize]);
             edges
         };
+        Layout {
+            order,
+            pos_of,
+            parent_pos,
+            child_start,
+            id_order_sorted,
+            edges_by_id,
+        }
+    }
+}
 
+impl RateWave {
+    /// Starts a run from the *cold* state: no cache copies exist, so the
+    /// home server serves the entire demand.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `spontaneous` does not validate against `tree`, or if a
+    /// provided `alpha` is outside `(0, 1)`.
+    pub fn new(tree: &Tree, spontaneous: &RateVector, config: WaveConfig) -> Self {
+        let mut initial = RateVector::zeros(tree.len());
+        initial[tree.root()] = spontaneous.total();
+        Self::with_initial(tree, spontaneous, initial, config)
+    }
+
+    /// Starts a run from an explicit initial served-rate vector, which
+    /// must be feasible (NSS + root constraint).
+    ///
+    /// # Panics
+    ///
+    /// Panics if vectors do not validate against `tree`, if the initial
+    /// assignment is infeasible, or if `alpha` is outside `(0, 1)`.
+    pub fn with_initial(
+        tree: &Tree,
+        spontaneous: &RateVector,
+        initial: RateVector,
+        config: WaveConfig,
+    ) -> Self {
+        spontaneous
+            .validate_for(tree)
+            .expect("spontaneous rates must match the tree");
+        let assignment = ww_model::LoadAssignment::new(tree, spontaneous, initial.clone())
+            .expect("initial load must match the tree");
+        assert!(
+            assignment.check_feasible(1e-6).is_ok(),
+            "initial load assignment must be feasible"
+        );
+        let alpha = config.alpha.unwrap_or_else(|| safe_alpha(tree));
+        assert!(alpha > 0.0 && alpha < 1.0, "alpha must lie in (0, 1)");
+        let oracle = webfold(tree, spontaneous).into_load();
+        let forwarded = assignment.forwarded().clone();
+        let mut trace = ConvergenceTrace::new();
+        trace.push(initial.euclidean_distance(&oracle));
+
+        let n = tree.len();
+        let layout = Layout::of(tree);
         let permute = |v: &RateVector| -> Vec<f64> {
-            order.iter().map(|&id| v.as_slice()[id as usize]).collect()
+            layout
+                .order
+                .iter()
+                .map(|&id| v.as_slice()[id as usize])
+                .collect()
         };
         let spont_pos = permute(spontaneous);
         let load_pos = permute(&initial);
@@ -226,19 +261,23 @@ impl RateWave {
             load: initial,
             forwarded,
             alpha,
+            alpha_override: config.alpha,
             staleness: config.staleness,
-            order,
-            pos_of,
-            parent_pos,
-            child_start,
-            id_order_sorted,
-            edges_by_id,
+            order: layout.order,
+            pos_of: layout.pos_of,
+            parent_pos: layout.parent_pos,
+            child_start: layout.child_start,
+            id_order_sorted: layout.id_order_sorted,
+            edges_by_id: layout.edges_by_id,
             spont_pos,
             load_pos,
             fwd_pos,
             next_buf: vec![0.0; n],
             fwd_buf: vec![0.0; n],
             history: VecDeque::with_capacity(config.staleness),
+            failed_up: vec![false; n],
+            failed_up_pos: vec![false; n],
+            any_failed: false,
             oracle,
             trace,
             round: 0,
@@ -312,7 +351,44 @@ impl RateWave {
         // IEEE 754, and the branchless form is `minsd`/`maxsd`, not a
         // mispredictable branch).
         let est: &[f64] = if stale { &self.history[0] } else { load };
-        if self.id_order_sorted {
+        if self.any_failed {
+            // Dynamic regime: some control links are severed, so those
+            // edges move nothing this round (requests still flow — the
+            // repair pass below is untouched). Static runs never reach
+            // this branch, keeping them bit-identical to the reference
+            // engine. With instantaneous gossip `est` aliases `load`, so
+            // one masked loop covers both staleness regimes exactly.
+            let failed = &self.failed_up_pos;
+            if self.id_order_sorted {
+                for c in 1..n {
+                    if failed[c] {
+                        continue;
+                    }
+                    let p = parent_pos[c] as usize;
+                    let (lp, lc) = (load[p], load[c]);
+                    let (ep, ec) = (est[p], est[c]);
+                    let down = (alpha * (lp - ec)).min(fwd_prev[c]).max(0.0);
+                    let up = (alpha * (lc - ep)).min(lc).max(0.0);
+                    let net = down - up;
+                    next[p] -= net;
+                    next[c] += net;
+                }
+            } else {
+                for &(c, p) in &self.edges_by_id {
+                    if failed[c as usize] {
+                        continue;
+                    }
+                    let (c, p) = (c as usize, p as usize);
+                    let (lp, lc) = (load[p], load[c]);
+                    let (ep, ec) = (est[p], est[c]);
+                    let down = (alpha * (lp - ec)).min(fwd_prev[c]).max(0.0);
+                    let up = (alpha * (lc - ep)).min(lc).max(0.0);
+                    let net = down - up;
+                    next[p] -= net;
+                    next[c] += net;
+                }
+            }
+        } else if self.id_order_sorted {
             if stale {
                 // Stale gossip: decisions use the lagged estimate vector.
                 for c in 1..n {
@@ -499,6 +575,177 @@ impl RateWave {
         self.history.clear();
         self.trace.push(self.load.euclidean_distance(&self.oracle));
     }
+
+    /// The routing tree this run currently operates on.
+    pub fn tree(&self) -> &Tree {
+        &self.tree
+    }
+
+    /// Whether the control link from `node` to its parent is currently
+    /// failed.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node` is out of range.
+    pub fn link_failed(&self, node: NodeId) -> bool {
+        self.failed_up[node.index()]
+    }
+
+    /// Fails the control link between `node` and its parent: no
+    /// diffusion transfer or gossip crosses the edge until
+    /// [`RateWave::heal_link`]. The *data* path is unaffected — requests
+    /// keep flowing up the tree (WebWave's control plane rides on top of
+    /// the existing HTTP routing substrate), so the subtree's demand is
+    /// still served, just no longer balanced across the cut.
+    ///
+    /// Returns `false` when the link was already failed.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node` is out of range or is the root (which has no
+    /// uplink).
+    pub fn fail_link(&mut self, node: NodeId) -> bool {
+        assert!(
+            self.tree.parent(node).is_some(),
+            "the root has no uplink to fail"
+        );
+        let fresh = !self.failed_up[node.index()];
+        self.failed_up[node.index()] = true;
+        self.failed_up_pos[self.pos_of[node.index()] as usize] = true;
+        self.any_failed = true;
+        fresh
+    }
+
+    /// Restores the control link between `node` and its parent. Returns
+    /// `false` when the link was not failed.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node` is out of range or is the root.
+    pub fn heal_link(&mut self, node: NodeId) -> bool {
+        assert!(
+            self.tree.parent(node).is_some(),
+            "the root has no uplink to heal"
+        );
+        let was = self.failed_up[node.index()];
+        self.failed_up[node.index()] = false;
+        self.failed_up_pos[self.pos_of[node.index()] as usize] = false;
+        self.any_failed = self.failed_up.iter().any(|&f| f);
+        was
+    }
+
+    /// A cache server joins as a new leaf under `parent`, bringing `rate`
+    /// req/s of spontaneous demand. The newcomer starts cold (serving
+    /// nothing; its demand flows upward), the TLB oracle is recomputed
+    /// for the grown tree, and the dense layout is rebuilt.
+    ///
+    /// Returns the new node's id (`== old len`).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ModelError::NodeOutOfRange`] for an unknown parent or
+    /// [`ModelError::InvalidRate`] for a negative/non-finite rate.
+    pub fn add_leaf(&mut self, parent: NodeId, rate: f64) -> Result<NodeId, ModelError> {
+        if !rate.is_finite() || rate < 0.0 {
+            return Err(ModelError::InvalidRate {
+                node: parent,
+                value: rate,
+            });
+        }
+        let id = self.tree.add_leaf(parent)?;
+        let mut spont = self.spontaneous.clone().into_inner();
+        spont.push(rate);
+        self.spontaneous = RateVector::from(spont);
+        let mut load = self.load.clone().into_inner();
+        load.push(0.0);
+        self.load = RateVector::from(load);
+        self.failed_up.push(false);
+        self.rebuild();
+        Ok(id)
+    }
+
+    /// A leaf cache server departs. Its clients re-route to the next
+    /// cache up the tree, so its spontaneous demand re-homes to its
+    /// parent (total demand is conserved); the load it served reappears
+    /// upstream and is re-balanced over the following rounds. Ids are
+    /// compacted exactly as [`Tree::remove_leaf`] describes (swap-remove).
+    ///
+    /// # Errors
+    ///
+    /// As [`Tree::remove_leaf`]: unknown id, root, or interior node.
+    pub fn remove_leaf(&mut self, node: NodeId) -> Result<LeafRemoval, ModelError> {
+        let removal = self.tree.remove_leaf(node)?;
+        let mut spont = self.spontaneous.clone().into_inner();
+        removal.rehome(&mut spont);
+        self.spontaneous = RateVector::from(spont);
+        let mut load = self.load.clone().into_inner();
+        load.swap_remove(node.index());
+        self.load = RateVector::from(load);
+        self.failed_up.swap_remove(node.index());
+        self.rebuild();
+        Ok(removal)
+    }
+
+    /// Rebuilds every derived structure after a topology event: dense
+    /// layout, safe alpha (unless overridden), TLB oracle, feasibility of
+    /// the carried-over load, failed-link mask, and the public vectors.
+    /// Gossip history is dropped (it describes the old regime) and the
+    /// post-event distance is appended to the trace.
+    fn rebuild(&mut self) {
+        let n = self.tree.len();
+        let layout = Layout::of(&self.tree);
+        self.alpha = self
+            .alpha_override
+            .unwrap_or_else(|| safe_alpha(&self.tree));
+        self.oracle = webfold(&self.tree, &self.spontaneous).into_load();
+        self.spont_pos = layout
+            .order
+            .iter()
+            .map(|&id| self.spontaneous.as_slice()[id as usize])
+            .collect();
+        self.load_pos = layout
+            .order
+            .iter()
+            .map(|&id| self.load.as_slice()[id as usize])
+            .collect();
+        self.fwd_pos = vec![0.0; n];
+        self.next_buf = vec![0.0; n];
+        self.fwd_buf = vec![0.0; n];
+        self.failed_up_pos = layout
+            .order
+            .iter()
+            .map(|&id| self.failed_up[id as usize])
+            .collect();
+        self.any_failed = self.failed_up.iter().any(|&f| f);
+        self.order = layout.order;
+        self.pos_of = layout.pos_of;
+        self.parent_pos = layout.parent_pos;
+        self.child_start = layout.child_start;
+        self.id_order_sorted = layout.id_order_sorted;
+        self.edges_by_id = layout.edges_by_id;
+        self.history.clear();
+        // Re-impose flow feasibility bottom-up under the new topology.
+        for u in (0..n).rev() {
+            let mut through = self.spont_pos[u];
+            let (lo, hi) = (
+                self.child_start[u] as usize,
+                self.child_start[u + 1] as usize,
+            );
+            for v in lo..hi {
+                through += self.fwd_pos[v];
+            }
+            if u == 0 {
+                self.load_pos[u] = through;
+                self.fwd_pos[u] = 0.0;
+            } else {
+                self.load_pos[u] = self.load_pos[u].clamp(0.0, through);
+                self.fwd_pos[u] = through - self.load_pos[u];
+            }
+        }
+        self.forwarded = RateVector::zeros(n);
+        self.unpermute();
+        self.trace.push(self.load.euclidean_distance(&self.oracle));
+    }
 }
 
 #[cfg(test)]
@@ -666,6 +913,91 @@ mod tests {
         w.run(10);
         assert_eq!(w.load().as_slice(), &[5.0]);
         assert!(w.distance_to_tlb() < 1e-12);
+    }
+
+    #[test]
+    fn node_join_reconverges_to_the_grown_tlb() {
+        let s = paper::fig6();
+        let mut w = RateWave::new(&s.tree, &s.spontaneous, WaveConfig::default());
+        w.run(2000);
+        assert!(w.distance_to_tlb() < 1e-6);
+        let id = w.add_leaf(NodeId::new(2), 40.0).unwrap();
+        assert_eq!(id.index(), s.tree.len());
+        // The shock moves the system off the (new) oracle...
+        assert!(w.distance_to_tlb() > 1.0);
+        assert!((w.load().total() - (s.total_demand() + 40.0)).abs() < 1e-6);
+        // ...and diffusion recovers.
+        w.run(3000);
+        assert!(
+            w.distance_to_tlb() < 1e-6,
+            "distance {}",
+            w.distance_to_tlb()
+        );
+    }
+
+    #[test]
+    fn node_leave_rehomes_demand_and_reconverges() {
+        let s = paper::fig6();
+        let mut w = RateWave::new(&s.tree, &s.spontaneous, WaveConfig::default());
+        w.run(2000);
+        let total = s.total_demand();
+        let leaf = s
+            .tree
+            .nodes()
+            .find(|&u| s.tree.is_leaf(u))
+            .expect("a leaf exists");
+        w.remove_leaf(leaf).unwrap();
+        assert_eq!(w.load().len(), s.tree.len() - 1);
+        // Demand conserved: the departed clients re-route upstream.
+        assert!((w.load().total() - total).abs() < 1e-6);
+        w.run(3000);
+        assert!(
+            w.distance_to_tlb() < 1e-6,
+            "distance {}",
+            w.distance_to_tlb()
+        );
+    }
+
+    #[test]
+    fn failed_link_freezes_the_edge_until_healed() {
+        // Path 0-1-2, all demand at the far leaf.
+        let tree = Tree::from_parents(&[None, Some(0), Some(1)]).unwrap();
+        let e = RateVector::from(vec![0.0, 0.0, 90.0]);
+        let mut w = RateWave::new(&tree, &e, WaveConfig::default());
+        // Sever the 1-2 link before any balancing: node 2's demand flows
+        // up (data plane), but no load diffuses back down to node 2.
+        assert!(w.fail_link(NodeId::new(2)));
+        w.run(4000);
+        assert_eq!(w.load()[NodeId::new(2)], 0.0);
+        // Nodes 0 and 1 still balance the 0-1 edge between themselves.
+        assert!(w.load()[NodeId::new(1)] > 1.0);
+        assert!(w.distance_to_tlb() > 1.0);
+        // Healing restores full convergence to the 30/30/30 TLB.
+        assert!(w.heal_link(NodeId::new(2)));
+        w.run(4000);
+        assert!(
+            w.distance_to_tlb() < 1e-6,
+            "distance {}",
+            w.distance_to_tlb()
+        );
+    }
+
+    #[test]
+    fn churn_under_stale_gossip_still_recovers() {
+        let s = paper::fig6();
+        let cfg = WaveConfig {
+            alpha: None,
+            staleness: 2,
+        };
+        let mut w = RateWave::new(&s.tree, &s.spontaneous, cfg);
+        w.run(100);
+        w.add_leaf(NodeId::new(0), 25.0).unwrap();
+        w.run(12000);
+        assert!(
+            w.distance_to_tlb() < 1e-4,
+            "distance {}",
+            w.distance_to_tlb()
+        );
     }
 
     /// The BFS-permuted layout must agree with the tree structure: every

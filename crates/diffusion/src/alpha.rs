@@ -92,6 +92,34 @@ pub fn from_spectrum_extremes(lambda_min: f64, lambda_max: f64) -> OptimalAlpha 
     }
 }
 
+/// The always-stable diffusion parameter for a routing tree:
+/// `1 / (max_degree + 1)`, the bound WebWave's Figure 5 uses ("other
+/// values of `alpha_i` are possible"). Stability holds for any tree, so
+/// engines recompute it with this helper whenever churn events mutate
+/// the topology mid-run.
+///
+/// A single-node tree has no edges; the returned `1/2` keeps the value
+/// inside `(0, 1)` where any alpha works.
+///
+/// # Example
+///
+/// ```
+/// use ww_diffusion::safe_alpha;
+/// use ww_model::Tree;
+///
+/// let star = Tree::from_parents(&[None, Some(0), Some(0), Some(0)]).unwrap();
+/// assert_eq!(safe_alpha(&star), 0.25); // root degree 3
+/// ```
+pub fn safe_alpha(tree: &ww_model::Tree) -> f64 {
+    let max_deg = tree
+        .nodes()
+        .map(|u| tree.children(u).len() + usize::from(tree.parent(u).is_some()))
+        .max()
+        .unwrap_or(0)
+        .max(1);
+    1.0 / (max_deg as f64 + 1.0)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

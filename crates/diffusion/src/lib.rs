@@ -42,7 +42,8 @@ pub mod matrix;
 pub mod sync;
 
 pub use alpha::{
-    from_spectrum_extremes, hypercube_alpha, k_ary_n_cube_alpha, ring_alpha, OptimalAlpha,
+    from_spectrum_extremes, hypercube_alpha, k_ary_n_cube_alpha, ring_alpha, safe_alpha,
+    OptimalAlpha,
 };
 pub use asynchronous::{AsyncConfig, AsyncDiffusion};
 pub use matrix::DiffusionMatrix;

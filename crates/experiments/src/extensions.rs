@@ -138,6 +138,7 @@ pub fn throughput_study() -> ThroughputStudy {
         termination: Termination::Rounds { max: 1 },
         seed: DEFAULT_SEED,
         sweep: None,
+        events: None,
     };
     let report = Runner::new().run(&spec).expect("throughput spec resolves");
     let schemes = report.rows[0].outcome.schemes.clone();
@@ -213,6 +214,7 @@ pub fn forest_study() -> ForestStudy {
             termination: Termination::Rounds { max: 8000 },
             seed: DEFAULT_SEED,
             sweep: None,
+            events: None,
         };
         let report = Runner::new().run(&spec).expect("forest spec resolves");
         report.rows[0].outcome.load.clone().expect("total load")

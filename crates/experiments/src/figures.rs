@@ -38,6 +38,7 @@ fn figure_spec(
         termination,
         seed: DEFAULT_SEED,
         sweep: None,
+        events: None,
     }
 }
 

@@ -194,6 +194,49 @@ impl ForestWave {
         &self.loads
     }
 
+    /// Replaces every tree's demand mid-run (a workload shift). Current
+    /// loads are kept and re-projected onto the new feasible region —
+    /// each tree's bottom-up repair clamps serves to the new through
+    /// rates and the tree's root absorbs the residual — exactly how a
+    /// running forest would experience the shift. The max-load trace
+    /// gains a post-shift sample.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the demand count or any vector length mismatches the
+    /// forest.
+    pub fn set_demands(&mut self, demands: &[RateVector]) {
+        assert_eq!(
+            demands.len(),
+            self.forest.tree_count(),
+            "one demand vector per tree"
+        );
+        let n = self.forest.node_count();
+        for (k, demand) in demands.iter().enumerate() {
+            let tree = self.forest.tree(k);
+            demand
+                .validate_for(tree)
+                .expect("demand must match the node set");
+            self.demands[k] = demand.clone();
+            let mut forwarded = RateVector::zeros(n);
+            for u in tree.bottom_up() {
+                let mut through = self.demands[k][u];
+                for &ch in tree.children(u) {
+                    through += forwarded[ch];
+                }
+                if tree.parent(u).is_none() {
+                    self.loads[k][u] = through;
+                    forwarded[u] = 0.0;
+                } else {
+                    self.loads[k][u] = self.loads[k][u].clamp(0.0, through);
+                    forwarded[u] = through - self.loads[k][u];
+                }
+            }
+            self.forwarded[k] = forwarded;
+        }
+        self.max_load_trace.push(self.total_load().max());
+    }
+
     /// Total physical load per server (summed over trees).
     pub fn total_load(&self) -> RateVector {
         self.forest.total_load(&self.loads)

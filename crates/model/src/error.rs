@@ -65,6 +65,25 @@ pub enum ModelError {
         /// The missing document id raw value.
         doc: u64,
     },
+    /// A mutation required a leaf but the node has children.
+    NotALeaf {
+        /// The interior node.
+        node: NodeId,
+        /// How many children it has.
+        children: usize,
+    },
+    /// The root (home server) cannot be removed from a tree.
+    CannotRemoveRoot {
+        /// The root node.
+        node: NodeId,
+    },
+    /// A node id lies outside the tree.
+    NodeOutOfRange {
+        /// The out-of-range id.
+        node: NodeId,
+        /// Number of nodes in the tree.
+        len: usize,
+    },
 }
 
 impl fmt::Display for ModelError {
@@ -104,6 +123,15 @@ impl fmt::Display for ModelError {
             ),
             ModelError::UnknownDocument { doc } => {
                 write!(f, "document d{doc} is not in the catalog")
+            }
+            ModelError::NotALeaf { node, children } => {
+                write!(f, "node {node} is not a leaf (it has {children} children)")
+            }
+            ModelError::CannotRemoveRoot { node } => {
+                write!(f, "the root {node} (home server) cannot be removed")
+            }
+            ModelError::NodeOutOfRange { node, len } => {
+                write!(f, "node {node} is outside the {len}-node tree")
             }
         }
     }

@@ -53,7 +53,7 @@ pub use doctable::{DocSet, DocTable};
 pub use error::ModelError;
 pub use ids::{DocId, NodeId};
 pub use load::RateVector;
-pub use tree::{Tree, TreeBuilder};
+pub use tree::{LeafRemoval, Tree, TreeBuilder};
 
 /// Result alias used across `ww-model`.
 pub type Result<T> = std::result::Result<T, ModelError>;

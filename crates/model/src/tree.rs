@@ -322,6 +322,126 @@ impl Tree {
     pub fn to_parents(&self) -> Vec<Option<usize>> {
         self.parent.iter().map(|p| p.map(NodeId::index)).collect()
     }
+
+    /// Rebuilds every derived structure (children, depths, subtree sizes,
+    /// BFS order) from a mutated parent array. `O(n)`; mutations are rare
+    /// events, not hot-path operations.
+    fn rebuild(parents: Vec<Option<usize>>) -> Self {
+        Tree::from_parents(&parents).expect("mutation preserved tree validity")
+    }
+
+    /// Grows the tree by one leaf under `parent` (a cache server joining
+    /// the routing tree). The new node takes the next id, `self.len()`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ModelError::NodeOutOfRange`] when `parent` is not a node
+    /// of the tree.
+    pub fn add_leaf(&mut self, parent: NodeId) -> Result<NodeId> {
+        if parent.index() >= self.len() {
+            return Err(ModelError::NodeOutOfRange {
+                node: parent,
+                len: self.len(),
+            });
+        }
+        let mut parents = self.to_parents();
+        let id = NodeId::new(parents.len());
+        parents.push(Some(parent.index()));
+        *self = Tree::rebuild(parents);
+        Ok(id)
+    }
+
+    /// Removes the leaf `node` (a cache server leaving), compacting ids
+    /// the way dense per-node tables do: the highest-numbered node is
+    /// renumbered to the departed node's id (swap-remove).
+    ///
+    /// The returned [`LeafRemoval`] names the renumbering so callers can
+    /// apply the *same* `swap_remove` to their per-node vectors and keep
+    /// id-addressed state aligned.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ModelError::NodeOutOfRange`] for an unknown id,
+    /// [`ModelError::CannotRemoveRoot`] for the root, and
+    /// [`ModelError::NotALeaf`] for interior nodes (removing one would
+    /// orphan its subtree).
+    pub fn remove_leaf(&mut self, node: NodeId) -> Result<LeafRemoval> {
+        let n = self.len();
+        if node.index() >= n {
+            return Err(ModelError::NodeOutOfRange { node, len: n });
+        }
+        if node == self.root {
+            return Err(ModelError::CannotRemoveRoot { node });
+        }
+        if !self.is_leaf(node) {
+            return Err(ModelError::NotALeaf {
+                node,
+                children: self.children(node).len(),
+            });
+        }
+        let parent = self.parent(node).expect("non-root has a parent");
+        let last = NodeId::new(n - 1);
+        let mut parents = self.to_parents();
+        // Swap-remove: the former last node (if distinct) takes the
+        // removed id; every reference to it is renumbered.
+        parents.swap_remove(node.index());
+        for p in parents.iter_mut().flatten() {
+            if *p == last.index() {
+                *p = node.index();
+            }
+        }
+        *self = Tree::rebuild(parents);
+        Ok(LeafRemoval {
+            removed: node,
+            parent: if parent == last { node } else { parent },
+            moved: (node != last).then_some(last),
+        })
+    }
+}
+
+/// Outcome of [`Tree::remove_leaf`]: which id was vacated and how the
+/// compaction renumbered the former last node.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LeafRemoval {
+    /// The id the departed leaf held (now occupied by `moved`, when set).
+    pub removed: NodeId,
+    /// The departed leaf's parent, **post-compaction** (already renumbered
+    /// if the parent was the former last node).
+    pub parent: NodeId,
+    /// The former last id, which now lives at `removed`; `None` when the
+    /// departed leaf *was* the last id (plain truncation, no renumbering).
+    pub moved: Option<NodeId>,
+}
+
+impl LeafRemoval {
+    /// The departed leaf's parent under the **pre-compaction** numbering —
+    /// for tables still laid out by the old ids (e.g. a demand slab whose
+    /// rows have not been swap-removed yet).
+    pub fn parent_before(&self) -> NodeId {
+        match self.moved {
+            Some(last) if self.parent == self.removed => last,
+            _ => self.parent,
+        }
+    }
+
+    /// Applies this removal to a per-node value vector: the departed
+    /// node's value is swap-removed (mirroring the id compaction) and
+    /// **re-homed** — added onto the parent's slot — so totals are
+    /// conserved, exactly as a departing cache's clients re-route to the
+    /// next cache up the tree. Returns the departed value.
+    ///
+    /// Every consumer of [`Tree::remove_leaf`] that keeps an id-indexed
+    /// rate vector must apply this same surgery; sharing it here keeps
+    /// the post- vs pre-compaction parent indexing in one place.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `values` does not match the pre-removal node count.
+    pub fn rehome(&self, values: &mut Vec<f64>) -> f64 {
+        let departed = values.swap_remove(self.removed.index());
+        values[self.parent.index()] += departed;
+        departed
+    }
 }
 
 /// Iterator over the nodes from a starting node up to the root.
@@ -553,6 +673,113 @@ mod tests {
         assert!(t.is_leaf(t.root()));
         assert_eq!(t.height(), 0);
         assert_eq!(t.leaf_count(), 1);
+    }
+
+    #[test]
+    fn add_leaf_appends_next_id() {
+        let mut t = four_node_tree();
+        let id = t.add_leaf(NodeId::new(2)).unwrap();
+        assert_eq!(id, NodeId::new(4));
+        assert_eq!(t.len(), 5);
+        assert_eq!(t.parent(id), Some(NodeId::new(2)));
+        assert!(t.is_leaf(id));
+        assert_eq!(t.subtree_size(NodeId::new(0)), 5);
+        assert_eq!(t.subtree_size(NodeId::new(2)), 2);
+        assert_eq!(t.depth(id), 2);
+    }
+
+    #[test]
+    fn add_leaf_rejects_unknown_parent() {
+        let mut t = four_node_tree();
+        assert!(matches!(
+            t.add_leaf(NodeId::new(9)),
+            Err(ModelError::NodeOutOfRange { len: 4, .. })
+        ));
+    }
+
+    #[test]
+    fn remove_last_leaf_truncates() {
+        let mut t = four_node_tree();
+        let r = t.remove_leaf(NodeId::new(3)).unwrap();
+        assert_eq!(r.removed, NodeId::new(3));
+        assert_eq!(r.parent, NodeId::new(1));
+        assert_eq!(r.moved, None);
+        assert_eq!(t.len(), 3);
+        assert!(t.is_leaf(NodeId::new(1)));
+    }
+
+    #[test]
+    fn remove_leaf_swap_renumbers_last_node() {
+        // 0 -> {1, 2}, 1 -> {3}: removing leaf 2 moves 3 into id 2.
+        let mut t = four_node_tree();
+        let r = t.remove_leaf(NodeId::new(2)).unwrap();
+        assert_eq!(r.moved, Some(NodeId::new(3)));
+        assert_eq!(r.parent, NodeId::new(0));
+        assert_eq!(t.len(), 3);
+        // The former node 3 (child of 1) now answers to id 2.
+        assert_eq!(t.parent(NodeId::new(2)), Some(NodeId::new(1)));
+        assert_eq!(t.children(NodeId::new(1)), &[NodeId::new(2)]);
+    }
+
+    #[test]
+    fn remove_leaf_whose_parent_is_the_moved_node() {
+        // 0 -> {1, 3}, 3 -> {2}: removing leaf 2 moves 3 nowhere useful —
+        // build it so the removed leaf's parent is the last id.
+        let mut t = Tree::from_parents(&[None, Some(0), Some(3), Some(0)]).unwrap();
+        let r = t.remove_leaf(NodeId::new(2)).unwrap();
+        // The parent (old id 3) was renumbered to the vacated id 2.
+        assert_eq!(r.parent, NodeId::new(2));
+        assert_eq!(r.moved, Some(NodeId::new(3)));
+        assert_eq!(t.parent(NodeId::new(2)), Some(NodeId::new(0)));
+        assert!(t.is_leaf(NodeId::new(2)));
+    }
+
+    #[test]
+    fn remove_rejects_root_and_interior_nodes() {
+        let mut t = four_node_tree();
+        assert!(matches!(
+            t.remove_leaf(NodeId::new(0)),
+            Err(ModelError::CannotRemoveRoot { .. })
+        ));
+        assert!(matches!(
+            t.remove_leaf(NodeId::new(1)),
+            Err(ModelError::NotALeaf { children: 1, .. })
+        ));
+        assert!(matches!(
+            t.remove_leaf(NodeId::new(7)),
+            Err(ModelError::NodeOutOfRange { .. })
+        ));
+    }
+
+    #[test]
+    fn rehome_conserves_totals_under_both_parent_numberings() {
+        // Plain case: parent keeps its id.
+        let mut t = four_node_tree();
+        let r = t.remove_leaf(NodeId::new(2)).unwrap();
+        let mut v = vec![1.0, 2.0, 4.0, 8.0];
+        let departed = r.rehome(&mut v);
+        assert_eq!(departed, 4.0);
+        assert_eq!(v, vec![5.0, 2.0, 8.0]); // node 3 moved into slot 2
+        assert_eq!(r.parent_before(), NodeId::new(0));
+
+        // Parent-was-last case: the parent is renumbered into the slot.
+        let mut t = Tree::from_parents(&[None, Some(0), Some(3), Some(0)]).unwrap();
+        let r = t.remove_leaf(NodeId::new(2)).unwrap();
+        let mut v = vec![1.0, 2.0, 4.0, 8.0];
+        let departed = r.rehome(&mut v);
+        assert_eq!(departed, 4.0);
+        // Old node 3 (the parent) now lives at slot 2 and absorbed 4.0.
+        assert_eq!(v, vec![1.0, 2.0, 12.0]);
+        assert_eq!(r.parent_before(), NodeId::new(3));
+    }
+
+    #[test]
+    fn churn_round_trip_restores_structure() {
+        let mut t = four_node_tree();
+        let added = t.add_leaf(NodeId::new(2)).unwrap();
+        let r = t.remove_leaf(added).unwrap();
+        assert_eq!(r.moved, None);
+        assert_eq!(t, four_node_tree());
     }
 
     #[test]

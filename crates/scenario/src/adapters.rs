@@ -9,14 +9,108 @@
 //! all their work in a single step and then report [`StepOutcome::Done`].
 
 use crate::engine::{Engine, MetricSink, StepOutcome};
+use crate::events::{Event, EventError};
 use crate::spec::BaselineScheme;
 use ww_baselines::SchemeReport;
 use ww_core::docsim::DocSim;
 use ww_core::packetsim::{PacketSim, PacketSimConfig, PacketSimReport};
 use ww_core::wave::RateWave;
 use ww_forest::ForestWave;
-use ww_model::{RateVector, Tree};
+use ww_model::{NodeId, RateVector, Tree};
 use ww_runtime::{run_cluster, ClusterConfig, ClusterReport};
+
+/// Wraps an engine-level failure into the typed event rejection.
+fn invalid(event: &Event, reason: impl std::fmt::Display) -> EventError {
+    EventError::Invalid {
+        event: event.kind(),
+        reason: reason.to_string(),
+    }
+}
+
+/// Validates that `node` has an uplink in `tree` (exists and is not the
+/// root), so link events can be applied without panicking.
+fn check_uplink(tree: &Tree, node: NodeId, event: &Event) -> Result<(), EventError> {
+    if node.index() >= tree.len() {
+        return Err(invalid(
+            event,
+            format!("node {node} is outside the {}-node tree", tree.len()),
+        ));
+    }
+    if tree.parent(node).is_none() {
+        return Err(invalid(event, format!("the root {node} has no uplink")));
+    }
+    Ok(())
+}
+
+/// Shared event handling for the one-shot engines (cluster, baselines):
+/// churn and workload shifts mutate the stored tree/rates *before* the
+/// single step runs; afterwards nothing can change. Document and link
+/// events have no meaning for a static assignment and are unsupported.
+fn apply_static(
+    engine: &'static str,
+    already_ran: bool,
+    tree: &mut Tree,
+    rates: &mut RateVector,
+    event: &Event,
+) -> Result<(), EventError> {
+    match event {
+        Event::NodeJoin { .. } | Event::NodeLeave { .. } | Event::WorkloadShift { .. }
+            if already_ran =>
+        {
+            Err(invalid(
+                event,
+                format!("the one-shot {engine} engine already ran; schedule events at round 0"),
+            ))
+        }
+        Event::NodeJoin { parent, rate } => {
+            if !rate.is_finite() || *rate < 0.0 {
+                return Err(invalid(event, format!("invalid rate {rate}")));
+            }
+            tree.add_leaf(*parent).map_err(|e| invalid(event, e))?;
+            let mut v = rates.clone().into_inner();
+            v.push(*rate);
+            *rates = RateVector::from(v);
+            Ok(())
+        }
+        Event::NodeLeave { node } => {
+            let removal = tree.remove_leaf(*node).map_err(|e| invalid(event, e))?;
+            let mut v = rates.clone().into_inner();
+            removal.rehome(&mut v);
+            *rates = RateVector::from(v);
+            Ok(())
+        }
+        Event::WorkloadShift {
+            rates: Some(shifted),
+            ..
+        } => {
+            check_rates(shifted, tree.len(), event)?;
+            *rates = shifted.clone();
+            Ok(())
+        }
+        Event::WorkloadShift { rates: None, .. } => Err(invalid(
+            event,
+            format!("the {engine} engine needs rates in a workload_shift"),
+        )),
+        _ => Err(EventError::Unsupported {
+            engine,
+            event: event.kind(),
+        }),
+    }
+}
+
+/// Validates a resolved rates vector against the engine's node count.
+fn check_rates(rates: &RateVector, n: usize, event: &Event) -> Result<(), EventError> {
+    if rates.len() != n {
+        return Err(invalid(
+            event,
+            format!("expected {n} rates (one per node), got {}", rates.len()),
+        ));
+    }
+    if let Some((node, bad)) = rates.iter().find(|&(_, r)| !r.is_finite() || r < 0.0) {
+        return Err(invalid(event, format!("rate at {node} is invalid: {bad}")));
+    }
+    Ok(())
+}
 
 impl Engine for RateWave {
     fn kind(&self) -> &'static str {
@@ -40,6 +134,10 @@ impl Engine for RateWave {
         Some(RateWave::load(self).clone())
     }
 
+    fn max_load(&self) -> Option<f64> {
+        Some(RateWave::load(self).max())
+    }
+
     fn oracle(&self) -> Option<RateVector> {
         Some(RateWave::oracle(self).clone())
     }
@@ -54,6 +152,42 @@ impl Engine for RateWave {
         let load = RateWave::load(self);
         sink.metric("max_load", load.max());
         sink.metric("total_load", load.total());
+    }
+
+    fn apply(&mut self, event: &Event) -> Result<(), EventError> {
+        match event {
+            Event::NodeJoin { parent, rate } => RateWave::add_leaf(self, *parent, *rate)
+                .map(|_| ())
+                .map_err(|e| invalid(event, e)),
+            Event::NodeLeave { node } => RateWave::remove_leaf(self, *node)
+                .map(|_| ())
+                .map_err(|e| invalid(event, e)),
+            Event::LinkFail { node } => {
+                check_uplink(self.tree(), *node, event)?;
+                self.fail_link(*node);
+                Ok(())
+            }
+            Event::LinkHeal { node } => {
+                check_uplink(self.tree(), *node, event)?;
+                self.heal_link(*node);
+                Ok(())
+            }
+            Event::WorkloadShift {
+                rates: Some(rates), ..
+            } => {
+                check_rates(rates, self.tree().len(), event)?;
+                self.set_spontaneous(rates);
+                Ok(())
+            }
+            Event::WorkloadShift { rates: None, .. } => Err(invalid(
+                event,
+                "the rate_wave engine needs rates in a workload_shift",
+            )),
+            Event::DocPublish { .. } | Event::DocUpdate { .. } => Err(EventError::Unsupported {
+                engine: "rate_wave",
+                event: event.kind(),
+            }),
+        }
     }
 }
 
@@ -79,6 +213,10 @@ impl Engine for DocSim {
         Some(DocSim::load(self).clone())
     }
 
+    fn max_load(&self) -> Option<f64> {
+        Some(DocSim::load(self).max())
+    }
+
     fn oracle(&self) -> Option<RateVector> {
         Some(DocSim::oracle(self).clone())
     }
@@ -95,6 +233,38 @@ impl Engine for DocSim {
         sink.metric("copy_deletions", stats.copy_deletions as f64);
         sink.metric("tunnel_fetches", stats.tunnel_fetches as f64);
         sink.metric("barrier_suspicions", stats.barrier_suspicions as f64);
+    }
+
+    fn apply(&mut self, event: &Event) -> Result<(), EventError> {
+        match event {
+            Event::NodeJoin { parent, rate } => DocSim::add_leaf(self, *parent, *rate)
+                .map(|_| ())
+                .map_err(|e| invalid(event, e)),
+            Event::NodeLeave { node } => DocSim::remove_leaf(self, *node)
+                .map(|_| ())
+                .map_err(|e| invalid(event, e)),
+            Event::LinkFail { node } => {
+                check_uplink(self.tree(), *node, event)?;
+                self.fail_link(*node);
+                Ok(())
+            }
+            Event::LinkHeal { node } => {
+                check_uplink(self.tree(), *node, event)?;
+                self.heal_link(*node);
+                Ok(())
+            }
+            Event::DocPublish { doc, origin, rate } => self
+                .publish_doc(*doc, *origin, *rate)
+                .map_err(|e| invalid(event, e)),
+            Event::DocUpdate { doc } => self.invalidate_doc(*doc).map_err(|e| invalid(event, e)),
+            Event::WorkloadShift {
+                doc_mix: Some(mix), ..
+            } => self.set_mix(mix).map_err(|e| invalid(event, e)),
+            Event::WorkloadShift { doc_mix: None, .. } => Err(invalid(
+                event,
+                "the doc_sim engine needs a doc_mix in a workload_shift",
+            )),
+        }
     }
 }
 
@@ -139,6 +309,33 @@ impl Engine for ForestWave {
         sink.metric("max_total_load", total.max());
         sink.metric("total_load", total.total());
         sink.metric("trees", self.loads().len() as f64);
+    }
+
+    /// Forest runs support workload shifts only: the shifted rates are
+    /// offered to every tree, exactly as at construction. Churn and link
+    /// events would have to mutate the underlying shared graph and every
+    /// derived tree at once — out of the forest protocol's scope — so
+    /// they are rejected with a typed error.
+    fn apply(&mut self, event: &Event) -> Result<(), EventError> {
+        match event {
+            Event::WorkloadShift {
+                rates: Some(rates), ..
+            } => {
+                let n = self.loads().first().map_or(0, RateVector::len);
+                check_rates(rates, n, event)?;
+                let demands = vec![rates.clone(); self.loads().len()];
+                self.set_demands(&demands);
+                Ok(())
+            }
+            Event::WorkloadShift { rates: None, .. } => Err(invalid(
+                event,
+                "the forest_wave engine needs rates in a workload_shift",
+            )),
+            _ => Err(EventError::Unsupported {
+                engine: "forest_wave",
+                event: event.kind(),
+            }),
+        }
     }
 }
 
@@ -195,6 +392,10 @@ impl Engine for PacketEngine {
         self.last.as_ref().map(|r| r.served_rates.clone())
     }
 
+    fn max_load(&self) -> Option<f64> {
+        self.last.as_ref().map(|r| r.served_rates.max())
+    }
+
     fn oracle(&self) -> Option<RateVector> {
         Some(self.sim.oracle().clone())
     }
@@ -214,6 +415,30 @@ impl Engine for PacketEngine {
                 "control_msgs_per_request",
                 r.ledger.control_overhead_per_request(),
             );
+        }
+    }
+
+    /// The packet engine supports cache invalidation and control-link
+    /// failures mid-run. Churn and workload shifts would have to rewrite
+    /// the Poisson arrival streams already threaded through the event
+    /// heap, so they are rejected with a typed error.
+    fn apply(&mut self, event: &Event) -> Result<(), EventError> {
+        match event {
+            Event::DocUpdate { doc } => self.sim.invalidate(*doc).map_err(|e| invalid(event, e)),
+            Event::LinkFail { node } => {
+                check_uplink(self.sim.tree(), *node, event)?;
+                self.sim.fail_link(*node);
+                Ok(())
+            }
+            Event::LinkHeal { node } => {
+                check_uplink(self.sim.tree(), *node, event)?;
+                self.sim.heal_link(*node);
+                Ok(())
+            }
+            _ => Err(EventError::Unsupported {
+                engine: "packet_sim",
+                event: event.kind(),
+            }),
         }
     }
 }
@@ -278,6 +503,16 @@ impl Engine for ClusterEngine {
             sink.metric("max_load", r.loads.max());
             sink.metric("messages", r.messages as f64);
         }
+    }
+
+    fn apply(&mut self, event: &Event) -> Result<(), EventError> {
+        apply_static(
+            "cluster",
+            self.report.is_some(),
+            &mut self.tree,
+            &mut self.rates,
+            event,
+        )
     }
 }
 
@@ -423,5 +658,15 @@ impl Engine for BaselineEngine {
 
     fn scheme_reports(&self) -> Vec<SchemeReport> {
         self.reports.clone()
+    }
+
+    fn apply(&mut self, event: &Event) -> Result<(), EventError> {
+        apply_static(
+            "baselines",
+            self.stepped,
+            &mut self.tree,
+            &mut self.rates,
+            event,
+        )
     }
 }

@@ -9,6 +9,7 @@
 //! round by round — the streaming replacement for the per-engine trace
 //! plumbing the constructors used to expose.
 
+use crate::events::{Event, EventError};
 use ww_baselines::SchemeReport;
 use ww_model::RateVector;
 
@@ -53,6 +54,12 @@ pub trait Observer {
     /// Called after each step.
     fn on_round(&mut self, round: usize, convergence: Option<f64>) {
         let _ = (round, convergence);
+    }
+
+    /// Called when the runner fires a scheduled dynamics event (after the
+    /// engine accepted or rejected it — `error` carries a rejection).
+    fn on_event(&mut self, index: usize, round: usize, event: &Event, error: Option<&EventError>) {
+        let _ = (index, round, event, error);
     }
 
     /// Called once when the run terminates.
@@ -135,6 +142,14 @@ pub trait Engine {
     /// Current per-node served rates, when meaningful.
     fn load(&self) -> Option<RateVector>;
 
+    /// Current maximum per-node load, when meaningful. The dynamic drive
+    /// loop samples this every round for the per-event peak-load metric;
+    /// the default goes through [`Engine::load`] (cloning the vector),
+    /// so engines with cheap access override it.
+    fn max_load(&self) -> Option<f64> {
+        self.load().map(|l| l.max())
+    }
+
     /// The TLB oracle, when the engine computes one.
     fn oracle(&self) -> Option<RateVector>;
 
@@ -143,6 +158,26 @@ pub trait Engine {
 
     /// Streams every summary metric into `sink`.
     fn metrics(&self, sink: &mut dyn MetricSink);
+
+    /// Applies a dynamics event — churn, link failure, document
+    /// lifecycle, or workload shift — between rounds. The default
+    /// implementation rejects everything with a typed
+    /// [`EventError::Unsupported`]; engines override it for the event
+    /// kinds they can honor (see the support matrix in
+    /// `docs/dynamics.md`). Implementations must reject, not panic, on
+    /// events they cannot apply.
+    ///
+    /// # Errors
+    ///
+    /// [`EventError::Unsupported`] for event kinds outside the engine's
+    /// semantics, [`EventError::Invalid`] for supported kinds that cannot
+    /// apply to the current state.
+    fn apply(&mut self, event: &Event) -> Result<(), EventError> {
+        Err(EventError::Unsupported {
+            engine: self.kind(),
+            event: event.kind(),
+        })
+    }
 
     /// Per-scheme baseline reports (baselines engine only).
     fn scheme_reports(&self) -> Vec<SchemeReport> {

@@ -8,6 +8,7 @@
 //! exactly.
 
 use crate::error::SpecError;
+use crate::events::{EventKindSpec, EventSpec, EventsSpec, DEFAULT_RECOVERY_THRESHOLD};
 use crate::spec::{
     BaselineScheme, DocMixSpec, EngineSpec, PaperFigure, RatesSpec, ScenarioSpec, Sweep,
     SweepParam, Termination, TopologySpec, WorkloadSpec, DEFAULT_SEED,
@@ -44,6 +45,7 @@ impl ScenarioSpec {
                 "termination",
                 "seed",
                 "sweep",
+                "events",
             ],
             "",
         )?;
@@ -72,6 +74,10 @@ impl ScenarioSpec {
             Some(Value::Null) | None => None,
             Some(v) => Some(parse_sweep(v)?),
         };
+        let events = match map.get("events") {
+            Some(Value::Null) | None => None,
+            Some(v) => Some(parse_events(v)?),
+        };
         Ok(ScenarioSpec {
             name,
             topology,
@@ -80,6 +86,7 @@ impl ScenarioSpec {
             termination,
             seed,
             sweep,
+            events,
         })
     }
 
@@ -101,6 +108,9 @@ impl ScenarioSpec {
         map.insert("seed", Value::Number(self.seed as f64));
         if let Some(sweep) = &self.sweep {
             map.insert("sweep", sweep_value(sweep));
+        }
+        if let Some(events) = &self.events {
+            map.insert("events", events_value(events));
         }
         Value::Object(map)
     }
@@ -176,6 +186,18 @@ fn parse_u64(value: &Value, path: &str) -> Result<u64, SpecError> {
 
 fn parse_usize(value: &Value, path: &str) -> Result<usize, SpecError> {
     Ok(parse_u64(value, path)? as usize)
+}
+
+/// A u64 that must survive JSON's f64 number representation exactly.
+fn parse_u53(value: &Value, path: &str) -> Result<u64, SpecError> {
+    let x = parse_u64(value, path)?;
+    if x > (1u64 << 53) {
+        return Err(SpecError::at(
+            path,
+            format!("{x} exceeds 2^53 and cannot round-trip through JSON"),
+        ));
+    }
+    Ok(x)
 }
 
 fn parse_bool(value: &Value, path: &str) -> Result<bool, SpecError> {
@@ -338,16 +360,15 @@ fn parse_workload(value: &Value) -> Result<WorkloadSpec, SpecError> {
     let path = "workload";
     let map = as_object(value, path)?;
     reject_unknown(map, &["rates", "doc_mix"], path)?;
-    let rates = parse_rates(req(map, "rates", path)?)?;
+    let rates = parse_rates(req(map, "rates", path)?, "workload.rates")?;
     let doc_mix = match map.get("doc_mix") {
         None | Some(Value::Null) => None,
-        Some(v) => Some(parse_doc_mix(v)?),
+        Some(v) => Some(parse_doc_mix(v, "workload.doc_mix")?),
     };
     Ok(WorkloadSpec { rates, doc_mix })
 }
 
-fn parse_rates(value: &Value) -> Result<RatesSpec, SpecError> {
-    let path = "workload.rates";
+fn parse_rates(value: &Value, path: &str) -> Result<RatesSpec, SpecError> {
     let map = as_object(value, path)?;
     match kind(map, path)? {
         "paper" => {
@@ -393,7 +414,7 @@ fn parse_rates(value: &Value) -> Result<RatesSpec, SpecError> {
             Ok(RatesSpec::Explicit { rates })
         }
         other => Err(SpecError::at(
-            "workload.rates.kind",
+            join(path, "kind"),
             format!(
                 "unknown rates \"{other}\" (expected paper, uniform, leaf_only, random_uniform, zipf_nodes, or explicit)"
             ),
@@ -401,8 +422,7 @@ fn parse_rates(value: &Value) -> Result<RatesSpec, SpecError> {
     }
 }
 
-fn parse_doc_mix(value: &Value) -> Result<DocMixSpec, SpecError> {
-    let path = "workload.doc_mix";
+fn parse_doc_mix(value: &Value, path: &str) -> Result<DocMixSpec, SpecError> {
     let map = as_object(value, path)?;
     match kind(map, path)? {
         "paper" => {
@@ -417,7 +437,7 @@ fn parse_doc_mix(value: &Value) -> Result<DocMixSpec, SpecError> {
             })
         }
         other => Err(SpecError::at(
-            "workload.doc_mix.kind",
+            join(path, "kind"),
             format!("unknown doc mix \"{other}\" (expected paper or shared_zipf)"),
         )),
     }
@@ -626,6 +646,139 @@ fn parse_sweep(value: &Value) -> Result<Sweep, SpecError> {
         values.push(parse_f64(item, &format!("{field}[{i}]"))?);
     }
     Ok(Sweep { param, values })
+}
+
+fn parse_events(value: &Value) -> Result<EventsSpec, SpecError> {
+    let path = "events";
+    let map = as_object(value, path)?;
+    reject_unknown(map, &["schedule", "recovery_threshold"], path)?;
+    let recovery_threshold = opt_f64(map, "recovery_threshold", path, DEFAULT_RECOVERY_THRESHOLD)?;
+    if recovery_threshold < 0.0 {
+        return Err(SpecError::at(
+            "events.recovery_threshold",
+            format!("must be non-negative, got {recovery_threshold}"),
+        ));
+    }
+    let field = join(path, "schedule");
+    let items = req(map, "schedule", path)?
+        .as_array()
+        .ok_or_else(|| SpecError::at(&field, "expected an array of events"))?;
+    let mut schedule = Vec::with_capacity(items.len());
+    let mut prev_round = 0usize;
+    for (i, item) in items.iter().enumerate() {
+        let item_path = format!("{field}[{i}]");
+        let event = parse_event(item, &item_path)?;
+        if event.round < prev_round {
+            return Err(SpecError::at(
+                format!("{item_path}.round"),
+                format!(
+                    "schedule must be sorted by round ({} follows {prev_round})",
+                    event.round
+                ),
+            ));
+        }
+        prev_round = event.round;
+        schedule.push(event);
+    }
+    Ok(EventsSpec {
+        schedule,
+        recovery_threshold,
+    })
+}
+
+fn parse_event(value: &Value, path: &str) -> Result<EventSpec, SpecError> {
+    let map = as_object(value, path)?;
+    let round = req_usize(map, "round", path)?;
+    let kind = match kind(map, path)? {
+        "node_join" => {
+            reject_unknown(map, &["round", "kind", "parent", "rate"], path)?;
+            let rate = req_f64(map, "rate", path)?;
+            if !rate.is_finite() || rate < 0.0 {
+                return Err(SpecError::at(
+                    join(path, "rate"),
+                    format!("rate must be finite and non-negative, got {rate}"),
+                ));
+            }
+            EventKindSpec::NodeJoin {
+                parent: req_usize(map, "parent", path)?,
+                rate,
+            }
+        }
+        "node_leave" => {
+            reject_unknown(map, &["round", "kind", "node"], path)?;
+            EventKindSpec::NodeLeave {
+                node: req_usize(map, "node", path)?,
+            }
+        }
+        "link_fail" => {
+            reject_unknown(map, &["round", "kind", "node"], path)?;
+            EventKindSpec::LinkFail {
+                node: req_usize(map, "node", path)?,
+            }
+        }
+        "link_heal" => {
+            reject_unknown(map, &["round", "kind", "node"], path)?;
+            EventKindSpec::LinkHeal {
+                node: req_usize(map, "node", path)?,
+            }
+        }
+        "doc_publish" => {
+            reject_unknown(map, &["round", "kind", "doc", "origin", "rate"], path)?;
+            let rate = req_f64(map, "rate", path)?;
+            if !rate.is_finite() || rate < 0.0 {
+                return Err(SpecError::at(
+                    join(path, "rate"),
+                    format!("rate must be finite and non-negative, got {rate}"),
+                ));
+            }
+            EventKindSpec::DocPublish {
+                doc: parse_u53(req(map, "doc", path)?, &join(path, "doc"))?,
+                origin: req_usize(map, "origin", path)?,
+                rate,
+            }
+        }
+        "doc_update" => {
+            reject_unknown(map, &["round", "kind", "doc"], path)?;
+            EventKindSpec::DocUpdate {
+                doc: parse_u53(req(map, "doc", path)?, &join(path, "doc"))?,
+            }
+        }
+        "workload_shift" => {
+            reject_unknown(map, &["round", "kind", "rates", "doc_mix", "seed"], path)?;
+            let rates = match map.get("rates") {
+                None | Some(Value::Null) => None,
+                Some(v) => Some(parse_rates(v, &join(path, "rates"))?),
+            };
+            let doc_mix = match map.get("doc_mix") {
+                None | Some(Value::Null) => None,
+                Some(v) => Some(parse_doc_mix(v, &join(path, "doc_mix"))?),
+            };
+            if rates.is_none() && doc_mix.is_none() {
+                return Err(SpecError::at(
+                    path,
+                    "workload_shift needs rates, doc_mix, or both",
+                ));
+            }
+            let seed = match map.get("seed") {
+                None | Some(Value::Null) => None,
+                Some(v) => Some(parse_u53(v, &join(path, "seed"))?),
+            };
+            EventKindSpec::WorkloadShift {
+                rates,
+                doc_mix,
+                seed,
+            }
+        }
+        other => {
+            return Err(SpecError::at(
+                join(path, "kind"),
+                format!(
+                    "unknown event \"{other}\" (expected node_join, node_leave, link_fail, link_heal, doc_publish, doc_update, or workload_shift)"
+                ),
+            ))
+        }
+    };
+    Ok(EventSpec { round, kind })
 }
 
 // ---------------------------------------------------------------------
@@ -877,4 +1030,56 @@ fn sweep_value(s: &Sweep) -> Value {
             Value::Array(s.values.iter().map(|&x| num(x)).collect()),
         ),
     ])
+}
+
+fn events_value(e: &EventsSpec) -> Value {
+    obj(vec![
+        (
+            "schedule",
+            Value::Array(e.schedule.iter().map(event_value).collect()),
+        ),
+        ("recovery_threshold", num(e.recovery_threshold)),
+    ])
+}
+
+fn event_value(e: &EventSpec) -> Value {
+    let mut pairs = vec![
+        ("round", unum(e.round)),
+        ("kind", Value::from(e.kind.kind())),
+    ];
+    match &e.kind {
+        EventKindSpec::NodeJoin { parent, rate } => {
+            pairs.push(("parent", unum(*parent)));
+            pairs.push(("rate", num(*rate)));
+        }
+        EventKindSpec::NodeLeave { node }
+        | EventKindSpec::LinkFail { node }
+        | EventKindSpec::LinkHeal { node } => {
+            pairs.push(("node", unum(*node)));
+        }
+        EventKindSpec::DocPublish { doc, origin, rate } => {
+            pairs.push(("doc", num(*doc as f64)));
+            pairs.push(("origin", unum(*origin)));
+            pairs.push(("rate", num(*rate)));
+        }
+        EventKindSpec::DocUpdate { doc } => {
+            pairs.push(("doc", num(*doc as f64)));
+        }
+        EventKindSpec::WorkloadShift {
+            rates,
+            doc_mix,
+            seed,
+        } => {
+            if let Some(r) = rates {
+                pairs.push(("rates", rates_value(r)));
+            }
+            if let Some(m) = doc_mix {
+                pairs.push(("doc_mix", doc_mix_value(m)));
+            }
+            if let Some(s) = seed {
+                pairs.push(("seed", num(*s as f64)));
+            }
+        }
+    }
+    obj(pairs)
 }

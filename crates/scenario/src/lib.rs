@@ -20,6 +20,12 @@
 //!   termination (round budget, convergence threshold, or wall-clock),
 //!   emitting a uniform [`ScenarioReport`].
 //!
+//! Specs may also carry an **events schedule** ([`events`]): churn
+//! (`node_join` / `node_leave`), control-link failures (`link_fail` /
+//! `link_heal`), document lifecycle (`doc_publish` / `doc_update`), and
+//! workload shifts, interleaved with the rounds and reported with
+//! per-event recovery metrics.
+//!
 //! # Example
 //!
 //! ```
@@ -37,13 +43,46 @@
 //! let load = report.rows[0].outcome.load.as_ref().unwrap();
 //! assert_eq!(load.len(), 5);
 //! ```
+//!
+//! # Example: a dynamic world
+//!
+//! ```
+//! use ww_scenario::{Runner, ScenarioSpec};
+//!
+//! // A converged system suffers a flash crowd at a new edge cache, which
+//! // later departs again; the report carries per-event recovery metrics.
+//! let spec = ScenarioSpec::from_json(r#"{
+//!     "name": "join-then-leave",
+//!     "topology": {"kind": "paper", "figure": "fig2b"},
+//!     "workload": {"rates": {"kind": "paper"}},
+//!     "engine": {"kind": "rate_wave"},
+//!     "termination": {"kind": "converged", "threshold": 1e-6, "max_rounds": 20000},
+//!     "events": {
+//!         "recovery_threshold": 0.5,
+//!         "schedule": [
+//!             {"round": 40, "kind": "node_join", "parent": 2, "rate": 30.0},
+//!             {"round": 80, "kind": "node_leave", "node": 5}
+//!         ]
+//!     }
+//! }"#).unwrap();
+//! let report = Runner::new().run(&spec).unwrap();
+//! let row = &report.rows[0];
+//! assert!(row.converged);
+//! assert_eq!(row.events.len(), 2);
+//! assert!(row.events.iter().all(|m| m.accepted()));
+//! // Both shocks re-converged under the 0.5 recovery threshold.
+//! assert!(row.events.iter().all(|m| m.recovery_rounds.is_some()));
+//! // Back to the original 5 nodes after the join and the leave.
+//! assert_eq!(row.outcome.load.as_ref().unwrap().len(), 5);
+//! ```
 
 #![forbid(unsafe_code)]
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 pub mod adapters;
 pub mod engine;
 pub mod error;
+pub mod events;
 pub mod json;
 pub mod runner;
 pub mod spec;
@@ -51,6 +90,10 @@ pub mod spec;
 pub use adapters::{BaselineEngine, BaselineParams, ClusterEngine, PacketEngine};
 pub use engine::{Engine, EngineReport, MetricSink, NullObserver, Observer, StepOutcome};
 pub use error::SpecError;
+pub use events::{
+    Event, EventError, EventKindSpec, EventMarker, EventSpec, EventsSpec,
+    DEFAULT_RECOVERY_THRESHOLD,
+};
 pub use runner::{drive, DriveResult, RunRow, Runner, ScenarioReport};
 pub use spec::{
     BaselineScheme, DocMixSpec, EngineSpec, PaperFigure, RatesSpec, ScenarioSpec, Sweep,

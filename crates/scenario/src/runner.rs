@@ -6,10 +6,20 @@
 //! stability for engines without an oracle), and wall-clock budgets all
 //! live here, for every engine — the per-example `while round < n`
 //! loops this replaces are gone.
+//!
+//! Specs with an [`EventsSpec`] dynamics schedule take the event-driven
+//! drive path instead: the runner fires each scheduled event at its
+//! round (resolving node/doc references and workload generators against
+//! the *current*, possibly churned topology), records an [`EventMarker`]
+//! per event with recovery metrics (rounds back under the recovery
+//! threshold, peak distance, peak load), and folds the markers into the
+//! run's metric stream and text report. Static specs are driven by the
+//! untouched pre-dynamics loop, so their traces stay bit-identical.
 
 use crate::adapters::{BaselineEngine, BaselineParams, ClusterEngine, PacketEngine};
 use crate::engine::{Engine, EngineReport, NullObserver, Observer, StepOutcome};
 use crate::error::SpecError;
+use crate::events::{Event, EventKindSpec, EventMarker, EventSpec, EventsSpec};
 use crate::spec::{
     DocMixSpec, EngineSpec, PaperFigure, RatesSpec, ScenarioSpec, Termination, TopologySpec,
 };
@@ -44,6 +54,9 @@ pub struct RunRow {
     pub label: String,
     /// Whether the termination rule was satisfied.
     pub converged: bool,
+    /// Per-event markers (empty for static specs): what fired when, what
+    /// was rejected, and how fast the system recovered.
+    pub events: Vec<EventMarker>,
     /// The engine's uniform report.
     pub outcome: EngineReport,
 }
@@ -137,12 +150,51 @@ impl Runner {
         let mut rows = Vec::with_capacity(runs.len());
         for (label, run_spec) in runs {
             let mut engine = resolve_engine(&run_spec)?;
-            let result = drive(engine.as_mut(), &run_spec.termination, observer);
-            let outcome = engine.report();
+            let dynamic = run_spec
+                .events
+                .as_ref()
+                .is_some_and(|e| !e.schedule.is_empty());
+            let (result, markers) = if dynamic {
+                let events = run_spec.events.as_ref().expect("checked above");
+                let mut shadow = Shadow::of(&run_spec)?;
+                drive_dynamic(engine.as_mut(), &run_spec, events, &mut shadow, observer)?
+            } else {
+                // Static world: the original drive loop, untouched, so
+                // event-free specs stay bit-identical to pre-dynamics runs.
+                (
+                    drive(engine.as_mut(), &run_spec.termination, observer),
+                    Vec::new(),
+                )
+            };
+            let mut outcome = engine.report();
+            // Per-event markers ride in the metric stream, so every
+            // consumer of the uniform report sees the dynamics timeline.
+            for m in &markers {
+                let prefix = format!("event.{}.{}", m.index, m.kind);
+                outcome
+                    .metrics
+                    .push((format!("{prefix}.round"), m.round as f64));
+                outcome.metrics.push((
+                    format!("{prefix}.accepted"),
+                    f64::from(u8::from(m.accepted())),
+                ));
+                if let Some(r) = m.recovery_rounds {
+                    outcome
+                        .metrics
+                        .push((format!("{prefix}.recovery_rounds"), r as f64));
+                }
+                if let Some(p) = m.peak_distance {
+                    outcome.metrics.push((format!("{prefix}.peak_distance"), p));
+                }
+                if let Some(p) = m.peak_load {
+                    outcome.metrics.push((format!("{prefix}.peak_load"), p));
+                }
+            }
             observer.on_done(&outcome);
             rows.push(RunRow {
                 label,
                 converged: result.converged,
+                events: markers,
                 outcome,
             });
         }
@@ -226,6 +278,388 @@ pub fn drive(
         }
     }
     DriveResult { rounds, converged }
+}
+
+// ---------------------------------------------------------------------
+// The event-driven drive path
+// ---------------------------------------------------------------------
+
+/// The runner's mirror of the world state engines mutate under events:
+/// the current tree and per-node rates. Needed to resolve later events
+/// (node references, workload generators) against the churned topology
+/// without reaching into engine internals.
+struct Shadow {
+    tree: Tree,
+    rates: RateVector,
+}
+
+impl Shadow {
+    /// Re-resolves the run's topology and rates exactly as
+    /// [`resolve_engine`] did (same seed, same draw order), so the shadow
+    /// starts identical to the engine's world.
+    fn of(spec: &ScenarioSpec) -> Result<Shadow, SpecError> {
+        let mut rng = StdRng::seed_from_u64(spec.seed);
+        let topo = resolve_topology(spec, &mut rng)?;
+        let rates = resolve_rates(spec, &topo, &mut rng)?;
+        Ok(Shadow {
+            tree: topo.tree,
+            rates,
+        })
+    }
+
+    /// Mirrors an event the engine *accepted* onto the shadow state.
+    fn apply(&mut self, event: &Event) {
+        match event {
+            Event::NodeJoin { parent, rate } => {
+                self.tree.add_leaf(*parent).expect("validated at resolve");
+                let mut v = self.rates.clone().into_inner();
+                v.push(*rate);
+                self.rates = RateVector::from(v);
+            }
+            Event::NodeLeave { node } => {
+                let removal = self.tree.remove_leaf(*node).expect("validated at resolve");
+                let mut v = self.rates.clone().into_inner();
+                removal.rehome(&mut v);
+                self.rates = RateVector::from(v);
+            }
+            Event::DocPublish { origin, rate, .. } => {
+                self.rates[*origin] += rate;
+            }
+            Event::WorkloadShift {
+                rates: Some(rates), ..
+            } => {
+                self.rates = rates.clone();
+            }
+            Event::LinkFail { .. } | Event::LinkHeal { .. } | Event::DocUpdate { .. } => {}
+            Event::WorkloadShift { rates: None, .. } => {}
+        }
+    }
+}
+
+/// Resolves one scheduled event against the current shadow state:
+/// validates node references, expands workload generators (seeded by the
+/// event's own seed, defaulting to `spec seed + event index + 1`), and
+/// produces the concrete [`Event`] engines consume.
+///
+/// Structural errors — out-of-range nodes, non-leaf departures,
+/// generators that cannot re-resolve mid-run — abort the run with a
+/// [`SpecError`] naming the schedule entry; engine-side rejections are
+/// *not* errors and surface as markers instead.
+fn resolve_event(
+    spec: &EventSpec,
+    index: usize,
+    master_seed: u64,
+    shadow: &Shadow,
+) -> Result<Event, SpecError> {
+    let n = shadow.tree.len();
+    let at = |field: &str| format!("events.schedule[{index}].{field}");
+    let check_node = |node: usize, field: &str| {
+        if node >= n {
+            Err(SpecError::at(
+                at(field),
+                format!("node {node} is outside the current {n}-node topology"),
+            ))
+        } else {
+            Ok(NodeId::new(node))
+        }
+    };
+    let check_uplink = |node: usize, field: &str| {
+        let id = check_node(node, field)?;
+        if shadow.tree.parent(id).is_none() {
+            return Err(SpecError::at(
+                at(field),
+                format!("node {node} is the root and has no uplink"),
+            ));
+        }
+        Ok(id)
+    };
+    Ok(match &spec.kind {
+        EventKindSpec::NodeJoin { parent, rate } => Event::NodeJoin {
+            parent: check_node(*parent, "parent")?,
+            rate: *rate,
+        },
+        EventKindSpec::NodeLeave { node } => {
+            let id = check_uplink(*node, "node")?;
+            if !shadow.tree.is_leaf(id) {
+                return Err(SpecError::at(
+                    at("node"),
+                    format!(
+                        "node {node} has {} children and cannot leave (only leaves depart)",
+                        shadow.tree.children(id).len()
+                    ),
+                ));
+            }
+            Event::NodeLeave { node: id }
+        }
+        EventKindSpec::LinkFail { node } => Event::LinkFail {
+            node: check_uplink(*node, "node")?,
+        },
+        EventKindSpec::LinkHeal { node } => Event::LinkHeal {
+            node: check_uplink(*node, "node")?,
+        },
+        EventKindSpec::DocPublish { doc, origin, rate } => Event::DocPublish {
+            doc: ww_model::DocId::new(*doc),
+            origin: check_node(*origin, "origin")?,
+            rate: *rate,
+        },
+        EventKindSpec::DocUpdate { doc } => Event::DocUpdate {
+            doc: ww_model::DocId::new(*doc),
+        },
+        EventKindSpec::WorkloadShift {
+            rates,
+            doc_mix,
+            seed,
+        } => {
+            let mut rng =
+                StdRng::seed_from_u64(seed.unwrap_or(master_seed.wrapping_add(index as u64 + 1)));
+            let resolved_rates = match rates {
+                None => None,
+                Some(RatesSpec::Paper) => {
+                    return Err(SpecError::at(
+                        at("rates"),
+                        "\"paper\" rates cannot be re-resolved mid-run",
+                    ))
+                }
+                Some(RatesSpec::Uniform { rate }) => {
+                    Some(ww_workload::uniform(&shadow.tree, *rate))
+                }
+                Some(RatesSpec::LeafOnly { rate }) => {
+                    Some(ww_workload::leaf_only(&shadow.tree, *rate))
+                }
+                Some(RatesSpec::RandomUniform { lo, hi }) => {
+                    if hi < lo {
+                        return Err(SpecError::at(
+                            at("rates.hi"),
+                            format!("upper bound {hi} is below lower bound {lo}"),
+                        ));
+                    }
+                    Some(ww_workload::random_uniform(
+                        &mut rng,
+                        &shadow.tree,
+                        *lo,
+                        *hi,
+                    ))
+                }
+                Some(RatesSpec::ZipfNodes { total, theta }) => Some(ww_workload::zipf_nodes(
+                    &mut rng,
+                    &shadow.tree,
+                    *total,
+                    *theta,
+                )),
+                Some(RatesSpec::Explicit { rates }) => {
+                    if rates.len() != n {
+                        return Err(SpecError::at(
+                            at("rates.rates"),
+                            format!(
+                                "expected {n} rates (one per node at this point of the schedule), got {}",
+                                rates.len()
+                            ),
+                        ));
+                    }
+                    Some(RateVector::from(rates.clone()))
+                }
+            };
+            let resolved_mix = match doc_mix {
+                None => None,
+                Some(DocMixSpec::Paper) => {
+                    return Err(SpecError::at(
+                        at("doc_mix"),
+                        "\"paper\" doc mixes cannot be re-resolved mid-run",
+                    ))
+                }
+                Some(DocMixSpec::SharedZipf { docs, theta }) => {
+                    if *docs == 0 {
+                        return Err(SpecError::at(at("doc_mix.docs"), "must be at least 1"));
+                    }
+                    let base = resolved_rates.as_ref().unwrap_or(&shadow.rates);
+                    Some(ww_workload::shared_zipf_mix(
+                        &shadow.tree,
+                        base,
+                        *docs,
+                        *theta,
+                    ))
+                }
+            };
+            Event::WorkloadShift {
+                rates: resolved_rates,
+                doc_mix: resolved_mix,
+            }
+        }
+    })
+}
+
+/// Tracks one accepted event's recovery: when did the convergence metric
+/// first dip back under the threshold, and how bad did things get.
+struct RecoveryTracker {
+    marker: usize,
+    fire_round: usize,
+    recovered: bool,
+}
+
+/// Folds one `(convergence, max load)` sample into every live tracker's
+/// peaks, and — when `latch_recovery` — latches `recovery_rounds` the
+/// first time the metric is back under the threshold. Fire-time samples
+/// pass `latch_recovery: false`: engines that only refresh their metric
+/// while stepping (the packet engine) would otherwise "recover" in zero
+/// rounds on a stale pre-event value.
+fn update_trackers(
+    conv: Option<f64>,
+    load_max: Option<f64>,
+    markers: &mut [EventMarker],
+    trackers: &mut [RecoveryTracker],
+    rounds: usize,
+    recovery_threshold: f64,
+    latch_recovery: bool,
+) {
+    for t in trackers.iter_mut() {
+        let m = &mut markers[t.marker];
+        if let Some(c) = conv {
+            m.peak_distance = Some(m.peak_distance.map_or(c, |p| p.max(c)));
+            if latch_recovery && !t.recovered && c <= recovery_threshold {
+                t.recovered = true;
+                m.recovery_rounds = Some(rounds - t.fire_round);
+            }
+        }
+        if let Some(lm) = load_max {
+            m.peak_load = Some(m.peak_load.map_or(lm, |p| p.max(lm)));
+        }
+    }
+}
+
+/// The event-interleaved drive loop. Differences from the static
+/// [`drive`]:
+///
+/// * every scheduled event fires once the engine has executed its
+///   `round` (`round: 0` fires before any stepping);
+/// * a `converged` termination only stops the run once the whole
+///   schedule has fired — injecting a fault into an already-converged
+///   system is the entire point of a dynamics spec (round and wall-clock
+///   caps still apply unconditionally);
+/// * events scheduled past the run's final round never fire and produce
+///   no markers (one-shot engines end after a single step).
+fn drive_dynamic(
+    engine: &mut dyn Engine,
+    spec: &ScenarioSpec,
+    events: &EventsSpec,
+    shadow: &mut Shadow,
+    observer: &mut dyn Observer,
+) -> Result<(DriveResult, Vec<EventMarker>), SpecError> {
+    let schedule = &events.schedule;
+    let mut markers: Vec<EventMarker> = Vec::new();
+    let mut trackers: Vec<RecoveryTracker> = Vec::new();
+    let mut next_event = 0usize;
+    let mut rounds = 0usize;
+    let mut converged = true;
+    let wants = observer.wants_convergence();
+    let needs_metric = matches!(spec.termination, Termination::Converged { .. });
+    let start = Instant::now();
+    // The convergence metric can be an O(n) pass, so each iteration
+    // computes it at most once (mirroring the static `drive`) and shares
+    // the sample between the termination check, the observer, and the
+    // recovery trackers.
+    let mut metric = if needs_metric {
+        engine.convergence()
+    } else {
+        None
+    };
+    loop {
+        // Fire everything due at this round count.
+        let mut fired = false;
+        while next_event < schedule.len() && schedule[next_event].round <= rounds {
+            let event = resolve_event(&schedule[next_event], next_event, spec.seed, shadow)?;
+            let result = engine.apply(&event);
+            observer.on_event(next_event, rounds, &event, result.as_ref().err());
+            let accepted = result.is_ok();
+            markers.push(EventMarker {
+                index: next_event,
+                kind: event.kind().to_string(),
+                round: rounds,
+                rejected: result.err().map(|e| e.to_string()),
+                recovery_rounds: None,
+                peak_distance: None,
+                peak_load: None,
+            });
+            if accepted {
+                shadow.apply(&event);
+                trackers.push(RecoveryTracker {
+                    marker: markers.len() - 1,
+                    fire_round: rounds,
+                    recovered: false,
+                });
+                fired = true;
+            }
+            next_event += 1;
+        }
+        if fired {
+            // Capture the immediate post-event shock in the peaks (no
+            // recovery latching: a lazily-measuring engine still reports
+            // its pre-event metric here).
+            metric = engine.convergence();
+            update_trackers(
+                metric,
+                engine.max_load(),
+                &mut markers,
+                &mut trackers,
+                rounds,
+                events.recovery_threshold,
+                false,
+            );
+        }
+        // Termination.
+        match spec.termination {
+            Termination::Rounds { max } => {
+                if rounds >= max {
+                    break;
+                }
+            }
+            Termination::Converged {
+                threshold,
+                max_rounds,
+            } => {
+                if next_event >= schedule.len() && metric.is_some_and(|c| c <= threshold) {
+                    break;
+                }
+                if rounds >= max_rounds {
+                    converged = false;
+                    break;
+                }
+            }
+            Termination::WallClock {
+                seconds,
+                max_rounds,
+            } => {
+                if rounds >= max_rounds || start.elapsed().as_secs_f64() >= seconds {
+                    break;
+                }
+            }
+        }
+        let outcome = engine.step();
+        rounds += 1;
+        metric = if needs_metric || wants || !trackers.is_empty() {
+            engine.convergence()
+        } else {
+            None
+        };
+        observer.on_round(engine.round(), if wants { metric } else { None });
+        if !trackers.is_empty() {
+            update_trackers(
+                metric,
+                engine.max_load(),
+                &mut markers,
+                &mut trackers,
+                rounds,
+                events.recovery_threshold,
+                true,
+            );
+        }
+        if outcome == StepOutcome::Done {
+            if let Termination::Converged { threshold, .. } = spec.termination {
+                converged = metric.is_some_and(|c| c <= threshold);
+            }
+            break;
+        }
+    }
+    Ok((DriveResult { rounds, converged }, markers))
 }
 
 /// The tree plus (for paper scenarios) its canonical demand.
@@ -586,9 +1020,36 @@ fn render(spec: &ScenarioSpec, rows: &[RunRow]) -> String {
                 .outcome
                 .metrics
                 .iter()
+                .filter(|(name, _)| !name.starts_with("event."))
                 .map(|(name, value)| format!("{name}={value:.4}"))
                 .collect();
             let _ = writeln!(out, "    metrics: {}", rendered.join("  "));
+        }
+        for m in &row.events {
+            let mut line = format!("    event[{}] {} @ round {}", m.index, m.kind, m.round);
+            match &m.rejected {
+                Some(err) => {
+                    let _ = write!(line, ": rejected ({err})");
+                }
+                None => {
+                    match m.recovery_rounds {
+                        Some(r) => {
+                            let _ = write!(line, ": re-converged in {r} rounds");
+                        }
+                        None => {
+                            let _ = write!(line, ": not re-converged");
+                        }
+                    }
+                    if let Some(p) = m.peak_distance {
+                        let _ = write!(line, ", peak distance {p:.3}");
+                    }
+                    if let Some(p) = m.peak_load {
+                        let _ = write!(line, ", peak load {p:.3}");
+                    }
+                }
+            }
+            out.push_str(&line);
+            out.push('\n');
         }
     }
     out

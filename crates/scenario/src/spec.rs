@@ -11,6 +11,7 @@
 //! seconds-scale variant for CI smoke runs.
 
 use crate::error::SpecError;
+use crate::events::EventsSpec;
 
 /// Default master seed when a spec omits `"seed"`.
 pub const DEFAULT_SEED: u64 = 1997;
@@ -33,6 +34,11 @@ pub struct ScenarioSpec {
     pub seed: u64,
     /// Optional one-parameter sweep: the spec is run once per value.
     pub sweep: Option<Sweep>,
+    /// Optional dynamics schedule: churn, failures, and document
+    /// lifecycle events interleaved with the rounds (see
+    /// [`crate::events`]). `None` — the common case — runs the classic
+    /// static world, bit-identical to pre-dynamics builds.
+    pub events: Option<EventsSpec>,
 }
 
 /// Topology generators. Random families draw from the spec's seed.
@@ -518,8 +524,11 @@ impl Sweep {
 impl ScenarioSpec {
     /// A CI-sized variant of this spec: topology capped to a few hundred
     /// nodes, round budgets capped to a few hundred rounds, wall-clock
-    /// budgets to one second. Semantics are otherwise untouched, so a
-    /// smoke run exercises exactly the same resolution and engine paths.
+    /// budgets to one second. Semantics are otherwise untouched — the
+    /// events schedule included — so a smoke run exercises exactly the
+    /// same resolution and engine paths. Dynamics specs meant for CI
+    /// should therefore keep node references inside the smoke caps and
+    /// event rounds inside the smoke round budget.
     pub fn smoke(&self) -> ScenarioSpec {
         let mut spec = self.clone();
         spec.topology = match spec.topology {

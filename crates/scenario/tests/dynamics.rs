@@ -1,0 +1,309 @@
+//! The event-driven dynamics layer, end to end: static specs stay
+//! bit-identical to their pre-dynamics traces, dynamic specs recover,
+//! rejections are typed markers, and the metric stream carries the
+//! per-event timeline.
+
+use std::path::PathBuf;
+use ww_scenario::{Event, EventError, Observer, Runner, ScenarioSpec};
+
+fn load_spec(name: &str) -> ScenarioSpec {
+    let path = PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("../../scenarios")
+        .join(name);
+    let text =
+        std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("read {}: {e}", path.display()));
+    ScenarioSpec::from_json(&text).unwrap_or_else(|e| panic!("parse {name}: {e}"))
+}
+
+fn bits(trace: &[f64]) -> Vec<u64> {
+    trace.iter().map(|d| d.to_bits()).collect()
+}
+
+/// Golden static pinning: a spec with an *empty* events schedule must
+/// take the classic drive path and produce bit-identical traces to the
+/// same spec without an events block at all — pre-dynamics runs are
+/// untouched.
+#[test]
+fn empty_schedule_is_bit_identical_to_no_events_field() {
+    let static_spec = load_spec("fig2b.json");
+    let mut with_empty = static_spec.clone();
+    with_empty.events = Some(ww_scenario::EventsSpec {
+        schedule: Vec::new(),
+        recovery_threshold: 1e-3,
+    });
+    let runner = Runner::new();
+    let a = runner.run(&static_spec).expect("static run");
+    let b = runner.run(&with_empty).expect("empty-schedule run");
+    let ta = a.rows[0].outcome.trace.as_ref().expect("trace");
+    let tb = b.rows[0].outcome.trace.as_ref().expect("trace");
+    assert_eq!(bits(ta), bits(tb), "empty schedule must not perturb runs");
+    assert!(b.rows[0].events.is_empty());
+}
+
+/// The acceptance scenario: the churn storm re-converges to TLB
+/// (bounded distance) after the last `node_leave`.
+#[test]
+fn churn_storm_reconverges_after_the_last_leave() {
+    let report = Runner::new()
+        .smoke(true)
+        .run(&load_spec("churn_storm.json"))
+        .expect("churn storm runs");
+    let row = &report.rows[0];
+    assert_eq!(row.events.len(), 7, "all seven events fired");
+    for m in &row.events {
+        assert!(
+            m.accepted(),
+            "event[{}] rejected: {:?}",
+            m.index,
+            m.rejected
+        );
+    }
+    let last_leave = row.events.last().expect("has events");
+    assert_eq!(last_leave.kind, "node_leave");
+    assert!(
+        last_leave.recovery_rounds.is_some(),
+        "the system must re-converge under the recovery threshold after the last leave"
+    );
+    // And the run as a whole reached its convergence threshold again.
+    let final_distance = row.outcome.final_distance().expect("trace recorded");
+    assert!(
+        final_distance < 1e-2,
+        "post-churn distance to TLB {final_distance} not bounded"
+    );
+    // The markers are also in the metric stream.
+    assert!(row.outcome.metric("event.6.node_leave.round").is_some());
+    assert!(row
+        .outcome
+        .metric("event.6.node_leave.recovery_rounds")
+        .is_some());
+}
+
+/// Rolling link failures: load stays trapped upstream while the control
+/// links are down and drains after each heal.
+#[test]
+fn rolling_link_failures_recover_after_each_heal() {
+    let report = Runner::new()
+        .smoke(true)
+        .run(&load_spec("rolling_link_failures.json"))
+        .expect("rolling failures run");
+    let row = &report.rows[0];
+    assert!(row.converged, "must re-converge after the last heal");
+    let heals: Vec<_> = row
+        .events
+        .iter()
+        .filter(|m| m.kind == "link_heal")
+        .collect();
+    assert_eq!(heals.len(), 3);
+    for h in &heals {
+        assert!(h.accepted());
+        assert!(
+            h.recovery_rounds.is_some(),
+            "heal {} never recovered",
+            h.index
+        );
+    }
+    // Later heals recover faster: less load remains trapped.
+    assert!(heals[0].recovery_rounds > heals[2].recovery_rounds);
+}
+
+/// Publish-then-invalidate on the document engine: the publish and both
+/// updates each shock the system off TLB, and it recovers every time.
+#[test]
+fn publish_then_invalidate_recovers() {
+    let report = Runner::new()
+        .smoke(true)
+        .run(&load_spec("publish_then_invalidate.json"))
+        .expect("publish spec runs");
+    let row = &report.rows[0];
+    assert_eq!(row.events.len(), 3);
+    for m in &row.events {
+        assert!(
+            m.accepted(),
+            "event[{}] rejected: {:?}",
+            m.index,
+            m.rejected
+        );
+        assert!(
+            m.recovery_rounds.is_some(),
+            "event[{}] never recovered",
+            m.index
+        );
+        // Every event creates a real shock before recovery.
+        assert!(m.peak_distance.unwrap() > 50.0);
+    }
+}
+
+/// Hot-set rotation: workload shifts resolve against the current
+/// topology and the doc engine rebalances after each.
+#[test]
+fn hot_set_rotation_recovers() {
+    let report = Runner::new()
+        .smoke(true)
+        .run(&load_spec("hot_set_rotation.json"))
+        .expect("rotation spec runs");
+    let row = &report.rows[0];
+    assert_eq!(row.events.len(), 2);
+    for m in &row.events {
+        assert!(m.accepted());
+        assert!(m.recovery_rounds.is_some());
+    }
+}
+
+/// Engines reject events outside their semantics with a typed error —
+/// recorded as a marker, never a panic — and the run continues.
+#[test]
+fn unsupported_events_become_rejected_markers() {
+    let spec = ScenarioSpec::from_json(
+        r#"{
+          "name": "doc-events-on-rate-engine",
+          "topology": {"kind": "paper", "figure": "fig6"},
+          "workload": {"rates": {"kind": "paper"}},
+          "engine": {"kind": "rate_wave"},
+          "termination": {"kind": "rounds", "max": 40},
+          "events": {"schedule": [
+            {"round": 5, "kind": "doc_update", "doc": 1},
+            {"round": 10, "kind": "link_fail", "node": 1},
+            {"round": 20, "kind": "link_heal", "node": 1}
+          ]}
+        }"#,
+    )
+    .unwrap();
+    let report = Runner::new().run(&spec).expect("run survives rejection");
+    let row = &report.rows[0];
+    assert_eq!(row.events.len(), 3);
+    assert!(!row.events[0].accepted());
+    assert!(
+        row.events[0]
+            .rejected
+            .as_ref()
+            .unwrap()
+            .contains("does not support doc_update"),
+        "got {:?}",
+        row.events[0].rejected
+    );
+    assert!(row.events[1].accepted());
+    assert!(row.events[2].accepted());
+    assert_eq!(row.outcome.rounds, 40, "the run continued to its budget");
+    assert_eq!(row.outcome.metric("event.0.doc_update.accepted"), Some(0.0));
+    assert!(report.report.contains("rejected"));
+}
+
+/// One-shot engines accept churn at round 0 (reshaping the world they
+/// run on) and reject events after their single step.
+#[test]
+fn baselines_accept_round_zero_churn_only() {
+    let spec = ScenarioSpec::from_json(
+        r#"{
+          "name": "baselines-churn",
+          "topology": {"kind": "star", "nodes": 8},
+          "workload": {"rates": {"kind": "uniform", "rate": 5.0}},
+          "engine": {"kind": "baselines", "schemes": ["no-cache", "webfold-oracle"]},
+          "termination": {"kind": "rounds", "max": 5},
+          "events": {"schedule": [
+            {"round": 0, "kind": "node_join", "parent": 0, "rate": 5.0},
+            {"round": 0, "kind": "node_leave", "node": 3},
+            {"round": 2, "kind": "node_join", "parent": 0, "rate": 5.0}
+          ]}
+        }"#,
+    )
+    .unwrap();
+    let report = Runner::new().run(&spec).expect("baselines run");
+    let row = &report.rows[0];
+    // Round-0 churn reshapes the tree before the one-shot step...
+    assert!(row.events[0].accepted());
+    assert!(row.events[1].accepted());
+    // 8 + 1 - 1 = 8 nodes in the final assignment.
+    assert_eq!(row.outcome.schemes[0].load.len(), 8);
+    // ...and the engine finishes in one step, so the round-2 event never
+    // fires (one-shot runs end before it comes due).
+    assert_eq!(row.events.len(), 2);
+}
+
+/// Structural schedule errors (out-of-range nodes) abort the run with a
+/// SpecError naming the schedule entry.
+#[test]
+fn out_of_range_event_node_is_a_spec_error() {
+    let spec = ScenarioSpec::from_json(
+        r#"{
+          "name": "bad-event-node",
+          "topology": {"kind": "path", "nodes": 4},
+          "workload": {"rates": {"kind": "uniform", "rate": 1.0}},
+          "engine": {"kind": "rate_wave"},
+          "termination": {"kind": "rounds", "max": 10},
+          "events": {"schedule": [{"round": 1, "kind": "node_leave", "node": 77}]}
+        }"#,
+    )
+    .unwrap();
+    let err = Runner::new().run(&spec).expect_err("bad node must error");
+    let rendered = err.to_string();
+    assert!(rendered.contains("events.schedule[0].node"), "{rendered}");
+    assert!(rendered.contains("outside"), "{rendered}");
+}
+
+/// A `converged` termination does not stop the run while events are
+/// still pending: the fault injection happens even if the system has
+/// already converged.
+#[test]
+fn convergence_waits_for_pending_events() {
+    let spec = ScenarioSpec::from_json(
+        r#"{
+          "name": "late-event",
+          "topology": {"kind": "paper", "figure": "fig2b"},
+          "workload": {"rates": {"kind": "paper"}},
+          "engine": {"kind": "rate_wave"},
+          "termination": {"kind": "converged", "threshold": 1e-6, "max_rounds": 5000},
+          "events": {
+            "recovery_threshold": 1e-6,
+            "schedule": [
+              {"round": 3000, "kind": "node_join", "parent": 2, "rate": 25.0}
+            ]
+          }
+        }"#,
+    )
+    .unwrap();
+    let report = Runner::new().run(&spec).expect("late-event run");
+    let row = &report.rows[0];
+    // The static fig2b run converges in ~2k rounds; with the pending
+    // round-3000 join the runner keeps going, fires it, and re-converges.
+    assert!(row.outcome.rounds > 3000);
+    assert!(row.converged);
+    assert_eq!(row.events.len(), 1);
+    assert!(row.events[0].accepted());
+    assert!(row.events[0].recovery_rounds.is_some());
+    // The grown tree has 6 nodes.
+    assert_eq!(row.outcome.load.as_ref().unwrap().len(), 6);
+}
+
+/// The Observer sees every fired event.
+#[test]
+fn observer_receives_event_callbacks() {
+    #[derive(Default)]
+    struct Spy {
+        events: Vec<(usize, usize, String, bool)>,
+        rounds: usize,
+    }
+    impl Observer for Spy {
+        fn on_round(&mut self, _round: usize, _c: Option<f64>) {
+            self.rounds += 1;
+        }
+        fn on_event(
+            &mut self,
+            index: usize,
+            round: usize,
+            event: &Event,
+            error: Option<&EventError>,
+        ) {
+            self.events
+                .push((index, round, event.kind().to_string(), error.is_none()));
+        }
+    }
+    let mut spy = Spy::default();
+    let report = Runner::new()
+        .smoke(true)
+        .run_with(&load_spec("rolling_link_failures.json"), &mut spy)
+        .expect("observed run");
+    assert_eq!(spy.events.len(), 6);
+    assert!(spy.events.iter().all(|&(_, _, _, accepted)| accepted));
+    assert_eq!(spy.events[0].2, "link_fail");
+    assert_eq!(spy.rounds, report.rows[0].outcome.rounds);
+}

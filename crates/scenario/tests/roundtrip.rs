@@ -3,8 +3,8 @@
 
 use proptest::prelude::*;
 use ww_scenario::{
-    BaselineScheme, DocMixSpec, EngineSpec, PaperFigure, RatesSpec, ScenarioSpec, Sweep,
-    SweepParam, Termination, TopologySpec, WorkloadSpec,
+    BaselineScheme, DocMixSpec, EngineSpec, EventKindSpec, EventSpec, EventsSpec, PaperFigure,
+    RatesSpec, ScenarioSpec, Sweep, SweepParam, Termination, TopologySpec, WorkloadSpec,
 };
 
 fn arb_topology() -> BoxedStrategy<TopologySpec> {
@@ -237,6 +237,75 @@ fn arb_sweep() -> BoxedStrategy<Option<Sweep>> {
         .boxed()
 }
 
+fn arb_event_kind() -> BoxedStrategy<EventKindSpec> {
+    (0usize..7)
+        .prop_flat_map(|choice| match choice {
+            0 => ((0usize..40), (0.0f64..200.0))
+                .prop_map(|(parent, rate)| EventKindSpec::NodeJoin { parent, rate })
+                .boxed(),
+            1 => (0usize..40)
+                .prop_map(|node| EventKindSpec::NodeLeave { node })
+                .boxed(),
+            2 => (0usize..40)
+                .prop_map(|node| EventKindSpec::LinkFail { node })
+                .boxed(),
+            3 => (0usize..40)
+                .prop_map(|node| EventKindSpec::LinkHeal { node })
+                .boxed(),
+            4 => ((0u64..1000), (0usize..40), (0.0f64..300.0))
+                .prop_map(|(doc, origin, rate)| EventKindSpec::DocPublish { doc, origin, rate })
+                .boxed(),
+            5 => (0u64..1000)
+                .prop_map(|doc| EventKindSpec::DocUpdate { doc })
+                .boxed(),
+            _ => (
+                (0usize..3),
+                (0.0f64..100.0),
+                (1usize..32, 0.1f64..2.0),
+                proptest::option::of(0u64..(1 << 53)),
+            )
+                .prop_map(|(mode, rate, (docs, theta), seed)| {
+                    // At least one of rates/doc_mix must be present — the
+                    // parser rejects empty shifts.
+                    let rates = (mode != 1).then_some(RatesSpec::Uniform { rate });
+                    let doc_mix = (mode != 0).then_some(DocMixSpec::SharedZipf { docs, theta });
+                    EventKindSpec::WorkloadShift {
+                        rates,
+                        doc_mix,
+                        seed,
+                    }
+                })
+                .boxed(),
+        })
+        .boxed()
+}
+
+fn arb_events() -> BoxedStrategy<Option<EventsSpec>> {
+    proptest::option::of((
+        proptest::collection::vec((0usize..30, arb_event_kind()), 0..6),
+        0.0f64..10.0,
+    ))
+    .prop_map(|maybe| {
+        maybe.map(|(raw, recovery_threshold)| {
+            // The parser requires non-decreasing rounds: prefix-sum the
+            // generated deltas.
+            let mut round = 0;
+            let schedule = raw
+                .into_iter()
+                .map(|(delta, kind)| {
+                    round += delta;
+                    EventSpec { round, kind }
+                })
+                .collect();
+            EventsSpec {
+                schedule,
+                recovery_threshold,
+            }
+        })
+    })
+    .boxed()
+}
+
 fn arb_spec() -> BoxedStrategy<ScenarioSpec> {
     (
         arb_topology(),
@@ -246,9 +315,10 @@ fn arb_spec() -> BoxedStrategy<ScenarioSpec> {
         // JSON numbers are f64; the parser rejects seeds above 2^53.
         0u64..(1u64 << 53),
         arb_sweep(),
+        arb_events(),
     )
         .prop_map(
-            |(topology, (rates, doc_mix), engine, termination, seed, sweep)| ScenarioSpec {
+            |(topology, (rates, doc_mix), engine, termination, seed, sweep, events)| ScenarioSpec {
                 name: "prop-spec".to_string(),
                 topology,
                 workload: WorkloadSpec { rates, doc_mix },
@@ -256,6 +326,7 @@ fn arb_spec() -> BoxedStrategy<ScenarioSpec> {
                 termination,
                 seed,
                 sweep,
+                events,
             },
         )
         .boxed()
@@ -485,4 +556,89 @@ fn incompatible_sweep_is_rejected_at_resolution() {
         .run(&spec)
         .expect_err("bad sweep");
     assert!(err.to_string().contains("sweep.param"), "{err}");
+}
+
+// ---------------------------------------------------------------------
+// Event grammar
+// ---------------------------------------------------------------------
+
+fn with_events(events_json: &str) -> String {
+    VALID.replacen(
+        "\"termination\"",
+        &format!("\"events\": {events_json}, \"termination\""),
+        1,
+    )
+}
+
+#[test]
+fn events_block_parses_and_round_trips() {
+    let doc = with_events(
+        r#"{"recovery_threshold": 0.5, "schedule": [
+            {"round": 2, "kind": "node_join", "parent": 0, "rate": 10.0},
+            {"round": 5, "kind": "link_fail", "node": 1},
+            {"round": 5, "kind": "doc_update", "doc": 7},
+            {"round": 9, "kind": "workload_shift",
+             "rates": {"kind": "uniform", "rate": 3.0}}
+        ]}"#,
+    );
+    let spec = ScenarioSpec::from_json(&doc).unwrap();
+    let events = spec.events.as_ref().expect("events parsed");
+    assert_eq!(events.schedule.len(), 4);
+    assert_eq!(events.recovery_threshold, 0.5);
+    assert_eq!(events.schedule[0].kind.kind(), "node_join");
+    let reparsed = ScenarioSpec::from_json(&spec.to_json()).unwrap();
+    assert_eq!(reparsed, spec);
+}
+
+#[test]
+fn unknown_event_kind_is_rejected_with_path() {
+    let doc = with_events(r#"{"schedule": [{"round": 1, "kind": "meteor_strike"}]}"#);
+    let err = ScenarioSpec::from_json(&doc).expect_err("unknown event kind");
+    let rendered = err.to_string();
+    assert!(rendered.contains("events.schedule[0].kind"), "{rendered}");
+    assert!(rendered.contains("unknown event"), "{rendered}");
+}
+
+#[test]
+fn unsorted_schedule_is_rejected_with_path() {
+    let doc = with_events(
+        r#"{"schedule": [
+            {"round": 9, "kind": "link_fail", "node": 1},
+            {"round": 3, "kind": "link_heal", "node": 1}
+        ]}"#,
+    );
+    let err = ScenarioSpec::from_json(&doc).expect_err("unsorted schedule");
+    let rendered = err.to_string();
+    assert!(rendered.contains("events.schedule[1].round"), "{rendered}");
+    assert!(rendered.contains("sorted"), "{rendered}");
+}
+
+#[test]
+fn empty_workload_shift_is_rejected_with_path() {
+    let doc = with_events(r#"{"schedule": [{"round": 1, "kind": "workload_shift"}]}"#);
+    let err = ScenarioSpec::from_json(&doc).expect_err("empty shift");
+    let rendered = err.to_string();
+    assert!(rendered.contains("events.schedule[0]"), "{rendered}");
+    assert!(rendered.contains("rates, doc_mix, or both"), "{rendered}");
+}
+
+#[test]
+fn unknown_event_field_is_rejected_with_path() {
+    let doc = with_events(
+        r#"{"schedule": [{"round": 1, "kind": "node_leave", "node": 1, "notify": true}]}"#,
+    );
+    let err = ScenarioSpec::from_json(&doc).expect_err("unknown field");
+    let rendered = err.to_string();
+    assert!(rendered.contains("events.schedule[0].notify"), "{rendered}");
+    assert!(rendered.contains("unknown field"), "{rendered}");
+}
+
+#[test]
+fn negative_event_rate_is_rejected_with_path() {
+    let doc = with_events(
+        r#"{"schedule": [{"round": 1, "kind": "node_join", "parent": 0, "rate": -3.0}]}"#,
+    );
+    let err = ScenarioSpec::from_json(&doc).expect_err("negative rate");
+    let rendered = err.to_string();
+    assert!(rendered.contains("events.schedule[0].rate"), "{rendered}");
 }

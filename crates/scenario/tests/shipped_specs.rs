@@ -24,7 +24,7 @@ fn shipped_specs() -> Vec<(String, String)> {
 }
 
 #[test]
-fn the_eight_advertised_specs_are_present() {
+fn the_twelve_advertised_specs_are_present() {
     let names: Vec<String> = shipped_specs().into_iter().map(|(n, _)| n).collect();
     for expected in [
         "fig2b.json",
@@ -35,6 +35,10 @@ fn the_eight_advertised_specs_are_present() {
         "scaling_100k.json",
         "staleness_sweep.json",
         "zipf_docmix_sweep.json",
+        "churn_storm.json",
+        "rolling_link_failures.json",
+        "publish_then_invalidate.json",
+        "hot_set_rotation.json",
     ] {
         assert!(names.iter().any(|n| n == expected), "missing {expected}");
     }

@@ -2,9 +2,9 @@
 //!
 //! The build environment cannot reach a crate registry, so this vendored
 //! crate implements the subset of the proptest API the workspace's property
-//! tests use: the [`Strategy`] trait with `prop_map` / `prop_flat_map` /
+//! tests use: the [`strategy::Strategy`] trait with `prop_map` / `prop_flat_map` /
 //! `boxed`, range and tuple and `Vec` strategies, [`collection::vec`] and
-//! [`collection::hash_set`], [`any`], `Just`, `ProptestConfig`, and the
+//! [`collection::hash_set`], [`strategy::any`], `Just`, `ProptestConfig`, and the
 //! [`proptest!`] / `prop_assert*` macros.
 //!
 //! Differences from upstream: no shrinking (a failing case panics with the
@@ -17,6 +17,8 @@
 pub mod collection;
 pub mod strategy;
 pub mod test_runner;
+
+pub use strategy::option;
 
 pub mod prelude {
     //! One-stop imports, mirroring `proptest::prelude`.

@@ -179,6 +179,33 @@ impl_tuple_strategy! {
     (S0: 0, S1: 1, S2: 2, S3: 3)
     (S0: 0, S1: 1, S2: 2, S3: 3, S4: 4)
     (S0: 0, S1: 1, S2: 2, S3: 3, S4: 4, S5: 5)
+    (S0: 0, S1: 1, S2: 2, S3: 3, S4: 4, S5: 5, S6: 6)
+    (S0: 0, S1: 1, S2: 2, S3: 3, S4: 4, S5: 5, S6: 6, S7: 7)
+}
+
+/// Optional-value strategies — mirrors upstream `proptest::option`.
+pub mod option {
+    use super::{Strategy, TestRng};
+
+    /// Strategy producing `None` or `Some(inner value)` with equal odds.
+    #[derive(Debug, Clone)]
+    pub struct OptionStrategy<S>(S);
+
+    impl<S: Strategy> Strategy for OptionStrategy<S> {
+        type Value = Option<S::Value>;
+        fn sample(&self, rng: &mut TestRng) -> Self::Value {
+            if rng.next_below(2) == 1 {
+                Some(self.0.sample(rng))
+            } else {
+                None
+            }
+        }
+    }
+
+    /// `Option<T>` strategy over `inner` — upstream's `option::of`.
+    pub fn of<S: Strategy>(inner: S) -> OptionStrategy<S> {
+        OptionStrategy(inner)
+    }
 }
 
 /// A `Vec` of strategies generates a `Vec` of one value from each —
