@@ -16,8 +16,10 @@ use std::fmt::Write as _;
 use ww_bench::{scaling_mix, scaling_scenario, time_min};
 use ww_core::docsim::{DocSim, DocSimConfig};
 use ww_core::fold::webfold;
+use ww_core::packetsim::{PacketSim, PacketSimConfig};
 use ww_core::reference::{NaiveDocSim, NaiveRateWave};
 use ww_core::wave::{RateWave, WaveConfig};
+use ww_pdes::ParPacketSim;
 use ww_scenario::{
     drive, DocMixSpec, EngineSpec, NullObserver, RatesSpec, Runner, ScenarioSpec, Termination,
     TopologySpec, WorkloadSpec,
@@ -287,6 +289,92 @@ fn bench_runner_overhead_doc(nodes: usize, docs: usize, rounds: usize) -> Runner
     }
 }
 
+/// One row of the parallel packet-engine scaling study: the sequential
+/// `PacketSim` against `ParPacketSim` at several worker counts, on a
+/// large two-level CDN topology, with the bit-identity of the runs
+/// re-verified as part of the measurement.
+struct ParallelScaling {
+    nodes: usize,
+    docs: usize,
+    epochs: usize,
+    available_cores: usize,
+    seq_ms: f64,
+    /// `(workers, wall ms, speedup over sequential)`.
+    rows: Vec<(usize, f64, f64)>,
+    traces_identical: bool,
+}
+
+fn bench_parallel_scaling(
+    regions: usize,
+    leaves: usize,
+    docs: usize,
+    epochs: usize,
+) -> ParallelScaling {
+    let tree = ww_topology::two_level(regions, leaves);
+    let rates = ww_workload::leaf_only(&tree, 1.0);
+    let mix = scaling_mix(&tree, &rates, docs);
+    let config = PacketSimConfig::default();
+    let horizon = epochs as f64;
+
+    // Equivalence probe: the parallel engine must replay the sequential
+    // run bit for bit — trace, loads, ledger, counters — before its
+    // timings mean anything.
+    let seq_report = PacketSim::new(&tree, &mix, config).run(horizon);
+    let par_report = ParPacketSim::new(&tree, &mix, config, 4).run(horizon);
+    let traces_identical = seq_report.trace.len() == par_report.trace.len()
+        && seq_report
+            .trace
+            .distances()
+            .iter()
+            .zip(par_report.trace.distances())
+            .all(|(a, b)| a.to_bits() == b.to_bits())
+        && seq_report
+            .served_rates
+            .as_slice()
+            .iter()
+            .zip(par_report.served_rates.as_slice())
+            .all(|(a, b)| a.to_bits() == b.to_bits())
+        && seq_report.served_requests == par_report.served_requests
+        && seq_report.copy_pushes == par_report.copy_pushes
+        && seq_report.tunnel_fetches == par_report.tunnel_fetches
+        && seq_report.mean_hops.to_bits() == par_report.mean_hops.to_bits()
+        && seq_report.ledger.total_messages() == par_report.ledger.total_messages()
+        && seq_report.ledger.total_bytes() == par_report.ledger.total_bytes()
+        && seq_report.ledger.link_transmissions() == par_report.ledger.link_transmissions();
+
+    let seq = time_min(
+        3,
+        || PacketSim::new(&tree, &mix, config),
+        |s| {
+            s.run(horizon);
+        },
+    );
+    let mut rows = Vec::new();
+    for workers in [1, 2, 4, 8] {
+        let par = time_min(
+            3,
+            || ParPacketSim::new(&tree, &mix, config, workers),
+            |s| {
+                s.run(horizon);
+            },
+        );
+        rows.push((
+            workers,
+            par.as_secs_f64() * 1e3,
+            seq.as_secs_f64() / par.as_secs_f64(),
+        ));
+    }
+    ParallelScaling {
+        nodes: tree.len(),
+        docs,
+        epochs,
+        available_cores: std::thread::available_parallelism().map_or(1, |n| n.get()),
+        seq_ms: seq.as_secs_f64() * 1e3,
+        rows,
+        traces_identical,
+    }
+}
+
 fn bench_webfold(nodes: usize) -> (usize, f64) {
     let (tree, rates) = scaling_scenario(nodes, 12, nodes as u64);
     let d = time_min(
@@ -335,6 +423,27 @@ fn main() {
         .collect();
     for &(n, ns) in &folds {
         eprintln!("  webfold nodes={n}: {:.3} ms", ns / 1e6);
+    }
+
+    eprintln!("webwave-bench: parallel packet engine scaling (PacketSim vs ww-pdes)");
+    let parallel = bench_parallel_scaling(180, 180, 8, 3);
+    eprintln!(
+        "  two_level nodes={} docs={} epochs={} cores={}: sequential {:.0} ms, traces_identical={}",
+        parallel.nodes,
+        parallel.docs,
+        parallel.epochs,
+        parallel.available_cores,
+        parallel.seq_ms,
+        parallel.traces_identical
+    );
+    for &(workers, ms, speedup) in &parallel.rows {
+        eprintln!("    workers={workers}: {ms:.0} ms, speedup {speedup:.2}x");
+    }
+    if parallel.available_cores < 2 {
+        eprintln!(
+            "  note: {} core available — conservative-sync overhead only; run on a multi-core host for real scaling numbers",
+            parallel.available_cores
+        );
     }
 
     eprintln!("webwave-bench: Runner dispatch overhead vs direct engines (budget 1%)");
@@ -393,7 +502,26 @@ fn main() {
             if i + 1 < folds.len() { "," } else { "" }
         );
     }
-    json.push_str("  ],\n  \"runner_overhead\": [\n");
+    json.push_str("  ],\n  \"parallel_scaling\": {\n");
+    let _ = writeln!(
+        json,
+        "    \"engine\": \"packet_sim_par\", \"nodes\": {}, \"docs\": {}, \"epochs\": {}, \"available_cores\": {}, \"seq_ms\": {:.1}, \"traces_identical\": {},",
+        parallel.nodes,
+        parallel.docs,
+        parallel.epochs,
+        parallel.available_cores,
+        parallel.seq_ms,
+        parallel.traces_identical
+    );
+    json.push_str("    \"workers\": [\n");
+    for (i, &(workers, ms, speedup)) in parallel.rows.iter().enumerate() {
+        let _ = writeln!(
+            json,
+            "      {{\"workers\": {workers}, \"ms\": {ms:.1}, \"speedup\": {speedup:.3}}}{}",
+            if i + 1 < parallel.rows.len() { "," } else { "" }
+        );
+    }
+    json.push_str("    ]\n  },\n  \"runner_overhead\": [\n");
     for (i, o) in overheads.iter().enumerate() {
         let _ = writeln!(
             json,
@@ -418,7 +546,8 @@ fn main() {
         .map(|c| c.speedup)
         .fold(f64::INFINITY, f64::min);
     let all_identical = comparisons.iter().all(|c| c.traces_identical)
-        && overheads.iter().all(|o| o.traces_identical);
+        && overheads.iter().all(|o| o.traces_identical)
+        && parallel.traces_identical;
     eprintln!("webwave-bench: worst speedup {worst:.2}x, traces identical: {all_identical}");
     if !all_identical {
         eprintln!("webwave-bench: WARNING — dense/naive traces diverge");

@@ -37,6 +37,7 @@
 
 pub mod docsim;
 pub mod fold;
+pub mod packet;
 pub mod packetsim;
 pub mod reference;
 pub mod throughput;

@@ -95,6 +95,18 @@ impl PacketFilter for ExactFilter {
 /// A false positive merely diverts one request to a cache that then misses
 /// and forwards it onward — correctness is unaffected, matching the
 /// paper's "highly likely to hit" phrasing.
+///
+/// # Saturation
+///
+/// Counters are 16-bit. A counter that reaches `u16::MAX` is **pinned**:
+/// it can no longer be incremented *or decremented*. Pinning is what
+/// preserves the no-false-negative contract — a saturated counter has
+/// lost count of how many insertions it absorbed, so any decrement could
+/// drop it to zero while live documents still hash to the slot, turning
+/// the overflow into false negatives. The price is a permanently "hot"
+/// slot (a small, bounded false-positive rate increase), which is the
+/// safe side of the trade. Reaching saturation takes 65 535 overlapping
+/// insertions on one slot, far beyond any realistic filter load.
 #[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
 pub struct CountingBloomFilter {
     counters: Vec<u16>,
@@ -159,7 +171,16 @@ impl PacketFilter for CountingBloomFilter {
         }
         for i in 0..self.hashes {
             let s = self.slot(doc, i);
-            self.counters[s] = self.counters[s].saturating_sub(1);
+            // A saturated counter is pinned forever: it stopped counting
+            // at the cap, so decrementing it could reach zero while other
+            // inserted documents still hash here — a false negative,
+            // violating the PacketFilter contract. Leaving it at the cap
+            // only costs false positives. (The saturating_sub guards the
+            // remove-of-a-false-positive case, which may decrement slots
+            // the document never incremented.)
+            if self.counters[s] != u16::MAX {
+                self.counters[s] = self.counters[s].saturating_sub(1);
+            }
         }
         self.items = self.items.saturating_sub(1);
     }
@@ -239,6 +260,47 @@ mod tests {
     #[should_panic(expected = "at least one slot")]
     fn bloom_zero_slots_rejected() {
         let _ = CountingBloomFilter::new(0, 3);
+    }
+
+    #[test]
+    fn saturated_counter_never_yields_false_negative() {
+        // Regression: with saturating_add + unconditional decrement, a
+        // counter that clips at u16::MAX forgets insertions; removing the
+        // overflow documents then drags it to zero and documents that are
+        // still inserted vanish from the filter — a false negative. The
+        // fix pins saturated counters: they never decrement again.
+        let mut f = CountingBloomFilter::new(1, 1); // everything shares slot 0
+        let resident = DocId::new(42);
+        f.insert(resident); // counter = 1
+        let churn = u16::MAX as u64; // enough inserts to clip the counter
+        for i in 0..churn {
+            f.insert(DocId::new(1_000_000 + i));
+        }
+        for i in 0..churn {
+            f.remove(DocId::new(1_000_000 + i));
+        }
+        // `resident` was inserted and never removed: the filter contract
+        // says it MUST still match, however battered the counter is.
+        assert!(
+            f.matches(resident),
+            "saturation + removal churn produced a false negative"
+        );
+    }
+
+    #[test]
+    fn pinned_slot_stays_pinned_but_bookkeeping_survives() {
+        let mut f = CountingBloomFilter::new(1, 1);
+        for i in 0..(u16::MAX as u64 + 10) {
+            f.insert(DocId::new(i));
+        }
+        for i in 0..(u16::MAX as u64 + 10) {
+            f.remove(DocId::new(i));
+        }
+        // The slot saturated, so it is pinned hot: matches() stays true
+        // (false positives only — the safe failure mode), and the item
+        // count still reaches zero.
+        assert_eq!(f.len(), 0);
+        assert!(f.matches(DocId::new(7)));
     }
 
     #[test]

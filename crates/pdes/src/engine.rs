@@ -1,0 +1,707 @@
+//! The sharded, conservatively synchronized parallel packet simulator.
+//!
+//! [`ParPacketSim`] runs the exact node logic of
+//! [`ww_core::packet`] — the same handlers the sequential
+//! [`PacketSim`](ww_core::packetsim::PacketSim) drives — but splits the
+//! tree into connected subtree shards (see [`crate::partition`]) and
+//! runs one event loop per shard on its own worker thread.
+//!
+//! # Synchronization
+//!
+//! Shards exchange timestamped messages over channels, one directed
+//! channel per adjacent shard pair. Every cross-shard effect travels a
+//! cut tree edge and therefore arrives at least one
+//! [`link_delay`](ww_core::packet::PacketSimConfig::link_delay) after it
+//! was sent — that latency is the **lookahead**. A shard may safely
+//! process local events up to the minimum *promise* across its inbound
+//! channels, where a promise `P` guarantees "no message with timestamp
+//! `< P` will ever arrive here". Promises ride on every event message
+//! (its own timestamp) and on explicit null messages
+//! (`min(next local event, inbound safe time) + lookahead`), the
+//! classic Chandy–Misra–Bryant recipe; positive lookahead makes the
+//! null-message ratchet terminate.
+//!
+//! Once per diffusion period every shard quiesces at the epoch boundary
+//! (`EpochEnd` handshake), and the driver samples the global distance to
+//! the oracle — the same `O(n)` barrier pass the sequential driver
+//! performs at the same instants.
+//!
+//! # Determinism
+//!
+//! Within a shard, events execute in `(time, seq)` order where local
+//! events draw `seq` from the shard's counter and inbound messages carry
+//! a key derived from `(sending shard, per-channel counter)` — a pure
+//! function of message content, never of wall-clock channel timing. The
+//! packet protocol's handlers are node-local and all its randomness is
+//! content-keyed per node, so the full run is a pure function of
+//! `(world, seed)`: independent of thread scheduling *and* of the worker
+//! count, and bit-identical to the sequential `PacketSim` (traces,
+//! served rates, ledger, counters). The golden tests in this crate and
+//! in `ww-scenario` pin exactly that.
+
+use crate::partition::{partition_subtrees, Partition};
+use crossbeam::channel::{unbounded, Receiver, Sender};
+use std::time::Duration;
+use ww_core::packet::{
+    self, DriverSource, NodeCtx, NodeState, PacketCounters, PacketEvent, PacketSimConfig,
+    PacketWorld, Scratch,
+};
+use ww_core::packetsim::PacketSimReport;
+use ww_model::{DocId, ModelError, NodeId, RateVector, Tree};
+use ww_net::{TrafficClass, TrafficLedger};
+use ww_sim::{EventQueue, SimTime, TimerRing};
+use ww_stats::ConvergenceTrace;
+use ww_workload::DocMix;
+
+/// Tie-break bit marking inbound (cross-shard) events: at equal
+/// timestamps they order after all locally scheduled events, then by
+/// `(sending shard, channel counter)`.
+const INBOUND: u64 = 1 << 63;
+/// Bits reserved for the per-channel message counter.
+const COUNTER_BITS: u32 = 40;
+
+/// Messages on a cross-shard channel.
+#[derive(Debug)]
+enum Wire {
+    /// A protocol event for a node of the receiving shard.
+    Event {
+        at: SimTime,
+        counter: u64,
+        ev: PacketEvent,
+    },
+    /// Null message: no event with timestamp `< until` will follow.
+    Promise { until: SimTime },
+    /// The sender finished the current epoch (implies a promise of
+    /// `epoch end + lookahead`).
+    EpochEnd,
+}
+
+/// Sending side of one directed cut.
+#[derive(Debug)]
+struct OutLink {
+    peer: usize,
+    tx: Sender<Wire>,
+    counter: u64,
+    last_promise: SimTime,
+}
+
+/// Receiving side of one directed cut.
+#[derive(Debug)]
+struct InLink {
+    peer: usize,
+    rx: Receiver<Wire>,
+    promise: SimTime,
+    epoch_ended: bool,
+}
+
+/// One subtree shard: its nodes' states, its event loop machinery, and
+/// its links to adjacent shards.
+#[derive(Debug)]
+struct Shard {
+    id: usize,
+    states: Vec<NodeState>,
+    queue: EventQueue<PacketEvent>,
+    gossip_ring: TimerRing,
+    diffusion_ring: TimerRing,
+    ledger: TrafficLedger,
+    counters: PacketCounters,
+    scratch: Scratch,
+    outbox: Vec<(SimTime, PacketEvent)>,
+    out_links: Vec<OutLink>,
+    in_links: Vec<InLink>,
+    /// Shard id -> index into `out_links` (`usize::MAX`: not adjacent).
+    out_for: Vec<usize>,
+}
+
+/// Read-only state shared by all workers during an epoch.
+#[derive(Debug, Clone, Copy)]
+struct Shared<'a> {
+    world: &'a PacketWorld,
+    partition: &'a Partition,
+    failed_up: &'a [bool],
+}
+
+impl Shard {
+    /// The earliest pending `(time, seq, source)` across the heap and
+    /// the two timer rings — the shared merge of
+    /// [`packet::next_source`], so tie-breaking can never diverge from
+    /// the sequential driver.
+    fn next_source(&self) -> Option<(SimTime, u64, DriverSource)> {
+        packet::next_source(&self.queue, &self.gossip_ring, &self.diffusion_ring)
+    }
+
+    /// Time of the earliest pending local event, if any.
+    fn next_time(&self) -> Option<SimTime> {
+        self.next_source().map(|(t, _, _)| t)
+    }
+
+    /// Routes the outbox: local targets into the shard queue (drawing
+    /// local sequence numbers in push order), remote targets onto their
+    /// channel with the next per-channel counter.
+    fn route_outbox(&mut self, sh: &Shared<'_>) {
+        let mut out = std::mem::take(&mut self.outbox);
+        for (at, ev) in out.drain(..) {
+            let target = sh.partition.shard_of[ev.node().index()];
+            if target == self.id {
+                self.queue.schedule(at, ev);
+            } else {
+                let li = self.out_for[target];
+                debug_assert_ne!(li, usize::MAX, "send to non-adjacent shard");
+                let link = &mut self.out_links[li];
+                link.counter += 1;
+                debug_assert!(link.counter < (1 << COUNTER_BITS));
+                link.tx
+                    .send(Wire::Event {
+                        at,
+                        counter: link.counter,
+                        ev,
+                    })
+                    .expect("peer shard outlives the epoch");
+            }
+        }
+        self.outbox = out;
+    }
+
+    /// Runs `handler` for the node at local index `li` with a freshly
+    /// assembled [`NodeCtx`], then routes the produced outbox — the one
+    /// event-execution shape shared by all three sources.
+    fn with_node(
+        &mut self,
+        sh: &Shared<'_>,
+        li: usize,
+        handler: impl FnOnce(&mut NodeCtx<'_>, &mut NodeState),
+    ) {
+        let mut ctx = NodeCtx {
+            world: sh.world,
+            failed_up: sh.failed_up,
+            ledger: &mut self.ledger,
+            counters: &mut self.counters,
+            out: &mut self.outbox,
+            scratch: &mut self.scratch,
+        };
+        handler(&mut ctx, &mut self.states[li]);
+        self.route_outbox(sh);
+    }
+
+    /// Processes every local event with `time <= bound`, in `(time, seq)`
+    /// order. Returns whether anything was processed.
+    fn process_until(&mut self, sh: &Shared<'_>, bound: SimTime) -> bool {
+        let mut any = false;
+        while let Some((t, _, source)) = self.next_source() {
+            if t > bound {
+                break;
+            }
+            match source {
+                DriverSource::Heap => {
+                    let (t, event) = self.queue.pop().expect("peeked event exists");
+                    let li = sh.partition.local_index[event.node().index()] as usize;
+                    self.with_node(sh, li, |ctx, state| packet::handle(ctx, state, t, event));
+                }
+                DriverSource::Gossip => {
+                    let (t, member) = self.gossip_ring.pop().expect("peeked fire exists");
+                    self.queue.advance_to(t);
+                    let node = sh.partition.members[self.id][member];
+                    self.with_node(sh, member, |ctx, state| {
+                        packet::on_gossip_timer(ctx, state, t, node);
+                    });
+                    let seq = self.queue.alloc_seq();
+                    self.gossip_ring.rearm(member, seq);
+                }
+                DriverSource::Diffusion => {
+                    let (t, member) = self.diffusion_ring.pop().expect("peeked fire exists");
+                    self.queue.advance_to(t);
+                    let node = sh.partition.members[self.id][member];
+                    self.with_node(sh, member, |ctx, state| {
+                        packet::on_diffusion(ctx, state, t, node);
+                    });
+                    let seq = self.queue.alloc_seq();
+                    self.diffusion_ring.rearm(member, seq);
+                }
+            }
+            any = true;
+        }
+        any
+    }
+
+    /// Folds one received wire message into link `li`'s state: events are
+    /// scheduled under their content-derived key, promises ratchet.
+    fn absorb(&mut self, li: usize, msg: Wire, t_end: SimTime, lookahead: SimTime) {
+        let link = &mut self.in_links[li];
+        match msg {
+            Wire::Event { at, counter, ev } => {
+                let key = INBOUND | ((link.peer as u64) << COUNTER_BITS) | counter;
+                // Per-channel send times are monotone, so an event at `at`
+                // also promises nothing earlier follows.
+                if at > link.promise {
+                    link.promise = at;
+                }
+                self.queue.schedule_keyed(at, key, ev);
+            }
+            Wire::Promise { until } => {
+                if until > link.promise {
+                    link.promise = until;
+                }
+            }
+            Wire::EpochEnd => {
+                link.epoch_ended = true;
+                let implied = t_end + lookahead;
+                if implied > link.promise {
+                    link.promise = implied;
+                }
+            }
+        }
+    }
+
+    /// Drains every inbound channel without blocking. Returns whether
+    /// anything arrived.
+    fn drain_inbound(&mut self, t_end: SimTime, lookahead: SimTime) -> bool {
+        let mut any = false;
+        for li in 0..self.in_links.len() {
+            while let Ok(msg) = self.in_links[li].rx.try_recv() {
+                self.absorb(li, msg, t_end, lookahead);
+                any = true;
+            }
+        }
+        any
+    }
+}
+
+/// On-panic releaser: if a worker dies mid-epoch, its neighbors would
+/// otherwise wait forever for promises and an `EpochEnd` that never
+/// come (the channel senders stay alive inside the engine, so no
+/// `Disconnected` fires). This guard's drop handler — running during
+/// unwind — sends a final promise plus `EpochEnd` on every outbound
+/// link, letting the surviving shards finish the epoch so the scope
+/// joins and the original panic propagates to the caller.
+struct PanicRelease {
+    txs: Vec<Sender<Wire>>,
+    until: SimTime,
+    armed: bool,
+}
+
+impl Drop for PanicRelease {
+    fn drop(&mut self) {
+        if self.armed && std::thread::panicking() {
+            for tx in &self.txs {
+                let _ = tx.send(Wire::Promise { until: self.until });
+                let _ = tx.send(Wire::EpochEnd);
+            }
+        }
+    }
+}
+
+/// Runs one shard's event loop up to the epoch boundary `t_end`,
+/// conservatively bounded by inbound promises, then performs the
+/// `EpochEnd` handshake with its neighbors.
+fn run_shard(shard: &mut Shard, sh: &Shared<'_>, t_end: SimTime) {
+    let lookahead = SimTime::from_secs(sh.world.config.link_delay);
+    let mut release = PanicRelease {
+        txs: shard.out_links.iter().map(|l| l.tx.clone()).collect(),
+        until: t_end + lookahead,
+        armed: true,
+    };
+    let mut idle_spins = 0u32;
+    loop {
+        let mut progressed = shard.drain_inbound(t_end, lookahead);
+
+        let safe = shard.in_links.iter().map(|l| l.promise).min();
+        let bound = match safe {
+            Some(s) => s.min(t_end),
+            None => t_end,
+        };
+        progressed |= shard.process_until(sh, bound);
+
+        // Null message: the earliest we could possibly send anything new
+        // is one lookahead past the earliest thing we might yet process.
+        let next_local = shard.next_time();
+        let mut basis = match (next_local, safe) {
+            (Some(a), Some(b)) => a.min(b),
+            (Some(a), None) => a,
+            (None, Some(b)) => b,
+            (None, None) => t_end,
+        };
+        if basis > t_end {
+            basis = t_end;
+        }
+        let promise = basis + lookahead;
+        for link in &mut shard.out_links {
+            if promise > link.last_promise {
+                link.last_promise = promise;
+                link.tx
+                    .send(Wire::Promise { until: promise })
+                    .expect("peer shard outlives the epoch");
+                progressed = true;
+            }
+        }
+
+        let local_done = shard.next_time().is_none_or(|t| t > t_end);
+        let inbound_done = shard.in_links.iter().all(|l| l.promise > t_end);
+        if local_done && inbound_done {
+            for link in &mut shard.out_links {
+                link.tx.send(Wire::EpochEnd).expect("peer shard alive");
+            }
+            // Late messages of this epoch all target times past t_end;
+            // absorb them until every neighbor has closed the epoch too.
+            // Everything this shard owes its peers is already sent, so a
+            // blocking receive (with a timeout as a belt against missed
+            // wakeups) is safe here — no busy spinning while a slower
+            // neighbor finishes its epoch.
+            while let Some(li) = shard.in_links.iter().position(|l| !l.epoch_ended) {
+                match shard.in_links[li].rx.recv_timeout(Duration::from_millis(1)) {
+                    Ok(msg) => shard.absorb(li, msg, t_end, lookahead),
+                    Err(_) => {
+                        shard.drain_inbound(t_end, lookahead);
+                    }
+                }
+            }
+            for link in &mut shard.in_links {
+                link.epoch_ended = false;
+            }
+            release.armed = false;
+            return;
+        }
+
+        if progressed {
+            idle_spins = 0;
+        } else {
+            idle_spins += 1;
+            if idle_spins > 64 {
+                std::thread::sleep(Duration::from_micros(50));
+            } else {
+                std::thread::yield_now();
+            }
+        }
+    }
+}
+
+/// The sharded parallel packet-level simulator.
+///
+/// Drop-in equivalent of [`ww_core::packetsim::PacketSim`]: same
+/// constructor inputs plus a worker count, same [`PacketSimReport`], and
+/// — by construction — the same bits in every reported number.
+///
+/// # Example
+///
+/// ```
+/// use ww_model::{DocId, NodeId, Tree};
+/// use ww_workload::DocMix;
+/// use ww_core::packetsim::{PacketSim, PacketSimConfig};
+/// use ww_pdes::ParPacketSim;
+///
+/// let tree = Tree::from_parents(&[None, Some(0), Some(1), Some(1)]).unwrap();
+/// let mut mix = DocMix::new(4);
+/// mix.set(NodeId::new(2), DocId::new(1), 120.0);
+/// mix.set(NodeId::new(3), DocId::new(2), 60.0);
+/// let config = PacketSimConfig::default();
+/// let seq = PacketSim::new(&tree, &mix, config).run(10.0);
+/// let par = ParPacketSim::new(&tree, &mix, config, 2).run(10.0);
+/// assert_eq!(seq.served_requests, par.served_requests);
+/// assert_eq!(seq.trace.distances(), par.trace.distances());
+/// ```
+#[derive(Debug)]
+pub struct ParPacketSim {
+    world: PacketWorld,
+    partition: Partition,
+    shards: Vec<Shard>,
+    failed_up: Vec<bool>,
+    trace: ConvergenceTrace,
+    epochs_sampled: u64,
+    /// Simulated time the run has reached (last barrier).
+    horizon: SimTime,
+}
+
+impl ParPacketSim {
+    /// Builds a parallel simulator over `workers` subtree shards (capped
+    /// by what the topology yields).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `workers` is zero, if the partition is non-trivial and
+    /// `config.link_delay` is not positive (no lookahead — conservative
+    /// synchronization could not advance), or on any input
+    /// [`PacketWorld::new`] rejects.
+    pub fn new(tree: &Tree, mix: &DocMix, config: PacketSimConfig, workers: usize) -> Self {
+        assert!(workers > 0, "need at least one worker");
+        let world = PacketWorld::new(tree, mix, config);
+        let partition = partition_subtrees(tree, workers);
+        assert!(
+            partition.shards() == 1 || config.link_delay > 0.0,
+            "the parallel packet engine needs a positive link delay: \
+             cut-edge latency is its conservative lookahead"
+        );
+
+        let shards_n = partition.shards();
+        let mut out_links: Vec<Vec<OutLink>> = (0..shards_n).map(|_| Vec::new()).collect();
+        let mut in_links: Vec<Vec<InLink>> = (0..shards_n).map(|_| Vec::new()).collect();
+        for (src, dst) in partition.cut_pairs(tree) {
+            let (tx, rx) = unbounded();
+            out_links[src].push(OutLink {
+                peer: dst,
+                tx,
+                counter: 0,
+                last_promise: SimTime::ZERO,
+            });
+            in_links[dst].push(InLink {
+                peer: src,
+                rx,
+                promise: SimTime::ZERO,
+                epoch_ended: false,
+            });
+        }
+
+        let mut shards = Vec::with_capacity(shards_n);
+        for (id, (outs, ins)) in out_links.into_iter().zip(in_links).enumerate() {
+            let members = &partition.members[id];
+            let mut states: Vec<NodeState> = members
+                .iter()
+                .map(|&u| packet::init_state(&world, u))
+                .collect();
+            let mut queue = EventQueue::new();
+            let mut gossip_ring =
+                TimerRing::new(SimTime::from_secs(config.gossip_period), members.len());
+            let mut diffusion_ring =
+                TimerRing::new(SimTime::from_secs(config.diffusion_period), members.len());
+            let mut outbox = Vec::new();
+            for (local, &u) in members.iter().enumerate() {
+                packet::initial_arrivals(&world, &mut states[local], u, &mut outbox);
+                for (at, ev) in outbox.drain(..) {
+                    queue.schedule(at, ev);
+                }
+                let gossip_seq = queue.alloc_seq();
+                gossip_ring.insert(local, world.gossip_phase(u.index()), gossip_seq);
+                let diffusion_seq = queue.alloc_seq();
+                diffusion_ring.insert(local, world.diffusion_phase(u.index()), diffusion_seq);
+            }
+            let mut out_for = vec![usize::MAX; shards_n];
+            for (li, link) in outs.iter().enumerate() {
+                out_for[link.peer] = li;
+            }
+            shards.push(Shard {
+                id,
+                states,
+                queue,
+                gossip_ring,
+                diffusion_ring,
+                ledger: TrafficLedger::new(),
+                counters: PacketCounters::default(),
+                scratch: Scratch::default(),
+                outbox,
+                out_links: outs,
+                in_links: ins,
+                out_for,
+            });
+        }
+
+        ParPacketSim {
+            failed_up: vec![false; world.len()],
+            world,
+            partition,
+            shards,
+            trace: ConvergenceTrace::new(),
+            epochs_sampled: 0,
+            horizon: SimTime::ZERO,
+        }
+    }
+
+    /// Number of subtree shards (= worker threads) this run uses.
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Advances every shard to `t_end` (one scoped worker thread per
+    /// shard) and moves the horizon there.
+    fn advance_all(&mut self, t_end: SimTime) {
+        if t_end <= self.horizon {
+            return;
+        }
+        let shared = Shared {
+            world: &self.world,
+            partition: &self.partition,
+            failed_up: &self.failed_up,
+        };
+        if self.shards.len() == 1 {
+            run_shard(&mut self.shards[0], &shared, t_end);
+        } else {
+            std::thread::scope(|scope| {
+                for shard in self.shards.iter_mut() {
+                    let sh = &shared;
+                    scope.spawn(move || run_shard(shard, sh, t_end));
+                }
+            });
+        }
+        self.horizon = t_end;
+    }
+
+    /// The next pending epoch-boundary sample time.
+    fn next_sample(&self) -> SimTime {
+        SimTime::from_secs((self.epochs_sampled + 1) as f64 * self.world.config.diffusion_period)
+    }
+
+    /// Samples the global distance to the oracle at the barrier `at`:
+    /// rolls every node's serve meter to the boundary in node order —
+    /// the identical pass the sequential driver performs.
+    fn sample_epoch(&mut self, at: SimTime) {
+        let now = at.as_secs();
+        let mut sum_sq = 0.0;
+        for j in 0..self.world.len() {
+            let s = self.partition.shard_of[j];
+            let li = self.partition.local_index[j] as usize;
+            let r = packet::sample_served_rate(&mut self.shards[s].states[li], now);
+            let d = r - self.world.oracle[NodeId::new(j)];
+            sum_sq += d * d;
+        }
+        self.trace.push(sum_sq.sqrt());
+        self.epochs_sampled += 1;
+    }
+
+    /// Runs the simulation up to `duration` simulated seconds and
+    /// reports, exactly as [`PacketSim::run`](ww_core::packetsim::PacketSim::run):
+    /// one barrier + sample per diffusion epoch boundary, then a final
+    /// barrier at the horizon. May be called repeatedly with increasing
+    /// horizons.
+    pub fn run(&mut self, duration: f64) -> PacketSimReport {
+        let deadline = SimTime::from_secs(duration);
+        while self.next_sample() <= deadline {
+            let at = self.next_sample();
+            self.advance_all(at);
+            self.sample_epoch(at);
+        }
+        self.advance_all(deadline);
+        if deadline > self.horizon {
+            self.horizon = deadline;
+        }
+        self.report()
+    }
+
+    /// Produces the report at the current horizon (also usable mid-run).
+    pub fn report(&mut self) -> PacketSimReport {
+        let now = self.horizon.as_secs().max(1e-9);
+        let rates: Vec<f64> = (0..self.world.len())
+            .map(|j| {
+                let s = self.partition.shard_of[j];
+                let li = self.partition.local_index[j] as usize;
+                packet::sample_served_rate(&mut self.shards[s].states[li], now)
+            })
+            .collect();
+        let served_rates = RateVector::from(rates);
+        let final_distance = served_rates.euclidean_distance(&self.world.oracle);
+        let mut ledger = TrafficLedger::new();
+        let mut counters = PacketCounters::default();
+        for shard in &self.shards {
+            ledger.merge(&shard.ledger);
+            counters.merge(&shard.counters);
+        }
+        PacketSimReport {
+            final_distance,
+            served_rates,
+            oracle: self.world.oracle.clone(),
+            trace: self.trace.clone(),
+            ledger,
+            mean_hops: if counters.served_requests == 0 {
+                0.0
+            } else {
+                counters.hops_sum as f64 / counters.served_requests as f64
+            },
+            copy_pushes: counters.copy_pushes,
+            tunnel_fetches: counters.tunnel_fetches,
+            served_requests: counters.served_requests,
+        }
+    }
+
+    /// The TLB oracle for the offered demand.
+    pub fn oracle(&self) -> &RateVector {
+        &self.world.oracle
+    }
+
+    /// The routing tree this simulation runs on.
+    pub fn tree(&self) -> &Tree {
+        &self.world.tree
+    }
+
+    /// The dense document table of this simulation's universe.
+    pub fn doc_table(&self) -> &ww_model::DocTable {
+        &self.world.table
+    }
+
+    /// Lifetime served-request count of one node.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node` is out of range.
+    pub fn served_total(&self, node: NodeId) -> u64 {
+        let s = self.partition.shard_of[node.index()];
+        let li = self.partition.local_index[node.index()] as usize;
+        self.shards[s].states[li].served_total
+    }
+
+    /// Whether the control link from `node` to its parent is failed.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node` is out of range.
+    pub fn link_failed(&self, node: NodeId) -> bool {
+        self.failed_up[node.index()]
+    }
+
+    /// Fails the control link between `node` and its parent (applied at
+    /// the current barrier; takes effect for all later epochs). Returns
+    /// `false` when already failed. See
+    /// [`PacketSim::fail_link`](ww_core::packetsim::PacketSim::fail_link).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node` is out of range or is the root.
+    pub fn fail_link(&mut self, node: NodeId) -> bool {
+        assert!(
+            self.world.tree.parent(node).is_some(),
+            "the root has no uplink to fail"
+        );
+        !std::mem::replace(&mut self.failed_up[node.index()], true)
+    }
+
+    /// Restores the control link between `node` and its parent. Returns
+    /// `false` when the link was not failed.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node` is out of range or is the root.
+    pub fn heal_link(&mut self, node: NodeId) -> bool {
+        assert!(
+            self.world.tree.parent(node).is_some(),
+            "the root has no uplink to heal"
+        );
+        std::mem::replace(&mut self.failed_up[node.index()], false)
+    }
+
+    /// Re-publish (update) a document at the current barrier: every
+    /// cached copy outside the home server is invalidated, exactly as
+    /// [`PacketSim::invalidate`](ww_core::packetsim::PacketSim::invalidate)
+    /// (one charged invalidation message per revoked copy).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ModelError::UnknownDocument`] when `doc` is outside the
+    /// simulated universe.
+    pub fn invalidate(&mut self, doc: DocId) -> Result<(), ModelError> {
+        let Some(k) = self.world.table.index_of(doc) else {
+            return Err(ModelError::UnknownDocument { doc: doc.value() });
+        };
+        let root = self.world.tree.root();
+        for j in 0..self.world.len() {
+            let node = NodeId::new(j);
+            if node == root {
+                continue;
+            }
+            let s = self.partition.shard_of[j];
+            let li = self.partition.local_index[j] as usize;
+            if packet::invalidate_node(&mut self.shards[s].states[li], k) {
+                self.shards[s].ledger.record(
+                    TrafficClass::Gossip,
+                    64,
+                    self.world.tree.depth(node) as u32,
+                );
+            }
+        }
+        Ok(())
+    }
+}

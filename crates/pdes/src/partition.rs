@@ -1,0 +1,238 @@
+//! Deterministic subtree partitioning of the routing tree.
+//!
+//! The parallel engine shards the tree into connected subtrees, one per
+//! worker. Cut edges are always tree edges, and every cross-node effect
+//! in the packet protocol pays at least one link delay per tree edge —
+//! so the link latency of the cut edges is exactly the conservative
+//! lookahead between shards.
+//!
+//! The partitioner peels off the largest unassigned subtree that fits
+//! the per-shard node budget, repeating once per extra shard; the
+//! remainder (always containing the root) becomes shard 0. The
+//! procedure is a pure function of `(tree, shard count)` — no
+//! randomness, no iteration-order dependence — so every run of a given
+//! scenario shards identically.
+
+use ww_model::{NodeId, Tree};
+
+/// A partition of the tree's nodes into connected subtree shards.
+#[derive(Debug, Clone)]
+pub struct Partition {
+    /// Shard of every node.
+    pub shard_of: Vec<usize>,
+    /// Index of every node within its shard's `members` list.
+    pub local_index: Vec<u32>,
+    /// Nodes of each shard, in ascending node-id order.
+    pub members: Vec<Vec<NodeId>>,
+}
+
+impl Partition {
+    /// Number of shards (≥ 1; at most the requested count).
+    pub fn shards(&self) -> usize {
+        self.members.len()
+    }
+
+    /// The ordered list of shard pairs connected by at least one tree
+    /// edge, as `(child_side_shard, parent_side_shard)` — each listed
+    /// once per unordered pair per direction of the underlying edges.
+    pub fn cut_pairs(&self, tree: &Tree) -> Vec<(usize, usize)> {
+        let mut pairs = Vec::new();
+        for u in tree.nodes() {
+            if let Some(p) = tree.parent(u) {
+                let (a, b) = (self.shard_of[u.index()], self.shard_of[p.index()]);
+                if a != b {
+                    // Traffic crosses every cut edge in both directions
+                    // (requests climb, gossip and copies descend), so both
+                    // directed pairs carry a channel.
+                    if !pairs.contains(&(a, b)) {
+                        pairs.push((a, b));
+                    }
+                    if !pairs.contains(&(b, a)) {
+                        pairs.push((b, a));
+                    }
+                }
+            }
+        }
+        pairs.sort_unstable();
+        pairs
+    }
+}
+
+/// Splits `tree` into at most `max_shards` connected subtree shards of
+/// roughly equal size. Always yields at least one shard; shard 0
+/// contains the root.
+///
+/// # Panics
+///
+/// Panics if `tree` is empty or `max_shards` is zero.
+pub fn partition_subtrees(tree: &Tree, max_shards: usize) -> Partition {
+    assert!(!tree.is_empty(), "cannot partition an empty tree");
+    assert!(max_shards > 0, "need at least one shard");
+    let n = tree.len();
+    let shards = max_shards.min(n);
+    let target = n.div_ceil(shards);
+
+    // Residual subtree sizes, updated as subtrees are peeled away.
+    let mut residual: Vec<usize> = vec![0; n];
+    for u in tree.bottom_up() {
+        residual[u.index()] = 1 + tree
+            .children(u)
+            .iter()
+            .map(|c| residual[c.index()])
+            .sum::<usize>();
+    }
+
+    const UNASSIGNED: usize = usize::MAX;
+    let mut shard_of = vec![UNASSIGNED; n];
+    let mut next_shard = 1usize;
+    let root = tree.root();
+
+    while next_shard < shards {
+        // The largest unassigned, non-root subtree that fits the budget;
+        // ties break toward the smaller node id.
+        let mut best: Option<(usize, usize)> = None; // (size, node)
+        for i in 0..n {
+            if shard_of[i] != UNASSIGNED || NodeId::new(i) == root {
+                continue;
+            }
+            let size = residual[i];
+            if size == 0 || size > target {
+                continue;
+            }
+            let better = match best {
+                None => true,
+                Some((bs, bi)) => size > bs || (size == bs && i < bi),
+            };
+            if better {
+                best = Some((size, i));
+            }
+        }
+        let Some((size, u)) = best else {
+            // Nothing fits (degenerate shapes); stop peeling.
+            break;
+        };
+        // Claim u's residual subtree.
+        let mut stack = vec![NodeId::new(u)];
+        while let Some(v) = stack.pop() {
+            if shard_of[v.index()] != UNASSIGNED {
+                continue;
+            }
+            shard_of[v.index()] = next_shard;
+            for &c in tree.children(v) {
+                if shard_of[c.index()] == UNASSIGNED {
+                    stack.push(c);
+                }
+            }
+        }
+        // The peeled nodes no longer count toward any ancestor.
+        let mut a = NodeId::new(u);
+        residual[a.index()] = 0;
+        while let Some(p) = tree.parent(a) {
+            residual[p.index()] -= size;
+            a = p;
+        }
+        next_shard += 1;
+    }
+
+    // Remainder (including the root) is shard 0.
+    for s in shard_of.iter_mut() {
+        if *s == UNASSIGNED {
+            *s = 0;
+        }
+    }
+
+    let mut members: Vec<Vec<NodeId>> = vec![Vec::new(); next_shard];
+    let mut local_index = vec![0u32; n];
+    for i in 0..n {
+        let s = shard_of[i];
+        local_index[i] = members[s].len() as u32;
+        members[s].push(NodeId::new(i));
+    }
+
+    Partition {
+        shard_of,
+        local_index,
+        members,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn check_connected_subtrees(tree: &Tree, p: &Partition) {
+        // Every non-root node either shares its parent's shard, or is the
+        // single entry point of its shard from above. Connectivity: each
+        // shard's nodes minus its entry points form child-closed regions.
+        for s in 0..p.shards() {
+            // Count "entry" nodes: members whose parent lies outside.
+            let entries = p.members[s]
+                .iter()
+                .filter(|&&u| match tree.parent(u) {
+                    None => true,
+                    Some(parent) => p.shard_of[parent.index()] != s,
+                })
+                .count();
+            assert_eq!(entries, 1, "shard {s} must be one connected subtree");
+        }
+    }
+
+    #[test]
+    fn covers_all_nodes_exactly_once() {
+        let tree = ww_topology::k_ary(3, 5);
+        let p = partition_subtrees(&tree, 4);
+        assert_eq!(p.shard_of.len(), tree.len());
+        let total: usize = p.members.iter().map(Vec::len).sum();
+        assert_eq!(total, tree.len());
+        check_connected_subtrees(&tree, &p);
+    }
+
+    #[test]
+    fn shards_are_roughly_balanced() {
+        let tree = ww_topology::k_ary(2, 9); // 1023 nodes
+        let p = partition_subtrees(&tree, 4);
+        assert_eq!(p.shards(), 4);
+        let sizes: Vec<usize> = p.members.iter().map(Vec::len).collect();
+        let target = tree.len().div_ceil(4);
+        for (s, &sz) in sizes.iter().enumerate() {
+            assert!(sz > 0, "shard {s} is empty");
+            // Peeled shards never exceed the budget; the remainder can be
+            // smaller but not wildly larger than 2x.
+            assert!(sz <= 2 * target, "shard {s} holds {sz} of {}", tree.len());
+        }
+    }
+
+    #[test]
+    fn single_shard_and_tiny_trees() {
+        let tree = ww_topology::path(3);
+        let p1 = partition_subtrees(&tree, 1);
+        assert_eq!(p1.shards(), 1);
+        let p8 = partition_subtrees(&tree, 8);
+        assert!(p8.shards() <= 3);
+        check_connected_subtrees(&tree, &p8);
+        let single = ww_topology::path(1);
+        let p = partition_subtrees(&single, 4);
+        assert_eq!(p.shards(), 1);
+    }
+
+    #[test]
+    fn deterministic() {
+        let tree = ww_topology::two_level(7, 5);
+        let a = partition_subtrees(&tree, 5);
+        let b = partition_subtrees(&tree, 5);
+        assert_eq!(a.shard_of, b.shard_of);
+    }
+
+    #[test]
+    fn cut_pairs_are_symmetric_and_sorted() {
+        let tree = ww_topology::k_ary(2, 6);
+        let p = partition_subtrees(&tree, 3);
+        let pairs = p.cut_pairs(&tree);
+        for &(a, b) in &pairs {
+            assert!(pairs.contains(&(b, a)), "missing reverse of ({a}, {b})");
+        }
+        let mut sorted = pairs.clone();
+        sorted.sort_unstable();
+        assert_eq!(pairs, sorted);
+    }
+}

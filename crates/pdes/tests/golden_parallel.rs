@@ -1,0 +1,196 @@
+//! Golden equivalence: the sharded parallel packet simulator must replay
+//! the sequential `PacketSim` bit for bit at every worker count, on every
+//! reported number — traces, served rates, ledger, counters.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use ww_core::packetsim::{PacketSim, PacketSimConfig, PacketSimReport};
+use ww_model::{DocId, NodeId, Tree};
+use ww_net::TrafficClass;
+use ww_pdes::ParPacketSim;
+use ww_topology::paper;
+use ww_workload::DocMix;
+
+fn fig7_mix() -> (Tree, DocMix) {
+    let b = paper::fig7();
+    let mut mix = DocMix::new(b.tree.len());
+    for d in &b.demands {
+        mix.set(d.origin, d.doc, d.rate);
+    }
+    (b.tree, mix)
+}
+
+/// A 60-node random tree with a Zipf-skewed shared document mix — the
+/// flash-crowd shape, scaled for a test.
+fn random_mix(seed: u64) -> (Tree, DocMix) {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let tree = ww_topology::random_tree_of_depth(&mut rng, 60, 6);
+    let rates = ww_workload::zipf_nodes(&mut rng, &tree, 1200.0, 1.0);
+    let mix = ww_workload::shared_zipf_mix(&tree, &rates, 12, 1.0);
+    (tree, mix)
+}
+
+fn bits(xs: &[f64]) -> Vec<u64> {
+    xs.iter().map(|x| x.to_bits()).collect()
+}
+
+fn assert_reports_identical(a: &PacketSimReport, b: &PacketSimReport, label: &str) {
+    assert_eq!(
+        bits(a.trace.distances()),
+        bits(b.trace.distances()),
+        "{label}: traces diverge"
+    );
+    assert_eq!(
+        bits(a.served_rates.as_slice()),
+        bits(b.served_rates.as_slice()),
+        "{label}: served rates diverge"
+    );
+    assert_eq!(
+        a.final_distance.to_bits(),
+        b.final_distance.to_bits(),
+        "{label}: final distance diverges"
+    );
+    assert_eq!(a.served_requests, b.served_requests, "{label}: served");
+    assert_eq!(a.copy_pushes, b.copy_pushes, "{label}: pushes");
+    assert_eq!(a.tunnel_fetches, b.tunnel_fetches, "{label}: fetches");
+    assert_eq!(
+        a.mean_hops.to_bits(),
+        b.mean_hops.to_bits(),
+        "{label}: mean hops"
+    );
+    for class in [
+        TrafficClass::Request,
+        TrafficClass::Response,
+        TrafficClass::Gossip,
+        TrafficClass::CopyPush,
+        TrafficClass::Tunnel,
+    ] {
+        assert_eq!(
+            a.ledger.count(class),
+            b.ledger.count(class),
+            "{label}: {class:?} count"
+        );
+        assert_eq!(
+            a.ledger.bytes(class),
+            b.ledger.bytes(class),
+            "{label}: {class:?} bytes"
+        );
+    }
+}
+
+#[test]
+fn fig7_matches_sequential_at_every_worker_count() {
+    let (tree, mix) = fig7_mix();
+    let config = PacketSimConfig::default();
+    let seq = PacketSim::new(&tree, &mix, config).run(20.0);
+    assert!(
+        seq.served_requests > 1000,
+        "run long enough to mean something"
+    );
+    for workers in [1, 2, 4, 8] {
+        let par = ParPacketSim::new(&tree, &mix, config, workers).run(20.0);
+        assert_reports_identical(&seq, &par, &format!("fig7 workers={workers}"));
+    }
+}
+
+#[test]
+fn random_tree_matches_sequential_at_every_worker_count() {
+    let (tree, mix) = random_mix(0xC0FFEE);
+    let config = PacketSimConfig {
+        seed: 42,
+        ..PacketSimConfig::default()
+    };
+    let seq = PacketSim::new(&tree, &mix, config).run(8.0);
+    for workers in [1, 2, 4, 8] {
+        let par = ParPacketSim::new(&tree, &mix, config, workers).run(8.0);
+        assert_reports_identical(&seq, &par, &format!("random workers={workers}"));
+    }
+}
+
+#[test]
+fn gossip_loss_randomness_is_shard_independent() {
+    let (tree, mix) = random_mix(7);
+    let config = PacketSimConfig {
+        gossip_loss: 0.25,
+        ..PacketSimConfig::default()
+    };
+    let seq = PacketSim::new(&tree, &mix, config).run(6.0);
+    for workers in [2, 5] {
+        let par = ParPacketSim::new(&tree, &mix, config, workers).run(6.0);
+        assert_reports_identical(&seq, &par, &format!("lossy workers={workers}"));
+    }
+}
+
+#[test]
+fn epoch_stepping_matches_one_shot() {
+    // The scenario adapter drives epoch by epoch; the parallel engine
+    // must replay its own one-shot run and the sequential stepped run.
+    let (tree, mix) = fig7_mix();
+    let config = PacketSimConfig::default();
+    let mut stepped = ParPacketSim::new(&tree, &mix, config, 4);
+    for k in 1..=10 {
+        stepped.run(k as f64);
+    }
+    let a = stepped.report();
+    let b = ParPacketSim::new(&tree, &mix, config, 4).run(10.0);
+    let c = PacketSim::new(&tree, &mix, config).run(10.0);
+    assert_reports_identical(&a, &b, "stepped vs one-shot");
+    assert_reports_identical(&a, &c, "stepped vs sequential");
+}
+
+#[test]
+fn link_failures_and_invalidation_match_sequential() {
+    let (tree, mix) = fig7_mix();
+    let config = PacketSimConfig::default();
+
+    let mut seq = PacketSim::new(&tree, &mix, config);
+    seq.run(6.0);
+    seq.fail_link(NodeId::new(2));
+    seq.run(12.0);
+    seq.heal_link(NodeId::new(2));
+    seq.invalidate(DocId::new(1)).unwrap();
+    let a = seq.run(18.0);
+
+    let mut par = ParPacketSim::new(&tree, &mix, config, 3);
+    par.run(6.0);
+    par.fail_link(NodeId::new(2));
+    par.run(12.0);
+    par.heal_link(NodeId::new(2));
+    par.invalidate(DocId::new(1)).unwrap();
+    let b = par.run(18.0);
+
+    assert_reports_identical(&a, &b, "faulted run");
+    assert_eq!(
+        seq.served_total(NodeId::new(2)),
+        par.served_total(NodeId::new(2))
+    );
+}
+
+#[test]
+fn repeated_runs_are_deterministic() {
+    let (tree, mix) = random_mix(99);
+    let config = PacketSimConfig::default();
+    let one = ParPacketSim::new(&tree, &mix, config, 4).run(5.0);
+    let two = ParPacketSim::new(&tree, &mix, config, 4).run(5.0);
+    assert_reports_identical(&one, &two, "rerun");
+}
+
+#[test]
+fn worker_count_is_capped_by_topology() {
+    let tree = Tree::from_parents(&[None, Some(0)]).unwrap();
+    let mut mix = DocMix::new(2);
+    mix.set(NodeId::new(1), DocId::new(1), 50.0);
+    let sim = ParPacketSim::new(&tree, &mix, PacketSimConfig::default(), 16);
+    assert!(sim.shard_count() <= 2);
+}
+
+#[test]
+#[should_panic(expected = "positive link delay")]
+fn zero_link_delay_rejected_for_multi_shard() {
+    let (tree, mix) = fig7_mix();
+    let config = PacketSimConfig {
+        link_delay: 0.0,
+        ..PacketSimConfig::default()
+    };
+    let _ = ParPacketSim::new(&tree, &mix, config, 4);
+}

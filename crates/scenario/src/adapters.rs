@@ -2,11 +2,13 @@
 //! and the baseline schemes.
 //!
 //! The round-stepped engines (`RateWave`, `DocSim`, `ForestWave`)
-//! implement the trait directly. The packet simulator advances one
-//! diffusion period of simulated time per engine round
-//! ([`PacketEngine`]); the threaded cluster ([`ClusterEngine`]) and the
-//! baseline schemes ([`BaselineEngine`]) are one-shot engines that do
-//! all their work in a single step and then report [`StepOutcome::Done`].
+//! implement the trait directly. The packet simulators advance one
+//! diffusion period of simulated time per engine round — sequentially
+//! ([`PacketEngine`]) or across subtree shards ([`ParPacketEngine`],
+//! bit-identical at every worker count); the threaded cluster
+//! ([`ClusterEngine`]) and the baseline schemes ([`BaselineEngine`]) are
+//! one-shot engines that do all their work in a single step and then
+//! report [`StepOutcome::Done`].
 
 use crate::engine::{Engine, MetricSink, StepOutcome};
 use crate::events::{Event, EventError};
@@ -17,6 +19,7 @@ use ww_core::packetsim::{PacketSim, PacketSimConfig, PacketSimReport};
 use ww_core::wave::RateWave;
 use ww_forest::ForestWave;
 use ww_model::{NodeId, RateVector, Tree};
+use ww_pdes::ParPacketSim;
 use ww_runtime::{run_cluster, ClusterConfig, ClusterReport};
 
 /// Wraps an engine-level failure into the typed event rejection.
@@ -437,6 +440,121 @@ impl Engine for PacketEngine {
             }
             _ => Err(EventError::Unsupported {
                 engine: "packet_sim",
+                event: event.kind(),
+            }),
+        }
+    }
+}
+
+/// The sharded parallel packet simulator behind the unified API: one
+/// engine round advances every subtree shard by one diffusion period and
+/// quiesces at the epoch barrier. Reported numbers are bit-identical to
+/// [`PacketEngine`] at every worker count.
+#[derive(Debug)]
+pub struct ParPacketEngine {
+    sim: ParPacketSim,
+    diffusion_period: f64,
+    epochs: usize,
+    last: Option<PacketSimReport>,
+}
+
+impl ParPacketEngine {
+    /// Wraps a configured parallel simulator; `config.diffusion_period`
+    /// becomes the engine-round length.
+    pub fn new(
+        tree: &Tree,
+        mix: &ww_workload::DocMix,
+        config: PacketSimConfig,
+        workers: usize,
+    ) -> Self {
+        ParPacketEngine {
+            sim: ParPacketSim::new(tree, mix, config, workers),
+            diffusion_period: config.diffusion_period,
+            epochs: 0,
+            last: None,
+        }
+    }
+
+    /// The most recent full packet-level report, if any step has run.
+    pub fn last_report(&self) -> Option<&PacketSimReport> {
+        self.last.as_ref()
+    }
+
+    /// Number of subtree shards (worker threads) the run uses.
+    pub fn shard_count(&self) -> usize {
+        self.sim.shard_count()
+    }
+}
+
+impl Engine for ParPacketEngine {
+    fn kind(&self) -> &'static str {
+        "packet_sim_par"
+    }
+
+    fn step(&mut self) -> StepOutcome {
+        self.epochs += 1;
+        let deadline = self.diffusion_period * self.epochs as f64;
+        self.last = Some(self.sim.run(deadline));
+        StepOutcome::Running
+    }
+
+    fn round(&self) -> usize {
+        self.epochs
+    }
+
+    fn convergence(&self) -> Option<f64> {
+        self.last.as_ref().map(|r| r.final_distance)
+    }
+
+    fn load(&self) -> Option<RateVector> {
+        self.last.as_ref().map(|r| r.served_rates.clone())
+    }
+
+    fn max_load(&self) -> Option<f64> {
+        self.last.as_ref().map(|r| r.served_rates.max())
+    }
+
+    fn oracle(&self) -> Option<RateVector> {
+        Some(self.sim.oracle().clone())
+    }
+
+    fn trace(&self) -> Option<Vec<f64>> {
+        self.last.as_ref().map(|r| r.trace.distances().to_vec())
+    }
+
+    fn metrics(&self, sink: &mut dyn MetricSink) {
+        if let Some(r) = &self.last {
+            sink.metric("final_distance", r.final_distance);
+            sink.metric("served_requests", r.served_requests as f64);
+            sink.metric("mean_hops", r.mean_hops);
+            sink.metric("copy_pushes", r.copy_pushes as f64);
+            sink.metric("tunnel_fetches", r.tunnel_fetches as f64);
+            sink.metric(
+                "control_msgs_per_request",
+                r.ledger.control_overhead_per_request(),
+            );
+        }
+    }
+
+    /// Same dynamics support as the sequential packet engine: cache
+    /// invalidation and control-link failures, applied at the epoch
+    /// barrier between rounds. Churn and workload shifts are rejected
+    /// with a typed error.
+    fn apply(&mut self, event: &Event) -> Result<(), EventError> {
+        match event {
+            Event::DocUpdate { doc } => self.sim.invalidate(*doc).map_err(|e| invalid(event, e)),
+            Event::LinkFail { node } => {
+                check_uplink(self.sim.tree(), *node, event)?;
+                self.sim.fail_link(*node);
+                Ok(())
+            }
+            Event::LinkHeal { node } => {
+                check_uplink(self.sim.tree(), *node, event)?;
+                self.sim.heal_link(*node);
+                Ok(())
+            }
+            _ => Err(EventError::Unsupported {
+                engine: "packet_sim_par",
                 event: event.kind(),
             }),
         }

@@ -1,10 +1,11 @@
 //! # ww-scenario — one declarative spec and one `Engine` trait for every
 //! WebWave simulator, runtime, and baseline
 //!
-//! The workspace has five ways to run the WebWave protocol — rate-level
+//! The workspace has six ways to run the WebWave protocol — rate-level
 //! ([`ww_core::wave::RateWave`]), document-level
 //! ([`ww_core::docsim::DocSim`]), packet-level
-//! ([`ww_core::packetsim::PacketSim`]), multi-tree
+//! ([`ww_core::packetsim::PacketSim`]), sharded parallel packet-level
+//! ([`ww_pdes::ParPacketSim`]), multi-tree
 //! ([`ww_forest::ForestWave`]), and as real threads
 //! ([`ww_runtime::run_cluster`]) — plus the baseline schemes of
 //! `ww-baselines`. This crate puts them all behind one surface:
@@ -87,7 +88,7 @@ pub mod json;
 pub mod runner;
 pub mod spec;
 
-pub use adapters::{BaselineEngine, BaselineParams, ClusterEngine, PacketEngine};
+pub use adapters::{BaselineEngine, BaselineParams, ClusterEngine, PacketEngine, ParPacketEngine};
 pub use engine::{Engine, EngineReport, MetricSink, NullObserver, Observer, StepOutcome};
 pub use error::SpecError;
 pub use events::{

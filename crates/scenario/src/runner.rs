@@ -16,7 +16,9 @@
 //! run's metric stream and text report. Static specs are driven by the
 //! untouched pre-dynamics loop, so their traces stay bit-identical.
 
-use crate::adapters::{BaselineEngine, BaselineParams, ClusterEngine, PacketEngine};
+use crate::adapters::{
+    BaselineEngine, BaselineParams, ClusterEngine, PacketEngine, ParPacketEngine,
+};
 use crate::engine::{Engine, EngineReport, NullObserver, Observer, StepOutcome};
 use crate::error::SpecError;
 use crate::events::{Event, EventKindSpec, EventMarker, EventSpec, EventsSpec};
@@ -886,6 +888,51 @@ fn resolve_engine(spec: &ScenarioSpec) -> Result<Box<dyn Engine>, SpecError> {
                     hysteresis: *hysteresis,
                     noise_sigmas: *noise_sigmas,
                 },
+            ))
+        }
+        EngineSpec::PacketSimPar {
+            alpha,
+            tunneling,
+            barrier_patience,
+            link_delay,
+            gossip_period,
+            diffusion_period,
+            measure_window,
+            gossip_loss,
+            hysteresis,
+            noise_sigmas,
+            workers,
+        } => {
+            let mix = require_mix(mix, "packet_sim_par")?;
+            if *diffusion_period <= 0.0 {
+                return Err(SpecError::at("engine.diffusion_period", "must be positive"));
+            }
+            if *link_delay <= 0.0 {
+                return Err(SpecError::at(
+                    "engine.link_delay",
+                    "the parallel engine needs a positive link delay (its conservative lookahead)",
+                ));
+            }
+            if *workers == 0 {
+                return Err(SpecError::at("engine.workers", "must be at least 1"));
+            }
+            Box::new(ParPacketEngine::new(
+                &topo.tree,
+                &mix,
+                PacketSimConfig {
+                    seed: spec.seed,
+                    link_delay: *link_delay,
+                    gossip_period: *gossip_period,
+                    diffusion_period: *diffusion_period,
+                    measure_window: *measure_window,
+                    alpha: *alpha,
+                    tunneling: *tunneling,
+                    barrier_patience: *barrier_patience,
+                    gossip_loss: *gossip_loss,
+                    hysteresis: *hysteresis,
+                    noise_sigmas: *noise_sigmas,
+                },
+                *workers,
             ))
         }
         EngineSpec::ForestWave {

@@ -240,6 +240,36 @@ pub enum EngineSpec {
         /// Absolute deadband in Poisson sigmas.
         noise_sigmas: f64,
     },
+    /// Sharded parallel packet-level WebWave
+    /// ([`ww_pdes::ParPacketSim`]): the same protocol as `packet_sim`,
+    /// run across `workers` subtree shards with conservative
+    /// synchronization — bit-identical to `packet_sim` at every worker
+    /// count. One engine round is one diffusion period.
+    PacketSimPar {
+        /// Diffusion parameter override.
+        alpha: Option<f64>,
+        /// Enable tunneling.
+        tunneling: bool,
+        /// Underloaded periods tolerated before tunneling.
+        barrier_patience: usize,
+        /// One-way per-hop link latency, seconds (must be positive: it
+        /// is the conservative lookahead between shards).
+        link_delay: f64,
+        /// Gossip period, seconds.
+        gossip_period: f64,
+        /// Diffusion period, seconds (also the engine-round length).
+        diffusion_period: f64,
+        /// Rate-measurement window, seconds.
+        measure_window: f64,
+        /// Gossip-loss probability (failure injection).
+        gossip_loss: f64,
+        /// Relative hysteresis deadband.
+        hysteresis: f64,
+        /// Absolute deadband in Poisson sigmas.
+        noise_sigmas: f64,
+        /// Worker threads (= subtree shards, capped by the topology).
+        workers: usize,
+    },
     /// Multi-tree forest WebWave ([`ww_forest::ForestWave`]): the
     /// topology is taken as an undirected graph, re-rooted at each of
     /// `roots`, and the workload demand is offered to every tree.
@@ -287,6 +317,7 @@ impl EngineSpec {
             EngineSpec::RateWave { .. } => "rate_wave",
             EngineSpec::DocSim { .. } => "doc_sim",
             EngineSpec::PacketSim { .. } => "packet_sim",
+            EngineSpec::PacketSimPar { .. } => "packet_sim_par",
             EngineSpec::ForestWave { .. } => "forest_wave",
             EngineSpec::Cluster { .. } => "cluster",
             EngineSpec::Baselines { .. } => "baselines",
@@ -384,8 +415,10 @@ pub enum SweepParam {
     Alpha,
     /// `engine.tunneling` (doc_sim / packet_sim); nonzero = on.
     Tunneling,
-    /// `engine.gossip_loss` (packet_sim).
+    /// `engine.gossip_loss` (packet_sim / packet_sim_par).
     GossipLoss,
+    /// `engine.workers` (packet_sim_par only); value truncated to usize.
+    Workers,
     /// `workload.doc_mix.theta` (shared_zipf mixes).
     DocTheta,
     /// `seed`; value truncated to u64.
@@ -400,6 +433,7 @@ impl SweepParam {
             SweepParam::Alpha => "alpha",
             SweepParam::Tunneling => "tunneling",
             SweepParam::GossipLoss => "gossip_loss",
+            SweepParam::Workers => "workers",
             SweepParam::DocTheta => "doc_theta",
             SweepParam::Seed => "seed",
         }
@@ -446,6 +480,7 @@ impl Sweep {
                     EngineSpec::RateWave { alpha, .. }
                     | EngineSpec::DocSim { alpha, .. }
                     | EngineSpec::PacketSim { alpha, .. }
+                    | EngineSpec::PacketSimPar { alpha, .. }
                     | EngineSpec::ForestWave { alpha, .. }
                     | EngineSpec::Cluster { alpha, .. } => alpha,
                     EngineSpec::Baselines { .. } => {
@@ -458,30 +493,49 @@ impl Sweep {
                 *slot = Some(value);
             }
             SweepParam::Tunneling => match &mut spec.engine {
-                EngineSpec::DocSim { tunneling, .. } | EngineSpec::PacketSim { tunneling, .. } => {
+                EngineSpec::DocSim { tunneling, .. }
+                | EngineSpec::PacketSim { tunneling, .. }
+                | EngineSpec::PacketSimPar { tunneling, .. } => {
                     *tunneling = value != 0.0;
                 }
-                _ => {
-                    return Err(SpecError::at(
-                        "sweep.param",
-                        "\"tunneling\" applies only to doc_sim / packet_sim engines",
-                    ))
-                }
+                _ => return Err(SpecError::at(
+                    "sweep.param",
+                    "\"tunneling\" applies only to doc_sim / packet_sim / packet_sim_par engines",
+                )),
             },
-            SweepParam::GossipLoss => match &mut spec.engine {
-                EngineSpec::PacketSim { gossip_loss, .. } => {
-                    if !(0.0..=1.0).contains(&value) {
+            SweepParam::GossipLoss => {
+                match &mut spec.engine {
+                    EngineSpec::PacketSim { gossip_loss, .. }
+                    | EngineSpec::PacketSimPar { gossip_loss, .. } => {
+                        if !(0.0..=1.0).contains(&value) {
+                            return Err(SpecError::at(
+                                "sweep.values",
+                                format!("gossip_loss is a probability, got {value}"),
+                            ));
+                        }
+                        *gossip_loss = value;
+                    }
+                    _ => return Err(SpecError::at(
+                        "sweep.param",
+                        "\"gossip_loss\" applies only to the packet_sim / packet_sim_par engines",
+                    )),
+                }
+            }
+            SweepParam::Workers => match &mut spec.engine {
+                EngineSpec::PacketSimPar { workers, .. } => {
+                    let w = whole(value)?;
+                    if w < 1.0 {
                         return Err(SpecError::at(
                             "sweep.values",
-                            format!("gossip_loss is a probability, got {value}"),
+                            format!("workers must be at least 1, got {value}"),
                         ));
                     }
-                    *gossip_loss = value;
+                    *workers = w as usize;
                 }
                 _ => {
                     return Err(SpecError::at(
                         "sweep.param",
-                        "\"gossip_loss\" applies only to the packet_sim engine",
+                        "\"workers\" applies only to the packet_sim_par engine",
                     ))
                 }
             },
@@ -510,7 +564,7 @@ impl Sweep {
     /// The row label for one sweep value (`"staleness=3"`).
     pub fn label(&self, value: f64) -> String {
         match self.param {
-            SweepParam::Staleness | SweepParam::Seed => {
+            SweepParam::Staleness | SweepParam::Seed | SweepParam::Workers => {
                 format!("{}={}", self.param.as_str(), value as u64)
             }
             SweepParam::Tunneling => {
@@ -581,10 +635,13 @@ impl ScenarioSpec {
                 max_rounds: max_rounds.min(200),
             },
         };
-        // The packet engine costs one event per request: cap both the
+        // The packet engines cost one event per request: cap both the
         // simulated horizon (rounds = diffusion periods) and the offered
         // demand so a smoke run stays in the tens of thousands of events.
-        if matches!(spec.engine, EngineSpec::PacketSim { .. }) {
+        if matches!(
+            spec.engine,
+            EngineSpec::PacketSim { .. } | EngineSpec::PacketSimPar { .. }
+        ) {
             spec.termination = match spec.termination {
                 Termination::Rounds { max } => Termination::Rounds { max: max.min(10) },
                 Termination::Converged {

@@ -1,0 +1,232 @@
+//! Spec-level pinning of the parallel packet engine:
+//!
+//! * **Golden traces** — for shipped specs, `packet_sim_par` at
+//!   `workers ∈ {1, 2, 4, 8}` reproduces the sequential `packet_sim`
+//!   run bit for bit (trace, load vector, every shared metric).
+//! * **Cross-shard determinism** — a dynamics spec (link failures +
+//!   invalidation mid-run) renders byte-identical reports and metric
+//!   streams at every worker count.
+//!
+//! CI runs this file twice: under the default test threading and with
+//! `RUST_TEST_THREADS=1`, so scheduler interleaving differences cannot
+//! hide nondeterminism.
+
+use ww_scenario::{EngineReport, EngineSpec, Runner, ScenarioSpec};
+
+/// The sequential twin of a `packet_sim_par` spec: identical in every
+/// knob, engine swapped to `packet_sim`.
+fn sequential_twin(spec: &ScenarioSpec) -> ScenarioSpec {
+    let mut twin = spec.clone();
+    twin.engine = match &spec.engine {
+        EngineSpec::PacketSimPar {
+            alpha,
+            tunneling,
+            barrier_patience,
+            link_delay,
+            gossip_period,
+            diffusion_period,
+            measure_window,
+            gossip_loss,
+            hysteresis,
+            noise_sigmas,
+            workers: _,
+        } => EngineSpec::PacketSim {
+            alpha: *alpha,
+            tunneling: *tunneling,
+            barrier_patience: *barrier_patience,
+            link_delay: *link_delay,
+            gossip_period: *gossip_period,
+            diffusion_period: *diffusion_period,
+            measure_window: *measure_window,
+            gossip_loss: *gossip_loss,
+            hysteresis: *hysteresis,
+            noise_sigmas: *noise_sigmas,
+        },
+        other => panic!("not a packet_sim_par spec: {other:?}"),
+    };
+    twin
+}
+
+/// The same spec with a different worker count.
+fn with_workers(spec: &ScenarioSpec, w: usize) -> ScenarioSpec {
+    let mut out = spec.clone();
+    match &mut out.engine {
+        EngineSpec::PacketSimPar { workers, .. } => *workers = w,
+        other => panic!("not a packet_sim_par spec: {other:?}"),
+    }
+    out
+}
+
+/// Renders an engine report into a canonical byte string: every metric
+/// bit-exact, the trace and load vectors bit-exact.
+fn canonical(report: &EngineReport) -> String {
+    let mut out = String::new();
+    out.push_str(&format!("rounds={}\n", report.rounds));
+    if let Some(trace) = &report.trace {
+        for x in trace {
+            out.push_str(&format!("trace={:016x}\n", x.to_bits()));
+        }
+    }
+    if let Some(load) = &report.load {
+        for (node, x) in load.iter() {
+            out.push_str(&format!("load[{node}]={:016x}\n", x.to_bits()));
+        }
+    }
+    for (name, value) in &report.metrics {
+        out.push_str(&format!("{name}={:016x}\n", value.to_bits()));
+    }
+    out
+}
+
+fn load_spec(name: &str) -> ScenarioSpec {
+    let path = format!("{}/../../scenarios/{name}", env!("CARGO_MANIFEST_DIR"));
+    let text = std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("read {path}: {e}"));
+    ScenarioSpec::from_json(&text).unwrap_or_else(|e| panic!("parse {path}: {e}"))
+}
+
+/// flash_crowd.json is shipped with the sequential engine; its parallel
+/// twin must replay it exactly.
+fn parallel_twin_of_flash_crowd() -> ScenarioSpec {
+    let spec = load_spec("flash_crowd.json");
+    let mut par = spec.clone();
+    par.engine = match &spec.engine {
+        EngineSpec::PacketSim {
+            alpha,
+            tunneling,
+            barrier_patience,
+            link_delay,
+            gossip_period,
+            diffusion_period,
+            measure_window,
+            gossip_loss,
+            hysteresis,
+            noise_sigmas,
+        } => EngineSpec::PacketSimPar {
+            alpha: *alpha,
+            tunneling: *tunneling,
+            barrier_patience: *barrier_patience,
+            link_delay: *link_delay,
+            gossip_period: *gossip_period,
+            diffusion_period: *diffusion_period,
+            measure_window: *measure_window,
+            gossip_loss: *gossip_loss,
+            hysteresis: *hysteresis,
+            noise_sigmas: *noise_sigmas,
+            workers: 4,
+        },
+        other => panic!("flash_crowd should be packet_sim, found {other:?}"),
+    };
+    par
+}
+
+fn run_smoke(spec: &ScenarioSpec) -> EngineReport {
+    let report = Runner::new().smoke(true).run(spec).expect("spec runs");
+    assert_eq!(report.rows.len(), 1, "unswept spec yields one row");
+    report.rows.into_iter().next().unwrap().outcome
+}
+
+#[test]
+fn flash_crowd_golden_trace_matches_sequential_at_1_2_4_8_workers() {
+    let par = parallel_twin_of_flash_crowd();
+    let seq = run_smoke(&sequential_twin(&par));
+    let seq_canon = canonical(&seq);
+    assert!(
+        seq.trace.as_ref().is_some_and(|t| !t.is_empty()),
+        "sequential run must produce a trace"
+    );
+    for workers in [1, 2, 4, 8] {
+        let outcome = run_smoke(&with_workers(&par, workers));
+        assert_eq!(
+            canonical(&outcome),
+            seq_canon,
+            "flash_crowd workers={workers} diverges from sequential packet_sim"
+        );
+    }
+}
+
+#[test]
+fn scaling_1m_golden_trace_matches_sequential_at_1_2_4_8_workers() {
+    // The shipped million-node spec, shrunk by smoke mode to CI size —
+    // same engine path, same resolution pipeline.
+    let par = load_spec("scaling_1m_parallel.json");
+    let seq = run_smoke(&sequential_twin(&par));
+    let seq_canon = canonical(&seq);
+    for workers in [1, 2, 4, 8] {
+        let outcome = run_smoke(&with_workers(&par, workers));
+        assert_eq!(
+            canonical(&outcome),
+            seq_canon,
+            "scaling_1m workers={workers} diverges from sequential packet_sim"
+        );
+    }
+}
+
+/// A dynamics spec for the determinism gate: a converging parallel run
+/// suffers a control-link failure, a heal, and a flash invalidation.
+fn dynamics_spec() -> ScenarioSpec {
+    ScenarioSpec::from_json(
+        r#"{
+          "name": "parallel-dynamics-determinism",
+          "topology": {"kind": "k_ary", "arity": 3, "depth": 3},
+          "workload": {
+            "rates": {"kind": "leaf_only", "rate": 8.0},
+            "doc_mix": {"kind": "shared_zipf", "docs": 6, "theta": 1.0}
+          },
+          "engine": {"kind": "packet_sim_par", "workers": 4},
+          "termination": {"kind": "rounds", "max": 8},
+          "seed": 424242,
+          "events": {
+            "recovery_threshold": 5.0,
+            "schedule": [
+              {"round": 2, "kind": "link_fail", "node": 1},
+              {"round": 4, "kind": "link_heal", "node": 1},
+              {"round": 5, "kind": "doc_update", "doc": 1}
+            ]
+          }
+        }"#,
+    )
+    .expect("dynamics spec parses")
+}
+
+#[test]
+fn dynamics_run_is_byte_identical_at_1_2_4_workers() {
+    let base = dynamics_spec();
+    let mut renders = Vec::new();
+    let mut canons = Vec::new();
+    for workers in [1, 2, 4] {
+        let spec = with_workers(&base, workers);
+        let report = Runner::new().run(&spec).expect("dynamics spec runs");
+        assert_eq!(report.rows.len(), 1);
+        let row = &report.rows[0];
+        assert_eq!(row.events.len(), 3, "all three events fire");
+        assert!(
+            row.events.iter().all(|m| m.accepted()),
+            "packet_sim_par supports link failures and invalidation: {:?}",
+            row.events
+        );
+        canons.push(canonical(&row.outcome));
+        renders.push(report.report);
+    }
+    assert_eq!(canons[0], canons[1], "metric stream differs at 2 workers");
+    assert_eq!(canons[0], canons[2], "metric stream differs at 4 workers");
+    assert_eq!(renders[0], renders[1], "report differs at 2 workers");
+    assert_eq!(renders[0], renders[2], "report differs at 4 workers");
+}
+
+#[test]
+fn workers_sweep_runs_and_rows_agree() {
+    // Sweeping the workers knob is the spec-level way to state the
+    // determinism claim: every row of the sweep reports the same bits.
+    let mut spec = parallel_twin_of_flash_crowd();
+    spec.sweep = Some(ww_scenario::Sweep {
+        param: ww_scenario::SweepParam::Workers,
+        values: vec![1.0, 2.0, 8.0],
+    });
+    let report = Runner::new().smoke(true).run(&spec).expect("sweep runs");
+    assert_eq!(report.rows.len(), 3);
+    assert_eq!(report.rows[0].label, "workers=1");
+    let first = canonical(&report.rows[0].outcome);
+    for row in &report.rows[1..] {
+        assert_eq!(canonical(&row.outcome), first, "row {} diverges", row.label);
+    }
+}

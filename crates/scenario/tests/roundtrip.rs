@@ -102,8 +102,39 @@ fn arb_alpha() -> BoxedStrategy<Option<f64>> {
 }
 
 fn arb_engine() -> BoxedStrategy<EngineSpec> {
-    (0usize..6)
+    (0usize..7)
         .prop_flat_map(|choice| match choice {
+            6 => (
+                arb_alpha(),
+                0usize..2,
+                1usize..16,
+                (0.001f64..0.1, 0.1f64..2.0, 0.1f64..2.0),
+                (0.0f64..0.5, 0.0f64..0.2, 0.0f64..5.0),
+            )
+                .prop_map(
+                    |(
+                        alpha,
+                        t,
+                        workers,
+                        (link_delay, gossip_period, diffusion_period),
+                        (gossip_loss, hysteresis, noise_sigmas),
+                    )| {
+                        EngineSpec::PacketSimPar {
+                            alpha,
+                            tunneling: t == 1,
+                            barrier_patience: 2,
+                            link_delay,
+                            gossip_period,
+                            diffusion_period,
+                            measure_window: 1.0,
+                            gossip_loss,
+                            hysteresis,
+                            noise_sigmas,
+                            workers,
+                        }
+                    },
+                )
+                .boxed(),
             0 => (arb_alpha(), 0usize..10)
                 .prop_map(|(alpha, staleness)| EngineSpec::RateWave { alpha, staleness })
                 .boxed(),
@@ -216,7 +247,7 @@ fn arb_termination() -> BoxedStrategy<Termination> {
 }
 
 fn arb_sweep() -> BoxedStrategy<Option<Sweep>> {
-    (0usize..7)
+    (0usize..8)
         .prop_flat_map(|choice| {
             if choice == 0 {
                 Just(None).boxed()
@@ -226,6 +257,7 @@ fn arb_sweep() -> BoxedStrategy<Option<Sweep>> {
                     SweepParam::Alpha,
                     SweepParam::Tunneling,
                     SweepParam::GossipLoss,
+                    SweepParam::Workers,
                     SweepParam::DocTheta,
                     SweepParam::Seed,
                 ][choice - 1];
@@ -556,6 +588,65 @@ fn incompatible_sweep_is_rejected_at_resolution() {
         .run(&spec)
         .expect_err("bad sweep");
     assert!(err.to_string().contains("sweep.param"), "{err}");
+}
+
+#[test]
+fn packet_sim_par_parses_with_defaults_and_round_trips() {
+    let spec = ScenarioSpec::from_json(
+        r#"{
+          "name": "par",
+          "topology": {"kind": "k_ary", "arity": 2, "depth": 3},
+          "workload": {
+            "rates": {"kind": "leaf_only", "rate": 10.0},
+            "doc_mix": {"kind": "shared_zipf", "docs": 4, "theta": 1.0}
+          },
+          "engine": {"kind": "packet_sim_par", "workers": 3},
+          "termination": {"kind": "rounds", "max": 2}
+        }"#,
+    )
+    .unwrap();
+    match &spec.engine {
+        EngineSpec::PacketSimPar {
+            workers,
+            link_delay,
+            ..
+        } => {
+            assert_eq!(*workers, 3);
+            assert_eq!(*link_delay, 0.005);
+        }
+        other => panic!("parsed {other:?}"),
+    }
+    let reparsed = ScenarioSpec::from_json(&spec.to_json()).unwrap();
+    assert_eq!(reparsed, spec);
+}
+
+#[test]
+fn packet_sim_par_rejects_zero_workers_and_zero_link_delay() {
+    let base = |engine: &str| {
+        format!(
+            r#"{{
+              "name": "par",
+              "topology": {{"kind": "k_ary", "arity": 2, "depth": 2}},
+              "workload": {{"rates": {{"kind": "uniform", "rate": 1.0}}}},
+              "engine": {engine},
+              "termination": {{"kind": "rounds", "max": 1}}
+            }}"#
+        )
+    };
+    let err = ScenarioSpec::from_json(&base(r#"{"kind": "packet_sim_par", "workers": 0}"#))
+        .expect_err("zero workers");
+    assert!(err.to_string().contains("engine.workers"), "{err}");
+    let err = ScenarioSpec::from_json(&base(r#"{"kind": "packet_sim_par", "link_delay": 0}"#))
+        .expect_err("zero link delay");
+    assert!(err.to_string().contains("engine.link_delay"), "{err}");
+    assert!(err.to_string().contains("lookahead"), "{err}");
+}
+
+#[test]
+fn unknown_engine_error_lists_packet_sim_par() {
+    let err = ScenarioSpec::from_json(&VALID.replacen("rate_wave", "warp_drive", 1))
+        .expect_err("unknown engine");
+    assert!(err.to_string().contains("packet_sim_par"), "{err}");
 }
 
 // ---------------------------------------------------------------------

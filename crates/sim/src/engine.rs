@@ -133,6 +133,37 @@ impl<E> EventQueue<E> {
         self.schedule(self.now + delay, event);
     }
 
+    /// Schedules `event` at `at` with an explicit tie-breaking sequence
+    /// number instead of drawing one from the queue's counter.
+    ///
+    /// A sharded simulation uses this for messages arriving from other
+    /// shards: the sender's `(shard, counter)` pair is folded into a key
+    /// above every locally allocated number, so the merged order at equal
+    /// timestamps is a pure function of message content — never of the
+    /// wall-clock order in which channels were drained.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `at` is earlier than the current time.
+    pub fn schedule_keyed(&mut self, at: SimTime, seq: u64, event: E) {
+        assert!(
+            at >= self.now,
+            "cannot schedule at {at} before current time {}",
+            self.now
+        );
+        self.heap.push(Reverse(Entry { at, seq, event }));
+    }
+
+    /// Coasts the clock forward to `t` without consuming an event: the
+    /// simulation observed the interval `(now, t]` and nothing happened.
+    /// Unlike [`EventQueue::advance_to`] this does not count a processed
+    /// event. No-op when `t` is not ahead of the clock.
+    pub fn fast_forward(&mut self, t: SimTime) {
+        if t > self.now {
+            self.now = t;
+        }
+    }
+
     /// Pops the next event, advancing the clock to its timestamp.
     pub fn pop(&mut self) -> Option<(SimTime, E)> {
         let Reverse(entry) = self.heap.pop()?;

@@ -19,6 +19,8 @@
 //! * [`fold`] — WebFold, the off-line TLB oracle,
 //! * [`wave`], [`docsim`], [`packetsim`] — the WebWave protocol at rate,
 //!   document and packet granularity (barriers + tunneling included),
+//! * [`pdes`] — the sharded parallel packet engine (`ParPacketSim`),
+//!   bit-identical to [`packetsim`] at every worker count,
 //! * [`runtime`] — WebWave as real cooperating threads,
 //! * [`baselines`] — directory caches, DNS round-robin, no-cache,
 //! * [`scenario`] — the unified API: one declarative [`scenario::ScenarioSpec`]
@@ -79,6 +81,7 @@ pub use ww_baselines as baselines;
 pub use ww_cache as cache;
 pub use ww_core::docsim;
 pub use ww_core::fold;
+pub use ww_core::packet;
 pub use ww_core::packetsim;
 pub use ww_core::throughput;
 pub use ww_core::tlb;
@@ -89,6 +92,7 @@ pub use ww_experiments as experiments;
 pub use ww_forest as forest;
 pub use ww_model as model;
 pub use ww_net as net;
+pub use ww_pdes as pdes;
 pub use ww_runtime as runtime;
 pub use ww_scenario as scenario;
 pub use ww_sim as sim;

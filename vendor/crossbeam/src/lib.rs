@@ -1,18 +1,34 @@
 //! Offline stand-in for `crossbeam` (channel module only), backed by
-//! `std::sync::mpsc`. Supplies the `bounded` / `Sender` / `Receiver`
-//! surface the runtime crate uses.
+//! `std::sync::mpsc`. Supplies the `bounded` / `unbounded` / `Sender` /
+//! `Receiver` surface the runtime and PDES crates use.
 
 #![forbid(unsafe_code)]
 
 pub mod channel {
-    //! Bounded MPMC-ish channels (MPSC underneath, which is all the
-    //! workspace needs: each node owns its receiver).
+    //! Bounded and unbounded MPMC-ish channels (MPSC underneath, which is
+    //! all the workspace needs: each node/shard owns its receiver).
 
     use std::sync::mpsc;
+    use std::time::Duration;
 
-    /// Sending half of a bounded channel.
     #[derive(Debug)]
-    pub struct Sender<T>(mpsc::SyncSender<T>);
+    enum Tx<T> {
+        Bounded(mpsc::SyncSender<T>),
+        Unbounded(mpsc::Sender<T>),
+    }
+
+    impl<T> Clone for Tx<T> {
+        fn clone(&self) -> Self {
+            match self {
+                Tx::Bounded(s) => Tx::Bounded(s.clone()),
+                Tx::Unbounded(s) => Tx::Unbounded(s.clone()),
+            }
+        }
+    }
+
+    /// Sending half of a channel.
+    #[derive(Debug)]
+    pub struct Sender<T>(Tx<T>);
 
     impl<T> Clone for Sender<T> {
         fn clone(&self) -> Self {
@@ -20,7 +36,7 @@ pub mod channel {
         }
     }
 
-    /// Receiving half of a bounded channel.
+    /// Receiving half of a channel.
     #[derive(Debug)]
     pub struct Receiver<T>(mpsc::Receiver<T>);
 
@@ -33,6 +49,10 @@ pub mod channel {
         Disconnected(T),
     }
 
+    /// Error returned by [`Sender::send`].
+    #[derive(Debug)]
+    pub struct SendError<T>(pub T);
+
     /// Error returned by [`Receiver::try_recv`].
     #[derive(Debug, PartialEq, Eq)]
     pub enum TryRecvError {
@@ -42,19 +62,48 @@ pub mod channel {
         Disconnected,
     }
 
+    /// Error returned by [`Receiver::recv_timeout`].
+    #[derive(Debug, PartialEq, Eq)]
+    pub enum RecvTimeoutError {
+        /// The timeout elapsed with no message.
+        Timeout,
+        /// All senders were dropped.
+        Disconnected,
+    }
+
     /// Creates a bounded channel with the given capacity.
     pub fn bounded<T>(cap: usize) -> (Sender<T>, Receiver<T>) {
         let (tx, rx) = mpsc::sync_channel(cap);
-        (Sender(tx), Receiver(rx))
+        (Sender(Tx::Bounded(tx)), Receiver(rx))
+    }
+
+    /// Creates an unbounded channel.
+    pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+        let (tx, rx) = mpsc::channel();
+        (Sender(Tx::Unbounded(tx)), Receiver(rx))
     }
 
     impl<T> Sender<T> {
-        /// Attempts to send without blocking.
+        /// Attempts to send without blocking. On an unbounded channel this
+        /// only fails when the receiver is gone.
         pub fn try_send(&self, msg: T) -> Result<(), TrySendError<T>> {
-            self.0.try_send(msg).map_err(|e| match e {
-                mpsc::TrySendError::Full(m) => TrySendError::Full(m),
-                mpsc::TrySendError::Disconnected(m) => TrySendError::Disconnected(m),
-            })
+            match &self.0 {
+                Tx::Bounded(s) => s.try_send(msg).map_err(|e| match e {
+                    mpsc::TrySendError::Full(m) => TrySendError::Full(m),
+                    mpsc::TrySendError::Disconnected(m) => TrySendError::Disconnected(m),
+                }),
+                Tx::Unbounded(s) => s
+                    .send(msg)
+                    .map_err(|mpsc::SendError(m)| TrySendError::Disconnected(m)),
+            }
+        }
+
+        /// Sends, blocking while a bounded channel is full.
+        pub fn send(&self, msg: T) -> Result<(), SendError<T>> {
+            match &self.0 {
+                Tx::Bounded(s) => s.send(msg).map_err(|mpsc::SendError(m)| SendError(m)),
+                Tx::Unbounded(s) => s.send(msg).map_err(|mpsc::SendError(m)| SendError(m)),
+            }
         }
     }
 
@@ -64,6 +113,14 @@ pub mod channel {
             self.0.try_recv().map_err(|e| match e {
                 mpsc::TryRecvError::Empty => TryRecvError::Empty,
                 mpsc::TryRecvError::Disconnected => TryRecvError::Disconnected,
+            })
+        }
+
+        /// Receives, blocking up to `timeout`.
+        pub fn recv_timeout(&self, timeout: Duration) -> Result<T, RecvTimeoutError> {
+            self.0.recv_timeout(timeout).map_err(|e| match e {
+                mpsc::RecvTimeoutError::Timeout => RecvTimeoutError::Timeout,
+                mpsc::RecvTimeoutError::Disconnected => RecvTimeoutError::Disconnected,
             })
         }
     }
