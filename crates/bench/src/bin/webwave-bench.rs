@@ -375,6 +375,97 @@ fn bench_parallel_scaling(
     }
 }
 
+/// Barrier-pipeline cost at scale: a churn + shift storm applied at an
+/// epoch barrier of a ~100k-node packet run, sequential vs parallel —
+/// the operations the epoch-barrier pipeline made possible (joins,
+/// leaves, workload shifts re-resolve every arrival stream and
+/// recompute the oracle), timed separately from plain epoch advance.
+/// Bit-identity of the two engines is re-verified on the same run.
+struct DynamicsAtScale {
+    nodes: usize,
+    docs: usize,
+    workers: usize,
+    available_cores: usize,
+    seq_barrier_ms: f64,
+    par_barrier_ms: f64,
+    seq_epoch_ms: f64,
+    par_epoch_ms: f64,
+    traces_identical: bool,
+}
+
+fn bench_dynamics_at_scale(
+    regions: usize,
+    leaves: usize,
+    docs: usize,
+    workers: usize,
+) -> DynamicsAtScale {
+    use ww_model::NodeId;
+    let tree = ww_topology::two_level(regions, leaves);
+    let rates = ww_workload::leaf_only(&tree, 0.05);
+    let mix = scaling_mix(&tree, &rates, docs);
+    let config = PacketSimConfig::default();
+    let shifted = |t: &ww_model::Tree| {
+        let r = ww_workload::leaf_only(t, 0.05);
+        ww_workload::shared_zipf_mix(t, &r, docs + 2, 0.6)
+    };
+
+    // Sequential: one epoch, then the churn storm at the barrier, then
+    // a second epoch.
+    let mut seq = PacketSim::new(&tree, &mix, config);
+    seq.run(1.0);
+    let t = std::time::Instant::now();
+    seq.add_leaf(NodeId::new(1), 50.0).expect("join applies");
+    let joined = NodeId::new(seq.tree().len() - 1);
+    seq.remove_leaf(joined).expect("leave applies");
+    let m2 = shifted(seq.tree());
+    seq.set_mix(&m2).expect("shift applies");
+    let seq_barrier = t.elapsed();
+    let t = std::time::Instant::now();
+    let seq_report = seq.run(2.0);
+    let seq_epoch = t.elapsed();
+
+    // Parallel: the identical script.
+    let mut par = ParPacketSim::new(&tree, &mix, config, workers);
+    par.run(1.0);
+    let t = std::time::Instant::now();
+    par.add_leaf(NodeId::new(1), 50.0).expect("join applies");
+    let joined = NodeId::new(par.tree().len() - 1);
+    par.remove_leaf(joined).expect("leave applies");
+    let m2 = shifted(par.tree());
+    par.set_mix(&m2).expect("shift applies");
+    let par_barrier = t.elapsed();
+    let t = std::time::Instant::now();
+    let par_report = par.run(2.0);
+    let par_epoch = t.elapsed();
+
+    let traces_identical = seq_report.trace.len() == par_report.trace.len()
+        && seq_report
+            .trace
+            .distances()
+            .iter()
+            .zip(par_report.trace.distances())
+            .all(|(a, b)| a.to_bits() == b.to_bits())
+        && seq_report.served_requests == par_report.served_requests
+        && seq_report
+            .served_rates
+            .as_slice()
+            .iter()
+            .zip(par_report.served_rates.as_slice())
+            .all(|(a, b)| a.to_bits() == b.to_bits());
+
+    DynamicsAtScale {
+        nodes: tree.len(),
+        docs,
+        workers,
+        available_cores: std::thread::available_parallelism().map_or(1, |n| n.get()),
+        seq_barrier_ms: seq_barrier.as_secs_f64() * 1e3,
+        par_barrier_ms: par_barrier.as_secs_f64() * 1e3,
+        seq_epoch_ms: seq_epoch.as_secs_f64() * 1e3,
+        par_epoch_ms: par_epoch.as_secs_f64() * 1e3,
+        traces_identical,
+    }
+}
+
 fn bench_webfold(nodes: usize) -> (usize, f64) {
     let (tree, rates) = scaling_scenario(nodes, 12, nodes as u64);
     let d = time_min(
@@ -443,6 +534,27 @@ fn main() {
         eprintln!(
             "  note: {} core available — conservative-sync overhead only; run on a multi-core host for real scaling numbers",
             parallel.available_cores
+        );
+    }
+
+    eprintln!("webwave-bench: dynamics at scale (barrier-pipeline churn on ~100k nodes)");
+    let dynamics = bench_dynamics_at_scale(316, 316, 4, 4);
+    eprintln!(
+        "  two_level nodes={} docs={} workers={} cores={}: barrier ops seq {:.0} ms / par {:.0} ms, epoch advance seq {:.0} ms / par {:.0} ms, traces_identical={}",
+        dynamics.nodes,
+        dynamics.docs,
+        dynamics.workers,
+        dynamics.available_cores,
+        dynamics.seq_barrier_ms,
+        dynamics.par_barrier_ms,
+        dynamics.seq_epoch_ms,
+        dynamics.par_epoch_ms,
+        dynamics.traces_identical
+    );
+    if dynamics.available_cores < 2 {
+        eprintln!(
+            "  note: {} core available — parallel numbers show conservative-sync overhead only",
+            dynamics.available_cores
         );
     }
 
@@ -521,7 +633,22 @@ fn main() {
             if i + 1 < parallel.rows.len() { "," } else { "" }
         );
     }
-    json.push_str("    ]\n  },\n  \"runner_overhead\": [\n");
+    json.push_str("    ]\n  },\n  \"dynamics_at_scale\": {\n");
+    let _ = writeln!(
+        json,
+        "    \"engine\": \"packet_sim + packet_sim_par\", \"nodes\": {}, \"docs\": {}, \"workers\": {}, \"available_cores\": {},",
+        dynamics.nodes, dynamics.docs, dynamics.workers, dynamics.available_cores
+    );
+    let _ = writeln!(
+        json,
+        "    \"seq_barrier_ms\": {:.1}, \"par_barrier_ms\": {:.1}, \"seq_epoch_ms\": {:.1}, \"par_epoch_ms\": {:.1}, \"traces_identical\": {}",
+        dynamics.seq_barrier_ms,
+        dynamics.par_barrier_ms,
+        dynamics.seq_epoch_ms,
+        dynamics.par_epoch_ms,
+        dynamics.traces_identical
+    );
+    json.push_str("  },\n  \"runner_overhead\": [\n");
     for (i, o) in overheads.iter().enumerate() {
         let _ = writeln!(
             json,
@@ -547,7 +674,8 @@ fn main() {
         .fold(f64::INFINITY, f64::min);
     let all_identical = comparisons.iter().all(|c| c.traces_identical)
         && overheads.iter().all(|o| o.traces_identical)
-        && parallel.traces_identical;
+        && parallel.traces_identical
+        && dynamics.traces_identical;
     eprintln!("webwave-bench: worst speedup {worst:.2}x, traces identical: {all_identical}");
     if !all_identical {
         eprintln!("webwave-bench: WARNING — dense/naive traces diverge");

@@ -29,10 +29,22 @@ impl RateMeter {
     ///
     /// Panics if `window_secs <= 0` or `alpha` is outside `(0, 1]`.
     pub fn new(window_secs: f64, alpha: f64) -> Self {
+        RateMeter::new_anchored(window_secs, alpha, 0.0)
+    }
+
+    /// Creates a meter whose first window opens at `start` instead of
+    /// time zero — for state created mid-simulation (a joining node, a
+    /// freshly published document column), so the meter does not have to
+    /// roll through a history of empty windows it never observed.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `window_secs <= 0` or `alpha` is outside `(0, 1]`.
+    pub fn new_anchored(window_secs: f64, alpha: f64, start: f64) -> Self {
         assert!(window_secs > 0.0, "window must be positive");
         RateMeter {
             window_secs,
-            window_start: 0.0,
+            window_start: start,
             count_in_window: 0,
             smoothed: Ewma::new(alpha),
         }
@@ -204,6 +216,8 @@ impl FlowTable {
 #[derive(Debug, Clone)]
 pub struct DenseFlowTable {
     docs: usize,
+    window_secs: f64,
+    alpha: f64,
     meters: Vec<RateMeter>,
 }
 
@@ -215,11 +229,30 @@ impl DenseFlowTable {
     ///
     /// Panics if `window_secs <= 0` or `alpha` outside `(0, 1]`.
     pub fn new(window_secs: f64, alpha: f64, rows: usize, docs: usize) -> Self {
+        DenseFlowTable::new_anchored(window_secs, alpha, rows, docs, 0.0)
+    }
+
+    /// A grid whose meters open their first window at `start` instead of
+    /// time zero — for per-node state created mid-simulation (a joining
+    /// node), mirroring [`RateMeter::new_anchored`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `window_secs <= 0` or `alpha` outside `(0, 1]`.
+    pub fn new_anchored(
+        window_secs: f64,
+        alpha: f64,
+        rows: usize,
+        docs: usize,
+        start: f64,
+    ) -> Self {
         assert!(window_secs > 0.0, "window must be positive");
         assert!(alpha > 0.0 && alpha <= 1.0, "alpha in (0, 1]");
         DenseFlowTable {
             docs,
-            meters: vec![RateMeter::new(window_secs, alpha); rows * docs],
+            window_secs,
+            alpha,
+            meters: vec![RateMeter::new_anchored(window_secs, alpha, start); rows * docs],
         }
     }
 
@@ -302,6 +335,66 @@ impl DenseFlowTable {
     /// Number of document columns in the grid.
     pub fn doc_count(&self) -> usize {
         self.docs
+    }
+
+    /// Number of rows in the grid.
+    pub fn row_count(&self) -> usize {
+        self.meters.len().checked_div(self.docs).unwrap_or(0)
+    }
+
+    /// Rebuilds the grid's rows from a mapping: `map[new_row]` names the
+    /// old row whose meters (history included) the new row keeps, or
+    /// `None` for a fresh row anchored at `now`. Rows may be dropped,
+    /// duplicated, or permuted — this is the per-child-slot surgery a
+    /// topology change applies when a node's child list is renumbered.
+    pub fn reorder_rows(&mut self, map: &[Option<usize>], now: f64) {
+        let old_rows = self.row_count();
+        let mut meters = Vec::with_capacity(map.len() * self.docs);
+        for &src in map {
+            match src {
+                Some(old) => {
+                    assert!(old < old_rows, "row {old} out of range ({old_rows} rows)");
+                    meters.extend_from_slice(&self.meters[old * self.docs..(old + 1) * self.docs]);
+                }
+                None => {
+                    for _ in 0..self.docs {
+                        meters.push(RateMeter::new_anchored(self.window_secs, self.alpha, now));
+                    }
+                }
+            }
+        }
+        self.meters = meters;
+    }
+
+    /// Rebuilds the grid's document columns from a mapping:
+    /// `old_to_new[old_index]` names the column an existing document
+    /// moves to, and every unmapped new column gets fresh meters
+    /// anchored at `now`. This is how a growing document universe (a
+    /// publish, a shifted mix with new ids) shifts every dense
+    /// per-document table while measured history survives.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the mapping is not injective into `new_docs` columns.
+    pub fn remap_docs(&mut self, old_to_new: &[u32], new_docs: usize, now: f64) {
+        assert_eq!(old_to_new.len(), self.docs, "mapping must cover old docs");
+        let rows = self.row_count();
+        let fresh = RateMeter::new_anchored(self.window_secs, self.alpha, now);
+        let mut meters = vec![fresh; rows * new_docs];
+        let mut seen = vec![false; new_docs];
+        for row in 0..rows {
+            for (old, &new) in old_to_new.iter().enumerate() {
+                let new = new as usize;
+                assert!(new < new_docs, "mapped column {new} out of range");
+                if row == 0 {
+                    assert!(!seen[new], "mapping must be injective");
+                    seen[new] = true;
+                }
+                meters[row * new_docs + new] = self.meters[row * self.docs + old].clone();
+            }
+        }
+        self.docs = new_docs;
+        self.meters = meters;
     }
 
     /// Resets the meters of one document column across every row —
@@ -464,6 +557,53 @@ mod tests {
             dense.row_doc_rates(child, &mut got);
             assert_eq!(expect, got, "row {child}");
         }
+    }
+
+    #[test]
+    fn anchored_meter_skips_unobserved_history() {
+        // A fresh meter anchored at t=100 closes its first window at 101,
+        // not after rolling through a hundred empty ones.
+        let mut m = RateMeter::new_anchored(1.0, 1.0, 100.0);
+        for t in [100.1, 100.5, 100.9] {
+            m.record(t);
+        }
+        m.roll_to(101.0);
+        assert!((m.rate_or_zero() - 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn reorder_rows_permutes_and_freshens() {
+        let mut t = DenseFlowTable::new(1.0, 1.0, 3, 2);
+        t.record(0, 0, 0.1);
+        t.record(1, 1, 0.1);
+        t.record(1, 1, 0.2);
+        t.record(2, 0, 0.3);
+        t.roll_to(1.0);
+        // New layout: old row 1 first, then a fresh row, then old row 0.
+        t.reorder_rows(&[Some(1), None, Some(0)], 1.0);
+        assert_eq!(t.row_count(), 3);
+        assert!((t.rate(0, 1) - 2.0).abs() < 1e-9);
+        assert_eq!(t.rate(1, 0), 0.0);
+        assert_eq!(t.rate(1, 1), 0.0);
+        assert!((t.rate(2, 0) - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn remap_docs_shifts_columns_and_keeps_history() {
+        let mut t = DenseFlowTable::new(1.0, 1.0, 2, 2);
+        t.record(0, 0, 0.1);
+        t.record(1, 1, 0.2);
+        t.roll_to(1.0);
+        // Insert a new column between the two old ones: 0 -> 0, 1 -> 2.
+        t.remap_docs(&[0, 2], 3, 1.0);
+        assert_eq!(t.doc_count(), 3);
+        assert!((t.rate(0, 0) - 1.0).abs() < 1e-9);
+        assert_eq!(t.rate(0, 1), 0.0);
+        assert!((t.rate(1, 2) - 1.0).abs() < 1e-9);
+        // The fresh column meters from the anchor point onward.
+        t.record(0, 1, 1.5);
+        t.roll_to(2.0);
+        assert!((t.rate(0, 1) - 1.0).abs() < 1e-9);
     }
 
     #[test]

@@ -34,15 +34,20 @@
 use crate::fold::webfold;
 use ww_cache::{plan_push_dense, plan_shed_dense, DenseFlowTable, DenseRateSlice};
 use ww_diffusion::safe_alpha;
-use ww_model::{DocId, DocSet, DocTable, NodeId, RateVector, Tree};
+use ww_model::{DocId, DocSet, DocTable, LeafRemoval, ModelError, NodeId, RateVector, Tree};
 use ww_net::{DocRequest, DocResponse, RequestId, TrafficClass, TrafficLedger};
 use ww_sim::{exp_delay, EventQueue, SimRng, SimTime, TimerRing};
+use ww_stats::ExactSum;
 use ww_workload::DocMix;
 
 /// Stream tag of per-node arrival randomness.
 const STREAM_ARRIVAL: u64 = 0xA221_0000;
 /// Stream tag of per-node gossip-loss randomness.
 const STREAM_GOSSIP: u64 = 0xB0B0_0000;
+/// Stream tag folded in (with the world generation) when the arrival
+/// stage is re-resolved at a barrier, so rebuilt streams are fresh yet
+/// remain pure functions of `(seed, node, doc, generation)`.
+const STREAM_REBUILD: u64 = 0x4EB1_0000;
 
 /// Configuration of a packet-level run (shared by the sequential and the
 /// sharded parallel driver).
@@ -95,9 +100,13 @@ impl Default for PacketSimConfig {
     }
 }
 
-/// The static, shared world of a packet-level run: topology, document
-/// universe, offered demand, oracle, and configuration. Never mutated
-/// after construction, so shards can read it concurrently.
+/// The shared world of a packet-level run: topology, document universe,
+/// offered demand, oracle, and configuration. Immutable *within* an
+/// epoch — shards read it concurrently while their event loops run —
+/// and mutable only at epoch barriers, where the drivers apply churn,
+/// publishes, and workload shifts through [`PacketWorld::join`],
+/// [`PacketWorld::leave`], [`PacketWorld::publish`], and
+/// [`PacketWorld::set_mix`].
 #[derive(Debug, Clone)]
 pub struct PacketWorld {
     /// The routing tree.
@@ -106,6 +115,9 @@ pub struct PacketWorld {
     pub table: DocTable,
     /// Slot of each node within its parent's child list (root: unused 0).
     pub child_slot: Vec<usize>,
+    /// The live per-node, per-document demand mix (authoritative;
+    /// `demand` is derived from it).
+    pub mix: DocMix,
     /// Per node: `(doc, dense index, rate)` arrival streams.
     pub demand: Vec<Vec<(DocId, u32, f64)>>,
     /// The WebFold oracle for the offered demand.
@@ -114,6 +126,10 @@ pub struct PacketWorld {
     pub config: PacketSimConfig,
     /// Resolved diffusion parameter.
     pub alpha: f64,
+    /// Arrival-stage generation: bumped by every barrier operation that
+    /// re-resolves the arrival streams (churn, publish, shift). Folded
+    /// into the stream RNG forks, so rebuilt streams stay content-keyed.
+    pub generation: u64,
 }
 
 impl PacketWorld {
@@ -131,39 +147,236 @@ impl PacketWorld {
             (0.0..=1.0).contains(&config.gossip_loss),
             "gossip loss is a probability"
         );
-        let n = tree.len();
-        let alpha = config.alpha.unwrap_or_else(|| safe_alpha(tree));
-        assert!(alpha > 0.0 && alpha < 1.0, "alpha must lie in (0, 1)");
-
-        let spontaneous = mix.spontaneous();
-        let oracle = webfold(tree, &spontaneous).into_load();
         let table = DocTable::from_ids(mix.documents());
+        let mut world = PacketWorld {
+            tree: tree.clone(),
+            table,
+            child_slot: Vec::new(),
+            mix: mix.clone(),
+            demand: Vec::new(),
+            oracle: RateVector::zeros(tree.len()),
+            config,
+            alpha: 0.5,
+            generation: 0,
+        };
+        world.refresh_derived();
+        assert!(
+            world.alpha > 0.0 && world.alpha < 1.0,
+            "alpha must lie in (0, 1)"
+        );
+        world
+    }
 
-        let mut child_slot = vec![0usize; n];
-        for u in tree.nodes() {
-            for (slot, &c) in tree.children(u).iter().enumerate() {
-                child_slot[c.index()] = slot;
+    /// Recomputes everything derived from `(tree, mix, table)`: the
+    /// demand streams, the child-slot index, the WebFold oracle, and the
+    /// diffusion parameter. Called at construction and after every
+    /// barrier mutation.
+    fn refresh_derived(&mut self) {
+        let n = self.tree.len();
+        self.alpha = self.config.alpha.unwrap_or_else(|| safe_alpha(&self.tree));
+        let spontaneous = self.mix.spontaneous();
+        self.oracle = webfold(&self.tree, &spontaneous).into_load();
+        self.child_slot = vec![0usize; n];
+        for u in self.tree.nodes() {
+            for (slot, &c) in self.tree.children(u).iter().enumerate() {
+                self.child_slot[c.index()] = slot;
             }
         }
-
-        let demand: Vec<Vec<(DocId, u32, f64)>> = (0..n)
+        self.demand = (0..n)
             .map(|i| {
-                mix.demands_of(NodeId::new(i))
+                self.mix
+                    .demands_of(NodeId::new(i))
                     .iter()
-                    .map(|&(d, r)| (d, table.index_of(d).expect("demand doc in universe"), r))
+                    .map(|&(d, r)| {
+                        (
+                            d,
+                            self.table.index_of(d).expect("demand doc in universe"),
+                            r,
+                        )
+                    })
                     .collect()
             })
             .collect();
+    }
 
-        PacketWorld {
-            tree: tree.clone(),
-            table,
-            child_slot,
-            demand,
-            oracle,
-            config,
-            alpha,
+    /// A cache server joins as a new leaf under `parent`, bringing
+    /// `rate` req/s of demand split across the universe proportionally
+    /// to current global document popularity (the same law
+    /// `DocSim::add_leaf` applies). Bumps the arrival generation; the
+    /// driver must rebuild the arrival stage afterwards.
+    ///
+    /// # Errors
+    ///
+    /// [`ModelError::NodeOutOfRange`] for an unknown parent,
+    /// [`ModelError::InvalidRate`] for a bad rate or when `rate > 0`
+    /// but the universe carries no demand to model the split on.
+    pub fn join(&mut self, parent: NodeId, rate: f64) -> Result<NodeId, ModelError> {
+        if parent.index() >= self.tree.len() {
+            return Err(ModelError::NodeOutOfRange {
+                node: parent,
+                len: self.tree.len(),
+            });
         }
+        if !rate.is_finite() || rate < 0.0 {
+            return Err(ModelError::InvalidRate {
+                node: parent,
+                value: rate,
+            });
+        }
+        // Per-document global demand, accumulated in one pass over the
+        // mix (node order per document — the same float order a per-doc
+        // `doc_total` scan produces, without the m × n binary searches).
+        let mut totals = vec![0.0f64; self.table.len()];
+        for i in 0..self.mix.len() {
+            for &(d, r) in self.mix.demands_of(NodeId::new(i)) {
+                let k = self.table.index_of(d).expect("mix doc in universe");
+                totals[k as usize] += r;
+            }
+        }
+        let grand: f64 = totals.iter().sum();
+        if rate > 0.0 && grand <= 0.0 {
+            return Err(ModelError::InvalidRate {
+                node: parent,
+                value: rate,
+            });
+        }
+        let id = self.tree.add_leaf(parent)?;
+        let newcomer = self.mix.add_node();
+        debug_assert_eq!(id, newcomer);
+        if rate > 0.0 {
+            for (k, &t) in totals.iter().enumerate() {
+                if t > 0.0 {
+                    self.mix
+                        .set(newcomer, self.table.doc(k as u32), rate * t / grand);
+                }
+            }
+        }
+        self.generation += 1;
+        self.refresh_derived();
+        Ok(id)
+    }
+
+    /// A leaf cache server departs: its demand re-homes to its parent
+    /// and ids compact by swap-remove, exactly as
+    /// [`Tree::remove_leaf`]. Bumps the arrival generation; the driver
+    /// must apply the same compaction to its per-node state, perform the
+    /// event surgery of [`renumber_for_leave`], and rebuild the arrival
+    /// stage.
+    ///
+    /// # Errors
+    ///
+    /// As [`Tree::remove_leaf`]: unknown id, the root, or an interior
+    /// node.
+    pub fn leave(&mut self, node: NodeId) -> Result<LeafRemoval, ModelError> {
+        let removal = self.tree.remove_leaf(node)?;
+        let departed = self.mix.swap_remove_node(node);
+        for (d, r) in departed {
+            if r > 0.0 {
+                self.mix.add_rate(removal.parent, d, r);
+            }
+        }
+        self.generation += 1;
+        self.refresh_derived();
+        Ok(removal)
+    }
+
+    /// Publishes a document: `origin`'s clients start requesting `doc`
+    /// at `rate` req/s, added on top of any existing demand. A
+    /// first-time id grows the dense universe; the returned
+    /// [`UniverseGrowth`] tells the driver how to remap every node's
+    /// per-document state (`None`: the universe was unchanged). Bumps
+    /// the arrival generation.
+    ///
+    /// # Errors
+    ///
+    /// [`ModelError::NodeOutOfRange`] for an unknown origin,
+    /// [`ModelError::InvalidRate`] for a negative/non-finite rate.
+    pub fn publish(
+        &mut self,
+        doc: DocId,
+        origin: NodeId,
+        rate: f64,
+    ) -> Result<Option<UniverseGrowth>, ModelError> {
+        let n = self.tree.len();
+        if origin.index() >= n {
+            return Err(ModelError::NodeOutOfRange {
+                node: origin,
+                len: n,
+            });
+        }
+        if !rate.is_finite() || rate < 0.0 {
+            return Err(ModelError::InvalidRate {
+                node: origin,
+                value: rate,
+            });
+        }
+        let growth = self.grow_universe([doc].into_iter());
+        self.mix.add_rate(origin, doc, rate);
+        self.generation += 1;
+        self.refresh_derived();
+        Ok(growth)
+    }
+
+    /// Replaces the whole demand mix mid-run (hot-set rotation, Zipf
+    /// re-skew). Copies and serve allocations survive — exactly the
+    /// `DocSim::set_mix` contract — and first-time document ids grow
+    /// the universe via the returned [`UniverseGrowth`]. Bumps the
+    /// arrival generation.
+    ///
+    /// # Errors
+    ///
+    /// [`ModelError::LengthMismatch`] when `mix` does not cover the
+    /// current tree.
+    pub fn set_mix(&mut self, mix: &DocMix) -> Result<Option<UniverseGrowth>, ModelError> {
+        let n = self.tree.len();
+        if mix.len() != n {
+            return Err(ModelError::LengthMismatch {
+                expected: n,
+                actual: mix.len(),
+            });
+        }
+        let growth = self.grow_universe(mix.documents().into_iter());
+        self.mix = mix.clone();
+        self.generation += 1;
+        self.refresh_derived();
+        Ok(growth)
+    }
+
+    /// Grows the dense universe by any of `docs` not yet in the table.
+    /// Insertion keeps ascending-id order, so existing columns at or
+    /// above an insertion point shift right.
+    fn grow_universe(&mut self, docs: impl Iterator<Item = DocId>) -> Option<UniverseGrowth> {
+        let mut fresh_ids: Vec<DocId> =
+            docs.filter(|&d| self.table.index_of(d).is_none()).collect();
+        fresh_ids.sort_unstable();
+        fresh_ids.dedup();
+        if fresh_ids.is_empty() {
+            return None;
+        }
+        let new_table = DocTable::from_ids(
+            self.table
+                .docs()
+                .iter()
+                .copied()
+                .chain(fresh_ids.iter().copied()),
+        );
+        let old_to_new: Vec<u32> = self
+            .table
+            .docs()
+            .iter()
+            .map(|&d| new_table.index_of(d).expect("old doc kept"))
+            .collect();
+        let fresh: Vec<u32> = fresh_ids
+            .iter()
+            .map(|&d| new_table.index_of(d).expect("just inserted"))
+            .collect();
+        let new_len = new_table.len();
+        self.table = new_table;
+        Some(UniverseGrowth {
+            old_to_new,
+            fresh,
+            new_len,
+        })
     }
 
     /// Node count.
@@ -189,6 +402,20 @@ impl PacketWorld {
         let phase = (i as f64 + 1.0) / (self.len() as f64 + 1.0);
         SimTime::from_secs(self.config.diffusion_period * (0.5 + 0.5 * phase))
     }
+}
+
+/// How a universe-growing barrier operation (publish, shifted mix with
+/// new ids) relocated the dense document indices: existing columns move
+/// to `old_to_new[old]`, and the brand-new documents land at `fresh`.
+/// Drivers apply the same remapping to every node's per-document state.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct UniverseGrowth {
+    /// New dense index of each old dense index.
+    pub old_to_new: Vec<u32>,
+    /// Dense indices of the newly inserted documents (ascending).
+    pub fresh: Vec<u32>,
+    /// Size of the grown universe.
+    pub new_len: usize,
 }
 
 /// A token bucket shaping one document's serve rate.
@@ -259,41 +486,71 @@ pub struct NodeState {
     pub next_request: u64,
 }
 
+/// The RNG of one arrival stream: a pure function of
+/// `(master seed, node, doc)` at generation zero, with the world's
+/// arrival generation folded in once the stage has been rebuilt — so
+/// streams never depend on shard layout or global construction order,
+/// before or after a barrier rebuild.
+pub fn arrival_stream_rng(world: &PacketWorld, node: usize, doc: DocId) -> SimRng {
+    let base = SimRng::seed(world.config.seed)
+        .fork(STREAM_ARRIVAL ^ (node as u64))
+        .fork(doc.value());
+    if world.generation == 0 {
+        base
+    } else {
+        base.fork(STREAM_REBUILD ^ world.generation)
+    }
+}
+
+/// The gossip-loss RNG of one node. Nodes that join mid-run fold the
+/// generation they joined at into the fork, so a joiner reusing a
+/// previously compacted id never resumes a departed node's stream.
+fn gossip_stream_rng(world: &PacketWorld, node: usize) -> SimRng {
+    let base = SimRng::seed(world.config.seed).fork(STREAM_GOSSIP ^ (node as u64));
+    if world.generation == 0 {
+        base
+    } else {
+        base.fork(STREAM_REBUILD ^ world.generation)
+    }
+}
+
 /// Builds the initial state of `node`. The home server (root) starts
 /// holding every document.
 pub fn init_state(world: &PacketWorld, node: NodeId) -> NodeState {
+    init_state_at(world, node, 0.0)
+}
+
+/// [`init_state`] for a node created mid-run (a barrier-time join): its
+/// rate meters anchor their first window at `at` instead of time zero.
+pub fn init_state_at(world: &PacketWorld, node: NodeId, at: f64) -> NodeState {
     let m = world.table.len();
     let config = &world.config;
-    let master = SimRng::seed(config.seed);
     let i = node.index();
     let arrival_rng = world.demand[i]
         .iter()
-        .map(|&(doc, _, _)| master.fork(STREAM_ARRIVAL ^ (i as u64)).fork(doc.value()))
+        .map(|&(doc, _, _)| arrival_stream_rng(world, i, doc))
         .collect();
     let copies = if node == world.tree.root() {
         world.table.full_set()
     } else {
         world.table.empty_set()
     };
+    let table =
+        |rows: usize| DenseFlowTable::new_anchored(config.measure_window, 0.5, rows, m.max(1), at);
     NodeState {
         copies,
         filter: world.table.empty_set(),
-        flows: DenseFlowTable::new(
-            config.measure_window,
-            0.5,
-            world.tree.children(node).len().max(1),
-            m.max(1),
-        ),
-        seen: DenseFlowTable::new(config.measure_window, 0.5, 1, m.max(1)),
-        served: DenseFlowTable::new(config.measure_window, 0.5, 1, m.max(1)),
-        alloc: vec![TokenBucket::new(0.0, 0.0); m],
+        flows: table(world.tree.children(node).len().max(1)),
+        seen: table(1),
+        served: table(1),
+        alloc: vec![TokenBucket::new(0.0, at); m],
         alloc_set: world.table.empty_set(),
         parent_est: None,
         child_est: vec![None; world.tree.children(node).len()],
         served_total: 0,
         underload_streak: 0,
         arrival_rng,
-        gossip_rng: master.fork(STREAM_GOSSIP ^ (i as u64)),
+        gossip_rng: gossip_stream_rng(world, i),
         next_request: 0,
     }
 }
@@ -324,6 +581,316 @@ pub fn initial_arrivals(
             ));
         }
     }
+}
+
+/// Re-resolves one node's arrival streams after a barrier mutation:
+/// fresh stream RNGs forked from `(seed, node, doc, generation)`, and
+/// one first arrival per positive-rate stream scheduled after `at`. The
+/// driver must have dropped the node's stale [`PacketEvent::Arrival`]
+/// events from its queue first (the whole-queue pass of
+/// [`remap_for_rebuild`] / [`renumber_for_leave`]).
+pub fn rebuild_node_arrivals(
+    world: &PacketWorld,
+    state: &mut NodeState,
+    node: NodeId,
+    at: SimTime,
+    out: &mut Vec<(SimTime, PacketEvent)>,
+) {
+    let i = node.index();
+    state.arrival_rng = world.demand[i]
+        .iter()
+        .map(|&(doc, _, _)| arrival_stream_rng(world, i, doc))
+        .collect();
+    for stream in 0..world.demand[i].len() {
+        let (doc, index, rate) = world.demand[i][stream];
+        if rate > 0.0 {
+            let gap = exp_delay(&mut state.arrival_rng[stream], 1.0 / rate);
+            out.push((
+                at + SimTime::from_secs(gap),
+                PacketEvent::Arrival {
+                    node,
+                    doc,
+                    index,
+                    stream: stream as u32,
+                    rate,
+                },
+            ));
+        }
+    }
+}
+
+/// Queue surgery for a generation bump without churn (publish, shift):
+/// stale arrivals vanish — their streams are re-resolved — and, when the
+/// universe grew, surviving events' dense document indices shift to
+/// their new columns. Everything else keeps its `(time, seq)` key.
+pub fn remap_for_rebuild(ev: PacketEvent, growth: Option<&UniverseGrowth>) -> Option<PacketEvent> {
+    let k = |index: u32| growth.map_or(index, |g| g.old_to_new[index as usize]);
+    match ev {
+        PacketEvent::Arrival { .. } => None,
+        PacketEvent::Packet {
+            node,
+            from,
+            request,
+            index,
+        } => Some(PacketEvent::Packet {
+            node,
+            from,
+            request,
+            index: k(index),
+        }),
+        PacketEvent::CopyInstall { node, index, rate } => Some(PacketEvent::CopyInstall {
+            node,
+            index: k(index),
+            rate,
+        }),
+        PacketEvent::TunnelProbe {
+            node,
+            origin,
+            index,
+            rate,
+            hops,
+        } => Some(PacketEvent::TunnelProbe {
+            node,
+            origin,
+            index: k(index),
+            rate,
+            hops,
+        }),
+        PacketEvent::TunnelGrant {
+            node,
+            target,
+            index,
+            rate,
+        } => Some(PacketEvent::TunnelGrant {
+            node,
+            target,
+            index: k(index),
+            rate,
+        }),
+        gossip @ PacketEvent::GossipDeliver { .. } => Some(gossip),
+    }
+}
+
+/// Queue surgery for a barrier-time leave: stale arrivals vanish, every
+/// event that still involves the departed node — as target, source,
+/// requester, or tunnel origin/target — is dropped (its state is gone,
+/// its clients re-homed), and all references to the renumbered
+/// former-last id move to the vacated one, so no surviving event
+/// mentions the departed id in any field. Both drivers run this same
+/// pure function over their queues, so the surviving event set — and
+/// each survivor's `(time, seq)` key — cannot depend on the sharding.
+pub fn renumber_for_leave(
+    ev: PacketEvent,
+    removed: NodeId,
+    moved: Option<NodeId>,
+) -> Option<PacketEvent> {
+    let map = |x: NodeId| {
+        if Some(x) == moved {
+            removed
+        } else {
+            x
+        }
+    };
+    match ev {
+        PacketEvent::Arrival { .. } => None,
+        PacketEvent::Packet {
+            node,
+            from,
+            mut request,
+            index,
+        } => {
+            // `from == Some(removed)` implies `origin == removed` (a
+            // departing leaf only ever forwards its own clients'
+            // requests), so dropping by origin covers both.
+            if node == removed || from == Some(removed) || request.origin == removed {
+                return None;
+            }
+            request.origin = map(request.origin);
+            Some(PacketEvent::Packet {
+                node: map(node),
+                from: from.map(map),
+                request,
+                index,
+            })
+        }
+        PacketEvent::GossipDeliver { to, from, load } => {
+            if to == removed || from == removed {
+                return None;
+            }
+            Some(PacketEvent::GossipDeliver {
+                to: map(to),
+                from: map(from),
+                load,
+            })
+        }
+        PacketEvent::CopyInstall { node, index, rate } => {
+            if node == removed {
+                return None;
+            }
+            Some(PacketEvent::CopyInstall {
+                node: map(node),
+                index,
+                rate,
+            })
+        }
+        PacketEvent::TunnelProbe {
+            node,
+            origin,
+            index,
+            rate,
+            hops,
+        } => {
+            if node == removed || origin == removed {
+                return None;
+            }
+            Some(PacketEvent::TunnelProbe {
+                node: map(node),
+                origin: map(origin),
+                index,
+                rate,
+                hops,
+            })
+        }
+        PacketEvent::TunnelGrant {
+            node,
+            target,
+            index,
+            rate,
+        } => {
+            if node == removed || target == removed {
+                return None;
+            }
+            Some(PacketEvent::TunnelGrant {
+                node: map(node),
+                target: map(target),
+                index,
+                rate,
+            })
+        }
+    }
+}
+
+/// Remaps one node's per-document state after the universe grew:
+/// bitsets, token buckets, and flow meters move to their shifted
+/// columns; fresh columns start empty, anchored at `at`. The home
+/// server additionally receives the only copy of each new document.
+pub fn grow_node_state(state: &mut NodeState, growth: &UniverseGrowth, at: f64, is_root: bool) {
+    let shift_set = |set: &DocSet| {
+        let mut grown = DocSet::new(growth.new_len);
+        for idx in set.iter() {
+            grown.insert(growth.old_to_new[idx as usize]);
+        }
+        grown
+    };
+    state.copies = shift_set(&state.copies);
+    state.filter = shift_set(&state.filter);
+    state.alloc_set = shift_set(&state.alloc_set);
+    if is_root {
+        for &k in &growth.fresh {
+            state.copies.insert(k);
+        }
+    }
+    let mut alloc = vec![TokenBucket::new(0.0, at); growth.new_len];
+    for (old, &new) in growth.old_to_new.iter().enumerate() {
+        alloc[new as usize] = state.alloc[old];
+    }
+    state.alloc = alloc;
+    state
+        .flows
+        .remap_docs(&growth.old_to_new, growth.new_len, at);
+    state
+        .seen
+        .remap_docs(&growth.old_to_new, growth.new_len, at);
+    state
+        .served
+        .remap_docs(&growth.old_to_new, growth.new_len, at);
+}
+
+/// Rebuilds one node's per-child-slot state (flow meter rows and gossip
+/// child estimates) from a slot mapping: `map[new_slot]` names the old
+/// slot whose history the new slot keeps, `None` starts fresh (anchored
+/// at `at`). Applied when churn renumbers a node's child list.
+pub fn remap_children(state: &mut NodeState, map: &[Option<usize>], at: f64) {
+    let rows: Vec<Option<usize>> = if map.is_empty() {
+        vec![None]
+    } else {
+        map.to_vec()
+    };
+    state.flows.reorder_rows(&rows, at);
+    let old_est = std::mem::take(&mut state.child_est);
+    state.child_est = map
+        .iter()
+        .map(|&src| src.and_then(|s| old_est.get(s).copied().flatten()))
+        .collect();
+}
+
+/// The per-child slot mapping of a parent that just gained a leaf: the
+/// newcomer holds the highest id, so it sorts into the last slot and
+/// every existing slot keeps its history. Shared by both drivers so
+/// their join surgery cannot diverge.
+pub fn join_slot_map(old_children: usize) -> Vec<Option<usize>> {
+    let mut map: Vec<Option<usize>> = (0..old_children).map(Some).collect();
+    map.push(None);
+    map
+}
+
+/// The (at most two) parents whose child lists a leave renumbered: the
+/// departed leaf's parent, and — when the compaction moved a node — the
+/// moved node's parent (one of its children changed id, so its sort
+/// position among the siblings may have). Shared by both drivers so
+/// their leave surgery cannot diverge.
+pub fn parents_to_remap(tree: &Tree, removal: &LeafRemoval) -> Vec<NodeId> {
+    let mut parents = vec![removal.parent];
+    if removal.moved.is_some() {
+        if let Some(mp) = tree.parent(removal.removed) {
+            if !parents.contains(&mp) {
+                parents.push(mp);
+            }
+        }
+    }
+    parents
+}
+
+/// The per-child slot mapping of `parent` after a leave renumbered the
+/// tree: for each child in the *new* child list, the slot it occupied
+/// under the old numbering (`old_child_slot`), with `moved -> removed`
+/// renumbering already applied to the child ids.
+pub fn child_slot_map(
+    tree: &Tree,
+    parent: NodeId,
+    removed: NodeId,
+    moved: Option<NodeId>,
+    old_child_slot: &[usize],
+) -> Vec<Option<usize>> {
+    tree.children(parent)
+        .iter()
+        .map(|&c| {
+            let old_id = if c == removed {
+                moved.expect("only the moved node now holds the vacated id")
+            } else {
+                c
+            };
+            Some(old_child_slot[old_id.index()])
+        })
+        .collect()
+}
+
+/// The worker-side fold of the convergence-trace sample: rolls each
+/// offered node's serve meter to `now` and accumulates the squared
+/// distance to the oracle into an [`ExactSum`]. Because the accumulator
+/// is exact, per-shard partials merged in any order reproduce — bit for
+/// bit — the single driver-side pass over all nodes in node order.
+pub fn trace_partial<'a>(
+    oracle: &RateVector,
+    nodes: impl Iterator<Item = (usize, &'a mut NodeState)>,
+    now: f64,
+) -> ExactSum {
+    let mut sum = ExactSum::new();
+    for (j, state) in nodes {
+        let r = sample_served_rate(state, now);
+        sum.add_square(r - oracle[NodeId::new(j)]);
+    }
+    sum
 }
 
 /// Irregular events of the packet-level protocol. The two periodic timer

@@ -40,8 +40,9 @@
 
 use crate::packet::{
     self, DriverSource, NodeCtx, NodeState, PacketCounters, PacketEvent, PacketWorld, Scratch,
+    UniverseGrowth,
 };
-use ww_model::{DocId, ModelError, NodeId, RateVector, Tree};
+use ww_model::{DocId, LeafRemoval, ModelError, NodeId, RateVector, Tree};
 use ww_net::{TrafficClass, TrafficLedger};
 use ww_sim::{EventQueue, SimTime, TimerRing};
 use ww_stats::ConvergenceTrace;
@@ -174,18 +175,14 @@ impl PacketSim {
     }
 
     /// Samples the global distance to the oracle at time `at` and pushes
-    /// it onto the trace. Rolls every node's serve meter to `at`, in
-    /// node order — the parallel driver performs the identical pass at
-    /// its epoch barriers.
+    /// it onto the trace. Rolls every node's serve meter to `at` and
+    /// accumulates through the exact [`ww_stats::ExactSum`] — the same
+    /// fold the parallel driver's workers compute per shard and merge at
+    /// the barrier; exactness is what makes the two bit-identical.
     fn sample_epoch(&mut self, at: SimTime) {
         let now = at.as_secs();
-        let mut sum_sq = 0.0;
-        for j in 0..self.world.len() {
-            let r = packet::sample_served_rate(&mut self.nodes[j], now);
-            let d = r - self.world.oracle[NodeId::new(j)];
-            sum_sq += d * d;
-        }
-        self.trace.push(sum_sq.sqrt());
+        let sum = packet::trace_partial(&self.world.oracle, self.nodes.iter_mut().enumerate(), now);
+        self.trace.push(sum.value().sqrt());
         self.epochs_sampled += 1;
     }
 
@@ -380,6 +377,155 @@ impl PacketSim {
             }
         }
         Ok(())
+    }
+
+    /// Re-resolves the arrival stage after a barrier mutation: drops
+    /// stale arrival events (remapping surviving document indices when
+    /// the universe grew) and schedules each node's fresh first arrival,
+    /// in node order — the canonical recipe the parallel driver repeats
+    /// per shard.
+    fn rebuild_arrivals(&mut self, growth: Option<&UniverseGrowth>) {
+        self.queue
+            .filter_map_events(|ev| packet::remap_for_rebuild(ev, growth));
+        self.reschedule_arrivals();
+    }
+
+    /// The scheduling half of [`PacketSim::rebuild_arrivals`], for
+    /// callers whose own queue surgery already dropped the stale
+    /// arrivals (a leave's [`packet::renumber_for_leave`] pass).
+    fn reschedule_arrivals(&mut self) {
+        let at = self.queue.now();
+        for i in 0..self.world.len() {
+            packet::rebuild_node_arrivals(
+                &self.world,
+                &mut self.nodes[i],
+                NodeId::new(i),
+                at,
+                &mut self.outbox,
+            );
+            for (t, ev) in self.outbox.drain(..) {
+                self.queue.schedule(t, ev);
+            }
+        }
+    }
+
+    /// A cache server joins as a new leaf under `parent` at the current
+    /// barrier, bringing `rate` req/s of demand split across the
+    /// universe proportionally to current document popularity. The
+    /// newcomer takes the next id, starts cold (no copies), and its
+    /// gossip/diffusion timers arm phase-staggered after the barrier;
+    /// every arrival stream is re-resolved.
+    ///
+    /// # Errors
+    ///
+    /// As [`PacketWorld::join`]: unknown parent or invalid rate.
+    pub fn add_leaf(&mut self, parent: NodeId, rate: f64) -> Result<NodeId, ModelError> {
+        let at = self.queue.now();
+        let id = self.world.join(parent, rate)?;
+        let i = id.index();
+        let map = packet::join_slot_map(self.world.tree.children(parent).len() - 1);
+        packet::remap_children(&mut self.nodes[parent.index()], &map, at.as_secs());
+        self.nodes
+            .push(packet::init_state_at(&self.world, id, at.as_secs()));
+        self.failed_up.push(false);
+        self.rebuild_arrivals(None);
+        // Arm the newcomer's timers (after the arrival pass, mirroring
+        // the construction-time per-node order).
+        assert_eq!(self.gossip_ring.add_member(), i);
+        assert_eq!(self.diffusion_ring.add_member(), i);
+        let gossip_seq = self.queue.alloc_seq();
+        self.gossip_ring
+            .insert(i, at + self.world.gossip_phase(i), gossip_seq);
+        let diffusion_seq = self.queue.alloc_seq();
+        self.diffusion_ring
+            .insert(i, at + self.world.diffusion_phase(i), diffusion_seq);
+        Ok(id)
+    }
+
+    /// A leaf cache server departs at the current barrier: its demand
+    /// re-homes to its parent, ids compact by swap-remove (the returned
+    /// [`LeafRemoval`] names the renumbering), in-flight events
+    /// involving the departed node are dropped, and every arrival
+    /// stream is re-resolved.
+    ///
+    /// # Errors
+    ///
+    /// As [`PacketWorld::leave`]: unknown id, the root, or an interior
+    /// node.
+    pub fn remove_leaf(&mut self, node: NodeId) -> Result<LeafRemoval, ModelError> {
+        let at = self.queue.now();
+        let old_child_slot = self.world.child_slot.clone();
+        let removal = self.world.leave(node)?;
+        let i = removal.removed.index();
+        self.nodes.swap_remove(i);
+        self.failed_up.swap_remove(i);
+        self.gossip_ring.swap_remove_member(i);
+        self.diffusion_ring.swap_remove_member(i);
+        self.queue
+            .filter_map_events(|ev| packet::renumber_for_leave(ev, removal.removed, removal.moved));
+        for p in packet::parents_to_remap(&self.world.tree, &removal) {
+            let map = packet::child_slot_map(
+                &self.world.tree,
+                p,
+                removal.removed,
+                removal.moved,
+                &old_child_slot,
+            );
+            packet::remap_children(&mut self.nodes[p.index()], &map, at.as_secs());
+        }
+        // The renumbering pass above already dropped the stale arrivals;
+        // only the rescheduling half remains.
+        self.reschedule_arrivals();
+        Ok(removal)
+    }
+
+    /// Applies a universe growth to every node's per-document state (the
+    /// home server also receives the only copy of each new document),
+    /// then re-resolves the arrival stage — the shared tail of every
+    /// demand-changing barrier operation.
+    fn apply_growth(&mut self, growth: Option<&UniverseGrowth>) {
+        let at = self.queue.now().as_secs();
+        if let Some(g) = growth {
+            let root = self.world.tree.root();
+            for j in 0..self.world.len() {
+                packet::grow_node_state(&mut self.nodes[j], g, at, NodeId::new(j) == root);
+            }
+        }
+        self.rebuild_arrivals(growth);
+    }
+
+    /// Publishes a document at the current barrier: demand for `doc`
+    /// appears at `origin`, a first-time id grows the dense universe
+    /// (every node's per-document state shifts columns; the home server
+    /// receives the only copy), and every arrival stream is re-resolved.
+    ///
+    /// # Errors
+    ///
+    /// As [`PacketWorld::publish`]: unknown origin or invalid rate.
+    pub fn publish_doc(&mut self, doc: DocId, origin: NodeId, rate: f64) -> Result<(), ModelError> {
+        let growth = self.world.publish(doc, origin, rate)?;
+        self.apply_growth(growth.as_ref());
+        Ok(())
+    }
+
+    /// Replaces the whole demand mix at the current barrier (hot-set
+    /// rotation, Zipf re-skew). Copies and serve allocations survive;
+    /// first-time document ids grow the universe; every arrival stream
+    /// is re-resolved against the new mix.
+    ///
+    /// # Errors
+    ///
+    /// As [`PacketWorld::set_mix`]: a mix not covering the current tree.
+    pub fn set_mix(&mut self, mix: &DocMix) -> Result<(), ModelError> {
+        let growth = self.world.set_mix(mix)?;
+        self.apply_growth(growth.as_ref());
+        Ok(())
+    }
+
+    /// The shared world (topology, mix, oracle, configuration) as the
+    /// simulation currently sees it.
+    pub fn world(&self) -> &PacketWorld {
+        &self.world
     }
 }
 

@@ -44,13 +44,13 @@ use crossbeam::channel::{unbounded, Receiver, Sender};
 use std::time::Duration;
 use ww_core::packet::{
     self, DriverSource, NodeCtx, NodeState, PacketCounters, PacketEvent, PacketSimConfig,
-    PacketWorld, Scratch,
+    PacketWorld, Scratch, UniverseGrowth,
 };
 use ww_core::packetsim::PacketSimReport;
-use ww_model::{DocId, ModelError, NodeId, RateVector, Tree};
+use ww_model::{DocId, LeafRemoval, ModelError, NodeId, RateVector, Tree};
 use ww_net::{TrafficClass, TrafficLedger};
 use ww_sim::{EventQueue, SimTime, TimerRing};
-use ww_stats::ConvergenceTrace;
+use ww_stats::{ConvergenceTrace, ExactSum};
 use ww_workload::DocMix;
 
 /// Tie-break bit marking inbound (cross-shard) events: at equal
@@ -293,7 +293,16 @@ impl Drop for PanicRelease {
 /// Runs one shard's event loop up to the epoch boundary `t_end`,
 /// conservatively bounded by inbound promises, then performs the
 /// `EpochEnd` handshake with its neighbors.
-fn run_shard(shard: &mut Shard, sh: &Shared<'_>, t_end: SimTime) {
+///
+/// When `sample` is set, the shard computes its partial of the
+/// convergence-trace sample at the quiesced boundary — rolling its own
+/// nodes' serve meters and folding the squared oracle distances into an
+/// exact accumulator — and ships it back to the driver alongside the
+/// epoch-end handshake (the worker's return value). The driver's
+/// per-epoch work thus shrinks from an `O(n)` pass over every node to
+/// an `O(shards)` merge, and because the fold is exact, the merged
+/// value is bit-identical to the old driver-side pass in node order.
+fn run_shard(shard: &mut Shard, sh: &Shared<'_>, t_end: SimTime, sample: bool) -> Option<ExactSum> {
     let lookahead = SimTime::from_secs(sh.world.config.link_delay);
     let mut release = PanicRelease {
         txs: shard.out_links.iter().map(|l| l.tx.clone()).collect(),
@@ -337,6 +346,19 @@ fn run_shard(shard: &mut Shard, sh: &Shared<'_>, t_end: SimTime) {
         let local_done = shard.next_time().is_none_or(|t| t > t_end);
         let inbound_done = shard.in_links.iter().all(|l| l.promise > t_end);
         if local_done && inbound_done {
+            // Every event at or before the boundary has executed, so the
+            // shard's nodes are exactly at the barrier instant: fold the
+            // trace partial now, shipping it with the epoch end.
+            let partial = sample.then(|| {
+                packet::trace_partial(
+                    &sh.world.oracle,
+                    sh.partition.members[shard.id]
+                        .iter()
+                        .map(|u| u.index())
+                        .zip(shard.states.iter_mut()),
+                    t_end.as_secs(),
+                )
+            });
             for link in &mut shard.out_links {
                 link.tx.send(Wire::EpochEnd).expect("peer shard alive");
             }
@@ -358,7 +380,7 @@ fn run_shard(shard: &mut Shard, sh: &Shared<'_>, t_end: SimTime) {
                 link.epoch_ended = false;
             }
             release.armed = false;
-            return;
+            return partial;
         }
 
         if progressed {
@@ -408,6 +430,11 @@ pub struct ParPacketSim {
     epochs_sampled: u64,
     /// Simulated time the run has reached (last barrier).
     horizon: SimTime,
+    /// `true` (default): workers fold the per-epoch trace partial and
+    /// the driver merges `O(shards)`. `false`: the driver performs the
+    /// pre-fold `O(n)` node-order pass itself — kept as the reference
+    /// the fold is pinned bit-identical against.
+    fold_trace: bool,
 }
 
 impl ParPacketSim {
@@ -500,6 +527,7 @@ impl ParPacketSim {
             trace: ConvergenceTrace::new(),
             epochs_sampled: 0,
             horizon: SimTime::ZERO,
+            fold_trace: true,
         }
     }
 
@@ -508,28 +536,66 @@ impl ParPacketSim {
         self.shards.len()
     }
 
+    /// Selects how the per-epoch convergence sample is computed:
+    /// `false` (the default) folds per-shard partials inside the workers
+    /// and merges them `O(shards)` on the driver; `true` restores the
+    /// pre-fold driver-side `O(n)` pass. The two are bit-identical — the
+    /// fold uses an exact accumulator — and the golden tests pin exactly
+    /// that, which is why the reference path stays available.
+    pub fn set_driver_side_trace(&mut self, driver_side: bool) {
+        self.fold_trace = !driver_side;
+    }
+
     /// Advances every shard to `t_end` (one scoped worker thread per
-    /// shard) and moves the horizon there.
-    fn advance_all(&mut self, t_end: SimTime) {
+    /// shard) and moves the horizon there. With `sample` set, each
+    /// worker folds its trace partial at the quiesced boundary and the
+    /// merged exact sum is returned.
+    fn advance_all(&mut self, t_end: SimTime, sample: bool) -> Option<ExactSum> {
         if t_end <= self.horizon {
-            return;
+            return None;
         }
         let shared = Shared {
             world: &self.world,
             partition: &self.partition,
             failed_up: &self.failed_up,
         };
+        let mut merged = sample.then(ExactSum::new);
         if self.shards.len() == 1 {
-            run_shard(&mut self.shards[0], &shared, t_end);
+            if let Some(p) = run_shard(&mut self.shards[0], &shared, t_end, sample) {
+                merged
+                    .as_mut()
+                    .expect("sampled run returns partials")
+                    .merge(&p);
+            }
         } else {
-            std::thread::scope(|scope| {
-                for shard in self.shards.iter_mut() {
-                    let sh = &shared;
-                    scope.spawn(move || run_shard(shard, sh, t_end));
-                }
+            let partials = std::thread::scope(|scope| {
+                let handles: Vec<_> = self
+                    .shards
+                    .iter_mut()
+                    .map(|shard| {
+                        let sh = &shared;
+                        scope.spawn(move || run_shard(shard, sh, t_end, sample))
+                    })
+                    .collect();
+                handles
+                    .into_iter()
+                    .map(|h| match h.join() {
+                        Ok(partial) => partial,
+                        Err(panic) => std::panic::resume_unwind(panic),
+                    })
+                    .collect::<Vec<_>>()
             });
+            // Exactness makes the merge order irrelevant; shard order is
+            // used for definiteness.
+            for p in partials.into_iter().flatten() {
+                merged
+                    .as_mut()
+                    .expect("sampled run returns partials")
+                    .merge(&p);
+            }
         }
         self.horizon = t_end;
+        merged
     }
 
     /// The next pending epoch-boundary sample time.
@@ -537,21 +603,19 @@ impl ParPacketSim {
         SimTime::from_secs((self.epochs_sampled + 1) as f64 * self.world.config.diffusion_period)
     }
 
-    /// Samples the global distance to the oracle at the barrier `at`:
-    /// rolls every node's serve meter to the boundary in node order —
-    /// the identical pass the sequential driver performs.
-    fn sample_epoch(&mut self, at: SimTime) {
+    /// The pre-fold reference sample: the driver itself rolls every
+    /// node's serve meter at the barrier, in node order, folding the
+    /// same exact accumulator the workers use.
+    fn driver_side_partial(&mut self, at: SimTime) -> ExactSum {
         let now = at.as_secs();
-        let mut sum_sq = 0.0;
+        let mut sum = ExactSum::new();
         for j in 0..self.world.len() {
             let s = self.partition.shard_of[j];
             let li = self.partition.local_index[j] as usize;
             let r = packet::sample_served_rate(&mut self.shards[s].states[li], now);
-            let d = r - self.world.oracle[NodeId::new(j)];
-            sum_sq += d * d;
+            sum.add_square(r - self.world.oracle[NodeId::new(j)]);
         }
-        self.trace.push(sum_sq.sqrt());
-        self.epochs_sampled += 1;
+        sum
     }
 
     /// Runs the simulation up to `duration` simulated seconds and
@@ -563,10 +627,17 @@ impl ParPacketSim {
         let deadline = SimTime::from_secs(duration);
         while self.next_sample() <= deadline {
             let at = self.next_sample();
-            self.advance_all(at);
-            self.sample_epoch(at);
+            let sum = if self.fold_trace {
+                self.advance_all(at, true)
+                    .expect("sample barriers always advance the horizon")
+            } else {
+                self.advance_all(at, false);
+                self.driver_side_partial(at)
+            };
+            self.trace.push(sum.value().sqrt());
+            self.epochs_sampled += 1;
         }
-        self.advance_all(deadline);
+        self.advance_all(deadline, false);
         if deadline > self.horizon {
             self.horizon = deadline;
         }
@@ -703,5 +774,179 @@ impl ParPacketSim {
             }
         }
         Ok(())
+    }
+
+    /// The state of node `j`, via the partition index.
+    fn state_mut(&mut self, j: usize) -> &mut NodeState {
+        let s = self.partition.shard_of[j];
+        let li = self.partition.local_index[j] as usize;
+        &mut self.shards[s].states[li]
+    }
+
+    /// Re-resolves the arrival stage after a barrier mutation, exactly
+    /// as the sequential driver: per shard, stale arrivals are dropped
+    /// (surviving events' document indices remapped when the universe
+    /// grew) and fresh first arrivals are scheduled in global node
+    /// order — so each node's events keep the same relative order they
+    /// get in the sequential queue.
+    fn rebuild_arrivals(&mut self, growth: Option<&UniverseGrowth>) {
+        for shard in &mut self.shards {
+            shard
+                .queue
+                .filter_map_events(|ev| packet::remap_for_rebuild(ev, growth));
+        }
+        self.reschedule_arrivals();
+    }
+
+    /// The scheduling half of [`ParPacketSim::rebuild_arrivals`], for
+    /// callers whose own queue surgery already dropped the stale
+    /// arrivals (a leave's [`packet::renumber_for_leave`] pass).
+    fn reschedule_arrivals(&mut self) {
+        let at = self.horizon;
+        let mut outbox = Vec::new();
+        for j in 0..self.world.len() {
+            let s = self.partition.shard_of[j];
+            let li = self.partition.local_index[j] as usize;
+            packet::rebuild_node_arrivals(
+                &self.world,
+                &mut self.shards[s].states[li],
+                NodeId::new(j),
+                at,
+                &mut outbox,
+            );
+            for (t, ev) in outbox.drain(..) {
+                self.shards[s].queue.schedule(t, ev);
+            }
+        }
+    }
+
+    /// A cache server joins as a new leaf under `parent` at the current
+    /// barrier — the parallel twin of
+    /// [`PacketSim::add_leaf`](ww_core::packetsim::PacketSim::add_leaf).
+    /// The newcomer is hosted by its parent's shard (subtree
+    /// connectivity, and therefore the cut-edge lookahead, is
+    /// preserved), its timers arm phase-staggered after the barrier, and
+    /// every arrival stream is re-resolved.
+    ///
+    /// # Errors
+    ///
+    /// As [`PacketWorld::join`]: unknown parent or invalid rate.
+    pub fn add_leaf(&mut self, parent: NodeId, rate: f64) -> Result<NodeId, ModelError> {
+        let at = self.horizon;
+        let id = self.world.join(parent, rate)?;
+        let i = id.index();
+        let ps = self.partition.shard_of[parent.index()];
+        let pli = self.partition.local_index[parent.index()] as usize;
+        let map = packet::join_slot_map(self.world.tree.children(parent).len() - 1);
+        packet::remap_children(&mut self.shards[ps].states[pli], &map, at.as_secs());
+        let li = self.partition.add_node(ps);
+        debug_assert_eq!(li, self.shards[ps].states.len());
+        self.shards[ps]
+            .states
+            .push(packet::init_state_at(&self.world, id, at.as_secs()));
+        self.failed_up.push(false);
+        self.rebuild_arrivals(None);
+        let shard = &mut self.shards[ps];
+        assert_eq!(shard.gossip_ring.add_member(), li);
+        assert_eq!(shard.diffusion_ring.add_member(), li);
+        let gossip_seq = shard.queue.alloc_seq();
+        shard
+            .gossip_ring
+            .insert(li, at + self.world.gossip_phase(i), gossip_seq);
+        let diffusion_seq = shard.queue.alloc_seq();
+        shard
+            .diffusion_ring
+            .insert(li, at + self.world.diffusion_phase(i), diffusion_seq);
+        Ok(id)
+    }
+
+    /// A leaf cache server departs at the current barrier — the
+    /// parallel twin of
+    /// [`PacketSim::remove_leaf`](ww_core::packetsim::PacketSim::remove_leaf).
+    /// Ids compact by swap-remove; the renumbered former-last node stays
+    /// on its own shard, so the compaction is a pure bookkeeping move —
+    /// no node state crosses a shard boundary. Every shard applies the
+    /// same event surgery to its queue, and the arrival stage rebuilds.
+    ///
+    /// # Errors
+    ///
+    /// As [`PacketWorld::leave`]: unknown id, the root, or an interior
+    /// node.
+    pub fn remove_leaf(&mut self, node: NodeId) -> Result<LeafRemoval, ModelError> {
+        let at = self.horizon;
+        let old_child_slot = self.world.child_slot.clone();
+        let removal = self.world.leave(node)?;
+        let r = removal.removed.index();
+        let (s, li) = self.partition.swap_remove_node(r);
+        self.shards[s].states.swap_remove(li);
+        self.shards[s].gossip_ring.swap_remove_member(li);
+        self.shards[s].diffusion_ring.swap_remove_member(li);
+        self.failed_up.swap_remove(r);
+        for shard in &mut self.shards {
+            shard.queue.filter_map_events(|ev| {
+                packet::renumber_for_leave(ev, removal.removed, removal.moved)
+            });
+        }
+        for p in packet::parents_to_remap(&self.world.tree, &removal) {
+            let map = packet::child_slot_map(
+                &self.world.tree,
+                p,
+                removal.removed,
+                removal.moved,
+                &old_child_slot,
+            );
+            packet::remap_children(self.state_mut(p.index()), &map, at.as_secs());
+        }
+        // The renumbering pass above already dropped the stale arrivals;
+        // only the rescheduling half remains.
+        self.reschedule_arrivals();
+        Ok(removal)
+    }
+
+    /// Applies a universe growth to every node's per-document state (the
+    /// home server also receives the only copy of each new document),
+    /// then re-resolves the arrival stage — the shared tail of every
+    /// demand-changing barrier operation.
+    fn apply_growth(&mut self, growth: Option<&UniverseGrowth>) {
+        let at = self.horizon.as_secs();
+        if let Some(g) = growth {
+            let root = self.world.tree.root();
+            for j in 0..self.world.len() {
+                let is_root = NodeId::new(j) == root;
+                packet::grow_node_state(self.state_mut(j), g, at, is_root);
+            }
+        }
+        self.rebuild_arrivals(growth);
+    }
+
+    /// Publishes a document at the current barrier — the parallel twin
+    /// of [`PacketSim::publish_doc`](ww_core::packetsim::PacketSim::publish_doc).
+    ///
+    /// # Errors
+    ///
+    /// As [`PacketWorld::publish`]: unknown origin or invalid rate.
+    pub fn publish_doc(&mut self, doc: DocId, origin: NodeId, rate: f64) -> Result<(), ModelError> {
+        let growth = self.world.publish(doc, origin, rate)?;
+        self.apply_growth(growth.as_ref());
+        Ok(())
+    }
+
+    /// Replaces the whole demand mix at the current barrier — the
+    /// parallel twin of
+    /// [`PacketSim::set_mix`](ww_core::packetsim::PacketSim::set_mix).
+    ///
+    /// # Errors
+    ///
+    /// As [`PacketWorld::set_mix`]: a mix not covering the current tree.
+    pub fn set_mix(&mut self, mix: &DocMix) -> Result<(), ModelError> {
+        let growth = self.world.set_mix(mix)?;
+        self.apply_growth(growth.as_ref());
+        Ok(())
+    }
+
+    /// The shared world (topology, mix, oracle, configuration) as the
+    /// simulation currently sees it.
+    pub fn world(&self) -> &PacketWorld {
+        &self.world
     }
 }

@@ -32,6 +32,48 @@ impl Partition {
         self.members.len()
     }
 
+    /// Registers a node joining the simulated world: the newcomer takes
+    /// the next global id and the last local slot of `shard` (its
+    /// parent's shard, so subtree connectivity is preserved). Returns
+    /// the local index. The caller appends the matching entries to the
+    /// shard's state vector and timer rings.
+    pub fn add_node(&mut self, shard: usize) -> usize {
+        let id = self.shard_of.len();
+        let li = self.members[shard].len();
+        self.shard_of.push(shard);
+        self.local_index.push(li as u32);
+        self.members[shard].push(NodeId::new(id));
+        li
+    }
+
+    /// Registers a node leaving: global ids compact by swap-remove (the
+    /// former last id renumbers into `node`, staying on its own shard —
+    /// no state crosses a shard boundary), and the hosting shard's
+    /// member list compacts the same way. Returns the departed node's
+    /// `(shard, local index)`; the caller must apply the identical
+    /// swap-remove to that shard's state vector and timer rings.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node` is out of range.
+    pub fn swap_remove_node(&mut self, node: usize) -> (usize, usize) {
+        let s = self.shard_of[node];
+        let li = self.local_index[node] as usize;
+        self.members[s].swap_remove(li);
+        if let Some(&w) = self.members[s].get(li) {
+            self.local_index[w.index()] = li as u32;
+        }
+        self.shard_of.swap_remove(node);
+        self.local_index.swap_remove(node);
+        if node < self.shard_of.len() {
+            // The renumbered former-last id: rewrite its member entry.
+            let ms = self.shard_of[node];
+            let mli = self.local_index[node] as usize;
+            self.members[ms][mli] = NodeId::new(node);
+        }
+        (s, li)
+    }
+
     /// The ordered list of shard pairs connected by at least one tree
     /// edge, as `(child_side_shard, parent_side_shard)` — each listed
     /// once per unordered pair per direction of the underlying edges.
@@ -221,6 +263,52 @@ mod tests {
         let a = partition_subtrees(&tree, 5);
         let b = partition_subtrees(&tree, 5);
         assert_eq!(a.shard_of, b.shard_of);
+    }
+
+    /// The bookkeeping invariant: shard_of / local_index / members agree.
+    fn check_indexes(p: &Partition) {
+        let n = p.shard_of.len();
+        assert_eq!(p.local_index.len(), n);
+        let total: usize = p.members.iter().map(Vec::len).sum();
+        assert_eq!(total, n);
+        for (s, members) in p.members.iter().enumerate() {
+            for (li, &u) in members.iter().enumerate() {
+                assert_eq!(p.shard_of[u.index()], s, "node {u} shard");
+                assert_eq!(p.local_index[u.index()] as usize, li, "node {u} index");
+            }
+        }
+    }
+
+    #[test]
+    fn add_node_joins_the_parents_shard() {
+        let tree = ww_topology::k_ary(2, 4);
+        let mut p = partition_subtrees(&tree, 3);
+        let n = tree.len();
+        let parent_shard = p.shard_of[5];
+        let li = p.add_node(parent_shard);
+        assert_eq!(p.shard_of.len(), n + 1);
+        assert_eq!(p.shard_of[n], parent_shard);
+        assert_eq!(p.members[parent_shard][li], NodeId::new(n));
+        check_indexes(&p);
+    }
+
+    #[test]
+    fn swap_remove_node_renumbers_both_layers() {
+        let tree = ww_topology::k_ary(2, 4);
+        let mut p = partition_subtrees(&tree, 3);
+        let n = tree.len();
+        // Remove a node from the middle of some shard: both the global
+        // last id and the shard's last member must renumber.
+        let victim = p.members[1][0].index();
+        let (s, li) = p.swap_remove_node(victim);
+        assert_eq!(s, 1);
+        assert_eq!(li, 0);
+        assert_eq!(p.shard_of.len(), n - 1);
+        check_indexes(&p);
+        // Removing the highest id is a plain truncation.
+        let mut q = partition_subtrees(&tree, 3);
+        q.swap_remove_node(n - 1);
+        check_indexes(&q);
     }
 
     #[test]

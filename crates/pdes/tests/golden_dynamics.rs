@@ -1,0 +1,366 @@
+//! Golden equivalence under *dynamics*: the sharded parallel packet
+//! simulator must replay the sequential `PacketSim` bit for bit at every
+//! worker count while the world churns — nodes join and leave, the
+//! workload shifts, documents are published and invalidated, links fail
+//! and heal — all applied at epoch barriers through the shared barrier
+//! pipeline. Also pins the worker-folded convergence-trace sample
+//! bit-identical to the pre-fold driver-side `O(n)` pass.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use ww_core::packetsim::{PacketSim, PacketSimConfig, PacketSimReport};
+use ww_model::{DocId, NodeId, Tree};
+use ww_net::TrafficClass;
+use ww_pdes::ParPacketSim;
+use ww_topology::paper;
+use ww_workload::DocMix;
+
+fn fig7_mix() -> (Tree, DocMix) {
+    let b = paper::fig7();
+    let mut mix = DocMix::new(b.tree.len());
+    for d in &b.demands {
+        mix.set(d.origin, d.doc, d.rate);
+    }
+    (b.tree, mix)
+}
+
+/// A mid-sized random tree with a Zipf-skewed shared mix.
+fn random_mix(seed: u64, nodes: usize) -> (Tree, DocMix) {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let tree = ww_topology::random_tree_of_depth(&mut rng, nodes, 5);
+    let rates = ww_workload::zipf_nodes(&mut rng, &tree, 20.0 * nodes as f64, 1.0);
+    let mix = ww_workload::shared_zipf_mix(&tree, &rates, 10, 1.0);
+    (tree, mix)
+}
+
+fn bits(xs: &[f64]) -> Vec<u64> {
+    xs.iter().map(|x| x.to_bits()).collect()
+}
+
+fn assert_reports_identical(a: &PacketSimReport, b: &PacketSimReport, label: &str) {
+    assert_eq!(
+        bits(a.trace.distances()),
+        bits(b.trace.distances()),
+        "{label}: traces diverge"
+    );
+    assert_eq!(
+        bits(a.served_rates.as_slice()),
+        bits(b.served_rates.as_slice()),
+        "{label}: served rates diverge"
+    );
+    assert_eq!(
+        a.final_distance.to_bits(),
+        b.final_distance.to_bits(),
+        "{label}: final distance diverges"
+    );
+    assert_eq!(a.served_requests, b.served_requests, "{label}: served");
+    assert_eq!(a.copy_pushes, b.copy_pushes, "{label}: pushes");
+    assert_eq!(a.tunnel_fetches, b.tunnel_fetches, "{label}: fetches");
+    assert_eq!(
+        a.mean_hops.to_bits(),
+        b.mean_hops.to_bits(),
+        "{label}: mean hops"
+    );
+    for class in [
+        TrafficClass::Request,
+        TrafficClass::Response,
+        TrafficClass::Gossip,
+        TrafficClass::CopyPush,
+        TrafficClass::Tunnel,
+    ] {
+        assert_eq!(
+            a.ledger.count(class),
+            b.ledger.count(class),
+            "{label}: {class:?} count"
+        );
+        assert_eq!(
+            a.ledger.bytes(class),
+            b.ledger.bytes(class),
+            "{label}: {class:?} bytes"
+        );
+    }
+}
+
+/// The barrier operations both drivers expose, scripted.
+#[derive(Debug, Clone)]
+enum Op {
+    Run(f64),
+    Join { parent: usize, rate: f64 },
+    Leave { node: usize },
+    Shift { docs: usize, theta: f64 },
+    Publish { doc: u64, origin: usize, rate: f64 },
+    Invalidate { doc: u64 },
+    Fail { node: usize },
+    Heal { node: usize },
+}
+
+/// Replays the script against either driver through a tiny trait shim.
+trait Driver {
+    fn run(&mut self, horizon: f64) -> PacketSimReport;
+    fn tree(&self) -> &Tree;
+    fn add_leaf(&mut self, parent: NodeId, rate: f64);
+    fn remove_leaf(&mut self, node: NodeId);
+    fn set_mix(&mut self, mix: &DocMix);
+    fn publish_doc(&mut self, doc: DocId, origin: NodeId, rate: f64);
+    fn invalidate(&mut self, doc: DocId);
+    fn fail_link(&mut self, node: NodeId);
+    fn heal_link(&mut self, node: NodeId);
+}
+
+impl Driver for PacketSim {
+    fn run(&mut self, horizon: f64) -> PacketSimReport {
+        PacketSim::run(self, horizon)
+    }
+    fn tree(&self) -> &Tree {
+        PacketSim::tree(self)
+    }
+    fn add_leaf(&mut self, parent: NodeId, rate: f64) {
+        PacketSim::add_leaf(self, parent, rate).expect("join applies");
+    }
+    fn remove_leaf(&mut self, node: NodeId) {
+        PacketSim::remove_leaf(self, node).expect("leave applies");
+    }
+    fn set_mix(&mut self, mix: &DocMix) {
+        PacketSim::set_mix(self, mix).expect("shift applies");
+    }
+    fn publish_doc(&mut self, doc: DocId, origin: NodeId, rate: f64) {
+        PacketSim::publish_doc(self, doc, origin, rate).expect("publish applies");
+    }
+    fn invalidate(&mut self, doc: DocId) {
+        PacketSim::invalidate(self, doc).expect("invalidate applies");
+    }
+    fn fail_link(&mut self, node: NodeId) {
+        PacketSim::fail_link(self, node);
+    }
+    fn heal_link(&mut self, node: NodeId) {
+        PacketSim::heal_link(self, node);
+    }
+}
+
+impl Driver for ParPacketSim {
+    fn run(&mut self, horizon: f64) -> PacketSimReport {
+        ParPacketSim::run(self, horizon)
+    }
+    fn tree(&self) -> &Tree {
+        ParPacketSim::tree(self)
+    }
+    fn add_leaf(&mut self, parent: NodeId, rate: f64) {
+        ParPacketSim::add_leaf(self, parent, rate).expect("join applies");
+    }
+    fn remove_leaf(&mut self, node: NodeId) {
+        ParPacketSim::remove_leaf(self, node).expect("leave applies");
+    }
+    fn set_mix(&mut self, mix: &DocMix) {
+        ParPacketSim::set_mix(self, mix).expect("shift applies");
+    }
+    fn publish_doc(&mut self, doc: DocId, origin: NodeId, rate: f64) {
+        ParPacketSim::publish_doc(self, doc, origin, rate).expect("publish applies");
+    }
+    fn invalidate(&mut self, doc: DocId) {
+        ParPacketSim::invalidate(self, doc).expect("invalidate applies");
+    }
+    fn fail_link(&mut self, node: NodeId) {
+        ParPacketSim::fail_link(self, node);
+    }
+    fn heal_link(&mut self, node: NodeId) {
+        ParPacketSim::heal_link(self, node);
+    }
+}
+
+fn replay(driver: &mut dyn Driver, script: &[Op]) -> PacketSimReport {
+    let mut report = None;
+    for op in script {
+        match *op {
+            Op::Run(h) => report = Some(driver.run(h)),
+            Op::Join { parent, rate } => driver.add_leaf(NodeId::new(parent), rate),
+            Op::Leave { node } => driver.remove_leaf(NodeId::new(node)),
+            Op::Shift { docs, theta } => {
+                // Re-derive a shifted mix from the *current* (churned)
+                // tree: same spontaneous totals, new document split.
+                let tree = driver.tree().clone();
+                let rates = ww_workload::uniform(&tree, 15.0);
+                let mix = ww_workload::shared_zipf_mix(&tree, &rates, docs, theta);
+                driver.set_mix(&mix);
+            }
+            Op::Publish { doc, origin, rate } => {
+                driver.publish_doc(DocId::new(doc), NodeId::new(origin), rate);
+            }
+            Op::Invalidate { doc } => driver.invalidate(DocId::new(doc)),
+            Op::Fail { node } => driver.fail_link(NodeId::new(node)),
+            Op::Heal { node } => driver.heal_link(NodeId::new(node)),
+        }
+    }
+    report.expect("script ends with a run")
+}
+
+/// Churn + shift + publish script over the random topology: every
+/// barrier operation fires at least once, interleaved with epochs.
+fn full_dynamics_script(tree: &Tree) -> Vec<Op> {
+    // A leaf to remove later: the highest-id leaf of the initial tree.
+    let leaf = (0..tree.len())
+        .rev()
+        .map(NodeId::new)
+        .find(|&u| tree.is_leaf(u))
+        .expect("tree has a leaf")
+        .index();
+    vec![
+        Op::Run(2.0),
+        Op::Join {
+            parent: 0,
+            rate: 40.0,
+        },
+        Op::Run(4.0),
+        Op::Fail { node: 1 },
+        Op::Shift {
+            docs: 8,
+            theta: 0.6,
+        },
+        Op::Run(6.0),
+        Op::Leave { node: leaf },
+        Op::Heal { node: 1 },
+        Op::Run(8.0),
+        Op::Publish {
+            doc: 777,
+            origin: 2,
+            rate: 25.0,
+        },
+        Op::Run(10.0),
+        Op::Invalidate { doc: 777 },
+        Op::Run(12.0),
+    ]
+}
+
+#[test]
+fn churned_run_matches_sequential_at_every_worker_count() {
+    let (tree, mix) = random_mix(0xD11A, 40);
+    let config = PacketSimConfig {
+        seed: 11,
+        ..PacketSimConfig::default()
+    };
+    let script = full_dynamics_script(&tree);
+    let mut seq = PacketSim::new(&tree, &mix, config);
+    let seq_report = replay(&mut seq, &script);
+    assert!(
+        seq_report.served_requests > 500,
+        "churned run must do real work, served {}",
+        seq_report.served_requests
+    );
+    for workers in [1, 2, 4, 8] {
+        let mut par = ParPacketSim::new(&tree, &mix, config, workers);
+        let par_report = replay(&mut par, &script);
+        assert_reports_identical(
+            &seq_report,
+            &par_report,
+            &format!("dynamics workers={workers}"),
+        );
+        // Per-node lifetime counters agree too (posterior to renumbering).
+        for j in 0..seq.tree().len() {
+            assert_eq!(
+                seq.served_total(NodeId::new(j)),
+                par.served_total(NodeId::new(j)),
+                "served_total diverges at node {j}, workers={workers}"
+            );
+        }
+    }
+}
+
+#[test]
+fn fig7_churn_storm_matches_sequential() {
+    // Repeated joins under every original node, then removals, on the
+    // paper's own topology — exercises the swap-remove renumbering with
+    // interior moves.
+    let (tree, mix) = fig7_mix();
+    let config = PacketSimConfig::default();
+    let script = vec![
+        Op::Run(3.0),
+        Op::Join {
+            parent: 3,
+            rate: 50.0,
+        },
+        Op::Run(5.0),
+        Op::Join {
+            parent: 4,
+            rate: 30.0,
+        },
+        Op::Run(7.0),
+        // Remove an *early*-id leaf so the last node renumbers into it:
+        // node 5 (the deepest joiner) takes id 2.
+        Op::Leave { node: 2 },
+        Op::Run(9.0),
+        // The renumbered node is now the leaf at id 2; removing it makes
+        // the *other* joiner (id 4, now last) renumber in turn.
+        Op::Leave { node: 2 },
+        Op::Run(12.0),
+    ];
+    let mut seq = PacketSim::new(&tree, &mix, config);
+    let seq_report = replay(&mut seq, &script);
+    for workers in [1, 2, 4, 8] {
+        let mut par = ParPacketSim::new(&tree, &mix, config, workers);
+        let par_report = replay(&mut par, &script);
+        assert_reports_identical(&seq_report, &par_report, &format!("fig7 workers={workers}"));
+    }
+}
+
+#[test]
+fn folded_trace_sample_matches_driver_side_pass_event_free() {
+    // The acceptance pin: on an event-free run, the worker-folded trace
+    // sample is bit-identical to the pre-fold driver-side O(n) pass.
+    let (tree, mix) = random_mix(0xF01D, 60);
+    let config = PacketSimConfig {
+        seed: 5,
+        ..PacketSimConfig::default()
+    };
+    for workers in [2, 4, 8] {
+        let mut folded = ParPacketSim::new(&tree, &mix, config, workers);
+        let mut reference = ParPacketSim::new(&tree, &mix, config, workers);
+        reference.set_driver_side_trace(true);
+        let a = folded.run(10.0);
+        let b = reference.run(10.0);
+        assert_eq!(
+            bits(a.trace.distances()),
+            bits(b.trace.distances()),
+            "folded vs driver-side trace diverges at workers={workers}"
+        );
+        assert_reports_identical(&a, &b, &format!("fold reference workers={workers}"));
+    }
+}
+
+#[test]
+fn folded_trace_sample_matches_driver_side_pass_under_churn() {
+    let (tree, mix) = random_mix(0xF01E, 30);
+    let config = PacketSimConfig::default();
+    let script = full_dynamics_script(&tree);
+    let mut folded = ParPacketSim::new(&tree, &mix, config, 4);
+    let mut reference = ParPacketSim::new(&tree, &mix, config, 4);
+    reference.set_driver_side_trace(true);
+    let a = replay(&mut folded, &script);
+    let b = replay(&mut reference, &script);
+    assert_reports_identical(&a, &b, "fold reference under churn");
+}
+
+#[test]
+fn stepped_horizons_with_churn_match_one_shot_grouping() {
+    // Epoch-by-epoch stepping (the scenario adapter's pattern) with a
+    // join in the middle replays the same script driven in larger runs.
+    let (tree, mix) = fig7_mix();
+    let config = PacketSimConfig::default();
+    let mut stepped = ParPacketSim::new(&tree, &mix, config, 2);
+    for k in 1..=4 {
+        stepped.run(k as f64);
+    }
+    stepped.add_leaf(NodeId::new(1), 45.0).unwrap();
+    for k in 5..=10 {
+        stepped.run(k as f64);
+    }
+    let a = stepped.report();
+    let mut grouped = ParPacketSim::new(&tree, &mix, config, 2);
+    grouped.run(4.0);
+    grouped.add_leaf(NodeId::new(1), 45.0).unwrap();
+    let b = grouped.run(10.0);
+    assert_eq!(a.served_requests, b.served_requests);
+    assert_eq!(bits(a.trace.distances()), bits(b.trace.distances()));
+    assert_eq!(
+        bits(a.served_rates.as_slice()),
+        bits(b.served_rates.as_slice())
+    );
+}

@@ -97,6 +97,7 @@ fn apply_static(
         _ => Err(EventError::Unsupported {
             engine,
             event: event.kind(),
+            supported: &["node_join", "node_leave", "workload_shift"],
         }),
     }
 }
@@ -189,6 +190,13 @@ impl Engine for RateWave {
             Event::DocPublish { .. } | Event::DocUpdate { .. } => Err(EventError::Unsupported {
                 engine: "rate_wave",
                 event: event.kind(),
+                supported: &[
+                    "node_join",
+                    "node_leave",
+                    "link_fail",
+                    "link_heal",
+                    "workload_shift",
+                ],
             }),
         }
     }
@@ -337,6 +345,7 @@ impl Engine for ForestWave {
             _ => Err(EventError::Unsupported {
                 engine: "forest_wave",
                 event: event.kind(),
+                supported: &["workload_shift"],
             }),
         }
     }
@@ -421,12 +430,28 @@ impl Engine for PacketEngine {
         }
     }
 
-    /// The packet engine supports cache invalidation and control-link
-    /// failures mid-run. Churn and workload shifts would have to rewrite
-    /// the Poisson arrival streams already threaded through the event
-    /// heap, so they are rejected with a typed error.
+    /// The packet engine honors the full event grammar: churn, link
+    /// failures, document lifecycle, and workload shifts (which need a
+    /// `doc_mix` — rates alone cannot parameterize Poisson arrival
+    /// streams). Churn and shifts apply through the barrier pipeline:
+    /// the arrival stage is re-resolved at the epoch boundary between
+    /// engine rounds.
     fn apply(&mut self, event: &Event) -> Result<(), EventError> {
         match event {
+            Event::NodeJoin { parent, rate } => self
+                .sim
+                .add_leaf(*parent, *rate)
+                .map(|_| ())
+                .map_err(|e| invalid(event, e)),
+            Event::NodeLeave { node } => self
+                .sim
+                .remove_leaf(*node)
+                .map(|_| ())
+                .map_err(|e| invalid(event, e)),
+            Event::DocPublish { doc, origin, rate } => self
+                .sim
+                .publish_doc(*doc, *origin, *rate)
+                .map_err(|e| invalid(event, e)),
             Event::DocUpdate { doc } => self.sim.invalidate(*doc).map_err(|e| invalid(event, e)),
             Event::LinkFail { node } => {
                 check_uplink(self.sim.tree(), *node, event)?;
@@ -438,10 +463,13 @@ impl Engine for PacketEngine {
                 self.sim.heal_link(*node);
                 Ok(())
             }
-            _ => Err(EventError::Unsupported {
-                engine: "packet_sim",
-                event: event.kind(),
-            }),
+            Event::WorkloadShift {
+                doc_mix: Some(mix), ..
+            } => self.sim.set_mix(mix).map_err(|e| invalid(event, e)),
+            Event::WorkloadShift { doc_mix: None, .. } => Err(invalid(
+                event,
+                "the packet_sim engine needs a doc_mix in a workload_shift",
+            )),
         }
     }
 }
@@ -536,12 +564,26 @@ impl Engine for ParPacketEngine {
         }
     }
 
-    /// Same dynamics support as the sequential packet engine: cache
-    /// invalidation and control-link failures, applied at the epoch
-    /// barrier between rounds. Churn and workload shifts are rejected
-    /// with a typed error.
+    /// The full event grammar of the sequential packet engine, applied
+    /// at the epoch barrier between rounds through the same shared
+    /// barrier pipeline — a given dynamics spec therefore reports
+    /// identical bits at every worker count.
     fn apply(&mut self, event: &Event) -> Result<(), EventError> {
         match event {
+            Event::NodeJoin { parent, rate } => self
+                .sim
+                .add_leaf(*parent, *rate)
+                .map(|_| ())
+                .map_err(|e| invalid(event, e)),
+            Event::NodeLeave { node } => self
+                .sim
+                .remove_leaf(*node)
+                .map(|_| ())
+                .map_err(|e| invalid(event, e)),
+            Event::DocPublish { doc, origin, rate } => self
+                .sim
+                .publish_doc(*doc, *origin, *rate)
+                .map_err(|e| invalid(event, e)),
             Event::DocUpdate { doc } => self.sim.invalidate(*doc).map_err(|e| invalid(event, e)),
             Event::LinkFail { node } => {
                 check_uplink(self.sim.tree(), *node, event)?;
@@ -553,10 +595,13 @@ impl Engine for ParPacketEngine {
                 self.sim.heal_link(*node);
                 Ok(())
             }
-            _ => Err(EventError::Unsupported {
-                engine: "packet_sim_par",
-                event: event.kind(),
-            }),
+            Event::WorkloadShift {
+                doc_mix: Some(mix), ..
+            } => self.sim.set_mix(mix).map_err(|e| invalid(event, e)),
+            Event::WorkloadShift { doc_mix: None, .. } => Err(invalid(
+                event,
+                "the packet_sim_par engine needs a doc_mix in a workload_shift",
+            )),
         }
     }
 }

@@ -176,6 +176,7 @@ pub trait Engine {
         Err(EventError::Unsupported {
             engine: self.kind(),
             event: event.kind(),
+            supported: &[],
         })
     }
 

@@ -215,6 +215,9 @@ pub enum EventError {
         engine: &'static str,
         /// The rejected event kind (`"doc_update"`, ...).
         event: &'static str,
+        /// The event kinds this engine *does* honor, so a rejection
+        /// teaches the spec author what would have worked.
+        supported: &'static [&'static str],
     },
     /// The event kind is supported but this particular event is not
     /// applicable (unknown document, one-shot engine already ran, ...).
@@ -229,8 +232,17 @@ pub enum EventError {
 impl fmt::Display for EventError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            EventError::Unsupported { engine, event } => {
-                write!(f, "the {engine} engine does not support {event} events")
+            EventError::Unsupported {
+                engine,
+                event,
+                supported,
+            } => {
+                write!(f, "the {engine} engine does not support {event} events")?;
+                if supported.is_empty() {
+                    write!(f, " (it supports no dynamics events)")
+                } else {
+                    write!(f, " (it supports: {})", supported.join(", "))
+                }
             }
             EventError::Invalid { event, reason } => {
                 write!(f, "{event} event cannot apply: {reason}")

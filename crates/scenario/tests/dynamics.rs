@@ -172,20 +172,72 @@ fn unsupported_events_become_rejected_markers() {
     let row = &report.rows[0];
     assert_eq!(row.events.len(), 3);
     assert!(!row.events[0].accepted());
+    let rejection = row.events[0].rejected.as_ref().unwrap();
     assert!(
-        row.events[0]
-            .rejected
-            .as_ref()
-            .unwrap()
-            .contains("does not support doc_update"),
-        "got {:?}",
-        row.events[0].rejected
+        rejection.contains("does not support doc_update"),
+        "got {rejection:?}"
+    );
+    // The rejection names what the engine *does* honor.
+    assert!(
+        rejection.contains("it supports:") && rejection.contains("workload_shift"),
+        "rejection should list supported kinds, got {rejection:?}"
     );
     assert!(row.events[1].accepted());
     assert!(row.events[2].accepted());
     assert_eq!(row.outcome.rounds, 40, "the run continued to its budget");
     assert_eq!(row.outcome.metric("event.0.doc_update.accepted"), Some(0.0));
     assert!(report.report.contains("rejected"));
+}
+
+/// The packet engines honor the full seven-kind event grammar — the
+/// support matrix in `docs/dynamics.md` has no "—" cells left in their
+/// columns. (The parallel twin is pinned byte-identical to this run in
+/// `tests/parallel.rs`.)
+#[test]
+fn packet_engine_accepts_all_seven_event_kinds() {
+    let spec = ScenarioSpec::from_json(
+        r#"{
+          "name": "packet-full-grammar",
+          "topology": {"kind": "two_level", "regions": 3, "leaves": 3},
+          "workload": {
+            "rates": {"kind": "leaf_only", "rate": 6.0},
+            "doc_mix": {"kind": "shared_zipf", "docs": 5, "theta": 1.0}
+          },
+          "engine": {"kind": "packet_sim"},
+          "termination": {"kind": "rounds", "max": 9},
+          "events": {"schedule": [
+            {"round": 1, "kind": "node_join", "parent": 2, "rate": 12.0},
+            {"round": 2, "kind": "link_fail", "node": 3},
+            {"round": 3, "kind": "workload_shift",
+             "doc_mix": {"kind": "shared_zipf", "docs": 7, "theta": 0.5}},
+            {"round": 4, "kind": "doc_publish", "doc": 40, "origin": 5, "rate": 9.0},
+            {"round": 5, "kind": "link_heal", "node": 3},
+            {"round": 6, "kind": "node_leave", "node": 13},
+            {"round": 7, "kind": "doc_update", "doc": 40}
+          ]}
+        }"#,
+    )
+    .unwrap();
+    let report = Runner::new().run(&spec).expect("packet dynamics run");
+    let row = &report.rows[0];
+    assert_eq!(row.events.len(), 7);
+    for m in &row.events {
+        assert!(
+            m.accepted(),
+            "event[{}] {} rejected: {:?}",
+            m.index,
+            m.kind,
+            m.rejected
+        );
+    }
+    // The run keeps serving after the churn storm.
+    assert!(
+        row.outcome
+            .metric("served_requests")
+            .is_some_and(|s| s > 100.0),
+        "served_requests missing or tiny: {:?}",
+        row.outcome.metric("served_requests")
+    );
 }
 
 /// One-shot engines accept churn at round 0 (reshaping the world they

@@ -213,6 +213,81 @@ fn dynamics_run_is_byte_identical_at_1_2_4_workers() {
     assert_eq!(renders[0], renders[2], "report differs at 4 workers");
 }
 
+/// A full-grammar dynamics spec: churn, a workload shift, a publish,
+/// an invalidation, and a link failure cycle, all on the parallel
+/// packet engine.
+fn churn_dynamics_spec() -> ScenarioSpec {
+    ScenarioSpec::from_json(
+        r#"{
+          "name": "parallel-churn-determinism",
+          "topology": {"kind": "k_ary", "arity": 3, "depth": 3},
+          "workload": {
+            "rates": {"kind": "leaf_only", "rate": 6.0},
+            "doc_mix": {"kind": "shared_zipf", "docs": 6, "theta": 1.0}
+          },
+          "engine": {"kind": "packet_sim_par", "workers": 4},
+          "termination": {"kind": "rounds", "max": 10},
+          "seed": 777,
+          "events": {
+            "recovery_threshold": 5.0,
+            "schedule": [
+              {"round": 1, "kind": "node_join", "parent": 4, "rate": 24.0},
+              {"round": 2, "kind": "link_fail", "node": 2},
+              {"round": 3, "kind": "workload_shift",
+               "doc_mix": {"kind": "shared_zipf", "docs": 9, "theta": 0.4}},
+              {"round": 4, "kind": "doc_publish", "doc": 50, "origin": 7, "rate": 18.0},
+              {"round": 5, "kind": "link_heal", "node": 2},
+              {"round": 6, "kind": "node_leave", "node": 40},
+              {"round": 7, "kind": "doc_update", "doc": 50}
+            ]
+          }
+        }"#,
+    )
+    .expect("churn dynamics spec parses")
+}
+
+#[test]
+fn churn_dynamics_accepted_and_byte_identical_to_sequential_at_1_2_4_workers() {
+    // The tentpole claim at spec level: the packet engines honor the
+    // full seven-kind event grammar, and the parallel engine replays
+    // the sequential engine byte for byte while the world churns.
+    let base = churn_dynamics_spec();
+    let seq_report = Runner::new()
+        .run(&sequential_twin(&base))
+        .expect("sequential churn spec runs");
+    let seq_row = &seq_report.rows[0];
+    assert_eq!(seq_row.events.len(), 7, "all seven events fire");
+    assert!(
+        seq_row.events.iter().all(|m| m.accepted()),
+        "packet_sim accepts the full event grammar: {:?}",
+        seq_row.events
+    );
+    let seq_canon = canonical(&seq_row.outcome);
+    // The sequential report header names a different engine; compare
+    // everything below it.
+    let seq_render: String = seq_report.report.lines().skip(1).collect();
+    for workers in [1, 2, 4] {
+        let spec = with_workers(&base, workers);
+        let report = Runner::new().run(&spec).expect("churn spec runs");
+        let row = &report.rows[0];
+        assert!(
+            row.events.iter().all(|m| m.accepted()),
+            "packet_sim_par accepts the full event grammar: {:?}",
+            row.events
+        );
+        assert_eq!(
+            canonical(&row.outcome),
+            seq_canon,
+            "churn dynamics diverge from sequential at workers={workers}"
+        );
+        let render: String = report.report.lines().skip(1).collect();
+        assert_eq!(
+            render, seq_render,
+            "rendered report diverges at workers={workers}"
+        );
+    }
+}
+
 #[test]
 fn workers_sweep_runs_and_rows_agree() {
     // Sweeping the workers knob is the spec-level way to state the

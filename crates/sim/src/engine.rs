@@ -154,6 +154,33 @@ impl<E> EventQueue<E> {
         self.heap.push(Reverse(Entry { at, seq, event }));
     }
 
+    /// Rewrites the pending events in place: every event is passed to
+    /// `f`, which returns the (possibly modified) event to keep or
+    /// `None` to drop it. Kept events retain their original
+    /// `(time, seq)` keys, so the relative firing order of survivors is
+    /// untouched; the sequence counter is not rewound, so later
+    /// schedules still tie-break after everything that ever existed.
+    ///
+    /// This is the heap surgery behind barrier-time world mutations: a
+    /// churn or workload-shift rebuild drops stale arrival events (their
+    /// streams are re-resolved) and renumbers node references in
+    /// surviving in-flight messages.
+    pub fn filter_map_events(&mut self, mut f: impl FnMut(E) -> Option<E>) {
+        let entries = std::mem::take(&mut self.heap).into_vec();
+        self.heap = entries
+            .into_iter()
+            .filter_map(|Reverse(e)| {
+                f(e.event).map(|event| {
+                    Reverse(Entry {
+                        at: e.at,
+                        seq: e.seq,
+                        event,
+                    })
+                })
+            })
+            .collect();
+    }
+
     /// Coasts the clock forward to `t` without consuming an event: the
     /// simulation observed the interval `(now, t]` and nothing happened.
     /// Unlike [`EventQueue::advance_to`] this does not count a processed
@@ -287,6 +314,33 @@ mod tests {
         assert_eq!(seen, vec![1, 2, 3, 4]);
         assert_eq!(n, 4);
         assert_eq!(q.len(), 1); // the t=10 event remains
+    }
+
+    #[test]
+    fn filter_map_keeps_time_seq_order_of_survivors() {
+        let mut q = EventQueue::new();
+        let t = SimTime::from_secs(1.0);
+        for i in 0..6 {
+            q.schedule(t, i);
+        }
+        q.schedule(SimTime::from_secs(0.5), 100);
+        // Drop odd events, rewrite the rest.
+        q.filter_map_events(|e| (e % 2 == 0).then_some(e * 10));
+        let order: Vec<i32> = std::iter::from_fn(|| q.pop().map(|(_, e)| e)).collect();
+        assert_eq!(order, vec![1000, 0, 20, 40]);
+    }
+
+    #[test]
+    fn filter_map_does_not_rewind_the_seq_counter() {
+        let mut q = EventQueue::new();
+        let t = SimTime::from_secs(1.0);
+        q.schedule(t, 'a');
+        q.schedule(t, 'b');
+        q.filter_map_events(|e| (e == 'b').then_some(e));
+        // A later schedule at the same time still fires after survivors.
+        q.schedule(t, 'c');
+        let order: Vec<char> = std::iter::from_fn(|| q.pop().map(|(_, e)| e)).collect();
+        assert_eq!(order, vec!['b', 'c']);
     }
 
     #[test]

@@ -140,6 +140,46 @@ impl TimerRing {
         );
     }
 
+    /// Grows the ring by one (disarmed) member, returning its id. Arm it
+    /// with [`TimerRing::insert`] — a joining node's first fire is set by
+    /// the driver at the barrier it joins at.
+    pub fn add_member(&mut self) -> usize {
+        self.next.push(SimTime::ZERO);
+        self.seq.push(0);
+        self.next.len() - 1
+    }
+
+    /// Removes `member` — armed or not — compacting member ids by
+    /// swap-remove: the highest id is renumbered into the vacated slot,
+    /// keeping its pending fire time, sequence number, and place in the
+    /// rotation. This mirrors exactly the id compaction dense per-node
+    /// tables apply when a node leaves the simulated world.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `member` is out of range.
+    pub fn swap_remove_member(&mut self, member: usize) {
+        assert!(member < self.next.len(), "member out of range");
+        let last = self.next.len() - 1;
+        if let Some(pos) = self.order.iter().position(|&m| m == member) {
+            self.order.remove(pos);
+        }
+        self.next.swap_remove(member);
+        self.seq.swap_remove(member);
+        if member != last {
+            for m in self.order.iter_mut() {
+                if *m == last {
+                    *m = member;
+                }
+            }
+        }
+    }
+
+    /// Total member count (armed or not).
+    pub fn members(&self) -> usize {
+        self.next.len()
+    }
+
     /// Number of armed members.
     pub fn len(&self) -> usize {
         self.order.len()
@@ -211,6 +251,59 @@ mod tests {
         ring.rearm(0, 5);
         assert_eq!(ring.len(), 1);
         assert_eq!(ring.peek().unwrap().0, SimTime::from_millis(350.0));
+    }
+
+    #[test]
+    fn members_join_mid_rotation() {
+        let mut ring = TimerRing::new(SimTime::from_secs(1.0), 2);
+        ring.insert(0, SimTime::from_secs(0.2), 0);
+        ring.insert(1, SimTime::from_secs(0.7), 1);
+        let (_, m) = ring.pop().unwrap();
+        ring.rearm(m, 2); // member 0 next fires at 1.2
+        let newcomer = ring.add_member();
+        assert_eq!(newcomer, 2);
+        assert_eq!(ring.members(), 3);
+        // First fire between the existing members' next fires.
+        ring.insert(newcomer, SimTime::from_secs(0.9), 3);
+        let fired: Vec<usize> = (4..8)
+            .map(|seq| {
+                let (_, m) = ring.pop().unwrap();
+                ring.rearm(m, seq);
+                m
+            })
+            .collect();
+        assert_eq!(fired, vec![1, 2, 0, 1]);
+    }
+
+    #[test]
+    fn swap_remove_member_renumbers_last() {
+        let mut ring = TimerRing::new(SimTime::from_secs(1.0), 3);
+        ring.insert(0, SimTime::from_secs(0.1), 0);
+        ring.insert(1, SimTime::from_secs(0.5), 1);
+        ring.insert(2, SimTime::from_secs(0.9), 2);
+        // Member 1 leaves; member 2 takes id 1, keeping its 0.9 fire.
+        ring.swap_remove_member(1);
+        assert_eq!(ring.members(), 2);
+        let (t, m) = ring.pop().unwrap();
+        assert_eq!((t.as_secs(), m), (0.1, 0));
+        ring.rearm(0, 3);
+        let (t, m) = ring.pop().unwrap();
+        assert_eq!((t.as_secs(), m), (0.9, 1));
+        ring.rearm(1, 4);
+        // Rotation continues with the renumbered member.
+        let (t, m) = ring.pop().unwrap();
+        assert_eq!((t.as_secs(), m), (1.1, 0));
+    }
+
+    #[test]
+    fn swap_remove_last_member_truncates() {
+        let mut ring = TimerRing::new(SimTime::from_secs(1.0), 2);
+        ring.insert(0, SimTime::from_secs(0.1), 0);
+        ring.insert(1, SimTime::from_secs(0.5), 1);
+        ring.swap_remove_member(1);
+        assert_eq!(ring.members(), 1);
+        assert_eq!(ring.len(), 1);
+        assert_eq!(ring.pop().unwrap().1, 0);
     }
 
     #[test]

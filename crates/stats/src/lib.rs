@@ -29,10 +29,12 @@
 
 pub mod convergence;
 pub mod descriptive;
+pub mod exact;
 pub mod expfit;
 pub mod linreg;
 
 pub use convergence::ConvergenceTrace;
 pub use descriptive::{quantile, Ewma, Summary};
+pub use exact::ExactSum;
 pub use expfit::{fit_exponential, ExponentialFit, FitError};
 pub use linreg::{linear_fit, LinearFit};

@@ -104,4 +104,62 @@ proptest! {
         let hit = trace.iterations_to(min).unwrap();
         prop_assert!(ds[hit] <= min + 1e-12);
     }
+
+    /// ExactSum is order- and grouping-independent: any permutation and
+    /// any partition into merged partial sums yields the same bits. This
+    /// is the property that lets the parallel packet engine fold its
+    /// convergence-trace sample inside the workers and still replay the
+    /// sequential driver's sample bit for bit.
+    #[test]
+    fn exact_sum_is_order_and_grouping_independent(
+        xs in proptest::collection::vec(0.0f64..1e12, 1..40),
+        cut in 0usize..40,
+        swap in 0usize..40,
+    ) {
+        let mut forward = ww_stats::ExactSum::new();
+        for &x in &xs {
+            forward.add(x);
+        }
+        let reference = forward.value();
+
+        // A permutation: swap two positions, then sum backwards.
+        let mut perm = xs.clone();
+        let (i, j) = (swap % xs.len(), (swap / 2) % xs.len());
+        perm.swap(i, j);
+        let mut backwards = ww_stats::ExactSum::new();
+        for &x in perm.iter().rev() {
+            backwards.add(x);
+        }
+        prop_assert_eq!(reference.to_bits(), backwards.value().to_bits());
+
+        // A grouping: two partials merged.
+        let cut = cut % (xs.len() + 1);
+        let mut a = ww_stats::ExactSum::new();
+        let mut b = ww_stats::ExactSum::new();
+        for &x in &xs[..cut] {
+            a.add(x);
+        }
+        for &x in &xs[cut..] {
+            b.add(x);
+        }
+        a.merge(&b);
+        prop_assert_eq!(reference.to_bits(), a.value().to_bits());
+    }
+
+    /// ExactSum stays within half an ulp of a compensated reference: it
+    /// is the correctly rounded exact sum, so it can never drift farther
+    /// from the true total than any other rounding.
+    #[test]
+    fn exact_sum_close_to_naive(xs in proptest::collection::vec(0.0f64..1e6, 1..64)) {
+        let mut acc = ww_stats::ExactSum::new();
+        let mut naive = 0.0f64;
+        for &x in &xs {
+            acc.add(x);
+            naive += x;
+        }
+        let exact = acc.value();
+        // The naive running sum has relative error <= n * eps.
+        let bound = naive.abs() * (xs.len() as f64) * f64::EPSILON + f64::MIN_POSITIVE;
+        prop_assert!((exact - naive).abs() <= bound, "exact {exact} vs naive {naive}");
+    }
 }

@@ -123,6 +123,38 @@ impl DocMix {
             .map(|i| self.rate_of(NodeId::new(i), doc))
             .sum()
     }
+
+    /// Adds `delta` req/s to the demand of `node` for `doc` (a publish,
+    /// or demand re-homing from a departed child).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node` is out of range or the resulting rate would be
+    /// negative/non-finite.
+    pub fn add_rate(&mut self, node: NodeId, doc: DocId, delta: f64) {
+        let rate = self.rate_of(node, doc) + delta;
+        self.set(node, doc, rate);
+    }
+
+    /// Grows the mix by one node with no demand (a cache server joining
+    /// the tree), returning its id — the next index, exactly as
+    /// [`ww_model::Tree::add_leaf`] numbers a newcomer.
+    pub fn add_node(&mut self) -> NodeId {
+        self.demands.push(Vec::new());
+        NodeId::new(self.demands.len() - 1)
+    }
+
+    /// Removes `node`'s demand row by swap-remove — the highest-numbered
+    /// node's row moves into the vacated slot, mirroring the id
+    /// compaction of [`ww_model::Tree::remove_leaf`] — and returns the
+    /// departed row so the caller can re-home it.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node` is out of range.
+    pub fn swap_remove_node(&mut self, node: NodeId) -> Vec<(DocId, f64)> {
+        self.demands.swap_remove(node.index())
+    }
 }
 
 /// Builds a mix in which every node splits its spontaneous rate across
@@ -279,6 +311,28 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(12);
         let m = regional_zipf_mix(&mut rng, &t, &e, 2, 10, 1.0);
         assert_eq!(m.demands_of(NodeId::new(3)).len(), 2);
+    }
+
+    #[test]
+    fn churn_mutators_mirror_tree_compaction() {
+        let mut m = DocMix::new(3);
+        m.set(NodeId::new(1), DocId::new(4), 5.0);
+        m.set(NodeId::new(2), DocId::new(4), 7.0);
+        m.set(NodeId::new(2), DocId::new(9), 1.0);
+        assert_eq!(m.add_node(), NodeId::new(3));
+        m.add_rate(NodeId::new(3), DocId::new(4), 2.0);
+        assert_eq!(m.rate_of(NodeId::new(3), DocId::new(4)), 2.0);
+        // Node 1 departs: node 3's row moves into slot 1; the departed
+        // row re-homes wherever the caller chooses.
+        let departed = m.swap_remove_node(NodeId::new(1));
+        assert_eq!(departed, vec![(DocId::new(4), 5.0)]);
+        assert_eq!(m.len(), 3);
+        assert_eq!(m.rate_of(NodeId::new(1), DocId::new(4)), 2.0);
+        for &(d, r) in &departed {
+            m.add_rate(NodeId::new(0), d, r);
+        }
+        assert_eq!(m.rate_of(NodeId::new(0), DocId::new(4)), 5.0);
+        assert!((m.spontaneous().total() - 15.0).abs() < 1e-12);
     }
 
     #[test]
