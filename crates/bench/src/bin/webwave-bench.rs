@@ -16,10 +16,10 @@ use std::fmt::Write as _;
 use ww_bench::{scaling_mix, scaling_scenario, time_min};
 use ww_core::docsim::{DocSim, DocSimConfig};
 use ww_core::fold::webfold;
-use ww_core::packetsim::{PacketSim, PacketSimConfig};
+use ww_core::packetsim::{HeapPacketSim, PacketSim, PacketSimConfig};
 use ww_core::reference::{NaiveDocSim, NaiveRateWave};
 use ww_core::wave::{RateWave, WaveConfig};
-use ww_pdes::ParPacketSim;
+use ww_pdes::{HeapParPacketSim, ParPacketSim, PdesTuning, Transport};
 use ww_scenario::{
     drive, DocMixSpec, EngineSpec, NullObserver, RatesSpec, Runner, ScenarioSpec, Termination,
     TopologySpec, WorkloadSpec,
@@ -289,20 +289,50 @@ fn bench_runner_overhead_doc(nodes: usize, docs: usize, rounds: usize) -> Runner
     }
 }
 
-/// One row of the parallel packet-engine scaling study: the sequential
-/// `PacketSim` against `ParPacketSim` at several worker counts, on a
-/// large two-level CDN topology, with the bit-identity of the runs
-/// re-verified as part of the measurement.
+/// One worker count of the parallel packet-engine scaling study,
+/// measured on both hot paths: the reworked default (radix queue + SPSC
+/// ring transport + window batching) and the legacy stack it replaced
+/// (`BinaryHeap` queue + per-event MPMC channel sends).
+struct ScalingRow {
+    workers: usize,
+    new_ms: f64,
+    new_speedup: f64,
+    new_events_per_sec: f64,
+    old_ms: f64,
+    old_events_per_sec: f64,
+}
+
+/// The parallel packet-engine scaling study: the sequential `PacketSim`
+/// against `ParPacketSim` at several worker counts, on a large
+/// two-level CDN topology, with the bit-identity of the runs (including
+/// processed-event counts) re-verified as part of the measurement.
 struct ParallelScaling {
     nodes: usize,
     docs: usize,
     epochs: usize,
     available_cores: usize,
     seq_ms: f64,
-    /// `(workers, wall ms, speedup over sequential)`.
-    rows: Vec<(usize, f64, f64)>,
+    processed_events: u64,
+    seq_events_per_sec: f64,
+    rows: Vec<ScalingRow>,
+    /// Conservative-sync overhead of a single-shard parallel run over
+    /// the sequential engine, in percent — new stack vs legacy stack.
+    sync_overhead_w1_new_pct: f64,
+    sync_overhead_w1_old_pct: f64,
     traces_identical: bool,
 }
+
+/// The reworked hot path (explicit, so environment overrides cannot
+/// skew the recorded comparison).
+const NEW_TUNING: PdesTuning = PdesTuning {
+    transport: Transport::SpscRing,
+    batching: true,
+};
+/// The legacy hot path: one mutex-channel send per event.
+const OLD_TUNING: PdesTuning = PdesTuning {
+    transport: Transport::MpmcChannel,
+    batching: false,
+};
 
 fn bench_parallel_scaling(
     regions: usize,
@@ -317,10 +347,10 @@ fn bench_parallel_scaling(
     let horizon = epochs as f64;
 
     // Equivalence probe: the parallel engine must replay the sequential
-    // run bit for bit — trace, loads, ledger, counters — before its
-    // timings mean anything.
+    // run bit for bit — trace, loads, ledger, counters, event count —
+    // before its timings mean anything.
     let seq_report = PacketSim::new(&tree, &mix, config).run(horizon);
-    let par_report = ParPacketSim::new(&tree, &mix, config, 4).run(horizon);
+    let par_report = ParPacketSim::with_tuning(&tree, &mix, config, 4, NEW_TUNING).run(horizon);
     let traces_identical = seq_report.trace.len() == par_report.trace.len()
         && seq_report
             .trace
@@ -335,12 +365,14 @@ fn bench_parallel_scaling(
             .zip(par_report.served_rates.as_slice())
             .all(|(a, b)| a.to_bits() == b.to_bits())
         && seq_report.served_requests == par_report.served_requests
+        && seq_report.processed_events == par_report.processed_events
         && seq_report.copy_pushes == par_report.copy_pushes
         && seq_report.tunnel_fetches == par_report.tunnel_fetches
         && seq_report.mean_hops.to_bits() == par_report.mean_hops.to_bits()
         && seq_report.ledger.total_messages() == par_report.ledger.total_messages()
         && seq_report.ledger.total_bytes() == par_report.ledger.total_bytes()
         && seq_report.ledger.link_transmissions() == par_report.ledger.link_transmissions();
+    let processed_events = seq_report.processed_events;
 
     let seq = time_min(
         3,
@@ -349,28 +381,55 @@ fn bench_parallel_scaling(
             s.run(horizon);
         },
     );
+    let events_per_sec = |wall: std::time::Duration| processed_events as f64 / wall.as_secs_f64();
     let mut rows = Vec::new();
     for workers in [1, 2, 4, 8] {
-        let par = time_min(
+        let new = time_min(
             3,
-            || ParPacketSim::new(&tree, &mix, config, workers),
+            || ParPacketSim::with_tuning(&tree, &mix, config, workers, NEW_TUNING),
             |s| {
                 s.run(horizon);
             },
         );
-        rows.push((
+        let old = time_min(
+            3,
+            || HeapParPacketSim::with_tuning(&tree, &mix, config, workers, OLD_TUNING),
+            |s| {
+                s.run(horizon);
+            },
+        );
+        rows.push(ScalingRow {
             workers,
-            par.as_secs_f64() * 1e3,
-            seq.as_secs_f64() / par.as_secs_f64(),
-        ));
+            new_ms: new.as_secs_f64() * 1e3,
+            new_speedup: seq.as_secs_f64() / new.as_secs_f64(),
+            new_events_per_sec: events_per_sec(new),
+            old_ms: old.as_secs_f64() * 1e3,
+            old_events_per_sec: events_per_sec(old),
+        });
     }
+    // Single-shard sync overhead, each stack against its own sequential
+    // twin so only the parallel machinery is in the difference.
+    let seq_heap = time_min(
+        3,
+        || HeapPacketSim::new(&tree, &mix, config),
+        |s| {
+            s.run(horizon);
+        },
+    );
+    let w1 = &rows[0];
+    let sync_overhead_w1_new_pct = 100.0 * (w1.new_ms / (seq.as_secs_f64() * 1e3) - 1.0);
+    let sync_overhead_w1_old_pct = 100.0 * (w1.old_ms / (seq_heap.as_secs_f64() * 1e3) - 1.0);
     ParallelScaling {
         nodes: tree.len(),
         docs,
         epochs,
         available_cores: std::thread::available_parallelism().map_or(1, |n| n.get()),
         seq_ms: seq.as_secs_f64() * 1e3,
+        processed_events,
+        seq_events_per_sec: events_per_sec(seq),
         rows,
+        sync_overhead_w1_new_pct,
+        sync_overhead_w1_old_pct,
         traces_identical,
     }
 }
@@ -390,6 +449,10 @@ struct DynamicsAtScale {
     par_barrier_ms: f64,
     seq_epoch_ms: f64,
     par_epoch_ms: f64,
+    /// Events processed during the timed post-churn epoch.
+    epoch_events: u64,
+    seq_epoch_events_per_sec: f64,
+    par_epoch_events_per_sec: f64,
     traces_identical: bool,
 }
 
@@ -412,7 +475,7 @@ fn bench_dynamics_at_scale(
     // Sequential: one epoch, then the churn storm at the barrier, then
     // a second epoch.
     let mut seq = PacketSim::new(&tree, &mix, config);
-    seq.run(1.0);
+    let seq_pre_events = seq.run(1.0).processed_events;
     let t = std::time::Instant::now();
     seq.add_leaf(NodeId::new(1), 50.0).expect("join applies");
     let joined = NodeId::new(seq.tree().len() - 1);
@@ -425,8 +488,8 @@ fn bench_dynamics_at_scale(
     let seq_epoch = t.elapsed();
 
     // Parallel: the identical script.
-    let mut par = ParPacketSim::new(&tree, &mix, config, workers);
-    par.run(1.0);
+    let mut par = ParPacketSim::with_tuning(&tree, &mix, config, workers, NEW_TUNING);
+    let par_pre_events = par.run(1.0).processed_events;
     let t = std::time::Instant::now();
     par.add_leaf(NodeId::new(1), 50.0).expect("join applies");
     let joined = NodeId::new(par.tree().len() - 1);
@@ -446,6 +509,7 @@ fn bench_dynamics_at_scale(
             .zip(par_report.trace.distances())
             .all(|(a, b)| a.to_bits() == b.to_bits())
         && seq_report.served_requests == par_report.served_requests
+        && seq_report.processed_events == par_report.processed_events
         && seq_report
             .served_rates
             .as_slice()
@@ -453,6 +517,12 @@ fn bench_dynamics_at_scale(
             .zip(par_report.served_rates.as_slice())
             .all(|(a, b)| a.to_bits() == b.to_bits());
 
+    let epoch_events = seq_report.processed_events - seq_pre_events;
+    debug_assert_eq!(
+        par_report.processed_events - par_pre_events,
+        epoch_events,
+        "per-epoch event counts agree"
+    );
     DynamicsAtScale {
         nodes: tree.len(),
         docs,
@@ -462,6 +532,9 @@ fn bench_dynamics_at_scale(
         par_barrier_ms: par_barrier.as_secs_f64() * 1e3,
         seq_epoch_ms: seq_epoch.as_secs_f64() * 1e3,
         par_epoch_ms: par_epoch.as_secs_f64() * 1e3,
+        epoch_events,
+        seq_epoch_events_per_sec: epoch_events as f64 / seq_epoch.as_secs_f64(),
+        par_epoch_events_per_sec: epoch_events as f64 / par_epoch.as_secs_f64(),
         traces_identical,
     }
 }
@@ -519,17 +592,32 @@ fn main() {
     eprintln!("webwave-bench: parallel packet engine scaling (PacketSim vs ww-pdes)");
     let parallel = bench_parallel_scaling(180, 180, 8, 3);
     eprintln!(
-        "  two_level nodes={} docs={} epochs={} cores={}: sequential {:.0} ms, traces_identical={}",
+        "  two_level nodes={} docs={} epochs={} cores={}: sequential {:.0} ms ({:.2} Mev/s over {} events), traces_identical={}",
         parallel.nodes,
         parallel.docs,
         parallel.epochs,
         parallel.available_cores,
         parallel.seq_ms,
+        parallel.seq_events_per_sec / 1e6,
+        parallel.processed_events,
         parallel.traces_identical
     );
-    for &(workers, ms, speedup) in &parallel.rows {
-        eprintln!("    workers={workers}: {ms:.0} ms, speedup {speedup:.2}x");
+    for r in &parallel.rows {
+        eprintln!(
+            "    workers={}: new (spsc+batch) {:.0} ms / {:.2} Mev/s, old (mpmc per-event) {:.0} ms / {:.2} Mev/s, new speedup {:.2}x, old/new {:.2}x",
+            r.workers,
+            r.new_ms,
+            r.new_events_per_sec / 1e6,
+            r.old_ms,
+            r.old_events_per_sec / 1e6,
+            r.new_speedup,
+            r.old_ms / r.new_ms
+        );
     }
+    eprintln!(
+        "    sync overhead at workers=1: new {:+.2}%, old {:+.2}%",
+        parallel.sync_overhead_w1_new_pct, parallel.sync_overhead_w1_old_pct
+    );
     if parallel.available_cores < 2 {
         eprintln!(
             "  note: {} core available — conservative-sync overhead only; run on a multi-core host for real scaling numbers",
@@ -540,7 +628,7 @@ fn main() {
     eprintln!("webwave-bench: dynamics at scale (barrier-pipeline churn on ~100k nodes)");
     let dynamics = bench_dynamics_at_scale(316, 316, 4, 4);
     eprintln!(
-        "  two_level nodes={} docs={} workers={} cores={}: barrier ops seq {:.0} ms / par {:.0} ms, epoch advance seq {:.0} ms / par {:.0} ms, traces_identical={}",
+        "  two_level nodes={} docs={} workers={} cores={}: barrier ops seq {:.0} ms / par {:.0} ms, epoch advance seq {:.0} ms / par {:.0} ms ({} events, {:.2} / {:.2} Mev/s), traces_identical={}",
         dynamics.nodes,
         dynamics.docs,
         dynamics.workers,
@@ -549,6 +637,9 @@ fn main() {
         dynamics.par_barrier_ms,
         dynamics.seq_epoch_ms,
         dynamics.par_epoch_ms,
+        dynamics.epoch_events,
+        dynamics.seq_epoch_events_per_sec / 1e6,
+        dynamics.par_epoch_events_per_sec / 1e6,
         dynamics.traces_identical
     );
     if dynamics.available_cores < 2 {
@@ -617,19 +708,36 @@ fn main() {
     json.push_str("  ],\n  \"parallel_scaling\": {\n");
     let _ = writeln!(
         json,
-        "    \"engine\": \"packet_sim_par\", \"nodes\": {}, \"docs\": {}, \"epochs\": {}, \"available_cores\": {}, \"seq_ms\": {:.1}, \"traces_identical\": {},",
+        "    \"engine\": \"packet_sim_par\", \"nodes\": {}, \"docs\": {}, \"epochs\": {}, \"available_cores\": {}, \"seq_ms\": {:.1}, \"processed_events\": {}, \"seq_events_per_sec\": {:.0}, \"traces_identical\": {},",
         parallel.nodes,
         parallel.docs,
         parallel.epochs,
         parallel.available_cores,
         parallel.seq_ms,
+        parallel.processed_events,
+        parallel.seq_events_per_sec,
         parallel.traces_identical
     );
+    let _ = writeln!(
+        json,
+        "    \"new_hot_path\": \"radix queue + spsc ring + window batching\", \"old_hot_path\": \"binary heap + per-event mpmc channel\",",
+    );
+    let _ = writeln!(
+        json,
+        "    \"sync_overhead_w1_new_pct\": {:.2}, \"sync_overhead_w1_old_pct\": {:.2},",
+        parallel.sync_overhead_w1_new_pct, parallel.sync_overhead_w1_old_pct
+    );
     json.push_str("    \"workers\": [\n");
-    for (i, &(workers, ms, speedup)) in parallel.rows.iter().enumerate() {
+    for (i, r) in parallel.rows.iter().enumerate() {
         let _ = writeln!(
             json,
-            "      {{\"workers\": {workers}, \"ms\": {ms:.1}, \"speedup\": {speedup:.3}}}{}",
+            "      {{\"workers\": {}, \"new_ms\": {:.1}, \"new_speedup\": {:.3}, \"new_events_per_sec\": {:.0}, \"old_ms\": {:.1}, \"old_events_per_sec\": {:.0}}}{}",
+            r.workers,
+            r.new_ms,
+            r.new_speedup,
+            r.new_events_per_sec,
+            r.old_ms,
+            r.old_events_per_sec,
             if i + 1 < parallel.rows.len() { "," } else { "" }
         );
     }
@@ -641,11 +749,14 @@ fn main() {
     );
     let _ = writeln!(
         json,
-        "    \"seq_barrier_ms\": {:.1}, \"par_barrier_ms\": {:.1}, \"seq_epoch_ms\": {:.1}, \"par_epoch_ms\": {:.1}, \"traces_identical\": {}",
+        "    \"seq_barrier_ms\": {:.1}, \"par_barrier_ms\": {:.1}, \"seq_epoch_ms\": {:.1}, \"par_epoch_ms\": {:.1}, \"epoch_events\": {}, \"seq_epoch_events_per_sec\": {:.0}, \"par_epoch_events_per_sec\": {:.0}, \"traces_identical\": {}",
         dynamics.seq_barrier_ms,
         dynamics.par_barrier_ms,
         dynamics.seq_epoch_ms,
         dynamics.par_epoch_ms,
+        dynamics.epoch_events,
+        dynamics.seq_epoch_events_per_sec,
+        dynamics.par_epoch_events_per_sec,
         dynamics.traces_identical
     );
     json.push_str("  },\n  \"runner_overhead\": [\n");

@@ -36,7 +36,7 @@ use ww_cache::{plan_push_dense, plan_shed_dense, DenseFlowTable, DenseRateSlice}
 use ww_diffusion::safe_alpha;
 use ww_model::{DocId, DocSet, DocTable, LeafRemoval, ModelError, NodeId, RateVector, Tree};
 use ww_net::{DocRequest, DocResponse, RequestId, TrafficClass, TrafficLedger};
-use ww_sim::{exp_delay, EventQueue, SimRng, SimTime, TimerRing};
+use ww_sim::{exp_delay, SimQueue, SimRng, SimTime, TimerRing};
 use ww_stats::ExactSum;
 use ww_workload::DocMix;
 
@@ -1076,12 +1076,14 @@ pub enum DriverSource {
     Diffusion,
 }
 
-/// The earliest pending `(time, seq, source)` across a driver's heap and
-/// its two timer rings — the same total order one combined heap would
-/// produce. Both the sequential and the sharded driver merge through
-/// this one function, so their tie-breaking can never diverge.
-pub fn next_source(
-    queue: &EventQueue<PacketEvent>,
+/// The earliest pending `(time, seq, source)` across a driver's event
+/// queue and its two timer rings — the same total order one combined
+/// heap would produce. Both the sequential and the sharded driver merge
+/// through this one function (generic over the [`SimQueue`] backend, so
+/// the `BinaryHeap` and radix queues share it), so their tie-breaking
+/// can never diverge.
+pub fn next_source<Q: SimQueue<PacketEvent>>(
+    queue: &Q,
     gossip_ring: &TimerRing,
     diffusion_ring: &TimerRing,
 ) -> Option<(SimTime, u64, DriverSource)> {

@@ -44,7 +44,7 @@ use crate::packet::{
 };
 use ww_model::{DocId, LeafRemoval, ModelError, NodeId, RateVector, Tree};
 use ww_net::{TrafficClass, TrafficLedger};
-use ww_sim::{EventQueue, SimTime, TimerRing};
+use ww_sim::{EventQueue, RadixQueue, SimQueue, SimTime, TimerRing};
 use ww_stats::ConvergenceTrace;
 use ww_workload::DocMix;
 
@@ -71,9 +71,22 @@ pub struct PacketSimReport {
     pub tunnel_fetches: u64,
     /// Total requests served.
     pub served_requests: u64,
+    /// Total simulation events processed (arrivals, packets, timer
+    /// fires). The parallel driver reports the same count — events are
+    /// partitioned across shards, never duplicated — which the golden
+    /// tests pin; dividing by wall-clock time gives the engines'
+    /// events/sec throughput metric.
+    pub processed_events: u64,
 }
 
-/// The sequential packet-level simulator.
+/// The sequential packet-level simulator, generic over its pending-event
+/// structure `Q`.
+///
+/// Use the [`PacketSim`] alias (radix-bucketed queue, the fast default)
+/// or [`HeapPacketSim`] (`BinaryHeap` reference backend). The two
+/// backends deliver events in exactly the same `(time, seq)` order —
+/// `ww-sim`'s parity property tests pin that — so every reported number
+/// is bit-identical between them.
 ///
 /// # Example
 ///
@@ -92,9 +105,9 @@ pub struct PacketSimReport {
 /// assert!(report.final_distance < report.trace.initial().unwrap());
 /// ```
 #[derive(Debug)]
-pub struct PacketSim {
+pub struct GenericPacketSim<Q> {
     world: PacketWorld,
-    queue: EventQueue<PacketEvent>,
+    queue: Q,
     gossip_ring: TimerRing,
     diffusion_ring: TimerRing,
     nodes: Vec<NodeState>,
@@ -111,7 +124,17 @@ pub struct PacketSim {
     epochs_sampled: u64,
 }
 
-impl PacketSim {
+/// The standard sequential packet simulator: event storage is the
+/// radix-bucketed [`RadixQueue`], O(1) amortized on the simulation's
+/// near-monotone schedule.
+pub type PacketSim = GenericPacketSim<RadixQueue<PacketEvent>>;
+
+/// The reference backend: the comparison-based `BinaryHeap`
+/// [`EventQueue`]. Bit-identical to [`PacketSim`] (kept for the
+/// old-vs-new hot-path benchmarks and as the parity anchor).
+pub type HeapPacketSim = GenericPacketSim<EventQueue<PacketEvent>>;
+
+impl<Q: SimQueue<PacketEvent> + Default> GenericPacketSim<Q> {
     /// Builds a simulator for `tree` under the per-node document demand
     /// `mix`.
     ///
@@ -127,7 +150,7 @@ impl PacketSim {
             .map(|u| packet::init_state(&world, u))
             .collect();
 
-        let mut queue = EventQueue::new();
+        let mut queue = Q::default();
         let mut gossip_ring = TimerRing::new(SimTime::from_secs(config.gossip_period), n);
         let mut diffusion_ring = TimerRing::new(SimTime::from_secs(config.diffusion_period), n);
 
@@ -147,7 +170,7 @@ impl PacketSim {
             diffusion_ring.insert(i, world.diffusion_phase(i), diffusion_seq);
         }
 
-        PacketSim {
+        GenericPacketSim {
             world,
             queue,
             gossip_ring,
@@ -282,6 +305,7 @@ impl PacketSim {
             copy_pushes: self.counters.copy_pushes,
             tunnel_fetches: self.counters.tunnel_fetches,
             served_requests: self.counters.served_requests,
+            processed_events: self.queue.processed(),
         }
     }
 

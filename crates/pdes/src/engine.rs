@@ -8,13 +8,13 @@
 //!
 //! # Synchronization
 //!
-//! Shards exchange timestamped messages over channels, one directed
-//! channel per adjacent shard pair. Every cross-shard effect travels a
-//! cut tree edge and therefore arrives at least one
+//! Shards exchange timestamped messages over wires, one directed wire
+//! per adjacent shard pair. Every cross-shard effect travels a cut tree
+//! edge and therefore arrives at least one
 //! [`link_delay`](ww_core::packet::PacketSimConfig::link_delay) after it
 //! was sent — that latency is the **lookahead**. A shard may safely
 //! process local events up to the minimum *promise* across its inbound
-//! channels, where a promise `P` guarantees "no message with timestamp
+//! wires, where a promise `P` guarantees "no message with timestamp
 //! `< P` will ever arrive here". Promises ride on every event message
 //! (its own timestamp) and on explicit null messages
 //! (`min(next local event, inbound safe time) + lookahead`), the
@@ -26,21 +26,41 @@
 //! the oracle — the same `O(n)` barrier pass the sequential driver
 //! performs at the same instants.
 //!
+//! # Transport
+//!
+//! By default each directed wire is a bounded lock-free single-producer
+//! single-consumer ring ([`spsc`]): the hot path publishes a whole
+//! lookahead window's worth of events with a single atomic release
+//! store per window ([`PdesTuning::batching`]), and a shard never
+//! blocks on a full ring — excess messages park in an unbounded
+//! per-wire overflow queue, drained ahead of new traffic so per-wire
+//! FIFO is preserved. A shard consumes inbound events through a
+//! one-event *merge stage* per wire: only the head of each wire
+//! competes in the shard's `(time, key)` event merge, so cross-shard
+//! arrivals never churn the main queue at all. The legacy
+//! mutex-channel transport ([`Transport::MpmcChannel`], one send per
+//! event, no staging) is kept selectable for benchmarks.
+//!
 //! # Determinism
 //!
 //! Within a shard, events execute in `(time, seq)` order where local
 //! events draw `seq` from the shard's counter and inbound messages carry
 //! a key derived from `(sending shard, per-channel counter)` — a pure
-//! function of message content, never of wall-clock channel timing. The
-//! packet protocol's handlers are node-local and all its randomness is
-//! content-keyed per node, so the full run is a pure function of
-//! `(world, seed)`: independent of thread scheduling *and* of the worker
-//! count, and bit-identical to the sequential `PacketSim` (traces,
-//! served rates, ledger, counters). The golden tests in this crate and
-//! in `ww-scenario` pin exactly that.
+//! function of message content, never of wall-clock wire timing. Each
+//! wire carries monotone `(time, counter)` streams, so its staged head
+//! is always that wire's minimum and the merge over queue, timer rings
+//! and staged heads reproduces exactly the order a single queue holding
+//! every pending event would. The packet protocol's handlers are
+//! node-local and all its randomness is content-keyed per node, so the
+//! full run is a pure function of `(world, seed)`: independent of
+//! thread scheduling, of the worker count, of the transport *and* of
+//! batching, and bit-identical to the sequential `PacketSim` (traces,
+//! served rates, ledger, counters, processed-event counts). The golden
+//! tests in this crate and in `ww-scenario` pin exactly that.
 
 use crate::partition::{partition_subtrees, Partition};
 use crossbeam::channel::{unbounded, Receiver, Sender};
+use std::collections::VecDeque;
 use std::time::Duration;
 use ww_core::packet::{
     self, DriverSource, NodeCtx, NodeState, PacketCounters, PacketEvent, PacketSimConfig,
@@ -49,7 +69,7 @@ use ww_core::packet::{
 use ww_core::packetsim::PacketSimReport;
 use ww_model::{DocId, LeafRemoval, ModelError, NodeId, RateVector, Tree};
 use ww_net::{TrafficClass, TrafficLedger};
-use ww_sim::{EventQueue, SimTime, TimerRing};
+use ww_sim::{EventQueue, RadixQueue, SimQueue, SimTime, TimerRing};
 use ww_stats::{ConvergenceTrace, ExactSum};
 use ww_workload::DocMix;
 
@@ -59,8 +79,71 @@ use ww_workload::DocMix;
 const INBOUND: u64 = 1 << 63;
 /// Bits reserved for the per-channel message counter.
 const COUNTER_BITS: u32 = 40;
+/// Slots per SPSC ring. Windows larger than this spill to the wire's
+/// overflow queue — a capacity, not a correctness bound.
+const RING_CAPACITY: usize = 4096;
 
-/// Messages on a cross-shard channel.
+/// Wire transport between adjacent shards.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Transport {
+    /// Bounded lock-free SPSC ring per directed cut, with an unbounded
+    /// overflow queue behind it (the default hot path).
+    #[default]
+    SpscRing,
+    /// The legacy mutex-based channel, one send per event. Kept
+    /// selectable so benchmarks can measure the old hot path.
+    MpmcChannel,
+}
+
+/// Hot-path tuning knobs for [`ParPacketSim`]. Every combination is
+/// bit-identical in simulation output; the knobs trade only wall-clock.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PdesTuning {
+    /// Wire transport between shards.
+    pub transport: Transport,
+    /// `true` (default): outbound events are staged and published once
+    /// per lookahead window with a single release store. `false`: every
+    /// event is published individually (only meaningful on
+    /// [`Transport::SpscRing`]; the channel transport always sends
+    /// per event).
+    pub batching: bool,
+}
+
+impl Default for PdesTuning {
+    fn default() -> Self {
+        PdesTuning {
+            transport: Transport::SpscRing,
+            batching: true,
+        }
+    }
+}
+
+impl PdesTuning {
+    /// The default tuning with overrides from the environment:
+    /// `WW_PDES_TRANSPORT` (`spsc` | `mpmc`) and `WW_PDES_BATCH`
+    /// (`1`/`on`/`true` | `0`/`off`/`false`). Unknown values are
+    /// ignored.
+    pub fn from_env() -> Self {
+        let mut tuning = PdesTuning::default();
+        if let Ok(v) = std::env::var("WW_PDES_TRANSPORT") {
+            match v.as_str() {
+                "spsc" => tuning.transport = Transport::SpscRing,
+                "mpmc" => tuning.transport = Transport::MpmcChannel,
+                _ => {}
+            }
+        }
+        if let Ok(v) = std::env::var("WW_PDES_BATCH") {
+            match v.as_str() {
+                "1" | "on" | "true" => tuning.batching = true,
+                "0" | "off" | "false" => tuning.batching = false,
+                _ => {}
+            }
+        }
+        tuning
+    }
+}
+
+/// Messages on a cross-shard wire.
 #[derive(Debug)]
 enum Wire {
     /// A protocol event for a node of the receiving shard.
@@ -72,35 +155,145 @@ enum Wire {
     /// Null message: no event with timestamp `< until` will follow.
     Promise { until: SimTime },
     /// The sender finished the current epoch (implies a promise of
-    /// `epoch end + lookahead`).
+    /// `epoch end + lookahead`). Always the epoch's last message.
     EpochEnd,
+}
+
+/// Producer half of one directed wire.
+#[derive(Debug)]
+enum WireTx {
+    Mpmc(Sender<Wire>),
+    Ring(spsc::Producer<Wire>),
+}
+
+impl WireTx {
+    /// Stages a message (channel transport: sends it outright). Returns
+    /// the message back when the ring is full.
+    fn stage(&mut self, msg: Wire) -> Result<(), Wire> {
+        match self {
+            WireTx::Mpmc(tx) => {
+                tx.send(msg).expect("peer shard outlives the epoch");
+                Ok(())
+            }
+            WireTx::Ring(tx) => tx.stage(msg).map_err(|spsc::Full(m)| m),
+        }
+    }
+
+    /// Publishes everything staged (no-op on the channel transport).
+    fn commit(&mut self) {
+        if let WireTx::Ring(tx) = self {
+            tx.commit();
+        }
+    }
+}
+
+/// Consumer half of one directed wire.
+#[derive(Debug)]
+enum WireRx {
+    Mpmc(Receiver<Wire>),
+    Ring(spsc::Consumer<Wire>),
+}
+
+impl WireRx {
+    fn try_recv(&mut self) -> Option<Wire> {
+        match self {
+            WireRx::Mpmc(rx) => rx.try_recv().ok(),
+            WireRx::Ring(rx) => rx.pop(),
+        }
+    }
 }
 
 /// Sending side of one directed cut.
 #[derive(Debug)]
 struct OutLink {
     peer: usize,
-    tx: Sender<Wire>,
+    tx: WireTx,
+    /// Messages that found the ring full. Drained ahead of new traffic,
+    /// so per-wire FIFO — and with it the promise protocol — survives
+    /// back-pressure. Sends therefore never block, which is what makes
+    /// the bounded rings deadlock-free by construction.
+    overflow: VecDeque<Wire>,
     counter: u64,
     last_promise: SimTime,
+}
+
+impl OutLink {
+    /// Enqueues a message: straight into the ring while the overflow is
+    /// empty, behind it otherwise.
+    fn push(&mut self, msg: Wire) {
+        if self.overflow.is_empty() {
+            if let Err(back) = self.tx.stage(msg) {
+                // Publish what is staged so the consumer can make room,
+                // then park the message.
+                self.tx.commit();
+                self.overflow.push_back(back);
+            }
+        } else {
+            self.overflow.push_back(msg);
+        }
+    }
+
+    /// Moves parked messages into the ring while there is room. Returns
+    /// whether any moved.
+    fn try_flush(&mut self) -> bool {
+        let mut any = false;
+        while let Some(msg) = self.overflow.pop_front() {
+            match self.tx.stage(msg) {
+                Ok(()) => any = true,
+                Err(back) => {
+                    self.overflow.push_front(back);
+                    break;
+                }
+            }
+        }
+        any
+    }
+
+    /// Flushes the overflow and publishes everything staged.
+    fn publish(&mut self) -> bool {
+        let any = self.try_flush();
+        self.tx.commit();
+        any
+    }
+}
+
+/// An inbound event parked in a wire's merge stage.
+#[derive(Debug)]
+struct StagedEvent {
+    at: SimTime,
+    key: u64,
+    ev: PacketEvent,
 }
 
 /// Receiving side of one directed cut.
 #[derive(Debug)]
 struct InLink {
     peer: usize,
-    rx: Receiver<Wire>,
+    rx: WireRx,
+    /// The wire's head event, competing in the shard's event merge.
+    /// Per-wire `(time, counter)` streams are monotone, so this is
+    /// always the wire's minimum; while it is occupied the wire is not
+    /// read further.
+    staged: Option<StagedEvent>,
     promise: SimTime,
     epoch_ended: bool,
+}
+
+/// Which merge candidate won: a local driver source or the staged head
+/// of inbound wire `li`.
+#[derive(Debug, Clone, Copy)]
+enum Source {
+    Driver(DriverSource),
+    Staged(usize),
 }
 
 /// One subtree shard: its nodes' states, its event loop machinery, and
 /// its links to adjacent shards.
 #[derive(Debug)]
-struct Shard {
+struct Shard<Q> {
     id: usize,
     states: Vec<NodeState>,
-    queue: EventQueue<PacketEvent>,
+    queue: Q,
     gossip_ring: TimerRing,
     diffusion_ring: TimerRing,
     ledger: TrafficLedger,
@@ -111,6 +304,12 @@ struct Shard {
     in_links: Vec<InLink>,
     /// Shard id -> index into `out_links` (`usize::MAX`: not adjacent).
     out_for: Vec<usize>,
+    /// One release store per lookahead window instead of per event.
+    batching: bool,
+    /// The cut-edge latency, constant for the simulation's lifetime.
+    lookahead: SimTime,
+    /// The current epoch boundary (set at each epoch entry).
+    t_end: SimTime,
 }
 
 /// Read-only state shared by all workers during an epoch.
@@ -121,7 +320,7 @@ struct Shared<'a> {
     failed_up: &'a [bool],
 }
 
-impl Shard {
+impl<Q: SimQueue<PacketEvent>> Shard<Q> {
     /// The earliest pending `(time, seq, source)` across the heap and
     /// the two timer rings — the shared merge of
     /// [`packet::next_source`], so tie-breaking can never diverge from
@@ -130,14 +329,30 @@ impl Shard {
         packet::next_source(&self.queue, &self.gossip_ring, &self.diffusion_ring)
     }
 
-    /// Time of the earliest pending local event, if any.
+    /// The earliest pending `(time, key)` across the local sources *and*
+    /// every wire's staged head — the full merge the shard executes in.
+    fn next_any(&self) -> Option<(SimTime, u64, Source)> {
+        let mut best = self
+            .next_source()
+            .map(|(t, s, src)| (t, s, Source::Driver(src)));
+        for (li, link) in self.in_links.iter().enumerate() {
+            if let Some(s) = &link.staged {
+                if best.is_none_or(|(bt, bk, _)| (s.at, s.key) < (bt, bk)) {
+                    best = Some((s.at, s.key, Source::Staged(li)));
+                }
+            }
+        }
+        best
+    }
+
+    /// Time of the earliest pending event (staged heads included).
     fn next_time(&self) -> Option<SimTime> {
-        self.next_source().map(|(t, _, _)| t)
+        self.next_any().map(|(t, _, _)| t)
     }
 
     /// Routes the outbox: local targets into the shard queue (drawing
-    /// local sequence numbers in push order), remote targets onto their
-    /// channel with the next per-channel counter.
+    /// local sequence numbers in push order), remote targets staged onto
+    /// their wire with the next per-channel counter.
     fn route_outbox(&mut self, sh: &Shared<'_>) {
         let mut out = std::mem::take(&mut self.outbox);
         for (at, ev) in out.drain(..) {
@@ -150,13 +365,14 @@ impl Shard {
                 let link = &mut self.out_links[li];
                 link.counter += 1;
                 debug_assert!(link.counter < (1 << COUNTER_BITS));
-                link.tx
-                    .send(Wire::Event {
-                        at,
-                        counter: link.counter,
-                        ev,
-                    })
-                    .expect("peer shard outlives the epoch");
+                link.push(Wire::Event {
+                    at,
+                    counter: link.counter,
+                    ev,
+                });
+                if !self.batching {
+                    link.publish();
+                }
             }
         }
         self.outbox = out;
@@ -164,7 +380,7 @@ impl Shard {
 
     /// Runs `handler` for the node at local index `li` with a freshly
     /// assembled [`NodeCtx`], then routes the produced outbox — the one
-    /// event-execution shape shared by all three sources.
+    /// event-execution shape shared by all sources.
     fn with_node(
         &mut self,
         sh: &Shared<'_>,
@@ -183,21 +399,22 @@ impl Shard {
         self.route_outbox(sh);
     }
 
-    /// Processes every local event with `time <= bound`, in `(time, seq)`
-    /// order. Returns whether anything was processed.
+    /// Processes every pending event with `time <= bound`, in
+    /// `(time, key)` order across local sources and staged wire heads.
+    /// Returns whether anything was processed.
     fn process_until(&mut self, sh: &Shared<'_>, bound: SimTime) -> bool {
         let mut any = false;
-        while let Some((t, _, source)) = self.next_source() {
+        while let Some((t, _, source)) = self.next_any() {
             if t > bound {
                 break;
             }
             match source {
-                DriverSource::Heap => {
+                Source::Driver(DriverSource::Heap) => {
                     let (t, event) = self.queue.pop().expect("peeked event exists");
                     let li = sh.partition.local_index[event.node().index()] as usize;
                     self.with_node(sh, li, |ctx, state| packet::handle(ctx, state, t, event));
                 }
-                DriverSource::Gossip => {
+                Source::Driver(DriverSource::Gossip) => {
                     let (t, member) = self.gossip_ring.pop().expect("peeked fire exists");
                     self.queue.advance_to(t);
                     let node = sh.partition.members[self.id][member];
@@ -207,7 +424,7 @@ impl Shard {
                     let seq = self.queue.alloc_seq();
                     self.gossip_ring.rearm(member, seq);
                 }
-                DriverSource::Diffusion => {
+                Source::Driver(DriverSource::Diffusion) => {
                     let (t, member) = self.diffusion_ring.pop().expect("peeked fire exists");
                     self.queue.advance_to(t);
                     let node = sh.partition.members[self.id][member];
@@ -217,82 +434,163 @@ impl Shard {
                     let seq = self.queue.alloc_seq();
                     self.diffusion_ring.rearm(member, seq);
                 }
+                Source::Staged(li) => {
+                    let staged = self.in_links[li].staged.take().expect("staged head exists");
+                    // The clock advance counts the inbound event as
+                    // processed, mirroring the pop the sequential driver
+                    // performs for the same event.
+                    self.queue.advance_to(staged.at);
+                    let local = sh.partition.local_index[staged.ev.node().index()] as usize;
+                    self.with_node(sh, local, |ctx, state| {
+                        packet::handle(ctx, state, staged.at, staged.ev);
+                    });
+                    // Refill the merge stage so the wire's next event
+                    // competes in the very next merge round.
+                    self.poll_link(li);
+                }
             }
             any = true;
         }
         any
     }
 
-    /// Folds one received wire message into link `li`'s state: events are
-    /// scheduled under their content-derived key, promises ratchet.
-    fn absorb(&mut self, li: usize, msg: Wire, t_end: SimTime, lookahead: SimTime) {
+    /// Reads wire `li` until its merge stage holds an event (or the
+    /// wire is dry), ratcheting promises along the way. Returns whether
+    /// anything arrived.
+    fn poll_link(&mut self, li: usize) -> bool {
+        let t_end = self.t_end;
+        let lookahead = self.lookahead;
         let link = &mut self.in_links[li];
-        match msg {
-            Wire::Event { at, counter, ev } => {
-                let key = INBOUND | ((link.peer as u64) << COUNTER_BITS) | counter;
-                // Per-channel send times are monotone, so an event at `at`
-                // also promises nothing earlier follows.
-                if at > link.promise {
-                    link.promise = at;
+        let mut any = false;
+        while link.staged.is_none() {
+            match link.rx.try_recv() {
+                Some(Wire::Event { at, counter, ev }) => {
+                    let key = INBOUND | ((link.peer as u64) << COUNTER_BITS) | counter;
+                    // Per-channel send times are monotone, so an event
+                    // at `at` also promises nothing earlier follows.
+                    if at > link.promise {
+                        link.promise = at;
+                    }
+                    link.staged = Some(StagedEvent { at, key, ev });
+                    any = true;
                 }
-                self.queue.schedule_keyed(at, key, ev);
-            }
-            Wire::Promise { until } => {
-                if until > link.promise {
-                    link.promise = until;
+                Some(Wire::Promise { until }) => {
+                    if until > link.promise {
+                        link.promise = until;
+                    }
+                    any = true;
                 }
+                Some(Wire::EpochEnd) => {
+                    link.epoch_ended = true;
+                    let implied = t_end + lookahead;
+                    if implied > link.promise {
+                        link.promise = implied;
+                    }
+                    any = true;
+                }
+                None => break,
             }
-            Wire::EpochEnd => {
-                link.epoch_ended = true;
-                let implied = t_end + lookahead;
-                if implied > link.promise {
-                    link.promise = implied;
+        }
+        any
+    }
+
+    /// Polls every inbound wire up to its merge stage. Returns whether
+    /// anything arrived.
+    fn poll_inbound(&mut self) -> bool {
+        let mut any = false;
+        for li in 0..self.in_links.len() {
+            any |= self.poll_link(li);
+        }
+        any
+    }
+
+    /// Empties every merge stage and inbound wire into the shard queue
+    /// (events keep their content-derived keys). Used at the epoch-end
+    /// handshake, where every in-flight event targets a time past the
+    /// boundary: afterwards the queue holds the complete pending set,
+    /// so barrier-time event surgery sees everything.
+    fn spill_inbound(&mut self) -> bool {
+        let t_end = self.t_end;
+        let lookahead = self.lookahead;
+        let mut any = false;
+        for li in 0..self.in_links.len() {
+            if let Some(staged) = self.in_links[li].staged.take() {
+                self.queue.schedule_keyed(staged.at, staged.key, staged.ev);
+                any = true;
+            }
+            loop {
+                let link = &mut self.in_links[li];
+                let Some(msg) = link.rx.try_recv() else { break };
+                any = true;
+                match msg {
+                    Wire::Event { at, counter, ev } => {
+                        let key = INBOUND | ((link.peer as u64) << COUNTER_BITS) | counter;
+                        if at > link.promise {
+                            link.promise = at;
+                        }
+                        self.queue.schedule_keyed(at, key, ev);
+                    }
+                    Wire::Promise { until } => {
+                        if until > link.promise {
+                            link.promise = until;
+                        }
+                    }
+                    Wire::EpochEnd => {
+                        link.epoch_ended = true;
+                        let implied = t_end + lookahead;
+                        if implied > link.promise {
+                            link.promise = implied;
+                        }
+                    }
                 }
             }
         }
+        any
     }
 
-    /// Drains every inbound channel without blocking. Returns whether
-    /// anything arrived.
-    fn drain_inbound(&mut self, t_end: SimTime, lookahead: SimTime) -> bool {
+    /// Drains every outbound overflow into its ring as far as it goes
+    /// and publishes all staged messages — the once-per-window release
+    /// store of the batched hot path. Returns whether any parked
+    /// message moved.
+    fn flush_out(&mut self) -> bool {
         let mut any = false;
-        for li in 0..self.in_links.len() {
-            while let Ok(msg) = self.in_links[li].rx.try_recv() {
-                self.absorb(li, msg, t_end, lookahead);
-                any = true;
-            }
+        for link in &mut self.out_links {
+            any |= link.publish();
         }
         any
     }
 }
 
-/// On-panic releaser: if a worker dies mid-epoch, its neighbors would
-/// otherwise wait forever for promises and an `EpochEnd` that never
-/// come (the channel senders stay alive inside the engine, so no
-/// `Disconnected` fires). This guard's drop handler — running during
-/// unwind — sends a final promise plus `EpochEnd` on every outbound
-/// link, letting the surviving shards finish the epoch so the scope
-/// joins and the original panic propagates to the caller.
-struct PanicRelease {
-    txs: Vec<Sender<Wire>>,
-    until: SimTime,
-    armed: bool,
-}
-
-impl Drop for PanicRelease {
-    fn drop(&mut self) {
-        if self.armed && std::thread::panicking() {
-            for tx in &self.txs {
-                let _ = tx.send(Wire::Promise { until: self.until });
-                let _ = tx.send(Wire::EpochEnd);
-            }
+/// Best-effort peer release when a worker panics mid-epoch: without it,
+/// the surviving neighbors would wait forever for promises and an
+/// `EpochEnd` that never come (the wires stay alive inside the engine,
+/// so no disconnect fires). Survivors sit in drain loops, so the flush
+/// normally clears immediately; the retry bound only guards against a
+/// *second* dead peer, in which case the original panic still wins.
+fn release_peers<Q>(shard: &mut Shard<Q>, t_end: SimTime) {
+    let until = t_end + shard.lookahead;
+    for link in &mut shard.out_links {
+        link.push(Wire::Promise { until });
+        link.push(Wire::EpochEnd);
+    }
+    for _ in 0..1_000_000 {
+        let mut parked = false;
+        for link in &mut shard.out_links {
+            link.publish();
+            parked |= !link.overflow.is_empty();
         }
+        if !parked {
+            return;
+        }
+        std::thread::yield_now();
     }
 }
 
 /// Runs one shard's event loop up to the epoch boundary `t_end`,
 /// conservatively bounded by inbound promises, then performs the
-/// `EpochEnd` handshake with its neighbors.
+/// `EpochEnd` handshake with its neighbors. On panic, releases the
+/// neighbors (final promise + `EpochEnd`) before resuming the unwind so
+/// the scope joins and the panic propagates to the caller.
 ///
 /// When `sample` is set, the shard computes its partial of the
 /// convergence-trace sample at the quiesced boundary — rolling its own
@@ -302,16 +600,37 @@ impl Drop for PanicRelease {
 /// per-epoch work thus shrinks from an `O(n)` pass over every node to
 /// an `O(shards)` merge, and because the fold is exact, the merged
 /// value is bit-identical to the old driver-side pass in node order.
-fn run_shard(shard: &mut Shard, sh: &Shared<'_>, t_end: SimTime, sample: bool) -> Option<ExactSum> {
-    let lookahead = SimTime::from_secs(sh.world.config.link_delay);
-    let mut release = PanicRelease {
-        txs: shard.out_links.iter().map(|l| l.tx.clone()).collect(),
-        until: t_end + lookahead,
-        armed: true,
-    };
+fn run_shard<Q: SimQueue<PacketEvent>>(
+    shard: &mut Shard<Q>,
+    sh: &Shared<'_>,
+    t_end: SimTime,
+    sample: bool,
+) -> Option<ExactSum> {
+    shard.t_end = t_end;
+    let caught = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        run_epoch(shard, sh, t_end, sample)
+    }));
+    match caught {
+        Ok(partial) => partial,
+        Err(payload) => {
+            release_peers(shard, t_end);
+            std::panic::resume_unwind(payload);
+        }
+    }
+}
+
+/// The epoch body of [`run_shard`] (split out so the panic release can
+/// wrap it).
+fn run_epoch<Q: SimQueue<PacketEvent>>(
+    shard: &mut Shard<Q>,
+    sh: &Shared<'_>,
+    t_end: SimTime,
+    sample: bool,
+) -> Option<ExactSum> {
+    let lookahead = shard.lookahead;
     let mut idle_spins = 0u32;
     loop {
-        let mut progressed = shard.drain_inbound(t_end, lookahead);
+        let mut progressed = shard.poll_inbound();
 
         let safe = shard.in_links.iter().map(|l| l.promise).min();
         let bound = match safe {
@@ -319,6 +638,10 @@ fn run_shard(shard: &mut Shard, sh: &Shared<'_>, t_end: SimTime, sample: bool) -
             None => t_end,
         };
         progressed |= shard.process_until(sh, bound);
+
+        // Publish the window's outbound batch *before* promising: a
+        // visible promise must never have unpublished events behind it.
+        progressed |= shard.flush_out();
 
         // Null message: the earliest we could possibly send anything new
         // is one lookahead past the earliest thing we might yet process.
@@ -336,9 +659,8 @@ fn run_shard(shard: &mut Shard, sh: &Shared<'_>, t_end: SimTime, sample: bool) -
         for link in &mut shard.out_links {
             if promise > link.last_promise {
                 link.last_promise = promise;
-                link.tx
-                    .send(Wire::Promise { until: promise })
-                    .expect("peer shard outlives the epoch");
+                link.push(Wire::Promise { until: promise });
+                link.publish();
                 progressed = true;
             }
         }
@@ -360,26 +682,39 @@ fn run_shard(shard: &mut Shard, sh: &Shared<'_>, t_end: SimTime, sample: bool) -
                 )
             });
             for link in &mut shard.out_links {
-                link.tx.send(Wire::EpochEnd).expect("peer shard alive");
+                link.push(Wire::EpochEnd);
+                link.publish();
             }
             // Late messages of this epoch all target times past t_end;
-            // absorb them until every neighbor has closed the epoch too.
-            // Everything this shard owes its peers is already sent, so a
-            // blocking receive (with a timeout as a belt against missed
-            // wakeups) is safe here — no busy spinning while a slower
-            // neighbor finishes its epoch.
-            while let Some(li) = shard.in_links.iter().position(|l| !l.epoch_ended) {
-                match shard.in_links[li].rx.recv_timeout(Duration::from_millis(1)) {
-                    Ok(msg) => shard.absorb(li, msg, t_end, lookahead),
-                    Err(_) => {
-                        shard.drain_inbound(t_end, lookahead);
+            // spill them into the queue until every neighbor has closed
+            // the epoch too and everything we owe them has left the
+            // overflow (our own `EpochEnd` may be parked behind a full
+            // ring). Neighbors in the same loop drain constantly, so
+            // back-pressure clears; back off when nothing moves.
+            let mut wait_spins = 0u32;
+            loop {
+                let mut moved = shard.spill_inbound();
+                moved |= shard.flush_out();
+                let peers_done = shard.in_links.iter().all(|l| l.epoch_ended);
+                let sent_all = shard.out_links.iter().all(|l| l.overflow.is_empty());
+                if peers_done && sent_all {
+                    break;
+                }
+                if moved {
+                    wait_spins = 0;
+                } else {
+                    wait_spins += 1;
+                    if wait_spins > 64 {
+                        std::thread::sleep(Duration::from_micros(50));
+                    } else {
+                        std::thread::yield_now();
                     }
                 }
             }
             for link in &mut shard.in_links {
                 link.epoch_ended = false;
+                debug_assert!(link.staged.is_none(), "merge stage empty at the barrier");
             }
-            release.armed = false;
             return partial;
         }
 
@@ -396,7 +731,30 @@ fn run_shard(shard: &mut Shard, sh: &Shared<'_>, t_end: SimTime, sample: bool) -
     }
 }
 
-/// The sharded parallel packet-level simulator.
+/// The sharded parallel packet-level simulator, generic over its event
+/// queue (any [`SimQueue`] implementation). Use the [`ParPacketSim`]
+/// alias unless you are pinning queue implementations against each
+/// other; [`HeapParPacketSim`] is the `BinaryHeap`-backed twin.
+#[derive(Debug)]
+pub struct GenericParPacketSim<Q> {
+    world: PacketWorld,
+    partition: Partition,
+    shards: Vec<Shard<Q>>,
+    failed_up: Vec<bool>,
+    trace: ConvergenceTrace,
+    epochs_sampled: u64,
+    /// Simulated time the run has reached (last barrier).
+    horizon: SimTime,
+    /// `true` (default): workers fold the per-epoch trace partial and
+    /// the driver merges `O(shards)`. `false`: the driver performs the
+    /// pre-fold `O(n)` node-order pass itself — kept as the reference
+    /// the fold is pinned bit-identical against.
+    fold_trace: bool,
+    tuning: PdesTuning,
+}
+
+/// The default parallel simulator: radix event queue, SPSC ring
+/// transport, window batching (see [`PdesTuning`]).
 ///
 /// Drop-in equivalent of [`ww_core::packetsim::PacketSim`]: same
 /// constructor inputs plus a worker count, same [`PacketSimReport`], and
@@ -418,28 +776,19 @@ fn run_shard(shard: &mut Shard, sh: &Shared<'_>, t_end: SimTime, sample: bool) -
 /// let seq = PacketSim::new(&tree, &mix, config).run(10.0);
 /// let par = ParPacketSim::new(&tree, &mix, config, 2).run(10.0);
 /// assert_eq!(seq.served_requests, par.served_requests);
+/// assert_eq!(seq.processed_events, par.processed_events);
 /// assert_eq!(seq.trace.distances(), par.trace.distances());
 /// ```
-#[derive(Debug)]
-pub struct ParPacketSim {
-    world: PacketWorld,
-    partition: Partition,
-    shards: Vec<Shard>,
-    failed_up: Vec<bool>,
-    trace: ConvergenceTrace,
-    epochs_sampled: u64,
-    /// Simulated time the run has reached (last barrier).
-    horizon: SimTime,
-    /// `true` (default): workers fold the per-epoch trace partial and
-    /// the driver merges `O(shards)`. `false`: the driver performs the
-    /// pre-fold `O(n)` node-order pass itself — kept as the reference
-    /// the fold is pinned bit-identical against.
-    fold_trace: bool,
-}
+pub type ParPacketSim = GenericParPacketSim<RadixQueue<PacketEvent>>;
 
-impl ParPacketSim {
+/// The `BinaryHeap`-backed parallel simulator, pinned bit-identical to
+/// [`ParPacketSim`] by the golden tests.
+pub type HeapParPacketSim = GenericParPacketSim<EventQueue<PacketEvent>>;
+
+impl<Q: SimQueue<PacketEvent> + Default + Send> GenericParPacketSim<Q> {
     /// Builds a parallel simulator over `workers` subtree shards (capped
-    /// by what the topology yields).
+    /// by what the topology yields), tuned from the environment — see
+    /// [`PdesTuning::from_env`].
     ///
     /// # Panics
     ///
@@ -448,6 +797,19 @@ impl ParPacketSim {
     /// synchronization could not advance), or on any input
     /// [`PacketWorld::new`] rejects.
     pub fn new(tree: &Tree, mix: &DocMix, config: PacketSimConfig, workers: usize) -> Self {
+        Self::with_tuning(tree, mix, config, workers, PdesTuning::from_env())
+    }
+
+    /// [`GenericParPacketSim::new`] with explicit hot-path tuning
+    /// (transport and batching). Output bits do not depend on the
+    /// tuning; only wall-clock does.
+    pub fn with_tuning(
+        tree: &Tree,
+        mix: &DocMix,
+        config: PacketSimConfig,
+        workers: usize,
+        tuning: PdesTuning,
+    ) -> Self {
         assert!(workers > 0, "need at least one worker");
         let world = PacketWorld::new(tree, mix, config);
         let partition = partition_subtrees(tree, workers);
@@ -461,16 +823,27 @@ impl ParPacketSim {
         let mut out_links: Vec<Vec<OutLink>> = (0..shards_n).map(|_| Vec::new()).collect();
         let mut in_links: Vec<Vec<InLink>> = (0..shards_n).map(|_| Vec::new()).collect();
         for (src, dst) in partition.cut_pairs(tree) {
-            let (tx, rx) = unbounded();
+            let (tx, rx) = match tuning.transport {
+                Transport::SpscRing => {
+                    let (p, c) = spsc::ring(RING_CAPACITY);
+                    (WireTx::Ring(p), WireRx::Ring(c))
+                }
+                Transport::MpmcChannel => {
+                    let (tx, rx) = unbounded();
+                    (WireTx::Mpmc(tx), WireRx::Mpmc(rx))
+                }
+            };
             out_links[src].push(OutLink {
                 peer: dst,
                 tx,
+                overflow: VecDeque::new(),
                 counter: 0,
                 last_promise: SimTime::ZERO,
             });
             in_links[dst].push(InLink {
                 peer: src,
                 rx,
+                staged: None,
                 promise: SimTime::ZERO,
                 epoch_ended: false,
             });
@@ -483,7 +856,7 @@ impl ParPacketSim {
                 .iter()
                 .map(|&u| packet::init_state(&world, u))
                 .collect();
-            let mut queue = EventQueue::new();
+            let mut queue = Q::default();
             let mut gossip_ring =
                 TimerRing::new(SimTime::from_secs(config.gossip_period), members.len());
             let mut diffusion_ring =
@@ -516,10 +889,13 @@ impl ParPacketSim {
                 out_links: outs,
                 in_links: ins,
                 out_for,
+                batching: tuning.batching,
+                lookahead: SimTime::from_secs(config.link_delay),
+                t_end: SimTime::ZERO,
             });
         }
 
-        ParPacketSim {
+        GenericParPacketSim {
             failed_up: vec![false; world.len()],
             world,
             partition,
@@ -528,12 +904,18 @@ impl ParPacketSim {
             epochs_sampled: 0,
             horizon: SimTime::ZERO,
             fold_trace: true,
+            tuning,
         }
     }
 
     /// Number of subtree shards (= worker threads) this run uses.
     pub fn shard_count(&self) -> usize {
         self.shards.len()
+    }
+
+    /// The hot-path tuning this simulator was built with.
+    pub fn tuning(&self) -> PdesTuning {
+        self.tuning
     }
 
     /// Selects how the per-epoch convergence sample is computed:
@@ -619,7 +1001,7 @@ impl ParPacketSim {
     }
 
     /// Runs the simulation up to `duration` simulated seconds and
-    /// reports, exactly as [`PacketSim::run`](ww_core::packetsim::PacketSim::run):
+    /// reports, exactly as [`PacketSim::run`](ww_core::packetsim::GenericPacketSim::run):
     /// one barrier + sample per diffusion epoch boundary, then a final
     /// barrier at the horizon. May be called repeatedly with increasing
     /// horizons.
@@ -676,6 +1058,10 @@ impl ParPacketSim {
             copy_pushes: counters.copy_pushes,
             tunnel_fetches: counters.tunnel_fetches,
             served_requests: counters.served_requests,
+            // Every event is processed by exactly one shard (local pops,
+            // timer fires, and inbound clock advances), so the sum
+            // matches the sequential driver's count bit-for-bit.
+            processed_events: self.shards.iter().map(|s| s.queue.processed()).sum(),
         }
     }
 
@@ -717,7 +1103,7 @@ impl ParPacketSim {
     /// Fails the control link between `node` and its parent (applied at
     /// the current barrier; takes effect for all later epochs). Returns
     /// `false` when already failed. See
-    /// [`PacketSim::fail_link`](ww_core::packetsim::PacketSim::fail_link).
+    /// [`PacketSim::fail_link`](ww_core::packetsim::GenericPacketSim::fail_link).
     ///
     /// # Panics
     ///
@@ -746,7 +1132,7 @@ impl ParPacketSim {
 
     /// Re-publish (update) a document at the current barrier: every
     /// cached copy outside the home server is invalidated, exactly as
-    /// [`PacketSim::invalidate`](ww_core::packetsim::PacketSim::invalidate)
+    /// [`PacketSim::invalidate`](ww_core::packetsim::GenericPacketSim::invalidate)
     /// (one charged invalidation message per revoked copy).
     ///
     /// # Errors
@@ -798,8 +1184,8 @@ impl ParPacketSim {
         self.reschedule_arrivals();
     }
 
-    /// The scheduling half of [`ParPacketSim::rebuild_arrivals`], for
-    /// callers whose own queue surgery already dropped the stale
+    /// The scheduling half of [`GenericParPacketSim::rebuild_arrivals`],
+    /// for callers whose own queue surgery already dropped the stale
     /// arrivals (a leave's [`packet::renumber_for_leave`] pass).
     fn reschedule_arrivals(&mut self) {
         let at = self.horizon;
@@ -822,7 +1208,7 @@ impl ParPacketSim {
 
     /// A cache server joins as a new leaf under `parent` at the current
     /// barrier — the parallel twin of
-    /// [`PacketSim::add_leaf`](ww_core::packetsim::PacketSim::add_leaf).
+    /// [`PacketSim::add_leaf`](ww_core::packetsim::GenericPacketSim::add_leaf).
     /// The newcomer is hosted by its parent's shard (subtree
     /// connectivity, and therefore the cut-edge lookahead, is
     /// preserved), its timers arm phase-staggered after the barrier, and
@@ -862,7 +1248,7 @@ impl ParPacketSim {
 
     /// A leaf cache server departs at the current barrier — the
     /// parallel twin of
-    /// [`PacketSim::remove_leaf`](ww_core::packetsim::PacketSim::remove_leaf).
+    /// [`PacketSim::remove_leaf`](ww_core::packetsim::GenericPacketSim::remove_leaf).
     /// Ids compact by swap-remove; the renumbered former-last node stays
     /// on its own shard, so the compaction is a pure bookkeeping move —
     /// no node state crosses a shard boundary. Every shard applies the
@@ -920,7 +1306,7 @@ impl ParPacketSim {
     }
 
     /// Publishes a document at the current barrier — the parallel twin
-    /// of [`PacketSim::publish_doc`](ww_core::packetsim::PacketSim::publish_doc).
+    /// of [`PacketSim::publish_doc`](ww_core::packetsim::GenericPacketSim::publish_doc).
     ///
     /// # Errors
     ///
@@ -933,7 +1319,7 @@ impl ParPacketSim {
 
     /// Replaces the whole demand mix at the current barrier — the
     /// parallel twin of
-    /// [`PacketSim::set_mix`](ww_core::packetsim::PacketSim::set_mix).
+    /// [`PacketSim::set_mix`](ww_core::packetsim::GenericPacketSim::set_mix).
     ///
     /// # Errors
     ///

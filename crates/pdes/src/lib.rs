@@ -10,9 +10,12 @@
 //!   of roughly equal size — cut edges are tree edges, whose link
 //!   latency is the conservative lookahead between shards;
 //! * [`ParPacketSim`] runs one event loop per shard, synchronizing via
-//!   timestamped channel messages with null-message promises
+//!   timestamped wire messages with null-message promises
 //!   (Chandy–Misra–Bryant), quiescing at every diffusion-epoch boundary
-//!   to sample the convergence trace.
+//!   to sample the convergence trace. The shard-to-shard hot path rides
+//!   lock-free SPSC rings with per-lookahead-window batching and a
+//!   one-event merge stage per wire (see [`PdesTuning`]); the legacy
+//!   channel transport stays selectable for comparison.
 //!
 //! The result is **bit-identical** to the sequential simulator at every
 //! worker count: all randomness is content-keyed per node, all
@@ -43,5 +46,5 @@
 pub mod engine;
 pub mod partition;
 
-pub use engine::ParPacketSim;
+pub use engine::{GenericParPacketSim, HeapParPacketSim, ParPacketSim, PdesTuning, Transport};
 pub use partition::{partition_subtrees, Partition};

@@ -11,7 +11,7 @@ use rand::SeedableRng;
 use ww_core::packetsim::{PacketSim, PacketSimConfig, PacketSimReport};
 use ww_model::{DocId, NodeId, Tree};
 use ww_net::TrafficClass;
-use ww_pdes::ParPacketSim;
+use ww_pdes::{ParPacketSim, PdesTuning, Transport};
 use ww_topology::paper;
 use ww_workload::DocMix;
 
@@ -54,6 +54,10 @@ fn assert_reports_identical(a: &PacketSimReport, b: &PacketSimReport, label: &st
         "{label}: final distance diverges"
     );
     assert_eq!(a.served_requests, b.served_requests, "{label}: served");
+    assert_eq!(
+        a.processed_events, b.processed_events,
+        "{label}: processed events"
+    );
     assert_eq!(a.copy_pushes, b.copy_pushes, "{label}: pushes");
     assert_eq!(a.tunnel_fetches, b.tunnel_fetches, "{label}: fetches");
     assert_eq!(
@@ -259,6 +263,35 @@ fn churned_run_matches_sequential_at_every_worker_count() {
                 seq.served_total(NodeId::new(j)),
                 par.served_total(NodeId::new(j)),
                 "served_total diverges at node {j}, workers={workers}"
+            );
+        }
+    }
+}
+
+#[test]
+fn churned_run_matches_sequential_with_batching_on_and_off() {
+    // Full dynamics at packet fidelity, with the lookahead-window batch
+    // publish both enabled and disabled: neither mode may shift a bit.
+    let (tree, mix) = random_mix(0xD11B, 30);
+    let config = PacketSimConfig {
+        seed: 3,
+        ..PacketSimConfig::default()
+    };
+    let script = full_dynamics_script(&tree);
+    let mut seq = PacketSim::new(&tree, &mix, config);
+    let seq_report = replay(&mut seq, &script);
+    for workers in [1, 2, 4, 8] {
+        for batching in [true, false] {
+            let tuning = PdesTuning {
+                transport: Transport::SpscRing,
+                batching,
+            };
+            let mut par = ParPacketSim::with_tuning(&tree, &mix, config, workers, tuning);
+            let par_report = replay(&mut par, &script);
+            assert_reports_identical(
+                &seq_report,
+                &par_report,
+                &format!("churn workers={workers} batching={batching}"),
             );
         }
     }

@@ -31,11 +31,15 @@
 #![warn(missing_docs)]
 
 pub mod engine;
+pub mod queue;
+pub mod radix;
 pub mod rng;
 pub mod time;
 pub mod wheel;
 
 pub use engine::EventQueue;
+pub use queue::SimQueue;
+pub use radix::RadixQueue;
 pub use rng::{exp_delay, SimRng};
 pub use time::SimTime;
 pub use wheel::TimerRing;

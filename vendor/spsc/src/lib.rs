@@ -1,0 +1,371 @@
+//! Offline stand-in for a lock-free bounded SPSC ring buffer, in the
+//! style of the `rtrb` / `ringbuf` registry crates (the build
+//! environment has no registry access).
+//!
+//! One producer handle and one consumer handle share a fixed-capacity
+//! ring of slots. The fast path is wait-free: a push is one slot write
+//! plus one `Release` store of the producer's index; a pop is one slot
+//! read plus one `Release` store of the consumer's index. There are no
+//! locks, no parking, and no per-operation allocation — which is the
+//! point: a conservative PDES exchanges millions of tiny timestamped
+//! messages per second between shard pairs, and each shard pair is
+//! exactly one producer and one consumer.
+//!
+//! On top of plain [`Producer::push`], the producer can **stage**
+//! writes and publish them in one batch: [`Producer::stage`] fills
+//! slots without making them visible, and [`Producer::commit`]
+//! publishes everything staged with a single `Release` store. A
+//! lookahead window's worth of cross-shard events thus costs one
+//! synchronizing store instead of one per event.
+//!
+//! # Example
+//!
+//! ```
+//! let (mut tx, mut rx) = spsc::ring::<u32>(8);
+//! tx.push(1).unwrap();
+//! tx.stage(2).unwrap();
+//! tx.stage(3).unwrap();
+//! assert_eq!(rx.pop(), Some(1)); // staged items are not yet visible
+//! assert_eq!(rx.pop(), None);
+//! tx.commit();
+//! assert_eq!(rx.pop(), Some(2));
+//! assert_eq!(rx.pop(), Some(3));
+//! ```
+
+use std::cell::UnsafeCell;
+use std::fmt;
+use std::mem::MaybeUninit;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+
+/// Pads an atomic counter to its own cache line so the producer's and
+/// consumer's indices never false-share.
+#[repr(align(128))]
+struct CachePadded<T>(T);
+
+/// State shared by the two handles. `head` and `tail` are monotonically
+/// increasing operation counts (not slot indices); the slot of count
+/// `c` is `c & mask`. `tail - head` is the number of published,
+/// unconsumed items, which distinguishes full (`== capacity`) from
+/// empty (`== 0`) without a spare slot.
+struct Shared<T> {
+    /// Count of items consumed. Written only by the consumer.
+    head: CachePadded<AtomicUsize>,
+    /// Count of items published. Written only by the producer.
+    tail: CachePadded<AtomicUsize>,
+    mask: usize,
+    slots: Box<[UnsafeCell<MaybeUninit<T>>]>,
+}
+
+// SAFETY: the two handles hand slots back and forth through the
+// head/tail protocol below; `T: Send` is all that crossing threads
+// requires. The `UnsafeCell`s are never accessed concurrently for the
+// same slot (see the invariant on `Producer`/`Consumer`).
+unsafe impl<T: Send> Send for Shared<T> {}
+unsafe impl<T: Send> Sync for Shared<T> {}
+
+impl<T> Shared<T> {
+    fn capacity(&self) -> usize {
+        self.mask + 1
+    }
+}
+
+impl<T> Drop for Shared<T> {
+    fn drop(&mut self) {
+        // Last handle alive (`Arc` synchronizes the other handle's
+        // drop before this runs): whatever is still published and
+        // unconsumed must be dropped here. Staged-but-uncommitted
+        // items do not exist at this point — `Producer::drop` commits.
+        let head = self.head.0.load(Ordering::Relaxed);
+        let tail = self.tail.0.load(Ordering::Relaxed);
+        for c in head..tail {
+            let slot = self.slots[c & self.mask].get();
+            // SAFETY: slots in [head, tail) hold initialized values the
+            // consumer never read.
+            unsafe { (*slot).assume_init_drop() };
+        }
+    }
+}
+
+/// Error returned by [`Producer::push`] / [`Producer::stage`] when the
+/// ring has no free slot; carries the rejected value back.
+pub struct Full<T>(pub T);
+
+impl<T> fmt::Debug for Full<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("Full(..)")
+    }
+}
+
+/// The sending half: owned by exactly one thread at a time.
+///
+/// Invariant: slots at counts `[published, staged)` are initialized but
+/// not yet visible to the consumer; slots at `[cached_head, published)`
+/// may be read by the consumer at any moment; slots below the
+/// consumer's true head are free for reuse.
+pub struct Producer<T> {
+    shared: Arc<Shared<T>>,
+    /// Local write count, including staged-but-unpublished items.
+    staged: usize,
+    /// Mirror of `shared.tail` (what the consumer can see).
+    published: usize,
+    /// Conservative snapshot of `shared.head`; refreshed on apparent
+    /// full, so the hot path loads no foreign cache line.
+    cached_head: usize,
+}
+
+impl<T> Producer<T> {
+    /// Number of slots the ring holds.
+    pub fn capacity(&self) -> usize {
+        self.shared.capacity()
+    }
+
+    /// Number of staged items not yet published by [`Producer::commit`].
+    pub fn staged_len(&self) -> usize {
+        self.staged - self.published
+    }
+
+    /// Writes `value` into the next slot **without publishing it**: the
+    /// consumer cannot see it until [`Producer::commit`]. Fails with
+    /// [`Full`] when every slot is either unconsumed or already staged.
+    pub fn stage(&mut self, value: T) -> Result<(), Full<T>> {
+        if self.staged - self.cached_head == self.shared.capacity() {
+            self.cached_head = self.shared.head.0.load(Ordering::Acquire);
+            if self.staged - self.cached_head == self.shared.capacity() {
+                return Err(Full(value));
+            }
+        }
+        let slot = self.shared.slots[self.staged & self.shared.mask].get();
+        // SAFETY: `staged - head < capacity`, so this slot is past
+        // everything the consumer may still read (the Acquire load
+        // above ordered the consumer's reads before our reuse), and the
+        // producer is the only writer.
+        unsafe { (*slot).write(value) };
+        self.staged += 1;
+        Ok(())
+    }
+
+    /// Publishes everything staged with one `Release` store. No-op when
+    /// nothing is staged.
+    pub fn commit(&mut self) {
+        if self.staged != self.published {
+            self.shared.tail.0.store(self.staged, Ordering::Release);
+            self.published = self.staged;
+        }
+    }
+
+    /// Stages and immediately publishes `value` — the plain SPSC push.
+    pub fn push(&mut self, value: T) -> Result<(), Full<T>> {
+        self.stage(value)?;
+        self.commit();
+        Ok(())
+    }
+}
+
+impl<T> Drop for Producer<T> {
+    fn drop(&mut self) {
+        // Publish staged items so `Shared::drop` sees (and drops) them.
+        self.commit();
+    }
+}
+
+impl<T> fmt::Debug for Producer<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Producer")
+            .field("capacity", &self.capacity())
+            .field("staged", &self.staged_len())
+            .finish()
+    }
+}
+
+/// The receiving half: owned by exactly one thread at a time.
+pub struct Consumer<T> {
+    shared: Arc<Shared<T>>,
+    /// Local read count (mirror of `shared.head`).
+    head: usize,
+    /// Conservative snapshot of `shared.tail`; refreshed on apparent
+    /// empty.
+    cached_tail: usize,
+}
+
+impl<T> Consumer<T> {
+    /// Number of slots the ring holds.
+    pub fn capacity(&self) -> usize {
+        self.shared.capacity()
+    }
+
+    /// Takes the oldest published item, or `None` when the ring is
+    /// empty (staged-but-uncommitted items are invisible).
+    pub fn pop(&mut self) -> Option<T> {
+        if self.head == self.cached_tail {
+            self.cached_tail = self.shared.tail.0.load(Ordering::Acquire);
+            if self.head == self.cached_tail {
+                return None;
+            }
+        }
+        let slot = self.shared.slots[self.head & self.shared.mask].get();
+        // SAFETY: `head < tail`, so the slot was initialized by the
+        // producer, and the Acquire load of `tail` ordered that write
+        // before this read. The consumer is the only reader.
+        let value = unsafe { (*slot).assume_init_read() };
+        self.head += 1;
+        // Release: the slot's content move must be visible before the
+        // producer reuses the slot.
+        self.shared.head.0.store(self.head, Ordering::Release);
+        Some(value)
+    }
+
+    /// `true` when no published item is waiting.
+    pub fn is_empty(&mut self) -> bool {
+        if self.head != self.cached_tail {
+            return false;
+        }
+        self.cached_tail = self.shared.tail.0.load(Ordering::Acquire);
+        self.head == self.cached_tail
+    }
+}
+
+impl<T> fmt::Debug for Consumer<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Consumer")
+            .field("capacity", &self.capacity())
+            .finish()
+    }
+}
+
+/// Creates a ring with room for at least `capacity` items (rounded up
+/// to a power of two) and returns its two handles.
+///
+/// # Panics
+///
+/// Panics if `capacity` is zero.
+pub fn ring<T>(capacity: usize) -> (Producer<T>, Consumer<T>) {
+    assert!(capacity > 0, "ring capacity must be positive");
+    let cap = capacity.next_power_of_two();
+    let slots: Box<[UnsafeCell<MaybeUninit<T>>]> = (0..cap)
+        .map(|_| UnsafeCell::new(MaybeUninit::uninit()))
+        .collect();
+    let shared = Arc::new(Shared {
+        head: CachePadded(AtomicUsize::new(0)),
+        tail: CachePadded(AtomicUsize::new(0)),
+        mask: cap - 1,
+        slots,
+    });
+    (
+        Producer {
+            shared: Arc::clone(&shared),
+            staged: 0,
+            published: 0,
+            cached_head: 0,
+        },
+        Consumer {
+            shared,
+            head: 0,
+            cached_tail: 0,
+        },
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fifo_order() {
+        let (mut tx, mut rx) = ring::<u32>(16);
+        for i in 0..10 {
+            tx.push(i).unwrap();
+        }
+        for i in 0..10 {
+            assert_eq!(rx.pop(), Some(i));
+        }
+        assert_eq!(rx.pop(), None);
+    }
+
+    #[test]
+    fn wrap_around_many_times() {
+        let (mut tx, mut rx) = ring::<u64>(4);
+        for i in 0..1000u64 {
+            tx.push(i).unwrap();
+            assert_eq!(rx.pop(), Some(i));
+        }
+        assert!(rx.is_empty());
+    }
+
+    #[test]
+    fn full_and_empty_boundaries() {
+        let (mut tx, mut rx) = ring::<u8>(4);
+        assert_eq!(rx.pop(), None);
+        for i in 0..4 {
+            tx.push(i).unwrap();
+        }
+        // Exactly at capacity: the next push is rejected with its value.
+        let Full(rejected) = tx.push(99).unwrap_err();
+        assert_eq!(rejected, 99);
+        assert_eq!(rx.pop(), Some(0));
+        tx.push(99).unwrap();
+        assert_eq!(
+            std::iter::from_fn(|| rx.pop()).collect::<Vec<_>>(),
+            vec![1, 2, 3, 99]
+        );
+    }
+
+    #[test]
+    fn capacity_rounds_up_to_power_of_two() {
+        let (tx, _rx) = ring::<u8>(5);
+        assert_eq!(tx.capacity(), 8);
+    }
+
+    #[test]
+    fn staged_items_invisible_until_commit() {
+        let (mut tx, mut rx) = ring::<u32>(8);
+        tx.stage(1).unwrap();
+        tx.stage(2).unwrap();
+        assert_eq!(tx.staged_len(), 2);
+        assert_eq!(rx.pop(), None);
+        tx.commit();
+        assert_eq!(tx.staged_len(), 0);
+        assert_eq!(rx.pop(), Some(1));
+        assert_eq!(rx.pop(), Some(2));
+    }
+
+    #[test]
+    fn staging_respects_capacity() {
+        let (mut tx, mut rx) = ring::<u8>(2);
+        tx.stage(1).unwrap();
+        tx.stage(2).unwrap();
+        assert!(tx.stage(3).is_err()); // staged slots count against capacity
+        assert_eq!(rx.pop(), None); // nothing published yet
+        tx.commit();
+        assert_eq!(rx.pop(), Some(1));
+        tx.stage(3).unwrap(); // freed slot is reusable after the pop
+        tx.commit();
+        assert_eq!(rx.pop(), Some(2));
+        assert_eq!(rx.pop(), Some(3));
+    }
+
+    #[test]
+    fn drop_releases_unconsumed_and_staged_items() {
+        let token = Arc::new(());
+        {
+            let (mut tx, rx) = ring::<Arc<()>>(8);
+            tx.push(Arc::clone(&token)).unwrap();
+            tx.push(Arc::clone(&token)).unwrap();
+            tx.stage(Arc::clone(&token)).unwrap(); // uncommitted
+            drop(tx); // commits the staged item
+            drop(rx);
+        }
+        assert_eq!(Arc::strong_count(&token), 1);
+    }
+
+    #[test]
+    fn pop_after_producer_drop_yields_remaining_items() {
+        let (mut tx, mut rx) = ring::<u32>(8);
+        tx.push(7).unwrap();
+        tx.stage(8).unwrap();
+        drop(tx);
+        assert_eq!(rx.pop(), Some(7));
+        assert_eq!(rx.pop(), Some(8));
+        assert_eq!(rx.pop(), None);
+    }
+}

@@ -1,0 +1,157 @@
+//! Cross-thread stress tests and a single-thread model-based property
+//! test for the SPSC ring. CI runs these via the workspace test suite.
+
+use proptest::prelude::*;
+use std::collections::VecDeque;
+
+/// Two threads, every capacity class from degenerate to large: the
+/// consumer must observe exactly `0..n` in order, with the producer
+/// spinning on `Full` (the engine's flow-control discipline).
+#[test]
+fn two_thread_fifo_under_contention() {
+    for cap in [1usize, 2, 8, 1024] {
+        let n: u64 = 100_000;
+        let (mut tx, mut rx) = spsc::ring::<u64>(cap);
+        std::thread::scope(|scope| {
+            scope.spawn(move || {
+                for i in 0..n {
+                    let mut v = i;
+                    loop {
+                        match tx.push(v) {
+                            Ok(()) => break,
+                            Err(spsc::Full(back)) => {
+                                v = back;
+                                std::thread::yield_now();
+                            }
+                        }
+                    }
+                }
+            });
+            scope.spawn(move || {
+                let mut expected = 0u64;
+                while expected < n {
+                    match rx.pop() {
+                        Some(v) => {
+                            assert_eq!(v, expected, "cap {cap}");
+                            expected += 1;
+                        }
+                        None => std::thread::yield_now(),
+                    }
+                }
+                assert_eq!(rx.pop(), None);
+            });
+        });
+    }
+}
+
+/// Same contract when the producer stages batches and publishes them
+/// with one commit per batch — the PDES lookahead-window pattern.
+#[test]
+fn two_thread_fifo_with_batched_commits() {
+    let n: u64 = 100_000;
+    let (mut tx, mut rx) = spsc::ring::<u64>(64);
+    std::thread::scope(|scope| {
+        scope.spawn(move || {
+            let mut i = 0u64;
+            // Deterministic "random" batch sizes 1..=13.
+            let mut batch = 1u64;
+            while i < n {
+                let end = (i + batch).min(n);
+                while i < end {
+                    let mut v = i;
+                    loop {
+                        match tx.stage(v) {
+                            Ok(()) => break,
+                            Err(spsc::Full(back)) => {
+                                v = back;
+                                tx.commit(); // publish so the consumer can drain
+                                std::thread::yield_now();
+                            }
+                        }
+                    }
+                    i += 1;
+                }
+                tx.commit();
+                batch = batch % 13 + 1;
+            }
+        });
+        scope.spawn(move || {
+            let mut expected = 0u64;
+            while expected < n {
+                match rx.pop() {
+                    Some(v) => {
+                        assert_eq!(v, expected);
+                        expected += 1;
+                    }
+                    None => std::thread::yield_now(),
+                }
+            }
+        });
+    });
+}
+
+/// Operation script for the model test.
+#[derive(Debug, Clone, Copy)]
+enum Op {
+    Stage(u16),
+    Commit,
+    Pop,
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Single-thread model check: an arbitrary stage/commit/pop script
+    /// behaves exactly like a VecDeque that only reveals items at
+    /// commit points, across wrap-arounds and full/empty boundaries.
+    #[test]
+    fn matches_queue_model(
+        cap_pow in 0usize..6,
+        ops in proptest::collection::vec(0u32..100, 1..200),
+    ) {
+        let cap = 1usize << cap_pow;
+        let (mut tx, mut rx) = spsc::ring::<u16>(cap);
+        let mut visible: VecDeque<u16> = VecDeque::new();
+        let mut staged: VecDeque<u16> = VecDeque::new();
+        let mut next = 0u16;
+        for raw in ops {
+            let op = match raw % 10 {
+                0..=4 => {
+                    next += 1;
+                    Op::Stage(next)
+                }
+                5 | 6 => Op::Commit,
+                _ => Op::Pop,
+            };
+            match op {
+                Op::Stage(v) => {
+                    let model_full = visible.len() + staged.len() == cap;
+                    match tx.stage(v) {
+                        Ok(()) => prop_assert!(!model_full, "stage accepted when model full"),
+                        Err(spsc::Full(back)) => {
+                            prop_assert!(model_full, "stage rejected when model has room");
+                            prop_assert_eq!(back, v);
+                            continue;
+                        }
+                    }
+                    staged.push_back(v);
+                }
+                Op::Commit => {
+                    tx.commit();
+                    visible.append(&mut staged);
+                }
+                Op::Pop => {
+                    prop_assert_eq!(rx.pop(), visible.pop_front());
+                }
+            }
+            prop_assert_eq!(tx.staged_len(), staged.len());
+        }
+        // Drain: after a final commit everything comes out in order.
+        tx.commit();
+        visible.append(&mut staged);
+        for expected in visible {
+            prop_assert_eq!(rx.pop(), Some(expected));
+        }
+        prop_assert_eq!(rx.pop(), None);
+    }
+}
