@@ -19,7 +19,8 @@ use ww_core::fold::webfold;
 use ww_core::packetsim::{HeapPacketSim, PacketSim, PacketSimConfig};
 use ww_core::reference::{NaiveDocSim, NaiveRateWave};
 use ww_core::wave::{RateWave, WaveConfig};
-use ww_pdes::{HeapParPacketSim, ParPacketSim, PdesTuning, Transport};
+use ww_dist::{DistMode, DistOptions, DistPacketSim};
+use ww_pdes::{HeapParPacketSim, ParPacketSim, PdesTuning, TransportKind};
 use ww_scenario::{
     drive, DocMixSpec, EngineSpec, NullObserver, RatesSpec, Runner, ScenarioSpec, Termination,
     TopologySpec, WorkloadSpec,
@@ -325,12 +326,12 @@ struct ParallelScaling {
 /// The reworked hot path (explicit, so environment overrides cannot
 /// skew the recorded comparison).
 const NEW_TUNING: PdesTuning = PdesTuning {
-    transport: Transport::SpscRing,
+    transport: TransportKind::SpscRing,
     batching: true,
 };
 /// The legacy hot path: one mutex-channel send per event.
 const OLD_TUNING: PdesTuning = PdesTuning {
-    transport: Transport::MpmcChannel,
+    transport: TransportKind::MpmcChannel,
     batching: false,
 };
 
@@ -539,6 +540,105 @@ fn bench_dynamics_at_scale(
     }
 }
 
+/// The socket transport against the in-process SPSC transport: the
+/// same scenario driven by `DistPacketSim` in thread mode (the full
+/// codec and loopback-TCP path, no worker binary needed) and by
+/// `ParPacketSim`, with the per-epoch barrier round-trip separated out
+/// and the wire overflow counters recorded.
+struct DistLoopback {
+    nodes: usize,
+    docs: usize,
+    workers: usize,
+    available_cores: usize,
+    /// Epoch barriers crossed during the run (= sampled trace points).
+    epochs: usize,
+    processed_events: u64,
+    spsc_ms: f64,
+    dist_ms: f64,
+    spsc_events_per_sec: f64,
+    dist_events_per_sec: f64,
+    /// Mean wall-clock per epoch, barrier handshake included.
+    spsc_epoch_ms: f64,
+    dist_epoch_ms: f64,
+    /// What the socket hop adds per `RunEpoch` → `EpochDone` handshake.
+    handshake_overhead_ms: f64,
+    dist_overflow_parks: u64,
+    dist_overflow_peak_parked: u64,
+    spsc_overflow_parks: u64,
+    spsc_overflow_peak_parked: u64,
+    traces_identical: bool,
+}
+
+fn bench_dist_loopback(regions: usize, leaves: usize, docs: usize, workers: usize) -> DistLoopback {
+    let tree = ww_topology::two_level(regions, leaves);
+    let rates = ww_workload::leaf_only(&tree, 1.0);
+    let mix = scaling_mix(&tree, &rates, docs);
+    let config = PacketSimConfig::default();
+    let epochs = 3usize;
+    let horizon = epochs as f64;
+    let threads = || DistOptions {
+        mode: DistMode::Threads,
+        ..DistOptions::default()
+    };
+
+    // Equivalence probe: the socket run must replay the in-process run
+    // bit for bit before the timings mean anything.
+    let spsc_report =
+        ParPacketSim::with_tuning(&tree, &mix, config, workers, NEW_TUNING).run(horizon);
+    let dist_report = DistPacketSim::launch(&tree, &mix, config, workers, threads())
+        .expect("loopback launch")
+        .run(horizon)
+        .expect("loopback run");
+    let traces_identical = spsc_report.trace.len() == dist_report.trace.len()
+        && spsc_report
+            .trace
+            .distances()
+            .iter()
+            .zip(dist_report.trace.distances())
+            .all(|(a, b)| a.to_bits() == b.to_bits())
+        && spsc_report.served_requests == dist_report.served_requests
+        && spsc_report.processed_events == dist_report.processed_events;
+    let barriers = dist_report.trace.len().max(1);
+
+    let spsc = time_min(
+        3,
+        || ParPacketSim::with_tuning(&tree, &mix, config, workers, NEW_TUNING),
+        |s| {
+            s.run(horizon);
+        },
+    );
+    let dist = time_min(
+        3,
+        || DistPacketSim::launch(&tree, &mix, config, workers, threads()).expect("loopback launch"),
+        |s| {
+            s.run(horizon).expect("loopback run");
+        },
+    );
+    let events = dist_report.processed_events;
+    let spsc_epoch_ms = spsc.as_secs_f64() * 1e3 / barriers as f64;
+    let dist_epoch_ms = dist.as_secs_f64() * 1e3 / barriers as f64;
+    DistLoopback {
+        nodes: tree.len(),
+        docs,
+        workers,
+        available_cores: std::thread::available_parallelism().map_or(1, |n| n.get()),
+        epochs: barriers,
+        processed_events: events,
+        spsc_ms: spsc.as_secs_f64() * 1e3,
+        dist_ms: dist.as_secs_f64() * 1e3,
+        spsc_events_per_sec: events as f64 / spsc.as_secs_f64(),
+        dist_events_per_sec: events as f64 / dist.as_secs_f64(),
+        spsc_epoch_ms,
+        dist_epoch_ms,
+        handshake_overhead_ms: dist_epoch_ms - spsc_epoch_ms,
+        dist_overflow_parks: dist_report.overflow_parks,
+        dist_overflow_peak_parked: dist_report.overflow_peak_parked,
+        spsc_overflow_parks: spsc_report.overflow_parks,
+        spsc_overflow_peak_parked: spsc_report.overflow_peak_parked,
+        traces_identical,
+    }
+}
+
 fn bench_webfold(nodes: usize) -> (usize, f64) {
     let (tree, rates) = scaling_scenario(nodes, 12, nodes as u64);
     let d = time_min(
@@ -646,6 +746,34 @@ fn main() {
         eprintln!(
             "  note: {} core available — parallel numbers show conservative-sync overhead only",
             dynamics.available_cores
+        );
+    }
+
+    eprintln!("webwave-bench: distributed loopback (socket transport vs in-process SPSC)");
+    let dist = bench_dist_loopback(64, 64, 8, 2);
+    eprintln!(
+        "  two_level nodes={} docs={} workers={} cores={}: spsc {:.0} ms ({:.2} Mev/s), sockets {:.0} ms ({:.2} Mev/s), per-epoch {:.2} ms vs {:.2} ms (handshake {:+.2} ms), parks sockets {} (peak {}) / spsc {} (peak {}), traces_identical={}",
+        dist.nodes,
+        dist.docs,
+        dist.workers,
+        dist.available_cores,
+        dist.spsc_ms,
+        dist.spsc_events_per_sec / 1e6,
+        dist.dist_ms,
+        dist.dist_events_per_sec / 1e6,
+        dist.spsc_epoch_ms,
+        dist.dist_epoch_ms,
+        dist.handshake_overhead_ms,
+        dist.dist_overflow_parks,
+        dist.dist_overflow_peak_parked,
+        dist.spsc_overflow_parks,
+        dist.spsc_overflow_peak_parked,
+        dist.traces_identical
+    );
+    if dist.available_cores < 2 {
+        eprintln!(
+            "  note: {} core available — socket numbers show transport overhead only, not scaling",
+            dist.available_cores
         );
     }
 
@@ -758,6 +886,31 @@ fn main() {
         dynamics.seq_epoch_events_per_sec,
         dynamics.par_epoch_events_per_sec,
         dynamics.traces_identical
+    );
+    json.push_str("  },\n  \"dist_loopback\": {\n");
+    let _ = writeln!(
+        json,
+        "    \"engine\": \"packet_sim_dist (threads over loopback TCP) vs packet_sim_par (spsc)\", \"nodes\": {}, \"docs\": {}, \"workers\": {}, \"available_cores\": {}, \"epochs\": {}, \"processed_events\": {},",
+        dist.nodes, dist.docs, dist.workers, dist.available_cores, dist.epochs, dist.processed_events
+    );
+    let _ = writeln!(
+        json,
+        "    \"spsc_ms\": {:.1}, \"dist_ms\": {:.1}, \"spsc_events_per_sec\": {:.0}, \"dist_events_per_sec\": {:.0},",
+        dist.spsc_ms, dist.dist_ms, dist.spsc_events_per_sec, dist.dist_events_per_sec
+    );
+    let _ = writeln!(
+        json,
+        "    \"spsc_epoch_ms\": {:.3}, \"dist_epoch_ms\": {:.3}, \"handshake_overhead_ms\": {:.3},",
+        dist.spsc_epoch_ms, dist.dist_epoch_ms, dist.handshake_overhead_ms
+    );
+    let _ = writeln!(
+        json,
+        "    \"dist_overflow_parks\": {}, \"dist_overflow_peak_parked\": {}, \"spsc_overflow_parks\": {}, \"spsc_overflow_peak_parked\": {}, \"traces_identical\": {}",
+        dist.dist_overflow_parks,
+        dist.dist_overflow_peak_parked,
+        dist.spsc_overflow_parks,
+        dist.spsc_overflow_peak_parked,
+        dist.traces_identical
     );
     json.push_str("  },\n  \"runner_overhead\": [\n");
     for (i, o) in overheads.iter().enumerate() {

@@ -896,7 +896,7 @@ pub fn trace_partial<'a>(
 /// Irregular events of the packet-level protocol. The two periodic timer
 /// streams are not events at all — they live in
 /// [`TimerRing`]s owned by the driver.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub enum PacketEvent {
     /// A client at `node` issues a request for the document at dense
     /// index `index`; `stream` names the node's arrival stream (for its

@@ -77,6 +77,16 @@ pub struct PacketSimReport {
     /// tests pin; dividing by wall-clock time gives the engines'
     /// events/sec throughput metric.
     pub processed_events: u64,
+    /// Cross-shard wire messages that found their bounded ring (or
+    /// socket buffer) full and parked in the sender's unbounded overflow
+    /// queue. Back-pressure bookkeeping, not a simulation quantity:
+    /// always `0` for the sequential driver, and excluded from the
+    /// bit-identity the golden tests pin (it depends on transport and
+    /// thread timing, the numbers the simulation reports do not).
+    pub overflow_parks: u64,
+    /// Peak depth any single overflow queue reached — how far behind the
+    /// slowest wire fell. `0` when no message ever parked.
+    pub overflow_peak_parked: u64,
 }
 
 /// The sequential packet-level simulator, generic over its pending-event
@@ -306,6 +316,8 @@ impl<Q: SimQueue<PacketEvent> + Default> GenericPacketSim<Q> {
             tunnel_fetches: self.counters.tunnel_fetches,
             served_requests: self.counters.served_requests,
             processed_events: self.queue.processed(),
+            overflow_parks: 0,
+            overflow_peak_parked: 0,
         }
     }
 

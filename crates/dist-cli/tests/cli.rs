@@ -1,0 +1,118 @@
+//! End-to-end tests of the `webwave-dist` command line: the canonical
+//! report of a distributed run is byte-identical to the sequential
+//! `--sequential` run of the same spec, in self-spawning mode and in
+//! the `serve` + external-worker topology CI uses.
+
+use std::net::TcpListener;
+use std::process::{Command, Output, Stdio};
+
+fn bin() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_webwave-dist"))
+}
+
+fn spec_path() -> String {
+    format!(
+        "{}/../../scenarios/dist_smoke.json",
+        env!("CARGO_MANIFEST_DIR")
+    )
+}
+
+fn checked(out: Output, label: &str) -> String {
+    assert!(
+        out.status.success(),
+        "{label} failed ({}): {}",
+        out.status,
+        String::from_utf8_lossy(&out.stderr)
+    );
+    String::from_utf8(out.stdout).expect("canonical report is UTF-8")
+}
+
+#[test]
+fn run_output_matches_sequential_run() {
+    let dist = checked(
+        bin()
+            .args(["run", "--spec", &spec_path(), "--mode", "proc"])
+            .output()
+            .expect("spawn webwave-dist run"),
+        "run --mode proc",
+    );
+    let seq = checked(
+        bin()
+            .args(["run", "--spec", &spec_path(), "--sequential"])
+            .output()
+            .expect("spawn webwave-dist run --sequential"),
+        "run --sequential",
+    );
+    assert!(
+        dist.contains("trace="),
+        "canonical report carries the trace:\n{dist}"
+    );
+    assert_eq!(dist, seq, "distributed and sequential reports diverge");
+}
+
+#[test]
+fn serve_with_external_workers_matches_sequential_run() {
+    // Reserve a loopback port for the control plane: bind, read the
+    // assigned port, release it for `serve` to claim.
+    let port = {
+        let probe = TcpListener::bind("127.0.0.1:0").expect("probe bind");
+        probe.local_addr().expect("probe addr").port()
+    };
+    let addr = format!("127.0.0.1:{port}");
+
+    let serve = bin()
+        .args(["serve", "--spec", &spec_path(), "--listen", &addr])
+        .stdout(Stdio::piped())
+        .stderr(Stdio::piped())
+        .spawn()
+        .expect("spawn webwave-dist serve");
+    // dist_smoke.json asks for two workers; launch them externally, as
+    // CI does. The worker subcommand retries its dial, so there is no
+    // startup-order race with the coordinator's bind.
+    let workers: Vec<_> = (0..2)
+        .map(|i| {
+            bin()
+                .args(["worker", "--connect", &addr])
+                .stdin(Stdio::null())
+                .spawn()
+                .unwrap_or_else(|e| panic!("spawn worker {i}: {e}"))
+        })
+        .collect();
+
+    let out = serve.wait_with_output().expect("serve completes");
+    let served = checked(out, "serve");
+    for (i, mut w) in workers.into_iter().enumerate() {
+        let status = w.wait().unwrap_or_else(|e| panic!("wait worker {i}: {e}"));
+        assert!(status.success(), "worker {i} exited with {status}");
+    }
+
+    let seq = checked(
+        bin()
+            .args(["run", "--spec", &spec_path(), "--sequential"])
+            .output()
+            .expect("spawn webwave-dist run --sequential"),
+        "run --sequential",
+    );
+    assert_eq!(served, seq, "served and sequential reports diverge");
+}
+
+#[test]
+fn usage_errors_are_loud_and_typed() {
+    let out = bin().args(["run"]).output().expect("spawn");
+    assert_eq!(
+        out.status.code(),
+        Some(1),
+        "missing --spec is a usage error"
+    );
+    let out = bin()
+        .args(["run", "--spec", &spec_path(), "--bogus"])
+        .output()
+        .expect("spawn");
+    assert_eq!(out.status.code(), Some(1), "unknown flags are rejected");
+    assert!(String::from_utf8_lossy(&out.stderr).contains("--bogus"));
+    let out = bin()
+        .args(["serve", "--spec", &spec_path()])
+        .output()
+        .expect("spawn");
+    assert_eq!(out.status.code(), Some(1), "serve requires --listen");
+}

@@ -1,0 +1,177 @@
+//! Process-mode golden tests: the coordinator spawns real
+//! `webwave-dist worker` OS processes over loopback TCP, and the run
+//! must replay the sequential `PacketSim` bit for bit — the same
+//! contract the thread-mode suite in `ww-dist` pins, now across
+//! process boundaries with the actual shipped binary.
+//!
+//! Also pins the failure contract: a killed worker process surfaces as
+//! a typed [`DistError`] within the reply timeout, never a hang.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::time::{Duration, Instant};
+use ww_core::packetsim::{PacketSim, PacketSimConfig, PacketSimReport};
+use ww_dist::{DistMode, DistOptions, DistPacketSim};
+use ww_model::{DocId, NodeId, Tree};
+use ww_net::TrafficClass;
+use ww_topology::paper;
+use ww_workload::DocMix;
+
+/// Process mode, pointed at the binary cargo built for this crate.
+fn procs() -> DistOptions {
+    std::env::set_var("WW_DIST_WORKER_BIN", env!("CARGO_BIN_EXE_webwave-dist"));
+    DistOptions {
+        mode: DistMode::Processes,
+        ..DistOptions::default()
+    }
+}
+
+fn fig7_mix() -> (Tree, DocMix) {
+    let b = paper::fig7();
+    let mut mix = DocMix::new(b.tree.len());
+    for d in &b.demands {
+        mix.set(d.origin, d.doc, d.rate);
+    }
+    (b.tree, mix)
+}
+
+fn random_mix(seed: u64) -> (Tree, DocMix) {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let tree = ww_topology::random_tree_of_depth(&mut rng, 40, 5);
+    let rates = ww_workload::zipf_nodes(&mut rng, &tree, 900.0, 1.0);
+    let mix = ww_workload::shared_zipf_mix(&tree, &rates, 10, 1.0);
+    (tree, mix)
+}
+
+fn bits(xs: &[f64]) -> Vec<u64> {
+    xs.iter().map(|x| x.to_bits()).collect()
+}
+
+fn assert_reports_identical(a: &PacketSimReport, b: &PacketSimReport, label: &str) {
+    assert_eq!(
+        bits(a.trace.distances()),
+        bits(b.trace.distances()),
+        "{label}: traces diverge"
+    );
+    assert_eq!(
+        bits(a.served_rates.as_slice()),
+        bits(b.served_rates.as_slice()),
+        "{label}: served rates diverge"
+    );
+    assert_eq!(
+        a.final_distance.to_bits(),
+        b.final_distance.to_bits(),
+        "{label}: final distance diverges"
+    );
+    assert_eq!(a.served_requests, b.served_requests, "{label}: served");
+    assert_eq!(
+        a.processed_events, b.processed_events,
+        "{label}: processed events"
+    );
+    assert_eq!(a.copy_pushes, b.copy_pushes, "{label}: pushes");
+    assert_eq!(a.tunnel_fetches, b.tunnel_fetches, "{label}: fetches");
+    assert_eq!(
+        a.mean_hops.to_bits(),
+        b.mean_hops.to_bits(),
+        "{label}: mean hops"
+    );
+    for class in [
+        TrafficClass::Request,
+        TrafficClass::Response,
+        TrafficClass::Gossip,
+        TrafficClass::CopyPush,
+        TrafficClass::Tunnel,
+    ] {
+        assert_eq!(
+            a.ledger.count(class),
+            b.ledger.count(class),
+            "{label}: {class:?} count"
+        );
+        assert_eq!(
+            a.ledger.bytes(class),
+            b.ledger.bytes(class),
+            "{label}: {class:?} bytes"
+        );
+    }
+}
+
+#[test]
+fn worker_processes_match_sequential_at_1_2_4_workers() {
+    let (tree, mix) = fig7_mix();
+    let config = PacketSimConfig::default();
+    let seq = PacketSim::new(&tree, &mix, config).run(12.0);
+    assert!(seq.served_requests > 500, "run long enough to matter");
+    for workers in [1, 2, 4] {
+        let mut dist = DistPacketSim::launch(&tree, &mix, config, workers, procs()).unwrap();
+        let rep = dist.run(12.0).unwrap();
+        assert_reports_identical(&seq, &rep, &format!("fig7 process workers={workers}"));
+        dist.shutdown();
+    }
+}
+
+#[test]
+fn worker_processes_replay_churn_bit_for_bit() {
+    let (tree, mix) = fig7_mix();
+    let config = PacketSimConfig::default();
+
+    let mut seq = PacketSim::new(&tree, &mix, config);
+    seq.run(4.0);
+    seq.fail_link(NodeId::new(2));
+    seq.invalidate(DocId::new(1)).unwrap();
+    seq.run(8.0);
+    seq.heal_link(NodeId::new(2));
+    let newcomer = seq.add_leaf(NodeId::new(1), 40.0).unwrap();
+    seq.publish_doc(DocId::new(9), NodeId::new(0), 25.0)
+        .unwrap();
+    seq.run(12.0);
+    seq.remove_leaf(newcomer).unwrap();
+    let a = seq.run(16.0);
+
+    for workers in [1, 2, 4] {
+        let mut dist = DistPacketSim::launch(&tree, &mix, config, workers, procs()).unwrap();
+        dist.run(4.0).unwrap();
+        assert!(dist.fail_link(NodeId::new(2)).unwrap());
+        dist.invalidate(DocId::new(1)).unwrap();
+        dist.run(8.0).unwrap();
+        assert!(dist.heal_link(NodeId::new(2)).unwrap());
+        let got = dist.add_leaf(NodeId::new(1), 40.0).unwrap();
+        assert_eq!(got, newcomer, "churn ids agree across drivers");
+        dist.publish_doc(DocId::new(9), NodeId::new(0), 25.0)
+            .unwrap();
+        dist.run(12.0).unwrap();
+        dist.remove_leaf(newcomer).unwrap();
+        let b = dist.run(16.0).unwrap();
+        assert_reports_identical(&a, &b, &format!("churn process workers={workers}"));
+    }
+}
+
+#[test]
+fn killed_worker_process_is_a_typed_error_not_a_hang() {
+    let (tree, mix) = random_mix(11);
+    let config = PacketSimConfig::default();
+    let mut options = procs();
+    // Shrink the patience so the test pins "within the read timeout"
+    // at test-suite scale.
+    options.reply_timeout = Duration::from_secs(10);
+    options.stall_timeout = Some(Duration::from_secs(5));
+    let mut dist = DistPacketSim::launch(&tree, &mix, config, 2, options).unwrap();
+    dist.run(2.0).unwrap();
+    assert!(dist.kill_worker_process(0), "first worker process killed");
+    let started = Instant::now();
+    let err = match dist.run(4.0) {
+        Err(e) => e,
+        Ok(_) => panic!("a run missing its worker must fail"),
+    };
+    let waited = started.elapsed();
+    assert!(
+        waited < Duration::from_secs(30),
+        "typed error must surface within the timeouts, took {waited:?}: {err}"
+    );
+    // Any transport-level variant is acceptable (which one wins the
+    // race depends on whether the kill lands mid-epoch or between
+    // epochs); a model error would mean we misdiagnosed the death.
+    assert!(
+        !matches!(err, ww_dist::DistError::Model(_)),
+        "death must not be reported as a model error: {err}"
+    );
+}

@@ -1,0 +1,681 @@
+//! The coordinator side of a distributed run: [`DistPacketSim`], a
+//! drop-in sibling of the in-process
+//! [`ParPacketSim`](ww_pdes::ParPacketSim) whose shards live in other
+//! OS processes (or threads) and talk over TCP.
+//!
+//! The coordinator holds **no shard**. It keeps a
+//! [`ShardHost`]-replica of the shared bookkeeping (world, partition,
+//! horizon), drives epochs by broadcasting `RunEpoch` and merging the
+//! returned exact trace partials, mirrors every barrier mutation onto
+//! the replica and broadcasts it to the workers, and assembles the
+//! final [`PacketSimReport`] from per-worker slices. Determinism: the
+//! sample instants, the barrier schedule, and all mutation arguments
+//! are coordinator-chosen and identical to the sequential driver's; the
+//! shards compute exactly what the in-process engine's shards compute;
+//! and the exact accumulator makes the merge order irrelevant — so the
+//! distributed run is bit-identical to the sequential and threaded
+//! ones, which the golden tests pin at several worker counts.
+
+use crate::codec::{ApplyCmd, Assign, Msg, WorkerReport};
+use crate::error::DistError;
+use crate::framed::FramedStream;
+use crate::spawn::{find_worker_bin, DistMode};
+use crate::worker::run_worker;
+use std::net::TcpListener;
+use std::process::{Child, Command, Stdio};
+use std::sync::mpsc::{channel, Receiver, RecvTimeoutError, Sender};
+use std::time::{Duration, Instant};
+use ww_core::packet::{PacketCounters, PacketSimConfig};
+use ww_core::packetsim::PacketSimReport;
+use ww_model::{DocId, LeafRemoval, NodeId, RateVector, Tree};
+use ww_net::TrafficLedger;
+use ww_pdes::{PacketShardHost, ShardHost, DEFAULT_STALL_TIMEOUT};
+use ww_sim::SimTime;
+use ww_stats::{ConvergenceTrace, ExactSum};
+use ww_workload::DocMix;
+
+/// Tuning of a distributed launch.
+#[derive(Debug, Clone)]
+pub struct DistOptions {
+    /// How workers come up (spawned processes, spawned threads, or
+    /// externally launched).
+    pub mode: DistMode,
+    /// Address the coordinator listens on for worker control
+    /// connections. Port 0 picks an ephemeral port (the `serve` CLI
+    /// binds with an explicit port and prints it, so externally
+    /// launched workers know where to connect).
+    pub listen: String,
+    /// Stall timeout assigned to every worker's epochs: silence on a
+    /// data wire past this long becomes a typed error instead of a
+    /// hang. `None` disables stall detection.
+    pub stall_timeout: Option<Duration>,
+    /// How long the coordinator waits for any single expected reply on
+    /// a control connection before declaring the worker unresponsive.
+    /// Worker *death* is detected immediately via EOF regardless of
+    /// this timeout.
+    pub reply_timeout: Duration,
+    /// Window batching for the workers' outbound wires.
+    pub batching: bool,
+}
+
+impl Default for DistOptions {
+    fn default() -> Self {
+        DistOptions {
+            mode: DistMode::Auto,
+            listen: "127.0.0.1:0".to_string(),
+            stall_timeout: Some(DEFAULT_STALL_TIMEOUT),
+            reply_timeout: Duration::from_secs(120),
+            batching: true,
+        }
+    }
+}
+
+/// Control-plane handle of one assigned worker: the write half of its
+/// connection plus the inbox its reader thread feeds.
+#[derive(Debug)]
+struct WorkerCtl {
+    writer: FramedStream,
+    inbox: Receiver<Result<Msg, DistError>>,
+}
+
+/// The distributed packet-level simulator. See the module docs; for
+/// construction see [`DistPacketSim::launch`].
+#[derive(Debug)]
+pub struct DistPacketSim {
+    replica: PacketShardHost,
+    workers: Vec<WorkerCtl>,
+    children: Vec<Child>,
+    trace: ConvergenceTrace,
+    epochs_sampled: u64,
+    options: DistOptions,
+    shut_down: bool,
+}
+
+impl DistPacketSim {
+    /// Launches a distributed run: binds the control listener, brings
+    /// up `workers` workers per `options.mode`, hands each its shard
+    /// assignment, and waits until the full data mesh is up. The
+    /// partition is derived from `(tree, workers)` exactly as the
+    /// in-process engine derives it; on small trees fewer shards than
+    /// workers may result, and surplus workers are dismissed.
+    ///
+    /// # Errors
+    ///
+    /// [`DistError`] when spawning fails, a worker dies or misbehaves
+    /// during the handshake, or nothing connects within the reply
+    /// timeout.
+    ///
+    /// # Panics
+    ///
+    /// As [`ParPacketSim::new`](ww_pdes::GenericParPacketSim::new):
+    /// zero workers, a non-trivial partition without positive link
+    /// delay, or invalid world inputs.
+    pub fn launch(
+        tree: &Tree,
+        mix: &DocMix,
+        config: PacketSimConfig,
+        workers: usize,
+        options: DistOptions,
+    ) -> Result<Self, DistError> {
+        assert!(workers > 0, "need at least one worker");
+        let replica: PacketShardHost = ShardHost::replica(tree, mix, config, workers);
+        let shards = replica.shards();
+
+        let listener = TcpListener::bind(options.listen.as_str())?;
+        let ctrl_addr = listener.local_addr()?.to_string();
+
+        let mut children = Vec::new();
+        match options.mode.resolve() {
+            DistMode::Processes => {
+                let bin = find_worker_bin().ok_or_else(|| DistError::SpawnUnavailable {
+                    detail: "WW_DIST_WORKER_BIN unset and no webwave-dist next to the \
+                             current executable"
+                        .to_string(),
+                })?;
+                for _ in 0..workers {
+                    children.push(
+                        Command::new(&bin)
+                            .arg("worker")
+                            .arg("--connect")
+                            .arg(&ctrl_addr)
+                            .stdin(Stdio::null())
+                            .spawn()?,
+                    );
+                }
+            }
+            DistMode::Threads => {
+                for i in 0..workers {
+                    let addr = ctrl_addr.clone();
+                    std::thread::Builder::new()
+                        .name(format!("ww-dist-worker-{i}"))
+                        .spawn(move || {
+                            // Failures surface on the coordinator side
+                            // (EOF / Fatal); the thread's own result is
+                            // redundant.
+                            let _ = run_worker(&addr);
+                        })?;
+                }
+            }
+            DistMode::External => {}
+            DistMode::Auto => unreachable!("resolve() never returns Auto"),
+        }
+
+        // Collect one Hello per worker (they connect in arbitrary order).
+        listener.set_nonblocking(true)?;
+        let deadline = Instant::now() + options.reply_timeout;
+        let mut conns: Vec<(FramedStream, String)> = Vec::new();
+        while conns.len() < workers {
+            match listener.accept() {
+                Ok((stream, _)) => {
+                    stream.set_nonblocking(false)?;
+                    let mut framed = FramedStream::new(stream)?;
+                    match framed.read_msg()? {
+                        Msg::Hello { data_addr } => conns.push((framed, data_addr)),
+                        other => {
+                            return Err(DistError::Protocol {
+                                detail: format!("expected Hello, got {other:?}"),
+                            })
+                        }
+                    }
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                    if Instant::now() > deadline {
+                        return Err(DistError::Timeout {
+                            worker: conns.len(),
+                            waited: options.reply_timeout,
+                        });
+                    }
+                    std::thread::sleep(Duration::from_millis(2));
+                }
+                Err(e) => return Err(DistError::Io(e)),
+            }
+        }
+
+        // Assign the first `shards` connections, one shard each, and
+        // excuse the rest.
+        let peers: Vec<(usize, String)> = conns
+            .iter()
+            .take(shards)
+            .enumerate()
+            .map(|(shard, (_, addr))| (shard, addr.clone()))
+            .collect();
+        let demands = mix_demands(mix);
+        let parents = tree.to_parents();
+        let mut assigned = Vec::new();
+        for (shard, (mut framed, _)) in conns.into_iter().enumerate() {
+            if shard >= shards {
+                framed.write_msg(&Msg::Surplus)?;
+                continue;
+            }
+            framed.write_msg(&Msg::Assign(Assign {
+                shard_id: shard,
+                shard_hint: workers,
+                batching: options.batching,
+                stall_ms: options.stall_timeout.map(|d| d.as_millis() as u64),
+                parents: parents.clone(),
+                mix_nodes: mix.len(),
+                demands: demands.clone(),
+                config,
+                peers: peers.clone(),
+            }))?;
+            assigned.push(framed);
+        }
+
+        // Split each control connection: a reader thread owns the
+        // inbound half (so worker death surfaces as an inbox error the
+        // moment the socket closes), the writer half stays here.
+        let mut ctls = Vec::new();
+        for (shard, writer) in assigned.into_iter().enumerate() {
+            let mut reader = writer.try_clone()?;
+            let (tx, inbox): (Sender<Result<Msg, DistError>>, _) = channel();
+            std::thread::Builder::new()
+                .name(format!("ww-dist-ctrl-{shard}"))
+                .spawn(move || loop {
+                    match reader.read_msg() {
+                        Ok(msg) => {
+                            if tx.send(Ok(msg)).is_err() {
+                                return;
+                            }
+                        }
+                        Err(e) => {
+                            let _ = tx.send(Err(e));
+                            return;
+                        }
+                    }
+                })?;
+            ctls.push(WorkerCtl { writer, inbox });
+        }
+
+        let mut sim = DistPacketSim {
+            replica,
+            workers: ctls,
+            children,
+            trace: ConvergenceTrace::new(),
+            epochs_sampled: 0,
+            options,
+            shut_down: false,
+        };
+
+        // Wait for every worker's data mesh to come up.
+        for shard in 0..sim.workers.len() {
+            match sim.wait(shard)? {
+                Msg::Ready => {}
+                other => {
+                    return Err(DistError::Protocol {
+                        detail: format!("expected Ready from worker {shard}, got {other:?}"),
+                    })
+                }
+            }
+        }
+        Ok(sim)
+    }
+
+    /// Number of shards actually running (≤ the requested worker
+    /// count on small trees).
+    pub fn shard_count(&self) -> usize {
+        self.workers.len().max(1)
+    }
+
+    /// The TLB oracle for the offered demand.
+    pub fn oracle(&self) -> &RateVector {
+        &self.replica.world().oracle
+    }
+
+    /// The routing tree as the run currently sees it.
+    pub fn tree(&self) -> &Tree {
+        &self.replica.world().tree
+    }
+
+    /// One expected reply from worker `shard`, with full failure
+    /// typing: EOF → [`DistError::WorkerDied`], a `Fatal` message →
+    /// [`DistError::WorkerFailed`], silence past the reply timeout →
+    /// [`DistError::Timeout`].
+    fn wait(&mut self, shard: usize) -> Result<Msg, DistError> {
+        match self.workers[shard]
+            .inbox
+            .recv_timeout(self.options.reply_timeout)
+        {
+            Ok(Ok(Msg::Fatal { msg })) => Err(DistError::WorkerFailed {
+                worker: shard,
+                detail: msg,
+            }),
+            Ok(Ok(msg)) => Ok(msg),
+            Ok(Err(e)) => Err(match e {
+                DistError::Io(io) => DistError::WorkerDied {
+                    worker: shard,
+                    detail: io.to_string(),
+                },
+                other => other,
+            }),
+            Err(RecvTimeoutError::Timeout) => Err(DistError::Timeout {
+                worker: shard,
+                waited: self.options.reply_timeout,
+            }),
+            Err(RecvTimeoutError::Disconnected) => Err(DistError::WorkerDied {
+                worker: shard,
+                detail: "control reader exited".to_string(),
+            }),
+        }
+    }
+
+    fn send(&mut self, shard: usize, msg: &Msg) -> Result<(), DistError> {
+        self.workers[shard]
+            .writer
+            .write_msg(msg)
+            .map_err(|e| match e {
+                DistError::Io(io) => DistError::WorkerDied {
+                    worker: shard,
+                    detail: io.to_string(),
+                },
+                other => other,
+            })
+    }
+
+    /// Advances every shard to `t_end` and moves the replica's horizon
+    /// there; with `sample`, merges and returns the workers' exact
+    /// trace partials.
+    fn advance_all(&mut self, t_end: SimTime, sample: bool) -> Result<Option<ExactSum>, DistError> {
+        if t_end <= self.replica.horizon() {
+            return Ok(None);
+        }
+        for shard in 0..self.workers.len() {
+            self.send(shard, &Msg::RunEpoch { t_end, sample })?;
+        }
+        self.replica
+            .run_epoch(t_end, sample)
+            .expect("a replica has no wires to fail");
+        let mut merged = sample.then(ExactSum::new);
+        for shard in 0..self.workers.len() {
+            match self.wait(shard)? {
+                Msg::EpochDone { partial } => {
+                    if let Some(limbs) = partial {
+                        let p = ExactSum::from_limbs(&limbs).ok_or(DistError::Protocol {
+                            detail: format!(
+                                "worker {shard} returned a partial with {} limbs",
+                                limbs.len()
+                            ),
+                        })?;
+                        merged
+                            .as_mut()
+                            .ok_or(DistError::Protocol {
+                                detail: format!(
+                                    "worker {shard} returned a partial for an unsampled epoch"
+                                ),
+                            })?
+                            .merge(&p);
+                    }
+                }
+                other => {
+                    return Err(DistError::Protocol {
+                        detail: format!("expected EpochDone from worker {shard}, got {other:?}"),
+                    })
+                }
+            }
+        }
+        Ok(merged)
+    }
+
+    /// The next pending epoch-boundary sample time.
+    fn next_sample(&self) -> SimTime {
+        SimTime::from_secs(
+            (self.epochs_sampled + 1) as f64 * self.replica.world().config.diffusion_period,
+        )
+    }
+
+    /// Runs the simulation up to `duration` simulated seconds and
+    /// reports — the epoch schedule, sample instants, and final barrier
+    /// are exactly [`ParPacketSim::run`](ww_pdes::GenericParPacketSim::run)'s.
+    /// May be called repeatedly with increasing horizons.
+    ///
+    /// # Errors
+    ///
+    /// [`DistError`] when a worker dies, stalls, or misbehaves — within
+    /// the configured timeouts, never as a hang.
+    pub fn run(&mut self, duration: f64) -> Result<PacketSimReport, DistError> {
+        let deadline = SimTime::from_secs(duration);
+        while self.next_sample() <= deadline {
+            let at = self.next_sample();
+            let sum = self
+                .advance_all(at, true)?
+                .expect("sample barriers always advance the horizon");
+            self.trace.push(sum.value().sqrt());
+            self.epochs_sampled += 1;
+        }
+        self.advance_all(deadline, false)?;
+        self.report()
+    }
+
+    /// Assembles the report at the current horizon from per-worker
+    /// slices.
+    ///
+    /// # Errors
+    ///
+    /// [`DistError`] when a worker dies or misbehaves.
+    pub fn report(&mut self) -> Result<PacketSimReport, DistError> {
+        let now = self.replica.horizon().as_secs().max(1e-9);
+        for shard in 0..self.workers.len() {
+            self.send(shard, &Msg::ReportRequest { now })?;
+        }
+        let mut slices: Vec<WorkerReport> = Vec::with_capacity(self.workers.len());
+        for shard in 0..self.workers.len() {
+            match self.wait(shard)? {
+                Msg::Report(rep) => slices.push(rep),
+                other => {
+                    return Err(DistError::Protocol {
+                        detail: format!("expected Report from worker {shard}, got {other:?}"),
+                    })
+                }
+            }
+        }
+
+        let n = self.replica.world().len();
+        let mut rates = vec![0.0f64; n];
+        let mut ledger = TrafficLedger::new();
+        let mut counters = PacketCounters::default();
+        let mut processed = 0u64;
+        let mut overflow_parks = 0u64;
+        let mut overflow_peak_parked = 0u64;
+        for (shard, rep) in slices.iter().enumerate() {
+            let members = &self.replica.partition().members[shard];
+            if rep.rates.len() != members.len() {
+                return Err(DistError::Protocol {
+                    detail: format!(
+                        "worker {shard} reported {} rates for {} members",
+                        rep.rates.len(),
+                        members.len()
+                    ),
+                });
+            }
+            for (k, &node) in members.iter().enumerate() {
+                rates[node.index()] = rep.rates[k];
+            }
+            let (counts, bytes, hops) = rep.ledger;
+            ledger.merge(&TrafficLedger::from_raw(counts, bytes, hops));
+            let (copy_pushes, tunnel_fetches, hops_sum, served_requests) = rep.counters;
+            counters.merge(&PacketCounters {
+                copy_pushes,
+                tunnel_fetches,
+                hops_sum,
+                served_requests,
+            });
+            processed += rep.processed;
+            overflow_parks += rep.parks;
+            overflow_peak_parked = overflow_peak_parked.max(rep.peak_parked);
+        }
+
+        let served_rates = RateVector::from(rates);
+        let final_distance = served_rates.euclidean_distance(&self.replica.world().oracle);
+        Ok(PacketSimReport {
+            final_distance,
+            served_rates,
+            oracle: self.replica.world().oracle.clone(),
+            trace: self.trace.clone(),
+            ledger,
+            mean_hops: if counters.served_requests == 0 {
+                0.0
+            } else {
+                counters.hops_sum as f64 / counters.served_requests as f64
+            },
+            copy_pushes: counters.copy_pushes,
+            tunnel_fetches: counters.tunnel_fetches,
+            served_requests: counters.served_requests,
+            processed_events: processed,
+            overflow_parks,
+            overflow_peak_parked,
+        })
+    }
+
+    /// Broadcasts one barrier mutation and requires every worker to
+    /// apply it cleanly (the replica already has — same arguments, same
+    /// state, same pure logic — so a worker-side rejection is a
+    /// protocol desync, not a user error).
+    fn apply(&mut self, cmd: ApplyCmd) -> Result<(), DistError> {
+        for shard in 0..self.workers.len() {
+            self.send(shard, &Msg::Apply(cmd.clone()))?;
+        }
+        for shard in 0..self.workers.len() {
+            match self.wait(shard)? {
+                Msg::Applied { err: None } => {}
+                Msg::Applied { err: Some(e) } => {
+                    return Err(DistError::WorkerFailed {
+                        worker: shard,
+                        detail: format!("barrier mutation diverged: {e}"),
+                    })
+                }
+                other => {
+                    return Err(DistError::Protocol {
+                        detail: format!("expected Applied from worker {shard}, got {other:?}"),
+                    })
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Whether the control link from `node` to its parent is failed.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node` is out of range.
+    pub fn link_failed(&self, node: NodeId) -> bool {
+        self.replica.link_failed(node)
+    }
+
+    /// Fails the control link between `node` and its parent at the
+    /// current barrier, on every participant. Returns `false` when
+    /// already failed.
+    ///
+    /// # Errors
+    ///
+    /// [`DistError`] when a worker is gone.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node` is out of range or is the root.
+    pub fn fail_link(&mut self, node: NodeId) -> Result<bool, DistError> {
+        let local = self.replica.fail_link(node);
+        self.apply(ApplyCmd::FailLink { node: node.index() })?;
+        Ok(local)
+    }
+
+    /// Restores the control link between `node` and its parent.
+    /// Returns `false` when the link was not failed.
+    ///
+    /// # Errors
+    ///
+    /// [`DistError`] when a worker is gone.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node` is out of range or is the root.
+    pub fn heal_link(&mut self, node: NodeId) -> Result<bool, DistError> {
+        let local = self.replica.heal_link(node);
+        self.apply(ApplyCmd::HealLink { node: node.index() })?;
+        Ok(local)
+    }
+
+    /// Invalidates every cached copy of `doc` outside the home server.
+    ///
+    /// # Errors
+    ///
+    /// [`DistError::Model`] when the model rejects the operation (then
+    /// nothing was broadcast — all participants still agree), any other
+    /// [`DistError`] when a worker is gone.
+    pub fn invalidate(&mut self, doc: DocId) -> Result<(), DistError> {
+        self.replica.invalidate(doc)?;
+        self.apply(ApplyCmd::Invalidate { doc: doc.value() })
+    }
+
+    /// A cache server joins as a new leaf under `parent` at the current
+    /// barrier.
+    ///
+    /// # Errors
+    ///
+    /// As [`DistPacketSim::invalidate`].
+    pub fn add_leaf(&mut self, parent: NodeId, rate: f64) -> Result<NodeId, DistError> {
+        let id = self.replica.add_leaf(parent, rate)?;
+        self.apply(ApplyCmd::AddLeaf {
+            parent: parent.index(),
+            rate,
+        })?;
+        Ok(id)
+    }
+
+    /// The leaf `node` departs at the current barrier.
+    ///
+    /// # Errors
+    ///
+    /// As [`DistPacketSim::invalidate`].
+    pub fn remove_leaf(&mut self, node: NodeId) -> Result<LeafRemoval, DistError> {
+        let removal = self.replica.remove_leaf(node)?;
+        self.apply(ApplyCmd::RemoveLeaf { node: node.index() })?;
+        Ok(removal)
+    }
+
+    /// Publishes a document at the current barrier.
+    ///
+    /// # Errors
+    ///
+    /// As [`DistPacketSim::invalidate`].
+    pub fn publish_doc(&mut self, doc: DocId, origin: NodeId, rate: f64) -> Result<(), DistError> {
+        self.replica.publish_doc(doc, origin, rate)?;
+        self.apply(ApplyCmd::PublishDoc {
+            doc: doc.value(),
+            origin: origin.index(),
+            rate,
+        })
+    }
+
+    /// Replaces the whole demand mix at the current barrier.
+    ///
+    /// # Errors
+    ///
+    /// As [`DistPacketSim::invalidate`].
+    pub fn set_mix(&mut self, mix: &DocMix) -> Result<(), DistError> {
+        self.replica.set_mix(mix)?;
+        self.apply(ApplyCmd::SetMix {
+            nodes: mix.len(),
+            demands: mix_demands(mix),
+        })
+    }
+
+    /// Test hook: SIGKILLs the `i`-th spawned worker **process** (no
+    /// shutdown handshake), so tests can pin that a dead worker
+    /// surfaces as a typed error within the read timeout. Returns
+    /// `false` when there is no such child (thread or external mode).
+    pub fn kill_worker_process(&mut self, i: usize) -> bool {
+        match self.children.get_mut(i) {
+            Some(child) => child.kill().is_ok(),
+            None => false,
+        }
+    }
+
+    /// Ends the run: tells every worker to exit and reaps spawned
+    /// processes. Idempotent; also performed on drop. Errors are
+    /// swallowed — shutdown is best-effort by design (the peer may
+    /// already be gone, which is fine).
+    pub fn shutdown(&mut self) {
+        if self.shut_down {
+            return;
+        }
+        self.shut_down = true;
+        for shard in 0..self.workers.len() {
+            let _ = self.send(shard, &Msg::Shutdown);
+        }
+        // Dropping the writers closes the control sockets, so even a
+        // worker that missed the Shutdown sees EOF and exits.
+        self.workers.clear();
+        let grace = Instant::now() + Duration::from_secs(5);
+        for child in &mut self.children {
+            loop {
+                match child.try_wait() {
+                    Ok(Some(_)) => break,
+                    Ok(None) if Instant::now() > grace => {
+                        let _ = child.kill();
+                        let _ = child.wait();
+                        break;
+                    }
+                    Ok(None) => std::thread::sleep(Duration::from_millis(10)),
+                    Err(_) => break,
+                }
+            }
+        }
+    }
+}
+
+impl Drop for DistPacketSim {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+/// The demand mix as canonical `(node, doc, rate)` triples, node-major.
+fn mix_demands(mix: &DocMix) -> Vec<(usize, u64, f64)> {
+    let mut demands = Vec::new();
+    for j in 0..mix.len() {
+        for &(doc, rate) in mix.demands_of(NodeId::new(j)) {
+            demands.push((j, doc.value(), rate));
+        }
+    }
+    demands
+}

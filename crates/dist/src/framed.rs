@@ -1,0 +1,99 @@
+//! Blocking framed message I/O over one TCP stream — the control-plane
+//! counterpart of the threaded data-plane endpoints in [`crate::link`].
+
+use crate::codec::{encode_msg, FrameBuffer, Msg};
+use crate::error::DistError;
+use std::io::{Read, Write};
+use std::net::TcpStream;
+
+/// One TCP stream carrying length-prefixed [`Msg`] frames, read and
+/// written synchronously.
+#[derive(Debug)]
+pub struct FramedStream {
+    stream: TcpStream,
+    frames: FrameBuffer,
+    out: Vec<u8>,
+}
+
+impl FramedStream {
+    /// Wraps a connected stream (enables `TCP_NODELAY` — control
+    /// messages are small and latency-sensitive).
+    ///
+    /// # Errors
+    ///
+    /// An I/O error from configuring the socket.
+    pub fn new(stream: TcpStream) -> Result<Self, DistError> {
+        stream.set_nodelay(true)?;
+        Ok(FramedStream {
+            stream,
+            frames: FrameBuffer::new(),
+            out: Vec::with_capacity(4096),
+        })
+    }
+
+    /// A second handle onto the same connection (shares the socket, not
+    /// the frame reassembly state) — lets a reader thread own the
+    /// inbound half while the writer half stays with the caller.
+    ///
+    /// # Errors
+    ///
+    /// An I/O error from duplicating the socket handle.
+    pub fn try_clone(&self) -> Result<Self, DistError> {
+        Ok(FramedStream {
+            stream: self.stream.try_clone()?,
+            frames: FrameBuffer::new(),
+            out: Vec::with_capacity(4096),
+        })
+    }
+
+    /// Writes one message as a frame and flushes it to the socket.
+    ///
+    /// # Errors
+    ///
+    /// An I/O error when the peer is gone.
+    pub fn write_msg(&mut self, msg: &Msg) -> Result<(), DistError> {
+        self.out.clear();
+        encode_msg(msg, &mut self.out);
+        self.stream.write_all(&self.out)?;
+        Ok(())
+    }
+
+    /// Bytes received past the last message returned by
+    /// [`FramedStream::read_msg`] — nonzero means the peer pipelined
+    /// more traffic behind it.
+    pub fn pending(&self) -> usize {
+        self.frames.pending()
+    }
+
+    /// Unwraps the underlying stream (discarding any reassembly state;
+    /// check [`FramedStream::pending`] first when that matters).
+    pub fn into_inner(self) -> TcpStream {
+        self.stream
+    }
+
+    /// Blocks until one complete message arrives.
+    ///
+    /// # Errors
+    ///
+    /// [`DistError::Io`] on EOF (peer closed) or socket failure,
+    /// [`DistError::Codec`] on a corrupt frame.
+    pub fn read_msg(&mut self) -> Result<Msg, DistError> {
+        let mut chunk = [0u8; 16 * 1024];
+        loop {
+            if let Some(msg) = self.frames.next_msg()? {
+                return Ok(msg);
+            }
+            match self.stream.read(&mut chunk) {
+                Ok(0) => {
+                    return Err(DistError::Io(std::io::Error::new(
+                        std::io::ErrorKind::UnexpectedEof,
+                        "peer closed the control connection",
+                    )))
+                }
+                Ok(n) => self.frames.feed(&chunk[..n]),
+                Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+                Err(e) => return Err(DistError::Io(e)),
+            }
+        }
+    }
+}

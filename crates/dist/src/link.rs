@@ -1,0 +1,312 @@
+//! Socket-backed wire endpoints: [`WireSender`]/[`WireReceiver`] over a
+//! TCP stream, with one writer and one reader thread per connection.
+//!
+//! One TCP connection carries **both** directed wires of an adjacent
+//! shard pair (TCP is full duplex). The writer thread drains an
+//! unbounded in-process queue, coalescing whatever is immediately
+//! available into one `write_all` — so the shard's event loop never
+//! blocks on the socket, and a lookahead window's worth of messages
+//! costs one syscall, mirroring the SPSC ring's batched publication.
+//! The reader thread reassembles frames and hands [`Wire`] messages to
+//! the consuming shard through a second queue.
+//!
+//! TCP preserves per-connection byte order, the framing preserves
+//! message boundaries, and both in-process queues are FIFO — so the
+//! per-wire FIFO contract of [`ww_pdes::transport`] holds end to end,
+//! which is all the engine needs for bit-identical runs (every merge
+//! decision is content-derived, never timing-derived).
+//!
+//! Peer death is detected, never waited out: an EOF or I/O error on
+//! either thread latches a shared *dead* flag with a human-readable
+//! detail, and every subsequent `stage`/`try_recv` returns
+//! [`LinkError::Closed`]. Silence (a peer that is alive but wedged) is
+//! the shard's own stall timeout's job.
+
+use crate::codec::{encode_msg, FrameBuffer, Msg};
+use std::io::{Read, Write};
+use std::net::{Shutdown, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::mpsc::{channel, Receiver, Sender, TryRecvError};
+use std::sync::{Arc, Mutex};
+use ww_pdes::{LinkError, StageError, Wire, WireReceiver, WireSender};
+
+/// Shared liveness state of one direction of a connection.
+#[derive(Debug, Default)]
+struct LinkState {
+    dead: AtomicBool,
+    detail: Mutex<String>,
+}
+
+impl LinkState {
+    fn mark_dead(&self, detail: String) {
+        let mut d = self.detail.lock().unwrap_or_else(|e| e.into_inner());
+        if !self.dead.swap(true, Ordering::Release) {
+            *d = detail;
+        }
+    }
+
+    fn error(&self) -> LinkError {
+        let d = self.detail.lock().unwrap_or_else(|e| e.into_inner());
+        LinkError::Closed {
+            detail: if d.is_empty() {
+                "peer connection closed".to_string()
+            } else {
+                d.clone()
+            },
+        }
+    }
+
+    fn is_dead(&self) -> bool {
+        self.dead.load(Ordering::Acquire)
+    }
+}
+
+/// The sending half of one directed socket wire. `stage` enqueues to
+/// the writer thread and never blocks; `commit` is a no-op (the writer
+/// publishes continuously, coalescing bursts).
+#[derive(Debug)]
+pub struct SocketSender {
+    tx: Sender<Wire>,
+    state: Arc<LinkState>,
+}
+
+impl WireSender for SocketSender {
+    fn stage(&mut self, msg: Wire) -> Result<(), StageError> {
+        if self.state.is_dead() {
+            return Err(StageError::Link(self.state.error()));
+        }
+        self.tx
+            .send(msg)
+            .map_err(|_| StageError::Link(self.state.error()))
+    }
+
+    fn commit(&mut self) -> Result<(), LinkError> {
+        if self.state.is_dead() {
+            return Err(self.state.error());
+        }
+        Ok(())
+    }
+}
+
+/// The receiving half of one directed socket wire, fed by the
+/// connection's reader thread.
+#[derive(Debug)]
+pub struct SocketReceiver {
+    rx: Receiver<Wire>,
+    state: Arc<LinkState>,
+}
+
+impl WireReceiver for SocketReceiver {
+    fn try_recv(&mut self) -> Result<Option<Wire>, LinkError> {
+        match self.rx.try_recv() {
+            Ok(msg) => Ok(Some(msg)),
+            Err(TryRecvError::Empty) => {
+                // Buffered messages drain before death surfaces, so
+                // nothing the peer managed to send is lost.
+                if self.state.is_dead() {
+                    Err(self.state.error())
+                } else {
+                    Ok(None)
+                }
+            }
+            Err(TryRecvError::Disconnected) => Err(self.state.error()),
+        }
+    }
+}
+
+/// Splits one established shard-to-shard connection into its two wire
+/// endpoints: our outbound sender and our inbound receiver (the peer
+/// holds the mirror pair on its end). Spawns the connection's writer
+/// and reader threads; both exit on their own when the run ends (clean
+/// shutdown sends a TCP FIN) or the peer dies.
+///
+/// # Errors
+///
+/// An I/O error from configuring or cloning the stream.
+pub fn split_wires(
+    stream: TcpStream,
+    peer: &str,
+) -> std::io::Result<(SocketSender, SocketReceiver)> {
+    stream.set_nodelay(true)?;
+    let write_half = stream.try_clone()?;
+    let read_half = stream;
+
+    let out_state = Arc::new(LinkState::default());
+    let in_state = Arc::new(LinkState::default());
+    let (out_tx, out_rx) = channel::<Wire>();
+    let (in_tx, in_rx) = channel::<Wire>();
+
+    let wstate = Arc::clone(&out_state);
+    let wpeer = peer.to_string();
+    std::thread::Builder::new()
+        .name(format!("ww-dist-writer-{peer}"))
+        .spawn(move || writer_loop(write_half, out_rx, &wstate, &wpeer))?;
+
+    let rstate = Arc::clone(&in_state);
+    let rpeer = peer.to_string();
+    std::thread::Builder::new()
+        .name(format!("ww-dist-reader-{peer}"))
+        .spawn(move || reader_loop(read_half, in_tx, &rstate, &rpeer))?;
+
+    Ok((
+        SocketSender {
+            tx: out_tx,
+            state: out_state,
+        },
+        SocketReceiver {
+            rx: in_rx,
+            state: in_state,
+        },
+    ))
+}
+
+fn writer_loop(mut stream: TcpStream, rx: Receiver<Wire>, state: &LinkState, peer: &str) {
+    let mut buf = Vec::with_capacity(64 * 1024);
+    loop {
+        // Block for the next message, then coalesce the burst behind it
+        // into a single write.
+        let Ok(first) = rx.recv() else {
+            // Sender dropped: the run is over on our side. Half-close so
+            // the peer's reader sees EOF instead of blocking forever.
+            let _ = stream.shutdown(Shutdown::Write);
+            return;
+        };
+        buf.clear();
+        encode_msg(&Msg::Wire(first), &mut buf);
+        while let Ok(more) = rx.try_recv() {
+            encode_msg(&Msg::Wire(more), &mut buf);
+        }
+        if let Err(e) = stream.write_all(&buf) {
+            state.mark_dead(format!("write to shard {peer} failed: {e}"));
+            // Drain until our sender notices and drops.
+            while rx.recv().is_ok() {}
+            return;
+        }
+    }
+}
+
+fn reader_loop(mut stream: TcpStream, tx: Sender<Wire>, state: &LinkState, peer: &str) {
+    let mut frames = FrameBuffer::new();
+    let mut chunk = [0u8; 64 * 1024];
+    loop {
+        match stream.read(&mut chunk) {
+            Ok(0) => {
+                state.mark_dead(format!("shard {peer} closed the connection"));
+                return;
+            }
+            Ok(n) => {
+                frames.feed(&chunk[..n]);
+                loop {
+                    match frames.next_msg() {
+                        Ok(Some(Msg::Wire(w))) => {
+                            if tx.send(w).is_err() {
+                                // Our consumer is gone; stop reading.
+                                return;
+                            }
+                        }
+                        Ok(Some(other)) => {
+                            state.mark_dead(format!(
+                                "shard {peer} sent a control message on a data wire: {other:?}"
+                            ));
+                            return;
+                        }
+                        Ok(None) => break,
+                        Err(e) => {
+                            state.mark_dead(format!("frame from shard {peer} corrupt: {e}"));
+                            return;
+                        }
+                    }
+                }
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+            Err(e) => {
+                state.mark_dead(format!("read from shard {peer} failed: {e}"));
+                return;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::net::TcpListener;
+    use ww_sim::SimTime;
+
+    fn promise(at: f64) -> Wire {
+        Wire::Promise {
+            until: SimTime::from_secs(at),
+        }
+    }
+
+    /// A loopback pair of connected streams.
+    fn pair() -> (TcpStream, TcpStream) {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let a = TcpStream::connect(addr).unwrap();
+        let (b, _) = listener.accept().unwrap();
+        (a, b)
+    }
+
+    #[test]
+    fn wires_preserve_fifo_across_the_socket() {
+        let (a, b) = pair();
+        let (mut tx, _rx_a) = split_wires(a, "1").unwrap();
+        let (_tx_b, mut rx) = split_wires(b, "0").unwrap();
+        for i in 0..100 {
+            tx.stage(promise(i as f64)).unwrap();
+        }
+        tx.commit().unwrap();
+        let mut got = Vec::new();
+        let deadline = std::time::Instant::now() + std::time::Duration::from_secs(5);
+        while got.len() < 100 {
+            match rx.try_recv().unwrap() {
+                Some(w) => got.push(w),
+                None => {
+                    assert!(std::time::Instant::now() < deadline, "timed out");
+                    std::thread::yield_now();
+                }
+            }
+        }
+        for (i, w) in got.iter().enumerate() {
+            assert_eq!(*w, promise(i as f64));
+        }
+    }
+
+    #[test]
+    fn peer_death_is_a_typed_error_not_a_hang() {
+        let (a, b) = pair();
+        let (mut tx, mut rx) = split_wires(a, "1").unwrap();
+        drop(b); // Peer dies without a word.
+        let deadline = std::time::Instant::now() + std::time::Duration::from_secs(5);
+        loop {
+            match rx.try_recv() {
+                Err(LinkError::Closed { detail }) => {
+                    assert!(detail.contains("shard 1"), "detail: {detail}");
+                    break;
+                }
+                Ok(None) => {
+                    assert!(std::time::Instant::now() < deadline, "no typed error");
+                    std::thread::yield_now();
+                }
+                other => panic!("expected Closed, got {other:?}"),
+            }
+        }
+        // The writer learns of the death on its next write attempt (or
+        // the one after, while the kernel buffers drain); staging keeps
+        // succeeding until then, which is fine — those messages are
+        // addressed to a peer that no longer observes anything.
+        let mut saw_error = false;
+        for i in 0..10_000 {
+            match tx.stage(promise(i as f64)) {
+                Err(StageError::Link(LinkError::Closed { .. })) => {
+                    saw_error = true;
+                    break;
+                }
+                Err(other) => panic!("expected Closed, got {other:?}"),
+                Ok(()) => std::thread::sleep(std::time::Duration::from_micros(100)),
+            }
+        }
+        assert!(saw_error, "writer never noticed the dead peer");
+    }
+}

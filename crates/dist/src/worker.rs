@@ -1,0 +1,246 @@
+//! The worker side of a distributed run: one process (or thread), one
+//! shard.
+//!
+//! Lifecycle: connect to the coordinator → `Hello` (carrying the
+//! address of our data-plane listener) → receive `Assign` (or
+//! `Surplus`, and exit) → rebuild the world from the assignment and
+//! derive the partition locally → establish the shard-to-shard data
+//! mesh (the lower shard id dials, the higher accepts; the first frame
+//! on every data connection is a `DataHello` identifying the dialer) →
+//! `Ready` → serve `RunEpoch` / `Apply` / `ReportRequest` until
+//! `Shutdown`.
+
+use crate::codec::{ApplyCmd, Assign, Msg, WorkerReport};
+use crate::error::DistError;
+use crate::framed::FramedStream;
+use crate::link::{split_wires, SocketReceiver, SocketSender};
+use std::collections::BTreeMap;
+use std::collections::BTreeSet;
+use std::net::{TcpListener, TcpStream};
+use std::time::Duration;
+use ww_model::{DocId, NodeId, Tree};
+use ww_pdes::{partition_subtrees, PacketShardHost, ShardHost};
+use ww_workload::DocMix;
+
+fn protocol(detail: String) -> DistError {
+    DistError::Protocol { detail }
+}
+
+/// Runs one worker against the coordinator at `connect` until the run
+/// shuts down cleanly (or this worker is excused as surplus).
+///
+/// # Errors
+///
+/// [`DistError`] when the coordinator or a peer worker dies, a wire
+/// stalls past the assigned timeout, or the protocol is violated. The
+/// worker never hangs on a dead peer.
+pub fn run_worker(connect: &str) -> Result<(), DistError> {
+    let stream = TcpStream::connect(connect)?;
+    let mut ctrl = FramedStream::new(stream)?;
+    // Bind the data listener before saying hello, so every address the
+    // coordinator hands out is live before any peer dials it.
+    let listener = TcpListener::bind("127.0.0.1:0")?;
+    let data_addr = listener.local_addr()?.to_string();
+    ctrl.write_msg(&Msg::Hello { data_addr })?;
+    let assign = match ctrl.read_msg()? {
+        Msg::Assign(a) => a,
+        Msg::Surplus => return Ok(()),
+        other => {
+            return Err(protocol(format!(
+                "expected Assign or Surplus, got {other:?}"
+            )))
+        }
+    };
+    let me = assign.shard_id;
+    let mut host = build_host(&assign, &listener)?;
+    ctrl.write_msg(&Msg::Ready)?;
+    serve(&mut ctrl, &mut host, me)
+}
+
+/// Rebuilds the world from the assignment, derives the partition (the
+/// same pure function the coordinator ran), wires up the data mesh, and
+/// constructs the shard host.
+fn build_host(assign: &Assign, listener: &TcpListener) -> Result<PacketShardHost, DistError> {
+    let me = assign.shard_id;
+    let tree = Tree::from_parents(&assign.parents)?;
+    let mut mix = DocMix::new(assign.mix_nodes);
+    for &(node, doc, rate) in &assign.demands {
+        mix.set(NodeId::new(node), DocId::new(doc), rate);
+    }
+    let partition = partition_subtrees(&tree, assign.shard_hint);
+    if me >= partition.shards() {
+        return Err(protocol(format!(
+            "assigned shard {me} but the derived partition has {} shards",
+            partition.shards()
+        )));
+    }
+
+    let adjacent: BTreeSet<usize> = partition
+        .cut_pairs(&tree)
+        .into_iter()
+        .filter_map(|(src, dst)| {
+            if src == me {
+                Some(dst)
+            } else if dst == me {
+                Some(src)
+            } else {
+                None
+            }
+        })
+        .collect();
+
+    let peer_addr: BTreeMap<usize, &str> = assign
+        .peers
+        .iter()
+        .map(|(shard, addr)| (*shard, addr.as_str()))
+        .collect();
+
+    let mut senders: BTreeMap<usize, SocketSender> = BTreeMap::new();
+    let mut receivers: BTreeMap<usize, SocketReceiver> = BTreeMap::new();
+
+    // Dial every adjacent higher shard (the lower id dials so each pair
+    // establishes exactly one connection), identifying ourselves with
+    // the connection's first frame.
+    for &peer in adjacent.iter().filter(|&&p| p > me) {
+        let addr = peer_addr
+            .get(&peer)
+            .ok_or_else(|| protocol(format!("no data address for adjacent shard {peer}")))?;
+        let stream = dial(addr)?;
+        let mut framed = FramedStream::new(stream)?;
+        framed.write_msg(&Msg::DataHello { from_shard: me })?;
+        let (tx, rx) = split_wires(framed.into_inner(), &peer.to_string())?;
+        senders.insert(peer, tx);
+        receivers.insert(peer, rx);
+    }
+
+    // Accept one connection from every adjacent lower shard.
+    let expected: BTreeSet<usize> = adjacent.iter().copied().filter(|&p| p < me).collect();
+    let mut pending = expected.clone();
+    while !pending.is_empty() {
+        let (stream, _) = listener.accept()?;
+        let mut framed = FramedStream::new(stream)?;
+        let peer = match framed.read_msg()? {
+            Msg::DataHello { from_shard } => from_shard,
+            other => return Err(protocol(format!("expected DataHello, got {other:?}"))),
+        };
+        if framed.pending() > 0 {
+            return Err(protocol(format!(
+                "shard {peer} sent data before the mesh was up"
+            )));
+        }
+        if !pending.remove(&peer) {
+            return Err(protocol(format!(
+                "unexpected data connection from shard {peer}"
+            )));
+        }
+        let (tx, rx) = split_wires(framed.into_inner(), &peer.to_string())?;
+        senders.insert(peer, tx);
+        receivers.insert(peer, rx);
+    }
+
+    Ok(ShardHost::worker(
+        &tree,
+        &mix,
+        assign.config,
+        assign.shard_hint,
+        me,
+        assign.batching,
+        assign.stall_ms.map(Duration::from_millis),
+        |dst| Box::new(senders.remove(&dst).expect("sender for adjacent shard")),
+        |src| Box::new(receivers.remove(&src).expect("receiver for adjacent shard")),
+    ))
+}
+
+/// Connects to a peer's data listener, riding out the short window
+/// where its accept queue is saturated.
+fn dial(addr: &str) -> Result<TcpStream, DistError> {
+    let mut last = None;
+    for _ in 0..50 {
+        match TcpStream::connect(addr) {
+            Ok(s) => return Ok(s),
+            Err(e) => {
+                last = Some(e);
+                std::thread::sleep(Duration::from_millis(20));
+            }
+        }
+    }
+    Err(DistError::Io(last.expect("at least one attempt")))
+}
+
+/// The steady-state control loop: epochs, barrier mutations, the final
+/// report, shutdown.
+fn serve(ctrl: &mut FramedStream, host: &mut PacketShardHost, me: usize) -> Result<(), DistError> {
+    loop {
+        match ctrl.read_msg()? {
+            Msg::RunEpoch { t_end, sample } => match host.run_epoch(t_end, sample) {
+                Ok(partial) => ctrl.write_msg(&Msg::EpochDone {
+                    partial: partial.map(|p| p.limbs().to_vec()),
+                })?,
+                Err(e) => {
+                    // Best effort: tell the coordinator why before dying.
+                    let _ = ctrl.write_msg(&Msg::Fatal { msg: e.to_string() });
+                    return Err(DistError::WorkerFailed {
+                        worker: me,
+                        detail: e.to_string(),
+                    });
+                }
+            },
+            Msg::Apply(cmd) => {
+                let err = apply(host, &cmd).err().map(|e| e.to_string());
+                ctrl.write_msg(&Msg::Applied { err })?;
+            }
+            Msg::ReportRequest { now } => {
+                let rates = host.member_rates(now);
+                let (counts, bytes, hops) = host.ledger().to_raw();
+                let c = host.counters();
+                let (parks, peak_parked) = host.wire_stats();
+                ctrl.write_msg(&Msg::Report(WorkerReport {
+                    rates,
+                    ledger: (counts, bytes, hops),
+                    counters: (
+                        c.copy_pushes,
+                        c.tunnel_fetches,
+                        c.hops_sum,
+                        c.served_requests,
+                    ),
+                    processed: host.processed_events(),
+                    parks,
+                    peak_parked,
+                }))?;
+            }
+            Msg::Shutdown => return Ok(()),
+            other => return Err(protocol(format!("unexpected control message {other:?}"))),
+        }
+    }
+}
+
+/// Applies one barrier mutation to the host — the worker-side mirror of
+/// the coordinator's replica application.
+fn apply(host: &mut PacketShardHost, cmd: &ApplyCmd) -> Result<(), ww_model::ModelError> {
+    match cmd {
+        ApplyCmd::FailLink { node } => {
+            host.fail_link(NodeId::new(*node));
+        }
+        ApplyCmd::HealLink { node } => {
+            host.heal_link(NodeId::new(*node));
+        }
+        ApplyCmd::Invalidate { doc } => host.invalidate(DocId::new(*doc))?,
+        ApplyCmd::AddLeaf { parent, rate } => {
+            host.add_leaf(NodeId::new(*parent), *rate)?;
+        }
+        ApplyCmd::RemoveLeaf { node } => {
+            host.remove_leaf(NodeId::new(*node))?;
+        }
+        ApplyCmd::PublishDoc { doc, origin, rate } => {
+            host.publish_doc(DocId::new(*doc), NodeId::new(*origin), *rate)?;
+        }
+        ApplyCmd::SetMix { nodes, demands } => {
+            let mut mix = DocMix::new(*nodes);
+            for &(node, doc, rate) in demands {
+                mix.set(NodeId::new(node), DocId::new(doc), rate);
+            }
+            host.set_mix(&mix)?;
+        }
+    }
+    Ok(())
+}

@@ -1,0 +1,376 @@
+//! Codec round-trip properties: every message of the distributed
+//! protocol survives encode → arbitrary re-chunking → decode unchanged,
+//! and malformed frames always yield typed errors, never panics.
+
+use proptest::prelude::*;
+use ww_core::packet::{PacketEvent, PacketSimConfig};
+use ww_dist::{
+    decode_msg, encode_msg, ApplyCmd, Assign, CodecError, FrameBuffer, Msg, WorkerReport,
+};
+use ww_model::{DocId, NodeId};
+use ww_net::{DocRequest, RequestId};
+use ww_pdes::Wire;
+use ww_sim::SimTime;
+
+fn arb_time() -> impl Strategy<Value = SimTime> {
+    (0.0f64..1.0e9).prop_map(SimTime::from_secs)
+}
+
+/// Finite rates/loads — `f64` travels as raw bits, but `PartialEq`
+/// can't witness a NaN round trip, so the equality property sticks to
+/// comparable values (bit-exactness of the payload is checked
+/// separately below).
+fn arb_f64() -> impl Strategy<Value = f64> {
+    (-1.0e12f64..1.0e12).boxed()
+}
+
+fn arb_string() -> impl Strategy<Value = String> {
+    proptest::collection::vec(32u8..127, 0..24).prop_map(|v| String::from_utf8(v).expect("ascii"))
+}
+
+fn arb_event() -> BoxedStrategy<PacketEvent> {
+    (0u8..6)
+        .prop_flat_map(|variant| match variant {
+            0 => (
+                0usize..1000,
+                0u64..1000,
+                any::<u32>(),
+                any::<u32>(),
+                arb_f64(),
+            )
+                .prop_map(|(node, doc, index, stream, rate)| PacketEvent::Arrival {
+                    node: NodeId::new(node),
+                    doc: DocId::new(doc),
+                    index,
+                    stream,
+                    rate,
+                })
+                .boxed(),
+            1 => (
+                0usize..1000,
+                proptest::option::of(0u64..1000),
+                any::<u64>(),
+                0u64..1000,
+                0usize..1000,
+                any::<u32>(),
+                any::<u32>(),
+            )
+                .prop_map(
+                    |(node, from, id, doc, origin, hops, index)| PacketEvent::Packet {
+                        node: NodeId::new(node),
+                        from: from.map(|f| NodeId::new(f as usize)),
+                        request: DocRequest {
+                            id: RequestId::new(id),
+                            doc: DocId::new(doc),
+                            origin: NodeId::new(origin),
+                            hops,
+                        },
+                        index,
+                    },
+                )
+                .boxed(),
+            2 => (0usize..1000, 0usize..1000, arb_f64())
+                .prop_map(|(to, from, load)| PacketEvent::GossipDeliver {
+                    to: NodeId::new(to),
+                    from: NodeId::new(from),
+                    load,
+                })
+                .boxed(),
+            3 => (0usize..1000, any::<u32>(), arb_f64())
+                .prop_map(|(node, index, rate)| PacketEvent::CopyInstall {
+                    node: NodeId::new(node),
+                    index,
+                    rate,
+                })
+                .boxed(),
+            4 => (
+                0usize..1000,
+                0usize..1000,
+                any::<u32>(),
+                arb_f64(),
+                any::<u32>(),
+            )
+                .prop_map(
+                    |(node, origin, index, rate, hops)| PacketEvent::TunnelProbe {
+                        node: NodeId::new(node),
+                        origin: NodeId::new(origin),
+                        index,
+                        rate,
+                        hops,
+                    },
+                )
+                .boxed(),
+            _ => (0usize..1000, 0usize..1000, any::<u32>(), arb_f64())
+                .prop_map(|(node, target, index, rate)| PacketEvent::TunnelGrant {
+                    node: NodeId::new(node),
+                    target: NodeId::new(target),
+                    index,
+                    rate,
+                })
+                .boxed(),
+        })
+        .boxed()
+}
+
+fn arb_wire() -> BoxedStrategy<Wire> {
+    (0u8..3)
+        .prop_flat_map(|variant| match variant {
+            0 => (arb_time(), any::<u64>(), arb_event())
+                .prop_map(|(at, counter, ev)| Wire::Event { at, counter, ev })
+                .boxed(),
+            1 => arb_time().prop_map(|until| Wire::Promise { until }).boxed(),
+            _ => Just(Wire::EpochEnd).boxed(),
+        })
+        .boxed()
+}
+
+fn arb_demands() -> impl Strategy<Value = Vec<(usize, u64, f64)>> {
+    proptest::collection::vec((0usize..200, 0u64..200, arb_f64()), 0..16)
+}
+
+fn arb_apply() -> BoxedStrategy<ApplyCmd> {
+    (0u8..7)
+        .prop_flat_map(|variant| match variant {
+            0 => (0usize..1000)
+                .prop_map(|node| ApplyCmd::FailLink { node })
+                .boxed(),
+            1 => (0usize..1000)
+                .prop_map(|node| ApplyCmd::HealLink { node })
+                .boxed(),
+            2 => (0u64..1000)
+                .prop_map(|doc| ApplyCmd::Invalidate { doc })
+                .boxed(),
+            3 => (0usize..1000, arb_f64())
+                .prop_map(|(parent, rate)| ApplyCmd::AddLeaf { parent, rate })
+                .boxed(),
+            4 => (0usize..1000)
+                .prop_map(|node| ApplyCmd::RemoveLeaf { node })
+                .boxed(),
+            5 => (0u64..1000, 0usize..1000, arb_f64())
+                .prop_map(|(doc, origin, rate)| ApplyCmd::PublishDoc { doc, origin, rate })
+                .boxed(),
+            _ => (0usize..200, arb_demands())
+                .prop_map(|(nodes, demands)| ApplyCmd::SetMix { nodes, demands })
+                .boxed(),
+        })
+        .boxed()
+}
+
+fn arb_assign() -> impl Strategy<Value = Assign> {
+    (
+        (
+            0usize..8,
+            1usize..9,
+            any::<bool>(),
+            proptest::option::of(0u64..100_000),
+        ),
+        proptest::collection::vec(proptest::option::of(0usize..64), 0..24),
+        arb_demands(),
+        (any::<u64>(), 0.0001f64..10.0, 0.001f64..10.0),
+        proptest::collection::vec((0usize..8, arb_string()), 0..8),
+    )
+        .prop_map(
+            |((shard_id, shard_hint, batching, stall_ms), parents, demands, cfg, peers)| {
+                let (seed, link_delay, diffusion_period) = cfg;
+                Assign {
+                    shard_id,
+                    shard_hint,
+                    batching,
+                    stall_ms,
+                    mix_nodes: parents.len(),
+                    parents,
+                    demands,
+                    config: PacketSimConfig {
+                        seed,
+                        link_delay,
+                        diffusion_period,
+                        ..PacketSimConfig::default()
+                    },
+                    peers,
+                }
+            },
+        )
+}
+
+fn arb_report() -> impl Strategy<Value = WorkerReport> {
+    (
+        proptest::collection::vec(arb_f64(), 0..32),
+        proptest::collection::vec(any::<u64>(), 13..=13),
+        (any::<u64>(), any::<u64>(), any::<u64>(), any::<u64>()),
+        (any::<u64>(), any::<u64>(), any::<u64>()),
+    )
+        .prop_map(|(rates, raw, counters, rest)| {
+            let mut counts = [0u64; 6];
+            let mut bytes = [0u64; 6];
+            counts.copy_from_slice(&raw[0..6]);
+            bytes.copy_from_slice(&raw[6..12]);
+            let (processed, parks, peak_parked) = rest;
+            WorkerReport {
+                rates,
+                ledger: (counts, bytes, raw[12]),
+                counters,
+                processed,
+                parks,
+                peak_parked,
+            }
+        })
+}
+
+/// One message of any protocol variant.
+fn arb_msg() -> BoxedStrategy<Msg> {
+    (0u8..14)
+        .prop_flat_map(|variant| match variant {
+            0 => arb_wire().prop_map(Msg::Wire).boxed(),
+            1 => (0usize..16)
+                .prop_map(|from_shard| Msg::DataHello { from_shard })
+                .boxed(),
+            2 => arb_string()
+                .prop_map(|data_addr| Msg::Hello { data_addr })
+                .boxed(),
+            3 => arb_assign().prop_map(Msg::Assign).boxed(),
+            4 => Just(Msg::Surplus).boxed(),
+            5 => Just(Msg::Ready).boxed(),
+            6 => (arb_time(), any::<bool>())
+                .prop_map(|(t_end, sample)| Msg::RunEpoch { t_end, sample })
+                .boxed(),
+            7 => proptest::option::of(proptest::collection::vec(any::<u64>(), 0..40))
+                .prop_map(|partial| Msg::EpochDone { partial })
+                .boxed(),
+            8 => arb_apply().prop_map(Msg::Apply).boxed(),
+            9 => proptest::option::of(arb_string())
+                .prop_map(|err| Msg::Applied { err })
+                .boxed(),
+            10 => arb_f64().prop_map(|now| Msg::ReportRequest { now }).boxed(),
+            11 => arb_report().prop_map(Msg::Report).boxed(),
+            12 => Just(Msg::Shutdown).boxed(),
+            _ => arb_string().prop_map(|msg| Msg::Fatal { msg }).boxed(),
+        })
+        .boxed()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Every message round-trips through one frame unchanged.
+    #[test]
+    fn every_variant_roundtrips(msg in arb_msg()) {
+        let mut frame = Vec::new();
+        encode_msg(&msg, &mut frame);
+        let len = u32::from_le_bytes(frame[..4].try_into().unwrap()) as usize;
+        prop_assert_eq!(len + 4, frame.len(), "length prefix covers the body");
+        let back = decode_msg(&frame[4..]).expect("well-formed frame decodes");
+        prop_assert_eq!(back, msg);
+    }
+
+    /// A stream of frames cut at arbitrary byte boundaries reassembles
+    /// into exactly the original message sequence — the property the
+    /// socket reader relies on, since TCP reads are arbitrary chunks.
+    #[test]
+    fn chunked_streams_reassemble(
+        msgs in proptest::collection::vec(arb_msg(), 1..12),
+        cuts in proptest::collection::vec(1usize..64, 1..64),
+    ) {
+        let mut stream = Vec::new();
+        for m in &msgs {
+            encode_msg(m, &mut stream);
+        }
+        let mut fb = FrameBuffer::new();
+        let mut got = Vec::new();
+        let mut at = 0;
+        let mut k = 0;
+        while at < stream.len() {
+            let n = cuts[k % cuts.len()].min(stream.len() - at);
+            k += 1;
+            fb.feed(&stream[at..at + n]);
+            at += n;
+            while let Some(m) = fb.next_msg().expect("valid stream") {
+                got.push(m);
+            }
+        }
+        prop_assert_eq!(got, msgs);
+        prop_assert_eq!(fb.pending(), 0, "no stray bytes left over");
+    }
+
+    /// Arbitrary bytes never panic the decoder: every outcome is either
+    /// a message or a typed [`CodecError`].
+    #[test]
+    fn malformed_bodies_never_panic(body in proptest::collection::vec(any::<u8>(), 0..256)) {
+        let _ = decode_msg(&body);
+    }
+
+    /// Every strict prefix of a valid body is itself an error (or, for
+    /// tag-only messages, a shorter valid message) — never a panic, and
+    /// never an out-of-bounds read.
+    #[test]
+    fn truncated_bodies_are_typed_errors(msg in arb_msg()) {
+        let mut frame = Vec::new();
+        encode_msg(&msg, &mut frame);
+        let body = &frame[4..];
+        for cut in 0..body.len() {
+            let _ = decode_msg(&body[..cut]);
+        }
+    }
+}
+
+#[test]
+fn f64_payloads_are_bit_exact() {
+    // Denormals, negative zero, and exact dyadics all survive: floats
+    // travel as raw bits, never through text.
+    for &bits in &[
+        0u64,
+        f64::MIN_POSITIVE.to_bits() >> 3, // subnormal
+        (-0.0f64).to_bits(),
+        1.0f64.to_bits(),
+        (1.0f64 / 3.0).to_bits(),
+    ] {
+        let msg = Msg::ReportRequest {
+            now: f64::from_bits(bits),
+        };
+        let mut frame = Vec::new();
+        encode_msg(&msg, &mut frame);
+        match decode_msg(&frame[4..]).unwrap() {
+            Msg::ReportRequest { now } => assert_eq!(now.to_bits(), bits),
+            other => panic!("wrong variant: {other:?}"),
+        }
+    }
+}
+
+#[test]
+fn oversize_length_prefix_is_rejected_before_buffering() {
+    let mut fb = FrameBuffer::new();
+    fb.feed(&u32::MAX.to_le_bytes());
+    match fb.next_msg() {
+        Err(CodecError::Oversize { len }) => assert_eq!(len, u64::from(u32::MAX)),
+        other => panic!("expected Oversize, got {other:?}"),
+    }
+}
+
+#[test]
+fn bad_tag_and_bad_values_are_typed() {
+    assert_eq!(decode_msg(&[0xEE]), Err(CodecError::BadTag { tag: 0xEE }));
+    assert_eq!(decode_msg(&[]), Err(CodecError::Truncated));
+
+    // A Promise carrying NaN: a typed domain error, not a poisoned
+    // SimTime.
+    let mut frame = Vec::new();
+    encode_msg(
+        &Msg::RunEpoch {
+            t_end: SimTime::from_secs(1.0),
+            sample: false,
+        },
+        &mut frame,
+    );
+    let mut body = frame[4..].to_vec();
+    body[1..9].copy_from_slice(&f64::NAN.to_bits().to_le_bytes());
+    assert_eq!(
+        decode_msg(&body),
+        Err(CodecError::BadValue { what: "sim time" })
+    );
+
+    // Trailing garbage after a complete message.
+    let mut frame = Vec::new();
+    encode_msg(&Msg::Ready, &mut frame);
+    let mut body = frame[4..].to_vec();
+    body.push(0);
+    assert_eq!(decode_msg(&body), Err(CodecError::Truncated));
+}

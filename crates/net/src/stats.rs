@@ -110,6 +110,21 @@ impl TrafficLedger {
         control as f64 / served as f64
     }
 
+    /// The raw counter arrays, `(counts, bytes, hop_messages)` — for
+    /// wire serialization by out-of-process drivers.
+    pub fn to_raw(&self) -> ([u64; 6], [u64; 6], u64) {
+        (self.counts, self.bytes, self.hop_messages)
+    }
+
+    /// Rebuilds a ledger from [`TrafficLedger::to_raw`] output.
+    pub fn from_raw(counts: [u64; 6], bytes: [u64; 6], hop_messages: u64) -> Self {
+        TrafficLedger {
+            counts,
+            bytes,
+            hop_messages,
+        }
+    }
+
     /// Merges another ledger into this one.
     pub fn merge(&mut self, other: &TrafficLedger) {
         for i in 0..6 {

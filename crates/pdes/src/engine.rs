@@ -28,18 +28,22 @@
 //!
 //! # Transport
 //!
-//! By default each directed wire is a bounded lock-free single-producer
+//! The event loop sees its wires only through the
+//! [`WireSender`]/[`WireReceiver`] traits of [`crate::transport`]. By
+//! default each directed wire is a bounded lock-free single-producer
 //! single-consumer ring ([`spsc`]): the hot path publishes a whole
 //! lookahead window's worth of events with a single atomic release
 //! store per window ([`PdesTuning::batching`]), and a shard never
 //! blocks on a full ring — excess messages park in an unbounded
 //! per-wire overflow queue, drained ahead of new traffic so per-wire
-//! FIFO is preserved. A shard consumes inbound events through a
-//! one-event *merge stage* per wire: only the head of each wire
-//! competes in the shard's `(time, key)` event merge, so cross-shard
-//! arrivals never churn the main queue at all. The legacy
-//! mutex-channel transport ([`Transport::MpmcChannel`], one send per
-//! event, no staging) is kept selectable for benchmarks.
+//! FIFO is preserved (the park count and peak depth surface in the
+//! report). A shard consumes inbound events through a one-event *merge
+//! stage* per wire: only the head of each wire competes in the shard's
+//! `(time, key)` event merge, so cross-shard arrivals never churn the
+//! main queue at all. The legacy mutex-channel transport
+//! ([`TransportKind::MpmcChannel`], one send per event, no staging) is
+//! kept selectable for benchmarks, and the `ww-dist` crate supplies
+//! socket-backed wires so shards can live in different OS processes.
 //!
 //! # Determinism
 //!
@@ -58,17 +62,20 @@
 //! served rates, ledger, counters, processed-event counts). The golden
 //! tests in this crate and in `ww-scenario` pin exactly that.
 
-use crate::partition::{partition_subtrees, Partition};
-use crossbeam::channel::{unbounded, Receiver, Sender};
+use crate::ops::{self, ShardStore, SimCore};
+use crate::partition::partition_subtrees;
+use crate::transport::{
+    LinkError, StageError, Transport, TransportKind, Wire, WireReceiver, WireSender,
+};
 use std::collections::VecDeque;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 use ww_core::packet::{
     self, DriverSource, NodeCtx, NodeState, PacketCounters, PacketEvent, PacketSimConfig,
-    PacketWorld, Scratch, UniverseGrowth,
+    PacketWorld, Scratch,
 };
 use ww_core::packetsim::PacketSimReport;
 use ww_model::{DocId, LeafRemoval, ModelError, NodeId, RateVector, Tree};
-use ww_net::{TrafficClass, TrafficLedger};
+use ww_net::TrafficLedger;
 use ww_sim::{EventQueue, RadixQueue, SimQueue, SimTime, TimerRing};
 use ww_stats::{ConvergenceTrace, ExactSum};
 use ww_workload::DocMix;
@@ -76,35 +83,20 @@ use ww_workload::DocMix;
 /// Tie-break bit marking inbound (cross-shard) events: at equal
 /// timestamps they order after all locally scheduled events, then by
 /// `(sending shard, channel counter)`.
-const INBOUND: u64 = 1 << 63;
+pub(crate) const INBOUND: u64 = 1 << 63;
 /// Bits reserved for the per-channel message counter.
-const COUNTER_BITS: u32 = 40;
-/// Slots per SPSC ring. Windows larger than this spill to the wire's
-/// overflow queue — a capacity, not a correctness bound.
-const RING_CAPACITY: usize = 4096;
-
-/// Wire transport between adjacent shards.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
-pub enum Transport {
-    /// Bounded lock-free SPSC ring per directed cut, with an unbounded
-    /// overflow queue behind it (the default hot path).
-    #[default]
-    SpscRing,
-    /// The legacy mutex-based channel, one send per event. Kept
-    /// selectable so benchmarks can measure the old hot path.
-    MpmcChannel,
-}
+pub(crate) const COUNTER_BITS: u32 = 40;
 
 /// Hot-path tuning knobs for [`ParPacketSim`]. Every combination is
 /// bit-identical in simulation output; the knobs trade only wall-clock.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct PdesTuning {
     /// Wire transport between shards.
-    pub transport: Transport,
+    pub transport: TransportKind,
     /// `true` (default): outbound events are staged and published once
     /// per lookahead window with a single release store. `false`: every
     /// event is published individually (only meaningful on
-    /// [`Transport::SpscRing`]; the channel transport always sends
+    /// [`TransportKind::SpscRing`]; the channel transport always sends
     /// per event).
     pub batching: bool,
 }
@@ -112,7 +104,7 @@ pub struct PdesTuning {
 impl Default for PdesTuning {
     fn default() -> Self {
         PdesTuning {
-            transport: Transport::SpscRing,
+            transport: TransportKind::SpscRing,
             batching: true,
         }
     }
@@ -127,8 +119,8 @@ impl PdesTuning {
         let mut tuning = PdesTuning::default();
         if let Ok(v) = std::env::var("WW_PDES_TRANSPORT") {
             match v.as_str() {
-                "spsc" => tuning.transport = Transport::SpscRing,
-                "mpmc" => tuning.transport = Transport::MpmcChannel,
+                "spsc" => tuning.transport = TransportKind::SpscRing,
+                "mpmc" => tuning.transport = TransportKind::MpmcChannel,
                 _ => {}
             }
         }
@@ -143,117 +135,86 @@ impl PdesTuning {
     }
 }
 
-/// Messages on a cross-shard wire.
-#[derive(Debug)]
-enum Wire {
-    /// A protocol event for a node of the receiving shard.
-    Event {
-        at: SimTime,
-        counter: u64,
-        ev: PacketEvent,
-    },
-    /// Null message: no event with timestamp `< until` will follow.
-    Promise { until: SimTime },
-    /// The sender finished the current epoch (implies a promise of
-    /// `epoch end + lookahead`). Always the epoch's last message.
-    EpochEnd,
-}
-
-/// Producer half of one directed wire.
-#[derive(Debug)]
-enum WireTx {
-    Mpmc(Sender<Wire>),
-    Ring(spsc::Producer<Wire>),
-}
-
-impl WireTx {
-    /// Stages a message (channel transport: sends it outright). Returns
-    /// the message back when the ring is full.
-    fn stage(&mut self, msg: Wire) -> Result<(), Wire> {
-        match self {
-            WireTx::Mpmc(tx) => {
-                tx.send(msg).expect("peer shard outlives the epoch");
-                Ok(())
-            }
-            WireTx::Ring(tx) => tx.stage(msg).map_err(|spsc::Full(m)| m),
-        }
-    }
-
-    /// Publishes everything staged (no-op on the channel transport).
-    fn commit(&mut self) {
-        if let WireTx::Ring(tx) = self {
-            tx.commit();
-        }
-    }
-}
-
-/// Consumer half of one directed wire.
-#[derive(Debug)]
-enum WireRx {
-    Mpmc(Receiver<Wire>),
-    Ring(spsc::Consumer<Wire>),
-}
-
-impl WireRx {
-    fn try_recv(&mut self) -> Option<Wire> {
-        match self {
-            WireRx::Mpmc(rx) => rx.try_recv().ok(),
-            WireRx::Ring(rx) => rx.pop(),
-        }
-    }
-}
-
 /// Sending side of one directed cut.
 #[derive(Debug)]
-struct OutLink {
-    peer: usize,
-    tx: WireTx,
-    /// Messages that found the ring full. Drained ahead of new traffic,
-    /// so per-wire FIFO — and with it the promise protocol — survives
-    /// back-pressure. Sends therefore never block, which is what makes
-    /// the bounded rings deadlock-free by construction.
-    overflow: VecDeque<Wire>,
-    counter: u64,
-    last_promise: SimTime,
+pub(crate) struct OutLink {
+    pub(crate) peer: usize,
+    pub(crate) tx: Box<dyn WireSender>,
+    /// Messages that found the transport full. Drained ahead of new
+    /// traffic, so per-wire FIFO — and with it the promise protocol —
+    /// survives back-pressure. Sends therefore never block, which is
+    /// what makes the bounded rings deadlock-free by construction.
+    pub(crate) overflow: VecDeque<Wire>,
+    pub(crate) counter: u64,
+    pub(crate) last_promise: SimTime,
+    /// How many messages ever parked in `overflow` (back-pressure
+    /// events), and the deepest the queue ever got. Observability only.
+    pub(crate) parks: u64,
+    pub(crate) peak_parked: u64,
 }
 
 impl OutLink {
-    /// Enqueues a message: straight into the ring while the overflow is
-    /// empty, behind it otherwise.
-    fn push(&mut self, msg: Wire) {
-        if self.overflow.is_empty() {
-            if let Err(back) = self.tx.stage(msg) {
-                // Publish what is staged so the consumer can make room,
-                // then park the message.
-                self.tx.commit();
-                self.overflow.push_back(back);
-            }
-        } else {
-            self.overflow.push_back(msg);
+    pub(crate) fn new(peer: usize, tx: Box<dyn WireSender>) -> Self {
+        OutLink {
+            peer,
+            tx,
+            overflow: VecDeque::new(),
+            counter: 0,
+            last_promise: SimTime::ZERO,
+            parks: 0,
+            peak_parked: 0,
         }
     }
 
-    /// Moves parked messages into the ring while there is room. Returns
-    /// whether any moved.
-    fn try_flush(&mut self) -> bool {
+    /// Parks a message behind the full transport, counting it.
+    fn park(&mut self, msg: Wire) {
+        self.overflow.push_back(msg);
+        self.parks += 1;
+        self.peak_parked = self.peak_parked.max(self.overflow.len() as u64);
+    }
+
+    /// Enqueues a message: straight into the transport while the
+    /// overflow is empty, behind it otherwise.
+    fn push(&mut self, msg: Wire) -> Result<(), LinkError> {
+        if self.overflow.is_empty() {
+            match self.tx.stage(msg) {
+                Ok(()) => {}
+                Err(StageError::Full(back)) => {
+                    // Publish what is staged so the consumer can make
+                    // room, then park the message.
+                    self.tx.commit()?;
+                    self.park(back);
+                }
+                Err(StageError::Link(e)) => return Err(e),
+            }
+        } else {
+            self.park(msg);
+        }
+        Ok(())
+    }
+
+    /// Moves parked messages into the transport while there is room.
+    /// Returns whether any moved.
+    fn try_flush(&mut self) -> Result<bool, LinkError> {
         let mut any = false;
         while let Some(msg) = self.overflow.pop_front() {
             match self.tx.stage(msg) {
                 Ok(()) => any = true,
-                Err(back) => {
+                Err(StageError::Full(back)) => {
                     self.overflow.push_front(back);
                     break;
                 }
+                Err(StageError::Link(e)) => return Err(e),
             }
         }
-        any
+        Ok(any)
     }
 
     /// Flushes the overflow and publishes everything staged.
-    fn publish(&mut self) -> bool {
-        let any = self.try_flush();
-        self.tx.commit();
-        any
+    fn publish(&mut self) -> Result<bool, LinkError> {
+        let any = self.try_flush()?;
+        self.tx.commit()?;
+        Ok(any)
     }
 }
 
@@ -267,9 +228,9 @@ struct StagedEvent {
 
 /// Receiving side of one directed cut.
 #[derive(Debug)]
-struct InLink {
-    peer: usize,
-    rx: WireRx,
+pub(crate) struct InLink {
+    pub(crate) peer: usize,
+    pub(crate) rx: Box<dyn WireReceiver>,
     /// The wire's head event, competing in the shard's event merge.
     /// Per-wire `(time, counter)` streams are monotone, so this is
     /// always the wire's minimum; while it is occupied the wire is not
@@ -277,6 +238,18 @@ struct InLink {
     staged: Option<StagedEvent>,
     promise: SimTime,
     epoch_ended: bool,
+}
+
+impl InLink {
+    pub(crate) fn new(peer: usize, rx: Box<dyn WireReceiver>) -> Self {
+        InLink {
+            peer,
+            rx,
+            staged: None,
+            promise: SimTime::ZERO,
+            epoch_ended: false,
+        }
+    }
 }
 
 /// Which merge candidate won: a local driver source or the staged head
@@ -290,34 +263,107 @@ enum Source {
 /// One subtree shard: its nodes' states, its event loop machinery, and
 /// its links to adjacent shards.
 #[derive(Debug)]
-struct Shard<Q> {
-    id: usize,
-    states: Vec<NodeState>,
-    queue: Q,
-    gossip_ring: TimerRing,
-    diffusion_ring: TimerRing,
-    ledger: TrafficLedger,
-    counters: PacketCounters,
-    scratch: Scratch,
-    outbox: Vec<(SimTime, PacketEvent)>,
-    out_links: Vec<OutLink>,
-    in_links: Vec<InLink>,
+pub(crate) struct Shard<Q> {
+    pub(crate) id: usize,
+    pub(crate) states: Vec<NodeState>,
+    pub(crate) queue: Q,
+    pub(crate) gossip_ring: TimerRing,
+    pub(crate) diffusion_ring: TimerRing,
+    pub(crate) ledger: TrafficLedger,
+    pub(crate) counters: PacketCounters,
+    pub(crate) scratch: Scratch,
+    pub(crate) outbox: Vec<(SimTime, PacketEvent)>,
+    pub(crate) out_links: Vec<OutLink>,
+    pub(crate) in_links: Vec<InLink>,
     /// Shard id -> index into `out_links` (`usize::MAX`: not adjacent).
-    out_for: Vec<usize>,
+    pub(crate) out_for: Vec<usize>,
     /// One release store per lookahead window instead of per event.
-    batching: bool,
+    pub(crate) batching: bool,
     /// The cut-edge latency, constant for the simulation's lifetime.
-    lookahead: SimTime,
+    pub(crate) lookahead: SimTime,
     /// The current epoch boundary (set at each epoch entry).
-    t_end: SimTime,
+    pub(crate) t_end: SimTime,
+    /// Abort with [`LinkError::Stalled`] after this long without any
+    /// progress (`None`: spin forever — correct in-process, where the
+    /// only way a peer goes quiet is a panic that propagates anyway).
+    pub(crate) stall_timeout: Option<Duration>,
 }
 
 /// Read-only state shared by all workers during an epoch.
 #[derive(Debug, Clone, Copy)]
-struct Shared<'a> {
-    world: &'a PacketWorld,
-    partition: &'a Partition,
-    failed_up: &'a [bool],
+pub(crate) struct Shared<'a> {
+    pub(crate) world: &'a PacketWorld,
+    pub(crate) partition: &'a crate::partition::Partition,
+    pub(crate) failed_up: &'a [bool],
+}
+
+impl<'a> Shared<'a> {
+    /// The worker-visible view of a [`SimCore`].
+    pub(crate) fn of(core: &'a SimCore) -> Self {
+        Shared {
+            world: &core.world,
+            partition: &core.partition,
+            failed_up: &core.failed_up,
+        }
+    }
+}
+
+/// Builds one shard of `partition` over `world`, with its event queue,
+/// timer rings, and initial arrivals resolved — the construction shared
+/// by the in-process simulator (all shards) and a distributed worker
+/// (exactly one shard).
+pub(crate) fn build_shard<Q: SimQueue<PacketEvent> + Default>(
+    world: &PacketWorld,
+    partition: &crate::partition::Partition,
+    id: usize,
+    outs: Vec<OutLink>,
+    ins: Vec<InLink>,
+    batching: bool,
+    stall_timeout: Option<Duration>,
+) -> Shard<Q> {
+    let config = &world.config;
+    let members = &partition.members[id];
+    let mut states: Vec<NodeState> = members
+        .iter()
+        .map(|&u| packet::init_state(world, u))
+        .collect();
+    let mut queue = Q::default();
+    let mut gossip_ring = TimerRing::new(SimTime::from_secs(config.gossip_period), members.len());
+    let mut diffusion_ring =
+        TimerRing::new(SimTime::from_secs(config.diffusion_period), members.len());
+    let mut outbox = Vec::new();
+    for (local, &u) in members.iter().enumerate() {
+        packet::initial_arrivals(world, &mut states[local], u, &mut outbox);
+        for (at, ev) in outbox.drain(..) {
+            queue.schedule(at, ev);
+        }
+        let gossip_seq = queue.alloc_seq();
+        gossip_ring.insert(local, world.gossip_phase(u.index()), gossip_seq);
+        let diffusion_seq = queue.alloc_seq();
+        diffusion_ring.insert(local, world.diffusion_phase(u.index()), diffusion_seq);
+    }
+    let mut out_for = vec![usize::MAX; partition.shards()];
+    for (li, link) in outs.iter().enumerate() {
+        out_for[link.peer] = li;
+    }
+    Shard {
+        id,
+        states,
+        queue,
+        gossip_ring,
+        diffusion_ring,
+        ledger: TrafficLedger::new(),
+        counters: PacketCounters::default(),
+        scratch: Scratch::default(),
+        outbox,
+        out_links: outs,
+        in_links: ins,
+        out_for,
+        batching,
+        lookahead: SimTime::from_secs(config.link_delay),
+        t_end: SimTime::ZERO,
+        stall_timeout,
+    }
 }
 
 impl<Q: SimQueue<PacketEvent>> Shard<Q> {
@@ -353,7 +399,7 @@ impl<Q: SimQueue<PacketEvent>> Shard<Q> {
     /// Routes the outbox: local targets into the shard queue (drawing
     /// local sequence numbers in push order), remote targets staged onto
     /// their wire with the next per-channel counter.
-    fn route_outbox(&mut self, sh: &Shared<'_>) {
+    fn route_outbox(&mut self, sh: &Shared<'_>) -> Result<(), LinkError> {
         let mut out = std::mem::take(&mut self.outbox);
         for (at, ev) in out.drain(..) {
             let target = sh.partition.shard_of[ev.node().index()];
@@ -369,13 +415,14 @@ impl<Q: SimQueue<PacketEvent>> Shard<Q> {
                     at,
                     counter: link.counter,
                     ev,
-                });
+                })?;
                 if !self.batching {
-                    link.publish();
+                    link.publish()?;
                 }
             }
         }
         self.outbox = out;
+        Ok(())
     }
 
     /// Runs `handler` for the node at local index `li` with a freshly
@@ -386,7 +433,7 @@ impl<Q: SimQueue<PacketEvent>> Shard<Q> {
         sh: &Shared<'_>,
         li: usize,
         handler: impl FnOnce(&mut NodeCtx<'_>, &mut NodeState),
-    ) {
+    ) -> Result<(), LinkError> {
         let mut ctx = NodeCtx {
             world: sh.world,
             failed_up: sh.failed_up,
@@ -396,13 +443,13 @@ impl<Q: SimQueue<PacketEvent>> Shard<Q> {
             scratch: &mut self.scratch,
         };
         handler(&mut ctx, &mut self.states[li]);
-        self.route_outbox(sh);
+        self.route_outbox(sh)
     }
 
     /// Processes every pending event with `time <= bound`, in
     /// `(time, key)` order across local sources and staged wire heads.
     /// Returns whether anything was processed.
-    fn process_until(&mut self, sh: &Shared<'_>, bound: SimTime) -> bool {
+    fn process_until(&mut self, sh: &Shared<'_>, bound: SimTime) -> Result<bool, LinkError> {
         let mut any = false;
         while let Some((t, _, source)) = self.next_any() {
             if t > bound {
@@ -412,7 +459,7 @@ impl<Q: SimQueue<PacketEvent>> Shard<Q> {
                 Source::Driver(DriverSource::Heap) => {
                     let (t, event) = self.queue.pop().expect("peeked event exists");
                     let li = sh.partition.local_index[event.node().index()] as usize;
-                    self.with_node(sh, li, |ctx, state| packet::handle(ctx, state, t, event));
+                    self.with_node(sh, li, |ctx, state| packet::handle(ctx, state, t, event))?;
                 }
                 Source::Driver(DriverSource::Gossip) => {
                     let (t, member) = self.gossip_ring.pop().expect("peeked fire exists");
@@ -420,7 +467,7 @@ impl<Q: SimQueue<PacketEvent>> Shard<Q> {
                     let node = sh.partition.members[self.id][member];
                     self.with_node(sh, member, |ctx, state| {
                         packet::on_gossip_timer(ctx, state, t, node);
-                    });
+                    })?;
                     let seq = self.queue.alloc_seq();
                     self.gossip_ring.rearm(member, seq);
                 }
@@ -430,7 +477,7 @@ impl<Q: SimQueue<PacketEvent>> Shard<Q> {
                     let node = sh.partition.members[self.id][member];
                     self.with_node(sh, member, |ctx, state| {
                         packet::on_diffusion(ctx, state, t, node);
-                    });
+                    })?;
                     let seq = self.queue.alloc_seq();
                     self.diffusion_ring.rearm(member, seq);
                 }
@@ -443,27 +490,27 @@ impl<Q: SimQueue<PacketEvent>> Shard<Q> {
                     let local = sh.partition.local_index[staged.ev.node().index()] as usize;
                     self.with_node(sh, local, |ctx, state| {
                         packet::handle(ctx, state, staged.at, staged.ev);
-                    });
+                    })?;
                     // Refill the merge stage so the wire's next event
                     // competes in the very next merge round.
-                    self.poll_link(li);
+                    self.poll_link(li)?;
                 }
             }
             any = true;
         }
-        any
+        Ok(any)
     }
 
     /// Reads wire `li` until its merge stage holds an event (or the
     /// wire is dry), ratcheting promises along the way. Returns whether
     /// anything arrived.
-    fn poll_link(&mut self, li: usize) -> bool {
+    fn poll_link(&mut self, li: usize) -> Result<bool, LinkError> {
         let t_end = self.t_end;
         let lookahead = self.lookahead;
         let link = &mut self.in_links[li];
         let mut any = false;
         while link.staged.is_none() {
-            match link.rx.try_recv() {
+            match link.rx.try_recv()? {
                 Some(Wire::Event { at, counter, ev }) => {
                     let key = INBOUND | ((link.peer as u64) << COUNTER_BITS) | counter;
                     // Per-channel send times are monotone, so an event
@@ -491,17 +538,17 @@ impl<Q: SimQueue<PacketEvent>> Shard<Q> {
                 None => break,
             }
         }
-        any
+        Ok(any)
     }
 
     /// Polls every inbound wire up to its merge stage. Returns whether
     /// anything arrived.
-    fn poll_inbound(&mut self) -> bool {
+    fn poll_inbound(&mut self) -> Result<bool, LinkError> {
         let mut any = false;
         for li in 0..self.in_links.len() {
-            any |= self.poll_link(li);
+            any |= self.poll_link(li)?;
         }
-        any
+        Ok(any)
     }
 
     /// Empties every merge stage and inbound wire into the shard queue
@@ -509,7 +556,7 @@ impl<Q: SimQueue<PacketEvent>> Shard<Q> {
     /// handshake, where every in-flight event targets a time past the
     /// boundary: afterwards the queue holds the complete pending set,
     /// so barrier-time event surgery sees everything.
-    fn spill_inbound(&mut self) -> bool {
+    fn spill_inbound(&mut self) -> Result<bool, LinkError> {
         let t_end = self.t_end;
         let lookahead = self.lookahead;
         let mut any = false;
@@ -520,7 +567,9 @@ impl<Q: SimQueue<PacketEvent>> Shard<Q> {
             }
             loop {
                 let link = &mut self.in_links[li];
-                let Some(msg) = link.rx.try_recv() else { break };
+                let Some(msg) = link.rx.try_recv()? else {
+                    break;
+                };
                 any = true;
                 match msg {
                     Wire::Event { at, counter, ev } => {
@@ -545,19 +594,19 @@ impl<Q: SimQueue<PacketEvent>> Shard<Q> {
                 }
             }
         }
-        any
+        Ok(any)
     }
 
-    /// Drains every outbound overflow into its ring as far as it goes
-    /// and publishes all staged messages — the once-per-window release
-    /// store of the batched hot path. Returns whether any parked
+    /// Drains every outbound overflow into its transport as far as it
+    /// goes and publishes all staged messages — the once-per-window
+    /// release store of the batched hot path. Returns whether any parked
     /// message moved.
-    fn flush_out(&mut self) -> bool {
+    fn flush_out(&mut self) -> Result<bool, LinkError> {
         let mut any = false;
         for link in &mut self.out_links {
-            any |= link.publish();
+            any |= link.publish()?;
         }
-        any
+        Ok(any)
     }
 }
 
@@ -567,16 +616,17 @@ impl<Q: SimQueue<PacketEvent>> Shard<Q> {
 /// so no disconnect fires). Survivors sit in drain loops, so the flush
 /// normally clears immediately; the retry bound only guards against a
 /// *second* dead peer, in which case the original panic still wins.
+/// Link errors are swallowed — the release is advisory.
 fn release_peers<Q>(shard: &mut Shard<Q>, t_end: SimTime) {
     let until = t_end + shard.lookahead;
     for link in &mut shard.out_links {
-        link.push(Wire::Promise { until });
-        link.push(Wire::EpochEnd);
+        let _ = link.push(Wire::Promise { until });
+        let _ = link.push(Wire::EpochEnd);
     }
     for _ in 0..1_000_000 {
         let mut parked = false;
         for link in &mut shard.out_links {
-            link.publish();
+            let _ = link.publish();
             parked |= !link.overflow.is_empty();
         }
         if !parked {
@@ -590,7 +640,10 @@ fn release_peers<Q>(shard: &mut Shard<Q>, t_end: SimTime) {
 /// conservatively bounded by inbound promises, then performs the
 /// `EpochEnd` handshake with its neighbors. On panic, releases the
 /// neighbors (final promise + `EpochEnd`) before resuming the unwind so
-/// the scope joins and the panic propagates to the caller.
+/// the scope joins and the panic propagates to the caller. On a wire
+/// error (dead or stalled peer — socket transports only) the error
+/// propagates as a value after the same release, so a distributed run
+/// fails cleanly instead of hanging.
 ///
 /// When `sample` is set, the shard computes its partial of the
 /// convergence-trace sample at the quiesced boundary — rolling its own
@@ -600,18 +653,22 @@ fn release_peers<Q>(shard: &mut Shard<Q>, t_end: SimTime) {
 /// per-epoch work thus shrinks from an `O(n)` pass over every node to
 /// an `O(shards)` merge, and because the fold is exact, the merged
 /// value is bit-identical to the old driver-side pass in node order.
-fn run_shard<Q: SimQueue<PacketEvent>>(
+pub(crate) fn run_shard<Q: SimQueue<PacketEvent>>(
     shard: &mut Shard<Q>,
     sh: &Shared<'_>,
     t_end: SimTime,
     sample: bool,
-) -> Option<ExactSum> {
+) -> Result<Option<ExactSum>, LinkError> {
     shard.t_end = t_end;
     let caught = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
         run_epoch(shard, sh, t_end, sample)
     }));
     match caught {
-        Ok(partial) => partial,
+        Ok(Ok(partial)) => Ok(partial),
+        Ok(Err(link_error)) => {
+            release_peers(shard, t_end);
+            Err(link_error)
+        }
         Err(payload) => {
             release_peers(shard, t_end);
             std::panic::resume_unwind(payload);
@@ -619,29 +676,31 @@ fn run_shard<Q: SimQueue<PacketEvent>>(
     }
 }
 
-/// The epoch body of [`run_shard`] (split out so the panic release can
-/// wrap it).
+/// The epoch body of [`run_shard`] (split out so the panic/error release
+/// can wrap it).
 fn run_epoch<Q: SimQueue<PacketEvent>>(
     shard: &mut Shard<Q>,
     sh: &Shared<'_>,
     t_end: SimTime,
     sample: bool,
-) -> Option<ExactSum> {
+) -> Result<Option<ExactSum>, LinkError> {
     let lookahead = shard.lookahead;
+    let stall_timeout = shard.stall_timeout;
     let mut idle_spins = 0u32;
+    let mut idle_since: Option<Instant> = None;
     loop {
-        let mut progressed = shard.poll_inbound();
+        let mut progressed = shard.poll_inbound()?;
 
         let safe = shard.in_links.iter().map(|l| l.promise).min();
         let bound = match safe {
             Some(s) => s.min(t_end),
             None => t_end,
         };
-        progressed |= shard.process_until(sh, bound);
+        progressed |= shard.process_until(sh, bound)?;
 
         // Publish the window's outbound batch *before* promising: a
         // visible promise must never have unpublished events behind it.
-        progressed |= shard.flush_out();
+        progressed |= shard.flush_out()?;
 
         // Null message: the earliest we could possibly send anything new
         // is one lookahead past the earliest thing we might yet process.
@@ -659,8 +718,8 @@ fn run_epoch<Q: SimQueue<PacketEvent>>(
         for link in &mut shard.out_links {
             if promise > link.last_promise {
                 link.last_promise = promise;
-                link.push(Wire::Promise { until: promise });
-                link.publish();
+                link.push(Wire::Promise { until: promise })?;
+                link.publish()?;
                 progressed = true;
             }
         }
@@ -682,19 +741,21 @@ fn run_epoch<Q: SimQueue<PacketEvent>>(
                 )
             });
             for link in &mut shard.out_links {
-                link.push(Wire::EpochEnd);
-                link.publish();
+                link.push(Wire::EpochEnd)?;
+                link.publish()?;
             }
             // Late messages of this epoch all target times past t_end;
             // spill them into the queue until every neighbor has closed
             // the epoch too and everything we owe them has left the
             // overflow (our own `EpochEnd` may be parked behind a full
             // ring). Neighbors in the same loop drain constantly, so
-            // back-pressure clears; back off when nothing moves.
+            // back-pressure clears; back off when nothing moves, and on
+            // a socket transport give up after the stall timeout.
             let mut wait_spins = 0u32;
+            let mut wait_since: Option<Instant> = None;
             loop {
-                let mut moved = shard.spill_inbound();
-                moved |= shard.flush_out();
+                let mut moved = shard.spill_inbound()?;
+                moved |= shard.flush_out()?;
                 let peers_done = shard.in_links.iter().all(|l| l.epoch_ended);
                 let sent_all = shard.out_links.iter().all(|l| l.overflow.is_empty());
                 if peers_done && sent_all {
@@ -702,9 +763,18 @@ fn run_epoch<Q: SimQueue<PacketEvent>>(
                 }
                 if moved {
                     wait_spins = 0;
+                    wait_since = None;
                 } else {
                     wait_spins += 1;
                     if wait_spins > 64 {
+                        if let Some(limit) = stall_timeout {
+                            let since = *wait_since.get_or_insert_with(Instant::now);
+                            if since.elapsed() > limit {
+                                return Err(LinkError::Stalled {
+                                    waited: since.elapsed(),
+                                });
+                            }
+                        }
                         std::thread::sleep(Duration::from_micros(50));
                     } else {
                         std::thread::yield_now();
@@ -715,14 +785,23 @@ fn run_epoch<Q: SimQueue<PacketEvent>>(
                 link.epoch_ended = false;
                 debug_assert!(link.staged.is_none(), "merge stage empty at the barrier");
             }
-            return partial;
+            return Ok(partial);
         }
 
         if progressed {
             idle_spins = 0;
+            idle_since = None;
         } else {
             idle_spins += 1;
             if idle_spins > 64 {
+                if let Some(limit) = stall_timeout {
+                    let since = *idle_since.get_or_insert_with(Instant::now);
+                    if since.elapsed() > limit {
+                        return Err(LinkError::Stalled {
+                            waited: since.elapsed(),
+                        });
+                    }
+                }
                 std::thread::sleep(Duration::from_micros(50));
             } else {
                 std::thread::yield_now();
@@ -737,14 +816,10 @@ fn run_epoch<Q: SimQueue<PacketEvent>>(
 /// other; [`HeapParPacketSim`] is the `BinaryHeap`-backed twin.
 #[derive(Debug)]
 pub struct GenericParPacketSim<Q> {
-    world: PacketWorld,
-    partition: Partition,
+    core: SimCore,
     shards: Vec<Shard<Q>>,
-    failed_up: Vec<bool>,
     trace: ConvergenceTrace,
     epochs_sampled: u64,
-    /// Simulated time the run has reached (last barrier).
-    horizon: SimTime,
     /// `true` (default): workers fold the per-epoch trace partial and
     /// the driver merges `O(shards)`. `false`: the driver performs the
     /// pre-fold `O(n)` node-order pass itself — kept as the reference
@@ -820,89 +895,34 @@ impl<Q: SimQueue<PacketEvent> + Default + Send> GenericParPacketSim<Q> {
         );
 
         let shards_n = partition.shards();
+        let mut transport = tuning.transport;
         let mut out_links: Vec<Vec<OutLink>> = (0..shards_n).map(|_| Vec::new()).collect();
         let mut in_links: Vec<Vec<InLink>> = (0..shards_n).map(|_| Vec::new()).collect();
         for (src, dst) in partition.cut_pairs(tree) {
-            let (tx, rx) = match tuning.transport {
-                Transport::SpscRing => {
-                    let (p, c) = spsc::ring(RING_CAPACITY);
-                    (WireTx::Ring(p), WireRx::Ring(c))
-                }
-                Transport::MpmcChannel => {
-                    let (tx, rx) = unbounded();
-                    (WireTx::Mpmc(tx), WireRx::Mpmc(rx))
-                }
-            };
-            out_links[src].push(OutLink {
-                peer: dst,
-                tx,
-                overflow: VecDeque::new(),
-                counter: 0,
-                last_promise: SimTime::ZERO,
-            });
-            in_links[dst].push(InLink {
-                peer: src,
-                rx,
-                staged: None,
-                promise: SimTime::ZERO,
-                epoch_ended: false,
-            });
+            let (tx, rx) = transport.open_wire(src, dst);
+            out_links[src].push(OutLink::new(dst, tx));
+            in_links[dst].push(InLink::new(src, rx));
         }
 
-        let mut shards = Vec::with_capacity(shards_n);
-        for (id, (outs, ins)) in out_links.into_iter().zip(in_links).enumerate() {
-            let members = &partition.members[id];
-            let mut states: Vec<NodeState> = members
-                .iter()
-                .map(|&u| packet::init_state(&world, u))
-                .collect();
-            let mut queue = Q::default();
-            let mut gossip_ring =
-                TimerRing::new(SimTime::from_secs(config.gossip_period), members.len());
-            let mut diffusion_ring =
-                TimerRing::new(SimTime::from_secs(config.diffusion_period), members.len());
-            let mut outbox = Vec::new();
-            for (local, &u) in members.iter().enumerate() {
-                packet::initial_arrivals(&world, &mut states[local], u, &mut outbox);
-                for (at, ev) in outbox.drain(..) {
-                    queue.schedule(at, ev);
-                }
-                let gossip_seq = queue.alloc_seq();
-                gossip_ring.insert(local, world.gossip_phase(u.index()), gossip_seq);
-                let diffusion_seq = queue.alloc_seq();
-                diffusion_ring.insert(local, world.diffusion_phase(u.index()), diffusion_seq);
-            }
-            let mut out_for = vec![usize::MAX; shards_n];
-            for (li, link) in outs.iter().enumerate() {
-                out_for[link.peer] = li;
-            }
-            shards.push(Shard {
-                id,
-                states,
-                queue,
-                gossip_ring,
-                diffusion_ring,
-                ledger: TrafficLedger::new(),
-                counters: PacketCounters::default(),
-                scratch: Scratch::default(),
-                outbox,
-                out_links: outs,
-                in_links: ins,
-                out_for,
-                batching: tuning.batching,
-                lookahead: SimTime::from_secs(config.link_delay),
-                t_end: SimTime::ZERO,
-            });
-        }
+        let shards = out_links
+            .into_iter()
+            .zip(in_links)
+            .enumerate()
+            .map(|(id, (outs, ins))| {
+                build_shard(&world, &partition, id, outs, ins, tuning.batching, None)
+            })
+            .collect();
 
         GenericParPacketSim {
-            failed_up: vec![false; world.len()],
-            world,
-            partition,
+            core: SimCore {
+                failed_up: vec![false; world.len()],
+                world,
+                partition,
+                horizon: SimTime::ZERO,
+            },
             shards,
             trace: ConvergenceTrace::new(),
             epochs_sampled: 0,
-            horizon: SimTime::ZERO,
             fold_trace: true,
             tuning,
         }
@@ -933,17 +953,15 @@ impl<Q: SimQueue<PacketEvent> + Default + Send> GenericParPacketSim<Q> {
     /// worker folds its trace partial at the quiesced boundary and the
     /// merged exact sum is returned.
     fn advance_all(&mut self, t_end: SimTime, sample: bool) -> Option<ExactSum> {
-        if t_end <= self.horizon {
+        if t_end <= self.core.horizon {
             return None;
         }
-        let shared = Shared {
-            world: &self.world,
-            partition: &self.partition,
-            failed_up: &self.failed_up,
-        };
+        let shared = Shared::of(&self.core);
         let mut merged = sample.then(ExactSum::new);
         if self.shards.len() == 1 {
-            if let Some(p) = run_shard(&mut self.shards[0], &shared, t_end, sample) {
+            let partial = run_shard(&mut self.shards[0], &shared, t_end, sample)
+                .unwrap_or_else(|e| panic!("in-process wire failed: {e}"));
+            if let Some(p) = partial {
                 merged
                     .as_mut()
                     .expect("sampled run returns partials")
@@ -962,7 +980,8 @@ impl<Q: SimQueue<PacketEvent> + Default + Send> GenericParPacketSim<Q> {
                 handles
                     .into_iter()
                     .map(|h| match h.join() {
-                        Ok(partial) => partial,
+                        Ok(Ok(partial)) => partial,
+                        Ok(Err(e)) => panic!("in-process wire failed: {e}"),
                         Err(panic) => std::panic::resume_unwind(panic),
                     })
                     .collect::<Vec<_>>()
@@ -976,13 +995,15 @@ impl<Q: SimQueue<PacketEvent> + Default + Send> GenericParPacketSim<Q> {
                     .merge(&p);
             }
         }
-        self.horizon = t_end;
+        self.core.horizon = t_end;
         merged
     }
 
     /// The next pending epoch-boundary sample time.
     fn next_sample(&self) -> SimTime {
-        SimTime::from_secs((self.epochs_sampled + 1) as f64 * self.world.config.diffusion_period)
+        SimTime::from_secs(
+            (self.epochs_sampled + 1) as f64 * self.core.world.config.diffusion_period,
+        )
     }
 
     /// The pre-fold reference sample: the driver itself rolls every
@@ -991,11 +1012,11 @@ impl<Q: SimQueue<PacketEvent> + Default + Send> GenericParPacketSim<Q> {
     fn driver_side_partial(&mut self, at: SimTime) -> ExactSum {
         let now = at.as_secs();
         let mut sum = ExactSum::new();
-        for j in 0..self.world.len() {
-            let s = self.partition.shard_of[j];
-            let li = self.partition.local_index[j] as usize;
+        for j in 0..self.core.world.len() {
+            let s = self.core.partition.shard_of[j];
+            let li = self.core.partition.local_index[j] as usize;
             let r = packet::sample_served_rate(&mut self.shards[s].states[li], now);
-            sum.add_square(r - self.world.oracle[NodeId::new(j)]);
+            sum.add_square(r - self.core.world.oracle[NodeId::new(j)]);
         }
         sum
     }
@@ -1020,34 +1041,40 @@ impl<Q: SimQueue<PacketEvent> + Default + Send> GenericParPacketSim<Q> {
             self.epochs_sampled += 1;
         }
         self.advance_all(deadline, false);
-        if deadline > self.horizon {
-            self.horizon = deadline;
+        if deadline > self.core.horizon {
+            self.core.horizon = deadline;
         }
         self.report()
     }
 
     /// Produces the report at the current horizon (also usable mid-run).
     pub fn report(&mut self) -> PacketSimReport {
-        let now = self.horizon.as_secs().max(1e-9);
-        let rates: Vec<f64> = (0..self.world.len())
+        let now = self.core.horizon.as_secs().max(1e-9);
+        let rates: Vec<f64> = (0..self.core.world.len())
             .map(|j| {
-                let s = self.partition.shard_of[j];
-                let li = self.partition.local_index[j] as usize;
+                let s = self.core.partition.shard_of[j];
+                let li = self.core.partition.local_index[j] as usize;
                 packet::sample_served_rate(&mut self.shards[s].states[li], now)
             })
             .collect();
         let served_rates = RateVector::from(rates);
-        let final_distance = served_rates.euclidean_distance(&self.world.oracle);
+        let final_distance = served_rates.euclidean_distance(&self.core.world.oracle);
         let mut ledger = TrafficLedger::new();
         let mut counters = PacketCounters::default();
+        let mut overflow_parks = 0u64;
+        let mut overflow_peak_parked = 0u64;
         for shard in &self.shards {
             ledger.merge(&shard.ledger);
             counters.merge(&shard.counters);
+            for link in &shard.out_links {
+                overflow_parks += link.parks;
+                overflow_peak_parked = overflow_peak_parked.max(link.peak_parked);
+            }
         }
         PacketSimReport {
             final_distance,
             served_rates,
-            oracle: self.world.oracle.clone(),
+            oracle: self.core.world.oracle.clone(),
             trace: self.trace.clone(),
             ledger,
             mean_hops: if counters.served_requests == 0 {
@@ -1062,22 +1089,24 @@ impl<Q: SimQueue<PacketEvent> + Default + Send> GenericParPacketSim<Q> {
             // timer fires, and inbound clock advances), so the sum
             // matches the sequential driver's count bit-for-bit.
             processed_events: self.shards.iter().map(|s| s.queue.processed()).sum(),
+            overflow_parks,
+            overflow_peak_parked,
         }
     }
 
     /// The TLB oracle for the offered demand.
     pub fn oracle(&self) -> &RateVector {
-        &self.world.oracle
+        &self.core.world.oracle
     }
 
     /// The routing tree this simulation runs on.
     pub fn tree(&self) -> &Tree {
-        &self.world.tree
+        &self.core.world.tree
     }
 
     /// The dense document table of this simulation's universe.
     pub fn doc_table(&self) -> &ww_model::DocTable {
-        &self.world.table
+        &self.core.world.table
     }
 
     /// Lifetime served-request count of one node.
@@ -1086,8 +1115,8 @@ impl<Q: SimQueue<PacketEvent> + Default + Send> GenericParPacketSim<Q> {
     ///
     /// Panics if `node` is out of range.
     pub fn served_total(&self, node: NodeId) -> u64 {
-        let s = self.partition.shard_of[node.index()];
-        let li = self.partition.local_index[node.index()] as usize;
+        let s = self.core.partition.shard_of[node.index()];
+        let li = self.core.partition.local_index[node.index()] as usize;
         self.shards[s].states[li].served_total
     }
 
@@ -1097,7 +1126,7 @@ impl<Q: SimQueue<PacketEvent> + Default + Send> GenericParPacketSim<Q> {
     ///
     /// Panics if `node` is out of range.
     pub fn link_failed(&self, node: NodeId) -> bool {
-        self.failed_up[node.index()]
+        self.core.failed_up[node.index()]
     }
 
     /// Fails the control link between `node` and its parent (applied at
@@ -1109,11 +1138,7 @@ impl<Q: SimQueue<PacketEvent> + Default + Send> GenericParPacketSim<Q> {
     ///
     /// Panics if `node` is out of range or is the root.
     pub fn fail_link(&mut self, node: NodeId) -> bool {
-        assert!(
-            self.world.tree.parent(node).is_some(),
-            "the root has no uplink to fail"
-        );
-        !std::mem::replace(&mut self.failed_up[node.index()], true)
+        ops::fail_link(&mut self.core, node)
     }
 
     /// Restores the control link between `node` and its parent. Returns
@@ -1123,11 +1148,7 @@ impl<Q: SimQueue<PacketEvent> + Default + Send> GenericParPacketSim<Q> {
     ///
     /// Panics if `node` is out of range or is the root.
     pub fn heal_link(&mut self, node: NodeId) -> bool {
-        assert!(
-            self.world.tree.parent(node).is_some(),
-            "the root has no uplink to heal"
-        );
-        std::mem::replace(&mut self.failed_up[node.index()], false)
+        ops::heal_link(&mut self.core, node)
     }
 
     /// Re-publish (update) a document at the current barrier: every
@@ -1140,70 +1161,7 @@ impl<Q: SimQueue<PacketEvent> + Default + Send> GenericParPacketSim<Q> {
     /// Returns [`ModelError::UnknownDocument`] when `doc` is outside the
     /// simulated universe.
     pub fn invalidate(&mut self, doc: DocId) -> Result<(), ModelError> {
-        let Some(k) = self.world.table.index_of(doc) else {
-            return Err(ModelError::UnknownDocument { doc: doc.value() });
-        };
-        let root = self.world.tree.root();
-        for j in 0..self.world.len() {
-            let node = NodeId::new(j);
-            if node == root {
-                continue;
-            }
-            let s = self.partition.shard_of[j];
-            let li = self.partition.local_index[j] as usize;
-            if packet::invalidate_node(&mut self.shards[s].states[li], k) {
-                self.shards[s].ledger.record(
-                    TrafficClass::Gossip,
-                    64,
-                    self.world.tree.depth(node) as u32,
-                );
-            }
-        }
-        Ok(())
-    }
-
-    /// The state of node `j`, via the partition index.
-    fn state_mut(&mut self, j: usize) -> &mut NodeState {
-        let s = self.partition.shard_of[j];
-        let li = self.partition.local_index[j] as usize;
-        &mut self.shards[s].states[li]
-    }
-
-    /// Re-resolves the arrival stage after a barrier mutation, exactly
-    /// as the sequential driver: per shard, stale arrivals are dropped
-    /// (surviving events' document indices remapped when the universe
-    /// grew) and fresh first arrivals are scheduled in global node
-    /// order — so each node's events keep the same relative order they
-    /// get in the sequential queue.
-    fn rebuild_arrivals(&mut self, growth: Option<&UniverseGrowth>) {
-        for shard in &mut self.shards {
-            shard
-                .queue
-                .filter_map_events(|ev| packet::remap_for_rebuild(ev, growth));
-        }
-        self.reschedule_arrivals();
-    }
-
-    /// The scheduling half of [`GenericParPacketSim::rebuild_arrivals`],
-    /// for callers whose own queue surgery already dropped the stale
-    /// arrivals (a leave's [`packet::renumber_for_leave`] pass).
-    fn reschedule_arrivals(&mut self) {
-        let at = self.horizon;
-        let mut outbox = Vec::new();
-        for j in 0..self.world.len() {
-            let s = self.partition.shard_of[j];
-            let li = self.partition.local_index[j] as usize;
-            packet::rebuild_node_arrivals(
-                &self.world,
-                &mut self.shards[s].states[li],
-                NodeId::new(j),
-                at,
-                &mut outbox,
-            );
-            for (t, ev) in outbox.drain(..) {
-                self.shards[s].queue.schedule(t, ev);
-            }
-        }
+        ops::invalidate(&mut self.core, &mut self.shards, doc)
     }
 
     /// A cache server joins as a new leaf under `parent` at the current
@@ -1218,32 +1176,7 @@ impl<Q: SimQueue<PacketEvent> + Default + Send> GenericParPacketSim<Q> {
     ///
     /// As [`PacketWorld::join`]: unknown parent or invalid rate.
     pub fn add_leaf(&mut self, parent: NodeId, rate: f64) -> Result<NodeId, ModelError> {
-        let at = self.horizon;
-        let id = self.world.join(parent, rate)?;
-        let i = id.index();
-        let ps = self.partition.shard_of[parent.index()];
-        let pli = self.partition.local_index[parent.index()] as usize;
-        let map = packet::join_slot_map(self.world.tree.children(parent).len() - 1);
-        packet::remap_children(&mut self.shards[ps].states[pli], &map, at.as_secs());
-        let li = self.partition.add_node(ps);
-        debug_assert_eq!(li, self.shards[ps].states.len());
-        self.shards[ps]
-            .states
-            .push(packet::init_state_at(&self.world, id, at.as_secs()));
-        self.failed_up.push(false);
-        self.rebuild_arrivals(None);
-        let shard = &mut self.shards[ps];
-        assert_eq!(shard.gossip_ring.add_member(), li);
-        assert_eq!(shard.diffusion_ring.add_member(), li);
-        let gossip_seq = shard.queue.alloc_seq();
-        shard
-            .gossip_ring
-            .insert(li, at + self.world.gossip_phase(i), gossip_seq);
-        let diffusion_seq = shard.queue.alloc_seq();
-        shard
-            .diffusion_ring
-            .insert(li, at + self.world.diffusion_phase(i), diffusion_seq);
-        Ok(id)
+        ops::add_leaf(&mut self.core, &mut self.shards, parent, rate)
     }
 
     /// A leaf cache server departs at the current barrier — the
@@ -1259,50 +1192,7 @@ impl<Q: SimQueue<PacketEvent> + Default + Send> GenericParPacketSim<Q> {
     /// As [`PacketWorld::leave`]: unknown id, the root, or an interior
     /// node.
     pub fn remove_leaf(&mut self, node: NodeId) -> Result<LeafRemoval, ModelError> {
-        let at = self.horizon;
-        let old_child_slot = self.world.child_slot.clone();
-        let removal = self.world.leave(node)?;
-        let r = removal.removed.index();
-        let (s, li) = self.partition.swap_remove_node(r);
-        self.shards[s].states.swap_remove(li);
-        self.shards[s].gossip_ring.swap_remove_member(li);
-        self.shards[s].diffusion_ring.swap_remove_member(li);
-        self.failed_up.swap_remove(r);
-        for shard in &mut self.shards {
-            shard.queue.filter_map_events(|ev| {
-                packet::renumber_for_leave(ev, removal.removed, removal.moved)
-            });
-        }
-        for p in packet::parents_to_remap(&self.world.tree, &removal) {
-            let map = packet::child_slot_map(
-                &self.world.tree,
-                p,
-                removal.removed,
-                removal.moved,
-                &old_child_slot,
-            );
-            packet::remap_children(self.state_mut(p.index()), &map, at.as_secs());
-        }
-        // The renumbering pass above already dropped the stale arrivals;
-        // only the rescheduling half remains.
-        self.reschedule_arrivals();
-        Ok(removal)
-    }
-
-    /// Applies a universe growth to every node's per-document state (the
-    /// home server also receives the only copy of each new document),
-    /// then re-resolves the arrival stage — the shared tail of every
-    /// demand-changing barrier operation.
-    fn apply_growth(&mut self, growth: Option<&UniverseGrowth>) {
-        let at = self.horizon.as_secs();
-        if let Some(g) = growth {
-            let root = self.world.tree.root();
-            for j in 0..self.world.len() {
-                let is_root = NodeId::new(j) == root;
-                packet::grow_node_state(self.state_mut(j), g, at, is_root);
-            }
-        }
-        self.rebuild_arrivals(growth);
+        ops::remove_leaf(&mut self.core, &mut self.shards, node)
     }
 
     /// Publishes a document at the current barrier — the parallel twin
@@ -1312,9 +1202,7 @@ impl<Q: SimQueue<PacketEvent> + Default + Send> GenericParPacketSim<Q> {
     ///
     /// As [`PacketWorld::publish`]: unknown origin or invalid rate.
     pub fn publish_doc(&mut self, doc: DocId, origin: NodeId, rate: f64) -> Result<(), ModelError> {
-        let growth = self.world.publish(doc, origin, rate)?;
-        self.apply_growth(growth.as_ref());
-        Ok(())
+        ops::publish_doc(&mut self.core, &mut self.shards, doc, origin, rate)
     }
 
     /// Replaces the whole demand mix at the current barrier — the
@@ -1325,14 +1213,24 @@ impl<Q: SimQueue<PacketEvent> + Default + Send> GenericParPacketSim<Q> {
     ///
     /// As [`PacketWorld::set_mix`]: a mix not covering the current tree.
     pub fn set_mix(&mut self, mix: &DocMix) -> Result<(), ModelError> {
-        let growth = self.world.set_mix(mix)?;
-        self.apply_growth(growth.as_ref());
-        Ok(())
+        ops::set_mix(&mut self.core, &mut self.shards, mix)
     }
 
     /// The shared world (topology, mix, oracle, configuration) as the
     /// simulation currently sees it.
     pub fn world(&self) -> &PacketWorld {
-        &self.world
+        &self.core.world
+    }
+}
+
+impl<Q> ShardStore<Q> for Vec<Shard<Q>> {
+    fn shard_mut(&mut self, id: usize) -> Option<&mut Shard<Q>> {
+        self.get_mut(id)
+    }
+
+    fn for_each(&mut self, f: &mut dyn FnMut(&mut Shard<Q>)) {
+        for shard in self.iter_mut() {
+            f(shard);
+        }
     }
 }

@@ -1,0 +1,346 @@
+//! [`ShardHost`]: one participant of a partitioned packet run that
+//! holds **at most one shard**.
+//!
+//! The in-process [`ParPacketSim`](crate::ParPacketSim) owns every
+//! shard and drives them on threads. A *distributed* run spreads the
+//! same shards over OS processes: each worker process hosts exactly one
+//! shard, and the coordinator hosts none — it keeps a replica of the
+//! shared bookkeeping (world, partition, horizon) to mirror barrier
+//! mutations and assemble reports. `ShardHost` is the harness both
+//! sides use. It owns a `SimCore`-equivalent plus the optional shard,
+//! runs epochs over externally supplied wires (sockets, in the
+//! `ww-dist` crate), and applies every barrier operation with the exact
+//! per-node logic of the in-process engine — so a distributed run is
+//! bit-identical to the threaded and sequential ones by construction.
+//!
+//! Every participant derives the partition from the same
+//! `(tree, shard_hint)` pair via [`partition_subtrees`], which is a
+//! pure function — no partition data ever crosses the network.
+
+use crate::engine::{build_shard, run_shard, InLink, OutLink, Shared};
+use crate::ops::{self, SimCore, SingleStore};
+use crate::partition::{partition_subtrees, Partition};
+use crate::transport::{LinkError, WireReceiver, WireSender};
+use std::time::Duration;
+use ww_core::packet::{PacketCounters, PacketEvent, PacketSimConfig, PacketWorld};
+use ww_model::{DocId, LeafRemoval, ModelError, NodeId, Tree};
+use ww_net::TrafficLedger;
+use ww_sim::{RadixQueue, SimQueue, SimTime};
+use ww_stats::ExactSum;
+use ww_workload::DocMix;
+
+/// The default stall timeout a distributed participant runs its epochs
+/// with: after this long without any progress the epoch returns
+/// [`LinkError::Stalled`] instead of spinning forever. In-process runs
+/// use `None` — there, the only way a peer goes quiet is a panic, which
+/// propagates on its own.
+pub const DEFAULT_STALL_TIMEOUT: Duration = Duration::from_secs(10);
+
+/// The shard host with the production event queue — what distributed
+/// workers run.
+pub type PacketShardHost = ShardHost<RadixQueue<PacketEvent>>;
+
+/// One participant of a partitioned packet-level run: the replicated
+/// shared state plus at most one locally held shard. See the module
+/// docs.
+#[derive(Debug)]
+pub struct ShardHost<Q> {
+    core: SimCore,
+    store: SingleStore<Q>,
+}
+
+impl<Q: SimQueue<PacketEvent> + Default + Send> ShardHost<Q> {
+    /// A host holding **no** shard: the coordinator's replica. It
+    /// mirrors barrier mutations and serves world/partition metadata;
+    /// [`ShardHost::run_epoch`] only advances its horizon.
+    ///
+    /// # Panics
+    ///
+    /// As [`PacketWorld::new`] on invalid inputs.
+    pub fn replica(tree: &Tree, mix: &DocMix, config: PacketSimConfig, shard_hint: usize) -> Self {
+        assert!(shard_hint > 0, "need at least one shard");
+        let world = PacketWorld::new(tree, mix, config);
+        let partition = partition_subtrees(tree, shard_hint);
+        ShardHost {
+            core: SimCore {
+                failed_up: vec![false; world.len()],
+                world,
+                partition,
+                horizon: SimTime::ZERO,
+            },
+            store: SingleStore {
+                id: usize::MAX,
+                shard: None,
+            },
+        }
+    }
+
+    /// A host holding shard `id` of the partition derived from
+    /// `(tree, shard_hint)` — a distributed worker. Wire endpoints for
+    /// the shard's cut edges are pulled from the two callbacks:
+    /// `wire_out(dst)` must yield the sender of the directed wire
+    /// `id → dst`, `wire_in(src)` the receiver of `src → id`, for every
+    /// adjacent shard. Epochs run with `stall_timeout` (see
+    /// [`DEFAULT_STALL_TIMEOUT`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is not a shard of the derived partition, if the
+    /// partition is non-trivial and `config.link_delay` is not positive
+    /// (no lookahead), or on any input [`PacketWorld::new`] rejects.
+    #[allow(clippy::too_many_arguments)]
+    pub fn worker(
+        tree: &Tree,
+        mix: &DocMix,
+        config: PacketSimConfig,
+        shard_hint: usize,
+        id: usize,
+        batching: bool,
+        stall_timeout: Option<Duration>,
+        mut wire_out: impl FnMut(usize) -> Box<dyn WireSender>,
+        mut wire_in: impl FnMut(usize) -> Box<dyn WireReceiver>,
+    ) -> Self {
+        assert!(shard_hint > 0, "need at least one shard");
+        let world = PacketWorld::new(tree, mix, config);
+        let partition = partition_subtrees(tree, shard_hint);
+        assert!(
+            id < partition.shards(),
+            "shard {id} out of range: the partition has {} shards",
+            partition.shards()
+        );
+        assert!(
+            partition.shards() == 1 || config.link_delay > 0.0,
+            "the parallel packet engine needs a positive link delay: \
+             cut-edge latency is its conservative lookahead"
+        );
+        let mut outs = Vec::new();
+        let mut ins = Vec::new();
+        for (src, dst) in partition.cut_pairs(tree) {
+            if src == id {
+                outs.push(OutLink::new(dst, wire_out(dst)));
+            }
+            if dst == id {
+                ins.push(InLink::new(src, wire_in(src)));
+            }
+        }
+        let shard = build_shard(&world, &partition, id, outs, ins, batching, stall_timeout);
+        ShardHost {
+            core: SimCore {
+                failed_up: vec![false; world.len()],
+                world,
+                partition,
+                horizon: SimTime::ZERO,
+            },
+            store: SingleStore {
+                id,
+                shard: Some(shard),
+            },
+        }
+    }
+
+    /// The shard this host holds, if any.
+    pub fn owned_shard(&self) -> Option<usize> {
+        self.store.shard.as_ref().map(|_| self.store.id)
+    }
+
+    /// Number of shards in the (derived) partition — the worker count
+    /// of the distributed run.
+    pub fn shards(&self) -> usize {
+        self.core.partition.shards()
+    }
+
+    /// The node→shard partition every participant derived.
+    pub fn partition(&self) -> &Partition {
+        &self.core.partition
+    }
+
+    /// The shared world (topology, mix, oracle, configuration) as this
+    /// participant currently sees it.
+    pub fn world(&self) -> &PacketWorld {
+        &self.core.world
+    }
+
+    /// Simulated time the run has reached (last barrier).
+    pub fn horizon(&self) -> SimTime {
+        self.core.horizon
+    }
+
+    /// Runs the held shard's event loop up to the epoch boundary
+    /// `t_end` (conservatively synchronized over its wires), then moves
+    /// the horizon there. With `sample` set, returns the shard's exact
+    /// partial of the convergence-trace sample, folded at the quiesced
+    /// boundary. A host with no shard only advances its horizon.
+    ///
+    /// # Errors
+    ///
+    /// [`LinkError`] when a wire died or nothing made progress within
+    /// the stall timeout. The epoch is then torn mid-flight and the
+    /// simulation cannot continue; distributed drivers surface this as
+    /// a run failure.
+    pub fn run_epoch(
+        &mut self,
+        t_end: SimTime,
+        sample: bool,
+    ) -> Result<Option<ExactSum>, LinkError> {
+        if t_end <= self.core.horizon {
+            return Ok(None);
+        }
+        let partial = match &mut self.store.shard {
+            Some(shard) => {
+                let shared = Shared::of(&self.core);
+                run_shard(shard, &shared, t_end, sample)?
+            }
+            None => None,
+        };
+        self.core.horizon = t_end;
+        Ok(partial)
+    }
+
+    /// Serve rates of the held shard's member nodes at `now` (seconds),
+    /// in member order — the worker's slice of the final report. Empty
+    /// for a replica.
+    pub fn member_rates(&mut self, now: f64) -> Vec<f64> {
+        match &mut self.store.shard {
+            Some(shard) => shard
+                .states
+                .iter_mut()
+                .map(|state| ww_core::packet::sample_served_rate(state, now))
+                .collect(),
+            None => Vec::new(),
+        }
+    }
+
+    /// Global node ids of the held shard's members, in the same order
+    /// as [`ShardHost::member_rates`].
+    pub fn members(&self) -> &[NodeId] {
+        match self.store.shard {
+            Some(_) => &self.core.partition.members[self.store.id],
+            None => &[],
+        }
+    }
+
+    /// The held shard's traffic ledger (empty for a replica).
+    pub fn ledger(&self) -> TrafficLedger {
+        match &self.store.shard {
+            Some(shard) => shard.ledger.clone(),
+            None => TrafficLedger::new(),
+        }
+    }
+
+    /// The held shard's protocol counters (zero for a replica).
+    pub fn counters(&self) -> PacketCounters {
+        match &self.store.shard {
+            Some(shard) => shard.counters,
+            None => PacketCounters::default(),
+        }
+    }
+
+    /// Events the held shard has processed so far.
+    pub fn processed_events(&self) -> u64 {
+        match &self.store.shard {
+            Some(shard) => shard.queue.processed(),
+            None => 0,
+        }
+    }
+
+    /// Back-pressure observability of the held shard's outbound wires:
+    /// `(total messages ever parked, peak depth of any overflow queue)`.
+    pub fn wire_stats(&self) -> (u64, u64) {
+        let mut parks = 0u64;
+        let mut peak = 0u64;
+        if let Some(shard) = &self.store.shard {
+            for link in &shard.out_links {
+                parks += link.parks;
+                peak = peak.max(link.peak_parked);
+            }
+        }
+        (parks, peak)
+    }
+
+    /// Whether the control link from `node` to its parent is failed.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node` is out of range.
+    pub fn link_failed(&self, node: NodeId) -> bool {
+        self.core.failed_up[node.index()]
+    }
+
+    /// Fails the control link between `node` and its parent. Returns
+    /// `false` when already failed. Must be applied on **every**
+    /// participant at the same barrier.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node` is out of range or is the root.
+    pub fn fail_link(&mut self, node: NodeId) -> bool {
+        ops::fail_link(&mut self.core, node)
+    }
+
+    /// Restores the control link between `node` and its parent. Returns
+    /// `false` when the link was not failed.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node` is out of range or is the root.
+    pub fn heal_link(&mut self, node: NodeId) -> bool {
+        ops::heal_link(&mut self.core, node)
+    }
+
+    /// Invalidates every cached copy of `doc` outside the home server —
+    /// the barrier-replicated twin of
+    /// [`ParPacketSim::invalidate`](crate::GenericParPacketSim::invalidate).
+    ///
+    /// # Errors
+    ///
+    /// [`ModelError::UnknownDocument`] when `doc` is outside the
+    /// simulated universe.
+    pub fn invalidate(&mut self, doc: DocId) -> Result<(), ModelError> {
+        ops::invalidate(&mut self.core, &mut self.store, doc)
+    }
+
+    /// A cache server joins as a new leaf under `parent` at the current
+    /// barrier — the barrier-replicated twin of
+    /// [`ParPacketSim::add_leaf`](crate::GenericParPacketSim::add_leaf).
+    ///
+    /// # Errors
+    ///
+    /// As [`PacketWorld::join`]: unknown parent or invalid rate.
+    pub fn add_leaf(&mut self, parent: NodeId, rate: f64) -> Result<NodeId, ModelError> {
+        ops::add_leaf(&mut self.core, &mut self.store, parent, rate)
+    }
+
+    /// A leaf cache server departs at the current barrier — the
+    /// barrier-replicated twin of
+    /// [`ParPacketSim::remove_leaf`](crate::GenericParPacketSim::remove_leaf).
+    ///
+    /// # Errors
+    ///
+    /// As [`PacketWorld::leave`]: unknown id, the root, or an interior
+    /// node.
+    pub fn remove_leaf(&mut self, node: NodeId) -> Result<LeafRemoval, ModelError> {
+        ops::remove_leaf(&mut self.core, &mut self.store, node)
+    }
+
+    /// Publishes a document at the current barrier — the
+    /// barrier-replicated twin of
+    /// [`ParPacketSim::publish_doc`](crate::GenericParPacketSim::publish_doc).
+    ///
+    /// # Errors
+    ///
+    /// As [`PacketWorld::publish`]: unknown origin or invalid rate.
+    pub fn publish_doc(&mut self, doc: DocId, origin: NodeId, rate: f64) -> Result<(), ModelError> {
+        ops::publish_doc(&mut self.core, &mut self.store, doc, origin, rate)
+    }
+
+    /// Replaces the whole demand mix at the current barrier — the
+    /// barrier-replicated twin of
+    /// [`ParPacketSim::set_mix`](crate::GenericParPacketSim::set_mix).
+    ///
+    /// # Errors
+    ///
+    /// As [`PacketWorld::set_mix`]: a mix not covering the current tree.
+    pub fn set_mix(&mut self, mix: &DocMix) -> Result<(), ModelError> {
+        ops::set_mix(&mut self.core, &mut self.store, mix)
+    }
+}

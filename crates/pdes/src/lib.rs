@@ -44,7 +44,14 @@
 #![deny(missing_docs)]
 
 pub mod engine;
+pub mod host;
+mod ops;
 pub mod partition;
+pub mod transport;
 
-pub use engine::{GenericParPacketSim, HeapParPacketSim, ParPacketSim, PdesTuning, Transport};
+pub use engine::{GenericParPacketSim, HeapParPacketSim, ParPacketSim, PdesTuning};
+pub use host::{PacketShardHost, ShardHost, DEFAULT_STALL_TIMEOUT};
 pub use partition::{partition_subtrees, Partition};
+pub use transport::{
+    LinkError, StageError, Transport, TransportKind, Wire, WireReceiver, WireSender,
+};

@@ -11,7 +11,7 @@ use rand::SeedableRng;
 use ww_core::packetsim::{PacketSim, PacketSimConfig, PacketSimReport};
 use ww_model::{DocId, NodeId, Tree};
 use ww_net::TrafficClass;
-use ww_pdes::{ParPacketSim, PdesTuning, Transport};
+use ww_pdes::{ParPacketSim, PdesTuning, TransportKind};
 use ww_topology::paper;
 use ww_workload::DocMix;
 
@@ -283,7 +283,7 @@ fn churned_run_matches_sequential_with_batching_on_and_off() {
     for workers in [1, 2, 4, 8] {
         for batching in [true, false] {
             let tuning = PdesTuning {
-                transport: Transport::SpscRing,
+                transport: TransportKind::SpscRing,
                 batching,
             };
             let mut par = ParPacketSim::with_tuning(&tree, &mix, config, workers, tuning);

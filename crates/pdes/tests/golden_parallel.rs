@@ -7,7 +7,7 @@ use rand::SeedableRng;
 use ww_core::packetsim::{PacketSim, PacketSimConfig, PacketSimReport};
 use ww_model::{DocId, NodeId, Tree};
 use ww_net::TrafficClass;
-use ww_pdes::{HeapParPacketSim, ParPacketSim, PdesTuning, Transport};
+use ww_pdes::{HeapParPacketSim, ParPacketSim, PdesTuning, TransportKind};
 use ww_topology::paper;
 use ww_workload::DocMix;
 
@@ -123,7 +123,7 @@ fn tuning_matrix_matches_sequential() {
     for workers in [1, 2, 4, 8] {
         for batching in [true, false] {
             let tuning = PdesTuning {
-                transport: Transport::SpscRing,
+                transport: TransportKind::SpscRing,
                 batching,
             };
             let par = ParPacketSim::with_tuning(&tree, &mix, config, workers, tuning).run(12.0);
@@ -136,7 +136,7 @@ fn tuning_matrix_matches_sequential() {
     }
     // The legacy per-event channel transport stays bit-identical too.
     let tuning = PdesTuning {
-        transport: Transport::MpmcChannel,
+        transport: TransportKind::MpmcChannel,
         batching: false,
     };
     let par = ParPacketSim::with_tuning(&tree, &mix, config, 4, tuning).run(12.0);

@@ -17,6 +17,7 @@ use ww_baselines::SchemeReport;
 use ww_core::docsim::DocSim;
 use ww_core::packetsim::{PacketSim, PacketSimConfig, PacketSimReport};
 use ww_core::wave::RateWave;
+use ww_dist::{DistOptions, DistPacketSim};
 use ww_forest::ForestWave;
 use ww_model::{NodeId, RateVector, Tree};
 use ww_pdes::ParPacketSim;
@@ -601,6 +602,151 @@ impl Engine for ParPacketEngine {
             Event::WorkloadShift { doc_mix: None, .. } => Err(invalid(
                 event,
                 "the packet_sim_par engine needs a doc_mix in a workload_shift",
+            )),
+        }
+    }
+}
+
+/// The distributed packet simulator behind the unified API: the shards
+/// live in other OS processes (or threads) and speak the PDES wire
+/// protocol over TCP — reported numbers stay bit-identical to
+/// [`PacketEngine`] at every worker count.
+///
+/// The [`Engine`] trait has no error channel in `step`, so a transport
+/// failure mid-run (worker death, stalled wire) panics with the typed
+/// [`DistError`](ww_dist::DistError)'s message; the scenario runner has
+/// no way to continue a run whose workers are gone.
+#[derive(Debug)]
+pub struct DistPacketEngine {
+    sim: DistPacketSim,
+    diffusion_period: f64,
+    epochs: usize,
+    last: Option<PacketSimReport>,
+}
+
+impl DistPacketEngine {
+    /// Launches the distributed run; `config.diffusion_period` becomes
+    /// the engine-round length.
+    ///
+    /// # Errors
+    ///
+    /// [`ww_dist::DistError`] when the workers cannot be brought up.
+    pub fn launch(
+        tree: &Tree,
+        mix: &ww_workload::DocMix,
+        config: PacketSimConfig,
+        workers: usize,
+        options: DistOptions,
+    ) -> Result<Self, ww_dist::DistError> {
+        Ok(DistPacketEngine {
+            sim: DistPacketSim::launch(tree, mix, config, workers, options)?,
+            diffusion_period: config.diffusion_period,
+            epochs: 0,
+            last: None,
+        })
+    }
+
+    /// The most recent full packet-level report, if any step has run.
+    pub fn last_report(&self) -> Option<&PacketSimReport> {
+        self.last.as_ref()
+    }
+
+    /// Number of subtree shards (worker processes) the run uses.
+    pub fn shard_count(&self) -> usize {
+        self.sim.shard_count()
+    }
+}
+
+impl Engine for DistPacketEngine {
+    fn kind(&self) -> &'static str {
+        "packet_sim_dist"
+    }
+
+    fn step(&mut self) -> StepOutcome {
+        self.epochs += 1;
+        let deadline = self.diffusion_period * self.epochs as f64;
+        match self.sim.run(deadline) {
+            Ok(report) => self.last = Some(report),
+            Err(e) => panic!("distributed run failed: {e}"),
+        }
+        StepOutcome::Running
+    }
+
+    fn round(&self) -> usize {
+        self.epochs
+    }
+
+    fn convergence(&self) -> Option<f64> {
+        self.last.as_ref().map(|r| r.final_distance)
+    }
+
+    fn load(&self) -> Option<RateVector> {
+        self.last.as_ref().map(|r| r.served_rates.clone())
+    }
+
+    fn max_load(&self) -> Option<f64> {
+        self.last.as_ref().map(|r| r.served_rates.max())
+    }
+
+    fn oracle(&self) -> Option<RateVector> {
+        Some(self.sim.oracle().clone())
+    }
+
+    fn trace(&self) -> Option<Vec<f64>> {
+        self.last.as_ref().map(|r| r.trace.distances().to_vec())
+    }
+
+    fn metrics(&self, sink: &mut dyn MetricSink) {
+        if let Some(r) = &self.last {
+            sink.metric("final_distance", r.final_distance);
+            sink.metric("served_requests", r.served_requests as f64);
+            sink.metric("mean_hops", r.mean_hops);
+            sink.metric("copy_pushes", r.copy_pushes as f64);
+            sink.metric("tunnel_fetches", r.tunnel_fetches as f64);
+            sink.metric(
+                "control_msgs_per_request",
+                r.ledger.control_overhead_per_request(),
+            );
+        }
+    }
+
+    /// The full event grammar of the sequential packet engine, applied
+    /// at the epoch barrier and broadcast to every worker process. A
+    /// dead worker during an event surfaces as the event's rejection
+    /// (the run cannot continue either way).
+    fn apply(&mut self, event: &Event) -> Result<(), EventError> {
+        match event {
+            Event::NodeJoin { parent, rate } => self
+                .sim
+                .add_leaf(*parent, *rate)
+                .map(|_| ())
+                .map_err(|e| invalid(event, e)),
+            Event::NodeLeave { node } => self
+                .sim
+                .remove_leaf(*node)
+                .map(|_| ())
+                .map_err(|e| invalid(event, e)),
+            Event::DocPublish { doc, origin, rate } => self
+                .sim
+                .publish_doc(*doc, *origin, *rate)
+                .map_err(|e| invalid(event, e)),
+            Event::DocUpdate { doc } => self.sim.invalidate(*doc).map_err(|e| invalid(event, e)),
+            Event::LinkFail { node } => {
+                check_uplink(self.sim.tree(), *node, event)?;
+                self.sim.fail_link(*node).map_err(|e| invalid(event, e))?;
+                Ok(())
+            }
+            Event::LinkHeal { node } => {
+                check_uplink(self.sim.tree(), *node, event)?;
+                self.sim.heal_link(*node).map_err(|e| invalid(event, e))?;
+                Ok(())
+            }
+            Event::WorkloadShift {
+                doc_mix: Some(mix), ..
+            } => self.sim.set_mix(mix).map_err(|e| invalid(event, e)),
+            Event::WorkloadShift { doc_mix: None, .. } => Err(invalid(
+                event,
+                "the packet_sim_dist engine needs a doc_mix in a workload_shift",
             )),
         }
     }

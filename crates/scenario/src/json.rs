@@ -540,6 +540,53 @@ fn parse_engine(value: &Value) -> Result<EngineSpec, SpecError> {
                 workers,
             })
         }
+        "packet_sim_dist" => {
+            reject_unknown(
+                map,
+                &[
+                    "kind",
+                    "alpha",
+                    "tunneling",
+                    "barrier_patience",
+                    "link_delay",
+                    "gossip_period",
+                    "diffusion_period",
+                    "measure_window",
+                    "gossip_loss",
+                    "hysteresis",
+                    "noise_sigmas",
+                    "workers",
+                ],
+                path,
+            )?;
+            let link_delay = opt_f64(map, "link_delay", path, 0.005)?;
+            if link_delay <= 0.0 {
+                return Err(SpecError::at(
+                    "engine.link_delay",
+                    format!(
+                        "the distributed engine needs a positive link delay \
+                         (its conservative lookahead), got {link_delay}"
+                    ),
+                ));
+            }
+            let workers = opt_usize(map, "workers", path, 2)?;
+            if workers == 0 {
+                return Err(SpecError::at("engine.workers", "must be at least 1"));
+            }
+            Ok(EngineSpec::PacketSimDist {
+                alpha: opt_alpha(map, path)?,
+                tunneling: opt_bool(map, "tunneling", path, true)?,
+                barrier_patience: opt_usize(map, "barrier_patience", path, 2)?,
+                link_delay,
+                gossip_period: opt_f64(map, "gossip_period", path, 0.5)?,
+                diffusion_period: opt_f64(map, "diffusion_period", path, 1.0)?,
+                measure_window: opt_f64(map, "measure_window", path, 1.0)?,
+                gossip_loss: opt_f64(map, "gossip_loss", path, 0.0)?,
+                hysteresis: opt_f64(map, "hysteresis", path, 0.05)?,
+                noise_sigmas: opt_f64(map, "noise_sigmas", path, 3.0)?,
+                workers,
+            })
+        }
         "forest_wave" => {
             reject_unknown(map, &["kind", "alpha", "coupled", "roots"], path)?;
             let field = join(path, "roots");
@@ -624,7 +671,7 @@ fn parse_engine(value: &Value) -> Result<EngineSpec, SpecError> {
         other => Err(SpecError::at(
             "engine.kind",
             format!(
-                "unknown engine \"{other}\" (expected rate_wave, doc_sim, packet_sim, packet_sim_par, forest_wave, cluster, or baselines)"
+                "unknown engine \"{other}\" (expected rate_wave, doc_sim, packet_sim, packet_sim_par, packet_sim_dist, forest_wave, cluster, or baselines)"
             ),
         )),
     }
@@ -1015,6 +1062,32 @@ fn engine_value(e: &EngineSpec) -> Value {
             workers,
         } => obj(vec![
             ("kind", Value::from("packet_sim_par")),
+            ("alpha", alpha_value(alpha)),
+            ("tunneling", Value::Bool(*tunneling)),
+            ("barrier_patience", unum(*barrier_patience)),
+            ("link_delay", num(*link_delay)),
+            ("gossip_period", num(*gossip_period)),
+            ("diffusion_period", num(*diffusion_period)),
+            ("measure_window", num(*measure_window)),
+            ("gossip_loss", num(*gossip_loss)),
+            ("hysteresis", num(*hysteresis)),
+            ("noise_sigmas", num(*noise_sigmas)),
+            ("workers", unum(*workers)),
+        ]),
+        EngineSpec::PacketSimDist {
+            alpha,
+            tunneling,
+            barrier_patience,
+            link_delay,
+            gossip_period,
+            diffusion_period,
+            measure_window,
+            gossip_loss,
+            hysteresis,
+            noise_sigmas,
+            workers,
+        } => obj(vec![
+            ("kind", Value::from("packet_sim_dist")),
             ("alpha", alpha_value(alpha)),
             ("tunneling", Value::Bool(*tunneling)),
             ("barrier_patience", unum(*barrier_patience)),

@@ -88,7 +88,9 @@ pub mod json;
 pub mod runner;
 pub mod spec;
 
-pub use adapters::{BaselineEngine, BaselineParams, ClusterEngine, PacketEngine, ParPacketEngine};
+pub use adapters::{
+    BaselineEngine, BaselineParams, ClusterEngine, DistPacketEngine, PacketEngine, ParPacketEngine,
+};
 pub use engine::{Engine, EngineReport, MetricSink, NullObserver, Observer, StepOutcome};
 pub use error::SpecError;
 pub use events::{

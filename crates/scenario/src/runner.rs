@@ -17,7 +17,7 @@
 //! untouched pre-dynamics loop, so their traces stay bit-identical.
 
 use crate::adapters::{
-    BaselineEngine, BaselineParams, ClusterEngine, PacketEngine, ParPacketEngine,
+    BaselineEngine, BaselineParams, ClusterEngine, DistPacketEngine, PacketEngine, ParPacketEngine,
 };
 use crate::engine::{Engine, EngineReport, NullObserver, Observer, StepOutcome};
 use crate::error::SpecError;
@@ -32,6 +32,7 @@ use std::time::Instant;
 use ww_core::docsim::{DocSim, DocSimConfig};
 use ww_core::packetsim::PacketSimConfig;
 use ww_core::wave::{RateWave, WaveConfig};
+use ww_dist::DistOptions;
 use ww_forest::{Coupling, Forest, ForestWave, ForestWaveConfig};
 use ww_model::{NodeId, RateVector, Tree};
 use ww_runtime::ClusterConfig;
@@ -78,9 +79,10 @@ pub struct ScenarioReport {
 }
 
 /// Resolves specs into engines and drives them.
-#[derive(Debug, Clone, Copy, Default)]
+#[derive(Debug, Clone, Default)]
 pub struct Runner {
     smoke: bool,
+    dist: DistOptions,
 }
 
 impl Runner {
@@ -93,6 +95,16 @@ impl Runner {
     /// [`ScenarioSpec::smoke`] before resolution (CI-sized runs).
     pub fn smoke(mut self, on: bool) -> Self {
         self.smoke = on;
+        self
+    }
+
+    /// Overrides the transport options used when a spec resolves to the
+    /// distributed packet engine (`packet_sim_dist`): worker spawning
+    /// mode, control listen address, and timeouts. Specs on other
+    /// engines ignore this. The default is [`DistOptions::default`]
+    /// (auto mode on an ephemeral loopback port).
+    pub fn dist_options(mut self, options: DistOptions) -> Self {
+        self.dist = options;
         self
     }
 
@@ -111,7 +123,7 @@ impl Runner {
         } else {
             spec.clone()
         };
-        resolve_engine(&spec)
+        resolve_engine(&spec, &self.dist)
     }
 
     /// Runs a spec (expanding its sweep) with no observer.
@@ -151,7 +163,7 @@ impl Runner {
         };
         let mut rows = Vec::with_capacity(runs.len());
         for (label, run_spec) in runs {
-            let mut engine = resolve_engine(&run_spec)?;
+            let mut engine = resolve_engine(&run_spec, &self.dist)?;
             let dynamic = run_spec
                 .events
                 .as_ref()
@@ -825,7 +837,7 @@ fn require_mix(mix: Option<DocMix>, engine: &str) -> Result<DocMix, SpecError> {
 /// Spec → engine, with the spec's seed driving topology, workload, and
 /// engine randomness (in that order, from one generator — so a seed
 /// pins the whole run).
-fn resolve_engine(spec: &ScenarioSpec) -> Result<Box<dyn Engine>, SpecError> {
+fn resolve_engine(spec: &ScenarioSpec, dist: &DistOptions) -> Result<Box<dyn Engine>, SpecError> {
     let mut rng = StdRng::seed_from_u64(spec.seed);
     let topo = resolve_topology(spec, &mut rng)?;
     let rates = resolve_rates(spec, &topo, &mut rng)?;
@@ -934,6 +946,54 @@ fn resolve_engine(spec: &ScenarioSpec) -> Result<Box<dyn Engine>, SpecError> {
                 },
                 *workers,
             ))
+        }
+        EngineSpec::PacketSimDist {
+            alpha,
+            tunneling,
+            barrier_patience,
+            link_delay,
+            gossip_period,
+            diffusion_period,
+            measure_window,
+            gossip_loss,
+            hysteresis,
+            noise_sigmas,
+            workers,
+        } => {
+            let mix = require_mix(mix, "packet_sim_dist")?;
+            if *diffusion_period <= 0.0 {
+                return Err(SpecError::at("engine.diffusion_period", "must be positive"));
+            }
+            if *link_delay <= 0.0 {
+                return Err(SpecError::at(
+                    "engine.link_delay",
+                    "the distributed engine needs a positive link delay (its conservative lookahead)",
+                ));
+            }
+            if *workers == 0 {
+                return Err(SpecError::at("engine.workers", "must be at least 1"));
+            }
+            let engine = DistPacketEngine::launch(
+                &topo.tree,
+                &mix,
+                PacketSimConfig {
+                    seed: spec.seed,
+                    link_delay: *link_delay,
+                    gossip_period: *gossip_period,
+                    diffusion_period: *diffusion_period,
+                    measure_window: *measure_window,
+                    alpha: *alpha,
+                    tunneling: *tunneling,
+                    barrier_patience: *barrier_patience,
+                    gossip_loss: *gossip_loss,
+                    hysteresis: *hysteresis,
+                    noise_sigmas: *noise_sigmas,
+                },
+                *workers,
+                dist.clone(),
+            )
+            .map_err(|e| SpecError::at("engine", format!("distributed launch failed: {e}")))?;
+            Box::new(engine)
         }
         EngineSpec::ForestWave {
             alpha,

@@ -270,6 +270,37 @@ pub enum EngineSpec {
         /// Worker threads (= subtree shards, capped by the topology).
         workers: usize,
     },
+    /// Distributed packet-level WebWave ([`ww_dist::DistPacketSim`]):
+    /// the same sharded conservative engine as `packet_sim_par`, with
+    /// the shards in separate OS processes (or threads) speaking the
+    /// PDES wire protocol over TCP sockets — still bit-identical to
+    /// `packet_sim` at every worker count. One engine round is one
+    /// diffusion period.
+    PacketSimDist {
+        /// Diffusion parameter override.
+        alpha: Option<f64>,
+        /// Enable tunneling.
+        tunneling: bool,
+        /// Underloaded periods tolerated before tunneling.
+        barrier_patience: usize,
+        /// One-way per-hop link latency, seconds (must be positive: it
+        /// is the conservative lookahead between shards).
+        link_delay: f64,
+        /// Gossip period, seconds.
+        gossip_period: f64,
+        /// Diffusion period, seconds (also the engine-round length).
+        diffusion_period: f64,
+        /// Rate-measurement window, seconds.
+        measure_window: f64,
+        /// Gossip-loss probability (failure injection).
+        gossip_loss: f64,
+        /// Relative hysteresis deadband.
+        hysteresis: f64,
+        /// Absolute deadband in Poisson sigmas.
+        noise_sigmas: f64,
+        /// Worker processes (= subtree shards, capped by the topology).
+        workers: usize,
+    },
     /// Multi-tree forest WebWave ([`ww_forest::ForestWave`]): the
     /// topology is taken as an undirected graph, re-rooted at each of
     /// `roots`, and the workload demand is offered to every tree.
@@ -318,6 +349,7 @@ impl EngineSpec {
             EngineSpec::DocSim { .. } => "doc_sim",
             EngineSpec::PacketSim { .. } => "packet_sim",
             EngineSpec::PacketSimPar { .. } => "packet_sim_par",
+            EngineSpec::PacketSimDist { .. } => "packet_sim_dist",
             EngineSpec::ForestWave { .. } => "forest_wave",
             EngineSpec::Cluster { .. } => "cluster",
             EngineSpec::Baselines { .. } => "baselines",
@@ -481,6 +513,7 @@ impl Sweep {
                     | EngineSpec::DocSim { alpha, .. }
                     | EngineSpec::PacketSim { alpha, .. }
                     | EngineSpec::PacketSimPar { alpha, .. }
+                    | EngineSpec::PacketSimDist { alpha, .. }
                     | EngineSpec::ForestWave { alpha, .. }
                     | EngineSpec::Cluster { alpha, .. } => alpha,
                     EngineSpec::Baselines { .. } => {
@@ -492,53 +525,58 @@ impl Sweep {
                 };
                 *slot = Some(value);
             }
-            SweepParam::Tunneling => match &mut spec.engine {
-                EngineSpec::DocSim { tunneling, .. }
-                | EngineSpec::PacketSim { tunneling, .. }
-                | EngineSpec::PacketSimPar { tunneling, .. } => {
-                    *tunneling = value != 0.0;
-                }
-                _ => return Err(SpecError::at(
-                    "sweep.param",
-                    "\"tunneling\" applies only to doc_sim / packet_sim / packet_sim_par engines",
-                )),
-            },
-            SweepParam::GossipLoss => {
+            SweepParam::Tunneling => {
                 match &mut spec.engine {
-                    EngineSpec::PacketSim { gossip_loss, .. }
-                    | EngineSpec::PacketSimPar { gossip_loss, .. } => {
-                        if !(0.0..=1.0).contains(&value) {
-                            return Err(SpecError::at(
-                                "sweep.values",
-                                format!("gossip_loss is a probability, got {value}"),
-                            ));
-                        }
-                        *gossip_loss = value;
+                    EngineSpec::DocSim { tunneling, .. }
+                    | EngineSpec::PacketSim { tunneling, .. }
+                    | EngineSpec::PacketSimPar { tunneling, .. }
+                    | EngineSpec::PacketSimDist { tunneling, .. } => {
+                        *tunneling = value != 0.0;
                     }
                     _ => return Err(SpecError::at(
                         "sweep.param",
-                        "\"gossip_loss\" applies only to the packet_sim / packet_sim_par engines",
+                        "\"tunneling\" applies only to the doc_sim / packet_sim family of engines",
                     )),
                 }
             }
-            SweepParam::Workers => match &mut spec.engine {
-                EngineSpec::PacketSimPar { workers, .. } => {
-                    let w = whole(value)?;
-                    if w < 1.0 {
+            SweepParam::GossipLoss => match &mut spec.engine {
+                EngineSpec::PacketSim { gossip_loss, .. }
+                | EngineSpec::PacketSimPar { gossip_loss, .. }
+                | EngineSpec::PacketSimDist { gossip_loss, .. } => {
+                    if !(0.0..=1.0).contains(&value) {
                         return Err(SpecError::at(
                             "sweep.values",
-                            format!("workers must be at least 1, got {value}"),
+                            format!("gossip_loss is a probability, got {value}"),
                         ));
                     }
-                    *workers = w as usize;
+                    *gossip_loss = value;
                 }
                 _ => {
                     return Err(SpecError::at(
                         "sweep.param",
-                        "\"workers\" applies only to the packet_sim_par engine",
+                        "\"gossip_loss\" applies only to the packet_sim family of engines",
                     ))
                 }
             },
+            SweepParam::Workers => {
+                match &mut spec.engine {
+                    EngineSpec::PacketSimPar { workers, .. }
+                    | EngineSpec::PacketSimDist { workers, .. } => {
+                        let w = whole(value)?;
+                        if w < 1.0 {
+                            return Err(SpecError::at(
+                                "sweep.values",
+                                format!("workers must be at least 1, got {value}"),
+                            ));
+                        }
+                        *workers = w as usize;
+                    }
+                    _ => return Err(SpecError::at(
+                        "sweep.param",
+                        "\"workers\" applies only to the packet_sim_par / packet_sim_dist engines",
+                    )),
+                }
+            }
             SweepParam::DocTheta => match &mut spec.workload.doc_mix {
                 Some(DocMixSpec::SharedZipf { theta, .. }) => {
                     if value < 0.0 {
@@ -640,7 +678,9 @@ impl ScenarioSpec {
         // demand so a smoke run stays in the tens of thousands of events.
         if matches!(
             spec.engine,
-            EngineSpec::PacketSim { .. } | EngineSpec::PacketSimPar { .. }
+            EngineSpec::PacketSim { .. }
+                | EngineSpec::PacketSimPar { .. }
+                | EngineSpec::PacketSimDist { .. }
         ) {
             spec.termination = match spec.termination {
                 Termination::Rounds { max } => Termination::Rounds { max: max.min(10) },

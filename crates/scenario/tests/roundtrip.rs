@@ -102,8 +102,39 @@ fn arb_alpha() -> BoxedStrategy<Option<f64>> {
 }
 
 fn arb_engine() -> BoxedStrategy<EngineSpec> {
-    (0usize..7)
+    (0usize..8)
         .prop_flat_map(|choice| match choice {
+            7 => (
+                arb_alpha(),
+                0usize..2,
+                1usize..8,
+                (0.001f64..0.1, 0.1f64..2.0, 0.1f64..2.0),
+                (0.0f64..0.5, 0.0f64..0.2, 0.0f64..5.0),
+            )
+                .prop_map(
+                    |(
+                        alpha,
+                        t,
+                        workers,
+                        (link_delay, gossip_period, diffusion_period),
+                        (gossip_loss, hysteresis, noise_sigmas),
+                    )| {
+                        EngineSpec::PacketSimDist {
+                            alpha,
+                            tunneling: t == 1,
+                            barrier_patience: 2,
+                            link_delay,
+                            gossip_period,
+                            diffusion_period,
+                            measure_window: 1.0,
+                            gossip_loss,
+                            hysteresis,
+                            noise_sigmas,
+                            workers,
+                        }
+                    },
+                )
+                .boxed(),
             6 => (
                 arb_alpha(),
                 0usize..2,

@@ -124,6 +124,22 @@ impl ExactSum {
         self.limbs.iter().all(|&l| l == 0)
     }
 
+    /// The raw accumulator limbs, least significant first — the exact
+    /// state, suitable for transporting a partial sum across a process
+    /// boundary and rebuilding it with [`ExactSum::from_limbs`].
+    pub fn limbs(&self) -> &[u64] {
+        &self.limbs
+    }
+
+    /// Rebuilds an accumulator from the limbs of [`ExactSum::limbs`].
+    /// Returns `None` when the slice is not exactly the accumulator
+    /// width (the limb count is a representation invariant, so a
+    /// mismatch means the bytes are not an `ExactSum`).
+    pub fn from_limbs(limbs: &[u64]) -> Option<Self> {
+        let limbs: [u64; LIMBS] = limbs.try_into().ok()?;
+        Some(ExactSum { limbs })
+    }
+
     /// The exact total, rounded to the nearest `f64` (ties to even).
     /// Returns `f64::INFINITY` if the exact sum exceeds `f64::MAX`
     /// (unreachable for fewer than ~2^60 finite terms).
