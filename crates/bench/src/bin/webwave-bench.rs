@@ -15,11 +15,12 @@
 use std::fmt::Write as _;
 use ww_bench::{scaling_mix, scaling_scenario, time_min};
 use ww_core::docsim::{DocSim, DocSimConfig};
-use ww_core::fold::webfold;
+use ww_core::fold::{webfold, IncrementalFold};
 use ww_core::packetsim::{HeapPacketSim, PacketSim, PacketSimConfig};
 use ww_core::reference::{NaiveDocSim, NaiveRateWave};
 use ww_core::wave::{RateWave, WaveConfig};
 use ww_dist::{DistMode, DistOptions, DistPacketSim};
+use ww_model::RateVector;
 use ww_pdes::{HeapParPacketSim, ParPacketSim, PdesTuning, TransportKind};
 use ww_scenario::{
     drive, DocMixSpec, EngineSpec, NullObserver, RatesSpec, Runner, ScenarioSpec, Termination,
@@ -639,16 +640,168 @@ fn bench_dist_loopback(regions: usize, leaves: usize, docs: usize, workers: usiz
     }
 }
 
-fn bench_webfold(nodes: usize) -> (usize, f64) {
+/// `webfold` sweep cost next to the incremental oracle refresh: the
+/// same tree, a single leaf join, one `IncrementalFold::refold_path`
+/// against one from-scratch `webfold`. The refresh only re-folds the
+/// joined leaf's root path, so the gap is the price churn barriers
+/// stopped paying.
+struct FoldTiming {
+    nodes: usize,
+    sweep_ns: f64,
+    refold_ns: f64,
+    speedup: f64,
+    /// Refold load bit-identical to the scratch sweep on the grown tree.
+    identical: bool,
+}
+
+fn bench_webfold(nodes: usize) -> FoldTiming {
     let (tree, rates) = scaling_scenario(nodes, 12, nodes as u64);
-    let d = time_min(
+    let sweep = time_min(
         SAMPLES,
         || (),
         |()| {
             std::hint::black_box(webfold(&tree, &rates));
         },
     );
-    (nodes, d.as_nanos() as f64)
+
+    // Steady state: a clean summary cache, then one leaf joins under the
+    // deepest node and only the timed refresh pays for it.
+    let parent = ww_model::NodeId::new(tree.len() - 1);
+    let grown_rates: RateVector = {
+        let mut r = rates.clone().into_inner();
+        r.push(50.0);
+        RateVector::from(r)
+    };
+    let refold = time_min(
+        SAMPLES,
+        || {
+            let mut grown = tree.clone();
+            let mut fold = IncrementalFold::new(&grown, &rates);
+            let id = grown.add_leaf(parent).expect("bench join applies");
+            fold.on_join(&grown, id);
+            (grown, fold)
+        },
+        |(grown, fold)| {
+            std::hint::black_box(fold.refold_path(grown, &grown_rates));
+        },
+    );
+
+    let identical = {
+        let mut grown = tree.clone();
+        let mut fold = IncrementalFold::new(&grown, &rates);
+        let id = grown.add_leaf(parent).expect("bench join applies");
+        fold.on_join(&grown, id);
+        let inc = fold.refold_path(&grown, &grown_rates);
+        let scratch = webfold(&grown, &grown_rates);
+        inc.load()
+            .as_slice()
+            .iter()
+            .zip(scratch.load().as_slice())
+            .all(|(a, b)| a.to_bits() == b.to_bits())
+    };
+
+    let sweep_ns = sweep.as_nanos() as f64;
+    let refold_ns = refold.as_nanos() as f64;
+    FoldTiming {
+        nodes,
+        sweep_ns,
+        refold_ns,
+        speedup: sweep_ns / refold_ns,
+        identical,
+    }
+}
+
+/// The K-event same-barrier churn storm on the packet engine: one
+/// oracle refresh plus one queue-surgery pass (`apply_all`) against the
+/// one-at-a-time loop paying both per op. Bit-identity of the post-storm
+/// runs is re-verified on the same scenario.
+struct StormTiming {
+    nodes: usize,
+    ops: usize,
+    unbatched_ms: f64,
+    batched_ms: f64,
+    speedup: f64,
+    identical: bool,
+}
+
+fn bench_barrier_storm(regions: usize, leaves: usize, docs: usize) -> StormTiming {
+    use ww_core::packet::BarrierOp;
+    use ww_model::{DocId, NodeId};
+    let tree = ww_topology::two_level(regions, leaves);
+    let rates = ww_workload::leaf_only(&tree, 0.05);
+    let mix = scaling_mix(&tree, &rates, docs);
+    let config = PacketSimConfig::default();
+    let ops = vec![
+        BarrierOp::AddLeaf {
+            parent: NodeId::new(1),
+            rate: 50.0,
+        },
+        BarrierOp::AddLeaf {
+            parent: NodeId::new(2),
+            rate: 30.0,
+        },
+        BarrierOp::RemoveLeaf {
+            node: NodeId::new(tree.len()),
+        },
+        BarrierOp::PublishDoc {
+            doc: DocId::new(docs as u64 + 1),
+            origin: NodeId::new(3),
+            rate: 20.0,
+        },
+        BarrierOp::FailLink {
+            node: NodeId::new(5),
+        },
+        BarrierOp::Invalidate { doc: DocId::new(1) },
+        BarrierOp::HealLink {
+            node: NodeId::new(5),
+        },
+    ];
+    let setup = || {
+        let mut sim = PacketSim::new(&tree, &mix, config);
+        sim.run(0.25);
+        sim
+    };
+    let unbatched = time_min(SAMPLES, setup, |sim| {
+        for op in &ops {
+            sim.apply_op(op).expect("storm op applies");
+        }
+    });
+    let batched = time_min(SAMPLES, setup, |sim| {
+        for r in sim.apply_all(&ops) {
+            r.expect("storm op applies");
+        }
+    });
+
+    let mut a = setup();
+    for op in &ops {
+        a.apply_op(op).expect("storm op applies");
+    }
+    let ra = a.run(1.0);
+    let mut b = setup();
+    for r in b.apply_all(&ops) {
+        r.expect("storm op applies");
+    }
+    let rb = b.run(1.0);
+    let identical = traces_equal(&ra.trace, &rb.trace)
+        && ra.served_requests == rb.served_requests
+        && ra.processed_events == rb.processed_events
+        && ra
+            .served_rates
+            .as_slice()
+            .iter()
+            .zip(rb.served_rates.as_slice())
+            .all(|(x, y)| x.to_bits() == y.to_bits());
+
+    let unbatched_ms = unbatched.as_secs_f64() * 1e3;
+    let batched_ms = batched.as_secs_f64() * 1e3;
+    StormTiming {
+        nodes: tree.len(),
+        ops: ops.len(),
+        unbatched_ms,
+        batched_ms,
+        speedup: unbatched_ms / batched_ms,
+        identical,
+    }
 }
 
 fn main() {
@@ -680,14 +833,33 @@ fn main() {
         );
     }
 
-    eprintln!("webwave-bench: webfold scaling");
-    let folds: Vec<(usize, f64)> = [1_000, 10_000, 100_000]
+    eprintln!("webwave-bench: webfold scaling (full sweep vs single-join incremental refold)");
+    let folds: Vec<FoldTiming> = [1_000, 10_000, 100_000]
         .into_iter()
         .map(bench_webfold)
         .collect();
-    for &(n, ns) in &folds {
-        eprintln!("  webfold nodes={n}: {:.3} ms", ns / 1e6);
+    for f in &folds {
+        eprintln!(
+            "  webfold nodes={}: sweep {:.3} ms, refold {:.3} ms, speedup {:.2}x, identical={}",
+            f.nodes,
+            f.sweep_ns / 1e6,
+            f.refold_ns / 1e6,
+            f.speedup,
+            f.identical
+        );
     }
+
+    eprintln!("webwave-bench: same-barrier churn storm (batched apply_all vs one-at-a-time)");
+    let storm = bench_barrier_storm(316, 316, 8);
+    eprintln!(
+        "  packet_sim nodes={} ops={}: unbatched {:.2} ms, batched {:.2} ms, speedup {:.2}x, identical={}",
+        storm.nodes,
+        storm.ops,
+        storm.unbatched_ms,
+        storm.batched_ms,
+        storm.speedup,
+        storm.identical
+    );
 
     eprintln!("webwave-bench: parallel packet engine scaling (PacketSim vs ww-pdes)");
     let parallel = bench_parallel_scaling(180, 180, 8, 3);
@@ -825,15 +997,41 @@ fn main() {
         );
     }
     json.push_str("  ],\n  \"webfold_ns\": [\n");
-    for (i, &(n, ns)) in folds.iter().enumerate() {
+    for (i, f) in folds.iter().enumerate() {
         let _ = writeln!(
             json,
-            "    {{\"nodes\": {n}, \"ns\": {:.0}}}{}",
-            ns,
+            "    {{\"nodes\": {}, \"ns\": {:.0}, \"refold_ns\": {:.0}}}{}",
+            f.nodes,
+            f.sweep_ns,
+            f.refold_ns,
             if i + 1 < folds.len() { "," } else { "" }
         );
     }
-    json.push_str("  ],\n  \"parallel_scaling\": {\n");
+    json.push_str("  ],\n  \"incremental_webfold\": {\n    \"refold\": [\n");
+    for (i, f) in folds.iter().enumerate() {
+        let _ = writeln!(
+            json,
+            "      {{\"nodes\": {}, \"sweep_ns\": {:.0}, \"refold_ns\": {:.0}, \"speedup\": {:.2}, \"identical\": {}}}{}",
+            f.nodes,
+            f.sweep_ns,
+            f.refold_ns,
+            f.speedup,
+            f.identical,
+            if i + 1 < folds.len() { "," } else { "" }
+        );
+    }
+    json.push_str("    ],\n    \"storm\": ");
+    let _ = writeln!(
+        json,
+        "{{\"engine\": \"packet_sim\", \"nodes\": {}, \"ops\": {}, \"unbatched_ms\": {:.3}, \"batched_ms\": {:.3}, \"speedup\": {:.2}, \"identical\": {}}}",
+        storm.nodes,
+        storm.ops,
+        storm.unbatched_ms,
+        storm.batched_ms,
+        storm.speedup,
+        storm.identical
+    );
+    json.push_str("  },\n  \"parallel_scaling\": {\n");
     let _ = writeln!(
         json,
         "    \"engine\": \"packet_sim_par\", \"nodes\": {}, \"docs\": {}, \"epochs\": {}, \"available_cores\": {}, \"seq_ms\": {:.1}, \"processed_events\": {}, \"seq_events_per_sec\": {:.0}, \"traces_identical\": {},",
@@ -938,6 +1136,8 @@ fn main() {
         .fold(f64::INFINITY, f64::min);
     let all_identical = comparisons.iter().all(|c| c.traces_identical)
         && overheads.iter().all(|o| o.traces_identical)
+        && folds.iter().all(|f| f.identical)
+        && storm.identical
         && parallel.traces_identical
         && dynamics.traces_identical;
     eprintln!("webwave-bench: worst speedup {worst:.2}x, traces identical: {all_identical}");

@@ -26,7 +26,7 @@
 //! ([`crate::reference::NaiveDocSim`]) — the golden-trace tests assert
 //! exactly that.
 
-use crate::fold::webfold;
+use crate::fold::IncrementalFold;
 use ww_cache::{plan_push_dense, plan_shed_dense, DenseRateSlice};
 use ww_diffusion::safe_alpha;
 use ww_model::{DocId, DocSet, DocTable, LeafRemoval, ModelError, NodeId, RateVector, Tree};
@@ -113,6 +113,15 @@ pub struct DocSim {
     /// (requests still flow; see the dynamics docs).
     failed_up: Vec<bool>,
     oracle: RateVector,
+    /// Summary cache behind `oracle`: churn re-folds only the touched
+    /// root paths instead of sweeping the whole tree.
+    fold: IncrementalFold,
+    /// `true` between [`DocSim::begin_batch`] and [`DocSim::end_batch`]:
+    /// oracle/flow refreshes and the per-event trace sample are deferred
+    /// to the batch commit.
+    batched: bool,
+    /// Whether a batched barrier deferred at least one refresh.
+    batch_dirty: bool,
     trace: ConvergenceTrace,
     stats: DocSimStats,
     round: usize,
@@ -155,7 +164,8 @@ impl DocSim {
         assert!(alpha > 0.0 && alpha < 1.0, "alpha must lie in (0, 1)");
 
         let spontaneous = mix.spontaneous();
-        let oracle = webfold(tree, &spontaneous).into_load();
+        let mut fold = IncrementalFold::new(tree, &spontaneous);
+        let oracle = fold.refold_path(tree, &spontaneous).into_load();
 
         let mut sim = DocSim {
             tree: tree.clone(),
@@ -173,6 +183,9 @@ impl DocSim {
             underload_streak: vec![0; n],
             failed_up: vec![false; n],
             oracle,
+            fold,
+            batched: false,
+            batch_dirty: false,
             trace: ConvergenceTrace::new(),
             stats: DocSimStats::default(),
             round: 0,
@@ -610,8 +623,12 @@ impl DocSim {
             self.copies[i].remove(k);
             self.alloc[i * self.m + k as usize] = 0.0;
         }
-        self.recompute_flows();
-        self.trace.push(self.distance_to_tlb());
+        if self.batched {
+            self.batch_dirty = true;
+        } else {
+            self.recompute_flows();
+            self.trace.push(self.distance_to_tlb());
+        }
         Ok(())
     }
 
@@ -684,6 +701,7 @@ impl DocSim {
             });
         }
         let id = self.tree.add_leaf(parent)?;
+        self.fold.on_join(&self.tree, id);
         let mut row = vec![0.0; m];
         if rate > 0.0 {
             for (cell, t) in row.iter_mut().zip(&totals) {
@@ -712,6 +730,7 @@ impl DocSim {
     /// As [`Tree::remove_leaf`]: unknown id, root, or interior node.
     pub fn remove_leaf(&mut self, node: NodeId) -> Result<LeafRemoval, ModelError> {
         let removal = self.tree.remove_leaf(node)?;
+        self.fold.on_leave(&self.tree, &removal);
         let m = self.m;
         let i = node.index();
         // Re-home the departed demand row to the (pre-compaction) parent:
@@ -768,10 +787,15 @@ impl DocSim {
         k
     }
 
-    /// Oracle + flow refresh after demand changed on a fixed tree.
+    /// Oracle + flow refresh after demand changed on a fixed tree — or,
+    /// inside a batched barrier, a deferral to [`DocSim::end_batch`].
     fn after_demand_change(&mut self) {
+        if self.batched {
+            self.batch_dirty = true;
+            return;
+        }
         let spontaneous = self.spontaneous();
-        self.oracle = webfold(&self.tree, &spontaneous).into_load();
+        self.oracle = self.fold.refold_path(&self.tree, &spontaneous).into_load();
         self.recompute_flows();
         self.trace.push(self.distance_to_tlb());
     }
@@ -784,6 +808,36 @@ impl DocSim {
         self.load_snapshot = RateVector::zeros(n);
         self.alpha = self.config.alpha.unwrap_or_else(|| safe_alpha(&self.tree));
         self.after_demand_change();
+    }
+
+    /// Opens a batched barrier: subsequent churn/demand events apply
+    /// their structural effects eagerly but defer the oracle refold, the
+    /// flow recomputation, and the trace sample until
+    /// [`DocSim::end_batch`], which pays them once for the whole barrier.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a batch is already open.
+    pub fn begin_batch(&mut self) {
+        assert!(!self.batched, "batch already open");
+        self.batched = true;
+    }
+
+    /// Closes a batched barrier: one oracle refold, one flow
+    /// recomputation, one trace sample, regardless of how many events
+    /// the batch held. A batch of exactly one event is bit-identical to
+    /// applying that event unbatched (the refold is stable when only
+    /// placement changed).
+    ///
+    /// # Panics
+    ///
+    /// Panics if no batch is open.
+    pub fn end_batch(&mut self) {
+        assert!(self.batched, "no batch open");
+        self.batched = false;
+        if std::mem::take(&mut self.batch_dirty) {
+            self.after_demand_change();
+        }
     }
 
     /// The current spontaneous (per-node total) demand vector.

@@ -20,7 +20,7 @@
 
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
-use ww_model::{NodeId, RateVector, Tree};
+use ww_model::{LeafRemoval, NodeId, RateVector, Tree};
 
 /// One fold event in the order WebFold performed them.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -116,8 +116,22 @@ impl FoldedTree {
     }
 
     /// The sequence of fold events, in execution order.
+    ///
+    /// Empty for trees produced by [`IncrementalFold::refold_path`]: the
+    /// incremental algorithm reaches the same partition without replaying
+    /// the global merge order, so no event sequence is recorded.
     pub fn trace(&self) -> &[FoldEvent] {
         &self.trace
+    }
+
+    /// Every fold root, in increasing node order.
+    pub fn fold_roots(&self) -> &[NodeId] {
+        &self.fold_roots
+    }
+
+    /// The fold-root representative of every node, indexed by node id.
+    pub fn fold_root_of(&self) -> &[NodeId] {
+        &self.fold_root_of
     }
 }
 
@@ -387,6 +401,257 @@ pub fn webfold(tree: &Tree, spontaneous: &RateVector) -> FoldedTree {
 
     // WebFold step (4): every member serves eps / |F|; see `finalize`.
     finalize(tree, &folds, trace)
+}
+
+/// Incremental WebFold: caches one *summary* per node — the fold that
+/// would sit at the top of the node's subtree if the subtree were folded
+/// in isolation (`members`, `eps`), plus the roots of the frozen folds
+/// that summary *exposes* to its parent (the subtree folds that were not
+/// absorbed). A barrier event dirties only the path from the touched
+/// node to the root; [`IncrementalFold::refold_path`] recomputes those
+/// summaries bottom-up against the clean cached children and re-emits
+/// the partition — `O(depth · branching · log branching)` per event plus
+/// an `O(n)` emission pass, instead of the full `O(n log n)` sweep.
+///
+/// The result is **bit-identical** to [`webfold`] (same loads, same fold
+/// roots, same membership): both algorithms perform the same merges in
+/// the same per-fold order. The global heap pops in non-increasing
+/// key order (every re-push is bounded by the key just popped),
+/// so all merges into one fold interleave exactly as the local per-node
+/// heap replays them, and every foldability comparison sees the same
+/// `eps / members` doubles. The fold-event [`FoldedTree::trace`] is the
+/// one thing not reproduced — the incremental path never materialises
+/// the global merge sequence — so emitted trees carry an empty trace.
+///
+/// Structural churn must be reported explicitly ([`IncrementalFold::on_join`],
+/// [`IncrementalFold::on_leave`]); rate changes are discovered by diffing
+/// the spontaneous vector handed to `refold_path` against the cached one.
+///
+/// # Example
+///
+/// ```
+/// use ww_model::{NodeId, RateVector, Tree};
+/// use ww_core::fold::{webfold, IncrementalFold};
+///
+/// let mut tree = Tree::from_parents(&[None, Some(0), Some(1)]).unwrap();
+/// let mut rates = vec![0.0, 0.0, 30.0];
+/// let mut inc = IncrementalFold::new(&tree, &RateVector::from(rates.clone()));
+///
+/// // A leaf joins under node 1; only the path 3 -> 1 -> 0 re-folds.
+/// let id = tree.add_leaf(NodeId::new(1)).unwrap();
+/// rates.push(6.0);
+/// inc.on_join(&tree, id);
+/// let e = RateVector::from(rates);
+/// let folded = inc.refold_path(&tree, &e);
+/// assert_eq!(folded.load().as_slice(), webfold(&tree, &e).load().as_slice());
+/// ```
+#[derive(Debug, Clone)]
+pub struct IncrementalFold {
+    /// Member count of the node's top summary fold.
+    members: Vec<usize>,
+    /// Spontaneous-rate sum of the node's top summary fold.
+    eps: Vec<f64>,
+    /// Roots of the frozen folds the summary exposes upward.
+    exposed: Vec<Vec<NodeId>>,
+    /// Cached spontaneous rates, diffed on every refold.
+    spont: Vec<f64>,
+    /// Summaries invalidated since the last refold.
+    dirty: Vec<bool>,
+}
+
+impl IncrementalFold {
+    /// Builds the summary cache for `tree` with rates `spontaneous`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `spontaneous` does not validate against `tree`.
+    pub fn new(tree: &Tree, spontaneous: &RateVector) -> Self {
+        let n = tree.len();
+        let mut inc = Self {
+            members: vec![0; n],
+            eps: vec![0.0; n],
+            exposed: vec![Vec::new(); n],
+            spont: vec![f64::NAN; n],
+            dirty: vec![true; n],
+        };
+        let _ = inc.refold_path(tree, spontaneous);
+        inc
+    }
+
+    /// Records a freshly appended leaf (call *after* [`Tree::add_leaf`],
+    /// which always assigns the next id). Dirties the leaf's root path.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is not the last node of `tree` or the cache has
+    /// drifted from the tree's size.
+    pub fn on_join(&mut self, tree: &Tree, id: NodeId) {
+        assert_eq!(
+            id.index(),
+            tree.len() - 1,
+            "joined leaf must hold the appended id"
+        );
+        assert_eq!(self.members.len(), tree.len() - 1, "cache out of sync");
+        self.members.push(0);
+        self.eps.push(0.0);
+        self.exposed.push(Vec::new());
+        self.spont.push(f64::NAN);
+        self.dirty.push(true);
+        self.mark_path(tree, id);
+    }
+
+    /// Records a leaf departure (call *after* [`Tree::remove_leaf`] with
+    /// the removal it returned). Mirrors the swap-remove renumbering and
+    /// dirties both affected root paths: the departed leaf's former
+    /// parent and the renumbered former-last node.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the cache has drifted from the tree's size.
+    pub fn on_leave(&mut self, tree: &Tree, removal: &LeafRemoval) {
+        assert_eq!(self.members.len(), tree.len() + 1, "cache out of sync");
+        let r = removal.removed.index();
+        self.members.swap_remove(r);
+        self.eps.swap_remove(r);
+        self.exposed.swap_remove(r);
+        self.spont.swap_remove(r);
+        self.dirty.swap_remove(r);
+        self.mark_path(tree, removal.parent);
+        if removal.moved.is_some() {
+            // Summaries naming the old last id live only on the moved
+            // node's (new) ancestor chain; recompute rebuilds them
+            // against the compacted numbering.
+            self.mark_path(tree, NodeId::new(r));
+        }
+    }
+
+    /// Re-folds the dirty root paths and returns the full partition,
+    /// bit-identical (loads, roots, membership) to
+    /// `webfold(tree, spontaneous)`. Rate deltas since the previous call
+    /// are picked up by diffing `spontaneous` against the cached copy.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `spontaneous` does not validate against `tree`, or if
+    /// the tree's size changed without [`IncrementalFold::on_join`] /
+    /// [`IncrementalFold::on_leave`] notifications.
+    pub fn refold_path(&mut self, tree: &Tree, spontaneous: &RateVector) -> FoldedTree {
+        spontaneous
+            .validate_for(tree)
+            .expect("spontaneous rates must match the tree");
+        assert_eq!(
+            self.members.len(),
+            tree.len(),
+            "structural churn must be reported via on_join/on_leave"
+        );
+        for i in 0..tree.len() {
+            let rate = spontaneous[NodeId::new(i)];
+            if self.spont[i].to_bits() != rate.to_bits() {
+                self.spont[i] = rate;
+                self.mark_path(tree, NodeId::new(i));
+            }
+        }
+        let mut heap = BinaryHeap::new();
+        for u in tree.bottom_up() {
+            if self.dirty[u.index()] {
+                self.recompute(tree, u, &mut heap);
+            }
+        }
+        self.emit(tree)
+    }
+
+    /// Dirties `node` and every ancestor up to the root.
+    fn mark_path(&mut self, tree: &Tree, node: NodeId) {
+        // No early exit on an already-dirty node: a leave's swap-remove
+        // relocates a summary (and its dirty flag) under new ancestors,
+        // so dirtiness is not always upward-closed mid-update.
+        for u in tree.path_to_root(node) {
+            self.dirty[u.index()] = true;
+        }
+    }
+
+    /// Replays the fold decisions for `u`'s subtree top against the
+    /// children's cached summaries — the local equivalent of every
+    /// global-heap merge whose target fold is rooted at `u`.
+    fn recompute(&mut self, tree: &Tree, u: NodeId, heap: &mut BinaryHeap<HeapKey>) {
+        let ui = u.index();
+        let mut members = 1usize;
+        let mut eps = self.spont[ui];
+        heap.clear();
+        for &c in tree.children(u) {
+            let ci = c.index();
+            heap.push(HeapKey {
+                load: self.eps[ci] / self.members[ci] as f64,
+                root: ci,
+                fold: ci,
+            });
+        }
+        let mut exposed = std::mem::take(&mut self.exposed[ui]);
+        exposed.clear();
+        // Foldable(j, i): strictly greater per-node load, max first —
+        // the same comparison, in the same descending key order, as the
+        // global heap (keys here are frozen, so no stale entries).
+        while let Some(key) = heap.pop() {
+            if key.load <= eps / members as f64 {
+                // Merging only raises the open fold's load, so nothing
+                // at or below this key can ever fold in: freeze the
+                // rest as exposed roots.
+                exposed.push(NodeId::new(key.root));
+                while let Some(rest) = heap.pop() {
+                    exposed.push(NodeId::new(rest.root));
+                }
+                break;
+            }
+            members += self.members[key.root];
+            eps += self.eps[key.root];
+            for &g in &self.exposed[key.root] {
+                let gi = g.index();
+                heap.push(HeapKey {
+                    load: self.eps[gi] / self.members[gi] as f64,
+                    root: gi,
+                    fold: gi,
+                });
+            }
+        }
+        self.members[ui] = members;
+        self.eps[ui] = eps;
+        self.exposed[ui] = exposed;
+        self.dirty[ui] = false;
+    }
+
+    /// Resolves the final partition: the root's summary fold plus the
+    /// transitive closure of exposed folds, loads as `eps / members` —
+    /// the same arithmetic as [`finalize`].
+    fn emit(&self, tree: &Tree) -> FoldedTree {
+        let n = tree.len();
+        let mut active = vec![false; n];
+        let mut stack = vec![tree.root()];
+        while let Some(u) = stack.pop() {
+            active[u.index()] = true;
+            stack.extend(self.exposed[u.index()].iter().copied());
+        }
+        let mut fold_root_of: Vec<NodeId> = vec![NodeId::new(0); n];
+        for &u in tree.bfs_order() {
+            if active[u.index()] {
+                fold_root_of[u.index()] = u;
+            } else {
+                let p = tree.parent(u).expect("inactive fold root has a parent");
+                fold_root_of[u.index()] = fold_root_of[p.index()];
+            }
+        }
+        let mut load = RateVector::zeros(n);
+        for i in 0..n {
+            let r = fold_root_of[i].index();
+            load[NodeId::new(i)] = self.eps[r] / self.members[r] as f64;
+        }
+        let fold_roots: Vec<NodeId> = (0..n).filter(|&i| active[i]).map(NodeId::new).collect();
+        FoldedTree {
+            load,
+            fold_root_of,
+            fold_roots,
+            trace: Vec::new(),
+        }
+    }
 }
 
 #[cfg(test)]

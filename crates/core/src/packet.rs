@@ -31,7 +31,7 @@
 //!
 //! [`PacketSim`]: crate::packetsim::PacketSim
 
-use crate::fold::webfold;
+use crate::fold::IncrementalFold;
 use ww_cache::{plan_push_dense, plan_shed_dense, DenseFlowTable, DenseRateSlice};
 use ww_diffusion::safe_alpha;
 use ww_model::{DocId, DocSet, DocTable, LeafRemoval, ModelError, NodeId, RateVector, Tree};
@@ -130,6 +130,14 @@ pub struct PacketWorld {
     /// re-resolves the arrival streams (churn, publish, shift). Folded
     /// into the stream RNG forks, so rebuilt streams stay content-keyed.
     pub generation: u64,
+    /// The incremental WebFold cache behind `oracle`: barrier mutations
+    /// dirty only root paths, so each oracle refresh re-folds
+    /// `O(depth)` summaries instead of sweeping all `n` nodes.
+    fold: IncrementalFold,
+    /// Whether a barrier batch is open (see [`PacketWorld::begin_batch`]).
+    batched: bool,
+    /// Whether a mutation deferred its oracle refresh to the batch end.
+    batch_dirty: bool,
 }
 
 impl PacketWorld {
@@ -158,6 +166,9 @@ impl PacketWorld {
             config,
             alpha: 0.5,
             generation: 0,
+            fold: IncrementalFold::new(tree, &mix.spontaneous()),
+            batched: false,
+            batch_dirty: false,
         };
         world.refresh_derived();
         assert!(
@@ -167,15 +178,24 @@ impl PacketWorld {
         world
     }
 
-    /// Recomputes everything derived from `(tree, mix, table)`: the
-    /// demand streams, the child-slot index, the WebFold oracle, and the
-    /// diffusion parameter. Called at construction and after every
-    /// barrier mutation.
+    /// Recomputes everything derived from `(tree, mix, table)`. Called
+    /// at construction and after every barrier mutation. The structural
+    /// half (demand streams, child-slot index) always runs — mutations
+    /// later in the same barrier read it — while the expensive oracle
+    /// half is deferred to [`PacketWorld::end_batch`] when a batch is
+    /// open, so a K-event barrier pays for one refold instead of K.
     fn refresh_derived(&mut self) {
+        self.refresh_structural();
+        if self.batched {
+            self.batch_dirty = true;
+        } else {
+            self.refresh_oracle();
+        }
+    }
+
+    /// The cheap structural half: child-slot index and demand streams.
+    fn refresh_structural(&mut self) {
         let n = self.tree.len();
-        self.alpha = self.config.alpha.unwrap_or_else(|| safe_alpha(&self.tree));
-        let spontaneous = self.mix.spontaneous();
-        self.oracle = webfold(&self.tree, &spontaneous).into_load();
         self.child_slot = vec![0usize; n];
         for u in self.tree.nodes() {
             for (slot, &c) in self.tree.children(u).iter().enumerate() {
@@ -197,6 +217,42 @@ impl PacketWorld {
                     .collect()
             })
             .collect();
+    }
+
+    /// The expensive half: diffusion parameter and WebFold oracle, the
+    /// latter through the incremental refold cache.
+    fn refresh_oracle(&mut self) {
+        self.alpha = self.config.alpha.unwrap_or_else(|| safe_alpha(&self.tree));
+        let spontaneous = self.mix.spontaneous();
+        self.oracle = self.fold.refold_path(&self.tree, &spontaneous).into_load();
+    }
+
+    /// Opens a barrier batch: subsequent mutations keep refreshing the
+    /// structural derived state eagerly (later mutations in the batch
+    /// depend on it) but defer the oracle/alpha refresh until
+    /// [`PacketWorld::end_batch`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if a batch is already open.
+    pub fn begin_batch(&mut self) {
+        assert!(!self.batched, "a world batch is already open");
+        self.batched = true;
+    }
+
+    /// Closes the batch, performing the deferred oracle refresh once if
+    /// any mutation ran. The world is then bit-identical to one that
+    /// applied the same mutations unbatched.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no batch is open.
+    pub fn end_batch(&mut self) {
+        assert!(self.batched, "no open world batch");
+        self.batched = false;
+        if std::mem::take(&mut self.batch_dirty) {
+            self.refresh_oracle();
+        }
     }
 
     /// A cache server joins as a new leaf under `parent`, bringing
@@ -241,6 +297,7 @@ impl PacketWorld {
             });
         }
         let id = self.tree.add_leaf(parent)?;
+        self.fold.on_join(&self.tree, id);
         let newcomer = self.mix.add_node();
         debug_assert_eq!(id, newcomer);
         if rate > 0.0 {
@@ -269,6 +326,7 @@ impl PacketWorld {
     /// node.
     pub fn leave(&mut self, node: NodeId) -> Result<LeafRemoval, ModelError> {
         let removal = self.tree.remove_leaf(node)?;
+        self.fold.on_leave(&self.tree, &removal);
         let departed = self.mix.swap_remove_node(node);
         for (d, r) in departed {
             if r > 0.0 {
@@ -416,6 +474,103 @@ pub struct UniverseGrowth {
     pub fresh: Vec<u32>,
     /// Size of the grown universe.
     pub new_len: usize,
+}
+
+/// One barrier-time mutation, in the uniform shape every packet driver
+/// (sequential, sharded parallel, distributed) accepts through its
+/// `apply_all` batch API.
+#[derive(Debug, Clone, PartialEq)]
+pub enum BarrierOp {
+    /// A cache server joins as a new leaf under `parent` with `rate`
+    /// req/s of demand.
+    AddLeaf {
+        /// Parent of the newcomer.
+        parent: NodeId,
+        /// Offered demand the newcomer brings, req/s.
+        rate: f64,
+    },
+    /// A leaf cache server departs.
+    RemoveLeaf {
+        /// The departing leaf.
+        node: NodeId,
+    },
+    /// `origin`'s clients start requesting `doc` at `rate` req/s.
+    PublishDoc {
+        /// The published document.
+        doc: DocId,
+        /// Home server of the new demand.
+        origin: NodeId,
+        /// Added demand, req/s.
+        rate: f64,
+    },
+    /// The whole demand mix is replaced.
+    SetMix {
+        /// The new mix; must cover the tree as of this op.
+        mix: DocMix,
+    },
+    /// The control link between `node` and its parent fails.
+    FailLink {
+        /// The node whose uplink fails (not the root).
+        node: NodeId,
+    },
+    /// The control link between `node` and its parent recovers.
+    HealLink {
+        /// The node whose uplink heals (not the root).
+        node: NodeId,
+    },
+    /// Every cached copy of `doc` outside its home server is revoked.
+    Invalidate {
+        /// The invalidated document.
+        doc: DocId,
+    },
+}
+
+/// What one accepted [`BarrierOp`] did.
+#[derive(Debug, Clone, PartialEq)]
+pub enum BarrierOutcome {
+    /// A leaf joined with this id.
+    Added(NodeId),
+    /// A leaf departed.
+    Removed(LeafRemoval),
+    /// A link toggled; `false` when it was already in that state.
+    Toggled(bool),
+    /// The op completed with nothing further to report.
+    Done,
+}
+
+/// One deferred queue-surgery pass, recorded while a barrier batch is
+/// open. At commit the accumulated steps compose into a **single**
+/// `filter_map_events` sweep: applying them to an event in order is
+/// exactly the function composition of the per-op sweeps — every step
+/// drops arrival events, so the one fresh arrival re-resolution at the
+/// end of the batch sees the same survivors the sequential K-pass path
+/// produces.
+#[derive(Debug, Clone)]
+pub enum SurgeryStep {
+    /// The sweep of a demand re-resolution (join/publish/shift): drop
+    /// arrivals, remap document indices when the universe grew.
+    Rebuild(Option<UniverseGrowth>),
+    /// The sweep of a leave: drop arrivals and the departed node's
+    /// events, renumber the compacted former-last id.
+    Leave {
+        /// Id the departed leaf held.
+        removed: NodeId,
+        /// Former last id, now living at `removed` (when renumbered).
+        moved: Option<NodeId>,
+    },
+}
+
+/// Applies a batch's surgery steps to one queued event, in batch order.
+/// `None` drops the event.
+pub fn apply_surgery(ev: PacketEvent, steps: &[SurgeryStep]) -> Option<PacketEvent> {
+    let mut ev = ev;
+    for step in steps {
+        ev = match step {
+            SurgeryStep::Rebuild(growth) => remap_for_rebuild(ev, growth.as_ref())?,
+            SurgeryStep::Leave { removed, moved } => renumber_for_leave(ev, *removed, *moved)?,
+        };
+    }
+    Some(ev)
 }
 
 /// A token bucket shaping one document's serve rate.

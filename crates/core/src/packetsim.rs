@@ -39,8 +39,8 @@
 //! topologies.
 
 use crate::packet::{
-    self, DriverSource, NodeCtx, NodeState, PacketCounters, PacketEvent, PacketWorld, Scratch,
-    UniverseGrowth,
+    self, BarrierOp, BarrierOutcome, DriverSource, NodeCtx, NodeState, PacketCounters, PacketEvent,
+    PacketWorld, Scratch, SurgeryStep, UniverseGrowth,
 };
 use ww_model::{DocId, LeafRemoval, ModelError, NodeId, RateVector, Tree};
 use ww_net::{TrafficClass, TrafficLedger};
@@ -132,6 +132,10 @@ pub struct GenericPacketSim<Q> {
     trace: ConvergenceTrace,
     /// Diffusion-epoch samples taken so far (next at `(k+1) * period`).
     epochs_sampled: u64,
+    /// Open barrier batch: the queue-surgery steps accumulated so far
+    /// (`None` when applying unbatched). See
+    /// [`GenericPacketSim::begin_batch`].
+    batch: Option<Vec<SurgeryStep>>,
 }
 
 /// The standard sequential packet simulator: event storage is the
@@ -193,6 +197,7 @@ impl<Q: SimQueue<PacketEvent> + Default> GenericPacketSim<Q> {
             outbox,
             trace: ConvergenceTrace::new(),
             epochs_sampled: 0,
+            batch: None,
         }
     }
 
@@ -464,7 +469,11 @@ impl<Q: SimQueue<PacketEvent> + Default> GenericPacketSim<Q> {
         self.nodes
             .push(packet::init_state_at(&self.world, id, at.as_secs()));
         self.failed_up.push(false);
-        self.rebuild_arrivals(None);
+        if let Some(steps) = &mut self.batch {
+            steps.push(SurgeryStep::Rebuild(None));
+        } else {
+            self.rebuild_arrivals(None);
+        }
         // Arm the newcomer's timers (after the arrival pass, mirroring
         // the construction-time per-node order).
         assert_eq!(self.gossip_ring.add_member(), i);
@@ -497,8 +506,16 @@ impl<Q: SimQueue<PacketEvent> + Default> GenericPacketSim<Q> {
         self.failed_up.swap_remove(i);
         self.gossip_ring.swap_remove_member(i);
         self.diffusion_ring.swap_remove_member(i);
-        self.queue
-            .filter_map_events(|ev| packet::renumber_for_leave(ev, removal.removed, removal.moved));
+        if let Some(steps) = &mut self.batch {
+            steps.push(SurgeryStep::Leave {
+                removed: removal.removed,
+                moved: removal.moved,
+            });
+        } else {
+            self.queue.filter_map_events(|ev| {
+                packet::renumber_for_leave(ev, removal.removed, removal.moved)
+            });
+        }
         for p in packet::parents_to_remap(&self.world.tree, &removal) {
             let map = packet::child_slot_map(
                 &self.world.tree,
@@ -510,8 +527,10 @@ impl<Q: SimQueue<PacketEvent> + Default> GenericPacketSim<Q> {
             packet::remap_children(&mut self.nodes[p.index()], &map, at.as_secs());
         }
         // The renumbering pass above already dropped the stale arrivals;
-        // only the rescheduling half remains.
-        self.reschedule_arrivals();
+        // only the rescheduling half remains (deferred while batched).
+        if self.batch.is_none() {
+            self.reschedule_arrivals();
+        }
         Ok(removal)
     }
 
@@ -519,15 +538,19 @@ impl<Q: SimQueue<PacketEvent> + Default> GenericPacketSim<Q> {
     /// home server also receives the only copy of each new document),
     /// then re-resolves the arrival stage — the shared tail of every
     /// demand-changing barrier operation.
-    fn apply_growth(&mut self, growth: Option<&UniverseGrowth>) {
+    fn apply_growth(&mut self, growth: Option<UniverseGrowth>) {
         let at = self.queue.now().as_secs();
-        if let Some(g) = growth {
+        if let Some(g) = &growth {
             let root = self.world.tree.root();
             for j in 0..self.world.len() {
                 packet::grow_node_state(&mut self.nodes[j], g, at, NodeId::new(j) == root);
             }
         }
-        self.rebuild_arrivals(growth);
+        if let Some(steps) = &mut self.batch {
+            steps.push(SurgeryStep::Rebuild(growth));
+        } else {
+            self.rebuild_arrivals(growth.as_ref());
+        }
     }
 
     /// Publishes a document at the current barrier: demand for `doc`
@@ -540,7 +563,7 @@ impl<Q: SimQueue<PacketEvent> + Default> GenericPacketSim<Q> {
     /// As [`PacketWorld::publish`]: unknown origin or invalid rate.
     pub fn publish_doc(&mut self, doc: DocId, origin: NodeId, rate: f64) -> Result<(), ModelError> {
         let growth = self.world.publish(doc, origin, rate)?;
-        self.apply_growth(growth.as_ref());
+        self.apply_growth(growth);
         Ok(())
     }
 
@@ -554,8 +577,85 @@ impl<Q: SimQueue<PacketEvent> + Default> GenericPacketSim<Q> {
     /// As [`PacketWorld::set_mix`]: a mix not covering the current tree.
     pub fn set_mix(&mut self, mix: &DocMix) -> Result<(), ModelError> {
         let growth = self.world.set_mix(mix)?;
-        self.apply_growth(growth.as_ref());
+        self.apply_growth(growth);
         Ok(())
+    }
+
+    /// Opens a barrier batch: subsequent barrier mutations apply their
+    /// primary state changes eagerly but defer the oracle refresh, the
+    /// queue-surgery sweep, and the arrival re-resolution to one shared
+    /// pass in [`GenericPacketSim::commit_batch`]. A K-event batch ends
+    /// bit-identical to K unbatched applications at a fraction of the
+    /// cost (one refold, one sweep, one re-resolution instead of K).
+    ///
+    /// # Panics
+    ///
+    /// Panics if a batch is already open.
+    pub fn begin_batch(&mut self) {
+        assert!(self.batch.is_none(), "a barrier batch is already open");
+        self.world.begin_batch();
+        self.batch = Some(Vec::new());
+    }
+
+    /// Closes the batch: performs the single deferred oracle refresh,
+    /// applies the accumulated queue-surgery steps in one
+    /// `filter_map_events` sweep, and re-resolves the arrival stage
+    /// once, in node order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no batch is open.
+    pub fn commit_batch(&mut self) {
+        let steps = self.batch.take().expect("no open barrier batch");
+        self.world.end_batch();
+        if !steps.is_empty() {
+            self.queue
+                .filter_map_events(|ev| packet::apply_surgery(ev, &steps));
+            self.reschedule_arrivals();
+        }
+    }
+
+    /// Applies one uniform [`BarrierOp`] through the matching typed
+    /// method (honoring an open batch).
+    ///
+    /// # Errors
+    ///
+    /// As the matching typed method; a failed op mutates nothing.
+    ///
+    /// # Panics
+    ///
+    /// As the matching typed method — [`BarrierOp::FailLink`] /
+    /// [`BarrierOp::HealLink`] on the root or out of range.
+    pub fn apply_op(&mut self, op: &BarrierOp) -> Result<BarrierOutcome, ModelError> {
+        match op {
+            BarrierOp::AddLeaf { parent, rate } => {
+                self.add_leaf(*parent, *rate).map(BarrierOutcome::Added)
+            }
+            BarrierOp::RemoveLeaf { node } => self.remove_leaf(*node).map(BarrierOutcome::Removed),
+            BarrierOp::PublishDoc { doc, origin, rate } => self
+                .publish_doc(*doc, *origin, *rate)
+                .map(|()| BarrierOutcome::Done),
+            BarrierOp::SetMix { mix } => self.set_mix(mix).map(|()| BarrierOutcome::Done),
+            BarrierOp::FailLink { node } => Ok(BarrierOutcome::Toggled(self.fail_link(*node))),
+            BarrierOp::HealLink { node } => Ok(BarrierOutcome::Toggled(self.heal_link(*node))),
+            BarrierOp::Invalidate { doc } => self.invalidate(*doc).map(|()| BarrierOutcome::Done),
+        }
+    }
+
+    /// Applies every op of a same-barrier storm as one batch: per-op
+    /// results mirror sequential application (a rejected op mutates
+    /// nothing and the batch continues), but the oracle refresh, queue
+    /// surgery, and arrival re-resolution run once at the end.
+    ///
+    /// # Panics
+    ///
+    /// As [`GenericPacketSim::apply_op`], and if a batch is already
+    /// open.
+    pub fn apply_all(&mut self, ops: &[BarrierOp]) -> Vec<Result<BarrierOutcome, ModelError>> {
+        self.begin_batch();
+        let results = ops.iter().map(|op| self.apply_op(op)).collect();
+        self.commit_batch();
+        results
     }
 
     /// The shared world (topology, mix, oracle, configuration) as the

@@ -36,7 +36,7 @@
 //! round before the distance is taken. The golden-trace tests hold the
 //! two engines bit-for-bit equal.
 
-use crate::fold::webfold;
+use crate::fold::IncrementalFold;
 use std::collections::VecDeque;
 use ww_diffusion::safe_alpha;
 use ww_model::{LeafRemoval, ModelError, NodeId, RateVector, Tree};
@@ -130,6 +130,15 @@ pub struct RateWave {
     any_failed: bool,
 
     oracle: RateVector,
+    /// Summary cache behind `oracle`: churn re-folds only the touched
+    /// root paths instead of sweeping the whole tree.
+    fold: IncrementalFold,
+    /// `true` between [`RateWave::begin_batch`] and
+    /// [`RateWave::end_batch`]: oracle refolds and the per-event trace
+    /// sample are deferred to the batch commit.
+    batched: bool,
+    /// Whether a batched barrier deferred at least one oracle refresh.
+    batch_dirty: bool,
     trace: ConvergenceTrace,
     round: usize,
 }
@@ -237,7 +246,8 @@ impl RateWave {
         );
         let alpha = config.alpha.unwrap_or_else(|| safe_alpha(tree));
         assert!(alpha > 0.0 && alpha < 1.0, "alpha must lie in (0, 1)");
-        let oracle = webfold(tree, spontaneous).into_load();
+        let mut fold = IncrementalFold::new(tree, spontaneous);
+        let oracle = fold.refold_path(tree, spontaneous).into_load();
         let forwarded = assignment.forwarded().clone();
         let mut trace = ConvergenceTrace::new();
         trace.push(initial.euclidean_distance(&oracle));
@@ -279,6 +289,9 @@ impl RateWave {
             failed_up_pos: vec![false; n],
             any_failed: false,
             oracle,
+            fold,
+            batched: false,
+            batch_dirty: false,
             trace,
             round: 0,
         }
@@ -550,7 +563,6 @@ impl RateWave {
         for (pos, &id) in self.order.iter().enumerate() {
             self.spont_pos[pos] = spontaneous.as_slice()[id as usize];
         }
-        self.oracle = webfold(&self.tree, spontaneous).into_load();
         // Re-impose feasibility under the new flows.
         let n = self.tree.len();
         for u in (0..n).rev() {
@@ -573,7 +585,7 @@ impl RateWave {
         self.unpermute();
         // Old gossip describes the old regime; drop it.
         self.history.clear();
-        self.trace.push(self.load.euclidean_distance(&self.oracle));
+        self.refresh_oracle();
     }
 
     /// The routing tree this run currently operates on.
@@ -653,6 +665,7 @@ impl RateWave {
             });
         }
         let id = self.tree.add_leaf(parent)?;
+        self.fold.on_join(&self.tree, id);
         let mut spont = self.spontaneous.clone().into_inner();
         spont.push(rate);
         self.spontaneous = RateVector::from(spont);
@@ -675,6 +688,7 @@ impl RateWave {
     /// As [`Tree::remove_leaf`]: unknown id, root, or interior node.
     pub fn remove_leaf(&mut self, node: NodeId) -> Result<LeafRemoval, ModelError> {
         let removal = self.tree.remove_leaf(node)?;
+        self.fold.on_leave(&self.tree, &removal);
         let mut spont = self.spontaneous.clone().into_inner();
         removal.rehome(&mut spont);
         self.spontaneous = RateVector::from(spont);
@@ -697,7 +711,6 @@ impl RateWave {
         self.alpha = self
             .alpha_override
             .unwrap_or_else(|| safe_alpha(&self.tree));
-        self.oracle = webfold(&self.tree, &self.spontaneous).into_load();
         self.spont_pos = layout
             .order
             .iter()
@@ -744,7 +757,51 @@ impl RateWave {
         }
         self.forwarded = RateVector::zeros(n);
         self.unpermute();
-        self.trace.push(self.load.euclidean_distance(&self.oracle));
+        self.refresh_oracle();
+    }
+
+    /// Re-folds the TLB oracle along the dirty root paths and samples
+    /// the post-event distance into the trace — or, inside a batched
+    /// barrier, defers both to [`RateWave::end_batch`].
+    fn refresh_oracle(&mut self) {
+        if self.batched {
+            self.batch_dirty = true;
+        } else {
+            self.oracle = self
+                .fold
+                .refold_path(&self.tree, &self.spontaneous)
+                .into_load();
+            self.trace.push(self.load.euclidean_distance(&self.oracle));
+        }
+    }
+
+    /// Opens a batched barrier: subsequent churn events apply their
+    /// structural effects eagerly but defer the oracle refold and the
+    /// trace sample until [`RateWave::end_batch`], which pays them once
+    /// for the whole barrier.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a batch is already open.
+    pub fn begin_batch(&mut self) {
+        assert!(!self.batched, "batch already open");
+        self.batched = true;
+    }
+
+    /// Closes a batched barrier: one oracle refold and one trace
+    /// sample, regardless of how many events the batch held. A batch of
+    /// exactly one oracle-touching event is bit-identical to applying
+    /// that event unbatched.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no batch is open.
+    pub fn end_batch(&mut self) {
+        assert!(self.batched, "no batch open");
+        self.batched = false;
+        if std::mem::take(&mut self.batch_dirty) {
+            self.refresh_oracle();
+        }
     }
 }
 

@@ -1,0 +1,213 @@
+//! Churn-equivalence fuzz suite for the incremental WebFold oracle.
+//!
+//! Drives random trees through random event-grammar sequences — joins,
+//! leaves, rate deltas, and rate masks — and asserts that
+//! [`IncrementalFold::refold_path`] reproduces the from-scratch
+//! [`webfold`] partition **bit for bit** (load vector, fold roots, fold
+//! membership, GLE flag) after every single step and after whole batches
+//! applied between refolds. Together the generators below cover well
+//! over a thousand distinct fuzzed sequences, pinning the equivalence
+//! argument in `ww_core::fold`'s docs empirically.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use ww_core::fold::{webfold, FoldedTree, IncrementalFold};
+use ww_model::{NodeId, RateVector, Tree};
+
+/// One churn-grammar event, mirroring what barrier pipelines feed the
+/// oracle: structural churn plus spontaneous-rate updates.
+#[derive(Debug, Clone, Copy)]
+enum Op {
+    Join {
+        parent: usize,
+        rate: f64,
+    },
+    Leave {
+        leaf: usize,
+    },
+    RateDelta {
+        node: usize,
+        rate: f64,
+    },
+    /// A link-mask style update: the node's spontaneous rate drops to 0.
+    Mask {
+        node: usize,
+    },
+}
+
+fn random_op(rng: &mut StdRng, tree: &Tree) -> Op {
+    let n = tree.len();
+    let leaves: Vec<usize> = (0..n)
+        .filter(|&i| {
+            let u = NodeId::new(i);
+            tree.is_leaf(u) && u != tree.root()
+        })
+        .collect();
+    loop {
+        match rng.gen_range(0..4u32) {
+            0 => {
+                return Op::Join {
+                    parent: rng.gen_range(0..n),
+                    rate: rng.gen_range(0.0..50.0),
+                }
+            }
+            1 if !leaves.is_empty() && n > 1 => {
+                return Op::Leave {
+                    leaf: leaves[rng.gen_range(0..leaves.len())],
+                }
+            }
+            2 => {
+                return Op::RateDelta {
+                    node: rng.gen_range(0..n),
+                    rate: rng.gen_range(0.0..50.0),
+                }
+            }
+            3 => {
+                return Op::Mask {
+                    node: rng.gen_range(0..n),
+                }
+            }
+            _ => {}
+        }
+    }
+}
+
+/// Applies `op` to the primary state (tree + rates) and notifies the
+/// incremental cache of structural changes, exactly as `PacketWorld`
+/// and the rate/document engines do.
+fn apply(op: Op, tree: &mut Tree, rates: &mut Vec<f64>, inc: &mut IncrementalFold) {
+    match op {
+        Op::Join { parent, rate } => {
+            let id = tree.add_leaf(NodeId::new(parent)).unwrap();
+            rates.push(rate);
+            inc.on_join(tree, id);
+        }
+        Op::Leave { leaf } => {
+            let removal = tree.remove_leaf(NodeId::new(leaf)).unwrap();
+            removal.rehome(rates);
+            inc.on_leave(tree, &removal);
+        }
+        Op::RateDelta { node, rate } => rates[node] = rate,
+        Op::Mask { node } => rates[node] = 0.0,
+    }
+}
+
+/// Bit-level equality of everything the oracle consumers read. The fold
+/// trace is deliberately excluded: the incremental path does not replay
+/// the global merge order and documents an empty trace.
+fn assert_bit_identical(incremental: &FoldedTree, scratch: &FoldedTree, ctx: &str) {
+    let a = incremental.load().as_slice();
+    let b = scratch.load().as_slice();
+    assert_eq!(a.len(), b.len(), "{ctx}: load length");
+    for (i, (x, y)) in a.iter().zip(b).enumerate() {
+        assert_eq!(
+            x.to_bits(),
+            y.to_bits(),
+            "{ctx}: load[{i}] {x} != {y} (bitwise)"
+        );
+    }
+    assert_eq!(
+        incremental.fold_roots(),
+        scratch.fold_roots(),
+        "{ctx}: fold roots"
+    );
+    assert_eq!(
+        incremental.fold_root_of(),
+        scratch.fold_root_of(),
+        "{ctx}: fold membership"
+    );
+    assert_eq!(incremental.is_gle(), scratch.is_gle(), "{ctx}: GLE flag");
+    assert_eq!(
+        incremental.fold_count(),
+        scratch.fold_count(),
+        "{ctx}: fold count"
+    );
+}
+
+fn seed_state(rng: &mut StdRng) -> (Tree, Vec<f64>) {
+    let n = rng.gen_range(1..60);
+    let depth = rng.gen_range(1..9);
+    let tree = ww_topology::random_tree_of_depth(rng, n, depth);
+    let rates = ww_workload::random_uniform(rng, &tree, 0.0, 50.0)
+        .as_slice()
+        .to_vec();
+    (tree, rates)
+}
+
+#[test]
+fn incremental_matches_scratch_after_every_step() {
+    // 600 sequences x 8 steps: refold after each single event.
+    for seed in 0..600u64 {
+        let mut rng = StdRng::seed_from_u64(0xF01D_0000 + seed);
+        let (mut tree, mut rates) = seed_state(&mut rng);
+        let mut inc = IncrementalFold::new(&tree, &RateVector::from(rates.clone()));
+        for step in 0..8 {
+            let op = random_op(&mut rng, &tree);
+            apply(op, &mut tree, &mut rates, &mut inc);
+            let e = RateVector::from(rates.clone());
+            let got = inc.refold_path(&tree, &e);
+            let want = webfold(&tree, &e);
+            assert_bit_identical(&got, &want, &format!("seed {seed} step {step} {op:?}"));
+        }
+    }
+}
+
+#[test]
+fn incremental_matches_scratch_after_batched_application() {
+    // 500 sequences x (2..=6)-event bursts applied between refolds —
+    // the shape a batched barrier produces: many dirty paths, one refold.
+    for seed in 0..500u64 {
+        let mut rng = StdRng::seed_from_u64(0xBA7C_4000 + seed);
+        let (mut tree, mut rates) = seed_state(&mut rng);
+        let mut inc = IncrementalFold::new(&tree, &RateVector::from(rates.clone()));
+        for burst in 0..3 {
+            let k = rng.gen_range(2..=6);
+            let mut applied = Vec::new();
+            for _ in 0..k {
+                let op = random_op(&mut rng, &tree);
+                apply(op, &mut tree, &mut rates, &mut inc);
+                applied.push(op);
+            }
+            let e = RateVector::from(rates.clone());
+            let got = inc.refold_path(&tree, &e);
+            let want = webfold(&tree, &e);
+            assert_bit_identical(
+                &got,
+                &want,
+                &format!("seed {seed} burst {burst} {applied:?}"),
+            );
+        }
+    }
+}
+
+#[test]
+fn refold_is_stable_without_changes() {
+    // A refold with nothing dirty must emit the identical partition.
+    let mut rng = StdRng::seed_from_u64(7);
+    let (tree, rates) = seed_state(&mut rng);
+    let e = RateVector::from(rates);
+    let mut inc = IncrementalFold::new(&tree, &e);
+    let first = inc.refold_path(&tree, &e);
+    let second = inc.refold_path(&tree, &e);
+    assert_bit_identical(&second, &first, "idempotent refold");
+    assert_bit_identical(&first, &webfold(&tree, &e), "fresh cache");
+}
+
+#[test]
+fn paper_scenarios_match_from_construction() {
+    for s in ww_topology::paper::all_scenarios() {
+        let mut inc = IncrementalFold::new(&s.tree, &s.spontaneous);
+        let got = inc.refold_path(&s.tree, &s.spontaneous);
+        assert_bit_identical(&got, &webfold(&s.tree, &s.spontaneous), &s.name);
+    }
+}
+
+#[test]
+#[should_panic(expected = "structural churn")]
+fn unreported_structural_change_panics() {
+    let mut tree = Tree::from_parents(&[None, Some(0)]).unwrap();
+    let e = RateVector::from(vec![1.0, 2.0]);
+    let mut inc = IncrementalFold::new(&tree, &e);
+    tree.add_leaf(NodeId::new(0)).unwrap();
+    let _ = inc.refold_path(&tree, &RateVector::from(vec![1.0, 2.0, 3.0]));
+}

@@ -153,6 +153,12 @@ pub enum ApplyCmd {
         /// The mix as `(node, doc, rate)` triples.
         demands: Vec<(usize, u64, f64)>,
     },
+    /// Open a barrier batch: mutations until [`ApplyCmd::BatchCommit`]
+    /// defer their oracle refresh, queue surgery, and arrival
+    /// re-resolution to one shared pass at commit.
+    BatchBegin,
+    /// Close the open barrier batch.
+    BatchCommit,
 }
 
 /// A worker's slice of the final report, returned for
@@ -442,6 +448,8 @@ const CMD_ADD_LEAF: u8 = 3;
 const CMD_REMOVE_LEAF: u8 = 4;
 const CMD_PUBLISH: u8 = 5;
 const CMD_SET_MIX: u8 = 6;
+const CMD_BATCH_BEGIN: u8 = 7;
+const CMD_BATCH_COMMIT: u8 = 8;
 
 fn put_event(out: &mut Vec<u8>, ev: &PacketEvent) {
     match ev {
@@ -722,6 +730,8 @@ fn put_body(out: &mut Vec<u8>, msg: &Msg) {
                     put_usize(out, *nodes);
                     put_demands(out, demands);
                 }
+                ApplyCmd::BatchBegin => put_u8(out, CMD_BATCH_BEGIN),
+                ApplyCmd::BatchCommit => put_u8(out, CMD_BATCH_COMMIT),
             }
         }
         Msg::Applied { err } => {
@@ -889,6 +899,8 @@ pub fn decode_msg(body: &[u8]) -> Result<Msg, CodecError> {
                     nodes: r.usize()?,
                     demands: read_demands(&mut r)?,
                 },
+                CMD_BATCH_BEGIN => ApplyCmd::BatchBegin,
+                CMD_BATCH_COMMIT => ApplyCmd::BatchCommit,
                 tag => return Err(CodecError::BadTag { tag }),
             };
             Msg::Apply(cmd)

@@ -25,7 +25,7 @@ use std::net::TcpListener;
 use std::process::{Child, Command, Stdio};
 use std::sync::mpsc::{channel, Receiver, RecvTimeoutError, Sender};
 use std::time::{Duration, Instant};
-use ww_core::packet::{PacketCounters, PacketSimConfig};
+use ww_core::packet::{BarrierOp, BarrierOutcome, PacketCounters, PacketSimConfig};
 use ww_core::packetsim::PacketSimReport;
 use ww_model::{DocId, LeafRemoval, NodeId, RateVector, Tree};
 use ww_net::TrafficLedger;
@@ -617,6 +617,84 @@ impl DistPacketSim {
             nodes: mix.len(),
             demands: mix_demands(mix),
         })
+    }
+
+    /// Opens a batched barrier window on every participant: subsequent
+    /// barrier mutations still apply their structural effects eagerly,
+    /// but the oracle refresh and the event-queue surgery are deferred
+    /// until [`DistPacketSim::commit_batch`].
+    ///
+    /// # Errors
+    ///
+    /// [`DistError`] when a worker is gone.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a batch is already open.
+    pub fn begin_batch(&mut self) -> Result<(), DistError> {
+        self.replica.begin_batch();
+        self.apply(ApplyCmd::BatchBegin)
+    }
+
+    /// Closes the batched window on every participant: one oracle
+    /// refresh, one composed queue-surgery pass, and one arrival
+    /// re-resolution, regardless of how many mutations the batch held.
+    ///
+    /// # Errors
+    ///
+    /// [`DistError`] when a worker is gone.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no batch is open.
+    pub fn commit_batch(&mut self) -> Result<(), DistError> {
+        self.replica.commit_batch();
+        self.apply(ApplyCmd::BatchCommit)
+    }
+
+    /// Applies one [`BarrierOp`] by dispatching to the corresponding
+    /// typed method.
+    ///
+    /// # Errors
+    ///
+    /// [`DistError::Model`] when the model rejects the operation, any
+    /// other [`DistError`] when a worker is gone.
+    ///
+    /// # Panics
+    ///
+    /// As the typed methods (node/doc arguments out of range).
+    pub fn apply_op(&mut self, op: &BarrierOp) -> Result<BarrierOutcome, DistError> {
+        match op {
+            BarrierOp::AddLeaf { parent, rate } => {
+                self.add_leaf(*parent, *rate).map(BarrierOutcome::Added)
+            }
+            BarrierOp::RemoveLeaf { node } => self.remove_leaf(*node).map(BarrierOutcome::Removed),
+            BarrierOp::PublishDoc { doc, origin, rate } => self
+                .publish_doc(*doc, *origin, *rate)
+                .map(|()| BarrierOutcome::Done),
+            BarrierOp::SetMix { mix } => self.set_mix(mix).map(|()| BarrierOutcome::Done),
+            BarrierOp::FailLink { node } => Ok(BarrierOutcome::Toggled(self.fail_link(*node)?)),
+            BarrierOp::HealLink { node } => Ok(BarrierOutcome::Toggled(self.heal_link(*node)?)),
+            BarrierOp::Invalidate { doc } => self.invalidate(*doc).map(|()| BarrierOutcome::Done),
+        }
+    }
+
+    /// Applies every operation of one barrier as a single batch: the
+    /// outcome vector matches `ops` one-for-one, and the deferred
+    /// refresh work is paid once at commit instead of once per op.
+    ///
+    /// # Errors
+    ///
+    /// [`DistError`] when opening or closing the batch fails (a worker
+    /// is gone); per-op model rejections land in the returned vector.
+    pub fn apply_all(
+        &mut self,
+        ops: &[BarrierOp],
+    ) -> Result<Vec<Result<BarrierOutcome, DistError>>, DistError> {
+        self.begin_batch()?;
+        let results = ops.iter().map(|op| self.apply_op(op)).collect();
+        self.commit_batch()?;
+        Ok(results)
     }
 
     /// Test hook: SIGKILLs the `i`-th spawned worker **process** (no

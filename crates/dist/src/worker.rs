@@ -241,6 +241,8 @@ fn apply(host: &mut PacketShardHost, cmd: &ApplyCmd) -> Result<(), ww_model::Mod
             }
             host.set_mix(&mix)?;
         }
+        ApplyCmd::BatchBegin => host.begin_batch(),
+        ApplyCmd::BatchCommit => host.commit_batch(),
     }
     Ok(())
 }

@@ -129,7 +129,7 @@ fn arb_demands() -> impl Strategy<Value = Vec<(usize, u64, f64)>> {
 }
 
 fn arb_apply() -> BoxedStrategy<ApplyCmd> {
-    (0u8..7)
+    (0u8..9)
         .prop_flat_map(|variant| match variant {
             0 => (0usize..1000)
                 .prop_map(|node| ApplyCmd::FailLink { node })
@@ -149,9 +149,11 @@ fn arb_apply() -> BoxedStrategy<ApplyCmd> {
             5 => (0u64..1000, 0usize..1000, arb_f64())
                 .prop_map(|(doc, origin, rate)| ApplyCmd::PublishDoc { doc, origin, rate })
                 .boxed(),
-            _ => (0usize..200, arb_demands())
+            6 => (0usize..200, arb_demands())
                 .prop_map(|(nodes, demands)| ApplyCmd::SetMix { nodes, demands })
                 .boxed(),
+            7 => Just(ApplyCmd::BatchBegin).boxed(),
+            _ => Just(ApplyCmd::BatchCommit).boxed(),
         })
         .boxed()
 }

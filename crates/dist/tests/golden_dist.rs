@@ -11,6 +11,7 @@
 
 use rand::rngs::StdRng;
 use rand::SeedableRng;
+use ww_core::packet::BarrierOp;
 use ww_core::packetsim::{PacketSim, PacketSimConfig, PacketSimReport};
 use ww_dist::{DistMode, DistOptions, DistPacketSim};
 use ww_model::{DocId, NodeId, Tree};
@@ -159,6 +160,60 @@ fn churn_and_failures_match_sequential() {
         dist.remove_leaf(newcomer).unwrap();
         let b = dist.run(16.0).unwrap();
         assert_reports_identical(&a, &b, &format!("churn workers={workers}"));
+    }
+}
+
+#[test]
+fn same_barrier_storm_batched_matches_sequential() {
+    // The K-event same-barrier storm of `golden_dynamics`, replayed over
+    // sockets: `BatchBegin`/`BatchCommit` bracket the broadcast ops, so
+    // every participant pays one oracle refresh and one queue-surgery
+    // pass — and still lands bit-identical to the sequential engine,
+    // batched or not.
+    let (tree, mix) = fig7_mix();
+    let config = PacketSimConfig::default();
+    let ops = vec![
+        BarrierOp::AddLeaf {
+            parent: NodeId::new(3),
+            rate: 50.0,
+        },
+        BarrierOp::AddLeaf {
+            parent: NodeId::new(4),
+            rate: 30.0,
+        },
+        BarrierOp::RemoveLeaf {
+            node: NodeId::new(2),
+        },
+        BarrierOp::PublishDoc {
+            doc: DocId::new(901),
+            origin: NodeId::new(1),
+            rate: 20.0,
+        },
+        BarrierOp::FailLink {
+            node: NodeId::new(1),
+        },
+        BarrierOp::Invalidate { doc: DocId::new(1) },
+        BarrierOp::HealLink {
+            node: NodeId::new(1),
+        },
+    ];
+
+    let mut seq = PacketSim::new(&tree, &mix, config);
+    seq.run(3.0);
+    for op in &ops {
+        seq.apply_op(op).expect("storm op applies");
+    }
+    let a = seq.run(9.0);
+
+    for workers in [1, 2, 4] {
+        let mut dist = DistPacketSim::launch(&tree, &mix, config, workers, threads()).unwrap();
+        dist.run(3.0).unwrap();
+        for r in dist.apply_all(&ops).unwrap() {
+            r.expect("storm op applies");
+        }
+        let b = dist.run(9.0).unwrap();
+        assert_reports_identical(&a, &b, &format!("storm workers={workers}"));
+        dist.shutdown();
     }
 }
 

@@ -70,8 +70,8 @@ use crate::transport::{
 use std::collections::VecDeque;
 use std::time::{Duration, Instant};
 use ww_core::packet::{
-    self, DriverSource, NodeCtx, NodeState, PacketCounters, PacketEvent, PacketSimConfig,
-    PacketWorld, Scratch,
+    self, BarrierOp, BarrierOutcome, DriverSource, NodeCtx, NodeState, PacketCounters, PacketEvent,
+    PacketSimConfig, PacketWorld, Scratch,
 };
 use ww_core::packetsim::PacketSimReport;
 use ww_model::{DocId, LeafRemoval, ModelError, NodeId, RateVector, Tree};
@@ -919,6 +919,7 @@ impl<Q: SimQueue<PacketEvent> + Default + Send> GenericParPacketSim<Q> {
                 world,
                 partition,
                 horizon: SimTime::ZERO,
+                batch: None,
             },
             shards,
             trace: ConvergenceTrace::new(),
@@ -1214,6 +1215,71 @@ impl<Q: SimQueue<PacketEvent> + Default + Send> GenericParPacketSim<Q> {
     /// As [`PacketWorld::set_mix`]: a mix not covering the current tree.
     pub fn set_mix(&mut self, mix: &DocMix) -> Result<(), ModelError> {
         ops::set_mix(&mut self.core, &mut self.shards, mix)
+    }
+
+    /// Opens a barrier batch — the parallel twin of
+    /// [`PacketSim::begin_batch`](ww_core::packetsim::GenericPacketSim::begin_batch):
+    /// barrier mutations until [`GenericParPacketSim::commit_batch`]
+    /// defer their oracle refresh, queue surgery, and arrival
+    /// re-resolution to one shared pass.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a batch is already open.
+    pub fn begin_batch(&mut self) {
+        ops::begin_batch(&mut self.core);
+    }
+
+    /// Closes the batch; the result is bit-identical to unbatched
+    /// application.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no batch is open.
+    pub fn commit_batch(&mut self) {
+        ops::commit_batch(&mut self.core, &mut self.shards);
+    }
+
+    /// Applies one uniform [`BarrierOp`] through the matching typed
+    /// method (honoring an open batch).
+    ///
+    /// # Errors
+    ///
+    /// As the matching typed method; a failed op mutates nothing.
+    ///
+    /// # Panics
+    ///
+    /// As the matching typed method — [`BarrierOp::FailLink`] /
+    /// [`BarrierOp::HealLink`] on the root or out of range.
+    pub fn apply_op(&mut self, op: &BarrierOp) -> Result<BarrierOutcome, ModelError> {
+        match op {
+            BarrierOp::AddLeaf { parent, rate } => {
+                self.add_leaf(*parent, *rate).map(BarrierOutcome::Added)
+            }
+            BarrierOp::RemoveLeaf { node } => self.remove_leaf(*node).map(BarrierOutcome::Removed),
+            BarrierOp::PublishDoc { doc, origin, rate } => self
+                .publish_doc(*doc, *origin, *rate)
+                .map(|()| BarrierOutcome::Done),
+            BarrierOp::SetMix { mix } => self.set_mix(mix).map(|()| BarrierOutcome::Done),
+            BarrierOp::FailLink { node } => Ok(BarrierOutcome::Toggled(self.fail_link(*node))),
+            BarrierOp::HealLink { node } => Ok(BarrierOutcome::Toggled(self.heal_link(*node))),
+            BarrierOp::Invalidate { doc } => self.invalidate(*doc).map(|()| BarrierOutcome::Done),
+        }
+    }
+
+    /// Applies a same-barrier storm as one batch, mirroring
+    /// [`PacketSim::apply_all`](ww_core::packetsim::GenericPacketSim::apply_all)
+    /// bit for bit at any worker count.
+    ///
+    /// # Panics
+    ///
+    /// As [`GenericParPacketSim::apply_op`], and if a batch is already
+    /// open.
+    pub fn apply_all(&mut self, ops: &[BarrierOp]) -> Vec<Result<BarrierOutcome, ModelError>> {
+        self.begin_batch();
+        let results = ops.iter().map(|op| self.apply_op(op)).collect();
+        self.commit_batch();
+        results
     }
 
     /// The shared world (topology, mix, oracle, configuration) as the

@@ -67,6 +67,7 @@ impl<Q: SimQueue<PacketEvent> + Default + Send> ShardHost<Q> {
                 world,
                 partition,
                 horizon: SimTime::ZERO,
+                batch: None,
             },
             store: SingleStore {
                 id: usize::MAX,
@@ -130,6 +131,7 @@ impl<Q: SimQueue<PacketEvent> + Default + Send> ShardHost<Q> {
                 world,
                 partition,
                 horizon: SimTime::ZERO,
+                batch: None,
             },
             store: SingleStore {
                 id,
@@ -342,5 +344,28 @@ impl<Q: SimQueue<PacketEvent> + Default + Send> ShardHost<Q> {
     /// As [`PacketWorld::set_mix`]: a mix not covering the current tree.
     pub fn set_mix(&mut self, mix: &DocMix) -> Result<(), ModelError> {
         ops::set_mix(&mut self.core, &mut self.store, mix)
+    }
+
+    /// Opens a barrier batch — the barrier-replicated twin of
+    /// [`ParPacketSim::begin_batch`](crate::GenericParPacketSim::begin_batch).
+    /// Every participant of a distributed run opens and commits the same
+    /// batch so their replicated state stays bit-identical.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a batch is already open.
+    pub fn begin_batch(&mut self) {
+        ops::begin_batch(&mut self.core);
+    }
+
+    /// Closes the batch: one deferred oracle refresh, one composed
+    /// queue-surgery sweep over the held shard (if any), one arrival
+    /// re-resolution.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no batch is open.
+    pub fn commit_batch(&mut self) {
+        ops::commit_batch(&mut self.core, &mut self.store);
     }
 }

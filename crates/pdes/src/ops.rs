@@ -18,7 +18,7 @@
 
 use crate::engine::Shard;
 use crate::partition::Partition;
-use ww_core::packet::{self, NodeState, PacketEvent, PacketWorld, UniverseGrowth};
+use ww_core::packet::{self, NodeState, PacketEvent, PacketWorld, SurgeryStep, UniverseGrowth};
 use ww_model::{DocId, LeafRemoval, ModelError, NodeId};
 use ww_net::TrafficClass;
 use ww_sim::{SimQueue, SimTime};
@@ -33,6 +33,11 @@ pub(crate) struct SimCore {
     pub(crate) failed_up: Vec<bool>,
     /// Simulated time the run has reached (last barrier).
     pub(crate) horizon: SimTime,
+    /// Open barrier batch: accumulated queue-surgery steps (`None` when
+    /// applying unbatched). Replicated state like the rest of the core —
+    /// every participant of a distributed run opens and commits the same
+    /// batch.
+    pub(crate) batch: Option<Vec<SurgeryStep>>,
 }
 
 /// Shard ownership: which of the partition's shards this participant
@@ -210,7 +215,11 @@ pub(crate) fn add_leaf<Q: SimQueue<PacketEvent>>(
             .push(packet::init_state_at(&core.world, id, at.as_secs()));
     }
     core.failed_up.push(false);
-    rebuild_arrivals(core, store, None);
+    if let Some(steps) = &mut core.batch {
+        steps.push(SurgeryStep::Rebuild(None));
+    } else {
+        rebuild_arrivals(core, store, None);
+    }
     if let Some(shard) = store.shard_mut(ps) {
         assert_eq!(shard.gossip_ring.add_member(), li);
         assert_eq!(shard.diffusion_ring.add_member(), li);
@@ -246,11 +255,18 @@ pub(crate) fn remove_leaf<Q: SimQueue<PacketEvent>>(
         shard.diffusion_ring.swap_remove_member(li);
     }
     core.failed_up.swap_remove(r);
-    store.for_each(&mut |shard| {
-        shard
-            .queue
-            .filter_map_events(|ev| packet::renumber_for_leave(ev, removal.removed, removal.moved));
-    });
+    if let Some(steps) = &mut core.batch {
+        steps.push(SurgeryStep::Leave {
+            removed: removal.removed,
+            moved: removal.moved,
+        });
+    } else {
+        store.for_each(&mut |shard| {
+            shard.queue.filter_map_events(|ev| {
+                packet::renumber_for_leave(ev, removal.removed, removal.moved)
+            });
+        });
+    }
     for p in packet::parents_to_remap(&core.world.tree, &removal) {
         let map = packet::child_slot_map(
             &core.world.tree,
@@ -264,8 +280,10 @@ pub(crate) fn remove_leaf<Q: SimQueue<PacketEvent>>(
         }
     }
     // The renumbering pass above already dropped the stale arrivals;
-    // only the rescheduling half remains.
-    reschedule_arrivals(core, store);
+    // only the rescheduling half remains (deferred while batched).
+    if core.batch.is_none() {
+        reschedule_arrivals(core, store);
+    }
     Ok(removal)
 }
 
@@ -276,10 +294,10 @@ pub(crate) fn remove_leaf<Q: SimQueue<PacketEvent>>(
 fn apply_growth<Q: SimQueue<PacketEvent>>(
     core: &mut SimCore,
     store: &mut impl ShardStore<Q>,
-    growth: Option<&UniverseGrowth>,
+    growth: Option<UniverseGrowth>,
 ) {
     let at = core.horizon.as_secs();
-    if let Some(g) = growth {
+    if let Some(g) = &growth {
         let root = core.world.tree.root();
         for j in 0..core.world.len() {
             let is_root = NodeId::new(j) == root;
@@ -288,7 +306,11 @@ fn apply_growth<Q: SimQueue<PacketEvent>>(
             }
         }
     }
-    rebuild_arrivals(core, store, growth);
+    if let Some(steps) = &mut core.batch {
+        steps.push(SurgeryStep::Rebuild(growth));
+    } else {
+        rebuild_arrivals(core, store, growth.as_ref());
+    }
 }
 
 /// Publishes a document at the current barrier.
@@ -300,7 +322,7 @@ pub(crate) fn publish_doc<Q: SimQueue<PacketEvent>>(
     rate: f64,
 ) -> Result<(), ModelError> {
     let growth = core.world.publish(doc, origin, rate)?;
-    apply_growth(core, store, growth.as_ref());
+    apply_growth(core, store, growth);
     Ok(())
 }
 
@@ -311,6 +333,42 @@ pub(crate) fn set_mix<Q: SimQueue<PacketEvent>>(
     mix: &ww_workload::DocMix,
 ) -> Result<(), ModelError> {
     let growth = core.world.set_mix(mix)?;
-    apply_growth(core, store, growth.as_ref());
+    apply_growth(core, store, growth);
     Ok(())
+}
+
+/// Opens a barrier batch on this participant: subsequent operations
+/// apply their primary mutations eagerly but defer the oracle refresh,
+/// queue surgery, and arrival re-resolution to [`commit_batch`].
+///
+/// # Panics
+///
+/// Panics if a batch is already open.
+pub(crate) fn begin_batch(core: &mut SimCore) {
+    assert!(core.batch.is_none(), "a barrier batch is already open");
+    core.world.begin_batch();
+    core.batch = Some(Vec::new());
+}
+
+/// Closes the batch: one deferred oracle refresh, one composed
+/// queue-surgery sweep over every held shard, one arrival re-resolution
+/// in global node order — bit-identical to unbatched application.
+///
+/// # Panics
+///
+/// Panics if no batch is open.
+pub(crate) fn commit_batch<Q: SimQueue<PacketEvent>>(
+    core: &mut SimCore,
+    store: &mut impl ShardStore<Q>,
+) {
+    let steps = core.batch.take().expect("no open barrier batch");
+    core.world.end_batch();
+    if !steps.is_empty() {
+        store.for_each(&mut |shard| {
+            shard
+                .queue
+                .filter_map_events(|ev| packet::apply_surgery(ev, &steps));
+        });
+        reschedule_arrivals(core, store);
+    }
 }

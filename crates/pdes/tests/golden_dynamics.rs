@@ -8,6 +8,7 @@
 
 use rand::rngs::StdRng;
 use rand::SeedableRng;
+use ww_core::packet::BarrierOp;
 use ww_core::packetsim::{PacketSim, PacketSimConfig, PacketSimReport};
 use ww_model::{DocId, NodeId, Tree};
 use ww_net::TrafficClass;
@@ -332,6 +333,128 @@ fn fig7_churn_storm_matches_sequential() {
         let par_report = replay(&mut par, &script);
         assert_reports_identical(&seq_report, &par_report, &format!("fig7 workers={workers}"));
     }
+}
+
+/// A K-event same-barrier churn storm over the fig7 topology: two
+/// joins, a leave (with swap-remove renumbering), a publish, a
+/// fail/heal pair, and an invalidate, all at one epoch boundary.
+/// Structural effects apply eagerly in both the batched and the
+/// one-at-a-time paths, so later ops see the same renumbered ids.
+fn storm_ops() -> Vec<BarrierOp> {
+    vec![
+        BarrierOp::AddLeaf {
+            parent: NodeId::new(3),
+            rate: 50.0,
+        },
+        BarrierOp::AddLeaf {
+            parent: NodeId::new(4),
+            rate: 30.0,
+        },
+        BarrierOp::RemoveLeaf {
+            node: NodeId::new(2),
+        },
+        BarrierOp::PublishDoc {
+            doc: DocId::new(901),
+            origin: NodeId::new(1),
+            rate: 20.0,
+        },
+        BarrierOp::FailLink {
+            node: NodeId::new(1),
+        },
+        BarrierOp::Invalidate { doc: DocId::new(1) },
+        BarrierOp::HealLink {
+            node: NodeId::new(1),
+        },
+    ]
+}
+
+#[test]
+fn same_barrier_storm_batched_matches_unbatched_at_every_worker_count() {
+    // The batched-apply pin: a whole-barrier `apply_all` (one oracle
+    // refresh, one composed queue-surgery pass, one arrival
+    // re-resolution) must replay one-at-a-time application bit for bit,
+    // sequentially and at every worker count.
+    let (tree, mix) = fig7_mix();
+    let config = PacketSimConfig::default();
+    let ops = storm_ops();
+
+    let mut unbatched = PacketSim::new(&tree, &mix, config);
+    unbatched.run(3.0);
+    for op in &ops {
+        unbatched.apply_op(op).expect("storm op applies");
+    }
+    let a = unbatched.run(9.0);
+    assert!(
+        a.served_requests > 500,
+        "storm run must do real work, served {}",
+        a.served_requests
+    );
+
+    let mut batched = PacketSim::new(&tree, &mix, config);
+    batched.run(3.0);
+    for r in batched.apply_all(&ops) {
+        r.expect("storm op applies");
+    }
+    let b = batched.run(9.0);
+    assert_reports_identical(&a, &b, "sequential batched");
+
+    for workers in [1, 2, 4] {
+        let mut par = ParPacketSim::new(&tree, &mix, config, workers);
+        par.run(3.0);
+        for op in &ops {
+            par.apply_op(op).expect("storm op applies");
+        }
+        let c = par.run(9.0);
+        assert_reports_identical(&a, &c, &format!("parallel unbatched workers={workers}"));
+
+        let mut par = ParPacketSim::new(&tree, &mix, config, workers);
+        par.run(3.0);
+        for r in par.apply_all(&ops) {
+            r.expect("storm op applies");
+        }
+        let d = par.run(9.0);
+        assert_reports_identical(&a, &d, &format!("parallel batched workers={workers}"));
+    }
+}
+
+#[test]
+fn rejected_op_mid_batch_leaves_survivors_identical() {
+    // Ops validate eagerly inside a batch: a rejected op is skipped and
+    // the rest of the barrier applies, exactly as in one-at-a-time
+    // application — same per-op verdicts, same state afterwards.
+    let (tree, mix) = fig7_mix();
+    let config = PacketSimConfig::default();
+    let ops = vec![
+        BarrierOp::AddLeaf {
+            parent: NodeId::new(0),
+            rate: 25.0,
+        },
+        BarrierOp::Invalidate {
+            doc: DocId::new(424242),
+        },
+        BarrierOp::PublishDoc {
+            doc: DocId::new(7),
+            origin: NodeId::new(2),
+            rate: 15.0,
+        },
+    ];
+
+    let mut unbatched = PacketSim::new(&tree, &mix, config);
+    unbatched.run(2.0);
+    let verdicts_a: Vec<bool> = ops
+        .iter()
+        .map(|op| unbatched.apply_op(op).is_ok())
+        .collect();
+    let a = unbatched.run(8.0);
+
+    let mut batched = PacketSim::new(&tree, &mix, config);
+    batched.run(2.0);
+    let verdicts_b: Vec<bool> = batched.apply_all(&ops).iter().map(|r| r.is_ok()).collect();
+    let b = batched.run(8.0);
+
+    assert_eq!(verdicts_a, vec![true, false, true]);
+    assert_eq!(verdicts_a, verdicts_b, "per-op verdicts diverge");
+    assert_reports_identical(&a, &b, "rejected mid-batch");
 }
 
 #[test]

@@ -201,6 +201,14 @@ impl Engine for RateWave {
             }),
         }
     }
+
+    fn barrier_begin(&mut self) {
+        RateWave::begin_batch(self);
+    }
+
+    fn barrier_commit(&mut self) {
+        RateWave::end_batch(self);
+    }
 }
 
 impl Engine for DocSim {
@@ -277,6 +285,14 @@ impl Engine for DocSim {
                 "the doc_sim engine needs a doc_mix in a workload_shift",
             )),
         }
+    }
+
+    fn barrier_begin(&mut self) {
+        DocSim::begin_batch(self);
+    }
+
+    fn barrier_commit(&mut self) {
+        DocSim::end_batch(self);
     }
 }
 
@@ -473,6 +489,14 @@ impl Engine for PacketEngine {
             )),
         }
     }
+
+    fn barrier_begin(&mut self) {
+        self.sim.begin_batch();
+    }
+
+    fn barrier_commit(&mut self) {
+        self.sim.commit_batch();
+    }
 }
 
 /// The sharded parallel packet simulator behind the unified API: one
@@ -604,6 +628,14 @@ impl Engine for ParPacketEngine {
                 "the packet_sim_par engine needs a doc_mix in a workload_shift",
             )),
         }
+    }
+
+    fn barrier_begin(&mut self) {
+        self.sim.begin_batch();
+    }
+
+    fn barrier_commit(&mut self) {
+        self.sim.commit_batch();
     }
 }
 
@@ -748,6 +780,21 @@ impl Engine for DistPacketEngine {
                 event,
                 "the packet_sim_dist engine needs a doc_mix in a workload_shift",
             )),
+        }
+    }
+
+    /// The [`Engine`] hooks have no error channel; as with
+    /// [`DistPacketEngine::step`], a transport failure while opening or
+    /// closing the batch window panics with the typed error's message.
+    fn barrier_begin(&mut self) {
+        if let Err(e) = self.sim.begin_batch() {
+            panic!("distributed batch begin failed: {e}");
+        }
+    }
+
+    fn barrier_commit(&mut self) {
+        if let Err(e) = self.sim.commit_batch() {
+            panic!("distributed batch commit failed: {e}");
         }
     }
 }

@@ -180,6 +180,18 @@ pub trait Engine {
         })
     }
 
+    /// Opens a batched barrier window: events applied until
+    /// [`Engine::barrier_commit`] belong to one barrier, and the engine
+    /// may defer shared refresh work (oracle refold, flow recomputation,
+    /// event-queue surgery) to the commit. The default is a no-op, so
+    /// engines without batch support simply apply every event eagerly —
+    /// the hooks never change which events succeed.
+    fn barrier_begin(&mut self) {}
+
+    /// Closes a batched barrier window, paying any deferred refresh work
+    /// exactly once. No-op by default.
+    fn barrier_commit(&mut self) {}
+
     /// Per-scheme baseline reports (baselines engine only).
     fn scheme_reports(&self) -> Vec<SchemeReport> {
         Vec::new()

@@ -746,8 +746,13 @@ fn parse_sweep(value: &Value) -> Result<Sweep, SpecError> {
 fn parse_events(value: &Value) -> Result<EventsSpec, SpecError> {
     let path = "events";
     let map = as_object(value, path)?;
-    reject_unknown(map, &["schedule", "recovery_threshold"], path)?;
+    reject_unknown(
+        map,
+        &["schedule", "recovery_threshold", "batched_barriers"],
+        path,
+    )?;
     let recovery_threshold = opt_f64(map, "recovery_threshold", path, DEFAULT_RECOVERY_THRESHOLD)?;
+    let batched_barriers = opt_bool(map, "batched_barriers", path, false)?;
     if recovery_threshold < 0.0 {
         return Err(SpecError::at(
             "events.recovery_threshold",
@@ -778,6 +783,7 @@ fn parse_events(value: &Value) -> Result<EventsSpec, SpecError> {
     Ok(EventsSpec {
         schedule,
         recovery_threshold,
+        batched_barriers,
     })
 }
 
@@ -1186,6 +1192,7 @@ fn events_value(e: &EventsSpec) -> Value {
             Value::Array(e.schedule.iter().map(event_value).collect()),
         ),
         ("recovery_threshold", num(e.recovery_threshold)),
+        ("batched_barriers", Value::Bool(e.batched_barriers)),
     ])
 }
 

@@ -577,8 +577,14 @@ fn drive_dynamic(
         None
     };
     loop {
-        // Fire everything due at this round count.
+        // Fire everything due at this round count. With batched
+        // barriers, the whole same-round group becomes one barrier:
+        // engines defer their shared refresh work to the commit.
         let mut fired = false;
+        let due = next_event < schedule.len() && schedule[next_event].round <= rounds;
+        if due && events.batched_barriers {
+            engine.barrier_begin();
+        }
         while next_event < schedule.len() && schedule[next_event].round <= rounds {
             let event = resolve_event(&schedule[next_event], next_event, spec.seed, shadow)?;
             let result = engine.apply(&event);
@@ -603,6 +609,9 @@ fn drive_dynamic(
                 fired = true;
             }
             next_event += 1;
+        }
+        if due && events.batched_barriers {
+            engine.barrier_commit();
         }
         if fired {
             // Capture the immediate post-event shock in the peaks (no

@@ -30,6 +30,7 @@ fn empty_schedule_is_bit_identical_to_no_events_field() {
     with_empty.events = Some(ww_scenario::EventsSpec {
         schedule: Vec::new(),
         recovery_threshold: 1e-3,
+        batched_barriers: false,
     });
     let runner = Runner::new();
     let a = runner.run(&static_spec).expect("static run");
@@ -358,4 +359,100 @@ fn observer_receives_event_callbacks() {
     assert!(spy.events.iter().all(|&(_, _, _, accepted)| accepted));
     assert_eq!(spy.events[0].2, "link_fail");
     assert_eq!(spy.rounds, report.rows[0].outcome.rounds);
+}
+
+/// Batched barriers on the analytical engine: the churn-soak spec run
+/// with `batched_barriers` on and off must accept every event and land
+/// on the bit-identical final load vector. The only permitted
+/// difference is trace density — one oracle sample per *barrier*
+/// instead of one per *event* — so the batched trace is strictly
+/// shorter while its final entry matches bit for bit.
+#[test]
+fn churn_soak_batched_barriers_match_unbatched_final_state() {
+    let mut spec = load_spec("churn_soak.json");
+    let runner = Runner::new().smoke(true);
+
+    spec.events.as_mut().expect("events").batched_barriers = false;
+    let unbatched = runner.run(&spec).expect("unbatched soak");
+    spec.events.as_mut().expect("events").batched_barriers = true;
+    let batched = runner.run(&spec).expect("batched soak");
+
+    let (ru, rb) = (&unbatched.rows[0], &batched.rows[0]);
+    for m in ru.events.iter().chain(rb.events.iter()) {
+        assert!(
+            m.accepted(),
+            "event[{}] rejected: {:?}",
+            m.index,
+            m.rejected
+        );
+    }
+    let lu = ru.outcome.load.as_ref().expect("unbatched load");
+    let lb = rb.outcome.load.as_ref().expect("batched load");
+    assert_eq!(
+        bits(lu.as_slice()),
+        bits(lb.as_slice()),
+        "final load diverges between batched and unbatched barriers"
+    );
+    let tu = ru.outcome.trace.as_ref().expect("unbatched trace");
+    let tb = rb.outcome.trace.as_ref().expect("batched trace");
+    assert!(
+        tb.len() < tu.len(),
+        "batched trace ({}) must sample fewer oracle refreshes than unbatched ({})",
+        tb.len(),
+        tu.len()
+    );
+    assert_eq!(
+        tu.last().unwrap().to_bits(),
+        tb.last().unwrap().to_bits(),
+        "final distance diverges"
+    );
+}
+
+/// Batched barriers on the packet engine are *fully* bit-identical to
+/// one-at-a-time application — traces included — because batching only
+/// coalesces the oracle refresh and queue surgery, never the event
+/// stream. Coalesce the whole storm into two same-round barriers so
+/// each `barrier_commit` really covers several ops.
+#[test]
+fn packet_storm_batched_barriers_are_bit_identical_to_unbatched() {
+    let mut spec = load_spec("packet_churn_storm.json");
+    {
+        let events = spec.events.as_mut().expect("events");
+        for (i, e) in events.schedule.iter_mut().enumerate() {
+            // Two joins, a workload shift, and both leaves share one
+            // barrier; the publish/update pair shares the second.
+            e.round = if i < 5 { 2 } else { 4 };
+        }
+    }
+    let runner = Runner::new().smoke(true);
+
+    spec.events.as_mut().expect("events").batched_barriers = false;
+    let unbatched = runner.run(&spec).expect("unbatched storm");
+    spec.events.as_mut().expect("events").batched_barriers = true;
+    let batched = runner.run(&spec).expect("batched storm");
+
+    let (ru, rb) = (&unbatched.rows[0], &batched.rows[0]);
+    for m in ru.events.iter().chain(rb.events.iter()) {
+        assert!(
+            m.accepted(),
+            "event[{}] rejected: {:?}",
+            m.index,
+            m.rejected
+        );
+    }
+    let tu = ru.outcome.trace.as_ref().expect("unbatched trace");
+    let tb = rb.outcome.trace.as_ref().expect("batched trace");
+    assert_eq!(bits(tu), bits(tb), "packet traces diverge under batching");
+    let lu = ru.outcome.load.as_ref().expect("unbatched load");
+    let lb = rb.outcome.load.as_ref().expect("batched load");
+    assert_eq!(
+        bits(lu.as_slice()),
+        bits(lb.as_slice()),
+        "packet served rates diverge under batching"
+    );
+    assert_eq!(
+        ru.outcome.metric("served_requests"),
+        rb.outcome.metric("served_requests"),
+        "served totals diverge under batching"
+    );
 }

@@ -347,9 +347,10 @@ fn arb_events() -> BoxedStrategy<Option<EventsSpec>> {
     proptest::option::of((
         proptest::collection::vec((0usize..30, arb_event_kind()), 0..6),
         0.0f64..10.0,
+        proptest::prelude::any::<bool>(),
     ))
     .prop_map(|maybe| {
-        maybe.map(|(raw, recovery_threshold)| {
+        maybe.map(|(raw, recovery_threshold, batched_barriers)| {
             // The parser requires non-decreasing rounds: prefix-sum the
             // generated deltas.
             let mut round = 0;
@@ -363,6 +364,7 @@ fn arb_events() -> BoxedStrategy<Option<EventsSpec>> {
             EventsSpec {
                 schedule,
                 recovery_threshold,
+                batched_barriers,
             }
         })
     })
