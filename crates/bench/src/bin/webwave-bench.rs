@@ -23,9 +23,10 @@ use ww_dist::{DistMode, DistOptions, DistPacketSim};
 use ww_model::RateVector;
 use ww_pdes::{HeapParPacketSim, ParPacketSim, PdesTuning, TransportKind};
 use ww_scenario::{
-    drive, DocMixSpec, EngineSpec, NullObserver, RatesSpec, Runner, ScenarioSpec, Termination,
-    TopologySpec, WorkloadSpec,
+    drive, DocMixSpec, EngineSpec, NullObserver, RatesSpec, Runner, ScenarioSpec, TelemetrySpec,
+    Termination, TopologySpec, WorkloadSpec,
 };
+use ww_telemetry::Level;
 
 const SAMPLES: usize = 5;
 
@@ -174,6 +175,7 @@ fn scaling_spec(nodes: usize, seed: u64, rounds: usize) -> ScenarioSpec {
         seed,
         sweep: None,
         events: None,
+        telemetry: TelemetrySpec::default(),
     }
 }
 
@@ -640,6 +642,102 @@ fn bench_dist_loopback(regions: usize, leaves: usize, docs: usize, workers: usiz
     }
 }
 
+/// The instrumentation tax: the parallel packet engine on the 100k-node
+/// PDES scenario at telemetry off / counters-only / full spans.
+/// Budget: counters-only ≤ 3% over off. Bit-identity of the three runs
+/// is re-verified on the same workload — telemetry must be observation
+/// only.
+struct TelemetryOverhead {
+    nodes: usize,
+    docs: usize,
+    workers: usize,
+    epochs: usize,
+    available_cores: usize,
+    processed_events: u64,
+    off_ms: f64,
+    counters_ms: f64,
+    full_ms: f64,
+    off_events_per_sec: f64,
+    counters_events_per_sec: f64,
+    full_events_per_sec: f64,
+    counters_overhead_pct: f64,
+    full_overhead_pct: f64,
+    traces_identical: bool,
+}
+
+fn bench_telemetry_overhead(
+    regions: usize,
+    leaves: usize,
+    docs: usize,
+    workers: usize,
+    epochs: usize,
+) -> TelemetryOverhead {
+    let tree = ww_topology::two_level(regions, leaves);
+    let rates = ww_workload::leaf_only(&tree, 1.0);
+    let mix = scaling_mix(&tree, &rates, docs);
+    let config = PacketSimConfig::default();
+    let horizon = epochs as f64;
+
+    // Equivalence probe across levels before the timings mean anything.
+    let run_at = |level: Level| {
+        let mut sim = ParPacketSim::with_tuning(&tree, &mix, config, workers, NEW_TUNING);
+        sim.set_telemetry(level);
+        sim.run(horizon)
+    };
+    let off_report = run_at(Level::Off);
+    let full_report = run_at(Level::Full);
+    let traces_identical = off_report.trace.len() == full_report.trace.len()
+        && off_report
+            .trace
+            .distances()
+            .iter()
+            .zip(full_report.trace.distances())
+            .all(|(a, b)| a.to_bits() == b.to_bits())
+        && off_report
+            .served_rates
+            .as_slice()
+            .iter()
+            .zip(full_report.served_rates.as_slice())
+            .all(|(a, b)| a.to_bits() == b.to_bits())
+        && off_report.processed_events == full_report.processed_events;
+    let processed_events = off_report.processed_events;
+
+    let time_level = |level: Level| {
+        time_min(
+            3,
+            || {
+                let mut sim = ParPacketSim::with_tuning(&tree, &mix, config, workers, NEW_TUNING);
+                sim.set_telemetry(level);
+                sim
+            },
+            |sim| {
+                sim.run(horizon);
+            },
+        )
+    };
+    let off = time_level(Level::Off);
+    let counters = time_level(Level::Counters);
+    let full = time_level(Level::Full);
+    let events_per_sec = |wall: std::time::Duration| processed_events as f64 / wall.as_secs_f64();
+    TelemetryOverhead {
+        nodes: tree.len(),
+        docs,
+        workers,
+        epochs,
+        available_cores: std::thread::available_parallelism().map_or(1, |n| n.get()),
+        processed_events,
+        off_ms: off.as_secs_f64() * 1e3,
+        counters_ms: counters.as_secs_f64() * 1e3,
+        full_ms: full.as_secs_f64() * 1e3,
+        off_events_per_sec: events_per_sec(off),
+        counters_events_per_sec: events_per_sec(counters),
+        full_events_per_sec: events_per_sec(full),
+        counters_overhead_pct: 100.0 * (counters.as_secs_f64() / off.as_secs_f64() - 1.0),
+        full_overhead_pct: 100.0 * (full.as_secs_f64() / off.as_secs_f64() - 1.0),
+        traces_identical,
+    }
+}
+
 /// `webfold` sweep cost next to the incremental oracle refresh: the
 /// same tree, a single leaf join, one `IncrementalFold::refold_path`
 /// against one from-scratch `webfold`. The refresh only re-folds the
@@ -949,6 +1047,31 @@ fn main() {
         );
     }
 
+    eprintln!("webwave-bench: telemetry overhead (packet_sim_par on ~100k nodes, budget 3% counters-only)");
+    let telemetry = bench_telemetry_overhead(316, 316, 4, 4, 2);
+    eprintln!(
+        "  two_level nodes={} docs={} workers={} epochs={} cores={}: off {:.0} ms ({:.2} Mev/s over {} events), counters {:.0} ms ({:+.2}%), full {:.0} ms ({:+.2}%), traces_identical={}",
+        telemetry.nodes,
+        telemetry.docs,
+        telemetry.workers,
+        telemetry.epochs,
+        telemetry.available_cores,
+        telemetry.off_ms,
+        telemetry.off_events_per_sec / 1e6,
+        telemetry.processed_events,
+        telemetry.counters_ms,
+        telemetry.counters_overhead_pct,
+        telemetry.full_ms,
+        telemetry.full_overhead_pct,
+        telemetry.traces_identical
+    );
+    if telemetry.counters_overhead_pct > 3.0 {
+        eprintln!(
+            "webwave-bench: WARNING — counters-only telemetry overhead {:.2}% exceeds the 3% budget",
+            telemetry.counters_overhead_pct
+        );
+    }
+
     eprintln!("webwave-bench: Runner dispatch overhead vs direct engines (budget 1%)");
     let overheads = vec![
         bench_runner_overhead_rate(10_000, 100),
@@ -1110,6 +1233,34 @@ fn main() {
         dist.spsc_overflow_peak_parked,
         dist.traces_identical
     );
+    json.push_str("  },\n  \"telemetry_overhead\": {\n");
+    let _ = writeln!(
+        json,
+        "    \"engine\": \"packet_sim_par\", \"nodes\": {}, \"docs\": {}, \"workers\": {}, \"epochs\": {}, \"available_cores\": {}, \"processed_events\": {},",
+        telemetry.nodes,
+        telemetry.docs,
+        telemetry.workers,
+        telemetry.epochs,
+        telemetry.available_cores,
+        telemetry.processed_events
+    );
+    let _ = writeln!(
+        json,
+        "    \"off_ms\": {:.1}, \"counters_ms\": {:.1}, \"full_ms\": {:.1},",
+        telemetry.off_ms, telemetry.counters_ms, telemetry.full_ms
+    );
+    let _ = writeln!(
+        json,
+        "    \"off_events_per_sec\": {:.0}, \"counters_events_per_sec\": {:.0}, \"full_events_per_sec\": {:.0},",
+        telemetry.off_events_per_sec,
+        telemetry.counters_events_per_sec,
+        telemetry.full_events_per_sec
+    );
+    let _ = writeln!(
+        json,
+        "    \"counters_overhead_pct\": {:.2}, \"full_overhead_pct\": {:.2}, \"counters_budget_pct\": 3.0, \"traces_identical\": {}",
+        telemetry.counters_overhead_pct, telemetry.full_overhead_pct, telemetry.traces_identical
+    );
     json.push_str("  },\n  \"runner_overhead\": [\n");
     for (i, o) in overheads.iter().enumerate() {
         let _ = writeln!(
@@ -1139,7 +1290,8 @@ fn main() {
         && folds.iter().all(|f| f.identical)
         && storm.identical
         && parallel.traces_identical
-        && dynamics.traces_identical;
+        && dynamics.traces_identical
+        && telemetry.traces_identical;
     eprintln!("webwave-bench: worst speedup {worst:.2}x, traces identical: {all_identical}");
     if !all_identical {
         eprintln!("webwave-bench: WARNING — dense/naive traces diverge");

@@ -138,6 +138,28 @@ pub struct PacketWorld {
     batched: bool,
     /// Whether a mutation deferred its oracle refresh to the batch end.
     batch_dirty: bool,
+    /// Observation-only oracle bookkeeping (see `docs/observability.md`).
+    pub(crate) tel: WorldTel,
+}
+
+/// Observation-only counters the world keeps about its own oracle
+/// maintenance: how often the incremental refold ran versus a
+/// from-scratch sweep, and (when a driver asked for spans) how long the
+/// refreshes took. Plain integers off the per-packet path — they are
+/// read only by `telemetry_snapshot`, never by the simulation.
+#[derive(Debug, Clone, Default)]
+pub struct WorldTel {
+    /// Incremental `refold_path` refreshes since construction.
+    pub refolds: u64,
+    /// From-scratch WebFold sweeps (construction counts one).
+    pub full_sweeps: u64,
+    /// Accumulated oracle-refresh time (only when `timed`).
+    pub refresh_ns: u64,
+    /// Refresh spans recorded (only when `timed`).
+    pub refresh_count: u64,
+    /// Whether refreshes read the monotonic clock (full-span telemetry
+    /// requested by the owning driver).
+    pub timed: bool,
 }
 
 impl PacketWorld {
@@ -169,6 +191,12 @@ impl PacketWorld {
             fold: IncrementalFold::new(tree, &mix.spontaneous()),
             batched: false,
             batch_dirty: false,
+            tel: WorldTel {
+                // `IncrementalFold::new` seeds its cache with one
+                // from-scratch sweep.
+                full_sweeps: 1,
+                ..WorldTel::default()
+            },
         };
         world.refresh_derived();
         assert!(
@@ -222,9 +250,19 @@ impl PacketWorld {
     /// The expensive half: diffusion parameter and WebFold oracle, the
     /// latter through the incremental refold cache.
     fn refresh_oracle(&mut self) {
+        let t0 = if self.tel.timed {
+            Some(std::time::Instant::now())
+        } else {
+            None
+        };
         self.alpha = self.config.alpha.unwrap_or_else(|| safe_alpha(&self.tree));
         let spontaneous = self.mix.spontaneous();
         self.oracle = self.fold.refold_path(&self.tree, &spontaneous).into_load();
+        self.tel.refolds += 1;
+        if let Some(t0) = t0 {
+            self.tel.refresh_ns += t0.elapsed().as_nanos() as u64;
+            self.tel.refresh_count += 1;
+        }
     }
 
     /// Opens a barrier batch: subsequent mutations keep refreshing the
@@ -253,6 +291,19 @@ impl PacketWorld {
         if std::mem::take(&mut self.batch_dirty) {
             self.refresh_oracle();
         }
+    }
+
+    /// Enables or disables span timing of oracle refreshes. Observation
+    /// only: the flag gates reads of the monotonic clock, never anything
+    /// the simulation computes.
+    pub fn set_telemetry_timing(&mut self, timed: bool) {
+        self.tel.timed = timed;
+    }
+
+    /// The observation-only oracle-maintenance counters (refolds, full
+    /// sweeps, refresh spans). See `docs/observability.md`.
+    pub fn oracle_telemetry(&self) -> &WorldTel {
+        &self.tel
     }
 
     /// A cache server joins as a new leaf under `parent`, bringing

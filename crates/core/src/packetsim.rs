@@ -46,9 +46,26 @@ use ww_model::{DocId, LeafRemoval, ModelError, NodeId, RateVector, Tree};
 use ww_net::{TrafficClass, TrafficLedger};
 use ww_sim::{EventQueue, RadixQueue, SimQueue, SimTime, TimerRing};
 use ww_stats::ConvergenceTrace;
+use ww_telemetry::{Counters, Key, Level, PhaseStat, Phases, Snapshot};
 use ww_workload::DocMix;
 
 pub use crate::packet::PacketSimConfig;
+
+/// Counter key table of the sequential core driver (dense slots; see
+/// `docs/observability.md` for the naming scheme). Everything here is
+/// barrier-path bookkeeping — the per-packet hot loop records nothing.
+pub static CORE_KEYS: &[Key] = &[
+    Key::sum("core.barrier.ops"),
+    Key::sum("core.surgery.sweeps"),
+    Key::sum("core.surgery.removed"),
+];
+const K_BARRIER_OPS: usize = 0;
+const K_SURGERY_SWEEPS: usize = 1;
+const K_SURGERY_REMOVED: usize = 2;
+
+/// Phase-name table of the sequential core driver.
+pub static CORE_PHASES: &[&str] = &["core.phase.arrival_rebuild"];
+const P_ARRIVAL_REBUILD: usize = 0;
 
 /// Outcome of a finished packet-level run.
 #[derive(Debug, Clone)]
@@ -136,6 +153,12 @@ pub struct GenericPacketSim<Q> {
     /// (`None` when applying unbatched). See
     /// [`GenericPacketSim::begin_batch`].
     batch: Option<Vec<SurgeryStep>>,
+    /// Telemetry level requested via [`GenericPacketSim::set_telemetry`].
+    tel_level: Level,
+    /// Barrier-path counter slab over [`CORE_KEYS`].
+    tel: Counters,
+    /// Phase timers over [`CORE_PHASES`] (active at full spans only).
+    tel_phases: Phases,
 }
 
 /// The standard sequential packet simulator: event storage is the
@@ -198,7 +221,46 @@ impl<Q: SimQueue<PacketEvent> + Default> GenericPacketSim<Q> {
             trace: ConvergenceTrace::new(),
             epochs_sampled: 0,
             batch: None,
+            tel_level: Level::Off,
+            tel: Counters::off(CORE_KEYS),
+            tel_phases: Phases::new(CORE_PHASES, Level::Off),
         }
+    }
+
+    /// Sets the instrumentation level. Safe to call at any barrier:
+    /// counters and phase timers restart from zero; the simulation state
+    /// is untouched (telemetry is observation-only, pinned by the golden
+    /// on-vs-off tests).
+    pub fn set_telemetry(&mut self, level: Level) {
+        self.tel_level = level;
+        self.tel = Counters::new(CORE_KEYS, level);
+        self.tel_phases = Phases::new(CORE_PHASES, level);
+        self.world.tel.timed = level.spans_on();
+    }
+
+    /// Everything this driver recorded since
+    /// [`Self::set_telemetry`]: barrier-path counters, oracle
+    /// refold/sweep counts, and (at full spans) phase timings. Empty at
+    /// [`Level::Off`].
+    pub fn telemetry_snapshot(&self) -> Snapshot {
+        let mut snap = Snapshot::new();
+        if !self.tel_level.counters_on() {
+            return snap;
+        }
+        snap.push_counter("core.oracle.refolds", self.world.tel.refolds);
+        snap.push_counter("core.oracle.full_sweeps", self.world.tel.full_sweeps);
+        self.tel.snapshot_into(&mut snap);
+        if self.tel_level.spans_on() {
+            snap.push_phase(
+                "core.phase.oracle_refresh",
+                PhaseStat {
+                    ns: self.world.tel.refresh_ns,
+                    count: self.world.tel.refresh_count,
+                },
+            );
+            self.tel_phases.snapshot_into(&mut snap);
+        }
+        snap
     }
 
     /// The earliest pending `(time, seq, source)` across the heap and the
@@ -426,15 +488,26 @@ impl<Q: SimQueue<PacketEvent> + Default> GenericPacketSim<Q> {
     /// in node order — the canonical recipe the parallel driver repeats
     /// per shard.
     fn rebuild_arrivals(&mut self, growth: Option<&UniverseGrowth>) {
+        let before = self.queue.len();
         self.queue
             .filter_map_events(|ev| packet::remap_for_rebuild(ev, growth));
+        self.note_surgery(before);
         self.reschedule_arrivals();
+    }
+
+    /// Credits one queue-surgery sweep that shrank the queue from
+    /// `before` to its current length.
+    fn note_surgery(&mut self, before: usize) {
+        self.tel.add(K_SURGERY_SWEEPS, 1);
+        self.tel
+            .add(K_SURGERY_REMOVED, (before - self.queue.len()) as u64);
     }
 
     /// The scheduling half of [`PacketSim::rebuild_arrivals`], for
     /// callers whose own queue surgery already dropped the stale
     /// arrivals (a leave's [`packet::renumber_for_leave`] pass).
     fn reschedule_arrivals(&mut self) {
+        let span = self.tel_phases.begin();
         let at = self.queue.now();
         for i in 0..self.world.len() {
             packet::rebuild_node_arrivals(
@@ -448,6 +521,7 @@ impl<Q: SimQueue<PacketEvent> + Default> GenericPacketSim<Q> {
                 self.queue.schedule(t, ev);
             }
         }
+        self.tel_phases.end(P_ARRIVAL_REBUILD, span);
     }
 
     /// A cache server joins as a new leaf under `parent` at the current
@@ -512,9 +586,11 @@ impl<Q: SimQueue<PacketEvent> + Default> GenericPacketSim<Q> {
                 moved: removal.moved,
             });
         } else {
+            let before = self.queue.len();
             self.queue.filter_map_events(|ev| {
                 packet::renumber_for_leave(ev, removal.removed, removal.moved)
             });
+            self.note_surgery(before);
         }
         for p in packet::parents_to_remap(&self.world.tree, &removal) {
             let map = packet::child_slot_map(
@@ -609,8 +685,10 @@ impl<Q: SimQueue<PacketEvent> + Default> GenericPacketSim<Q> {
         let steps = self.batch.take().expect("no open barrier batch");
         self.world.end_batch();
         if !steps.is_empty() {
+            let before = self.queue.len();
             self.queue
                 .filter_map_events(|ev| packet::apply_surgery(ev, &steps));
+            self.note_surgery(before);
             self.reschedule_arrivals();
         }
     }
@@ -627,6 +705,7 @@ impl<Q: SimQueue<PacketEvent> + Default> GenericPacketSim<Q> {
     /// As the matching typed method — [`BarrierOp::FailLink`] /
     /// [`BarrierOp::HealLink`] on the root or out of range.
     pub fn apply_op(&mut self, op: &BarrierOp) -> Result<BarrierOutcome, ModelError> {
+        self.tel.add(K_BARRIER_OPS, 1);
         match op {
             BarrierOp::AddLeaf { parent, rate } => {
                 self.add_leaf(*parent, *rate).map(BarrierOutcome::Added)

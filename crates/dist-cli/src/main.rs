@@ -30,6 +30,7 @@ use std::process::ExitCode;
 use std::time::{Duration, Instant};
 use ww_dist::{run_worker, DistError, DistMode, DistOptions};
 use ww_scenario::{EngineSpec, Runner, ScenarioReport, ScenarioSpec};
+use ww_telemetry::Level;
 
 const USAGE: &str = "\
 webwave-dist — distributed WebWave packet runs over TCP
@@ -38,12 +39,16 @@ USAGE:
   webwave-dist worker --connect <addr>
   webwave-dist run    --spec <path> [--workers N] [--mode auto|proc|thread]
                       [--sequential] [--smoke]
+                      [--telemetry off|counters|full] [--trace-out <path>]
   webwave-dist serve  --spec <path> --listen <addr> [--workers N] [--smoke]
+                      [--telemetry off|counters|full] [--trace-out <path>]
 
 `run` and `serve` execute the spec unswept (the sweep, if any, is
 dropped) and print a canonical report: every metric as raw IEEE-754
 bits, identical bytes for a distributed and a sequential run of the
-same spec.";
+same spec. `--telemetry` and `--trace-out` override the spec's
+`telemetry` block; telemetry is observation-only and never appears in
+the canonical report.";
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -167,6 +172,16 @@ fn load_spec(args: &[String]) -> Result<ScenarioSpec, CliError> {
             }
         }
     }
+    if let Some(level) = flag_value(args, "--telemetry")? {
+        spec.telemetry.level = Level::parse(&level).ok_or_else(|| {
+            CliError::Usage(format!(
+                "--telemetry {level:?} (expected off, counters, or full)"
+            ))
+        })?;
+    }
+    if let Some(out) = flag_value(args, "--trace-out")? {
+        spec.telemetry.trace_out = Some(out);
+    }
     Ok(spec)
 }
 
@@ -221,7 +236,13 @@ fn runner(args: &[String], options: DistOptions) -> Runner {
 fn cmd_run(args: &[String]) -> Result<(), CliError> {
     reject_unknown(
         args,
-        &["--spec", "--workers", "--mode"],
+        &[
+            "--spec",
+            "--workers",
+            "--mode",
+            "--telemetry",
+            "--trace-out",
+        ],
         &["--sequential", "--smoke"],
     )?;
     let mut spec = load_spec(args)?;
@@ -252,7 +273,17 @@ fn cmd_run(args: &[String]) -> Result<(), CliError> {
 /// `serve --spec <path> --listen <addr>`: coordinator for externally
 /// launched workers.
 fn cmd_serve(args: &[String]) -> Result<(), CliError> {
-    reject_unknown(args, &["--spec", "--workers", "--listen"], &["--smoke"])?;
+    reject_unknown(
+        args,
+        &[
+            "--spec",
+            "--workers",
+            "--listen",
+            "--telemetry",
+            "--trace-out",
+        ],
+        &["--smoke"],
+    )?;
     let spec = load_spec(args)?;
     let listen = flag_value(args, "--listen")?.ok_or_else(|| {
         CliError::Usage(

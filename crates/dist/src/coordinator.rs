@@ -23,7 +23,9 @@ use crate::spawn::{find_worker_bin, DistMode};
 use crate::worker::run_worker;
 use std::net::TcpListener;
 use std::process::{Child, Command, Stdio};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::mpsc::{channel, Receiver, RecvTimeoutError, Sender};
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 use ww_core::packet::{BarrierOp, BarrierOutcome, PacketCounters, PacketSimConfig};
 use ww_core::packetsim::PacketSimReport;
@@ -32,6 +34,7 @@ use ww_net::TrafficLedger;
 use ww_pdes::{PacketShardHost, ShardHost, DEFAULT_STALL_TIMEOUT};
 use ww_sim::SimTime;
 use ww_stats::{ConvergenceTrace, ExactSum};
+use ww_telemetry::{Histogram, Level, PhaseStat, Snapshot};
 use ww_workload::DocMix;
 
 /// Tuning of a distributed launch.
@@ -56,6 +59,11 @@ pub struct DistOptions {
     pub reply_timeout: Duration,
     /// Window batching for the workers' outbound wires.
     pub batching: bool,
+    /// Observation level of the coordinator's control plane (handshake
+    /// and round-trip latencies, framed bytes per link). Observation
+    /// only: the reported simulation numbers are bit-identical at every
+    /// level.
+    pub telemetry: Level,
 }
 
 impl Default for DistOptions {
@@ -66,6 +74,7 @@ impl Default for DistOptions {
             stall_timeout: Some(DEFAULT_STALL_TIMEOUT),
             reply_timeout: Duration::from_secs(120),
             batching: true,
+            telemetry: Level::Off,
         }
     }
 }
@@ -76,6 +85,9 @@ impl Default for DistOptions {
 struct WorkerCtl {
     writer: FramedStream,
     inbox: Receiver<Result<Msg, DistError>>,
+    /// Bytes the reader thread has pulled off this control connection
+    /// (published after each message; observation only).
+    rx_bytes: Arc<AtomicU64>,
 }
 
 /// The distributed packet-level simulator. See the module docs; for
@@ -89,6 +101,17 @@ pub struct DistPacketSim {
     epochs_sampled: u64,
     options: DistOptions,
     shut_down: bool,
+    /// Wall-clock of the launch handshake (listener bind through the
+    /// last worker's `Ready`); 0 when telemetry is off.
+    handshake_ns: u64,
+    /// Round-trip latency of each epoch broadcast (first `RunEpoch`
+    /// sent through last `EpochDone` merged).
+    epoch_rtt: Histogram,
+    /// Round-trip latency of each barrier-mutation broadcast.
+    apply_rtt: Histogram,
+    /// Worker overflow back-pressure totals `(parks, peak depth)` from
+    /// the most recent report assembly.
+    last_worker_parks: (u64, u64),
 }
 
 impl DistPacketSim {
@@ -118,7 +141,9 @@ impl DistPacketSim {
         options: DistOptions,
     ) -> Result<Self, DistError> {
         assert!(workers > 0, "need at least one worker");
-        let replica: PacketShardHost = ShardHost::replica(tree, mix, config, workers);
+        let t_handshake = options.telemetry.counters_on().then(Instant::now);
+        let mut replica: PacketShardHost = ShardHost::replica(tree, mix, config, workers);
+        replica.set_telemetry_timing(options.telemetry.spans_on());
         let shards = replica.shards();
 
         let listener = TcpListener::bind(options.listen.as_str())?;
@@ -228,11 +253,14 @@ impl DistPacketSim {
         for (shard, writer) in assigned.into_iter().enumerate() {
             let mut reader = writer.try_clone()?;
             let (tx, inbox): (Sender<Result<Msg, DistError>>, _) = channel();
+            let rx_bytes = Arc::new(AtomicU64::new(0));
+            let rx_bytes_thread = Arc::clone(&rx_bytes);
             std::thread::Builder::new()
                 .name(format!("ww-dist-ctrl-{shard}"))
                 .spawn(move || loop {
                     match reader.read_msg() {
                         Ok(msg) => {
+                            rx_bytes_thread.store(reader.bytes_received(), Ordering::Relaxed);
                             if tx.send(Ok(msg)).is_err() {
                                 return;
                             }
@@ -243,9 +271,14 @@ impl DistPacketSim {
                         }
                     }
                 })?;
-            ctls.push(WorkerCtl { writer, inbox });
+            ctls.push(WorkerCtl {
+                writer,
+                inbox,
+                rx_bytes,
+            });
         }
 
+        let level = options.telemetry;
         let mut sim = DistPacketSim {
             replica,
             workers: ctls,
@@ -254,6 +287,10 @@ impl DistPacketSim {
             epochs_sampled: 0,
             options,
             shut_down: false,
+            handshake_ns: 0,
+            epoch_rtt: Histogram::new(level),
+            apply_rtt: Histogram::new(level),
+            last_worker_parks: (0, 0),
         };
 
         // Wait for every worker's data mesh to come up.
@@ -266,6 +303,9 @@ impl DistPacketSim {
                     })
                 }
             }
+        }
+        if let Some(t0) = t_handshake {
+            sim.handshake_ns = t0.elapsed().as_nanos() as u64;
         }
         Ok(sim)
     }
@@ -338,6 +378,7 @@ impl DistPacketSim {
         if t_end <= self.replica.horizon() {
             return Ok(None);
         }
+        let t0 = self.epoch_rtt.is_on().then(Instant::now);
         for shard in 0..self.workers.len() {
             self.send(shard, &Msg::RunEpoch { t_end, sample })?;
         }
@@ -371,6 +412,9 @@ impl DistPacketSim {
                     })
                 }
             }
+        }
+        if let Some(t0) = t0 {
+            self.epoch_rtt.record_since(t0);
         }
         Ok(merged)
     }
@@ -463,6 +507,7 @@ impl DistPacketSim {
             overflow_peak_parked = overflow_peak_parked.max(rep.peak_parked);
         }
 
+        self.last_worker_parks = (overflow_parks, overflow_peak_parked);
         let served_rates = RateVector::from(rates);
         let final_distance = served_rates.euclidean_distance(&self.replica.world().oracle);
         Ok(PacketSimReport {
@@ -490,6 +535,7 @@ impl DistPacketSim {
     /// state, same pure logic — so a worker-side rejection is a
     /// protocol desync, not a user error).
     fn apply(&mut self, cmd: ApplyCmd) -> Result<(), DistError> {
+        let t0 = self.apply_rtt.is_on().then(Instant::now);
         for shard in 0..self.workers.len() {
             self.send(shard, &Msg::Apply(cmd.clone()))?;
         }
@@ -508,6 +554,9 @@ impl DistPacketSim {
                     })
                 }
             }
+        }
+        if let Some(t0) = t0 {
+            self.apply_rtt.record_since(t0);
         }
         Ok(())
     }
@@ -695,6 +744,55 @@ impl DistPacketSim {
         let results = ops.iter().map(|op| self.apply_op(op)).collect();
         self.commit_batch()?;
         Ok(results)
+    }
+
+    /// A deterministic snapshot of the coordinator-side observations:
+    /// the replica's oracle-maintenance counters, worker back-pressure
+    /// totals from the last report, the launch-handshake wall-clock,
+    /// framed control-plane bytes per worker link, and the epoch/apply
+    /// round-trip histograms. Empty when [`DistOptions::telemetry`] is
+    /// [`Level::Off`]. Observation only — never fed back into the run.
+    pub fn telemetry_snapshot(&self) -> Snapshot {
+        let mut snap = Snapshot::new();
+        if !self.options.telemetry.counters_on() {
+            return snap;
+        }
+        let world_tel = self.replica.world().oracle_telemetry();
+        snap.push_counter("core.oracle.refolds", world_tel.refolds);
+        snap.push_counter("core.oracle.full_sweeps", world_tel.full_sweeps);
+        snap.push_counter("pdes.overflow.parks", self.last_worker_parks.0);
+        snap.push_counter("pdes.overflow.peak_parked", self.last_worker_parks.1);
+        snap.push_counter("dist.handshake_ns", self.handshake_ns);
+        let mut sent = 0u64;
+        let mut received = 0u64;
+        for ctl in &self.workers {
+            sent += ctl.writer.bytes_sent();
+            received += ctl.rx_bytes.load(Ordering::Relaxed);
+        }
+        snap.push_counter("dist.bytes.sent", sent);
+        snap.push_counter("dist.bytes.received", received);
+        for (shard, ctl) in self.workers.iter().enumerate() {
+            snap.push_counter(
+                &format!("dist.link.{shard}.bytes_sent"),
+                ctl.writer.bytes_sent(),
+            );
+            snap.push_counter(
+                &format!("dist.link.{shard}.bytes_received"),
+                ctl.rx_bytes.load(Ordering::Relaxed),
+            );
+        }
+        self.epoch_rtt.snapshot_into("dist.epoch_rtt", &mut snap);
+        self.apply_rtt.snapshot_into("dist.apply_rtt", &mut snap);
+        if self.options.telemetry.spans_on() && world_tel.refresh_count > 0 {
+            snap.push_phase(
+                "core.phase.oracle_refresh",
+                PhaseStat {
+                    ns: world_tel.refresh_ns,
+                    count: world_tel.refresh_count,
+                },
+            );
+        }
+        snap
     }
 
     /// Test hook: SIGKILLs the `i`-th spawned worker **process** (no

@@ -13,6 +13,8 @@ pub struct FramedStream {
     stream: TcpStream,
     frames: FrameBuffer,
     out: Vec<u8>,
+    bytes_out: u64,
+    bytes_in: u64,
 }
 
 impl FramedStream {
@@ -28,6 +30,8 @@ impl FramedStream {
             stream,
             frames: FrameBuffer::new(),
             out: Vec::with_capacity(4096),
+            bytes_out: 0,
+            bytes_in: 0,
         })
     }
 
@@ -43,6 +47,8 @@ impl FramedStream {
             stream: self.stream.try_clone()?,
             frames: FrameBuffer::new(),
             out: Vec::with_capacity(4096),
+            bytes_out: 0,
+            bytes_in: 0,
         })
     }
 
@@ -55,7 +61,19 @@ impl FramedStream {
         self.out.clear();
         encode_msg(msg, &mut self.out);
         self.stream.write_all(&self.out)?;
+        self.bytes_out += self.out.len() as u64;
         Ok(())
+    }
+
+    /// Total framed bytes this handle has written to the socket.
+    pub fn bytes_sent(&self) -> u64 {
+        self.bytes_out
+    }
+
+    /// Total bytes this handle has read from the socket (a clone counts
+    /// only its own reads — see [`FramedStream::try_clone`]).
+    pub fn bytes_received(&self) -> u64 {
+        self.bytes_in
     }
 
     /// Bytes received past the last message returned by
@@ -90,7 +108,10 @@ impl FramedStream {
                         "peer closed the control connection",
                     )))
                 }
-                Ok(n) => self.frames.feed(&chunk[..n]),
+                Ok(n) => {
+                    self.bytes_in += n as u64;
+                    self.frames.feed(&chunk[..n]);
+                }
                 Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
                 Err(e) => return Err(DistError::Io(e)),
             }

@@ -2,12 +2,15 @@
 //!
 //! Two modes:
 //!
-//! * **Spec mode** — `webwave-exp run <spec.json>... [--smoke]` resolves
+//! * **Spec mode** — `webwave-exp run <spec.json>... [--smoke]
+//!   [--telemetry off|counters|full] [--trace-out <path>]` resolves
 //!   each declarative scenario file through the unified
 //!   `ww-scenario` Runner and prints its report. `--smoke` shrinks
 //!   every spec to CI size first (same resolution and engine paths,
-//!   seconds-scale budgets). `webwave-exp list <dir>` lists the specs
-//!   in a directory (default `scenarios/`).
+//!   seconds-scale budgets). `--telemetry` and `--trace-out` override
+//!   the spec's `telemetry` block (observation only — no level changes
+//!   simulated output). `webwave-exp list <dir>` lists the specs in a
+//!   directory (default `scenarios/`).
 //! * **Figure mode** — `webwave-exp [fig2|fig4|fig6a|fig6b|gamma|fig7|
 //!   gle|baselines|erratic|throughput|forest|all]...` regenerates the
 //!   paper's figures/tables (all engine-driven figures run through the
@@ -16,15 +19,57 @@
 use std::process::ExitCode;
 use ww_experiments as exp;
 use ww_scenario::{Runner, ScenarioSpec};
+use ww_telemetry::Level;
 
-fn run_specs(paths: &[String], smoke: bool) -> ExitCode {
-    if paths.is_empty() {
-        eprintln!("usage: webwave-exp run <spec.json>... [--smoke]");
+const RUN_USAGE: &str = "usage: webwave-exp run <spec.json>... [--smoke] \
+     [--telemetry off|counters|full] [--trace-out <path>]";
+
+/// Flags for spec mode, parsed out of the `run` argument tail.
+struct RunFlags {
+    paths: Vec<String>,
+    smoke: bool,
+    telemetry: Option<Level>,
+    trace_out: Option<String>,
+}
+
+fn parse_run_flags(rest: &[String]) -> Result<RunFlags, String> {
+    let mut flags = RunFlags {
+        paths: Vec::new(),
+        smoke: false,
+        telemetry: None,
+        trace_out: None,
+    };
+    let mut it = rest.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--smoke" => flags.smoke = true,
+            "--telemetry" => {
+                let value = it.next().ok_or("--telemetry requires a value")?;
+                flags.telemetry = Some(Level::parse(value).ok_or_else(|| {
+                    format!("--telemetry {value}: expected off, counters, or full")
+                })?);
+            }
+            "--trace-out" => {
+                let value = it.next().ok_or("--trace-out requires a value")?;
+                flags.trace_out = Some(value.clone());
+            }
+            other if other.starts_with("--") => {
+                return Err(format!("unknown flag {other}"));
+            }
+            _ => flags.paths.push(arg.clone()),
+        }
+    }
+    Ok(flags)
+}
+
+fn run_specs(flags: &RunFlags) -> ExitCode {
+    if flags.paths.is_empty() {
+        eprintln!("{RUN_USAGE}");
         return ExitCode::FAILURE;
     }
-    let runner = Runner::new().smoke(smoke);
+    let runner = Runner::new().smoke(flags.smoke);
     let mut failed = false;
-    for path in paths {
+    for path in &flags.paths {
         let text = match std::fs::read_to_string(path) {
             Ok(text) => text,
             Err(e) => {
@@ -33,7 +78,7 @@ fn run_specs(paths: &[String], smoke: bool) -> ExitCode {
                 continue;
             }
         };
-        let spec = match ScenarioSpec::from_json(&text) {
+        let mut spec = match ScenarioSpec::from_json(&text) {
             Ok(spec) => spec,
             Err(e) => {
                 eprintln!("webwave-exp: {path}: {e}");
@@ -41,6 +86,12 @@ fn run_specs(paths: &[String], smoke: bool) -> ExitCode {
                 continue;
             }
         };
+        if let Some(level) = flags.telemetry {
+            spec.telemetry.level = level;
+        }
+        if let Some(out) = &flags.trace_out {
+            spec.telemetry.trace_out = Some(out.clone());
+        }
         match runner.run(&spec) {
             Ok(report) => print!("{}", report.report),
             Err(e) => {
@@ -99,9 +150,13 @@ fn main() -> ExitCode {
     match args.first().map(String::as_str) {
         Some("run") => {
             let rest = &args[1..];
-            let smoke = rest.iter().any(|a| a == "--smoke");
-            let paths: Vec<String> = rest.iter().filter(|a| *a != "--smoke").cloned().collect();
-            return run_specs(&paths, smoke);
+            return match parse_run_flags(rest) {
+                Ok(flags) => run_specs(&flags),
+                Err(e) => {
+                    eprintln!("webwave-exp: {e}\n{RUN_USAGE}");
+                    ExitCode::FAILURE
+                }
+            };
         }
         Some("list") => {
             let dir = args.get(1).map(String::as_str).unwrap_or("scenarios");

@@ -9,8 +9,8 @@ use ww_core::tracking::{track, TrackingConfig};
 use ww_core::wave::WaveConfig;
 use ww_model::{NodeId, RateVector};
 use ww_scenario::{
-    BaselineScheme, EngineSpec, PaperFigure, RatesSpec, Runner, ScenarioSpec, Termination,
-    TopologySpec, WorkloadSpec, DEFAULT_SEED,
+    BaselineScheme, EngineSpec, PaperFigure, RatesSpec, Runner, ScenarioSpec, TelemetrySpec,
+    Termination, TopologySpec, WorkloadSpec, DEFAULT_SEED,
 };
 use ww_topology::paper;
 use ww_workload::{DiurnalDrift, RandomWalkRates, StepChange};
@@ -139,6 +139,7 @@ pub fn throughput_study() -> ThroughputStudy {
         seed: DEFAULT_SEED,
         sweep: None,
         events: None,
+        telemetry: TelemetrySpec::default(),
     };
     let report = Runner::new().run(&spec).expect("throughput spec resolves");
     let schemes = report.rows[0].outcome.schemes.clone();
@@ -215,6 +216,7 @@ pub fn forest_study() -> ForestStudy {
             seed: DEFAULT_SEED,
             sweep: None,
             events: None,
+            telemetry: TelemetrySpec::default(),
         };
         let report = Runner::new().run(&spec).expect("forest spec resolves");
         report.rows[0].outcome.load.clone().expect("total load")

@@ -11,8 +11,8 @@ use ww_diffusion::{
 };
 use ww_model::{NodeId, RateVector};
 use ww_scenario::{
-    EngineSpec, PaperFigure, RatesSpec, Runner, ScenarioSpec, Sweep, SweepParam, Termination,
-    TopologySpec, WorkloadSpec, DEFAULT_SEED,
+    EngineSpec, PaperFigure, RatesSpec, Runner, ScenarioSpec, Sweep, SweepParam, TelemetrySpec,
+    Termination, TopologySpec, WorkloadSpec, DEFAULT_SEED,
 };
 use ww_stats::{fit_exponential, ExponentialFit};
 use ww_topology::{self as topology, paper, Graph};
@@ -39,6 +39,7 @@ fn figure_spec(
         seed: DEFAULT_SEED,
         sweep: None,
         events: None,
+        telemetry: TelemetrySpec::default(),
     }
 }
 

@@ -78,6 +78,7 @@ use ww_model::{DocId, LeafRemoval, ModelError, NodeId, RateVector, Tree};
 use ww_net::TrafficLedger;
 use ww_sim::{EventQueue, RadixQueue, SimQueue, SimTime, TimerRing};
 use ww_stats::{ConvergenceTrace, ExactSum};
+use ww_telemetry::{Counters, Key, Level, PhaseStat, Phases, Snapshot};
 use ww_workload::DocMix;
 
 /// Tie-break bit marking inbound (cross-shard) events: at equal
@@ -86,6 +87,30 @@ use ww_workload::DocMix;
 pub(crate) const INBOUND: u64 = 1 << 63;
 /// Bits reserved for the per-channel message counter.
 pub(crate) const COUNTER_BITS: u32 = 40;
+
+/// Counter key table of the PDES hot path. Each shard owns a dense slab
+/// over this table (lock-free by ownership); the driver merges the
+/// slabs kind-aware at snapshot time — sums add, high-water marks take
+/// the max. See `docs/observability.md` for the key scheme.
+pub static PDES_KEYS: &[Key] = &[
+    Key::sum("pdes.events.popped"),
+    Key::sum("pdes.promises.sent"),
+    Key::sum("pdes.merge.stalls"),
+    Key::high_water("pdes.ring.occupancy.high_water"),
+    Key::high_water("pdes.queue.depth.high_water"),
+];
+const K_EVENTS_POPPED: usize = 0;
+const K_PROMISES_SENT: usize = 1;
+const K_MERGE_STALLS: usize = 2;
+const K_RING_HIGH_WATER: usize = 3;
+const K_QUEUE_DEPTH: usize = 4;
+
+/// Phase-timer table of the PDES epoch loop (recorded only at
+/// [`Level::Full`]): time spent computing events versus waiting at the
+/// epoch-end handshake.
+pub static PDES_PHASES: &[&str] = &["pdes.phase.epoch_compute", "pdes.phase.barrier_wait"];
+const P_EPOCH_COMPUTE: usize = 0;
+const P_BARRIER_WAIT: usize = 1;
 
 /// Hot-path tuning knobs for [`ParPacketSim`]. Every combination is
 /// bit-identical in simulation output; the knobs trade only wall-clock.
@@ -287,6 +312,12 @@ pub(crate) struct Shard<Q> {
     /// progress (`None`: spin forever — correct in-process, where the
     /// only way a peer goes quiet is a panic that propagates anyway).
     pub(crate) stall_timeout: Option<Duration>,
+    /// Observation-only hot-path counters over [`PDES_KEYS`]. Owned by
+    /// the shard, so recording is a plain indexed add — no atomics, no
+    /// sharing; the driver merges slabs at snapshot time.
+    pub(crate) tel: Counters,
+    /// Observation-only phase timers over [`PDES_PHASES`].
+    pub(crate) tel_phases: Phases,
 }
 
 /// Read-only state shared by all workers during an epoch.
@@ -363,10 +394,20 @@ pub(crate) fn build_shard<Q: SimQueue<PacketEvent> + Default>(
         lookahead: SimTime::from_secs(config.link_delay),
         t_end: SimTime::ZERO,
         stall_timeout,
+        tel: Counters::off(PDES_KEYS),
+        tel_phases: Phases::new(PDES_PHASES, Level::Off),
     }
 }
 
 impl<Q: SimQueue<PacketEvent>> Shard<Q> {
+    /// (Re)arms the shard's telemetry slabs at `level`, zeroing any
+    /// prior observations. Observation only — never read back by the
+    /// event loop.
+    pub(crate) fn set_telemetry(&mut self, level: Level) {
+        self.tel = Counters::new(PDES_KEYS, level);
+        self.tel_phases = Phases::new(PDES_PHASES, level);
+    }
+
     /// The earliest pending `(time, seq, source)` across the heap and
     /// the two timer rings — the shared merge of
     /// [`packet::next_source`], so tie-breaking can never diverge from
@@ -451,10 +492,12 @@ impl<Q: SimQueue<PacketEvent>> Shard<Q> {
     /// Returns whether anything was processed.
     fn process_until(&mut self, sh: &Shared<'_>, bound: SimTime) -> Result<bool, LinkError> {
         let mut any = false;
+        let mut popped = 0u64;
         while let Some((t, _, source)) = self.next_any() {
             if t > bound {
                 break;
             }
+            popped += 1;
             match source {
                 Source::Driver(DriverSource::Heap) => {
                     let (t, event) = self.queue.pop().expect("peeked event exists");
@@ -497,6 +540,9 @@ impl<Q: SimQueue<PacketEvent>> Shard<Q> {
                 }
             }
             any = true;
+        }
+        if popped > 0 {
+            self.tel.add(K_EVENTS_POPPED, popped);
         }
         Ok(any)
     }
@@ -603,8 +649,18 @@ impl<Q: SimQueue<PacketEvent>> Shard<Q> {
     /// message moved.
     fn flush_out(&mut self) -> Result<bool, LinkError> {
         let mut any = false;
+        let observe = self.tel.is_on();
+        let mut high = 0usize;
         for link in &mut self.out_links {
             any |= link.publish()?;
+            if observe {
+                if let Some(occ) = link.tx.occupancy_hint() {
+                    high = high.max(occ);
+                }
+            }
+        }
+        if observe {
+            self.tel.record_max(K_RING_HIGH_WATER, high as u64);
         }
         Ok(any)
     }
@@ -688,6 +744,10 @@ fn run_epoch<Q: SimQueue<PacketEvent>>(
     let stall_timeout = shard.stall_timeout;
     let mut idle_spins = 0u32;
     let mut idle_since: Option<Instant> = None;
+    shard
+        .tel
+        .record_max(K_QUEUE_DEPTH, shard.queue.len() as u64);
+    let compute_span = shard.tel_phases.begin();
     loop {
         let mut progressed = shard.poll_inbound()?;
 
@@ -715,18 +775,25 @@ fn run_epoch<Q: SimQueue<PacketEvent>>(
             basis = t_end;
         }
         let promise = basis + lookahead;
+        let mut promises = 0u64;
         for link in &mut shard.out_links {
             if promise > link.last_promise {
                 link.last_promise = promise;
                 link.push(Wire::Promise { until: promise })?;
                 link.publish()?;
                 progressed = true;
+                promises += 1;
             }
+        }
+        if promises > 0 {
+            shard.tel.add(K_PROMISES_SENT, promises);
         }
 
         let local_done = shard.next_time().is_none_or(|t| t > t_end);
         let inbound_done = shard.in_links.iter().all(|l| l.promise > t_end);
         if local_done && inbound_done {
+            shard.tel_phases.end(P_EPOCH_COMPUTE, compute_span);
+            let wait_span = shard.tel_phases.begin();
             // Every event at or before the boundary has executed, so the
             // shard's nodes are exactly at the barrier instant: fold the
             // trace partial now, shipping it with the epoch end.
@@ -785,6 +852,7 @@ fn run_epoch<Q: SimQueue<PacketEvent>>(
                 link.epoch_ended = false;
                 debug_assert!(link.staged.is_none(), "merge stage empty at the barrier");
             }
+            shard.tel_phases.end(P_BARRIER_WAIT, wait_span);
             return Ok(partial);
         }
 
@@ -792,6 +860,7 @@ fn run_epoch<Q: SimQueue<PacketEvent>>(
             idle_spins = 0;
             idle_since = None;
         } else {
+            shard.tel.add(K_MERGE_STALLS, 1);
             idle_spins += 1;
             if idle_spins > 64 {
                 if let Some(limit) = stall_timeout {
@@ -826,6 +895,10 @@ pub struct GenericParPacketSim<Q> {
     /// the fold is pinned bit-identical against.
     fold_trace: bool,
     tuning: PdesTuning,
+    /// Observation level the shards record at (see
+    /// [`GenericParPacketSim::set_telemetry`]). Never read by the
+    /// simulation itself.
+    tel_level: Level,
 }
 
 /// The default parallel simulator: radix event queue, SPSC ring
@@ -926,7 +999,78 @@ impl<Q: SimQueue<PacketEvent> + Default + Send> GenericParPacketSim<Q> {
             epochs_sampled: 0,
             fold_trace: true,
             tuning,
+            tel_level: Level::Off,
         }
+    }
+
+    /// Selects the observation level: [`Level::Off`] (the default,
+    /// zero-cost paths), [`Level::Counters`] (hot-path counters), or
+    /// [`Level::Full`] (counters plus phase timers). Re-arming zeroes
+    /// prior observations. Telemetry is observation-only — every
+    /// reported simulation number is bit-identical at every level; the
+    /// golden tests in `ww-scenario` pin exactly that.
+    pub fn set_telemetry(&mut self, level: Level) {
+        self.tel_level = level;
+        self.core.world.set_telemetry_timing(level.spans_on());
+        for shard in &mut self.shards {
+            shard.set_telemetry(level);
+        }
+    }
+
+    /// A merged, deterministic snapshot of everything the run recorded:
+    /// the shards' hot-path counters (kind-aware merge: sums add,
+    /// high-water marks max), per-link overflow parks, the world's
+    /// oracle-maintenance counters, and — at [`Level::Full`] — the
+    /// epoch phase timers. Empty when telemetry is off.
+    pub fn telemetry_snapshot(&self) -> Snapshot {
+        let mut snap = Snapshot::new();
+        if !self.tel_level.counters_on() {
+            return snap;
+        }
+        let world_tel = self.core.world.oracle_telemetry();
+        snap.push_counter("core.oracle.refolds", world_tel.refolds);
+        snap.push_counter("core.oracle.full_sweeps", world_tel.full_sweeps);
+        let mut merged = Counters::new(PDES_KEYS, self.tel_level);
+        for shard in &self.shards {
+            merged.merge_from(&shard.tel);
+        }
+        merged.snapshot_into(&mut snap);
+        let mut parks = 0u64;
+        let mut peak = 0u64;
+        for shard in &self.shards {
+            for link in &shard.out_links {
+                parks += link.parks;
+                peak = peak.max(link.peak_parked);
+            }
+        }
+        snap.push_counter("pdes.overflow.parks", parks);
+        snap.push_counter("pdes.overflow.peak_parked", peak);
+        for shard in &self.shards {
+            for link in &shard.out_links {
+                if link.parks > 0 {
+                    let wire = format!("pdes.link.{}-{}", shard.id, link.peer);
+                    snap.push_counter(&format!("{wire}.parks"), link.parks);
+                    snap.push_counter(&format!("{wire}.peak_parked"), link.peak_parked);
+                }
+            }
+        }
+        if self.tel_level.spans_on() {
+            if world_tel.refresh_count > 0 {
+                snap.push_phase(
+                    "core.phase.oracle_refresh",
+                    PhaseStat {
+                        ns: world_tel.refresh_ns,
+                        count: world_tel.refresh_count,
+                    },
+                );
+            }
+            let mut phases = Phases::new(PDES_PHASES, self.tel_level);
+            for shard in &self.shards {
+                phases.merge_from(&shard.tel_phases);
+            }
+            phases.snapshot_into(&mut snap);
+        }
+        snap
     }
 
     /// Number of subtree shards (= worker threads) this run uses.

@@ -167,6 +167,13 @@ impl<Q: SimQueue<PacketEvent> + Default + Send> ShardHost<Q> {
         self.core.horizon
     }
 
+    /// Enables or disables span timing of the replicated world's oracle
+    /// refreshes (see [`PacketWorld::set_telemetry_timing`]).
+    /// Observation only.
+    pub fn set_telemetry_timing(&mut self, timed: bool) {
+        self.core.world.set_telemetry_timing(timed);
+    }
+
     /// Runs the held shard's event loop up to the epoch boundary
     /// `t_end` (conservatively synchronized over its wires), then moves
     /// the horizon there. With `sample` set, returns the shard's exact

@@ -116,6 +116,14 @@ pub trait WireSender: Send + fmt::Debug {
 
     /// Publishes everything staged.
     fn commit(&mut self) -> Result<(), LinkError>;
+
+    /// A cheap, conservative estimate of how many messages currently sit
+    /// in the transport's bounded buffer, for ring-occupancy high-water
+    /// telemetry. `None` (the default) when the transport is unbounded
+    /// or cannot tell without synchronizing.
+    fn occupancy_hint(&self) -> Option<usize> {
+        None
+    }
 }
 
 /// Consumer half of one directed wire.
@@ -133,6 +141,10 @@ impl WireSender for spsc::Producer<Wire> {
     fn commit(&mut self) -> Result<(), LinkError> {
         spsc::Producer::commit(self);
         Ok(())
+    }
+
+    fn occupancy_hint(&self) -> Option<usize> {
+        Some(spsc::Producer::occupancy_hint(self))
     }
 }
 

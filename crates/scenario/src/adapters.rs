@@ -22,6 +22,7 @@ use ww_forest::ForestWave;
 use ww_model::{NodeId, RateVector, Tree};
 use ww_pdes::ParPacketSim;
 use ww_runtime::{run_cluster, ClusterConfig, ClusterReport};
+use ww_telemetry::{Level, Snapshot};
 
 /// Wraps an engine-level failure into the typed event rejection.
 fn invalid(event: &Event, reason: impl std::fmt::Display) -> EventError {
@@ -497,6 +498,15 @@ impl Engine for PacketEngine {
     fn barrier_commit(&mut self) {
         self.sim.commit_batch();
     }
+
+    fn set_telemetry(&mut self, level: Level) {
+        self.sim.set_telemetry(level);
+    }
+
+    fn telemetry(&self) -> Option<Snapshot> {
+        let snap = self.sim.telemetry_snapshot();
+        (!snap.is_empty()).then_some(snap)
+    }
 }
 
 /// The sharded parallel packet simulator behind the unified API: one
@@ -636,6 +646,15 @@ impl Engine for ParPacketEngine {
 
     fn barrier_commit(&mut self) {
         self.sim.commit_batch();
+    }
+
+    fn set_telemetry(&mut self, level: Level) {
+        self.sim.set_telemetry(level);
+    }
+
+    fn telemetry(&self) -> Option<Snapshot> {
+        let snap = self.sim.telemetry_snapshot();
+        (!snap.is_empty()).then_some(snap)
     }
 }
 
@@ -796,6 +815,16 @@ impl Engine for DistPacketEngine {
         if let Err(e) = self.sim.commit_batch() {
             panic!("distributed batch commit failed: {e}");
         }
+    }
+
+    /// A no-op: the distributed level is fixed at launch through
+    /// [`DistOptions::telemetry`] (the runner sets it before resolving
+    /// the engine), because it decides handshake timing capture.
+    fn set_telemetry(&mut self, _level: Level) {}
+
+    fn telemetry(&self) -> Option<Snapshot> {
+        let snap = self.sim.telemetry_snapshot();
+        (!snap.is_empty()).then_some(snap)
     }
 }
 
@@ -994,19 +1023,24 @@ impl Engine for BaselineEngine {
     }
 
     fn metrics(&self, sink: &mut dyn MetricSink) {
+        // Dotted-path keys per the workspace metric scheme (scheme names
+        // like "dns-rr" are single segments; see docs/observability.md).
         for r in &self.reports {
-            sink.metric(&format!("{}/max_load", r.name), r.max_load);
-            sink.metric(&format!("{}/distance_to_gle", r.name), r.distance_to_gle);
+            sink.metric(&format!("scheme.{}.max_load", r.name), r.max_load);
             sink.metric(
-                &format!("{}/control_msgs_per_request", r.name),
+                &format!("scheme.{}.distance_to_gle", r.name),
+                r.distance_to_gle,
+            );
+            sink.metric(
+                &format!("scheme.{}.control_msgs_per_request", r.name),
                 r.control_msgs_per_request,
             );
             sink.metric(
-                &format!("{}/data_hops_per_request", r.name),
+                &format!("scheme.{}.data_hops_per_request", r.name),
                 r.data_hops_per_request,
             );
             sink.metric(
-                &format!("{}/violates_nss", r.name),
+                &format!("scheme.{}.violates_nss", r.name),
                 f64::from(u8::from(r.violates_nss)),
             );
         }

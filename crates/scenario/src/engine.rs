@@ -12,6 +12,7 @@
 use crate::events::{Event, EventError};
 use ww_baselines::SchemeReport;
 use ww_model::RateVector;
+use ww_telemetry::{Level, Snapshot};
 
 /// What a single [`Engine::step`] call did.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -95,6 +96,10 @@ pub struct EngineReport {
     pub metrics: Vec<(String, f64)>,
     /// Per-scheme reports (baselines engine only; empty otherwise).
     pub schemes: Vec<SchemeReport>,
+    /// Observation-only telemetry snapshot, when the engine was run with
+    /// telemetry enabled. Deliberately separate from `metrics`: nothing
+    /// here may feed back into canonical output or golden comparisons.
+    pub telemetry: Option<Snapshot>,
 }
 
 impl EngineReport {
@@ -197,6 +202,21 @@ pub trait Engine {
         Vec::new()
     }
 
+    /// Sets the run's telemetry level. Telemetry is observation-only —
+    /// enabling it must not change a single simulated bit. The default
+    /// ignores the level; the packet-engine adapters forward it into
+    /// their per-shard counter slabs and phase timers.
+    fn set_telemetry(&mut self, level: Level) {
+        let _ = level;
+    }
+
+    /// The merged telemetry snapshot for the run so far, when telemetry
+    /// is enabled (`None` otherwise, and for engines without
+    /// instrumentation).
+    fn telemetry(&self) -> Option<Snapshot> {
+        None
+    }
+
     /// Assembles the uniform report from the accessors above.
     fn report(&self) -> EngineReport {
         let mut metrics = Vec::new();
@@ -209,6 +229,7 @@ pub trait Engine {
             trace: self.trace(),
             metrics,
             schemes: self.scheme_reports(),
+            telemetry: self.telemetry(),
         }
     }
 }

@@ -11,9 +11,10 @@ use crate::error::SpecError;
 use crate::events::{EventKindSpec, EventSpec, EventsSpec, DEFAULT_RECOVERY_THRESHOLD};
 use crate::spec::{
     BaselineScheme, DocMixSpec, EngineSpec, PaperFigure, RatesSpec, ScenarioSpec, Sweep,
-    SweepParam, Termination, TopologySpec, WorkloadSpec, DEFAULT_SEED,
+    SweepParam, TelemetrySpec, Termination, TopologySpec, WorkloadSpec, DEFAULT_SEED,
 };
 use serde_json::{Map, Value};
+use ww_telemetry::Level;
 
 impl ScenarioSpec {
     /// Parses a spec from JSON text.
@@ -46,6 +47,7 @@ impl ScenarioSpec {
                 "seed",
                 "sweep",
                 "events",
+                "telemetry",
             ],
             "",
         )?;
@@ -78,6 +80,10 @@ impl ScenarioSpec {
             Some(Value::Null) | None => None,
             Some(v) => Some(parse_events(v)?),
         };
+        let telemetry = match map.get("telemetry") {
+            Some(Value::Null) | None => TelemetrySpec::default(),
+            Some(v) => parse_telemetry(v)?,
+        };
         Ok(ScenarioSpec {
             name,
             topology,
@@ -87,6 +93,7 @@ impl ScenarioSpec {
             seed,
             sweep,
             events,
+            telemetry,
         })
     }
 
@@ -112,6 +119,7 @@ impl ScenarioSpec {
         if let Some(events) = &self.events {
             map.insert("events", events_value(events));
         }
+        map.insert("telemetry", telemetry_value(&self.telemetry));
         Value::Object(map)
     }
 }
@@ -743,6 +751,43 @@ fn parse_sweep(value: &Value) -> Result<Sweep, SpecError> {
     Ok(Sweep { param, values })
 }
 
+fn parse_telemetry(value: &Value) -> Result<TelemetrySpec, SpecError> {
+    let path = "telemetry";
+    let map = as_object(value, path)?;
+    reject_unknown(map, &["level", "trace_out"], path)?;
+    let level = match map.get("level") {
+        None | Some(Value::Null) => Level::Off,
+        Some(v) => {
+            let name = v.as_str().ok_or_else(|| {
+                SpecError::at(
+                    "telemetry.level",
+                    format!("expected a string, got {}", v.type_name()),
+                )
+            })?;
+            Level::parse(name).ok_or_else(|| {
+                SpecError::at(
+                    "telemetry.level",
+                    format!("unknown level \"{name}\" (expected off, counters, or full)"),
+                )
+            })?
+        }
+    };
+    let trace_out = match map.get("trace_out") {
+        None | Some(Value::Null) => None,
+        Some(v) => Some(
+            v.as_str()
+                .ok_or_else(|| {
+                    SpecError::at(
+                        "telemetry.trace_out",
+                        format!("expected a file path string, got {}", v.type_name()),
+                    )
+                })?
+                .to_string(),
+        ),
+    };
+    Ok(TelemetrySpec { level, trace_out })
+}
+
 fn parse_events(value: &Value) -> Result<EventsSpec, SpecError> {
     let path = "events";
     let map = as_object(value, path)?;
@@ -1181,6 +1226,19 @@ fn sweep_value(s: &Sweep) -> Value {
         (
             "values",
             Value::Array(s.values.iter().map(|&x| num(x)).collect()),
+        ),
+    ])
+}
+
+fn telemetry_value(t: &TelemetrySpec) -> Value {
+    obj(vec![
+        ("level", Value::from(t.level.as_str())),
+        (
+            "trace_out",
+            match &t.trace_out {
+                Some(path) => Value::from(path.as_str()),
+                None => Value::Null,
+            },
         ),
     ])
 }

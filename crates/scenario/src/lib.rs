@@ -100,5 +100,5 @@ pub use events::{
 pub use runner::{drive, DriveResult, RunRow, Runner, ScenarioReport};
 pub use spec::{
     BaselineScheme, DocMixSpec, EngineSpec, PaperFigure, RatesSpec, ScenarioSpec, Sweep,
-    SweepParam, Termination, TopologySpec, WorkloadSpec, DEFAULT_SEED,
+    SweepParam, TelemetrySpec, Termination, TopologySpec, WorkloadSpec, DEFAULT_SEED,
 };

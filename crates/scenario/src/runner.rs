@@ -21,12 +21,13 @@ use crate::adapters::{
 };
 use crate::engine::{Engine, EngineReport, NullObserver, Observer, StepOutcome};
 use crate::error::SpecError;
-use crate::events::{Event, EventKindSpec, EventMarker, EventSpec, EventsSpec};
+use crate::events::{Event, EventError, EventKindSpec, EventMarker, EventSpec, EventsSpec};
 use crate::spec::{
     DocMixSpec, EngineSpec, PaperFigure, RatesSpec, ScenarioSpec, Termination, TopologySpec,
 };
 use rand::rngs::StdRng;
 use rand::SeedableRng;
+use serde_json::{Map, Value};
 use std::fmt::Write as _;
 use std::time::Instant;
 use ww_core::docsim::{DocSim, DocSimConfig};
@@ -36,6 +37,7 @@ use ww_dist::DistOptions;
 use ww_forest::{Coupling, Forest, ForestWave, ForestWaveConfig};
 use ww_model::{NodeId, RateVector, Tree};
 use ww_runtime::ClusterConfig;
+use ww_telemetry::TraceWriter;
 use ww_topology::{paper, Graph};
 use ww_workload::DocMix;
 
@@ -123,7 +125,11 @@ impl Runner {
         } else {
             spec.clone()
         };
-        resolve_engine(&spec, &self.dist)
+        let mut dist = self.dist.clone();
+        dist.telemetry = spec.telemetry.level;
+        let mut engine = resolve_engine(&spec, &dist)?;
+        engine.set_telemetry(spec.telemetry.level);
+        Ok(engine)
     }
 
     /// Runs a spec (expanding its sweep) with no observer.
@@ -161,24 +167,58 @@ impl Runner {
                 runs
             }
         };
+        // One JSONL trace file for the whole (possibly swept) scenario:
+        // each run writes a `run_start`/`run_end` pair around its rounds.
+        let mut tracer = match &spec.telemetry.trace_out {
+            Some(path) => Some(TraceWriter::create(path).map_err(|e| {
+                SpecError::at(
+                    "telemetry.trace_out",
+                    format!("cannot create trace file \"{path}\": {e}"),
+                )
+            })?),
+            None => None,
+        };
         let mut rows = Vec::with_capacity(runs.len());
         for (label, run_spec) in runs {
-            let mut engine = resolve_engine(&run_spec, &self.dist)?;
+            // The distributed engine fixes its level at launch (it times
+            // the worker handshake), so the level rides in DistOptions;
+            // every other engine takes it through set_telemetry below.
+            let mut dist = self.dist.clone();
+            dist.telemetry = run_spec.telemetry.level;
+            let mut engine = resolve_engine(&run_spec, &dist)?;
+            engine.set_telemetry(run_spec.telemetry.level);
+            if let Some(w) = tracer.as_mut() {
+                let _ = w.record(&run_start_record(&run_spec, &label));
+            }
             let dynamic = run_spec
                 .events
                 .as_ref()
                 .is_some_and(|e| !e.schedule.is_empty());
-            let (result, markers) = if dynamic {
-                let events = run_spec.events.as_ref().expect("checked above");
-                let mut shadow = Shadow::of(&run_spec)?;
-                drive_dynamic(engine.as_mut(), &run_spec, events, &mut shadow, observer)?
-            } else {
-                // Static world: the original drive loop, untouched, so
-                // event-free specs stay bit-identical to pre-dynamics runs.
-                (
-                    drive(engine.as_mut(), &run_spec.termination, observer),
-                    Vec::new(),
-                )
+            let (result, markers) = {
+                let mut traced;
+                let obs: &mut dyn Observer = match tracer.as_mut() {
+                    Some(writer) => {
+                        traced = TraceObserver {
+                            inner: &mut *observer,
+                            writer,
+                        };
+                        &mut traced
+                    }
+                    None => &mut *observer,
+                };
+                if dynamic {
+                    let events = run_spec.events.as_ref().expect("checked above");
+                    let mut shadow = Shadow::of(&run_spec)?;
+                    drive_dynamic(engine.as_mut(), &run_spec, events, &mut shadow, obs)?
+                } else {
+                    // Static world: the original drive loop, untouched, so
+                    // event-free specs stay bit-identical to pre-dynamics
+                    // runs.
+                    (
+                        drive(engine.as_mut(), &run_spec.termination, obs),
+                        Vec::new(),
+                    )
+                }
             };
             let mut outcome = engine.report();
             // Per-event markers ride in the metric stream, so every
@@ -205,12 +245,20 @@ impl Runner {
                 }
             }
             observer.on_done(&outcome);
+            if let Some(w) = tracer.as_mut() {
+                let _ = w.record(&run_end_record(&result, &outcome));
+            }
             rows.push(RunRow {
                 label,
                 converged: result.converged,
                 events: markers,
                 outcome,
             });
+        }
+        if let Some(w) = tracer.as_mut() {
+            w.flush().map_err(|e| {
+                SpecError::at("telemetry.trace_out", format!("trace write failed: {e}"))
+            })?;
         }
         let report = render(&spec, &rows);
         Ok(ScenarioReport {
@@ -219,6 +267,101 @@ impl Runner {
             rows,
             report,
         })
+    }
+}
+
+// ---------------------------------------------------------------------
+// JSONL run tracing
+// ---------------------------------------------------------------------
+
+/// Builds one JSONL trace record (`{"record": "<kind>", ...}`).
+fn trace_record(kind: &str, pairs: Vec<(&str, Value)>) -> Value {
+    let mut map = Map::new();
+    map.insert("record", Value::from(kind));
+    for (k, v) in pairs {
+        map.insert(k, v);
+    }
+    Value::Object(map)
+}
+
+fn run_start_record(spec: &ScenarioSpec, label: &str) -> Value {
+    trace_record(
+        "run_start",
+        vec![
+            ("scenario", Value::from(spec.name.as_str())),
+            ("engine", Value::from(spec.engine.kind())),
+            ("label", Value::from(label)),
+            ("seed", Value::Number(spec.seed as f64)),
+            ("level", Value::from(spec.telemetry.level.as_str())),
+        ],
+    )
+}
+
+fn run_end_record(result: &DriveResult, outcome: &EngineReport) -> Value {
+    let mut pairs = vec![
+        ("rounds", Value::Number(result.rounds as f64)),
+        ("converged", Value::Bool(result.converged)),
+    ];
+    if let Some(snap) = &outcome.telemetry {
+        pairs.push(("telemetry", snap.to_json()));
+    }
+    trace_record("run_end", pairs)
+}
+
+/// Wraps the caller's observer to mirror every round and dynamics event
+/// into the JSONL trace. Observation-only: it reads what the drive loop
+/// already hands every observer and never touches the engine.
+struct TraceObserver<'a> {
+    inner: &'a mut dyn Observer,
+    writer: &'a mut TraceWriter,
+}
+
+impl Observer for TraceObserver<'_> {
+    fn wants_convergence(&self) -> bool {
+        // Convergence is a pure accessor; sampling it for the trace
+        // cannot perturb the run even when the inner observer declines.
+        true
+    }
+
+    fn on_round(&mut self, round: usize, convergence: Option<f64>) {
+        let _ = self.writer.record(&trace_record(
+            "round",
+            vec![
+                ("round", Value::Number(round as f64)),
+                (
+                    "convergence",
+                    match convergence {
+                        Some(c) => Value::Number(c),
+                        None => Value::Null,
+                    },
+                ),
+            ],
+        ));
+        self.inner.on_round(round, convergence);
+    }
+
+    fn on_event(&mut self, index: usize, round: usize, event: &Event, error: Option<&EventError>) {
+        let _ = self.writer.record(&trace_record(
+            "event",
+            vec![
+                ("index", Value::Number(index as f64)),
+                ("round", Value::Number(round as f64)),
+                ("kind", Value::from(event.kind())),
+                ("accepted", Value::Bool(error.is_none())),
+                (
+                    "error",
+                    match error {
+                        Some(e) => Value::from(e.to_string().as_str()),
+                        None => Value::Null,
+                    },
+                ),
+            ],
+        ));
+        self.inner.on_event(index, round, event, error);
+    }
+
+    fn on_done(&mut self, report: &EngineReport) {
+        self.inner.on_done(report);
     }
 }
 
@@ -1140,6 +1283,12 @@ fn render(spec: &ScenarioSpec, rows: &[RunRow]) -> String {
                 .map(|(name, value)| format!("{name}={value:.4}"))
                 .collect();
             let _ = writeln!(out, "    metrics: {}", rendered.join("  "));
+        }
+        if let Some(snap) = &row.outcome.telemetry {
+            let _ = writeln!(out, "    telemetry:");
+            for line in snap.render_text().lines() {
+                let _ = writeln!(out, "    {line}");
+            }
         }
         for m in &row.events {
             let mut line = format!("    event[{}] {} @ round {}", m.index, m.kind, m.round);

@@ -12,6 +12,7 @@
 
 use crate::error::SpecError;
 use crate::events::EventsSpec;
+use ww_telemetry::Level;
 
 /// Default master seed when a spec omits `"seed"`.
 pub const DEFAULT_SEED: u64 = 1997;
@@ -39,6 +40,23 @@ pub struct ScenarioSpec {
     /// [`crate::events`]). `None` — the common case — runs the classic
     /// static world, bit-identical to pre-dynamics builds.
     pub events: Option<EventsSpec>,
+    /// Observation-only instrumentation for the run (see
+    /// `docs/observability.md`). The default records nothing; no level
+    /// changes a single simulated bit.
+    pub telemetry: TelemetrySpec,
+}
+
+/// Observation-only instrumentation settings: how much the run records
+/// ([`Level`]) and where the per-round JSONL trace goes. Telemetry never
+/// feeds back into the simulation — reports and traces are bit-identical
+/// across levels.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct TelemetrySpec {
+    /// Recording level: `off` (default), `counters`, or `full`.
+    pub level: Level,
+    /// JSONL trace file path; `None` writes no trace. CLI `--trace-out`
+    /// overrides this.
+    pub trace_out: Option<String>,
 }
 
 /// Topology generators. Random families draw from the spec's seed.

@@ -4,8 +4,24 @@
 use proptest::prelude::*;
 use ww_scenario::{
     BaselineScheme, DocMixSpec, EngineSpec, EventKindSpec, EventSpec, EventsSpec, PaperFigure,
-    RatesSpec, ScenarioSpec, Sweep, SweepParam, Termination, TopologySpec, WorkloadSpec,
+    RatesSpec, ScenarioSpec, Sweep, SweepParam, TelemetrySpec, Termination, TopologySpec,
+    WorkloadSpec,
 };
+use ww_telemetry::Level;
+
+/// Telemetry settings derived from the seed: exercises every level and
+/// both trace_out shapes across the generated specs without another
+/// strategy axis.
+fn arb_telemetry_from_seed(seed: u64) -> TelemetrySpec {
+    TelemetrySpec {
+        level: match seed % 3 {
+            0 => Level::Off,
+            1 => Level::Counters,
+            _ => Level::Full,
+        },
+        trace_out: (seed % 2 == 1).then(|| format!("trace-{}.jsonl", seed % 7)),
+    }
+}
 
 fn arb_topology() -> BoxedStrategy<TopologySpec> {
     (0usize..9)
@@ -392,6 +408,7 @@ fn arb_spec() -> BoxedStrategy<ScenarioSpec> {
                 seed,
                 sweep,
                 events,
+                telemetry: arb_telemetry_from_seed(seed),
             },
         )
         .boxed()

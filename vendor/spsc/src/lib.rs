@@ -125,6 +125,16 @@ impl<T> Producer<T> {
         self.staged - self.published
     }
 
+    /// Producer-side occupancy estimate: staged-plus-unconsumed items,
+    /// computed against the cached head snapshot. The snapshot only
+    /// lags the consumer, so this is a conservative *upper* bound that
+    /// never loads the foreign cache line — right for high-water
+    /// telemetry, not for capacity decisions (use [`Producer::stage`]'s
+    /// own refresh for those).
+    pub fn occupancy_hint(&self) -> usize {
+        self.staged - self.cached_head
+    }
+
     /// Writes `value` into the next slot **without publishing it**: the
     /// consumer cannot see it until [`Producer::commit`]. Fails with
     /// [`Full`] when every slot is either unconsumed or already staged.
