@@ -21,7 +21,7 @@ use ww_core::reference::{NaiveDocSim, NaiveRateWave};
 use ww_core::wave::{RateWave, WaveConfig};
 use ww_dist::{DistMode, DistOptions, DistPacketSim};
 use ww_model::RateVector;
-use ww_pdes::{HeapParPacketSim, ParPacketSim, PdesTuning, TransportKind};
+use ww_pdes::{HeapParPacketSim, ParPacketSim, PdesTuning, RebalanceConfig, TransportKind};
 use ww_scenario::{
     drive, DocMixSpec, EngineSpec, NullObserver, RatesSpec, Runner, ScenarioSpec, TelemetrySpec,
     Termination, TopologySpec, WorkloadSpec,
@@ -176,6 +176,7 @@ fn scaling_spec(nodes: usize, seed: u64, rounds: usize) -> ScenarioSpec {
         sweep: None,
         events: None,
         telemetry: TelemetrySpec::default(),
+        rebalance: None,
     }
 }
 
@@ -738,6 +739,245 @@ fn bench_telemetry_overhead(
     }
 }
 
+/// Adaptive shard re-balancing on a flash-crowd workload: a ~130k-node
+/// binary tree where nearly all demand lands on one quarter-of-the-tree
+/// subtree — the static node-count peel hands that whole subtree to a
+/// single shard, which then processes almost every event. The static
+/// partition against the adaptive re-peel (a `rebalance` block armed),
+/// with the per-shard event imbalance (max/mean) measured on a
+/// post-warmup window of epochs so the adaptive run is judged on its
+/// steady state, not its starting partition. Bit-identity static vs
+/// adaptive is re-verified on the same runs — rebalancing only changes
+/// which thread executes which node — and a balanced control records
+/// the price of arming the controller when it has nothing to do.
+/// Throughput caveat: splitting the hot subtree turns its hottest
+/// edges into inter-shard wires, so the adaptive run trades node-local
+/// work for wire traffic. That trade only pays when shards run on real
+/// cores — on a box where `available_cores < workers` the skewed
+/// adaptive events/sec is all cost and no payoff, which is why
+/// `available_cores` is recorded next to it.
+struct ShardRebalance {
+    nodes: usize,
+    docs: usize,
+    workers: usize,
+    warmup_epochs: usize,
+    measure_epochs: usize,
+    available_cores: usize,
+    processed_events: u64,
+    trigger_imbalance: f64,
+    min_epoch_gap: u64,
+    rebalances_applied: u64,
+    nodes_migrated: u64,
+    /// Max/mean of the per-shard event counts over the measurement
+    /// window (epochs after `warmup_epochs`), static partition.
+    static_window_imbalance: f64,
+    adaptive_window_imbalance: f64,
+    /// `static_window_imbalance / adaptive_window_imbalance`.
+    imbalance_reduction: f64,
+    static_ms: f64,
+    adaptive_ms: f64,
+    static_events_per_sec: f64,
+    adaptive_events_per_sec: f64,
+    /// Balanced control: the same engine under uniform demand on a
+    /// binary tree, where the trigger has nothing to chase.
+    balanced_nodes: usize,
+    balanced_off_ms: f64,
+    balanced_armed_ms: f64,
+    balanced_overhead_pct: f64,
+    balanced_rebalances_applied: u64,
+    traces_identical: bool,
+}
+
+/// Partition-independent equivalence between two packet reports: the
+/// surface every golden suite pins, minus the partition-*dependent*
+/// diagnostics (`shard_event_counts`, `imbalance`) that rebalancing is
+/// supposed to change.
+fn packet_reports_identical(
+    a: &ww_core::packetsim::PacketSimReport,
+    b: &ww_core::packetsim::PacketSimReport,
+) -> bool {
+    a.trace.len() == b.trace.len()
+        && a.trace
+            .distances()
+            .iter()
+            .zip(b.trace.distances())
+            .all(|(x, y)| x.to_bits() == y.to_bits())
+        && a.served_rates
+            .as_slice()
+            .iter()
+            .zip(b.served_rates.as_slice())
+            .all(|(x, y)| x.to_bits() == y.to_bits())
+        && a.served_requests == b.served_requests
+        && a.processed_events == b.processed_events
+        && a.copy_pushes == b.copy_pushes
+        && a.tunnel_fetches == b.tunnel_fetches
+        && a.mean_hops.to_bits() == b.mean_hops.to_bits()
+        && a.ledger.total_messages() == b.ledger.total_messages()
+        && a.ledger.total_bytes() == b.ledger.total_bytes()
+}
+
+fn window_imbalance(window: &[u64]) -> f64 {
+    let total: u64 = window.iter().sum();
+    if window.is_empty() || total == 0 {
+        return 1.0;
+    }
+    let mean = total as f64 / window.len() as f64;
+    window.iter().copied().max().unwrap_or(0) as f64 / mean
+}
+
+fn bench_shard_rebalance(
+    depth: usize,
+    docs: usize,
+    workers: usize,
+    warmup_epochs: usize,
+    measure_epochs: usize,
+) -> ShardRebalance {
+    use ww_model::{NodeId, Tree};
+    // Flash crowd: the subtree under node 3 (a quarter of a full binary
+    // tree) carries 50x the per-node demand of everywhere else. The
+    // node-count peel makes that subtree exactly one shard; the
+    // bottleneck cut splits it at interior edges across several shards.
+    let tree = ww_topology::k_ary(2, depth);
+    let hot_root = NodeId::new(3);
+    let in_hot = |tree: &Tree, mut u: NodeId| loop {
+        if u == hot_root {
+            return true;
+        }
+        match tree.parent(u) {
+            Some(p) => u = p,
+            None => return false,
+        }
+    };
+    let rates = RateVector::from(
+        (0..tree.len())
+            .map(|i| {
+                if in_hot(&tree, NodeId::new(i)) {
+                    2.5
+                } else {
+                    0.05
+                }
+            })
+            .collect::<Vec<f64>>(),
+    );
+    let mix = ww_workload::shared_zipf_mix(&tree, &rates, docs, 1.0);
+    let config = PacketSimConfig::default();
+    let rebalance = RebalanceConfig {
+        trigger_imbalance: 1.2,
+        min_epoch_gap: 1,
+    };
+    let warmup = warmup_epochs as f64;
+    let horizon = (warmup_epochs + measure_epochs) as f64;
+
+    // Probe runs: split at the warmup boundary so the cumulative
+    // per-shard `processed()` counts delta into the measurement window.
+    // Telemetry is observation-only, so the adaptive probe can carry
+    // counters without perturbing the identity check.
+    let split = |rebalance: Option<RebalanceConfig>, level: Level| {
+        let mut sim = ParPacketSim::with_tuning(&tree, &mix, config, workers, NEW_TUNING);
+        sim.set_telemetry(level);
+        sim.set_rebalance(rebalance);
+        let warm = sim.run(warmup);
+        let full = sim.run(horizon);
+        let window: Vec<u64> = full
+            .shard_event_counts
+            .iter()
+            .zip(&warm.shard_event_counts)
+            .map(|(f, w)| f - w)
+            .collect();
+        (full, window, sim.telemetry_snapshot())
+    };
+    let (static_report, static_window, _) = split(None, Level::Off);
+    let (adaptive_report, adaptive_window, snap) = split(Some(rebalance), Level::Counters);
+    let mut traces_identical = packet_reports_identical(&static_report, &adaptive_report);
+    let rebalances_applied = snap.counter("pdes.rebalance.applied").unwrap_or(0);
+    let nodes_migrated = snap.counter("pdes.rebalance.nodes_migrated").unwrap_or(0);
+    let processed_events = static_report.processed_events;
+
+    let static_window_imbalance = window_imbalance(&static_window);
+    let adaptive_window_imbalance = window_imbalance(&adaptive_window);
+
+    let time_rebalance = |rebalance: Option<RebalanceConfig>| {
+        time_min(
+            3,
+            || {
+                let mut sim = ParPacketSim::with_tuning(&tree, &mix, config, workers, NEW_TUNING);
+                sim.set_rebalance(rebalance);
+                sim
+            },
+            |sim| {
+                sim.run(horizon);
+            },
+        )
+    };
+    let static_wall = time_rebalance(None);
+    let adaptive_wall = time_rebalance(Some(rebalance));
+    let events_per_sec = |wall: std::time::Duration| processed_events as f64 / wall.as_secs_f64();
+
+    // Balanced control: uniform demand everywhere on a binary tree, so
+    // per-shard load sits near 1.0x mean and the trigger never fires.
+    // Arming the controller then costs only the per-event window
+    // accounting plus one O(shards) check per epoch.
+    let bal_tree = ww_topology::k_ary(2, 14);
+    let bal_rates = RateVector::from(vec![0.2; bal_tree.len()]);
+    let bal_mix = scaling_mix(&bal_tree, &bal_rates, 8);
+    let bal_horizon = 3.0;
+    let bal_run = |rebalance: Option<RebalanceConfig>, level: Level| {
+        let mut sim = ParPacketSim::with_tuning(&bal_tree, &bal_mix, config, workers, NEW_TUNING);
+        sim.set_telemetry(level);
+        sim.set_rebalance(rebalance);
+        let report = sim.run(bal_horizon);
+        (report, sim.telemetry_snapshot())
+    };
+    let (bal_off_report, _) = bal_run(None, Level::Off);
+    let (bal_armed_report, bal_snap) = bal_run(Some(rebalance), Level::Counters);
+    traces_identical =
+        traces_identical && packet_reports_identical(&bal_off_report, &bal_armed_report);
+    let balanced_rebalances_applied = bal_snap.counter("pdes.rebalance.applied").unwrap_or(0);
+    let time_balanced = |rebalance: Option<RebalanceConfig>| {
+        time_min(
+            3,
+            || {
+                let mut sim =
+                    ParPacketSim::with_tuning(&bal_tree, &bal_mix, config, workers, NEW_TUNING);
+                sim.set_rebalance(rebalance);
+                sim
+            },
+            |sim| {
+                sim.run(bal_horizon);
+            },
+        )
+    };
+    let bal_off = time_balanced(None);
+    let bal_armed = time_balanced(Some(rebalance));
+
+    ShardRebalance {
+        nodes: tree.len(),
+        docs,
+        workers,
+        warmup_epochs,
+        measure_epochs,
+        available_cores: std::thread::available_parallelism().map_or(1, |n| n.get()),
+        processed_events,
+        trigger_imbalance: rebalance.trigger_imbalance,
+        min_epoch_gap: rebalance.min_epoch_gap,
+        rebalances_applied,
+        nodes_migrated,
+        static_window_imbalance,
+        adaptive_window_imbalance,
+        imbalance_reduction: static_window_imbalance / adaptive_window_imbalance,
+        static_ms: static_wall.as_secs_f64() * 1e3,
+        adaptive_ms: adaptive_wall.as_secs_f64() * 1e3,
+        static_events_per_sec: events_per_sec(static_wall),
+        adaptive_events_per_sec: events_per_sec(adaptive_wall),
+        balanced_nodes: bal_tree.len(),
+        balanced_off_ms: bal_off.as_secs_f64() * 1e3,
+        balanced_armed_ms: bal_armed.as_secs_f64() * 1e3,
+        balanced_overhead_pct: 100.0 * (bal_armed.as_secs_f64() / bal_off.as_secs_f64() - 1.0),
+        balanced_rebalances_applied,
+        traces_identical,
+    }
+}
+
 /// `webfold` sweep cost next to the incremental oracle refresh: the
 /// same tree, a single leaf join, one `IncrementalFold::refold_path`
 /// against one from-scratch `webfold`. The refresh only re-folds the
@@ -1072,6 +1312,43 @@ fn main() {
         );
     }
 
+    eprintln!("webwave-bench: adaptive shard re-balancing (flash-crowd skew, static vs adaptive)");
+    let rebalance = bench_shard_rebalance(16, 12, 4, 3, 3);
+    eprintln!(
+        "  k_ary(2) nodes={} docs={} workers={} cores={} (trigger {:.2}, gap {}): window imbalance static {:.3} vs adaptive {:.3} ({:.2}x reduction), re-peels {} / {} nodes migrated, static {:.0} ms ({:.2} Mev/s over {} events) vs adaptive {:.0} ms ({:.2} Mev/s), traces_identical={}",
+        rebalance.nodes,
+        rebalance.docs,
+        rebalance.workers,
+        rebalance.available_cores,
+        rebalance.trigger_imbalance,
+        rebalance.min_epoch_gap,
+        rebalance.static_window_imbalance,
+        rebalance.adaptive_window_imbalance,
+        rebalance.imbalance_reduction,
+        rebalance.rebalances_applied,
+        rebalance.nodes_migrated,
+        rebalance.static_ms,
+        rebalance.static_events_per_sec / 1e6,
+        rebalance.processed_events,
+        rebalance.adaptive_ms,
+        rebalance.adaptive_events_per_sec / 1e6,
+        rebalance.traces_identical
+    );
+    eprintln!(
+        "    balanced control nodes={}: off {:.0} ms, armed {:.0} ms ({:+.2}%), re-peels {}",
+        rebalance.balanced_nodes,
+        rebalance.balanced_off_ms,
+        rebalance.balanced_armed_ms,
+        rebalance.balanced_overhead_pct,
+        rebalance.balanced_rebalances_applied
+    );
+    if rebalance.imbalance_reduction < 2.0 {
+        eprintln!(
+            "webwave-bench: WARNING — adaptive re-peel only cut window imbalance {:.2}x (budget 2x)",
+            rebalance.imbalance_reduction
+        );
+    }
+
     eprintln!("webwave-bench: Runner dispatch overhead vs direct engines (budget 1%)");
     let overheads = vec![
         bench_runner_overhead_rate(10_000, 100),
@@ -1261,6 +1538,51 @@ fn main() {
         "    \"counters_overhead_pct\": {:.2}, \"full_overhead_pct\": {:.2}, \"counters_budget_pct\": 3.0, \"traces_identical\": {}",
         telemetry.counters_overhead_pct, telemetry.full_overhead_pct, telemetry.traces_identical
     );
+    json.push_str("  },\n  \"shard_rebalance\": {\n");
+    let _ = writeln!(
+        json,
+        "    \"engine\": \"packet_sim_par\", \"scenario\": \"flash crowd on one quarter-subtree of a binary tree\", \"nodes\": {}, \"docs\": {}, \"workers\": {}, \"warmup_epochs\": {}, \"measure_epochs\": {}, \"available_cores\": {}, \"processed_events\": {},",
+        rebalance.nodes,
+        rebalance.docs,
+        rebalance.workers,
+        rebalance.warmup_epochs,
+        rebalance.measure_epochs,
+        rebalance.available_cores,
+        rebalance.processed_events
+    );
+    let _ = writeln!(
+        json,
+        "    \"trigger_imbalance\": {:.2}, \"min_epoch_gap\": {}, \"rebalances_applied\": {}, \"nodes_migrated\": {},",
+        rebalance.trigger_imbalance,
+        rebalance.min_epoch_gap,
+        rebalance.rebalances_applied,
+        rebalance.nodes_migrated
+    );
+    let _ = writeln!(
+        json,
+        "    \"static_window_imbalance\": {:.3}, \"adaptive_window_imbalance\": {:.3}, \"imbalance_reduction\": {:.2}, \"imbalance_reduction_budget\": 2.0,",
+        rebalance.static_window_imbalance,
+        rebalance.adaptive_window_imbalance,
+        rebalance.imbalance_reduction
+    );
+    let _ = writeln!(
+        json,
+        "    \"static_ms\": {:.1}, \"adaptive_ms\": {:.1}, \"static_events_per_sec\": {:.0}, \"adaptive_events_per_sec\": {:.0},",
+        rebalance.static_ms,
+        rebalance.adaptive_ms,
+        rebalance.static_events_per_sec,
+        rebalance.adaptive_events_per_sec
+    );
+    let _ = writeln!(
+        json,
+        "    \"balanced_nodes\": {}, \"balanced_off_ms\": {:.1}, \"balanced_armed_ms\": {:.1}, \"balanced_overhead_pct\": {:.2}, \"balanced_rebalances_applied\": {}, \"traces_identical\": {}",
+        rebalance.balanced_nodes,
+        rebalance.balanced_off_ms,
+        rebalance.balanced_armed_ms,
+        rebalance.balanced_overhead_pct,
+        rebalance.balanced_rebalances_applied,
+        rebalance.traces_identical
+    );
     json.push_str("  },\n  \"runner_overhead\": [\n");
     for (i, o) in overheads.iter().enumerate() {
         let _ = writeln!(
@@ -1291,7 +1613,8 @@ fn main() {
         && storm.identical
         && parallel.traces_identical
         && dynamics.traces_identical
-        && telemetry.traces_identical;
+        && telemetry.traces_identical
+        && rebalance.traces_identical;
     eprintln!("webwave-bench: worst speedup {worst:.2}x, traces identical: {all_identical}");
     if !all_identical {
         eprintln!("webwave-bench: WARNING — dense/naive traces diverge");

@@ -104,6 +104,19 @@ pub struct PacketSimReport {
     /// Peak depth any single overflow queue reached — how far behind the
     /// slowest wire fell. `0` when no message ever parked.
     pub overflow_peak_parked: u64,
+    /// Events processed per shard, indexed by shard id (one entry — the
+    /// whole run — for the sequential driver). Deterministic for a given
+    /// worker count, but *partition-dependent*: the vector's length and
+    /// split vary with the worker count and with adaptive rebalancing,
+    /// so the cross-worker golden comparisons exclude it (its **sum** is
+    /// `processed_events`, which they do pin).
+    pub shard_event_counts: Vec<u64>,
+    /// Max/mean ratio of `shard_event_counts` — the whole-run load
+    /// imbalance across shards, `1.0` meaning perfectly balanced (and
+    /// trivially `1.0` for the sequential driver). Partition-dependent
+    /// like `shard_event_counts`, and likewise excluded from the
+    /// cross-worker bit-identity the golden tests pin.
+    pub imbalance: f64,
 }
 
 /// The sequential packet-level simulator, generic over its pending-event
@@ -385,6 +398,8 @@ impl<Q: SimQueue<PacketEvent> + Default> GenericPacketSim<Q> {
             processed_events: self.queue.processed(),
             overflow_parks: 0,
             overflow_peak_parked: 0,
+            shard_event_counts: vec![self.queue.processed()],
+            imbalance: 1.0,
         }
     }
 

@@ -479,6 +479,7 @@ impl DistPacketSim {
         let mut processed = 0u64;
         let mut overflow_parks = 0u64;
         let mut overflow_peak_parked = 0u64;
+        let mut shard_event_counts = vec![0u64; slices.len()];
         for (shard, rep) in slices.iter().enumerate() {
             let members = &self.replica.partition().members[shard];
             if rep.rates.len() != members.len() {
@@ -503,9 +504,16 @@ impl DistPacketSim {
                 served_requests,
             });
             processed += rep.processed;
+            shard_event_counts[shard] = rep.processed;
             overflow_parks += rep.parks;
             overflow_peak_parked = overflow_peak_parked.max(rep.peak_parked);
         }
+        let imbalance = if processed == 0 || shard_event_counts.is_empty() {
+            1.0
+        } else {
+            let mean = processed as f64 / shard_event_counts.len() as f64;
+            shard_event_counts.iter().copied().max().unwrap_or(0) as f64 / mean
+        };
 
         self.last_worker_parks = (overflow_parks, overflow_peak_parked);
         let served_rates = RateVector::from(rates);
@@ -527,6 +535,8 @@ impl DistPacketSim {
             processed_events: processed,
             overflow_parks,
             overflow_peak_parked,
+            shard_event_counts,
+            imbalance,
         })
     }
 

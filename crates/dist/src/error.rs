@@ -53,6 +53,15 @@ pub enum DistError {
     /// non-leaf removal, …) — replicated verbatim from the in-process
     /// engines.
     Model(ModelError),
+    /// The requested feature is not available on the distributed
+    /// runtime (e.g. adaptive shard rebalancing, which would move node
+    /// state between single-shard worker processes). Rejected up front
+    /// and typed — never silently ignored — so a distributed run can
+    /// never diverge from its in-process twin by dropping a knob.
+    Unsupported {
+        /// The feature, and what to use instead.
+        detail: String,
+    },
 }
 
 impl fmt::Display for DistError {
@@ -74,6 +83,9 @@ impl fmt::Display for DistError {
                 write!(f, "no worker binary to spawn: {detail}")
             }
             DistError::Model(e) => write!(f, "barrier operation rejected: {e}"),
+            DistError::Unsupported { detail } => {
+                write!(f, "unsupported on the distributed runtime: {detail}")
+            }
         }
     }
 }

@@ -140,6 +140,7 @@ pub fn throughput_study() -> ThroughputStudy {
         sweep: None,
         events: None,
         telemetry: TelemetrySpec::default(),
+        rebalance: None,
     };
     let report = Runner::new().run(&spec).expect("throughput spec resolves");
     let schemes = report.rows[0].outcome.schemes.clone();
@@ -217,6 +218,7 @@ pub fn forest_study() -> ForestStudy {
             sweep: None,
             events: None,
             telemetry: TelemetrySpec::default(),
+            rebalance: None,
         };
         let report = Runner::new().run(&spec).expect("forest spec resolves");
         report.rows[0].outcome.load.clone().expect("total load")

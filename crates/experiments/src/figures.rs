@@ -40,6 +40,7 @@ fn figure_spec(
         sweep: None,
         events: None,
         telemetry: TelemetrySpec::default(),
+        rebalance: None,
     }
 }
 

@@ -64,6 +64,7 @@
 
 use crate::ops::{self, ShardStore, SimCore};
 use crate::partition::partition_subtrees;
+use crate::rebalance::{rebalance_plan, LoadSummary, RebalanceConfig};
 use crate::transport::{
     LinkError, StageError, Transport, TransportKind, Wire, WireReceiver, WireSender,
 };
@@ -318,6 +319,14 @@ pub(crate) struct Shard<Q> {
     pub(crate) tel: Counters,
     /// Observation-only phase timers over [`PDES_PHASES`].
     pub(crate) tel_phases: Phases,
+    /// `true` while the rebalance controller needs per-node event
+    /// attribution. Off (the default), the hot path pays one branch.
+    pub(crate) track_loads: bool,
+    /// Events executed per local node since the last rebalance
+    /// evaluation window opened (parallel to `states`). Deterministic:
+    /// every event is attributed to the node whose handler ran it, and
+    /// which events run is partition-invariant.
+    pub(crate) window_events: Vec<u64>,
 }
 
 /// Read-only state shared by all workers during an epoch.
@@ -396,6 +405,8 @@ pub(crate) fn build_shard<Q: SimQueue<PacketEvent> + Default>(
         stall_timeout,
         tel: Counters::off(PDES_KEYS),
         tel_phases: Phases::new(PDES_PHASES, Level::Off),
+        track_loads: false,
+        window_events: vec![0; members.len()],
     }
 }
 
@@ -502,12 +513,18 @@ impl<Q: SimQueue<PacketEvent>> Shard<Q> {
                 Source::Driver(DriverSource::Heap) => {
                     let (t, event) = self.queue.pop().expect("peeked event exists");
                     let li = sh.partition.local_index[event.node().index()] as usize;
+                    if self.track_loads {
+                        self.window_events[li] += 1;
+                    }
                     self.with_node(sh, li, |ctx, state| packet::handle(ctx, state, t, event))?;
                 }
                 Source::Driver(DriverSource::Gossip) => {
                     let (t, member) = self.gossip_ring.pop().expect("peeked fire exists");
                     self.queue.advance_to(t);
                     let node = sh.partition.members[self.id][member];
+                    if self.track_loads {
+                        self.window_events[member] += 1;
+                    }
                     self.with_node(sh, member, |ctx, state| {
                         packet::on_gossip_timer(ctx, state, t, node);
                     })?;
@@ -518,6 +535,9 @@ impl<Q: SimQueue<PacketEvent>> Shard<Q> {
                     let (t, member) = self.diffusion_ring.pop().expect("peeked fire exists");
                     self.queue.advance_to(t);
                     let node = sh.partition.members[self.id][member];
+                    if self.track_loads {
+                        self.window_events[member] += 1;
+                    }
                     self.with_node(sh, member, |ctx, state| {
                         packet::on_diffusion(ctx, state, t, node);
                     })?;
@@ -531,6 +551,9 @@ impl<Q: SimQueue<PacketEvent>> Shard<Q> {
                     // performs for the same event.
                     self.queue.advance_to(staged.at);
                     let local = sh.partition.local_index[staged.ev.node().index()] as usize;
+                    if self.track_loads {
+                        self.window_events[local] += 1;
+                    }
                     self.with_node(sh, local, |ctx, state| {
                         packet::handle(ctx, state, staged.at, staged.ev);
                     })?;
@@ -899,6 +922,32 @@ pub struct GenericParPacketSim<Q> {
     /// [`GenericParPacketSim::set_telemetry`]). Never read by the
     /// simulation itself.
     tel_level: Level,
+    /// Adaptive rebalancing knobs (`None`: static partition).
+    rebalance: Option<RebalanceConfig>,
+    /// Per-shard `queue.processed()` baseline at the start of the
+    /// current observation window.
+    window_base: Vec<u64>,
+    /// Epoch index when the current observation window opened.
+    window_start_epoch: u64,
+    /// Per-shard `queue.processed()` at the previous epoch boundary
+    /// (for the per-epoch imbalance high-water; observation only).
+    epoch_base: Vec<u64>,
+    /// High-water of the per-epoch max/mean shard imbalance.
+    imbalance_hw: f64,
+    /// How many windows the controller evaluated, how many produced a
+    /// non-empty plan, and how many nodes migrated in total.
+    rebalance_evals: u64,
+    rebalance_applied: u64,
+    nodes_migrated: u64,
+    /// Per-directed-cut outbound message counters, persisted across
+    /// wire re-dials: inbound merge keys embed this counter, so a
+    /// re-dialed wire must continue — never restart — its stream to
+    /// keep keys unique against events spilled before the rebalance.
+    wire_counters: std::collections::BTreeMap<(usize, usize), u64>,
+    /// Park counts of wires torn down by rebalancing (observability
+    /// carries across re-dials).
+    retired_parks: u64,
+    retired_peak_parked: u64,
 }
 
 /// The default parallel simulator: radix event queue, SPSC ring
@@ -1000,7 +1049,52 @@ impl<Q: SimQueue<PacketEvent> + Default + Send> GenericParPacketSim<Q> {
             fold_trace: true,
             tuning,
             tel_level: Level::Off,
+            rebalance: None,
+            window_base: vec![0; shards_n],
+            window_start_epoch: 0,
+            epoch_base: vec![0; shards_n],
+            imbalance_hw: 1.0,
+            rebalance_evals: 0,
+            rebalance_applied: 0,
+            nodes_migrated: 0,
+            wire_counters: std::collections::BTreeMap::new(),
+            retired_parks: 0,
+            retired_peak_parked: 0,
         }
+    }
+
+    /// Enables (`Some`) or disables (`None`) adaptive shard
+    /// rebalancing. With a config set, the controller evaluates the
+    /// partition every [`RebalanceConfig::min_epoch_gap`] sampled epoch
+    /// barriers: when the window's max/mean per-shard event imbalance
+    /// reaches [`RebalanceConfig::trigger_imbalance`], it computes a
+    /// [`rebalance_plan`] from the
+    /// deterministic per-node event counts and migrates subtree
+    /// ownership at the barrier. Purely a wall-clock optimization: the
+    /// simulated trace and every reported simulation quantity are
+    /// bit-identical with rebalancing on, off, or at any threshold —
+    /// the golden tests pin exactly that.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `trigger_imbalance` is below 1 or not finite, or
+    /// `min_epoch_gap` is zero.
+    pub fn set_rebalance(&mut self, config: Option<RebalanceConfig>) {
+        if let Some(cfg) = &config {
+            assert!(
+                cfg.trigger_imbalance.is_finite() && cfg.trigger_imbalance >= 1.0,
+                "trigger_imbalance must be a finite ratio >= 1"
+            );
+            assert!(cfg.min_epoch_gap >= 1, "min_epoch_gap must be >= 1");
+        }
+        self.rebalance = config;
+        let on = self.rebalance.is_some();
+        for shard in &mut self.shards {
+            shard.track_loads = on;
+            shard.window_events.iter_mut().for_each(|w| *w = 0);
+        }
+        self.window_base = self.shards.iter().map(|s| s.queue.processed()).collect();
+        self.window_start_epoch = self.epochs_sampled;
     }
 
     /// Selects the observation level: [`Level::Off`] (the default,
@@ -1035,8 +1129,8 @@ impl<Q: SimQueue<PacketEvent> + Default + Send> GenericParPacketSim<Q> {
             merged.merge_from(&shard.tel);
         }
         merged.snapshot_into(&mut snap);
-        let mut parks = 0u64;
-        let mut peak = 0u64;
+        let mut parks = self.retired_parks;
+        let mut peak = self.retired_peak_parked;
         for shard in &self.shards {
             for link in &shard.out_links {
                 parks += link.parks;
@@ -1045,6 +1139,22 @@ impl<Q: SimQueue<PacketEvent> + Default + Send> GenericParPacketSim<Q> {
         }
         snap.push_counter("pdes.overflow.parks", parks);
         snap.push_counter("pdes.overflow.peak_parked", peak);
+        for shard in &self.shards {
+            snap.push_counter(
+                &format!("pdes.shard.{}.events", shard.id),
+                shard.queue.processed(),
+            );
+        }
+        // Fixed-point (x1000): the snapshot carries u64 counters only.
+        snap.push_counter(
+            "pdes.imbalance.max_over_mean",
+            (self.imbalance_hw * 1000.0).round() as u64,
+        );
+        if self.rebalance.is_some() {
+            snap.push_counter("pdes.rebalance.evaluations", self.rebalance_evals);
+            snap.push_counter("pdes.rebalance.applied", self.rebalance_applied);
+            snap.push_counter("pdes.rebalance.nodes_migrated", self.nodes_migrated);
+        }
         for shard in &self.shards {
             for link in &shard.out_links {
                 if link.parks > 0 {
@@ -1166,6 +1276,132 @@ impl<Q: SimQueue<PacketEvent> + Default + Send> GenericParPacketSim<Q> {
         sum
     }
 
+    /// Observation only: folds this epoch's per-shard event-count
+    /// deltas into the max/mean imbalance high-water mark.
+    fn observe_epoch(&mut self) {
+        let shards = self.shards.len();
+        if shards < 2 {
+            return;
+        }
+        let mut deltas = Vec::with_capacity(shards);
+        for (shard, base) in self.shards.iter().zip(self.epoch_base.iter_mut()) {
+            let now = shard.queue.processed();
+            deltas.push(now - *base);
+            *base = now;
+        }
+        let imbalance = LoadSummary {
+            shard_events: deltas,
+        }
+        .imbalance();
+        if imbalance > self.imbalance_hw {
+            self.imbalance_hw = imbalance;
+        }
+    }
+
+    /// The rebalance controller, run at every sampled epoch barrier.
+    /// Quiet epochs cost an `O(shards)` comparison — the per-node
+    /// attribution keeps accumulating untouched; only an over-threshold
+    /// window pays the `O(n)` gather-and-reset plus the weighted
+    /// re-cut. Attribution therefore covers everything since the last
+    /// evaluation (or arming), which only makes the weights a longer
+    /// observation of the same deterministic signal.
+    fn maybe_rebalance(&mut self) {
+        let Some(cfg) = self.rebalance else { return };
+        if self.shards.len() < 2
+            || self.epochs_sampled - self.window_start_epoch < cfg.min_epoch_gap
+        {
+            return;
+        }
+        // Close the observation window: per-shard processed deltas are
+        // the trigger signal (`queue.processed()` is deterministic).
+        let deltas: Vec<u64> = self
+            .shards
+            .iter()
+            .zip(&self.window_base)
+            .map(|(shard, base)| shard.queue.processed() - base)
+            .collect();
+        let window = LoadSummary {
+            shard_events: deltas,
+        };
+        if window.imbalance() >= cfg.trigger_imbalance {
+            self.rebalance_evals += 1;
+            // Gather the deterministic per-node attribution and plan.
+            let n = self.core.world.len();
+            let mut node_events = vec![0u64; n];
+            for (j, count) in node_events.iter_mut().enumerate() {
+                let s = self.core.partition.shard_of[j];
+                let li = self.core.partition.local_index[j] as usize;
+                *count = self.shards[s].window_events[li];
+            }
+            let plan = rebalance_plan(&self.core.world.tree, &self.core.partition, &node_events);
+            if !plan.is_empty() {
+                self.rebalance_applied += 1;
+                self.nodes_migrated += plan.moves.len() as u64;
+                ops::apply_rebalance(&mut self.core, &mut self.shards, &plan);
+                self.rebuild_wires();
+            }
+            // Per-node attribution restarts only after an evaluation
+            // actually spent it — zeroing is O(n), and paying it on
+            // quiet windows would betray the O(shards) idle cost.
+            for shard in &mut self.shards {
+                shard.window_events.iter_mut().for_each(|w| *w = 0);
+            }
+        }
+        // Open the next trigger window (whether or not anything moved).
+        self.window_base = self.shards.iter().map(|s| s.queue.processed()).collect();
+        self.window_start_epoch = self.epochs_sampled;
+    }
+
+    /// Tears down every inter-shard wire and re-dials the cut pairs of
+    /// the (just rebalanced) partition. Safe exactly at a barrier: the
+    /// `EpochEnd` handshake drained every wire, overflow queue, and
+    /// merge stage, so old channels hold nothing. Deterministic: the
+    /// cut pairs are a pure function of the partition, per-cut message
+    /// counters persist across re-dials (inbound merge keys embed
+    /// them), and fresh promises start at the truthful
+    /// `horizon + lookahead` every sender already guarantees.
+    fn rebuild_wires(&mut self) {
+        for shard in &self.shards {
+            for link in &shard.out_links {
+                debug_assert!(link.overflow.is_empty(), "overflow drained at the barrier");
+                self.wire_counters
+                    .insert((shard.id, link.peer), link.counter);
+                self.retired_parks += link.parks;
+                self.retired_peak_parked = self.retired_peak_parked.max(link.peak_parked);
+            }
+            for link in &shard.in_links {
+                debug_assert!(link.staged.is_none(), "merge stage empty at the barrier");
+            }
+        }
+        let shards_n = self.shards.len();
+        let mut transport = self.tuning.transport;
+        let mut out_links: Vec<Vec<OutLink>> = (0..shards_n).map(|_| Vec::new()).collect();
+        let mut in_links: Vec<Vec<InLink>> = (0..shards_n).map(|_| Vec::new()).collect();
+        let lookahead = SimTime::from_secs(self.core.world.config.link_delay);
+        let fresh_promise = self.core.horizon + lookahead;
+        for (src, dst) in self.core.partition.cut_pairs(&self.core.world.tree) {
+            let (tx, rx) = transport.open_wire(src, dst);
+            let mut out = OutLink::new(dst, tx);
+            out.counter = self.wire_counters.get(&(src, dst)).copied().unwrap_or(0);
+            out_links[src].push(out);
+            let mut inl = InLink::new(src, rx);
+            inl.promise = fresh_promise;
+            in_links[dst].push(inl);
+        }
+        for (shard, (outs, ins)) in self
+            .shards
+            .iter_mut()
+            .zip(out_links.into_iter().zip(in_links))
+        {
+            shard.out_links = outs;
+            shard.in_links = ins;
+            shard.out_for = vec![usize::MAX; shards_n];
+            for (li, link) in shard.out_links.iter().enumerate() {
+                shard.out_for[link.peer] = li;
+            }
+        }
+    }
+
     /// Runs the simulation up to `duration` simulated seconds and
     /// reports, exactly as [`PacketSim::run`](ww_core::packetsim::GenericPacketSim::run):
     /// one barrier + sample per diffusion epoch boundary, then a final
@@ -1184,6 +1420,8 @@ impl<Q: SimQueue<PacketEvent> + Default + Send> GenericParPacketSim<Q> {
             };
             self.trace.push(sum.value().sqrt());
             self.epochs_sampled += 1;
+            self.observe_epoch();
+            self.maybe_rebalance();
         }
         self.advance_all(deadline, false);
         if deadline > self.core.horizon {
@@ -1206,8 +1444,8 @@ impl<Q: SimQueue<PacketEvent> + Default + Send> GenericParPacketSim<Q> {
         let final_distance = served_rates.euclidean_distance(&self.core.world.oracle);
         let mut ledger = TrafficLedger::new();
         let mut counters = PacketCounters::default();
-        let mut overflow_parks = 0u64;
-        let mut overflow_peak_parked = 0u64;
+        let mut overflow_parks = self.retired_parks;
+        let mut overflow_peak_parked = self.retired_peak_parked;
         for shard in &self.shards {
             ledger.merge(&shard.ledger);
             counters.merge(&shard.counters);
@@ -1216,6 +1454,12 @@ impl<Q: SimQueue<PacketEvent> + Default + Send> GenericParPacketSim<Q> {
                 overflow_peak_parked = overflow_peak_parked.max(link.peak_parked);
             }
         }
+        let shard_event_counts: Vec<u64> =
+            self.shards.iter().map(|s| s.queue.processed()).collect();
+        let imbalance = LoadSummary {
+            shard_events: shard_event_counts.clone(),
+        }
+        .imbalance();
         PacketSimReport {
             final_distance,
             served_rates,
@@ -1233,9 +1477,11 @@ impl<Q: SimQueue<PacketEvent> + Default + Send> GenericParPacketSim<Q> {
             // Every event is processed by exactly one shard (local pops,
             // timer fires, and inbound clock advances), so the sum
             // matches the sequential driver's count bit-for-bit.
-            processed_events: self.shards.iter().map(|s| s.queue.processed()).sum(),
+            processed_events: shard_event_counts.iter().sum(),
             overflow_parks,
             overflow_peak_parked,
+            shard_event_counts,
+            imbalance,
         }
     }
 

@@ -18,7 +18,7 @@
 //! pure function — no partition data ever crosses the network.
 
 use crate::engine::{build_shard, run_shard, InLink, OutLink, Shared};
-use crate::ops::{self, SimCore, SingleStore};
+use crate::ops::{self, ShardStore, SimCore, SingleStore};
 use crate::partition::{partition_subtrees, Partition};
 use crate::transport::{LinkError, WireReceiver, WireSender};
 use std::time::Duration;
@@ -374,5 +374,30 @@ impl<Q: SimQueue<PacketEvent> + Default + Send> ShardHost<Q> {
     /// Panics if no batch is open.
     pub fn commit_batch(&mut self) {
         ops::commit_batch(&mut self.core, &mut self.store);
+    }
+
+    /// Applies a rebalance plan to the replicated bookkeeping — the
+    /// barrier-replicated twin of the in-process controller's
+    /// migration step. Only a *replica* (a host holding no shard) can
+    /// mirror a plan: migration moves state between two shards, and a
+    /// single-shard worker holds at most one side. The distributed
+    /// runtime therefore rejects the rebalance knob at launch with a
+    /// typed `ww_dist::DistError::Unsupported`; this entry point
+    /// exists so a coordinator replica *could* track an in-process
+    /// rebalanced run's partition.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a barrier batch is open, or if this host holds a shard
+    /// touched by any migration (one-sided migration is unsupported by
+    /// construction).
+    pub fn apply_rebalance(&mut self, plan: &crate::rebalance::RebalancePlan) {
+        for m in &plan.moves {
+            assert!(
+                self.store.shard_mut(m.from).is_none() && self.store.shard_mut(m.to).is_none(),
+                "a single-shard host cannot apply migrations touching its shard"
+            );
+        }
+        ops::apply_rebalance(&mut self.core, &mut self.store, plan);
     }
 }

@@ -15,7 +15,11 @@
 //!   to sample the convergence trace. The shard-to-shard hot path rides
 //!   lock-free SPSC rings with per-lookahead-window batching and a
 //!   one-event merge stage per wire (see [`PdesTuning`]); the legacy
-//!   channel transport stays selectable for comparison.
+//!   channel transport stays selectable for comparison;
+//! * [`rebalance`] makes the partition *adaptive*: at epoch barriers a
+//!   pure function of the deterministic per-shard event counters can
+//!   re-peel the tree by observed load and migrate subtree ownership —
+//!   without changing a single bit of the simulated trace.
 //!
 //! The result is **bit-identical** to the sequential simulator at every
 //! worker count: all randomness is content-keyed per node, all
@@ -47,11 +51,13 @@ pub mod engine;
 pub mod host;
 mod ops;
 pub mod partition;
+pub mod rebalance;
 pub mod transport;
 
 pub use engine::{GenericParPacketSim, HeapParPacketSim, ParPacketSim, PdesTuning};
 pub use host::{PacketShardHost, ShardHost, DEFAULT_STALL_TIMEOUT};
 pub use partition::{partition_subtrees, Partition};
+pub use rebalance::{rebalance_plan, LoadSummary, Migration, RebalanceConfig, RebalancePlan};
 pub use transport::{
     LinkError, StageError, Transport, TransportKind, Wire, WireReceiver, WireSender,
 };

@@ -13,6 +13,11 @@
 //! everywhere and mutated identically — it is a pure function of the
 //! operation's arguments.
 //!
+//! The one exception is [`apply_rebalance`], which by design moves
+//! state *between* shards: it requires both ends of every migration to
+//! be held (or neither), so it runs only in-process or on a pure
+//! replica — never on a single-shard distributed worker.
+//!
 //! [`SimCore`] carries that replicated bookkeeping; [`ShardStore`]
 //! abstracts shard ownership.
 
@@ -213,6 +218,7 @@ pub(crate) fn add_leaf<Q: SimQueue<PacketEvent>>(
         shard
             .states
             .push(packet::init_state_at(&core.world, id, at.as_secs()));
+        shard.window_events.push(0);
     }
     core.failed_up.push(false);
     if let Some(steps) = &mut core.batch {
@@ -253,6 +259,7 @@ pub(crate) fn remove_leaf<Q: SimQueue<PacketEvent>>(
         shard.states.swap_remove(li);
         shard.gossip_ring.swap_remove_member(li);
         shard.diffusion_ring.swap_remove_member(li);
+        shard.window_events.swap_remove(li);
     }
     core.failed_up.swap_remove(r);
     if let Some(steps) = &mut core.batch {
@@ -335,6 +342,137 @@ pub(crate) fn set_mix<Q: SimQueue<PacketEvent>>(
     let growth = core.world.set_mix(mix)?;
     apply_growth(core, store, growth);
     Ok(())
+}
+
+/// Applies a rebalance plan at the current barrier: each migrating
+/// node's state, pending queue events, and pending timer fires move
+/// from its donor shard to its recipient shard, in plan order
+/// (ascending node id).
+///
+/// Correctness rests on the barrier guarantees: wires are drained and
+/// merge stages empty, so *every* in-flight event targeting a node
+/// lives in its current owner's queue — extraction is complete. Within
+/// the recipient, a migrant's items are re-inserted in the exact
+/// `(time, key)` order the donor would have delivered them, drawing
+/// fresh sequence numbers from the recipient's counter; per-node
+/// relative order (the only order the node-local protocol can observe)
+/// is therefore preserved bit-for-bit.
+///
+/// Unlike churn ops, migration is all-or-nothing per move: the caller
+/// must hold **both** the donor and the recipient shard, or neither
+/// (a replica mirroring bookkeeping). Holding exactly one is a logic
+/// error — the distributed runtime rejects the rebalance knob up
+/// front, so its single-shard workers never reach this path.
+///
+/// # Panics
+///
+/// Panics if a barrier batch is open, or if exactly one side of a
+/// migration is held.
+pub(crate) fn apply_rebalance<Q: SimQueue<PacketEvent>>(
+    core: &mut SimCore,
+    store: &mut impl ShardStore<Q>,
+    plan: &crate::rebalance::RebalancePlan,
+) {
+    assert!(
+        core.batch.is_none(),
+        "cannot rebalance inside an open barrier batch"
+    );
+    // A migrant's pending work, keyed for deterministic re-insertion.
+    enum Pending {
+        Event(PacketEvent),
+        Gossip(SimTime),
+        Diffusion(SimTime),
+    }
+    // One extraction sweep per donor shard, not per migrant:
+    // `extract_events` rebuilds the whole queue, so per-move extraction
+    // would cost O(moves x queue) on a large plan. The barrier
+    // guarantees every in-flight event for a migrant already sits in
+    // its donor's queue, so sweeping before any move is complete; the
+    // per-move replay below then drains the buckets in plan order,
+    // exactly as per-move extraction would have.
+    let mut bucket_of = vec![u32::MAX; core.partition.shard_of.len()];
+    for (i, m) in plan.moves.iter().enumerate() {
+        bucket_of[m.node.index()] = i as u32;
+    }
+    let mut buckets: Vec<Vec<(SimTime, u64, PacketEvent)>> = Vec::new();
+    buckets.resize_with(plan.moves.len(), Vec::new);
+    let mut donors: Vec<usize> = plan.moves.iter().map(|m| m.from).collect();
+    donors.sort_unstable();
+    donors.dedup();
+    for &from in &donors {
+        if let Some(shard) = store.shard_mut(from) {
+            for (t, key, ev) in shard
+                .queue
+                .extract_events(|ev| bucket_of[ev.node().index()] != u32::MAX)
+            {
+                let b = bucket_of[ev.node().index()] as usize;
+                debug_assert_eq!(plan.moves[b].from, from, "event outside its owner's queue");
+                buckets[b].push((t, key, ev));
+            }
+        }
+    }
+    for (i, m) in plan.moves.iter().enumerate() {
+        let node = m.node.index();
+        debug_assert_eq!(core.partition.shard_of[node], m.from, "stale plan");
+        let old_li = core.partition.local_index[node] as usize;
+        let mut carried: Vec<(SimTime, u64, Pending)> = Vec::new();
+        let mut state: Option<NodeState> = None;
+        if let Some(shard) = store.shard_mut(m.from) {
+            for (t, key, ev) in buckets[i].drain(..) {
+                carried.push((t, key, Pending::Event(ev)));
+            }
+            // At a barrier every member's timers are armed (handlers
+            // rearm immediately after each pop).
+            let (gt, gseq) = shard
+                .gossip_ring
+                .fire_entry(old_li)
+                .expect("gossip timer armed at the barrier");
+            carried.push((gt, gseq, Pending::Gossip(gt)));
+            let (dt, dseq) = shard
+                .diffusion_ring
+                .fire_entry(old_li)
+                .expect("diffusion timer armed at the barrier");
+            carried.push((dt, dseq, Pending::Diffusion(dt)));
+            // All keys came from one merge domain (the donor's counter
+            // plus content-derived inbound keys), so they are unique
+            // and (time, key) is the donor's delivery order.
+            carried.sort_unstable_by_key(|&(at, key, _)| (at, key));
+            state = Some(shard.states.swap_remove(old_li));
+            shard.gossip_ring.swap_remove_member(old_li);
+            shard.diffusion_ring.swap_remove_member(old_li);
+            shard.window_events.swap_remove(old_li);
+        }
+        let (from, li, new_li) = core.partition.move_node(node, m.to);
+        debug_assert_eq!((from, li), (m.from, old_li));
+        match store.shard_mut(m.to) {
+            Some(shard) => {
+                let state =
+                    state.expect("migration donor and recipient must be co-hosted (or neither)");
+                debug_assert_eq!(new_li, shard.states.len());
+                shard.states.push(state);
+                assert_eq!(shard.gossip_ring.add_member(), new_li);
+                assert_eq!(shard.diffusion_ring.add_member(), new_li);
+                shard.window_events.push(0);
+                for (t, _key, item) in carried {
+                    match item {
+                        Pending::Event(ev) => shard.queue.schedule(t, ev),
+                        Pending::Gossip(fire) => {
+                            let seq = shard.queue.alloc_seq();
+                            shard.gossip_ring.insert(new_li, fire, seq);
+                        }
+                        Pending::Diffusion(fire) => {
+                            let seq = shard.queue.alloc_seq();
+                            shard.diffusion_ring.insert(new_li, fire, seq);
+                        }
+                    }
+                }
+            }
+            None => assert!(
+                state.is_none(),
+                "migration donor and recipient must be co-hosted (or neither)"
+            ),
+        }
+    }
 }
 
 /// Opens a barrier batch on this participant: subsequent operations

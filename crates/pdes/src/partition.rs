@@ -22,7 +22,10 @@ pub struct Partition {
     pub shard_of: Vec<usize>,
     /// Index of every node within its shard's `members` list.
     pub local_index: Vec<u32>,
-    /// Nodes of each shard, in ascending node-id order.
+    /// Nodes of each shard. Freshly peeled partitions list members in
+    /// ascending node-id order; churn and migration compact by
+    /// swap-remove and append at the back, so the order is merely
+    /// *deterministic*, not sorted — no consumer may rely on sortedness.
     pub members: Vec<Vec<NodeId>>,
 }
 
@@ -72,6 +75,51 @@ impl Partition {
             self.members[ms][mli] = NodeId::new(node);
         }
         (s, li)
+    }
+
+    /// Moves `node` to shard `to`, compacting the donor's member list
+    /// by swap-remove and appending to the recipient's. Returns
+    /// `(donor shard, donor local index, recipient local index)`; the
+    /// caller must apply the identical swap-remove/push to the two
+    /// shards' state vectors and timer rings. Connectivity of the
+    /// resulting shards is the *caller's* obligation — rebalancing only
+    /// ever moves whole subtree regions, so every intermediate single
+    /// move here is just bookkeeping.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node` or `to` is out of range, or if `node` already
+    /// lives on shard `to` (a no-op migration is a planner bug).
+    pub fn move_node(&mut self, node: usize, to: usize) -> (usize, usize, usize) {
+        assert!(node < self.shard_of.len(), "node out of range");
+        assert!(to < self.members.len(), "shard out of range");
+        let from = self.shard_of[node];
+        assert_ne!(from, to, "no-op migration for node {node}");
+        let li = self.local_index[node] as usize;
+        self.members[from].swap_remove(li);
+        if let Some(&w) = self.members[from].get(li) {
+            self.local_index[w.index()] = li as u32;
+        }
+        let new_li = self.members[to].len();
+        self.members[to].push(NodeId::new(node));
+        self.shard_of[node] = to;
+        self.local_index[node] = new_li as u32;
+        (from, li, new_li)
+    }
+
+    /// Sums `node_events` (one count per global node id) into the
+    /// per-shard load summary rebalancing decisions are made from.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node_events` is shorter than the node count.
+    pub fn load_summary(&self, node_events: &[u64]) -> crate::rebalance::LoadSummary {
+        assert!(node_events.len() >= self.shard_of.len(), "count per node");
+        let mut shard_events = vec![0u64; self.shards()];
+        for (u, &s) in self.shard_of.iter().enumerate() {
+            shard_events[s] += node_events[u];
+        }
+        crate::rebalance::LoadSummary { shard_events }
     }
 
     /// The ordered list of shard pairs connected by at least one tree

@@ -1,0 +1,423 @@
+//! Golden equivalence under *adaptive rebalancing*: migrating nodes
+//! between shards at epoch barriers must never change a reported bit.
+//! The sharded simulator with rebalancing enabled — at any threshold,
+//! any window, any worker count — replays the sequential `PacketSim`
+//! and its own static-partition twin exactly, on a quiet world and
+//! under the full churn grammar alike. Rebalancing only changes which
+//! thread executes which node.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use ww_core::packetsim::{PacketSim, PacketSimConfig, PacketSimReport};
+use ww_model::{DocId, NodeId, Tree};
+use ww_net::TrafficClass;
+use ww_pdes::{ParPacketSim, RebalanceConfig};
+use ww_telemetry::Level;
+use ww_workload::DocMix;
+
+/// A random tree with a heavily Zipf-skewed workload: most demand lands
+/// on a few subtrees, so a contiguity-only peel leaves the shards
+/// lopsided and the rebalancer has something real to do.
+fn skewed_mix(seed: u64, nodes: usize) -> (Tree, DocMix) {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let tree = ww_topology::random_tree_of_depth(&mut rng, nodes, 6);
+    let rates = ww_workload::zipf_nodes(&mut rng, &tree, 20.0 * nodes as f64, 1.3);
+    let mix = ww_workload::shared_zipf_mix(&tree, &rates, 12, 1.0);
+    (tree, mix)
+}
+
+fn bits(xs: &[f64]) -> Vec<u64> {
+    xs.iter().map(|x| x.to_bits()).collect()
+}
+
+/// Everything partition-independent must match bit for bit. The
+/// partition-*dependent* diagnostics (`shard_event_counts`, `imbalance`,
+/// `overflow_parks`) are deliberately not compared — they describe how
+/// the work was split, not what was simulated.
+fn assert_reports_identical(a: &PacketSimReport, b: &PacketSimReport, label: &str) {
+    assert_eq!(
+        bits(a.trace.distances()),
+        bits(b.trace.distances()),
+        "{label}: traces diverge"
+    );
+    assert_eq!(
+        bits(a.served_rates.as_slice()),
+        bits(b.served_rates.as_slice()),
+        "{label}: served rates diverge"
+    );
+    assert_eq!(
+        a.final_distance.to_bits(),
+        b.final_distance.to_bits(),
+        "{label}: final distance diverges"
+    );
+    assert_eq!(a.served_requests, b.served_requests, "{label}: served");
+    assert_eq!(
+        a.processed_events, b.processed_events,
+        "{label}: processed events"
+    );
+    assert_eq!(a.copy_pushes, b.copy_pushes, "{label}: pushes");
+    assert_eq!(a.tunnel_fetches, b.tunnel_fetches, "{label}: fetches");
+    assert_eq!(
+        a.mean_hops.to_bits(),
+        b.mean_hops.to_bits(),
+        "{label}: mean hops"
+    );
+    for class in [
+        TrafficClass::Request,
+        TrafficClass::Response,
+        TrafficClass::Gossip,
+        TrafficClass::CopyPush,
+        TrafficClass::Tunnel,
+    ] {
+        assert_eq!(
+            a.ledger.count(class),
+            b.ledger.count(class),
+            "{label}: {class:?} count"
+        );
+        assert_eq!(
+            a.ledger.bytes(class),
+            b.ledger.bytes(class),
+            "{label}: {class:?} bytes"
+        );
+    }
+}
+
+/// An aggressive config: re-peel whenever the closed window shows any
+/// skew at all, every epoch. Maximizes migrations, so equivalence under
+/// it is the strongest pin.
+fn eager() -> RebalanceConfig {
+    RebalanceConfig {
+        trigger_imbalance: 1.05,
+        min_epoch_gap: 1,
+    }
+}
+
+#[test]
+fn event_free_rebalancing_matches_sequential_at_every_worker_count() {
+    let (tree, mix) = skewed_mix(0xBA1A1, 60);
+    let config = PacketSimConfig {
+        seed: 21,
+        ..PacketSimConfig::default()
+    };
+    let seq = PacketSim::new(&tree, &mix, config).run(10.0);
+    assert!(
+        seq.served_requests > 1000,
+        "run long enough to mean something"
+    );
+    for workers in [1, 2, 4, 8] {
+        for rebalance in [
+            None,
+            Some(eager()),
+            Some(RebalanceConfig {
+                trigger_imbalance: 1.5,
+                min_epoch_gap: 3,
+            }),
+        ] {
+            let mut par = ParPacketSim::new(&tree, &mix, config, workers);
+            par.set_rebalance(rebalance);
+            let rep = par.run(10.0);
+            assert_reports_identical(
+                &seq,
+                &rep,
+                &format!("workers={workers} rebalance={rebalance:?}"),
+            );
+            // The partition-dependent diagnostics still reconcile: the
+            // per-shard event counts cover every processed event.
+            assert_eq!(
+                rep.shard_event_counts.iter().sum::<u64>(),
+                rep.processed_events,
+                "shard counts must partition the processed total"
+            );
+            assert!(rep.imbalance >= 1.0, "max/mean is at least 1");
+        }
+    }
+}
+
+/// The barrier operations both drivers expose, scripted (the same
+/// grammar as `golden_dynamics.rs`): churn, workload shifts, document
+/// lifecycle, link failures — interleaved with migration windows.
+#[derive(Debug, Clone)]
+enum Op {
+    Run(f64),
+    Join { parent: usize, rate: f64 },
+    Leave { node: usize },
+    Shift { docs: usize, theta: f64 },
+    Publish { doc: u64, origin: usize, rate: f64 },
+    Invalidate { doc: u64 },
+    Fail { node: usize },
+    Heal { node: usize },
+}
+
+trait Driver {
+    fn run(&mut self, horizon: f64) -> PacketSimReport;
+    fn tree(&self) -> &Tree;
+    fn add_leaf(&mut self, parent: NodeId, rate: f64);
+    fn remove_leaf(&mut self, node: NodeId);
+    fn set_mix(&mut self, mix: &DocMix);
+    fn publish_doc(&mut self, doc: DocId, origin: NodeId, rate: f64);
+    fn invalidate(&mut self, doc: DocId);
+    fn fail_link(&mut self, node: NodeId);
+    fn heal_link(&mut self, node: NodeId);
+}
+
+impl Driver for PacketSim {
+    fn run(&mut self, horizon: f64) -> PacketSimReport {
+        PacketSim::run(self, horizon)
+    }
+    fn tree(&self) -> &Tree {
+        PacketSim::tree(self)
+    }
+    fn add_leaf(&mut self, parent: NodeId, rate: f64) {
+        PacketSim::add_leaf(self, parent, rate).expect("join applies");
+    }
+    fn remove_leaf(&mut self, node: NodeId) {
+        PacketSim::remove_leaf(self, node).expect("leave applies");
+    }
+    fn set_mix(&mut self, mix: &DocMix) {
+        PacketSim::set_mix(self, mix).expect("shift applies");
+    }
+    fn publish_doc(&mut self, doc: DocId, origin: NodeId, rate: f64) {
+        PacketSim::publish_doc(self, doc, origin, rate).expect("publish applies");
+    }
+    fn invalidate(&mut self, doc: DocId) {
+        PacketSim::invalidate(self, doc).expect("invalidate applies");
+    }
+    fn fail_link(&mut self, node: NodeId) {
+        PacketSim::fail_link(self, node);
+    }
+    fn heal_link(&mut self, node: NodeId) {
+        PacketSim::heal_link(self, node);
+    }
+}
+
+impl Driver for ParPacketSim {
+    fn run(&mut self, horizon: f64) -> PacketSimReport {
+        ParPacketSim::run(self, horizon)
+    }
+    fn tree(&self) -> &Tree {
+        ParPacketSim::tree(self)
+    }
+    fn add_leaf(&mut self, parent: NodeId, rate: f64) {
+        ParPacketSim::add_leaf(self, parent, rate).expect("join applies");
+    }
+    fn remove_leaf(&mut self, node: NodeId) {
+        ParPacketSim::remove_leaf(self, node).expect("leave applies");
+    }
+    fn set_mix(&mut self, mix: &DocMix) {
+        ParPacketSim::set_mix(self, mix).expect("shift applies");
+    }
+    fn publish_doc(&mut self, doc: DocId, origin: NodeId, rate: f64) {
+        ParPacketSim::publish_doc(self, doc, origin, rate).expect("publish applies");
+    }
+    fn invalidate(&mut self, doc: DocId) {
+        ParPacketSim::invalidate(self, doc).expect("invalidate applies");
+    }
+    fn fail_link(&mut self, node: NodeId) {
+        ParPacketSim::fail_link(self, node);
+    }
+    fn heal_link(&mut self, node: NodeId) {
+        ParPacketSim::heal_link(self, node);
+    }
+}
+
+fn replay(driver: &mut dyn Driver, script: &[Op]) -> PacketSimReport {
+    let mut report = None;
+    for op in script {
+        match *op {
+            Op::Run(h) => report = Some(driver.run(h)),
+            Op::Join { parent, rate } => driver.add_leaf(NodeId::new(parent), rate),
+            Op::Leave { node } => driver.remove_leaf(NodeId::new(node)),
+            Op::Shift { docs, theta } => {
+                let tree = driver.tree().clone();
+                let rates = ww_workload::uniform(&tree, 15.0);
+                let mix = ww_workload::shared_zipf_mix(&tree, &rates, docs, theta);
+                driver.set_mix(&mix);
+            }
+            Op::Publish { doc, origin, rate } => {
+                driver.publish_doc(DocId::new(doc), NodeId::new(origin), rate);
+            }
+            Op::Invalidate { doc } => driver.invalidate(DocId::new(doc)),
+            Op::Fail { node } => driver.fail_link(NodeId::new(node)),
+            Op::Heal { node } => driver.heal_link(NodeId::new(node)),
+        }
+    }
+    report.expect("script ends with a run")
+}
+
+/// Every barrier-op kind at least once, interleaved with enough epochs
+/// for an eager rebalancer to migrate between (and right after) them.
+fn churn_script(tree: &Tree) -> Vec<Op> {
+    let leaf = (0..tree.len())
+        .rev()
+        .map(NodeId::new)
+        .find(|&u| tree.is_leaf(u))
+        .expect("tree has a leaf")
+        .index();
+    vec![
+        Op::Run(2.0),
+        Op::Join {
+            parent: 0,
+            rate: 40.0,
+        },
+        Op::Run(4.0),
+        Op::Fail { node: 1 },
+        Op::Shift {
+            docs: 8,
+            theta: 0.6,
+        },
+        Op::Run(6.0),
+        Op::Leave { node: leaf },
+        Op::Heal { node: 1 },
+        Op::Run(8.0),
+        Op::Publish {
+            doc: 777,
+            origin: 2,
+            rate: 25.0,
+        },
+        Op::Run(10.0),
+        Op::Invalidate { doc: 777 },
+        Op::Run(12.0),
+    ]
+}
+
+#[test]
+fn churned_run_with_rebalancing_matches_sequential_at_every_worker_count() {
+    let (tree, mix) = skewed_mix(0xBA1A2, 40);
+    let config = PacketSimConfig {
+        seed: 7,
+        ..PacketSimConfig::default()
+    };
+    let script = churn_script(&tree);
+    let mut seq = PacketSim::new(&tree, &mix, config);
+    let seq_report = replay(&mut seq, &script);
+    assert!(
+        seq_report.served_requests > 500,
+        "churned run must do real work, served {}",
+        seq_report.served_requests
+    );
+    for workers in [1, 2, 4, 8] {
+        let mut par = ParPacketSim::new(&tree, &mix, config, workers);
+        par.set_rebalance(Some(eager()));
+        let par_report = replay(&mut par, &script);
+        assert_reports_identical(
+            &seq_report,
+            &par_report,
+            &format!("churn+rebalance workers={workers}"),
+        );
+        // Per-node lifetime counters survive migration too.
+        for j in 0..seq.tree().len() {
+            assert_eq!(
+                seq.served_total(NodeId::new(j)),
+                par.served_total(NodeId::new(j)),
+                "served_total diverges at node {j}, workers={workers}"
+            );
+        }
+    }
+}
+
+#[test]
+fn skewed_run_actually_migrates_and_stays_identical() {
+    // The rebalancer must not be vacuously correct: on a skewed world it
+    // has to fire, move nodes, and still report the static partition's
+    // bits exactly.
+    let (tree, mix) = skewed_mix(0xABBA, 60);
+    let config = PacketSimConfig {
+        seed: 5,
+        ..PacketSimConfig::default()
+    };
+    let static_rep = ParPacketSim::new(&tree, &mix, config, 4).run(10.0);
+
+    let mut adaptive = ParPacketSim::new(&tree, &mix, config, 4);
+    adaptive.set_telemetry(Level::Counters);
+    adaptive.set_rebalance(Some(eager()));
+    let adaptive_rep = adaptive.run(10.0);
+    assert_reports_identical(&static_rep, &adaptive_rep, "static vs adaptive");
+
+    let snap = adaptive.telemetry_snapshot();
+    let applied = snap
+        .counter("pdes.rebalance.applied")
+        .expect("applied counter present");
+    let migrated = snap
+        .counter("pdes.rebalance.nodes_migrated")
+        .expect("migration counter present");
+    assert!(
+        applied >= 1,
+        "skewed world must trigger at least one re-peel"
+    );
+    assert!(migrated >= 1, "an applied re-peel moves at least one node");
+    // The per-shard event counters and the imbalance high-water are
+    // exported for observability.
+    for shard in 0..4 {
+        assert!(
+            snap.counter(&format!("pdes.shard.{shard}.events"))
+                .is_some(),
+            "per-shard event counter missing for shard {shard}"
+        );
+    }
+    assert!(
+        snap.counter("pdes.imbalance.max_over_mean")
+            .expect("imbalance high-water present")
+            >= 1000,
+        "fixed-point max/mean is at least 1.000"
+    );
+}
+
+#[test]
+fn min_epoch_gap_is_honored() {
+    // With the trigger floored at 1.0 every window close counts as an
+    // evaluation, so the evaluations counter measures the cadence: a
+    // gap of g closes exactly floor(epochs / g) windows.
+    let (tree, mix) = skewed_mix(0xCADE, 40);
+    let config = PacketSimConfig {
+        seed: 2,
+        ..PacketSimConfig::default()
+    };
+    for (gap, expected) in [(1u64, 12u64), (3, 4), (5, 2)] {
+        let mut sim = ParPacketSim::new(&tree, &mix, config, 4);
+        sim.set_telemetry(Level::Counters);
+        sim.set_rebalance(Some(RebalanceConfig {
+            trigger_imbalance: 1.0,
+            min_epoch_gap: gap,
+        }));
+        sim.run(12.0);
+        let evals = sim
+            .telemetry_snapshot()
+            .counter("pdes.rebalance.evaluations")
+            .expect("evaluations counter present");
+        assert_eq!(
+            evals, expected,
+            "gap={gap}: 12 epochs must close exactly {expected} windows"
+        );
+    }
+}
+
+#[test]
+fn rebalancing_is_deterministic_across_reruns() {
+    let (tree, mix) = skewed_mix(0xD0D0, 50);
+    let config = PacketSimConfig {
+        seed: 13,
+        ..PacketSimConfig::default()
+    };
+    let run_once = || {
+        let mut sim = ParPacketSim::new(&tree, &mix, config, 4);
+        sim.set_telemetry(Level::Counters);
+        sim.set_rebalance(Some(eager()));
+        let rep = sim.run(8.0);
+        let snap = sim.telemetry_snapshot();
+        (
+            rep,
+            snap.counter("pdes.rebalance.applied"),
+            snap.counter("pdes.rebalance.nodes_migrated"),
+            snap.counter("pdes.imbalance.max_over_mean"),
+        )
+    };
+    let (a, a_applied, a_migrated, a_hw) = run_once();
+    let (b, b_applied, b_migrated, b_hw) = run_once();
+    assert_reports_identical(&a, &b, "rerun");
+    // Even the *decisions* replay: same windows, same plans, same moves.
+    assert_eq!(a.shard_event_counts, b.shard_event_counts);
+    assert_eq!(a.imbalance.to_bits(), b.imbalance.to_bits());
+    assert_eq!(a_applied, b_applied, "applied counts diverge");
+    assert_eq!(a_migrated, b_migrated, "migration counts diverge");
+    assert_eq!(a_hw, b_hw, "imbalance high-water diverges");
+}

@@ -538,6 +538,22 @@ impl ParPacketEngine {
         }
     }
 
+    /// Like [`ParPacketEngine::new`], with adaptive shard rebalancing
+    /// armed when `rebalance` is `Some`. The knob changes which thread
+    /// executes which node, never the simulated trace — reported bits
+    /// stay identical to the sequential engine either way.
+    pub fn with_rebalance(
+        tree: &Tree,
+        mix: &ww_workload::DocMix,
+        config: PacketSimConfig,
+        workers: usize,
+        rebalance: Option<ww_pdes::RebalanceConfig>,
+    ) -> Self {
+        let mut engine = ParPacketEngine::new(tree, mix, config, workers);
+        engine.sim.set_rebalance(rebalance);
+        engine
+    }
+
     /// The most recent full packet-level report, if any step has run.
     pub fn last_report(&self) -> Option<&PacketSimReport> {
         self.last.as_ref()
@@ -681,14 +697,27 @@ impl DistPacketEngine {
     ///
     /// # Errors
     ///
-    /// [`ww_dist::DistError`] when the workers cannot be brought up.
+    /// [`ww_dist::DistError`] when the workers cannot be brought up, or
+    /// `DistError::Unsupported` when `rebalance` is `Some` — adaptive
+    /// shard rebalancing would migrate node state between single-shard
+    /// worker processes, which the wire protocol does not carry. The
+    /// knob is rejected up front rather than silently dropped, so a
+    /// distributed run can never quietly diverge from what was asked.
     pub fn launch(
         tree: &Tree,
         mix: &ww_workload::DocMix,
         config: PacketSimConfig,
         workers: usize,
         options: DistOptions,
+        rebalance: Option<ww_pdes::RebalanceConfig>,
     ) -> Result<Self, ww_dist::DistError> {
+        if rebalance.is_some() {
+            return Err(ww_dist::DistError::Unsupported {
+                detail: "adaptive shard rebalancing (drop the `rebalance` block, or run \
+                         in-process with `packet_sim_par`)"
+                    .into(),
+            });
+        }
         Ok(DistPacketEngine {
             sim: DistPacketSim::launch(tree, mix, config, workers, options)?,
             diffusion_period: config.diffusion_period,

@@ -10,8 +10,8 @@
 use crate::error::SpecError;
 use crate::events::{EventKindSpec, EventSpec, EventsSpec, DEFAULT_RECOVERY_THRESHOLD};
 use crate::spec::{
-    BaselineScheme, DocMixSpec, EngineSpec, PaperFigure, RatesSpec, ScenarioSpec, Sweep,
-    SweepParam, TelemetrySpec, Termination, TopologySpec, WorkloadSpec, DEFAULT_SEED,
+    BaselineScheme, DocMixSpec, EngineSpec, PaperFigure, RatesSpec, RebalanceSpec, ScenarioSpec,
+    Sweep, SweepParam, TelemetrySpec, Termination, TopologySpec, WorkloadSpec, DEFAULT_SEED,
 };
 use serde_json::{Map, Value};
 use ww_telemetry::Level;
@@ -48,6 +48,7 @@ impl ScenarioSpec {
                 "sweep",
                 "events",
                 "telemetry",
+                "rebalance",
             ],
             "",
         )?;
@@ -84,6 +85,29 @@ impl ScenarioSpec {
             Some(Value::Null) | None => TelemetrySpec::default(),
             Some(v) => parse_telemetry(v)?,
         };
+        let rebalance = match map.get("rebalance") {
+            Some(Value::Null) | None => None,
+            Some(v) => {
+                // Only the sharded engines have shards to re-balance.
+                // packet_sim_dist parses fine and is rejected at launch
+                // with a typed DistError::Unsupported instead, so the
+                // refusal names the actual limitation.
+                if !matches!(
+                    engine,
+                    EngineSpec::PacketSimPar { .. } | EngineSpec::PacketSimDist { .. }
+                ) {
+                    return Err(SpecError::at(
+                        "rebalance",
+                        format!(
+                            "adaptive rebalancing applies only to the packet_sim_par / \
+                             packet_sim_dist engines, not {}",
+                            engine.kind()
+                        ),
+                    ));
+                }
+                Some(parse_rebalance(v)?)
+            }
+        };
         Ok(ScenarioSpec {
             name,
             topology,
@@ -94,6 +118,7 @@ impl ScenarioSpec {
             sweep,
             events,
             telemetry,
+            rebalance,
         })
     }
 
@@ -120,6 +145,9 @@ impl ScenarioSpec {
             map.insert("events", events_value(events));
         }
         map.insert("telemetry", telemetry_value(&self.telemetry));
+        if let Some(rebalance) = &self.rebalance {
+            map.insert("rebalance", rebalance_value(rebalance));
+        }
         Value::Object(map)
     }
 }
@@ -788,6 +816,33 @@ fn parse_telemetry(value: &Value) -> Result<TelemetrySpec, SpecError> {
     Ok(TelemetrySpec { level, trace_out })
 }
 
+fn parse_rebalance(value: &Value) -> Result<RebalanceSpec, SpecError> {
+    let path = "rebalance";
+    let map = as_object(value, path)?;
+    reject_unknown(map, &["trigger_imbalance", "min_epoch_gap"], path)?;
+    let trigger_imbalance = req_f64(map, "trigger_imbalance", path)?;
+    if !trigger_imbalance.is_finite() || trigger_imbalance < 1.0 {
+        return Err(SpecError::at(
+            "rebalance.trigger_imbalance",
+            format!("expected a finite max-over-mean ratio of at least 1, got {trigger_imbalance}"),
+        ));
+    }
+    let min_epoch_gap = match map.get("min_epoch_gap") {
+        Some(v) => parse_u53(v, &join(path, "min_epoch_gap"))?,
+        None => 1,
+    };
+    if min_epoch_gap == 0 {
+        return Err(SpecError::at(
+            "rebalance.min_epoch_gap",
+            "the observation window must span at least 1 epoch",
+        ));
+    }
+    Ok(RebalanceSpec {
+        trigger_imbalance,
+        min_epoch_gap,
+    })
+}
+
 fn parse_events(value: &Value) -> Result<EventsSpec, SpecError> {
     let path = "events";
     let map = as_object(value, path)?;
@@ -1240,6 +1295,13 @@ fn telemetry_value(t: &TelemetrySpec) -> Value {
                 None => Value::Null,
             },
         ),
+    ])
+}
+
+fn rebalance_value(r: &RebalanceSpec) -> Value {
+    obj(vec![
+        ("trigger_imbalance", num(r.trigger_imbalance)),
+        ("min_epoch_gap", Value::Number(r.min_epoch_gap as f64)),
     ])
 }
 

@@ -99,6 +99,6 @@ pub use events::{
 };
 pub use runner::{drive, DriveResult, RunRow, Runner, ScenarioReport};
 pub use spec::{
-    BaselineScheme, DocMixSpec, EngineSpec, PaperFigure, RatesSpec, ScenarioSpec, Sweep,
-    SweepParam, TelemetrySpec, Termination, TopologySpec, WorkloadSpec, DEFAULT_SEED,
+    BaselineScheme, DocMixSpec, EngineSpec, PaperFigure, RatesSpec, RebalanceSpec, ScenarioSpec,
+    Sweep, SweepParam, TelemetrySpec, Termination, TopologySpec, WorkloadSpec, DEFAULT_SEED,
 };

@@ -986,6 +986,15 @@ fn require_mix(mix: Option<DocMix>, engine: &str) -> Result<DocMix, SpecError> {
     })
 }
 
+/// Spec-level rebalance knobs → the engine-level config. `None` when the
+/// spec has no `rebalance` block.
+fn rebalance_config(spec: &ScenarioSpec) -> Option<ww_pdes::RebalanceConfig> {
+    spec.rebalance.map(|r| ww_pdes::RebalanceConfig {
+        trigger_imbalance: r.trigger_imbalance,
+        min_epoch_gap: r.min_epoch_gap,
+    })
+}
+
 /// Spec → engine, with the spec's seed driving topology, workload, and
 /// engine randomness (in that order, from one generator — so a seed
 /// pins the whole run).
@@ -1080,7 +1089,7 @@ fn resolve_engine(spec: &ScenarioSpec, dist: &DistOptions) -> Result<Box<dyn Eng
             if *workers == 0 {
                 return Err(SpecError::at("engine.workers", "must be at least 1"));
             }
-            Box::new(ParPacketEngine::new(
+            Box::new(ParPacketEngine::with_rebalance(
                 &topo.tree,
                 &mix,
                 PacketSimConfig {
@@ -1097,6 +1106,7 @@ fn resolve_engine(spec: &ScenarioSpec, dist: &DistOptions) -> Result<Box<dyn Eng
                     noise_sigmas: *noise_sigmas,
                 },
                 *workers,
+                rebalance_config(spec),
             ))
         }
         EngineSpec::PacketSimDist {
@@ -1143,6 +1153,7 @@ fn resolve_engine(spec: &ScenarioSpec, dist: &DistOptions) -> Result<Box<dyn Eng
                 },
                 *workers,
                 dist.clone(),
+                rebalance_config(spec),
             )
             .map_err(|e| SpecError::at("engine", format!("distributed launch failed: {e}")))?;
             Box::new(engine)

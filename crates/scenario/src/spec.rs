@@ -44,6 +44,31 @@ pub struct ScenarioSpec {
     /// `docs/observability.md`). The default records nothing; no level
     /// changes a single simulated bit.
     pub telemetry: TelemetrySpec,
+    /// Optional adaptive shard rebalancing at epoch barriers (see
+    /// `docs/parallel.md`). Applies only to the `packet_sim_par` engine;
+    /// `packet_sim_dist` rejects it at launch with a typed error rather
+    /// than silently ignoring it. Rebalancing changes which worker
+    /// executes which node, never the simulated trace — reports stay
+    /// bit-identical with the block present, absent, or at any
+    /// threshold.
+    pub rebalance: Option<RebalanceSpec>,
+}
+
+/// Adaptive shard rebalancing knobs: when the per-shard event-count
+/// imbalance (max over mean) observed across a window of
+/// `min_epoch_gap` epochs reaches `trigger_imbalance`, the partition is
+/// re-peeled around the observed per-node loads and nodes migrate at
+/// the epoch barrier. Both the observation and the re-peel are pure
+/// functions of deterministic event counts, so the decision sequence is
+/// identical on every run and at every worker count.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RebalanceSpec {
+    /// Max-over-mean per-shard event ratio that arms a re-peel (≥ 1;
+    /// e.g. `1.2` tolerates 20% skew).
+    pub trigger_imbalance: f64,
+    /// Epochs per observation window (≥ 1): rebalancing is evaluated at
+    /// most once per `min_epoch_gap` epoch barriers.
+    pub min_epoch_gap: u64,
 }
 
 /// Observation-only instrumentation settings: how much the run records

@@ -128,6 +128,34 @@ fn dist_smoke_workers_sweep_rows_agree() {
     }
 }
 
+#[test]
+fn rebalance_block_is_rejected_at_launch_with_a_typed_error() {
+    // The distributed runtime cannot migrate node state between worker
+    // processes, so a `rebalance` block must fail loudly — builder's
+    // choice: a typed refusal, never a silently static run.
+    let mut spec = dist_smoke_base();
+    spec.rebalance = Some(ww_scenario::RebalanceSpec {
+        trigger_imbalance: 1.2,
+        min_epoch_gap: 2,
+    });
+    let err = Runner::new()
+        .run(&spec)
+        .expect_err("dist + rebalance must not launch");
+    let msg = err.to_string();
+    assert!(
+        msg.contains("distributed launch failed"),
+        "error {msg:?} should surface the launch failure"
+    );
+    assert!(
+        msg.contains("unsupported on the distributed runtime"),
+        "error {msg:?} should carry DistError::Unsupported"
+    );
+    assert!(
+        msg.contains("packet_sim_par"),
+        "error {msg:?} should point at the in-process alternative"
+    );
+}
+
 /// A full-grammar dynamics spec on the distributed engine: churn, a
 /// workload shift, a publish, an invalidation, and a link failure
 /// cycle, every mutation broadcast to the worker processes.

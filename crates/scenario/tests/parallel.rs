@@ -288,6 +288,108 @@ fn churn_dynamics_accepted_and_byte_identical_to_sequential_at_1_2_4_workers() {
     }
 }
 
+/// The same spec with an adaptive-rebalancing block.
+fn with_rebalance(spec: &ScenarioSpec, trigger: f64, gap: u64) -> ScenarioSpec {
+    let mut out = spec.clone();
+    out.rebalance = Some(ww_scenario::RebalanceSpec {
+        trigger_imbalance: trigger,
+        min_epoch_gap: gap,
+    });
+    out
+}
+
+#[test]
+fn rebalancing_spec_is_byte_identical_to_static_partition() {
+    // The spec-level determinism pin for adaptive rebalancing: the same
+    // scenario with the block absent, eager, and conservative renders
+    // identical canonical rows at several worker counts. Rebalancing is
+    // an execution detail, not a semantic knob.
+    let base = parallel_twin_of_flash_crowd();
+    let static_canon = canonical(&run_smoke(&base));
+    for workers in [2, 4, 8] {
+        for (trigger, gap) in [(1.05, 1), (1.5, 3)] {
+            let spec = with_rebalance(&with_workers(&base, workers), trigger, gap);
+            assert_eq!(
+                canonical(&run_smoke(&spec)),
+                static_canon,
+                "rebalance trigger={trigger} gap={gap} diverges at workers={workers}"
+            );
+        }
+    }
+}
+
+#[test]
+fn rebalancing_churn_spec_is_byte_identical_to_static_partition() {
+    let base = churn_dynamics_spec();
+    let report = Runner::new().run(&base).expect("churn spec runs");
+    let static_canon = canonical(&report.rows[0].outcome);
+    let spec = with_rebalance(&base, 1.05, 1);
+    let report = Runner::new()
+        .run(&spec)
+        .expect("rebalancing churn spec runs");
+    assert!(
+        report.rows[0].events.iter().all(|m| m.accepted()),
+        "rebalancing must not disturb the event grammar: {:?}",
+        report.rows[0].events
+    );
+    assert_eq!(
+        canonical(&report.rows[0].outcome),
+        static_canon,
+        "churn + rebalancing diverges from the static partition"
+    );
+}
+
+#[test]
+fn rebalance_block_round_trips_and_rejects_bad_values() {
+    let spec = with_rebalance(&parallel_twin_of_flash_crowd(), 1.2, 2);
+    let parsed = ScenarioSpec::from_json(&spec.to_json()).expect("rebalance spec round-trips");
+    assert_eq!(parsed, spec);
+
+    let reject = |engine: &str, rebalance: &str, needle: &str| {
+        let text = format!(
+            r#"{{
+              "name": "bad-rebalance",
+              "topology": {{"kind": "star", "nodes": 8}},
+              "workload": {{
+                "rates": {{"kind": "uniform", "rate": 4.0}},
+                "doc_mix": {{"kind": "shared_zipf", "docs": 4, "theta": 1.0}}
+              }},
+              "engine": {engine},
+              "termination": {{"kind": "rounds", "max": 2}},
+              "rebalance": {rebalance}
+            }}"#
+        );
+        let err = ScenarioSpec::from_json(&text).expect_err("bad rebalance spec must not parse");
+        let msg = err.to_string();
+        assert!(
+            msg.contains(needle),
+            "error {msg:?} should mention {needle:?}"
+        );
+    };
+    // Non-sharded engines have nothing to rebalance.
+    reject(
+        r#"{"kind": "packet_sim"}"#,
+        r#"{"trigger_imbalance": 1.2}"#,
+        "packet_sim_par",
+    );
+    // A sub-1 ratio or an empty window can never trigger meaningfully.
+    reject(
+        r#"{"kind": "packet_sim_par", "workers": 2}"#,
+        r#"{"trigger_imbalance": 0.5}"#,
+        "at least 1",
+    );
+    reject(
+        r#"{"kind": "packet_sim_par", "workers": 2}"#,
+        r#"{"trigger_imbalance": 1.2, "min_epoch_gap": 0}"#,
+        "at least 1 epoch",
+    );
+    reject(
+        r#"{"kind": "packet_sim_par", "workers": 2}"#,
+        r#"{"trigger_imbalance": 1.2, "threshold": 3}"#,
+        "threshold",
+    );
+}
+
 #[test]
 fn workers_sweep_runs_and_rows_agree() {
     // Sweeping the workers knob is the spec-level way to state the

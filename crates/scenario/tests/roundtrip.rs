@@ -4,8 +4,8 @@
 use proptest::prelude::*;
 use ww_scenario::{
     BaselineScheme, DocMixSpec, EngineSpec, EventKindSpec, EventSpec, EventsSpec, PaperFigure,
-    RatesSpec, ScenarioSpec, Sweep, SweepParam, TelemetrySpec, Termination, TopologySpec,
-    WorkloadSpec,
+    RatesSpec, RebalanceSpec, ScenarioSpec, Sweep, SweepParam, TelemetrySpec, Termination,
+    TopologySpec, WorkloadSpec,
 };
 use ww_telemetry::Level;
 
@@ -387,6 +387,16 @@ fn arb_events() -> BoxedStrategy<Option<EventsSpec>> {
     .boxed()
 }
 
+fn arb_rebalance() -> BoxedStrategy<Option<RebalanceSpec>> {
+    proptest::option::of(
+        (1.0f64..4.0, 1u64..20).prop_map(|(trigger_imbalance, min_epoch_gap)| RebalanceSpec {
+            trigger_imbalance,
+            min_epoch_gap,
+        }),
+    )
+    .boxed()
+}
+
 fn arb_spec() -> BoxedStrategy<ScenarioSpec> {
     (
         arb_topology(),
@@ -396,19 +406,39 @@ fn arb_spec() -> BoxedStrategy<ScenarioSpec> {
         // JSON numbers are f64; the parser rejects seeds above 2^53.
         0u64..(1u64 << 53),
         arb_sweep(),
-        arb_events(),
+        (arb_events(), arb_rebalance()),
     )
         .prop_map(
-            |(topology, (rates, doc_mix), engine, termination, seed, sweep, events)| ScenarioSpec {
-                name: "prop-spec".to_string(),
+            |(
                 topology,
-                workload: WorkloadSpec { rates, doc_mix },
+                (rates, doc_mix),
                 engine,
                 termination,
                 seed,
                 sweep,
-                events,
-                telemetry: arb_telemetry_from_seed(seed),
+                (events, rebalance),
+            )| {
+                // The parser only accepts a rebalance block on the sharded
+                // engines; gate the generated one the same way so every
+                // rendered spec parses back.
+                let rebalance = rebalance.filter(|_| {
+                    matches!(
+                        engine,
+                        EngineSpec::PacketSimPar { .. } | EngineSpec::PacketSimDist { .. }
+                    )
+                });
+                ScenarioSpec {
+                    name: "prop-spec".to_string(),
+                    topology,
+                    workload: WorkloadSpec { rates, doc_mix },
+                    engine,
+                    termination,
+                    seed,
+                    sweep,
+                    events,
+                    telemetry: arb_telemetry_from_seed(seed),
+                    rebalance,
+                }
             },
         )
         .boxed()

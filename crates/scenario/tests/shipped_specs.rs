@@ -39,6 +39,7 @@ fn the_twelve_advertised_specs_are_present() {
         "rolling_link_failures.json",
         "publish_then_invalidate.json",
         "hot_set_rotation.json",
+        "flash_crowd_rebalance.json",
     ] {
         assert!(names.iter().any(|n| n == expected), "missing {expected}");
     }

@@ -181,6 +181,29 @@ impl<E> EventQueue<E> {
             .collect();
     }
 
+    /// Removes every pending event matching `f`, returning the matches
+    /// as `(time, seq, event)` sorted by `(time, seq)` — the order this
+    /// queue would have delivered them in. Survivors keep their keys;
+    /// neither the sequence counter nor the processed count moves. See
+    /// [`SimQueue::extract_events`](crate::SimQueue::extract_events).
+    pub fn extract_events(&mut self, mut f: impl FnMut(&E) -> bool) -> Vec<(SimTime, u64, E)> {
+        let entries = std::mem::take(&mut self.heap).into_vec();
+        let mut extracted = Vec::new();
+        self.heap = entries
+            .into_iter()
+            .filter_map(|Reverse(e)| {
+                if f(&e.event) {
+                    extracted.push((e.at, e.seq, e.event));
+                    None
+                } else {
+                    Some(Reverse(e))
+                }
+            })
+            .collect();
+        extracted.sort_unstable_by_key(|&(at, seq, _)| (at, seq));
+        extracted
+    }
+
     /// Coasts the clock forward to `t` without consuming an event: the
     /// simulation observed the interval `(now, t]` and nothing happened.
     /// Unlike [`EventQueue::advance_to`] this does not count a processed

@@ -68,6 +68,16 @@ pub trait SimQueue<E> {
     /// Rewrites pending events in place, keeping survivors' `(time,
     /// seq)` keys and never rewinding the sequence counter.
     fn filter_map_events(&mut self, f: impl FnMut(E) -> Option<E>);
+
+    /// Removes every pending event matching `f` and returns them as
+    /// `(time, key, event)` sorted by `(time, key)` — the exact order
+    /// in which the queue would have delivered them. Non-matching
+    /// events keep their `(time, seq)` keys; the sequence counter and
+    /// the processed count are untouched. This is the surgical sibling
+    /// of [`filter_map_events`](SimQueue::filter_map_events), used when
+    /// pending events must *move* to another queue (shard migration)
+    /// rather than be rewritten in place.
+    fn extract_events(&mut self, f: impl FnMut(&E) -> bool) -> Vec<(SimTime, u64, E)>;
 }
 
 impl<E> SimQueue<E> for crate::EventQueue<E> {
@@ -125,5 +135,9 @@ impl<E> SimQueue<E> for crate::EventQueue<E> {
 
     fn filter_map_events(&mut self, f: impl FnMut(E) -> Option<E>) {
         crate::EventQueue::filter_map_events(self, f);
+    }
+
+    fn extract_events(&mut self, f: impl FnMut(&E) -> bool) -> Vec<(SimTime, u64, E)> {
+        crate::EventQueue::extract_events(self, f)
     }
 }

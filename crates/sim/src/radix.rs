@@ -297,6 +297,34 @@ impl<E> SimQueue<E> for RadixQueue<E> {
         }
         self.normalize();
     }
+
+    fn extract_events(&mut self, mut f: impl FnMut(&E) -> bool) -> Vec<(SimTime, u64, E)> {
+        // Same drain-and-reinsert shape as `filter_map_events`, but
+        // matching entries leave the queue entirely, carrying their
+        // packed keys out so the caller can replay them in delivery
+        // order. The low 64 key bits are the seq, matching `peek_entry`.
+        let mut drained: Vec<(u128, E)> = Vec::with_capacity(self.len);
+        for b in 0..BUCKETS {
+            drained.append(&mut self.buckets[b]);
+        }
+        self.len = 0;
+        let mut extracted: Vec<(u128, E)> = Vec::new();
+        for (key, event) in drained {
+            if f(&event) {
+                extracted.push((key, event));
+            } else {
+                self.insert(key, event);
+            }
+        }
+        self.normalize();
+        // Radix keys order exactly as (time, seq) for the non-negative
+        // monotone times this queue accepts.
+        extracted.sort_unstable_by_key(|&(key, _)| key);
+        extracted
+            .into_iter()
+            .map(|(key, event)| (time_of(key), key as u64, event))
+            .collect()
+    }
 }
 
 #[cfg(test)]

@@ -175,6 +175,21 @@ impl TimerRing {
         }
     }
 
+    /// The pending `(fire time, merge seq)` of `member`, or `None` if
+    /// the member is currently disarmed (popped but not yet rearmed).
+    /// Used by shard migration, which must carry a node's pending timer
+    /// fire — phase included — into its new shard's ring.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `member` is out of range.
+    pub fn fire_entry(&self, member: usize) -> Option<(SimTime, u64)> {
+        assert!(member < self.next.len(), "member out of range");
+        self.order
+            .contains(&member)
+            .then(|| (self.next[member], self.seq[member]))
+    }
+
     /// Total member count (armed or not).
     pub fn members(&self) -> usize {
         self.next.len()
